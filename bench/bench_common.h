@@ -1,0 +1,31 @@
+// Shared scaffolding for the experiment binaries (E1..E8).
+//
+// Every experiment binary:
+//   * accepts --csv to switch from the human table to CSV,
+//   * accepts --runs / --messages style knobs to scale statistical power,
+//   * prints an explanatory header naming the paper claim it reproduces,
+//   * exits nonzero only on harness misuse (never on "interesting" data).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace s2d::bench {
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::cout << "# " << title << "\n# " << claim << "\n#\n";
+}
+
+inline void emit(const Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace s2d::bench

@@ -1,0 +1,107 @@
+// E9 — the non-causal channel (§5 open problem, §2.5 noise discussion).
+//
+// Paper claim (§5): if the channel may deliver packets that were never
+// sent, "our protocol satisfies all the correctness conditions except
+// liveness (given that the definition of the causality condition is
+// relaxed to be probabilistic)".
+//
+// Two injection models, measured side by side:
+//   * forge  — adversary-triggered random bytes of the current packet
+//     length (content-oblivious injection). The codec's structural
+//     redundancy rejects essentially all of it: safety AND throughput are
+//     untouched.
+//   * mutate — bit-flipped copies of in-flight packets (line noise,
+//     correlated with contents). Safety becomes probabilistic (a mutant
+//     confined to the payload/id bits can be accepted), and liveness
+//     degrades: mutants always carry current-length strings, so the
+//     epoch machinery never stabilises while noise persists.
+//
+// Expected shape: the forge rows stay identically clean; the mutate rows
+// show a small accepted-mutant rate (orders of magnitude below the mutant
+// count) and growing peak state.
+#include "adversary/adversaries.h"
+#include "bench_common.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags("E9: non-causal channel — forgery vs mutation noise (§5)");
+  flags.define("runs", "20", "executions per cell")
+      .define("messages", "40", "messages per execution")
+      .define("noise", "0.1,0.3,0.5", "per-step injection probabilities")
+      .define("eps_log2", "16", "eps = 2^-k")
+      .define("csv", "false", "emit CSV");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  const std::uint64_t runs = flags.get_u64("runs");
+  const std::uint64_t messages = flags.get_u64("messages");
+  const double eps =
+      std::exp2(-static_cast<double>(flags.get_u64("eps_log2")));
+
+  bench::print_header(
+      "E9: packets that were never sent (§5 non-causal model)",
+      "forgery is filtered structurally; mutation relaxes safety to a "
+      "small probability and voids liveness stabilisation");
+
+  Table table({"mode", "noise", "runs", "completed", "injected",
+               "safety_viol", "viol_per_injected", "peak_rm_state_bits",
+               "steps_per_ok"});
+
+  for (const auto mode :
+       {NoiseAdversary::Mode::kForge, NoiseAdversary::Mode::kMutate}) {
+    for (const double noise : flags.get_double_list("noise")) {
+      std::uint64_t completed = 0;
+      std::uint64_t injected = 0;
+      std::uint64_t violations = 0;
+      std::uint64_t peak_state = 0;
+      RunningStat steps;
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        DataLinkConfig cfg;
+        cfg.retry_every = 8;
+        cfg.allow_noise = true;
+        cfg.noise_seed = r * 733 + 11;
+        cfg.keep_trace = false;
+        auto pair = make_ghm(GrowthPolicy::geometric(eps), r * 739 + 13);
+        DataLink link(std::move(pair.tm), std::move(pair.rm),
+                      std::make_unique<NoiseAdversary>(
+                          noise, 0.05, Rng(r * 743 + 17), mode),
+                      cfg);
+        WorkloadConfig wl;
+        wl.messages = messages;
+        wl.payload_bytes = 8;
+        wl.max_steps_per_message = 200000;
+        wl.stop_on_stall = false;
+        const RunReport rep = run_workload(link, wl, Rng(r * 751));
+        completed += rep.completed;
+        injected += link.noise_deliveries();
+        violations += link.checker().violations().safety_total();
+        peak_state =
+            std::max(peak_state, link.stats().max_rm_state_bits);
+        Samples s = rep.steps_per_ok;
+        if (s.count() > 0) steps.add(s.mean());
+      }
+      const double per_injected =
+          injected ? static_cast<double>(violations) /
+                         static_cast<double>(injected)
+                   : 0.0;
+      table.add_row(
+          {mode == NoiseAdversary::Mode::kForge ? "forge" : "mutate",
+           Table::num(noise, 2), std::to_string(runs),
+           std::to_string(completed), std::to_string(injected),
+           std::to_string(violations), Table::sci(per_injected),
+           std::to_string(peak_state), Table::num(steps.mean(), 1)});
+    }
+  }
+
+  bench::emit(table, flags.get_bool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

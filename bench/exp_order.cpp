@@ -1,0 +1,115 @@
+// E1 — order / causality conditions (Theorems 1 and 3).
+//
+// Paper claim: for any content-oblivious adversary, every OK is preceded by
+// a delivery of the in-flight message except with probability <= eps, and
+// every delivered message was previously sent (probability 1).
+//
+// Measurement: run N seeded executions per (adversary, eps) cell, count
+// order/causality violations per completed message, and report the measured
+// frequency with a 95% Wilson upper bound next to the eps budget. Expected
+// shape: measured << eps for every cell (the analysis is conservative), and
+// causality exactly zero.
+#include <memory>
+#include <sstream>
+
+#include "adversary/adversaries.h"
+#include "bench_common.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+std::unique_ptr<Adversary> make_adv(const std::string& kind,
+                                    std::uint64_t seed) {
+  if (kind == "fifo") {
+    return std::make_unique<BenignFifoAdversary>(0.3, Rng(seed));
+  }
+  if (kind == "chaos") {
+    return std::make_unique<RandomFaultAdversary>(FaultProfile::chaos(0.15),
+                                                  Rng(seed));
+  }
+  if (kind == "replay") {
+    return std::make_unique<ReplayAttacker>(150, Rng(seed));
+  }
+  if (kind == "stale") {
+    return std::make_unique<StaleFirstAdversary>(0.1, Rng(seed));
+  }
+  FaultProfile p = FaultProfile::chaos(0.05);
+  p.crash_t = 0.002;
+  p.crash_r = 0.002;
+  return std::make_unique<RandomFaultAdversary>(p, Rng(seed));  // "crashy"
+}
+
+int run(int argc, char** argv) {
+  Flags flags("E1: order/causality violation frequency vs eps (Thm 1, 3)");
+  flags.define("runs", "40", "seeded executions per cell")
+      .define("messages", "100", "messages per execution")
+      .define("eps_log2", "6,10,14", "comma list: eps = 2^-k per entry")
+      .define("adversaries", "fifo,chaos,crashy,replay,stale",
+              "adversary kinds to sweep")
+      .define("csv", "false", "emit CSV instead of a table");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  bench::print_header(
+      "E1: order & causality (Theorems 1, 3)",
+      "measured P(order violation per message) must stay below eps; "
+      "causality must be exactly zero");
+
+  Table table({"adversary", "eps", "runs", "messages_ok", "order_viol",
+               "order_rate", "wilson_hi", "causality_viol"});
+
+  const auto eps_list = flags.get_u64_list("eps_log2");
+  const std::uint64_t runs = flags.get_u64("runs");
+  const std::uint64_t messages = flags.get_u64("messages");
+
+  std::string adversaries = flags.get("adversaries");
+  std::stringstream ss(adversaries);
+  std::string kind;
+  while (std::getline(ss, kind, ',')) {
+    for (const std::uint64_t k : eps_list) {
+      const double eps = std::exp2(-static_cast<double>(k));
+      std::uint64_t order_viol = 0;
+      std::uint64_t causality_viol = 0;
+      Proportion per_message;
+      std::uint64_t completed = 0;
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        DataLinkConfig cfg;
+        cfg.retry_every = 3;
+        cfg.keep_trace = false;
+        auto pair = make_ghm(GrowthPolicy::geometric(eps), r * 101 + k);
+        DataLink link(std::move(pair.tm), std::move(pair.rm),
+                      make_adv(kind, r * 103 + k), cfg);
+        WorkloadConfig wl;
+        wl.messages = messages;
+        wl.payload_bytes = 8;
+        wl.max_steps_per_message = 4000;
+        wl.drain_steps = kind == "replay" ? 20000 : 0;
+        wl.stop_on_stall = false;
+        const RunReport rep = run_workload(link, wl, Rng(r * 107 + k));
+        order_viol += rep.violations.order;
+        causality_viol += rep.violations.causality;
+        completed += rep.completed;
+        for (std::uint64_t m = 0; m < rep.completed; ++m) {
+          per_message.add(m < rep.violations.order);
+        }
+      }
+      const double rate = completed
+                              ? static_cast<double>(order_viol) /
+                                    static_cast<double>(completed)
+                              : 0.0;
+      table.add_row({kind, Table::sci(eps), std::to_string(runs),
+                     std::to_string(completed), std::to_string(order_viol),
+                     Table::sci(rate), Table::sci(per_message.wilson().hi),
+                     std::to_string(causality_viol)});
+    }
+  }
+  bench::emit(table, flags.get_bool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

@@ -1,0 +1,118 @@
+// E7 — the (size, bound) design space (§5 open problem).
+//
+// Paper claim (posed as an open problem): the specific size/bound pair of
+// Figure 3 is one point in a space of sound choices; "select good size,
+// bound, increment functions" for better efficiency.
+//
+// Measurement: for every shipped sound policy, under a replay-heavy
+// adversary, report (i) the Lemma-4 budget actually consumed (analytic),
+// (ii) the wire overhead (mean packet bytes, packets per message),
+// (iii) peak challenge length, (iv) measured violations (must be 0).
+// Expected shape: aggressive policies buy fewer, larger extensions (long
+// strings, fewer epochs); paper_linear extends often but stays short until
+// attacked hard; geometric sits in between — the trade-off the open
+// problem asks about, quantified.
+#include "adversary/adversaries.h"
+#include "bench_common.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags("E7: growth-policy ablation (§5 open problem)");
+  flags.define("runs", "20", "executions per policy")
+      .define("messages", "60", "messages per execution")
+      .define("dup", "0.6", "duplication pressure during transfer")
+      .define("eps_log2", "12", "eps = 2^-k")
+      .define("csv", "false", "emit CSV");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  const std::uint64_t runs = flags.get_u64("runs");
+  const std::uint64_t messages = flags.get_u64("messages");
+  const double dup = flags.get_double("dup");
+  const double eps =
+      std::exp2(-static_cast<double>(flags.get_u64("eps_log2")));
+
+  bench::print_header(
+      "E7: size/bound policy trade-offs under duplication pressure",
+      "all sound policies stay violation-free; they differ in wire and "
+      "memory overhead");
+
+  Table table({"policy", "lemma4_budget", "eps_over_4", "violations",
+               "pkts_per_ok", "mean_pkt_bytes", "peak_rho_bits",
+               "peak_state_bits", "steps_per_ok"});
+
+  for (const char* name : GrowthPolicy::kPolicyNames) {
+    const GrowthPolicy policy = GrowthPolicy::by_name(name, eps);
+    std::uint64_t violations = 0;
+    RunningStat pkts_per_ok;
+    RunningStat pkt_bytes;
+    RunningStat steps_per_ok;
+    std::uint64_t peak_rho = 0;
+    std::uint64_t peak_state = 0;
+    for (std::uint64_t r = 0; r < runs; ++r) {
+      FaultProfile p;
+      p.duplicate = dup;
+      p.reorder = 0.3;
+      p.loss = 0.05;
+      DataLinkConfig cfg;
+      cfg.retry_every = 3;
+      cfg.keep_trace = false;
+      auto pair = make_ghm(policy, r * 509 + 17);
+      const GhmReceiver* rm = pair.rm.get();
+      DataLink link(std::move(pair.tm), std::move(pair.rm),
+                    std::make_unique<RandomFaultAdversary>(p, Rng(r * 521)),
+                    cfg);
+      WorkloadConfig wl;
+      wl.messages = messages;
+      wl.payload_bytes = 8;
+      wl.max_steps_per_message = 30000;
+      std::uint64_t local_peak_rho = 0;
+      // Run message by message so the peak challenge length is observable.
+      Rng payload(r * 523);
+      std::uint64_t completed = 0;
+      std::uint64_t steps_before = 0;
+      for (std::uint64_t n = 1; n <= wl.messages; ++n) {
+        if (!link.tm_ready()) break;
+        link.offer({n, make_payload(wl.payload_bytes, payload)});
+        const bool ok = link.run_until_ok(wl.max_steps_per_message);
+        local_peak_rho =
+            std::max<std::uint64_t>(local_peak_rho, rm->rho().size());
+        if (ok) ++completed;
+      }
+      violations += link.checker().violations().safety_total();
+      if (completed > 0) {
+        const double total_pkts =
+            static_cast<double>(link.tr_channel().packets_sent() +
+                                link.rt_channel().packets_sent());
+        const double total_bytes =
+            static_cast<double>(link.tr_channel().bytes_sent() +
+                                link.rt_channel().bytes_sent());
+        pkts_per_ok.add(total_pkts / static_cast<double>(completed));
+        pkt_bytes.add(total_bytes / total_pkts);
+        steps_per_ok.add(static_cast<double>(link.stats().steps) /
+                         static_cast<double>(completed));
+      }
+      peak_rho = std::max(peak_rho, local_peak_rho);
+      peak_state = std::max(peak_state, link.stats().max_rm_state_bits);
+      (void)steps_before;
+    }
+    table.add_row({name, Table::sci(policy.lemma4_budget()),
+                   Table::sci(eps / 4.0), std::to_string(violations),
+                   Table::num(pkts_per_ok.mean(), 1),
+                   Table::num(pkt_bytes.mean(), 1), std::to_string(peak_rho),
+                   std::to_string(peak_state),
+                   Table::num(steps_per_ok.mean(), 1)});
+  }
+
+  bench::emit(table, flags.get_bool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

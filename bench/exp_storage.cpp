@@ -1,0 +1,112 @@
+// E5 — storage behaviour (§1's "unbounded counters of a different flavor").
+//
+// Paper claim: the random strings grow only with the number of errors
+// during the *current* message and are reset after every successful
+// delivery and every crash — so storage does not accumulate over the
+// lifetime of the connection, unlike classical unbounded sequence numbers.
+//
+// Measurement, two parts:
+//  (a) challenge length after B consecutive wrong packets, per growth
+//      policy (the direct growth curve — logarithmic-ish in B for the
+//      geometric policy, near-linear for paper_linear);
+//  (b) an executor run alternating error bursts with clean deliveries,
+//      showing the state snapping back to its epoch-1 size after each OK.
+#include "adversary/adversaries.h"
+#include "bench_common.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+/// Feeds `errors` wrong full-length challenges straight into a receiver and
+/// returns the resulting challenge length in bits.
+std::size_t rho_bits_after_errors(const GrowthPolicy& policy,
+                                  std::uint64_t errors, std::uint64_t seed) {
+  GhmReceiver rx(policy, Rng(seed));
+  Rng junk(seed ^ 0x5eedULL);
+  const BitString tau =
+      BitString::from_binary("1").concat(BitString::random(16, junk));
+  for (std::uint64_t i = 0; i < errors; ++i) {
+    BitString wrong = BitString::random(rx.rho().size(), junk);
+    if (wrong == rx.rho()) continue;  // astronomically unlikely
+    RxOutbox out;
+    rx.on_receive_pkt(DataPacket{{1, "e"}, wrong, tau}.encode(), out);
+  }
+  return rx.rho().size();
+}
+
+int run(int argc, char** argv) {
+  Flags flags("E5: storage growth and reset (§1 storage claim)");
+  flags.define("bursts", "0,4,16,64,256,1024,4096",
+               "error-burst sizes B for part (a)")
+      .define("eps_log2", "10", "eps = 2^-k")
+      .define("cycles", "30", "burst/deliver cycles for part (b)")
+      .define("csv", "false", "emit CSV");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  const double eps =
+      std::exp2(-static_cast<double>(flags.get_u64("eps_log2")));
+  const bool csv = flags.get_bool("csv");
+
+  bench::print_header(
+      "E5a: challenge bits after an error burst of size B, per policy",
+      "growth is driven by errors only; geometric grows O(log^2 B)");
+
+  Table growth({"errors_B", "geometric_bits", "paper_linear_bits",
+                "quadratic_bits", "aggressive_bits"});
+  for (const std::uint64_t b : flags.get_u64_list("bursts")) {
+    std::vector<std::string> row{std::to_string(b)};
+    for (const char* name : GrowthPolicy::kPolicyNames) {
+      row.push_back(std::to_string(
+          rho_bits_after_errors(GrowthPolicy::by_name(name, eps), b, b + 7)));
+    }
+    growth.add_row(std::move(row));
+  }
+  bench::emit(growth, csv);
+
+  bench::print_header(
+      "E5b: state resets after each successful message",
+      "max state bits during an erroring message vs right after its OK");
+
+  Table reset({"cycle", "burst_errors", "rho_bits_peak", "rho_bits_after_ok"});
+  const GrowthPolicy policy = GrowthPolicy::geometric(eps);
+  auto pair = make_ghm(policy, 99);
+  GhmReceiver* rm = pair.rm.get();
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<BenignFifoAdversary>(0.0, Rng(98)), cfg);
+  Rng payload(97);
+  Rng junk(96);
+  const std::uint64_t cycles = flags.get_u64("cycles");
+  for (std::uint64_t c = 1; c <= cycles; ++c) {
+    // Inject a burst of wrong packets straight at the receiver (the
+    // executor's adversary stays benign; this models replayed garbage).
+    const std::uint64_t burst = (c % 5) * 64;
+    const BitString tau =
+        BitString::from_binary("1").concat(BitString::random(16, junk));
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      RxOutbox out;
+      rm->on_receive_pkt(
+          DataPacket{{0, "j"}, BitString::random(rm->rho().size(), junk), tau}
+              .encode(),
+          out);
+    }
+    const std::size_t peak = rm->rho().size();
+    link.offer({c, make_payload(8, payload)});
+    (void)link.run_until_ok(10000);
+    if (csv || c <= 10 || c == cycles) {
+      reset.add_row({std::to_string(c), std::to_string(burst),
+                     std::to_string(peak), std::to_string(rm->rho().size())});
+    }
+  }
+  bench::emit(reset, csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

@@ -1,0 +1,127 @@
+// E8 — transport-layer deployment cost (§1, [HK89]).
+//
+// Paper claim: running the protocol end-to-end over a semi-reliable relay
+// gives near-optimal communication cost on a quiet network when the relay
+// routes over a single path, with cost growing with the number of errors;
+// flooding costs O(|E|) per packet but tolerates anything.
+//
+// Measurement: topology x relay x link-failure-rate sweep. Report raw
+// frames per delivered message, relay frames per message, reroutes, and
+// completion. Expected shape: path << flooding when quiet; the gap narrows
+// (and path pays reroutes) as links flap; both remain correct.
+#include "bench_common.h"
+#include "harness/runner.h"
+#include "transport/endtoend.h"
+
+namespace s2d {
+namespace {
+
+struct Topo {
+  std::string name;
+  NetworkGraph graph;
+  NodeId src;
+  NodeId dst;
+};
+
+std::vector<Topo> topologies(Rng& rng) {
+  std::vector<Topo> out;
+  out.push_back({"line8", NetworkGraph::line(8), 0, 7});
+  out.push_back({"ring12", NetworkGraph::ring(12), 0, 6});
+  out.push_back({"grid4x4", NetworkGraph::grid(4, 4), 0, 15});
+  out.push_back({"rand16", NetworkGraph::random(16, 0.25, rng), 0, 15});
+  return out;
+}
+
+int run(int argc, char** argv) {
+  Flags flags("E8: transport cost, flooding vs path-repair relay (§1)");
+  flags.define("runs", "8", "executions per cell")
+      .define("messages", "15", "messages per execution")
+      .define("fail", "0.0,0.005,0.02", "per-link per-step failure rates")
+      .define("eps_log2", "16", "eps = 2^-k")
+      .define("csv", "false", "emit CSV");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  const std::uint64_t runs = flags.get_u64("runs");
+  const std::uint64_t messages = flags.get_u64("messages");
+  const double eps =
+      std::exp2(-static_cast<double>(flags.get_u64("eps_log2")));
+
+  bench::print_header(
+      "E8: end-to-end cost over a faulty network ([HK89] discussion)",
+      "path-repair ~ O(path) frames/message when quiet; flooding ~ O(|E|); "
+      "gap narrows as links flap");
+
+  Table table({"topology", "edges", "relay", "link_fail", "completion",
+               "frames_per_ok", "relay_frames_per_ok", "reroutes",
+               "violations"});
+
+  Rng topo_rng(42);
+  for (const auto& topo : topologies(topo_rng)) {
+    for (const std::string relay_kind : {"path", "flooding"}) {
+      for (const double fail : flags.get_double_list("fail")) {
+        std::uint64_t completed = 0;
+        std::uint64_t offered = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t reroutes = 0;
+        RunningStat frames_per_ok;
+        RunningStat relay_frames_per_ok;
+        for (std::uint64_t r = 0; r < runs; ++r) {
+          NetworkConfig net_cfg;
+          net_cfg.frame_loss = 0.02;
+          net_cfg.link_fail = fail;
+          net_cfg.link_recover = 0.1;
+          Network net(topo.graph, net_cfg, Rng(r * 601 + 3));
+          std::unique_ptr<Relay> relay;
+          if (relay_kind == "flooding") {
+            relay = std::make_unique<FloodingRelay>(24);
+          } else {
+            relay = std::make_unique<PathRelay>();
+          }
+          const Relay* relay_ptr = relay.get();
+          TransportSession session(
+              net, std::move(relay), make_ghm(GrowthPolicy::geometric(eps),
+                                              r * 607 + 5),
+              {.src = topo.src, .dst = topo.dst}, Rng(r * 613));
+          Rng payload(r * 617);
+          std::uint64_t ok_count = 0;
+          for (std::uint64_t n = 1; n <= messages; ++n) {
+            if (!session.tm_ready()) break;
+            session.offer({n, make_payload(16, payload)});
+            ++offered;
+            if (session.run_until_ok(200000)) ++ok_count;
+          }
+          completed += ok_count;
+          violations += session.checker().violations().safety_total();
+          if (const auto* path = dynamic_cast<const PathRelay*>(relay_ptr)) {
+            reroutes += path->reroutes();
+          }
+          if (ok_count > 0) {
+            frames_per_ok.add(static_cast<double>(net.frames_attempted()) /
+                              static_cast<double>(ok_count));
+            relay_frames_per_ok.add(
+                static_cast<double>(relay_ptr->frames_sent()) /
+                static_cast<double>(ok_count));
+          }
+        }
+        table.add_row(
+            {topo.name, std::to_string(topo.graph.edge_count()), relay_kind,
+             Table::num(fail, 3),
+             Table::num(offered ? static_cast<double>(completed) /
+                                      static_cast<double>(offered)
+                                : 0.0,
+                        3),
+             Table::num(frames_per_ok.mean(), 1),
+             Table::num(relay_frames_per_ok.mean(), 1),
+             std::to_string(reroutes), std::to_string(violations)});
+      }
+    }
+  }
+
+  bench::emit(table, flags.get_bool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

@@ -1,0 +1,188 @@
+// Microbenchmarks (google-benchmark): per-operation costs of the protocol
+// building blocks and end-to-end message throughput on a quiet link.
+// These quantify the claim that the protocol is "simple and practical"
+// (§5): a full three-packet handshake costs microseconds of CPU.
+#include <benchmark/benchmark.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 16);
+
+void BM_BitStringRandom(benchmark::State& state) {
+  Rng rng(1);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitString::random(bits, rng));
+  }
+}
+BENCHMARK(BM_BitStringRandom)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_BitStringPrefixCheck(benchmark::State& state) {
+  Rng rng(2);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BitString a = BitString::random(bits, rng);
+  BitString b = a;
+  b.append(BitString::random(64, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.is_prefix_of(b));
+  }
+}
+BENCHMARK(BM_BitStringPrefixCheck)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BitStringAppend(benchmark::State& state) {
+  Rng rng(3);
+  const BitString suffix = BitString::random(64, rng);
+  BitString base = BitString::random(63, rng);  // unaligned slow path
+  for (auto _ : state) {
+    BitString copy = base;
+    copy.append(suffix);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_BitStringAppend);
+
+void BM_DataPacketEncode(benchmark::State& state) {
+  Rng rng(4);
+  const DataPacket pkt{{7, std::string(static_cast<std::size_t>(state.range(0)), 'x')},
+                       BitString::random(32, rng), BitString::random(33, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.encode());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DataPacketEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DataPacketDecode(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes wire =
+      DataPacket{{7, std::string(static_cast<std::size_t>(state.range(0)), 'x')},
+                 BitString::random(32, rng), BitString::random(33, rng)}
+          .encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DataPacket::decode(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DataPacketDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ReceiverAcceptPath(benchmark::State& state) {
+  // The receiver's hot path: a correct packet arriving (delivery branch).
+  const GrowthPolicy policy = GrowthPolicy::geometric(kEps);
+  GhmReceiver rx(policy, Rng(6));
+  Rng rng(7);
+  for (auto _ : state) {
+    const BitString tau =
+        BitString::from_binary("1").concat(BitString::random(20, rng));
+    const Bytes wire = DataPacket{{1, "payload"}, rx.rho(), tau}.encode();
+    RxOutbox out;
+    rx.on_receive_pkt(wire, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReceiverAcceptPath);
+
+void BM_ReceiverRejectPath(benchmark::State& state) {
+  // The anti-replay path: a wrong full-length challenge (num++ branch).
+  const GrowthPolicy policy = GrowthPolicy::aggressive(kEps);  // huge bound
+  GhmReceiver rx(policy, Rng(8));
+  Rng rng(9);
+  const BitString tau =
+      BitString::from_binary("1").concat(BitString::random(20, rng));
+  const Bytes wire =
+      DataPacket{{1, "x"}, BitString::random(rx.rho().size(), rng), tau}
+          .encode();
+  for (auto _ : state) {
+    RxOutbox out;
+    rx.on_receive_pkt(wire, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReceiverRejectPath);
+
+void BM_EndToEndMessage(benchmark::State& state) {
+  // Full message transfers (3-packet handshake + executor overhead) over a
+  // perfect FIFO link; reports messages/second.
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  cfg.keep_trace = false;
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), 10);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<BenignFifoAdversary>(0.0, Rng(11)), cfg);
+  Rng payload(12);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    link.offer({id++, make_payload(32, payload)});
+    const bool ok = link.run_until_ok(1000);
+    if (!ok) state.SkipWithError("message did not complete");
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EndToEndMessage);
+
+void BM_EndToEndMessageLossy(benchmark::State& state) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  cfg.keep_trace = false;
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), 13);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<BenignFifoAdversary>(0.3, Rng(14)), cfg);
+  Rng payload(15);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    link.offer({id++, make_payload(32, payload)});
+    if (!link.run_until_ok(100000)) state.SkipWithError("stalled");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EndToEndMessageLossy);
+
+void BM_CheckerEventThroughput(benchmark::State& state) {
+  // The online checker sits on every executor step of every experiment;
+  // its per-event cost bounds harness overhead.
+  TraceChecker checker;
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    checker.on_event({.kind = ActionKind::kSendMsg, .msg_id = id});
+    checker.on_event({.kind = ActionKind::kReceiveMsg, .msg_id = id});
+    checker.on_event({.kind = ActionKind::kOk});
+    ++id;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
+}
+BENCHMARK(BM_CheckerEventThroughput);
+
+void BM_GrowthPolicyBudget(benchmark::State& state) {
+  for (auto _ : state) {
+    const GrowthPolicy p = GrowthPolicy::geometric(1.0 / (1 << 16));
+    benchmark::DoNotOptimize(p.lemma4_budget());
+  }
+}
+BENCHMARK(BM_GrowthPolicyBudget);
+
+void BM_ExecutorStepIdle(benchmark::State& state) {
+  // Baseline cost of one executor step with nothing to do.
+  DataLinkConfig cfg;
+  cfg.retry_every = 0;
+  cfg.keep_trace = false;
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), 16);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<SilentAdversary>(), cfg);
+  for (auto _ : state) {
+    link.step();
+  }
+}
+BENCHMARK(BM_ExecutorStepIdle);
+
+}  // namespace
+}  // namespace s2d
+
+BENCHMARK_MAIN();

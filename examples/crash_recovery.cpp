@@ -1,0 +1,76 @@
+// Crash recovery: stations losing their entire memory mid-stream.
+//
+// A scripted adversary crashes the transmitter mid-transfer, later the
+// receiver, then both back-to-back (the hardest case — this is what
+// defeats every deterministic protocol [LMF88]). After every crash the
+// stream resumes and the checker confirms: no old message was replayed, no
+// message was delivered twice, everything the transmitter got an OK for
+// was delivered first.
+#include <cstdio>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+#include "link/trace_render.h"
+
+int main() {
+  using namespace s2d;
+
+  // Benign FIFO transport wrapped so we can interleave crashes by hand: we
+  // drive the link message by message and inject crashes between/during
+  // transfers through a composite script.
+  struct CrashyFifo final : Adversary {
+    BenignFifoAdversary fifo{0.1, Rng(11)};
+    std::uint64_t step = 0;
+    Decision next(const AdversaryView& v) override {
+      ++step;
+      if (step == 70) return Decision::crash_t();   // mid-stream
+      if (step == 140) return Decision::crash_r();  // later: receiver
+      if (step == 210) return Decision::crash_t();  // double crash
+      if (step == 211) return Decision::crash_r();
+      return fifo.next(v);
+    }
+    std::string name() const override { return "crashy-fifo"; }
+  };
+
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  GhmPair proto = make_ghm(GrowthPolicy::geometric(1.0 / (1 << 20)), 5);
+  DataLink link(std::move(proto.tm), std::move(proto.rm),
+                std::make_unique<CrashyFifo>(), cfg);
+
+  Rng payload(6);
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    const std::uint64_t aborts_before = link.stats().aborted;
+    link.offer({id, make_payload(12, payload)});
+    if (link.run_until_ok(100000)) {
+      ++completed;
+    } else if (link.stats().aborted > aborts_before) {
+      ++aborted;
+      std::printf("message %llu aborted by crash^T (higher layer decides "
+                  "whether to resend as a NEW message)\n",
+                  static_cast<unsigned long long>(id));
+    }
+  }
+
+  std::printf("\ncompleted %llu / 40 messages, %llu aborted by crashes "
+              "(crash^T x%llu, crash^R x%llu)\n",
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(aborted),
+              static_cast<unsigned long long>(link.stats().crashes_t),
+              static_cast<unsigned long long>(link.stats().crashes_r));
+  std::printf("safety after all crashes: %s\n",
+              link.checker().clean()
+                  ? "clean — no replay, no duplication, order intact"
+                  : link.checker().violations().summary().c_str());
+
+  // Show the action sequence around the crashes as a protocol diagram.
+  RenderOptions opts;
+  opts.max_events = 24;
+  std::printf("\nsequence diagram (tail):\n%s",
+              render_sequence(link.trace(), opts).c_str());
+  return link.checker().clean() ? 0 : 1;
+}

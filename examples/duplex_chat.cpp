@@ -1,0 +1,78 @@
+// Duplex chat: a two-way conversation between Alice and Bob across two
+// independently hostile directions (each loses, duplicates and reorders),
+// using the Session/Duplex application API. Messages arrive exactly once
+// and in order per direction, whatever the channels do.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adversary/adversaries.h"
+#include "core/duplex.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace s2d;
+
+  Flags flags("duplex_chat: two-way reliable conversation over chaos");
+  flags.define("rounds", "8", "chat rounds")
+      .define("pressure", "0.2", "per-direction fault pressure")
+      .define("seed", "42", "root seed");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  const double pressure = flags.get_double("pressure");
+  Duplex duplex = make_duplex(
+      GrowthPolicy::geometric(1.0 / (1 << 20)), flags.get_u64("seed"),
+      [&](std::uint64_t dir_seed) {
+        return std::make_unique<RandomFaultAdversary>(
+            FaultProfile::chaos(pressure), Rng(dir_seed));
+      },
+      cfg);
+
+  const std::vector<std::pair<const char*, const char*>> script = {
+      {"hey, did the backup finish?", "yes, all 3 volumes"},
+      {"checksums verified?", "every one of them"},
+      {"great. rotating the logs now", "ack, watching the dashboards"},
+      {"seeing packet loss on link 2?", "plenty — protocol doesn't care"},
+      {"love a link layer that shrugs", "GHM89 sends its regards"},
+      {"wrapping up for today", "same. exactly-once, as always"},
+      {"bye", "bye!"},
+      {"(eom)", "(eom)"},
+  };
+
+  const std::uint64_t rounds =
+      std::min<std::uint64_t>(flags.get_u64("rounds"), script.size());
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    duplex.send(Endpoint::kA, script[r].first);
+    duplex.send(Endpoint::kB, script[r].second);
+  }
+
+  if (!duplex.pump_until_idle(2000000)) {
+    std::printf("conversation did not drain (unfair schedule?)\n");
+    return 1;
+  }
+
+  const auto to_bob = duplex.take_received(Endpoint::kB);
+  const auto to_alice = duplex.take_received(Endpoint::kA);
+  for (std::size_t i = 0; i < to_bob.size() || i < to_alice.size(); ++i) {
+    if (i < to_bob.size()) {
+      std::printf("alice> %s\n", to_bob[i].payload.c_str());
+    }
+    if (i < to_alice.size()) {
+      std::printf("  bob> %s\n", to_alice[i].payload.c_str());
+    }
+  }
+
+  std::printf("\nA->B: %llu data packets for %zu messages | "
+              "B->A: %llu data packets for %zu messages\n",
+              static_cast<unsigned long long>(
+                  duplex.link_ab().tr_channel().packets_sent()),
+              to_bob.size(),
+              static_cast<unsigned long long>(
+                  duplex.link_ba().tr_channel().packets_sent()),
+              to_alice.size());
+  std::printf("safety (both directions): %s\n",
+              duplex.clean() ? "clean" : "VIOLATED");
+  return duplex.clean() ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// Explorer demo: exhaustive bounded search over adversary interleavings,
+// live. The tool (1) proves GHM has no violating interleaving to the
+// depth bound, (2) auto-discovers the classical alternating-bit crash
+// counterexample, and (3) replays that counterexample as a protocol
+// sequence diagram.
+#include <cstdio>
+
+#include "adversary/adversaries.h"
+#include "baseline/stopwait.h"
+#include "core/ghm.h"
+#include "harness/explorer.h"
+#include "harness/runner.h"
+#include "link/trace_render.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace s2d;
+
+const char* decision_name(const Decision& d) {
+  switch (d.kind) {
+    case Decision::Kind::kDeliverTR:
+      return "deliver T->R";
+    case Decision::Kind::kDeliverRT:
+      return "deliver R->T";
+    case Decision::Kind::kCrashT:
+      return "crash^T";
+    case Decision::Kind::kCrashR:
+      return "crash^R";
+    case Decision::Kind::kRetry:
+      return "RETRY";
+    case Decision::Kind::kTxTimer:
+      return "tx timer";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("explorer_demo: bounded exhaustive interleaving search");
+  flags.define("depth", "7", "search depth (decisions per interleaving)");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+  const auto depth = static_cast<std::uint32_t>(flags.get_u64("depth"));
+
+  // --- Part 1: GHM has no violating interleaving to the bound. ---------
+  {
+    ExplorerConfig cfg;
+    cfg.max_depth = depth > 6 ? 6 : depth;  // GHM branches wider (retries)
+    cfg.messages = 2;
+    const ExplorerReport report = explore(
+        [](std::vector<Decision> script) {
+          DataLinkConfig link_cfg;
+          link_cfg.retry_every = 0;
+          auto pair = make_ghm(GrowthPolicy::geometric(1.0 / (1 << 16)), 1);
+          return DataLink(std::move(pair.tm), std::move(pair.rm),
+                          std::make_unique<ScriptedAdversary>(
+                              std::move(script)),
+                          link_cfg);
+        },
+        cfg);
+    std::printf("GHM:  explored %llu interleavings to depth %u "
+                "(crashes, dup, reorder in the option set): %llu "
+                "violations\n\n",
+                static_cast<unsigned long long>(report.nodes), cfg.max_depth,
+                static_cast<unsigned long long>(report.violating_nodes));
+  }
+
+  // --- Part 2: the alternating-bit crash counterexample, found. --------
+  auto abp_factory = [](std::vector<Decision> script) {
+    DataLinkConfig link_cfg;
+    link_cfg.retry_every = 0;
+    link_cfg.tx_timer_every = 0;
+    link_cfg.record_packet_events = true;
+    const StopWaitConfig sw{.modulus = 2};
+    return DataLink(std::make_unique<StopWaitTransmitter>(sw),
+                    std::make_unique<StopWaitReceiver>(sw),
+                    std::make_unique<ScriptedAdversary>(std::move(script)),
+                    link_cfg);
+  };
+  ExplorerConfig cfg;
+  cfg.max_depth = depth;
+  cfg.messages = 2;
+  cfg.crashes = true;
+  cfg.duplicates = false;
+  cfg.retries = false;
+  cfg.tx_timer = true;
+  const ExplorerReport report = explore(abp_factory, cfg);
+  std::printf("ABP:  explored %llu interleavings to depth %u: %llu "
+              "violating — [LMF88] made executable\n",
+              static_cast<unsigned long long>(report.nodes), depth,
+              static_cast<unsigned long long>(report.violating_nodes));
+  if (report.counterexample.empty()) {
+    std::printf("      (no counterexample at this depth; try --depth=7)\n");
+    return 0;
+  }
+  std::printf("      first counterexample (%zu adversary decisions):\n",
+              report.counterexample.size());
+  for (const auto& d : report.counterexample) {
+    std::printf("        - %s%s\n", decision_name(d),
+                (d.kind == Decision::Kind::kDeliverTR ||
+                 d.kind == Decision::Kind::kDeliverRT)
+                    ? (" (packet " + std::to_string(d.pkt) + ")").c_str()
+                    : "");
+  }
+  std::printf("      violations: %s\n\n",
+              report.counterexample_violations.summary().c_str());
+
+  // --- Part 3: replay it as a sequence diagram. -------------------------
+  DataLink link = abp_factory(report.counterexample);
+  Rng payload(0x9a9a);
+  std::uint64_t next_msg = 1;
+  auto maybe_offer = [&] {
+    if (next_msg <= 2 && link.tm_ready()) {
+      link.offer({next_msg, make_payload(2, payload)});
+      ++next_msg;
+    }
+  };
+  maybe_offer();
+  for (std::size_t i = 0; i < report.counterexample.size(); ++i) {
+    link.step();
+    maybe_offer();
+  }
+  std::printf("replayed counterexample:\n%s",
+              render_sequence(link.trace()).c_str());
+  std::printf("\nchecker verdict: %s\n",
+              link.checker().violations().summary().c_str());
+  return 0;
+}

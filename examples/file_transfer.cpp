@@ -1,0 +1,84 @@
+// File transfer over a hostile link, using the StreamMux byte-stream API:
+// the file is chunked into messages, multiplexed over a Session, shipped
+// through the GHM data link, reassembled at the receiver and verified with
+// an end-to-end CRC32. A second, smaller "metadata" stream travels
+// interleaved with the file to show multiplexing.
+#include <cstdio>
+#include <string>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "core/stream.h"
+#include "harness/runner.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace s2d;
+
+  Flags flags("file_transfer: chunked streams with end-to-end CRC check");
+  flags.define("size_kb", "64", "synthetic file size in KiB")
+      .define("chunk", "512", "chunk size in bytes")
+      .define("loss", "0.2", "channel fault pressure")
+      .define("seed", "1", "root seed");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  const std::size_t size =
+      static_cast<std::size_t>(flags.get_u64("size_kb")) * 1024;
+  const std::size_t chunk = static_cast<std::size_t>(flags.get_u64("chunk"));
+  const std::uint64_t seed = flags.get_u64("seed");
+
+  // Synthesize the "file" plus a sidecar metadata blob.
+  Rng data_rng(seed);
+  const std::string file = make_payload(size, data_rng);
+  const std::string metadata = "name=backup.tar;bytes=" +
+                               std::to_string(file.size()) + ";algo=crc32";
+
+  // Hostile channel under a GHM link with a Session + StreamMux on top.
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  cfg.collect_deliveries = true;
+  cfg.keep_trace = false;
+  GhmPair proto = make_ghm(GrowthPolicy::geometric(1.0 / (1 << 20)), seed);
+  DataLink link(std::move(proto.tm), std::move(proto.rm),
+                std::make_unique<RandomFaultAdversary>(
+                    FaultProfile::chaos(flags.get_double("loss")),
+                    Rng(seed + 1)),
+                cfg);
+  Session session(link);
+  StreamMux mux(session);
+
+  const std::uint64_t file_id = mux.send(file, chunk);
+  const std::uint64_t meta_id = mux.send(metadata, 64);
+
+  if (!session.pump_until_idle(100000000)) {
+    std::printf("transfer stalled (unfair channel?)\n");
+    return 1;
+  }
+
+  bool file_ok = false;
+  bool meta_ok = false;
+  for (const auto& stream : mux.take_completed()) {
+    if (stream.stream_id == file_id) {
+      file_ok = stream.intact && stream.data == file;
+      std::printf("file stream:     %zu bytes, crc %s\n", stream.data.size(),
+                  stream.intact ? "MATCH" : "MISMATCH");
+    } else if (stream.stream_id == meta_id) {
+      meta_ok = stream.intact && stream.data == metadata;
+      std::printf("metadata stream: \"%s\" (%s)\n", stream.data.c_str(),
+                  stream.intact ? "intact" : "CORRUPT");
+    }
+  }
+
+  const double per_chunk =
+      static_cast<double>(link.tr_channel().packets_sent() +
+                          link.rt_channel().packets_sent()) /
+      static_cast<double>(session.completed());
+  std::printf("messages:        %llu completed, %.2f packets each\n",
+              static_cast<unsigned long long>(session.completed()),
+              per_chunk);
+  std::printf("safety:          %s\n",
+              link.checker().clean()
+                  ? "clean"
+                  : link.checker().violations().summary().c_str());
+  return (file_ok && meta_ok && link.checker().clean()) ? 0 : 1;
+}

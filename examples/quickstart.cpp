@@ -1,0 +1,63 @@
+// Quickstart: reliable messaging over a hostile channel in ~30 lines of
+// API use.
+//
+//   1. Pick a security parameter eps and a growth policy.
+//   2. Build the protocol pair (transmitter + receiver).
+//   3. Compose them with an adversary into a DataLink.
+//   4. offer() messages; run_until_ok() drives each transfer.
+//
+// The channel below loses 15% of packets, duplicates 15%, reorders heavily
+// — and every message still arrives exactly once, in order, as the trace
+// printed at the end shows.
+#include <cstdio>
+#include <iostream>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+int main() {
+  using namespace s2d;
+
+  // 1. eps = 2^-16: at most one message-level error per ~65k messages,
+  //    even against a malicious scheduler.
+  const GrowthPolicy policy = GrowthPolicy::geometric(1.0 / (1 << 16));
+
+  // 2. Protocol pair with independent coin-toss tapes.
+  GhmPair protocol = make_ghm(policy, /*seed=*/2024);
+
+  // 3. A channel that loses, duplicates and reorders.
+  auto adversary = std::make_unique<RandomFaultAdversary>(
+      FaultProfile::chaos(0.15), Rng(7));
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  cfg.record_packet_events = false;
+  DataLink link(std::move(protocol.tm), std::move(protocol.rm),
+                std::move(adversary), cfg);
+
+  // 4. Send a handful of messages.
+  const char* lines[] = {"the quick brown fox", "jumps over", "the lazy dog",
+                         "exactly once", "and in order"};
+  std::uint64_t id = 1;
+  for (const char* line : lines) {
+    link.offer({id++, line});
+    if (link.run_until_ok(100000)) {
+      std::printf("OK   message %llu delivered (\"%s\")\n",
+                  static_cast<unsigned long long>(id - 1), line);
+    } else {
+      std::printf("FAIL message %llu did not complete\n",
+                  static_cast<unsigned long long>(id - 1));
+    }
+  }
+
+  std::printf("\nchannel traffic: %llu data packets, %llu acks\n",
+              static_cast<unsigned long long>(link.tr_channel().packets_sent()),
+              static_cast<unsigned long long>(link.rt_channel().packets_sent()));
+  std::printf("safety check:    %s\n",
+              link.checker().clean() ? "clean (no violations)"
+                                     : link.checker().violations().summary().c_str());
+  std::printf("\nexternal-action trace:\n%s",
+              link.trace().render_tail(100).c_str());
+  return link.checker().clean() ? 0 : 1;
+}

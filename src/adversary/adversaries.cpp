@@ -1,0 +1,238 @@
+#include "adversary/adversaries.h"
+
+namespace s2d {
+
+// ---------------------------------------------------------------- benign
+
+Decision BenignFifoAdversary::next(const AdversaryView& view) {
+  // Alternate between channels; on each turn, pop the next FIFO packet,
+  // dropping it with probability `loss` (a drop consumes the turn — the
+  // packet is simply never delivered).
+  for (int attempts = 0; attempts < 2; ++attempts) {
+    const bool tr = turn_tr_;
+    turn_tr_ = !turn_tr_;
+    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    std::size_t& cursor = tr ? next_tr_ : next_rt_;
+    while (cursor < history.size()) {
+      const PacketId id = history[cursor].id;
+      ++cursor;
+      if (rng_.bernoulli(loss_)) continue;  // lost
+      return tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+    }
+    // This channel is drained; try the other one.
+  }
+  return Decision::idle();
+}
+
+// ---------------------------------------------------------- random fault
+
+void RandomFaultAdversary::ingest(ChannelCursor& c,
+                                  const std::vector<PacketMeta>& history) {
+  for (; c.seen < history.size(); ++c.seen) {
+    // Loss is decided on ingest: a lost packet never enters `pending`.
+    if (!rng_.bernoulli(profile_.loss)) c.pending.push_back(history[c.seen].id);
+  }
+}
+
+Decision RandomFaultAdversary::deliver_from(
+    ChannelCursor& c, bool is_tr, const std::vector<PacketMeta>& history) {
+  // Duplication: redeliver a uniformly random packet from the entire
+  // history (§2.3: a sent packet may be delivered any number of times).
+  if (!history.empty() && rng_.bernoulli(profile_.duplicate)) {
+    const auto idx =
+        static_cast<std::size_t>(rng_.next_below(history.size()));
+    const PacketId id = history[idx].id;
+    return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+  }
+  if (c.pending.empty()) return Decision::idle();
+  std::size_t pick = 0;
+  if (c.pending.size() > 1 && rng_.bernoulli(profile_.reorder)) {
+    pick = static_cast<std::size_t>(rng_.next_below(c.pending.size()));
+  }
+  const PacketId id = c.pending[pick];
+  c.pending.erase(c.pending.begin() + static_cast<std::ptrdiff_t>(pick));
+  return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+}
+
+Decision RandomFaultAdversary::next(const AdversaryView& view) {
+  ingest(tr_, view.tr_packets());
+  ingest(rt_, view.rt_packets());
+
+  if (rng_.bernoulli(profile_.crash_t)) return Decision::crash_t();
+  if (rng_.bernoulli(profile_.crash_r)) return Decision::crash_r();
+
+  for (int attempts = 0; attempts < 2; ++attempts) {
+    const bool tr = turn_tr_;
+    turn_tr_ = !turn_tr_;
+    Decision d = deliver_from(tr ? tr_ : rt_, tr,
+                              tr ? view.tr_packets() : view.rt_packets());
+    if (d.kind != Decision::Kind::kIdle) return d;
+  }
+  return Decision::idle();
+}
+
+// -------------------------------------------------------- replay attack
+
+Decision ReplayAttacker::next(const AdversaryView& view) {
+  switch (phase_) {
+    case Phase::kRecord: {
+      if (view.tr_packets().size() >= threshold_) {
+        phase_ = Phase::kCrashT;
+        recorded_ = view.tr_packets().size();
+        return next(view);
+      }
+      // Perfect FIFO link while recording.
+      for (int attempts = 0; attempts < 2; ++attempts) {
+        const bool tr = turn_tr_;
+        turn_tr_ = !turn_tr_;
+        const auto& history = tr ? view.tr_packets() : view.rt_packets();
+        std::size_t& cursor = tr ? next_tr_ : next_rt_;
+        if (cursor < history.size()) {
+          const PacketId id = history[cursor].id;
+          ++cursor;
+          return tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+        }
+      }
+      return Decision::idle();
+    }
+
+    case Phase::kCrashT:
+      phase_ = Phase::kCrashR;
+      return Decision::crash_t();
+
+    case Phase::kCrashR:
+      phase_ = Phase::kReplay;
+      return Decision::crash_r();
+
+    case Phase::kReplay: {
+      // Cycle through the recorded T->R history forever. Randomising the
+      // start position costs nothing and avoids pathological alignment
+      // with the receiver's extension cadence.
+      if (recorded_ == 0) return Decision::idle();
+      if (replay_cursor_ == 0) {
+        replay_cursor_ =
+            static_cast<std::size_t>(rng_.next_below(recorded_));
+      }
+      const PacketId id = view.tr_packets()[replay_cursor_ % recorded_].id;
+      ++replay_cursor_;
+      return Decision::deliver_tr(id);
+    }
+  }
+  return Decision::idle();
+}
+
+// ------------------------------------------------------------- fairness
+
+Decision FairnessEnvelope::next(const AdversaryView& view) {
+  auto force = [&](Watermark& w, const std::vector<PacketMeta>& history,
+                   bool is_tr) -> std::optional<Decision> {
+    ++w.since_force;
+    if (w.since_force < window_) return std::nullopt;
+    if (w.delivered_upto >= history.size()) return std::nullopt;  // quiet
+    const PacketId id = history[w.delivered_upto].id;
+    ++w.delivered_upto;
+    w.since_force = 0;
+    return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+  };
+
+  // Axiom 3 must hold per channel; check both watermarks each step and
+  // stagger them by checking T->R first (any fixed order works).
+  if (auto d = force(tr_, view.tr_packets(), true)) return *d;
+  if (auto d = force(rt_, view.rt_packets(), false)) return *d;
+
+  Decision d = inner_->next(view);
+  // Track inner deliveries so the watermark does not double-deliver what
+  // the inner adversary already chose to deliver.
+  if (d.kind == Decision::Kind::kDeliverTR && d.pkt >= tr_.delivered_upto) {
+    tr_.since_force = 0;
+    tr_.delivered_upto = static_cast<std::size_t>(d.pkt) + 1;
+  } else if (d.kind == Decision::Kind::kDeliverRT &&
+             d.pkt >= rt_.delivered_upto) {
+    rt_.since_force = 0;
+    rt_.delivered_upto = static_cast<std::size_t>(d.pkt) + 1;
+  }
+  return d;
+}
+
+// ----------------------------------------------------------- stale first
+
+Decision StaleFirstAdversary::next(const AdversaryView& view) {
+  auto ingest = [&](std::deque<PacketId>& pending, std::size_t& seen,
+                    const std::vector<PacketMeta>& history) {
+    for (; seen < history.size(); ++seen) {
+      if (!rng_.bernoulli(loss_)) pending.push_back(history[seen].id);
+    }
+  };
+  ingest(tr_pending_, tr_seen_, view.tr_packets());
+  ingest(rt_pending_, rt_seen_, view.rt_packets());
+
+  // Serve the fuller backlog: its head is the stalest packet in flight.
+  std::deque<PacketId>* pending = nullptr;
+  bool is_tr = true;
+  if (tr_pending_.size() >= rt_pending_.size() && !tr_pending_.empty()) {
+    pending = &tr_pending_;
+  } else if (!rt_pending_.empty()) {
+    pending = &rt_pending_;
+    is_tr = false;
+  }
+  if (pending == nullptr) return Decision::idle();
+  const PacketId id = pending->front();
+  pending->pop_front();
+  return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+}
+
+// ----------------------------------------------------------------- noise
+
+Decision NoiseAdversary::next(const AdversaryView& view) {
+  // Noise targets the most recent packet on a random channel — recent
+  // packets carry current-length strings, which is what stresses the
+  // epoch budget (older mutants would be ignored by the length rule).
+  if (rng_.bernoulli(noise_)) {
+    const bool tr = rng_.next_bit();
+    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    if (!history.empty()) {
+      if (mode_ == Mode::kMutate) {
+        const PacketId id = history.back().id;
+        return tr ? Decision::mutate_tr(id) : Decision::mutate_rt(id);
+      }
+      const std::size_t len = history.back().length;
+      return tr ? Decision::forge_tr(len) : Decision::forge_rt(len);
+    }
+  }
+  // Otherwise: plain lossy FIFO progress.
+  for (int attempts = 0; attempts < 2; ++attempts) {
+    const bool tr = turn_tr_;
+    turn_tr_ = !turn_tr_;
+    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    std::size_t& cursor = tr ? next_tr_ : next_rt_;
+    while (cursor < history.size()) {
+      const PacketId id = history[cursor].id;
+      ++cursor;
+      if (rng_.bernoulli(loss_)) continue;
+      return tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+    }
+  }
+  return Decision::idle();
+}
+
+// ----------------------------------------------------- length targeting
+
+Decision LengthTargetingAdversary::next(const AdversaryView& view) {
+  for (int attempts = 0; attempts < 2; ++attempts) {
+    const bool tr = turn_tr_;
+    turn_tr_ = !turn_tr_;
+    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    std::size_t& cursor = tr ? next_tr_ : next_rt_;
+    while (cursor < history.size()) {
+      const PacketMeta& meta = history[cursor];
+      ++cursor;
+      if (meta.length >= min_drop_len_ && rng_.bernoulli(drop_prob_)) {
+        continue;  // targeted drop, by length alone
+      }
+      return tr ? Decision::deliver_tr(meta.id) : Decision::deliver_rt(meta.id);
+    }
+  }
+  return Decision::idle();
+}
+
+}  // namespace s2d

@@ -1,0 +1,255 @@
+// Adversary implementations (§2.4): schedulers ranging from a benign FIFO
+// link to the §3 replay attacker. All of them observe only packet ids and
+// lengths (enforced by the AdversaryView type), and all randomness is drawn
+// from a private, explicitly seeded Rng so runs replay deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "link/adversary.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+/// Delivers packets strictly in FIFO order on both channels, dropping each
+/// packet independently with probability `loss`. Never duplicates, never
+/// reorders, never crashes: the classical "lossy FIFO link" on which
+/// protocols like the alternating-bit protocol are correct.
+class BenignFifoAdversary final : public Adversary {
+ public:
+  BenignFifoAdversary(double loss, Rng rng) : loss_(loss), rng_(rng) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "benign-fifo"; }
+
+ private:
+  double loss_;
+  Rng rng_;
+  std::size_t next_tr_ = 0;  // next candidate index on each channel
+  std::size_t next_rt_ = 0;
+  bool turn_tr_ = true;  // alternate channels for symmetry
+};
+
+/// Parameters of the fully random fault model: each step the adversary
+/// crashes a station, duplicates an arbitrary old packet, or delivers a
+/// pending packet either in or out of order.
+struct FaultProfile {
+  double loss = 0.0;      // P(drop a pending packet instead of delivering)
+  double duplicate = 0.0; // P(redeliver a uniformly random old packet)
+  double reorder = 0.0;   // P(pick a random pending packet, not the oldest)
+  double crash_t = 0.0;   // per-step crash probabilities
+  double crash_r = 0.0;
+
+  static FaultProfile lossy(double p) { return {.loss = p}; }
+  static FaultProfile chaos(double p) {
+    return {.loss = p, .duplicate = p, .reorder = 3 * p};
+  }
+};
+
+/// Random loss / duplication / reordering / crashes per FaultProfile.
+class RandomFaultAdversary final : public Adversary {
+ public:
+  RandomFaultAdversary(FaultProfile profile, Rng rng)
+      : profile_(profile), rng_(rng) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "random-fault"; }
+
+ private:
+  struct ChannelCursor {
+    std::deque<PacketId> pending;  // sent but neither delivered nor dropped
+    std::size_t seen = 0;          // packets already ingested from history
+  };
+
+  void ingest(ChannelCursor& c, const std::vector<PacketMeta>& history);
+  Decision deliver_from(ChannelCursor& c, bool is_tr,
+                        const std::vector<PacketMeta>& history);
+
+  FaultProfile profile_;
+  Rng rng_;
+  ChannelCursor tr_;
+  ChannelCursor rt_;
+  bool turn_tr_ = true;
+};
+
+/// The §3 replay attack. Phase 1 (record): a perfect FIFO link, letting the
+/// stations complete many handshakes and fill the channel history with old
+/// data packets. Phase 2: crash both stations (erasing rho/tau). Phase 3
+/// (attack): cycle forever through the recorded T->R packets, trying to
+/// make the amnesiac receiver deliver an old message. Against a fixed
+/// ell_0-bit nonce with history >> 2^ell_0 this succeeds with high
+/// probability; against GHM the receiver's challenge outgrows every
+/// recorded packet after finitely many wrong deliveries and the attack
+/// provably fizzles (Theorem 7).
+class ReplayAttacker final : public Adversary {
+ public:
+  /// `attack_after_tr_packets`: size of the recorded history that triggers
+  /// the crash + replay phase.
+  ReplayAttacker(std::uint64_t attack_after_tr_packets, Rng rng)
+      : threshold_(attack_after_tr_packets), rng_(rng) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "replay-attacker"; }
+
+  [[nodiscard]] bool attacking() const noexcept {
+    return phase_ == Phase::kReplay;
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kRecord, kCrashT, kCrashR, kReplay };
+
+  std::uint64_t threshold_;
+  Rng rng_;
+  Phase phase_ = Phase::kRecord;
+  std::size_t next_tr_ = 0;
+  std::size_t next_rt_ = 0;
+  bool turn_tr_ = true;
+  std::size_t replay_cursor_ = 0;  // cycles through recorded T->R ids
+  std::size_t recorded_ = 0;       // history size frozen at attack start
+};
+
+/// Wraps any adversary and enforces Axiom 3 (fairness): whenever a channel
+/// has accumulated `window` new undelivered packets since the wrapper last
+/// forced a delivery on it, the oldest such packet is delivered. Between
+/// forcings the inner adversary schedules freely — including doing nothing
+/// at all — so `FairnessEnvelope(hostile, K)` is a worst-case fair
+/// adversary for the liveness experiments.
+class FairnessEnvelope final : public Adversary {
+ public:
+  FairnessEnvelope(std::unique_ptr<Adversary> inner, std::uint64_t window)
+      : inner_(std::move(inner)), window_(window) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override {
+    return "fair(" + inner_->name() + ")";
+  }
+
+ private:
+  struct Watermark {
+    std::size_t delivered_upto = 0;  // ids below this were force-delivered
+    std::uint64_t since_force = 0;   // steps since the last forced delivery
+  };
+
+  std::unique_ptr<Adversary> inner_;
+  std::uint64_t window_;
+  Watermark tr_;
+  Watermark rt_;
+};
+
+/// Never delivers anything. Composed with FairnessEnvelope it yields the
+/// minimal fair adversary; alone it demonstrates that no protocol can make
+/// progress against an unfair one.
+class SilentAdversary final : public Adversary {
+ public:
+  Decision next(const AdversaryView&) override { return Decision::idle(); }
+  [[nodiscard]] std::string name() const override { return "silent"; }
+};
+
+/// Plays back a fixed decision script, then idles. For unit tests that need
+/// exact interleavings.
+class ScriptedAdversary final : public Adversary {
+ public:
+  explicit ScriptedAdversary(std::vector<Decision> script)
+      : script_(std::move(script)) {}
+
+  Decision next(const AdversaryView&) override {
+    if (cursor_ >= script_.size()) return Decision::idle();
+    return script_[cursor_++];
+  }
+  [[nodiscard]] std::string name() const override { return "scripted"; }
+
+ private:
+  std::vector<Decision> script_;
+  std::size_t cursor_ = 0;
+};
+
+/// Maximal-staleness scheduler: always delivers the OLDEST undelivered
+/// packet on the fuller channel — every delivery is as out-of-date as the
+/// backlog allows, the deterministic worst case of reordering (random
+/// reordering only sometimes picks stale packets). GHM's length rule and
+/// prefix algebra must absorb a steady diet of maximally stale traffic.
+class StaleFirstAdversary final : public Adversary {
+ public:
+  explicit StaleFirstAdversary(double loss, Rng rng)
+      : loss_(loss), rng_(rng) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "stale-first"; }
+
+ private:
+  double loss_;
+  Rng rng_;
+  std::deque<PacketId> tr_pending_;
+  std::deque<PacketId> rt_pending_;
+  std::size_t tr_seen_ = 0;
+  std::size_t rt_seen_ = 0;
+};
+
+/// Non-causal channel model (§5 / [AUWY82] noise discussion): a FIFO link
+/// that, with probability `noise` per step, delivers a *mutated* copy of a
+/// uniformly random previously sent packet instead of making progress.
+/// Requires DataLinkConfig::allow_noise on the executor. Against GHM this
+/// cannot break safety beyond eps (Theorems 3/7/8 never used causality for
+/// the probabilistic bounds), but it voids the liveness theorem: mutants
+/// of the *current* packets carry current-length strings with flipped
+/// bits, so they are charged to the epoch budget and the random strings
+/// can be forced to grow without stabilising.
+class NoiseAdversary final : public Adversary {
+ public:
+  enum class Mode : std::uint8_t {
+    kMutate,  // bit-flip copies of real packets (line noise; correlated
+              // with contents, so the safety conditions become
+              // probabilistically relaxed)
+    kForge,   // inject random bytes of the current packet length (the §5
+              // malicious injector; uncorrelated with contents, so decode
+              // rejects essentially all of it)
+  };
+
+  NoiseAdversary(double noise, double loss, Rng rng,
+                 Mode mode = Mode::kMutate)
+      : noise_(noise), loss_(loss), rng_(rng), mode_(mode) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override {
+    return mode_ == Mode::kMutate ? "noise-mutate" : "noise-forge";
+  }
+
+ private:
+  double noise_;
+  double loss_;
+  Rng rng_;
+  Mode mode_;
+  std::size_t next_tr_ = 0;
+  std::size_t next_rt_ = 0;
+  bool turn_tr_ = true;
+};
+
+/// Length-selective adversary: a FIFO link that silently discards every
+/// packet whose length is >= `min_drop_len` with probability `drop_prob`.
+/// Because data packets are longer than acks, this adversary targets the
+/// T->R payload stream without ever reading a byte — probing exactly the
+/// boundary of the content-obliviousness assumption (§2.5).
+class LengthTargetingAdversary final : public Adversary {
+ public:
+  LengthTargetingAdversary(std::size_t min_drop_len, double drop_prob,
+                           Rng rng)
+      : min_drop_len_(min_drop_len), drop_prob_(drop_prob), rng_(rng) {}
+
+  Decision next(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override {
+    return "length-targeting";
+  }
+
+ private:
+  std::size_t min_drop_len_;
+  double drop_prob_;
+  Rng rng_;
+  std::size_t next_tr_ = 0;
+  std::size_t next_rt_ = 0;
+  bool turn_tr_ = true;
+};
+
+}  // namespace s2d

@@ -1,0 +1,146 @@
+#include "baseline/ab_random.h"
+
+namespace s2d {
+namespace {
+
+constexpr std::uint8_t kRsDataTag = 0x4d;
+constexpr std::uint8_t kRsAckTag = 0x4a;
+
+}  // namespace
+
+Bytes RsDataFrame::encode() const {
+  Writer w;
+  w.u8(kRsDataTag);
+  w.fixed64(session);
+  w.varint(seq);
+  w.varint(msg.id);
+  w.str(msg.payload);
+  return w.take();
+}
+
+std::optional<RsDataFrame> RsDataFrame::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kRsDataTag) return std::nullopt;
+  RsDataFrame f;
+  f.session = r.fixed64();
+  f.seq = r.varint();
+  f.msg.id = r.varint();
+  f.msg.payload = r.str();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+Bytes RsAckFrame::encode() const {
+  Writer w;
+  w.u8(kRsAckTag);
+  w.fixed64(session);
+  w.varint(seq);
+  return w.take();
+}
+
+std::optional<RsAckFrame> RsAckFrame::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kRsAckTag) return std::nullopt;
+  RsAckFrame f;
+  f.session = r.fixed64();
+  f.seq = r.varint();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+// ---------------------------------------------------------- transmitter
+
+void RandomSessionTransmitter::on_crash() {
+  // The whole point: no stable storage. A fresh incarnation is identified
+  // by a fresh random nonce; sequence numbers restart.
+  session_ = rng_.next_u64();
+  seq_ = 0;
+  busy_ = false;
+  msg_ = Message{};
+}
+
+void RandomSessionTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
+  busy_ = true;
+  msg_ = m;
+  out.send_pkt(RsDataFrame{session_, seq_, msg_}.encode());
+}
+
+void RandomSessionTransmitter::on_timer(TxOutbox& out) {
+  if (busy_) out.send_pkt(RsDataFrame{session_, seq_, msg_}.encode());
+}
+
+void RandomSessionTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
+                                              TxOutbox& out) {
+  const auto ack = RsAckFrame::decode(pkt);
+  if (!ack) return;
+  if (busy_ && ack->session == session_ && ack->seq == seq_) {
+    busy_ = false;
+    msg_ = Message{};
+    ++seq_;
+    out.ok();
+  }
+}
+
+// ------------------------------------------------------------- receiver
+
+void RandomSessionReceiver::on_crash() {
+  // Forget the lock; re-adopt from the next frame observed. The re-adopted
+  // frame is (re-)delivered: §2.6 excuses duplicates after crash^R, and
+  // withholding it would instead risk losing a message the transmitter
+  // will get an OK for.
+  has_session_ = false;
+  session_ = 0;
+  expected_ = 0;
+}
+
+void RandomSessionReceiver::on_retry(RxOutbox& out) {
+  // Passive protocol: acks only answer data. (Keeping the receiver quiet
+  // between frames is what the FIFO analysis of [AB89] expects.)
+  (void)out;
+}
+
+void RandomSessionReceiver::on_receive_pkt(std::span<const std::byte> pkt,
+                                           RxOutbox& out) {
+  const auto frame = RsDataFrame::decode(pkt);
+  if (!frame) return;
+
+  if (!has_session_) {
+    // Post-crash adoption: lock onto whatever the pipe delivers next.
+    has_session_ = true;
+    session_ = frame->session;
+    out.deliver(frame->msg);
+    expected_ = frame->seq + 1;
+    out.send_pkt(RsAckFrame{frame->session, frame->seq}.encode());
+    return;
+  }
+
+  if (frame->session == session_) {
+    if (frame->seq == expected_) {
+      out.deliver(frame->msg);
+      ++expected_;
+      out.send_pkt(RsAckFrame{frame->session, frame->seq}.encode());
+    } else if (frame->seq < expected_) {
+      // Duplicate of an already-delivered frame: re-ack so a transmitter
+      // whose ack was lost makes progress.
+      out.send_pkt(RsAckFrame{frame->session, frame->seq}.encode());
+    }
+    // seq > expected cannot happen over FIFO within one session; under
+    // reordering it can, and acking it would confirm an undelivered
+    // message — ignore (this is where non-FIFO channels break us anyway).
+    return;
+  }
+
+  // Different session. Sequence 0 signals a fresh transmitter incarnation:
+  // adopt it. Anything else is a stale fragment of an older incarnation
+  // still draining from the FIFO pipe — ignore.
+  if (frame->seq == 0) {
+    session_ = frame->session;
+    out.deliver(frame->msg);
+    expected_ = 1;
+    out.send_pkt(RsAckFrame{frame->session, 0}.encode());
+  }
+}
+
+}  // namespace s2d

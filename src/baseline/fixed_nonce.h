@@ -1,0 +1,24 @@
+// Fixed-nonce handshake: the basic three-packet protocol of §3 *before*
+// the anti-replay modification.
+//
+// Structurally identical to GHM — same packets, same acceptance rules —
+// but the random strings have a fixed length ell_0 and are never extended
+// (GrowthPolicy::fixed_nonce sets bound = infinity). Section 3 shows that
+// once the history holds more than ~2^ell_0 packets, an adversary that
+// crashes both stations and floods recorded packets makes the receiver
+// deliver an old message with probability approaching 1. Experiment E2
+// measures exactly that, against GHM as the control.
+#pragma once
+
+#include "core/ghm.h"
+
+namespace s2d {
+
+/// Builds the vulnerable pair with `nonce_bits`-long fixed strings.
+inline GhmPair make_fixed_nonce(std::size_t nonce_bits, std::uint64_t seed,
+                                double nominal_epsilon = 1.0 / 1024.0) {
+  return make_ghm(GrowthPolicy::fixed_nonce(nonce_bits, nominal_epsilon),
+                  seed);
+}
+
+}  // namespace s2d

@@ -1,0 +1,192 @@
+#include "baseline/stopwait.h"
+
+namespace s2d {
+namespace {
+
+constexpr std::uint8_t kSeqDataTag = 0x5d;
+constexpr std::uint8_t kSeqAckTag = 0x5a;
+constexpr std::uint8_t kResyncReqTag = 0x5e;
+constexpr std::uint8_t kResyncAckTag = 0x5f;
+
+}  // namespace
+
+Bytes SeqDataFrame::encode() const {
+  Writer w;
+  w.u8(kSeqDataTag);
+  w.varint(msg.id);
+  w.str(msg.payload);
+  w.varint(seq);
+  return w.take();
+}
+
+std::optional<SeqDataFrame> SeqDataFrame::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kSeqDataTag) return std::nullopt;
+  SeqDataFrame f;
+  f.msg.id = r.varint();
+  f.msg.payload = r.str();
+  f.seq = r.varint();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+Bytes SeqAckFrame::encode() const {
+  Writer w;
+  w.u8(kSeqAckTag);
+  w.varint(seq);
+  return w.take();
+}
+
+std::optional<SeqAckFrame> SeqAckFrame::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kSeqAckTag) return std::nullopt;
+  SeqAckFrame f;
+  f.seq = r.varint();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+Bytes ResyncReqFrame::encode() const {
+  Writer w;
+  w.u8(kResyncReqTag);
+  w.u8(incarnation ? 1 : 0);
+  return w.take();
+}
+
+std::optional<ResyncReqFrame> ResyncReqFrame::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kResyncReqTag) return std::nullopt;
+  ResyncReqFrame f;
+  f.incarnation = r.u8() != 0;
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+Bytes ResyncAckFrame::encode() const {
+  Writer w;
+  w.u8(kResyncAckTag);
+  w.u8(incarnation ? 1 : 0);
+  w.varint(expected);
+  return w.take();
+}
+
+std::optional<ResyncAckFrame> ResyncAckFrame::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kResyncAckTag) return std::nullopt;
+  ResyncAckFrame f;
+  f.incarnation = r.u8() != 0;
+  f.expected = r.varint();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+// ---------------------------------------------------------- transmitter
+
+void StopWaitTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
+  busy_ = true;
+  msg_ = m;
+  if (resyncing_) return;  // data flows only after the resync completes
+  out.send_pkt(SeqDataFrame{msg_, seq_}.encode());
+}
+
+void StopWaitTransmitter::on_timer(TxOutbox& out) {
+  if (resyncing_) {
+    out.send_pkt(ResyncReqFrame{incarnation_}.encode());
+    return;
+  }
+  if (busy_) out.send_pkt(SeqDataFrame{msg_, seq_}.encode());
+}
+
+void StopWaitTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
+                                         TxOutbox& out) {
+  if (resyncing_) {
+    // In recovery we only listen for a resync ack of our incarnation.
+    // Over a FIFO non-duplicating channel, its arrival implies every stale
+    // ack from older incarnations has been flushed, so `expected` is the
+    // receiver's current sequence.
+    const auto resync = ResyncAckFrame::decode(pkt);
+    if (!resync || resync->incarnation != incarnation_) return;
+    seq_ = resync->expected % cfg_.modulus;
+    resyncing_ = false;
+    if (busy_) out.send_pkt(SeqDataFrame{msg_, seq_}.encode());
+    return;
+  }
+  const auto ack = SeqAckFrame::decode(pkt);
+  if (!ack) return;
+  if (busy_ && ack->seq == seq_) {
+    busy_ = false;
+    msg_ = Message{};
+    seq_ = (seq_ + 1) % cfg_.modulus;
+    out.ok();
+  }
+}
+
+void StopWaitTransmitter::on_crash() {
+  busy_ = false;
+  msg_ = Message{};
+  // The crash erases volatile memory; the sequence number and incarnation
+  // bit survive only in the [BS88] configuration.
+  if (!cfg_.nonvolatile_seq) seq_ = 0;
+  if (cfg_.resync_on_crash) {
+    incarnation_ = !incarnation_;
+    resyncing_ = true;
+  }
+}
+
+std::size_t StopWaitTransmitter::state_bits() const {
+  return 64 + msg_.payload.size() * 8 + 2;
+}
+
+std::string StopWaitTransmitter::name() const {
+  if (cfg_.nonvolatile_seq) return "nvbit-transmitter";
+  return cfg_.modulus == 2 ? "abp-transmitter" : "stopwait-transmitter";
+}
+
+// ------------------------------------------------------------- receiver
+
+void StopWaitReceiver::on_receive_pkt(std::span<const std::byte> pkt,
+                                      RxOutbox& out) {
+  if (const auto req = ResyncReqFrame::decode(pkt)) {
+    // Report the current expected sequence, echoing the incarnation tag.
+    out.send_pkt(ResyncAckFrame{req->incarnation, expected_}.encode());
+    return;
+  }
+  const auto frame = SeqDataFrame::decode(pkt);
+  if (!frame) return;
+  if (frame->seq == expected_) {
+    out.deliver(frame->msg);
+    expected_ = (expected_ + 1) % cfg_.modulus;
+  }
+  // Ack the frame we just saw: on a duplicate this re-acks the old frame
+  // (the transmitter's ack may have been lost); on a fresh frame it
+  // confirms it.
+  out.send_pkt(SeqAckFrame{frame->seq}.encode());
+  have_acked_ = true;
+}
+
+void StopWaitReceiver::on_retry(RxOutbox& out) {
+  // Re-ack the last in-order frame so a transmitter whose ack was lost can
+  // make progress even if it never retransmits (keeps the baseline fair in
+  // receiver-driven executor configurations).
+  if (!have_acked_) return;
+  const std::uint64_t last = (expected_ + cfg_.modulus - 1) % cfg_.modulus;
+  out.send_pkt(SeqAckFrame{last}.encode());
+}
+
+void StopWaitReceiver::on_crash() {
+  have_acked_ = false;
+  if (!cfg_.nonvolatile_seq) expected_ = 0;
+}
+
+std::size_t StopWaitReceiver::state_bits() const { return 64 + 1; }
+
+std::string StopWaitReceiver::name() const {
+  if (cfg_.nonvolatile_seq) return "nvbit-receiver";
+  return cfg_.modulus == 2 ? "abp-receiver" : "stopwait-receiver";
+}
+
+}  // namespace s2d

@@ -1,0 +1,122 @@
+// Stop-and-wait baselines: the deterministic protocols GHM is measured
+// against (experiment E6).
+//
+// The family covers three classical designs in one implementation:
+//
+//   * Alternating-Bit Protocol (ABP): modulus = 2, volatile bit. Correct
+//     over a lossy FIFO channel without duplication; provably breaks under
+//     crashes ([LMF88]) and misbehaves under reordering/duplication.
+//   * Stop-and-wait with k-bit sequence numbers: modulus = 2^k. Larger
+//     sequence space delays — but does not eliminate — wrap-around
+//     confusion on non-FIFO channels.
+//   * Nonvolatile-bit protocol (after Baratz & Segall [BS88]): modulus = 2
+//     with the sequence state held in nonvolatile storage PLUS a crash-
+//     recovery resynchronisation handshake. The surviving bit alone is not
+//     enough: after a transmitter crash the station cannot know whether
+//     its last frame was delivered, so it first RESYNCs — it repeatedly
+//     sends a resync request tagged with a nonvolatile *incarnation bit*
+//     (flipped on every crash) and adopts the receiver's current expected
+//     sequence from the matching resync ack. Over a FIFO channel without
+//     duplication, by the time a matching ack arrives every stale ack from
+//     an older incarnation has been flushed, so the adopted value is
+//     current. This restores crash-resilience over FIFO channels — the
+//     paper's §1 citation for "what it takes" without randomisation — and
+//     still breaks (as it must) once the channel duplicates or reorders.
+//
+// The transmitter is timer-driven (configure DataLinkConfig::tx_timer_every)
+// since stop-and-wait retransmission originates at the sender.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "link/module.h"
+#include "util/codec.h"
+
+namespace s2d {
+
+struct StopWaitConfig {
+  std::uint64_t modulus = 2;     // sequence-number space (2 = ABP)
+  bool nonvolatile_seq = false;  // [BS88]: seq/incarnation survive crashes
+  bool resync_on_crash = false;  // [BS88]: recover via resync handshake
+};
+
+/// Wire frames (shared by transmitter and receiver).
+struct SeqDataFrame {
+  Message msg;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<SeqDataFrame> decode(std::span<const std::byte> bytes);
+};
+
+struct SeqAckFrame {
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<SeqAckFrame> decode(std::span<const std::byte> bytes);
+};
+
+/// Crash-recovery frames ([BS88] resync handshake).
+struct ResyncReqFrame {
+  bool incarnation = false;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ResyncReqFrame> decode(
+      std::span<const std::byte> bytes);
+};
+
+struct ResyncAckFrame {
+  bool incarnation = false;
+  std::uint64_t expected = 0;  // the receiver's current expected seq
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ResyncAckFrame> decode(
+      std::span<const std::byte> bytes);
+};
+
+class StopWaitTransmitter final : public ITransmitter {
+ public:
+  explicit StopWaitTransmitter(StopWaitConfig cfg) : cfg_(cfg) {}
+
+  void on_send_msg(const Message& m, TxOutbox& out) override;
+  void on_receive_pkt(std::span<const std::byte> pkt, TxOutbox& out) override;
+  void on_timer(TxOutbox& out) override;
+  void on_crash() override;
+
+  [[nodiscard]] bool busy() const override { return busy_; }
+  [[nodiscard]] std::size_t state_bits() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] bool resyncing() const noexcept { return resyncing_; }
+
+ private:
+  StopWaitConfig cfg_;
+  bool busy_ = false;
+  Message msg_;
+  bool resyncing_ = false;  // volatile: re-entered on every crash
+  // Nonvolatile when cfg_.nonvolatile_seq: deliberately NOT cleared by
+  // on_crash(), modelling the stable bits of [BS88].
+  std::uint64_t seq_ = 0;
+  bool incarnation_ = false;  // flipped on each crash (resync tag)
+};
+
+class StopWaitReceiver final : public IReceiver {
+ public:
+  explicit StopWaitReceiver(StopWaitConfig cfg) : cfg_(cfg) {}
+
+  void on_receive_pkt(std::span<const std::byte> pkt, RxOutbox& out) override;
+  void on_retry(RxOutbox& out) override;
+  void on_crash() override;
+
+  [[nodiscard]] std::size_t state_bits() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  StopWaitConfig cfg_;
+  // Nonvolatile when cfg_.nonvolatile_seq (see transmitter).
+  std::uint64_t expected_ = 0;
+  bool have_acked_ = false;  // volatile: whether any frame was acked yet
+};
+
+}  // namespace s2d

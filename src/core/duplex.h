@@ -1,0 +1,95 @@
+// Duplex: full-duplex reliable messaging between two endpoints.
+//
+// The paper's protocol is unidirectional (TM at the source, RM at the
+// destination). A bidirectional conversation is simply two independent
+// instances — A→B and B→A — each with its own channels, adversary and
+// security parameter; nothing in the analysis couples them. This facade
+// packages that composition: each endpoint gets a send queue and an inbox,
+// and one pump() advances both underlying links.
+//
+// This is also how the protocol would sit in a real stack: one data-link
+// instance per direction, sharing nothing but the wire.
+#pragma once
+
+#include <memory>
+
+#include "core/ghm.h"
+#include "core/session.h"
+
+namespace s2d {
+
+/// The two endpoints of a duplex conversation.
+enum class Endpoint : std::uint8_t { kA, kB };
+
+class Duplex {
+ public:
+  /// Takes ownership of the two directed links (configure each with
+  /// collect_deliveries = true so inboxes work). `ab` carries A's messages
+  /// to B; `ba` carries B's messages to A.
+  Duplex(std::unique_ptr<DataLink> ab, std::unique_ptr<DataLink> ba)
+      : ab_(std::move(ab)), ba_(std::move(ba)), a_to_b_(*ab_),
+        b_to_a_(*ba_) {}
+
+  /// Enqueues a payload from `from` to the other endpoint; returns the
+  /// message id within that direction's session.
+  std::uint64_t send(Endpoint from, std::string payload) {
+    return session(from).send(std::move(payload));
+  }
+
+  /// Advances both directions by up to `steps` each.
+  void pump(std::uint64_t steps) {
+    a_to_b_.pump(steps);
+    b_to_a_.pump(steps);
+  }
+
+  /// Pumps until both directions are idle or the budget runs out.
+  bool pump_until_idle(std::uint64_t max_steps) {
+    for (std::uint64_t i = 0; i < max_steps && !idle(); i += 64) {
+      pump(64);
+    }
+    return idle();
+  }
+
+  [[nodiscard]] bool idle() const noexcept {
+    return a_to_b_.idle() && b_to_a_.idle();
+  }
+
+  /// Messages delivered AT `at` (i.e. sent by the other endpoint).
+  [[nodiscard]] std::vector<Message> take_received(Endpoint at) {
+    return at == Endpoint::kA ? b_to_a_.take_received()
+                              : a_to_b_.take_received();
+  }
+
+  [[nodiscard]] Session& session(Endpoint from) {
+    return from == Endpoint::kA ? a_to_b_ : b_to_a_;
+  }
+  [[nodiscard]] const DataLink& link_ab() const noexcept { return *ab_; }
+  [[nodiscard]] const DataLink& link_ba() const noexcept { return *ba_; }
+
+  /// Both directions' checkers are clean.
+  [[nodiscard]] bool clean() const noexcept {
+    return ab_->checker().clean() && ba_->checker().clean();
+  }
+
+ private:
+  std::unique_ptr<DataLink> ab_;
+  std::unique_ptr<DataLink> ba_;
+  Session a_to_b_;
+  Session b_to_a_;
+};
+
+/// Convenience: builds a duplex GHM conversation where both directions run
+/// the given policy against adversaries built by `make_adv(direction_seed)`.
+template <typename MakeAdversary>
+Duplex make_duplex(const GrowthPolicy& policy, std::uint64_t seed,
+                   MakeAdversary&& make_adv, DataLinkConfig cfg = {}) {
+  cfg.collect_deliveries = true;
+  auto build = [&](std::uint64_t dir_seed) {
+    auto pair = make_ghm(policy, dir_seed);
+    return std::make_unique<DataLink>(std::move(pair.tm), std::move(pair.rm),
+                                      make_adv(dir_seed), cfg);
+  };
+  return Duplex(build(seed * 2 + 1), build(seed * 2 + 2));
+}
+
+}  // namespace s2d

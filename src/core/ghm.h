@@ -1,0 +1,34 @@
+// Convenience factory for the GHM protocol pair.
+//
+// A data-link protocol in the paper's sense is a pair A = (A^t, A^r); this
+// header builds the pair with independently forked coin-toss tapes, which
+// is what the analysis assumes ("probabilities are taken over uniform coin
+// tosses of the transmitting station, receiving station and ADV").
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/receiver.h"
+#include "core/transmitter.h"
+
+namespace s2d {
+
+struct GhmPair {
+  std::unique_ptr<GhmTransmitter> tm;
+  std::unique_ptr<GhmReceiver> rm;
+};
+
+/// Builds the protocol pair for security parameter `policy.epsilon()`,
+/// seeding both stations from `seed` via independent forks.
+inline GhmPair make_ghm(const GrowthPolicy& policy, std::uint64_t seed) {
+  Rng root(seed);
+  Rng tx_rng = root.fork(0x7472616e736d6974ULL);  // "transmit"
+  Rng rx_rng = root.fork(0x7265636569766572ULL);  // "receiver"
+  return GhmPair{
+      std::make_unique<GhmTransmitter>(policy, tx_rng),
+      std::make_unique<GhmReceiver>(policy, rx_rng),
+  };
+}
+
+}  // namespace s2d

@@ -1,0 +1,54 @@
+#include "core/packets.h"
+
+namespace s2d {
+namespace {
+
+constexpr std::uint8_t kDataTag = 0xd1;
+constexpr std::uint8_t kAckTag = 0xa2;
+
+}  // namespace
+
+Bytes DataPacket::encode() const {
+  Writer w;
+  w.u8(kDataTag);
+  w.varint(msg.id);
+  w.str(msg.payload);
+  w.bits(rho);
+  w.bits(tau);
+  return w.take();
+}
+
+std::optional<DataPacket> DataPacket::decode(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kDataTag) return std::nullopt;
+  DataPacket p;
+  p.msg.id = r.varint();
+  p.msg.payload = r.str();
+  p.rho = r.bits();
+  p.tau = r.bits();
+  if (!r.ok_and_done()) return std::nullopt;
+  return p;
+}
+
+Bytes AckPacket::encode() const {
+  Writer w;
+  w.u8(kAckTag);
+  w.bits(rho);
+  w.bits(tau);
+  w.varint(retry);
+  return w.take();
+}
+
+std::optional<AckPacket> AckPacket::decode(std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kAckTag) return std::nullopt;
+  AckPacket p;
+  p.rho = r.bits();
+  p.tau = r.bits();
+  p.retry = r.varint();
+  if (!r.ok_and_done()) return std::nullopt;
+  return p;
+}
+
+}  // namespace s2d

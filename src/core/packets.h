@@ -1,0 +1,45 @@
+// Wire packets of the GHM protocol.
+//
+// Two packet kinds travel between the stations:
+//
+//   DataPacket  (m, rho, tau)   T -> R   the message, the receiver's
+//                                         challenge being echoed, and the
+//                                         transmitter's random string.
+//   AckPacket   (rho, tau, i)   R -> T   the receiver's current challenge,
+//                                         the last tau it accepted, and the
+//                                         RETRY counter i^R.
+//
+// Decoding is defensive: malformed bytes decode to nullopt and the modules
+// ignore them, so even a misrouted or truncated delivery can never crash a
+// station (the model's causality axiom makes forgeries impossible, but the
+// code does not rely on that).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "link/actions.h"
+#include "util/bitstring.h"
+#include "util/codec.h"
+
+namespace s2d {
+
+struct DataPacket {
+  Message msg;
+  BitString rho;  // echoed challenge
+  BitString tau;  // transmitter's random string
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<DataPacket> decode(std::span<const std::byte> bytes);
+};
+
+struct AckPacket {
+  BitString rho;            // receiver's current challenge rho^R
+  BitString tau;            // last accepted tau (tau^R)
+  std::uint64_t retry = 0;  // i^R
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<AckPacket> decode(std::span<const std::byte> bytes);
+};
+
+}  // namespace s2d

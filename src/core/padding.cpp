@@ -1,0 +1,80 @@
+#include "core/padding.h"
+
+#include "util/codec.h"
+
+namespace s2d {
+
+Bytes pad_to_bucket(const Bytes& packet, std::size_t bucket) {
+  if (bucket == 0) bucket = 1;
+  Writer w;
+  w.varint(packet.size());
+  w.blob(packet);  // blob adds its own length prefix; harmless redundancy
+  Bytes out = w.take();
+  const std::size_t rem = out.size() % bucket;
+  if (rem != 0) out.resize(out.size() + (bucket - rem), std::byte{0});
+  return out;
+}
+
+std::optional<Bytes> unpad(std::span<const std::byte> padded) {
+  Reader r(padded);
+  const std::uint64_t len = r.varint();
+  Bytes inner = r.blob();
+  if (!r.ok() || inner.size() != len) return std::nullopt;
+  // Trailing padding bytes are ignored by construction.
+  return inner;
+}
+
+void PaddedTransmitter::repad(TxOutbox& inner_out, TxOutbox& out) {
+  for (auto& pkt : inner_out.pkts()) {
+    out.send_pkt(pad_to_bucket(pkt, bucket_));
+  }
+  inner_out.pkts().clear();
+  if (inner_out.ok_signalled()) out.ok();
+}
+
+void PaddedTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
+  TxOutbox inner_out;
+  inner_->on_send_msg(m, inner_out);
+  repad(inner_out, out);
+}
+
+void PaddedTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
+                                       TxOutbox& out) {
+  const auto inner_pkt = unpad(pkt);
+  if (!inner_pkt) return;  // not one of ours (or corrupted): drop
+  TxOutbox inner_out;
+  inner_->on_receive_pkt(*inner_pkt, inner_out);
+  repad(inner_out, out);
+}
+
+void PaddedTransmitter::on_timer(TxOutbox& out) {
+  TxOutbox inner_out;
+  inner_->on_timer(inner_out);
+  repad(inner_out, out);
+}
+
+void PaddedReceiver::repad(RxOutbox& inner_out, RxOutbox& out) {
+  for (auto& pkt : inner_out.pkts()) {
+    out.send_pkt(pad_to_bucket(pkt, bucket_));
+  }
+  inner_out.pkts().clear();
+  for (auto& m : inner_out.delivered()) out.deliver(std::move(m));
+  inner_out.delivered().clear();
+}
+
+void PaddedReceiver::on_receive_pkt(std::span<const std::byte> pkt,
+                                    RxOutbox& out) {
+  const auto inner_pkt = unpad(pkt);
+  if (!inner_pkt) return;
+  RxOutbox inner_out;
+  inner_->on_receive_pkt(*inner_pkt, inner_out);
+  repad(inner_out, out);
+}
+
+void PaddedReceiver::on_retry(RxOutbox& out) {
+  RxOutbox inner_out;
+  inner_->on_retry(inner_out);
+  repad(inner_out, out);
+}
+
+}  // namespace s2d

@@ -1,0 +1,129 @@
+#include "core/policy.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace s2d {
+namespace {
+
+std::uint64_t ceil_log2_inverse(double epsilon) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  return static_cast<std::uint64_t>(std::ceil(std::log2(1.0 / epsilon)));
+}
+
+}  // namespace
+
+const char* GrowthPolicy::kPolicyNames[4] = {"geometric", "paper_linear",
+                                             "quadratic", "aggressive"};
+
+GrowthPolicy::GrowthPolicy(Shape shape, double epsilon, std::string name,
+                           std::size_t fixed_bits)
+    : shape_(shape), epsilon_(epsilon),
+      log_inv_eps_(ceil_log2_inverse(epsilon)), name_(std::move(name)),
+      fixed_bits_(fixed_bits) {
+  // Constructing an unsound growing policy is a programming error: the
+  // analysis of Theorems 3/7/8 does not apply to it. The fixed-nonce
+  // shape is knowingly unsound (it exists to be attacked); kCustom is
+  // validated in custom() once its functions are installed.
+  assert(shape_ == Shape::kFixed || shape_ == Shape::kCustom || sound());
+}
+
+GrowthPolicy GrowthPolicy::geometric(double epsilon) {
+  return {Shape::kGeometric, epsilon, "geometric"};
+}
+GrowthPolicy GrowthPolicy::paper_linear(double epsilon) {
+  return {Shape::kPaperLinear, epsilon, "paper_linear"};
+}
+GrowthPolicy GrowthPolicy::quadratic(double epsilon) {
+  return {Shape::kQuadratic, epsilon, "quadratic"};
+}
+GrowthPolicy GrowthPolicy::aggressive(double epsilon) {
+  return {Shape::kAggressive, epsilon, "aggressive"};
+}
+GrowthPolicy GrowthPolicy::fixed_nonce(std::size_t bits,
+                                       double nominal_epsilon) {
+  return {Shape::kFixed, nominal_epsilon, "fixed_nonce", bits};
+}
+
+GrowthPolicy GrowthPolicy::custom(
+    std::string name, double epsilon,
+    std::function<std::size_t(std::uint64_t)> size_fn,
+    std::function<std::uint64_t(std::uint64_t)> bound_fn) {
+  GrowthPolicy p(Shape::kCustom, epsilon, std::move(name), 0);
+  // The functions must be installed before the soundness re-check; the
+  // delegating constructor validated a placeholder, so re-assert here.
+  p.size_fn_ = std::move(size_fn);
+  p.bound_fn_ = std::move(bound_fn);
+  assert(p.sound());
+  return p;
+}
+
+GrowthPolicy GrowthPolicy::by_name(const std::string& name, double epsilon) {
+  if (name == "geometric") return geometric(epsilon);
+  if (name == "paper_linear") return paper_linear(epsilon);
+  if (name == "quadratic") return quadratic(epsilon);
+  if (name == "aggressive") return aggressive(epsilon);
+  assert(false && "unknown policy name");
+  return geometric(epsilon);
+}
+
+std::size_t GrowthPolicy::size(std::uint64_t t) const noexcept {
+  assert(t >= 1);
+  const std::uint64_t L = log_inv_eps_;
+  std::uint64_t bits = 0;
+  switch (shape_) {
+    case Shape::kGeometric:
+      bits = 2 * t + 4 + L;
+      break;
+    case Shape::kPaperLinear:
+      bits = t + 4 + L;
+      break;
+    case Shape::kQuadratic:
+      bits = 2 * t + 4 + L;
+      break;
+    case Shape::kAggressive:
+      bits = 4 * t + 8 + L;
+      break;
+    case Shape::kFixed:
+      return fixed_bits_;
+    case Shape::kCustom:
+      return size_fn_ ? size_fn_(t) : 1;
+  }
+  return static_cast<std::size_t>(bits);
+}
+
+std::uint64_t GrowthPolicy::bound(std::uint64_t t) const noexcept {
+  assert(t >= 1);
+  // Clamp the exponent so the arithmetic cannot overflow; in practice an
+  // execution reaching epoch 40 has already absorbed ~10^12 errors.
+  const std::uint64_t tc = t < 40 ? t : 40;
+  switch (shape_) {
+    case Shape::kGeometric:
+      return std::uint64_t{1} << tc;
+    case Shape::kPaperLinear:
+      return t / 2 > 1 ? t / 2 : 1;  // floor(t/2), at least 1
+    case Shape::kQuadratic:
+      return t * t;
+    case Shape::kAggressive:
+      return std::uint64_t{1} << (2 * tc < 62 ? 2 * tc : 62);
+    case Shape::kFixed:
+      // Never extend: the epoch budget is infinite.
+      return UINT64_MAX;
+    case Shape::kCustom:
+      return bound_fn_ ? bound_fn_(t) : UINT64_MAX;
+  }
+  return 1;
+}
+
+double GrowthPolicy::lemma4_budget() const noexcept {
+  double total = 0.0;
+  for (std::uint64_t t = 1; t <= 4096; ++t) {
+    const double term = static_cast<double>(bound(t)) *
+                        std::exp2(-static_cast<double>(size(t)));
+    total += term;
+    if (t > 8 && term < 1e-300) break;
+  }
+  return total;
+}
+
+}  // namespace s2d

@@ -1,0 +1,75 @@
+#include "core/receiver.h"
+
+namespace s2d {
+
+GhmReceiver::GhmReceiver(GrowthPolicy policy, Rng rng)
+    : policy_(policy), rng_(rng) {
+  on_crash();  // the initial state equals the post-crash state (§2.1)
+}
+
+BitString GhmReceiver::tau_crash() { return BitString::from_binary("0"); }
+
+void GhmReceiver::reset_after_boundary() {
+  t_ = 1;
+  num_ = 0;
+  i_ = 1;
+  rho_ = BitString::random(policy_.size(t_), rng_);
+}
+
+void GhmReceiver::on_crash() {
+  // Figure 5, crash^R effect: k=1; t=1; num=0; tau = tau_crash;
+  // rho = random(size(t, eps)); i=1. All volatile state is rebuilt.
+  tau_ = tau_crash();
+  reset_after_boundary();
+}
+
+void GhmReceiver::on_retry(RxOutbox& out) {
+  // Figure 5, RETRY: send (rho^R, tau^R, i^R); increment(i^R). The
+  // increment rule is the policy's third tunable (Figure 3).
+  out.send_pkt(AckPacket{rho_, tau_, i_}.encode());
+  i_ = policy_.increment(i_);
+}
+
+void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
+                                 RxOutbox& out) {
+  const auto data = DataPacket::decode(pkt);
+  if (!data) return;  // not a data packet: provably stale or misrouted
+
+  if (data->rho == rho_) {
+    if (tau_.is_prefix_of(data->tau)) {
+      // Same message as the last accepted one, with an equal or extended
+      // tau: adopt the longer tau but do not deliver again (this is what
+      // suppresses duplicates when our ack was lost and the transmitter
+      // extended tau in the meantime).
+      tau_ = data->tau;
+    } else if (!data->tau.is_prefix_of(tau_)) {
+      // tau incomparable with tau^R: a genuinely new message.
+      out.deliver(data->msg);
+      tau_ = data->tau;
+      ++k_;
+      reset_after_boundary();
+    }
+    // Strict prefix of tau^R: an old packet of the already-accepted
+    // message; ignore.
+    return;
+  }
+
+  // Wrong challenge. Only packets carrying a challenge of the *current*
+  // length are charged against the epoch budget; shorter (or longer)
+  // challenges are provably stale and must not trigger extensions, or the
+  // adversary could starve liveness by replaying ancient packets.
+  if (data->rho.size() == rho_.size()) {
+    ++num_;
+    if (num_ >= policy_.bound(t_)) {
+      ++t_;
+      num_ = 0;
+      rho_.append(BitString::random(policy_.size(t_), rng_));
+    }
+  }
+}
+
+std::size_t GhmReceiver::state_bits() const {
+  return rho_.size() + tau_.size() + 3 * 64;  // strings + num/t/i counters
+}
+
+}  // namespace s2d

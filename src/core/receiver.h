@@ -1,0 +1,71 @@
+// GhmReceiver: the receiving-station protocol (Appendix A, Figure 5).
+//
+// State (superscript R in the paper):
+//   rho   (rho^R)  the current random challenge; fresh after every delivery
+//                  and every crash, *extended* by size(t, eps) random bits
+//                  after bound(t) wrong full-length packets.
+//   tau   (tau^R)  the tau of the last accepted message; tau_crash after a
+//                  crash so that the next genuine message (whose tau never
+//                  has tau_crash as a prefix, by transmitter construction)
+//                  is always incomparable and therefore delivered.
+//   num, t         wrong-packet counter and extension epoch for rho.
+//   retry (i^R)    RETRY counter since the last delivery/crash; shipped in
+//                  every ack so the transmitter can distinguish fresh acks
+//                  from replayed ones (liveness, Theorem 9).
+//
+// Acceptance rule for an incoming (m, rho, tau):
+//   * rho == rho^R and tau^R is a prefix of tau  -> silently adopt tau
+//     (same message, possibly with an extended tau; no duplicate delivery);
+//   * rho == rho^R and tau incomparable with tau^R -> receive_msg(m),
+//     adopt tau, reset challenge machinery;
+//   * rho != rho^R but of the *current* challenge length -> count towards
+//     num and possibly extend rho (the anti-replay mechanism of §3);
+//   * anything else (stale shorter/longer rho, tau a strict prefix of
+//     tau^R) -> ignore silently; such packets are provably old and, per
+//     the liveness proof, must not count as errors.
+#pragma once
+
+#include "core/packets.h"
+#include "core/policy.h"
+#include "link/module.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+class GhmReceiver final : public IReceiver {
+ public:
+  GhmReceiver(GrowthPolicy policy, Rng rng);
+
+  void on_receive_pkt(std::span<const std::byte> pkt, RxOutbox& out) override;
+  void on_retry(RxOutbox& out) override;
+  void on_crash() override;
+
+  [[nodiscard]] std::size_t state_bits() const override;
+  [[nodiscard]] std::string name() const override { return "ghm-receiver"; }
+
+  // Introspection for tests and the storage experiment (E5).
+  [[nodiscard]] const BitString& rho() const noexcept { return rho_; }
+  [[nodiscard]] const BitString& tau() const noexcept { return tau_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return t_; }
+  [[nodiscard]] std::uint64_t wrong_count() const noexcept { return num_; }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t retry_counter() const noexcept { return i_; }
+
+  /// tau_crash: the reserved post-crash tau value ("0", Figure 3).
+  static BitString tau_crash();
+
+ private:
+  void reset_after_boundary();  // common to crash^R and delivery
+
+  GrowthPolicy policy_;
+  Rng rng_;
+
+  BitString rho_;         // rho^R
+  BitString tau_;         // tau^R
+  std::uint64_t num_ = 0;  // num^R
+  std::uint64_t t_ = 1;    // t^R
+  std::uint64_t i_ = 1;    // i^R
+  std::uint64_t k_ = 0;    // messages delivered (analysis only)
+};
+
+}  // namespace s2d

@@ -1,0 +1,58 @@
+#include "core/session.h"
+
+namespace s2d {
+
+std::uint64_t Session::send(std::string payload) {
+  const std::uint64_t id = next_id_++;
+  queue_.push_back(Message{id, std::move(payload)});
+  status_[id] = Status::kQueued;
+  settle();
+  return id;
+}
+
+void Session::settle() {
+  // Fold in OK / crash^T transitions that happened since the last poll.
+  if (in_flight_) {
+    if (link_.stats().oks > oks_seen_) {
+      status_[in_flight_id_] = Status::kCompleted;
+      ++completed_;
+      in_flight_ = false;
+    } else if (link_.stats().aborted > aborts_seen_) {
+      status_[in_flight_id_] = Status::kAborted;
+      ++aborted_;
+      in_flight_ = false;
+    }
+  }
+  oks_seen_ = link_.stats().oks;
+  aborts_seen_ = link_.stats().aborted;
+
+  if (!in_flight_ && !queue_.empty() && link_.tm_ready()) {
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ = true;
+    in_flight_id_ = m.id;
+    status_[m.id] = Status::kInFlight;
+    link_.offer(std::move(m));
+  }
+}
+
+void Session::pump(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    settle();
+    if (idle()) return;  // nothing to do; don't burn steps
+    link_.step();
+  }
+  settle();
+}
+
+bool Session::pump_until_idle(std::uint64_t max_steps) {
+  pump(max_steps);
+  return idle();
+}
+
+Session::Status Session::status(std::uint64_t id) const {
+  const auto it = status_.find(id);
+  return it == status_.end() ? Status::kUnknown : it->second;
+}
+
+}  // namespace s2d

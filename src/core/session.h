@@ -1,0 +1,92 @@
+// Session: an application-facing facade over a DataLink.
+//
+// The raw DataLink interface mirrors the paper's model: the environment
+// must respect Axiom 1 (one message in flight), assign unique message ids
+// (Axiom 2) and drive the executor. A Session does all of that for the
+// caller:
+//
+//   Session s(link);
+//   auto a = s.send("first");
+//   auto b = s.send("second");          // queued until `a` completes
+//   s.pump(10'000);                     // advance the world
+//   s.status(a);                        // kCompleted / kInFlight / ...
+//   for (auto& m : s.take_received()) ...   // receiver-side deliveries
+//
+// A message whose transfer a crash^T cuts short is reported kAborted; per
+// the model its fate is unknown to the transmitter (it may or may not
+// have been delivered) and re-sending it is a *new* message — exactly the
+// decision the paper leaves to the higher layer, surfaced in the API.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "link/datalink.h"
+
+namespace s2d {
+
+class Session {
+ public:
+  enum class Status : std::uint8_t {
+    kUnknown,   // id never seen
+    kQueued,    // waiting for the link to free up
+    kInFlight,  // offered, no OK yet
+    kCompleted, // OK received
+    kAborted,   // crash^T erased the transfer; delivery status unknown
+  };
+
+  /// The DataLink should be configured with collect_deliveries = true if
+  /// take_received() will be used.
+  explicit Session(DataLink& link) : link_(link) {}
+
+  /// Enqueues a payload; returns its message id (unique per session).
+  std::uint64_t send(std::string payload);
+
+  /// Advances the link by up to `steps` executor steps, offering queued
+  /// messages whenever the link is ready and tracking completions.
+  void pump(std::uint64_t steps);
+
+  /// Convenience: pump until every queued/in-flight message has completed
+  /// or aborted, or `max_steps` elapse. Returns true iff fully drained.
+  bool pump_until_idle(std::uint64_t max_steps);
+
+  [[nodiscard]] Status status(std::uint64_t id) const;
+
+  /// Messages delivered to the receiving station's higher layer since the
+  /// last call (payloads included).
+  [[nodiscard]] std::vector<Message> take_received() {
+    return link_.take_delivered();
+  }
+
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool idle() const noexcept {
+    return queue_.empty() && !in_flight_;
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
+  [[nodiscard]] const DataLink& link() const noexcept { return link_; }
+
+ private:
+  /// Offers the next queued message if the link is ready; updates status
+  /// bookkeeping for OK/abort transitions observed since the last poll.
+  void settle();
+
+  DataLink& link_;
+  std::uint64_t next_id_ = 1;
+  std::deque<Message> queue_;
+  std::unordered_map<std::uint64_t, Status> status_;
+
+  bool in_flight_ = false;
+  std::uint64_t in_flight_id_ = 0;
+  std::uint64_t oks_seen_ = 0;
+  std::uint64_t aborts_seen_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace s2d

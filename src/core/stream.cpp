@@ -1,0 +1,96 @@
+#include "core/stream.h"
+
+#include "util/crc32.h"
+
+namespace s2d {
+namespace stream_internal {
+namespace {
+
+constexpr std::uint8_t kChunkTag = 0xc4;
+
+std::uint32_t crc_of(std::string_view s) {
+  return Crc32::of(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+}  // namespace
+
+std::string ChunkFrame::encode() const {
+  Writer w;
+  w.u8(kChunkTag);
+  w.varint(stream_id);
+  w.varint(chunk_index);
+  w.u8(last ? 1 : 0);
+  w.varint(stream_crc);
+  w.str(data);
+  const Bytes bytes = w.take();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+std::optional<ChunkFrame> ChunkFrame::decode(std::string_view payload) {
+  const auto* data_ptr = reinterpret_cast<const std::byte*>(payload.data());
+  Reader r(std::span(data_ptr, payload.size()));
+  if (r.u8() != kChunkTag) return std::nullopt;
+  ChunkFrame f;
+  f.stream_id = r.varint();
+  f.chunk_index = r.varint();
+  f.last = r.u8() != 0;
+  f.stream_crc = static_cast<std::uint32_t>(r.varint());
+  f.data = r.str();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+}  // namespace stream_internal
+
+std::uint64_t StreamMux::send(std::string_view data,
+                              std::size_t chunk_bytes) {
+  using stream_internal::ChunkFrame;
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  const std::uint64_t id = next_stream_++;
+  const std::uint32_t crc = stream_internal::crc_of(data);
+
+  std::uint64_t index = 0;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(chunk_bytes, data.size() - off);
+    ChunkFrame frame;
+    frame.stream_id = id;
+    frame.chunk_index = index++;
+    frame.data = std::string(data.substr(off, n));
+    off += n;
+    frame.last = off >= data.size();
+    if (frame.last) frame.stream_crc = crc;
+    session_.send(frame.encode());
+  } while (off < data.size());
+  return id;
+}
+
+std::vector<ReceivedStream> StreamMux::take_completed() {
+  using stream_internal::ChunkFrame;
+  std::vector<ReceivedStream> done;
+  for (const Message& m : session_.take_received()) {
+    const auto frame = ChunkFrame::decode(m.payload);
+    if (!frame) continue;  // not a stream chunk: foreign traffic, skip
+    Partial& p = partial_[frame->stream_id];
+    if (frame->chunk_index != p.next_chunk) {
+      // The link's exactly-once in-order contract failed (or frames from
+      // a previous incarnation leaked in): poison the stream.
+      p.corrupt = true;
+    }
+    ++p.next_chunk;
+    p.data += frame->data;
+    if (frame->last) {
+      ReceivedStream out;
+      out.stream_id = frame->stream_id;
+      out.intact = !p.corrupt &&
+                   stream_internal::crc_of(p.data) == frame->stream_crc;
+      out.data = std::move(p.data);
+      partial_.erase(frame->stream_id);
+      done.push_back(std::move(out));
+    }
+  }
+  return done;
+}
+
+}  // namespace s2d

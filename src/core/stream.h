@@ -1,0 +1,81 @@
+// StreamMux: byte streams over the message link.
+//
+// The data link moves discrete messages; applications move files and
+// streams. StreamMux is the thin layer in between: it splits byte blobs
+// into chunked messages over a Session, multiplexes any number of
+// concurrent streams (chunks of different streams may interleave on the
+// link), reassembles on the receiving side, and verifies an end-to-end
+// CRC32 per stream.
+//
+// Because the link below guarantees exactly-once in-order delivery,
+// reassembly needs no sequence numbers or retransmission of its own — the
+// chunk index in the frame exists purely as a cross-check: a mismatch
+// would mean the link broke its contract, and is surfaced as a corrupt
+// stream rather than silently mis-assembled data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.h"
+#include "util/codec.h"
+
+namespace s2d {
+
+/// One reassembled stream on the receiving side.
+struct ReceivedStream {
+  std::uint64_t stream_id = 0;
+  std::string data;
+  bool intact = false;  // CRC and chunk-sequence checks passed
+};
+
+class StreamMux {
+ public:
+  /// The session's DataLink must run with collect_deliveries = true.
+  explicit StreamMux(Session& session) : session_(session) {}
+
+  /// Chunks `data` into messages of at most `chunk_bytes` payload and
+  /// enqueues them; returns the stream id. Empty streams are valid.
+  std::uint64_t send(std::string_view data, std::size_t chunk_bytes = 512);
+
+  /// Drains the session inbox, advancing partial reassemblies; returns
+  /// every stream completed since the last call.
+  std::vector<ReceivedStream> take_completed();
+
+  /// Streams currently mid-reassembly on the receive side.
+  [[nodiscard]] std::size_t partial_streams() const noexcept {
+    return partial_.size();
+  }
+
+ private:
+  struct Partial {
+    std::string data;
+    std::uint64_t next_chunk = 0;
+    bool corrupt = false;
+  };
+
+  Session& session_;
+  std::uint64_t next_stream_ = 1;
+  std::unordered_map<std::uint64_t, Partial> partial_;
+};
+
+namespace stream_internal {
+
+/// Chunk frame carried inside a Message payload.
+struct ChunkFrame {
+  std::uint64_t stream_id = 0;
+  std::uint64_t chunk_index = 0;
+  bool last = false;
+  std::uint32_t stream_crc = 0;  // only meaningful on the last chunk
+  std::string data;
+
+  [[nodiscard]] std::string encode() const;
+  static std::optional<ChunkFrame> decode(std::string_view payload);
+};
+
+}  // namespace stream_internal
+
+}  // namespace s2d

@@ -1,0 +1,92 @@
+#include "core/transmitter.h"
+
+namespace s2d {
+
+GhmTransmitter::GhmTransmitter(GrowthPolicy policy, Rng rng)
+    : policy_(policy), rng_(rng) {
+  on_crash();  // the initial state equals the post-crash state
+}
+
+BitString GhmTransmitter::fresh_tau() {
+  BitString tau = BitString::from_binary("1");  // tau'_crash, Figure 3
+  tau.append(BitString::random(policy_.size(1), rng_));
+  return tau;
+}
+
+void GhmTransmitter::on_crash() {
+  busy_ = false;
+  msg_ = Message{};
+  rho_.reset();  // the challenge died with our memory; wait for a fresh ack
+  tau_ = fresh_tau();
+  num_ = 0;
+  t_ = 1;
+  i_ = 0;
+}
+
+void GhmTransmitter::send_data(TxOutbox& out) {
+  if (!busy_ || !rho_) return;
+  out.send_pkt(DataPacket{msg_, *rho_, tau_}.encode());
+}
+
+void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
+  // A fresh tau per message is what the order condition's analysis charges
+  // against (Theorem 3: "tau_0 is randomly chosen by the transmitting
+  // station"); the epoch machinery restarts with it.
+  busy_ = true;
+  msg_ = m;
+  tau_ = fresh_tau();
+  num_ = 0;
+  t_ = 1;
+  i_ = 0;
+  send_data(out);
+}
+
+void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
+                                    TxOutbox& out) {
+  const auto ack = AckPacket::decode(pkt);
+  if (!ack) return;
+
+  // OK check first, independent of the retry filter: the receiver resets
+  // its retry counter on delivery, so the very acks that confirm our
+  // message carry small i values.
+  if (busy_ && ack->tau == tau_) {
+    busy_ = false;
+    msg_ = Message{};
+    rho_ = ack->rho;  // the challenge for the next message
+    i_ = 0;
+    out.ok();
+    return;
+  }
+
+  // Replayed or reordered ack: ignore. Responding to stale acks would let
+  // the adversary both pump unbounded responses out of us and keep
+  // flipping rho^T between old challenges, defeating stabilisation
+  // (Theorem 9's time_1/time_2 argument).
+  if (ack->retry <= i_) return;
+  i_ = ack->retry;
+
+  // Fresh ack that does not acknowledge tau^T. Adopt the challenge it
+  // carries — it is the receiver's current rho^R or a newer value than
+  // whatever we hold — and charge wrong full-length taus against the
+  // epoch budget, mirroring the receiver (Lemma 6 / Lemma 2^T).
+  rho_ = ack->rho;
+
+  if (busy_) {
+    if (ack->tau.size() == tau_.size() && ack->tau != tau_) {
+      ++num_;
+      if (num_ >= policy_.bound(t_)) {
+        ++t_;
+        num_ = 0;
+        tau_.append(BitString::random(policy_.size(t_), rng_));
+      }
+    }
+    send_data(out);
+  }
+}
+
+std::size_t GhmTransmitter::state_bits() const {
+  const std::size_t rho_bits = rho_ ? rho_->size() : 0;
+  return rho_bits + tau_.size() + msg_.payload.size() * 8 + 3 * 64;
+}
+
+}  // namespace s2d

@@ -1,0 +1,87 @@
+// GhmTransmitter: the transmitting-station protocol.
+//
+// Figure 2 of the TR scan is too damaged to transcribe, so this module is
+// reconstructed from the overview (§3) and the analysis (§4) — chiefly the
+// proofs of Theorem 3 (order), Lemma 6 (which shows the transmitter runs
+// the same num/t/bound extension machinery on tau^T as the receiver runs
+// on rho^R) and Theorem 9 (liveness, which pins down the role of the retry
+// counter i). See DESIGN.md "Reconstruction notes".
+//
+// State (superscript T):
+//   m, busy        the in-flight message, if any (Axiom 1: at most one).
+//   rho  (rho^T)   the receiver's current challenge as last learned from an
+//                  ack; echoed in every data packet. Unknown right after a
+//                  crash until the first fresh ack arrives.
+//   tau  (tau^T)   the transmitter's random string: freshly drawn at every
+//                  send_msg and crash^T, extended by size(t, eps) random
+//                  bits after bound(t) wrong full-length acks. Always
+//                  chosen with tau_crash NOT a prefix (Figure 3's
+//                  tau'_crash), so a crashed receiver can never mistake a
+//                  new message for an old one.
+//   num, t         wrong-ack counter and extension epoch for tau.
+//   i    (i^T)     highest receiver retry counter seen; acks with i <= i^T
+//                  are replays (or reorderings) and are ignored except for
+//                  the OK check, which depends only on tau equality.
+//
+// Behaviour on ack (rho, tau, i):
+//   * tau == tau^T and busy  ->  OK: the receiver accepted our message
+//     (only a delivery of m sets tau^R to our current tau). Adopt rho as
+//     the challenge for the next message.
+//   * otherwise, if i > i^T: adopt rho and i, charge a wrong full-length
+//     tau against the epoch budget (possibly extending tau^T), and — if
+//     busy — immediately retransmit (m, rho, tau^T). Replying only to
+//     fresh acks is what lets tau^T stabilise (Theorem 9).
+#pragma once
+
+#include <optional>
+
+#include "core/packets.h"
+#include "core/policy.h"
+#include "link/module.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+class GhmTransmitter final : public ITransmitter {
+ public:
+  GhmTransmitter(GrowthPolicy policy, Rng rng);
+
+  void on_send_msg(const Message& m, TxOutbox& out) override;
+  void on_receive_pkt(std::span<const std::byte> pkt, TxOutbox& out) override;
+  void on_crash() override;
+
+  [[nodiscard]] bool busy() const override { return busy_; }
+  [[nodiscard]] std::size_t state_bits() const override;
+  [[nodiscard]] std::string name() const override { return "ghm-transmitter"; }
+
+  // Introspection for tests and experiments.
+  [[nodiscard]] const BitString& tau() const noexcept { return tau_; }
+  [[nodiscard]] bool knows_challenge() const noexcept {
+    return rho_.has_value();
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return t_; }
+  [[nodiscard]] std::uint64_t wrong_count() const noexcept { return num_; }
+  [[nodiscard]] std::uint64_t highest_retry_seen() const noexcept {
+    return i_;
+  }
+
+ private:
+  /// Fresh tau^T: tau'_crash ("1") followed by size(1, eps) random bits,
+  /// guaranteeing tau_crash ("0") is not a prefix.
+  [[nodiscard]] BitString fresh_tau();
+
+  void send_data(TxOutbox& out);
+
+  GrowthPolicy policy_;
+  Rng rng_;
+
+  bool busy_ = false;
+  Message msg_;
+  std::optional<BitString> rho_;  // rho^T (the challenge to echo)
+  BitString tau_;                 // tau^T
+  std::uint64_t num_ = 0;         // num^T
+  std::uint64_t t_ = 1;           // t^T
+  std::uint64_t i_ = 0;           // i^T
+};
+
+}  // namespace s2d

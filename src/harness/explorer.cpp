@@ -1,0 +1,157 @@
+#include "harness/explorer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "harness/runner.h"
+
+namespace s2d {
+namespace {
+
+/// Outcome of simulating one decision script from the initial state.
+struct SimResult {
+  std::uint64_t tr_sent = 0;  // packets placed on each channel
+  std::uint64_t rt_sent = 0;
+  std::uint64_t oks = 0;
+  std::uint64_t safety_violations = 0;
+  ViolationCounts violations;
+};
+
+class Search {
+ public:
+  Search(const ScriptedLinkFactory& factory, const ExplorerConfig& cfg)
+      : factory_(factory), cfg_(cfg) {}
+
+  ExplorerReport run() {
+    script_.clear();
+    dfs(0);
+    return std::move(report_);
+  }
+
+ private:
+  /// Re-simulates the composition under `script_`. Deterministic: the
+  /// factory rebuilds the same seeded modules every time.
+  SimResult simulate() {
+    DataLink link = factory_(script_);
+    Rng payload_rng(0x9a9a);  // fixed: the workload is part of the system
+    std::uint64_t next_msg = 1;
+    auto maybe_offer = [&] {
+      if (next_msg <= cfg_.messages && link.tm_ready()) {
+        link.offer({next_msg, make_payload(cfg_.payload_bytes, payload_rng)});
+        ++next_msg;
+      }
+    };
+    maybe_offer();
+    for (std::size_t i = 0; i < script_.size(); ++i) {
+      link.step();
+      maybe_offer();
+    }
+    SimResult r;
+    r.tr_sent = link.tr_channel().packets_sent();
+    r.rt_sent = link.rt_channel().packets_sent();
+    r.oks = link.stats().oks;
+    r.violations = link.checker().violations();
+    r.safety_violations = r.violations.safety_total();
+    return r;
+  }
+
+  /// Candidate deliveries for one channel: the oldest undelivered ids,
+  /// plus the newest one when fanout allows (old packets probe replay
+  /// confusion, the newest drives progress).
+  void channel_options(std::uint64_t sent, const std::set<PacketId>& done,
+                       bool is_tr, std::vector<Decision>& out) const {
+    std::vector<PacketId> pending;
+    for (PacketId id = 0; id < sent; ++id) {
+      if (!done.contains(id)) pending.push_back(id);
+    }
+    std::vector<PacketId> picks;
+    if (cfg_.fifo_only) {
+      if (!pending.empty()) picks.push_back(pending.front());
+    } else {
+      const std::size_t oldest =
+          cfg_.fanout_per_channel > 1 ? cfg_.fanout_per_channel - 1 : 1;
+      for (std::size_t i = 0; i < pending.size() && picks.size() < oldest;
+           ++i) {
+        picks.push_back(pending[i]);
+      }
+      if (cfg_.fanout_per_channel > 1 && !pending.empty() &&
+          std::find(picks.begin(), picks.end(), pending.back()) ==
+              picks.end()) {
+        picks.push_back(pending.back());
+      }
+    }
+    for (PacketId id : picks) {
+      out.push_back(is_tr ? Decision::deliver_tr(id)
+                          : Decision::deliver_rt(id));
+    }
+    if (cfg_.duplicates && !done.empty()) {
+      const PacketId last = *done.rbegin();
+      out.push_back(is_tr ? Decision::deliver_tr(last)
+                          : Decision::deliver_rt(last));
+    }
+  }
+
+  void dfs(std::uint32_t depth) {
+    if (report_.truncated) return;
+    if (report_.nodes++ >= cfg_.max_nodes) {
+      report_.truncated = true;
+      return;
+    }
+
+    const SimResult sim = simulate();
+    if (sim.safety_violations > parent_violations_.back()) {
+      ++report_.violating_nodes;
+      if (report_.counterexample.empty()) {
+        report_.counterexample = script_;
+        report_.counterexample_violations = sim.violations;
+      }
+      return;  // prune below a violation: it stays violated
+    }
+    if (sim.oks >= cfg_.messages) return;  // workload complete: leaf
+    if (depth >= cfg_.max_depth) return;
+
+    // Build the option set from this node's observable state.
+    std::set<PacketId> tr_done;
+    std::set<PacketId> rt_done;
+    for (const Decision& d : script_) {
+      if (d.kind == Decision::Kind::kDeliverTR) tr_done.insert(d.pkt);
+      if (d.kind == Decision::Kind::kDeliverRT) rt_done.insert(d.pkt);
+    }
+    std::vector<Decision> options;
+    channel_options(sim.tr_sent, tr_done, /*is_tr=*/true, options);
+    channel_options(sim.rt_sent, rt_done, /*is_tr=*/false, options);
+    if (cfg_.retries) options.push_back(Decision::retry());
+    if (cfg_.tx_timer) options.push_back(Decision::tx_timer());
+    if (cfg_.crashes) {
+      options.push_back(Decision::crash_t());
+      options.push_back(Decision::crash_r());
+    }
+
+    parent_violations_.push_back(sim.safety_violations);
+    for (const Decision& d : options) {
+      script_.push_back(d);
+      dfs(depth + 1);
+      script_.pop_back();
+      if (report_.truncated) break;
+    }
+    parent_violations_.pop_back();
+  }
+
+  const ScriptedLinkFactory& factory_;
+  const ExplorerConfig& cfg_;
+  std::vector<Decision> script_;
+  // Violation count at each ancestor, so a node only reports violations
+  // its own last decision introduced. Seeded with 0 for the root's parent.
+  std::vector<std::uint64_t> parent_violations_{0};
+  ExplorerReport report_;
+};
+
+}  // namespace
+
+ExplorerReport explore(const ScriptedLinkFactory& factory,
+                       const ExplorerConfig& cfg) {
+  Search search(factory, cfg);
+  return search.run();
+}
+
+}  // namespace s2d

@@ -1,0 +1,56 @@
+#include "harness/runner.h"
+
+namespace s2d {
+
+std::string make_payload(std::size_t bytes, Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out(bytes, '\0');
+  for (auto& c : out) {
+    c = kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+RunReport run_workload(DataLink& link, const WorkloadConfig& cfg, Rng rng,
+                       std::uint64_t first_msg_id) {
+  RunReport report;
+
+  for (std::uint64_t n = 0; n < cfg.messages; ++n) {
+    if (!link.tm_ready()) {
+      // A previous message is still in flight (stalled run continuing
+      // anyway); stepping further without offering keeps Axiom 1 intact.
+      break;
+    }
+    Message m{first_msg_id + n, make_payload(cfg.payload_bytes, rng)};
+    const std::uint64_t aborted_before = link.stats().aborted;
+    const std::uint64_t steps_before = link.stats().steps;
+
+    link.offer(std::move(m));
+    ++report.offered;
+
+    const bool ok = link.run_until_ok(cfg.max_steps_per_message);
+    if (ok) {
+      ++report.completed;
+      report.steps_per_ok.add(
+          static_cast<double>(link.stats().steps - steps_before));
+    } else if (link.stats().aborted > aborted_before) {
+      ++report.aborted;
+    } else {
+      ++report.stalled;
+      if (cfg.stop_on_stall) break;
+    }
+  }
+
+  for (std::uint64_t i = 0; i < cfg.drain_steps; ++i) link.step();
+
+  report.link = link.stats();
+  report.violations = link.checker().violations();
+  report.tr_packets = link.tr_channel().packets_sent();
+  report.rt_packets = link.rt_channel().packets_sent();
+  report.tr_bytes = link.tr_channel().bytes_sent();
+  report.rt_bytes = link.rt_channel().bytes_sent();
+  return report;
+}
+
+}  // namespace s2d

@@ -1,0 +1,70 @@
+// Workload runner: drives a DataLink through a stream of unique messages
+// (Axioms 1 and 2 are its responsibility) and aggregates per-run results.
+//
+// This is the shared engine behind the tests, the examples and every
+// experiment binary: one call = one execution of D(A, ADV) on one seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "link/datalink.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace s2d {
+
+struct WorkloadConfig {
+  std::uint64_t messages = 100;
+  std::size_t payload_bytes = 32;
+
+  /// Per-message step budget. Under a fair adversary every message
+  /// completes well within this; hitting it marks the run as stalled.
+  std::uint64_t max_steps_per_message = 100000;
+
+  /// Extra executor steps after the workload finishes. Attack experiments
+  /// use this to give the adversary time to replay history against an
+  /// otherwise idle system.
+  std::uint64_t drain_steps = 0;
+
+  /// Abandon the rest of the workload once a message stalls (default) —
+  /// offering another message while one is in flight would violate
+  /// Axiom 1.
+  bool stop_on_stall = true;
+};
+
+struct RunReport {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;  // messages confirmed by OK
+  std::uint64_t aborted = 0;    // messages cut short by crash^T
+  std::uint64_t stalled = 0;    // messages that exhausted the step budget
+  Samples steps_per_ok;         // completion latency distribution
+
+  LinkStats link;
+  ViolationCounts violations;
+
+  std::uint64_t tr_packets = 0;
+  std::uint64_t rt_packets = 0;
+  std::uint64_t tr_bytes = 0;
+  std::uint64_t rt_bytes = 0;
+
+  /// Mean packets (both directions) spent per completed message.
+  [[nodiscard]] double packets_per_ok() const noexcept {
+    return completed
+               ? static_cast<double>(tr_packets + rt_packets) /
+                     static_cast<double>(completed)
+               : 0.0;
+  }
+};
+
+/// Deterministic printable payload of `bytes` characters.
+[[nodiscard]] std::string make_payload(std::size_t bytes, Rng& rng);
+
+/// Runs `cfg.messages` unique messages through `link`, then `drain_steps`
+/// extra steps, and collects the report. Message ids start at
+/// `first_msg_id` so multiple runs against one link stay unique.
+RunReport run_workload(DataLink& link, const WorkloadConfig& cfg, Rng rng,
+                       std::uint64_t first_msg_id = 1);
+
+}  // namespace s2d

@@ -1,0 +1,65 @@
+#include "link/actions.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace s2d {
+
+const char* action_name(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kSendMsg:
+      return "send_msg";
+    case ActionKind::kOk:
+      return "OK";
+    case ActionKind::kReceiveMsg:
+      return "receive_msg";
+    case ActionKind::kCrashT:
+      return "crash^T";
+    case ActionKind::kCrashR:
+      return "crash^R";
+    case ActionKind::kRetry:
+      return "RETRY";
+    case ActionKind::kSendPktTR:
+      return "send_pkt^{T->R}";
+    case ActionKind::kReceivePktTR:
+      return "receive_pkt^{T->R}";
+    case ActionKind::kSendPktRT:
+      return "send_pkt^{R->T}";
+    case ActionKind::kReceivePktRT:
+      return "receive_pkt^{R->T}";
+  }
+  return "?";
+}
+
+std::size_t Trace::count(ActionKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string Trace::render_tail(std::size_t n) const {
+  std::ostringstream out;
+  const std::size_t start = events_.size() > n ? events_.size() - n : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out << e.step << ": " << action_name(e.kind);
+    switch (e.kind) {
+      case ActionKind::kSendMsg:
+      case ActionKind::kReceiveMsg:
+        out << "(m" << e.msg_id << ")";
+        break;
+      case ActionKind::kSendPktTR:
+      case ActionKind::kReceivePktTR:
+      case ActionKind::kSendPktRT:
+      case ActionKind::kReceivePktRT:
+        out << "(p" << e.pkt_id << ", len=" << e.pkt_len << ")";
+        break;
+      default:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace s2d

@@ -1,0 +1,79 @@
+// Externally visible actions of the data-link system and execution traces.
+//
+// Section 2 of the paper specifies the system as a composition of I/O
+// automata (TM, RM, two channels, adversary). The correctness conditions of
+// §2.6 are predicates over the *sequence of external actions* of an
+// execution. We record exactly that sequence: every action that crosses a
+// module boundary becomes one TraceEvent, and the TraceChecker replays the
+// §2.6 conditions over it. Protocols under test cannot observe or influence
+// the trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2d {
+
+/// Unique identifier the channel assigns to each send_pkt action
+/// (the id passed to the adversary in new_pkt, §2.3).
+using PacketId = std::uint64_t;
+
+/// Higher-layer message. Axiom 2 (uniqueness) is realised by the unique
+/// `id`; the payload travels opaquely through the protocols.
+struct Message {
+  std::uint64_t id = 0;
+  std::string payload;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+enum class ActionKind : std::uint8_t {
+  kSendMsg,       // higher layer -> TM
+  kOk,            // TM -> higher layer
+  kReceiveMsg,    // RM -> higher layer
+  kCrashT,        // adversary -> TM
+  kCrashR,        // adversary -> RM
+  kRetry,         // RM internal action
+  kSendPktTR,     // TM -> channel T->R
+  kReceivePktTR,  // channel T->R -> RM (adversary-scheduled delivery)
+  kSendPktRT,     // RM -> channel R->T
+  kReceivePktRT,  // channel R->T -> TM
+};
+
+[[nodiscard]] const char* action_name(ActionKind kind) noexcept;
+
+struct TraceEvent {
+  ActionKind kind{};
+  std::uint64_t step = 0;    // executor step at which the action occurred
+  std::uint64_t msg_id = 0;  // for kSendMsg / kReceiveMsg
+  PacketId pkt_id = 0;       // for packet actions
+  std::size_t pkt_len = 0;   // wire length, the only content-correlated
+                             // attribute the adversary ever sees
+};
+
+/// Append-only record of one execution's external actions.
+class Trace {
+ public:
+  void append(TraceEvent ev) { events_.push_back(ev); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Number of events of the given kind (convenience for tests).
+  [[nodiscard]] std::size_t count(ActionKind kind) const noexcept;
+
+  /// Human-readable rendering of the last `n` events (diagnostics).
+  [[nodiscard]] std::string render_tail(std::size_t n = 40) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace s2d

@@ -1,0 +1,117 @@
+// The adversary interface of §2.4.
+//
+// The adversary is the scheduler of the composed system: at each executor
+// step it observes the AdversaryView — which exposes *only* packet
+// identifiers and lengths (content-obliviousness, §2.5, enforced here by
+// the type system: there is no way to reach packet bytes through this
+// interface) — and picks one decision: deliver a previously sent packet on
+// either channel, crash a station, let the receiver's RETRY fire, fire the
+// transmitter timer, or do nothing.
+//
+// Axiom 3 (fairness) is a property of adversaries, not of channels; the
+// FairnessEnvelope in src/adversary/ turns any adversary into a fair one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "link/channel.h"
+
+namespace s2d {
+
+/// Read-only metadata view handed to the adversary each step.
+class AdversaryView {
+ public:
+  AdversaryView(const Channel& tr, const Channel& rt, std::uint64_t step,
+                std::uint64_t crashes_t, std::uint64_t crashes_r) noexcept
+      : tr_(tr), rt_(rt), step_(step), crashes_t_(crashes_t),
+        crashes_r_(crashes_r) {}
+
+  /// All send_pkt^{T->R} actions so far (id, length, step) — the stream of
+  /// new_pkt^{T->R} notifications.
+  [[nodiscard]] const std::vector<PacketMeta>& tr_packets() const noexcept {
+    return tr_.history();
+  }
+  /// All send_pkt^{R->T} actions so far.
+  [[nodiscard]] const std::vector<PacketMeta>& rt_packets() const noexcept {
+    return rt_.history();
+  }
+
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+  [[nodiscard]] std::uint64_t crashes_t() const noexcept { return crashes_t_; }
+  [[nodiscard]] std::uint64_t crashes_r() const noexcept { return crashes_r_; }
+
+ private:
+  const Channel& tr_;
+  const Channel& rt_;
+  std::uint64_t step_;
+  std::uint64_t crashes_t_;
+  std::uint64_t crashes_r_;
+};
+
+struct Decision {
+  enum class Kind : std::uint8_t {
+    kIdle,       // no action this step
+    kDeliverTR,  // deliver_pkt^{T->R}(pkt)
+    kDeliverRT,  // deliver_pkt^{R->T}(pkt)
+    kCrashT,
+    kCrashR,
+    kRetry,    // schedule the RM RETRY internal action
+    kTxTimer,  // fire the transmitter's retransmission timer
+    // Non-causal channel extension (§5 open problem / §2.5 noise
+    // discussion): deliver a *mutated copy* of a previously sent packet —
+    // the executor flips a few random bits, modelling line noise that the
+    // lower layer failed to filter. The adversary still never sees packet
+    // contents; it only points at an id. Enabled per-execution via
+    // DataLinkConfig::allow_noise.
+    kMutateTR,
+    kMutateRT,
+    // Deliver a freshly forged packet of `pkt` bytes with uniformly random
+    // content (the §5 malicious non-causal channel: "deliver packets that
+    // were not sent"). The content is drawn by the executor, not the
+    // adversary — content-obliviousness is preserved; the adversary picks
+    // only the length. Also gated by DataLinkConfig::allow_noise.
+    kForgeTR,
+    kForgeRT,
+  };
+
+  Kind kind = Kind::kIdle;
+  PacketId pkt = 0;  // packet id, or forged length for kForge*
+
+  static Decision idle() noexcept { return {Kind::kIdle, 0}; }
+  static Decision deliver_tr(PacketId id) noexcept {
+    return {Kind::kDeliverTR, id};
+  }
+  static Decision deliver_rt(PacketId id) noexcept {
+    return {Kind::kDeliverRT, id};
+  }
+  static Decision crash_t() noexcept { return {Kind::kCrashT, 0}; }
+  static Decision crash_r() noexcept { return {Kind::kCrashR, 0}; }
+  static Decision retry() noexcept { return {Kind::kRetry, 0}; }
+  static Decision tx_timer() noexcept { return {Kind::kTxTimer, 0}; }
+  static Decision mutate_tr(PacketId id) noexcept {
+    return {Kind::kMutateTR, id};
+  }
+  static Decision mutate_rt(PacketId id) noexcept {
+    return {Kind::kMutateRT, id};
+  }
+  static Decision forge_tr(std::size_t length) noexcept {
+    return {Kind::kForgeTR, length};
+  }
+  static Decision forge_rt(std::size_t length) noexcept {
+    return {Kind::kForgeRT, length};
+  }
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// One scheduling decision. Called once per executor step.
+  virtual Decision next(const AdversaryView& view) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace s2d

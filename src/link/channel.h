@@ -1,0 +1,76 @@
+// The communication channel of §2.3.
+//
+// The channel itself is trivially honest: it remembers every packet ever
+// placed on it under a fresh identifier and hands back the exact bytes when
+// asked to deliver that identifier. Loss is "never ask", duplication is
+// "ask twice", reordering is "ask in a different order" — all three are
+// the *adversary's* choices (§2.4), not channel behaviour. Causality (every
+// packet received was previously sent) holds by construction because
+// delivery is lookup by id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "link/actions.h"
+#include "util/codec.h"
+
+namespace s2d {
+
+/// Metadata about one send_pkt action: everything the adversary is allowed
+/// to see (§2.4: new_pkt carries the identifier and the length only).
+struct PacketMeta {
+  PacketId id = 0;
+  std::size_t length = 0;
+  std::uint64_t sent_step = 0;
+};
+
+class Channel {
+ public:
+  explicit Channel(std::string name) : name_(std::move(name)) {}
+
+  /// Places `payload` on the channel; returns the fresh identifier
+  /// (the new_pkt notification's id). The packet is retained forever —
+  /// the adversary may deliver it any number of times, arbitrarily later.
+  PacketId send(Bytes payload, std::uint64_t step);
+
+  /// Bytes of a previously sent packet, or nullopt for an unknown id
+  /// (attempting to deliver an unknown id is an adversary bug; the
+  /// executor treats it as a no-op so a buggy adversary cannot forge
+  /// packets, preserving the causality axiom).
+  [[nodiscard]] std::optional<std::span<const std::byte>> payload(
+      PacketId id) const noexcept;
+
+  [[nodiscard]] std::size_t length(PacketId id) const noexcept;
+
+  /// Adversary-visible history of all send_pkt actions on this channel.
+  [[nodiscard]] const std::vector<PacketMeta>& history() const noexcept {
+    return meta_;
+  }
+
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return static_cast<std::uint64_t>(meta_.size());
+  }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return deliveries_;
+  }
+  void note_delivery() noexcept { ++deliveries_; }
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<Bytes> payloads_;  // indexed by PacketId
+  std::vector<PacketMeta> meta_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,122 @@
+#include "link/checker.h"
+
+#include <sstream>
+
+namespace s2d {
+
+std::string ViolationCounts::summary() const {
+  std::ostringstream out;
+  out << "causality=" << causality << " order=" << order
+      << " duplication=" << duplication << " replay=" << replay
+      << " axiom=" << axiom;
+  return out.str();
+}
+
+void TraceChecker::on_event(const TraceEvent& ev) {
+  ++seq_;
+  switch (ev.kind) {
+    case ActionKind::kSendMsg: {
+      ++sends_;
+      // Axiom 1: between two consecutive send_msg actions there is an OK
+      // or crash^T.
+      if (tm_busy_) ++counts_.axiom;
+      tm_busy_ = true;
+      have_inflight_ = true;
+      inflight_msg_ = ev.msg_id;
+      MsgState& st = msgs_[ev.msg_id];
+      // Axiom 2: at most one send_msg(m) per message.
+      if (st.sent) ++counts_.axiom;
+      st.sent = true;
+      st.sent_seq = seq_;
+      break;
+    }
+
+    case ActionKind::kOk: {
+      ++oks_;
+      if (!have_inflight_) {
+        // OK with no message in flight: a protocol bug surfacing as an
+        // order violation (there is no send_msg the OK could confirm).
+        ++counts_.order;
+        break;
+      }
+      MsgState& st = msgs_[inflight_msg_];
+      // Order condition (Theorem 3): the OK-extension of an execution
+      // ending in send_msg(m) must contain receive_msg(m).
+      if (!(st.delivered && st.delivered_seq > st.sent_seq)) {
+        ++counts_.order;
+      }
+      st.completed = true;
+      st.completed_seq = seq_;
+      tm_busy_ = false;
+      have_inflight_ = false;
+      break;
+    }
+
+    case ActionKind::kReceiveMsg: {
+      ++deliveries_;
+      auto it = msgs_.find(ev.msg_id);
+      if (it == msgs_.end() || !it->second.sent) {
+        // Causality: delivered a message that was never sent.
+        ++counts_.causality;
+        // Record it so later duplicates are still tracked.
+        MsgState& st = msgs_[ev.msg_id];
+        st.delivered = true;
+        st.delivered_seq = seq_;
+        st.crash_r_epoch_at_delivery = crash_r_epoch_;
+        have_boundary_ = true;
+        boundary_seq_ = seq_;
+        break;
+      }
+      MsgState& st = it->second;
+
+      // No-duplication (Theorem 8): a second delivery without an
+      // intervening crash^R.
+      if (st.delivered && st.crash_r_epoch_at_delivery == crash_r_epoch_) {
+        ++counts_.duplication;
+      }
+
+      // No-replay (Theorem 7): m was completed (OK or crash^T after its
+      // send) strictly before the previous receive_msg/crash^R boundary.
+      if (have_boundary_ && st.completed && st.completed_seq < boundary_seq_) {
+        ++counts_.replay;
+      }
+
+      st.delivered = true;
+      st.delivered_seq = seq_;
+      st.crash_r_epoch_at_delivery = crash_r_epoch_;
+      have_boundary_ = true;
+      boundary_seq_ = seq_;
+      break;
+    }
+
+    case ActionKind::kCrashT: {
+      // The in-flight message (if any) is aborted: the higher layer gets
+      // no OK, and per §2.6 the message counts as completed for the
+      // purpose of the no-replay condition's M_alpha set.
+      if (have_inflight_) {
+        MsgState& st = msgs_[inflight_msg_];
+        st.completed = true;
+        st.completed_seq = seq_;
+      }
+      tm_busy_ = false;
+      have_inflight_ = false;
+      break;
+    }
+
+    case ActionKind::kCrashR: {
+      ++crash_r_epoch_;
+      have_boundary_ = true;
+      boundary_seq_ = seq_;
+      break;
+    }
+
+    case ActionKind::kRetry:
+    case ActionKind::kSendPktTR:
+    case ActionKind::kReceivePktTR:
+    case ActionKind::kSendPktRT:
+    case ActionKind::kReceivePktRT:
+      break;
+  }
+}
+
+}  // namespace s2d

@@ -1,0 +1,111 @@
+// TraceChecker: online evaluation of the §2.6 correctness conditions.
+//
+// The checker consumes the external-action trace event by event and counts
+// violations of each safety condition. Because the conditions in the paper
+// are probabilistic ("... with probability at least 1 - eps"), a single run
+// yields violation *counts*; experiments aggregate counts over many seeded
+// runs into frequencies and compare them against eps.
+//
+// Conditions implemented (names follow §2.6):
+//
+//   causality      every receive_msg(m) is preceded by a unique send_msg(m).
+//                  (Theorem 1 proves this holds with probability 1 for GHM;
+//                  a violation would indicate packet forgery.)
+//
+//   order          whenever OK occurs for the in-flight message m, a
+//                  receive_msg(m) occurred between send_msg(m) and the OK.
+//                  (Theorem 3: holds except with probability eps.)
+//
+//   no-duplication a message is delivered at most once unless a crash^R
+//                  intervenes between the deliveries (Theorem 8).
+//
+//   no-replay      at each receive_msg(m): let b be the previous
+//                  receive_msg/crash^R event ("alpha terminates in ...").
+//                  Violation iff m was already *completed* — its send_msg
+//                  was followed by OK or crash^T — before b (Theorem 7).
+//
+// The checker also validates the environment axioms (Axiom 1 message
+// spacing, Axiom 2 unique send ids) so harness bugs surface as
+// `axiom_violations` instead of silently corrupting statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "link/actions.h"
+
+namespace s2d {
+
+struct ViolationCounts {
+  std::uint64_t causality = 0;
+  std::uint64_t order = 0;
+  std::uint64_t duplication = 0;
+  std::uint64_t replay = 0;
+  std::uint64_t axiom = 0;
+
+  [[nodiscard]] std::uint64_t safety_total() const noexcept {
+    return causality + order + duplication + replay;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class TraceChecker {
+ public:
+  /// Feed one event. Events must arrive in trace order.
+  void on_event(const TraceEvent& ev);
+
+  /// Convenience: replay a whole trace.
+  void check(const Trace& trace) {
+    for (const auto& ev : trace.events()) on_event(ev);
+  }
+
+  [[nodiscard]] const ViolationCounts& violations() const noexcept {
+    return counts_;
+  }
+
+  [[nodiscard]] bool clean() const noexcept {
+    return counts_.safety_total() == 0 && counts_.axiom == 0;
+  }
+
+  // Progress statistics (inputs to the liveness experiments).
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return deliveries_;
+  }
+  [[nodiscard]] std::uint64_t oks() const noexcept { return oks_; }
+  [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
+
+ private:
+  struct MsgState {
+    std::uint64_t sent_seq = 0;        // trace index of send_msg
+    bool sent = false;
+    bool completed = false;            // followed by OK or crash^T
+    std::uint64_t completed_seq = 0;   // trace index of that OK / crash^T
+    bool delivered = false;
+    std::uint64_t delivered_seq = 0;   // trace index of latest receive_msg
+    std::uint64_t crash_r_epoch_at_delivery = 0;
+  };
+
+  ViolationCounts counts_;
+  std::unordered_map<std::uint64_t, MsgState> msgs_;
+
+  std::uint64_t seq_ = 0;  // index of the current event in the trace
+  bool tm_busy_ = false;   // between send_msg and OK/crash^T (Axiom 1)
+  bool have_inflight_ = false;
+  std::uint64_t inflight_msg_ = 0;
+
+  // Trace index of the most recent receive_msg or crash^R ("the end of
+  // alpha" in the no-replay condition); 0 means none yet.
+  bool have_boundary_ = false;
+  std::uint64_t boundary_seq_ = 0;
+
+  std::uint64_t crash_r_epoch_ = 0;  // number of crash^R events so far
+
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t oks_ = 0;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,252 @@
+#include "link/datalink.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace s2d {
+
+DataLink::DataLink(std::unique_ptr<ITransmitter> tm,
+                   std::unique_ptr<IReceiver> rm,
+                   std::unique_ptr<Adversary> adv, DataLinkConfig cfg)
+    : tm_(std::move(tm)), rm_(std::move(rm)), adv_(std::move(adv)),
+      cfg_(cfg), noise_rng_(cfg.noise_seed) {
+  assert(tm_ && rm_ && adv_);
+}
+
+Bytes DataLink::forge(std::size_t length) {
+  // Cap so a buggy adversary cannot request gigabyte forgeries.
+  length = std::min<std::size_t>(length, std::size_t{1} << 16);
+  Bytes out(length);
+  for (auto& b : out) {
+    b = static_cast<std::byte>(noise_rng_.next_u64() & 0xff);
+  }
+  return out;
+}
+
+Bytes DataLink::mutate(std::span<const std::byte> original) {
+  Bytes out(original.begin(), original.end());
+  if (out.empty()) return out;
+  const std::uint32_t flips = static_cast<std::uint32_t>(
+      noise_rng_.next_range(1, cfg_.noise_max_flips));
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    const auto byte_idx =
+        static_cast<std::size_t>(noise_rng_.next_below(out.size()));
+    const auto bit = static_cast<int>(noise_rng_.next_below(8));
+    out[byte_idx] ^= static_cast<std::byte>(1 << bit);
+  }
+  return out;
+}
+
+void DataLink::record(TraceEvent ev) {
+  ev.step = stats_.steps;
+  checker_.on_event(ev);
+  if (!cfg_.keep_trace) return;
+  switch (ev.kind) {
+    case ActionKind::kSendPktTR:
+    case ActionKind::kReceivePktTR:
+    case ActionKind::kSendPktRT:
+    case ActionKind::kReceivePktRT:
+    case ActionKind::kRetry:
+      if (!cfg_.record_packet_events) return;
+      break;
+    default:
+      break;
+  }
+  trace_.append(ev);
+}
+
+void DataLink::drain_tx(TxOutbox& out) {
+  for (auto& pkt : out.pkts()) {
+    const std::size_t len = pkt.size();
+    const PacketId id = tr_.send(std::move(pkt), stats_.steps);
+    record({.kind = ActionKind::kSendPktTR, .pkt_id = id, .pkt_len = len});
+  }
+  out.pkts().clear();
+  if (out.ok_signalled()) {
+    record({.kind = ActionKind::kOk});
+    awaiting_ok_ = false;
+    last_step_completed_ok_ = true;
+    ++stats_.oks;
+  }
+}
+
+void DataLink::drain_rx(RxOutbox& out) {
+  for (auto& m : out.delivered()) {
+    record({.kind = ActionKind::kReceiveMsg, .msg_id = m.id});
+    if (cfg_.collect_deliveries) delivered_inbox_.push_back(std::move(m));
+  }
+  out.delivered().clear();
+  for (auto& pkt : out.pkts()) {
+    const std::size_t len = pkt.size();
+    const PacketId id = rt_.send(std::move(pkt), stats_.steps);
+    record({.kind = ActionKind::kSendPktRT, .pkt_id = id, .pkt_len = len});
+  }
+  out.pkts().clear();
+}
+
+void DataLink::offer(Message m) {
+  assert(tm_ready() && "Axiom 1: offer() requires the TM to be idle");
+  ++stats_.messages_offered;
+  record({.kind = ActionKind::kSendMsg, .msg_id = m.id});
+  awaiting_ok_ = true;
+  TxOutbox out;
+  tm_->on_send_msg(m, out);
+  drain_tx(out);
+}
+
+void DataLink::fire_retry() {
+  ++stats_.retries;
+  record({.kind = ActionKind::kRetry});
+  RxOutbox out;
+  rm_->on_retry(out);
+  drain_rx(out);
+}
+
+void DataLink::fire_tx_timer() {
+  TxOutbox out;
+  tm_->on_timer(out);
+  drain_tx(out);
+}
+
+void DataLink::apply(const Decision& d) {
+  switch (d.kind) {
+    case Decision::Kind::kIdle:
+      break;
+
+    case Decision::Kind::kRetry:
+      fire_retry();
+      break;
+
+    case Decision::Kind::kTxTimer:
+      fire_tx_timer();
+      break;
+
+    case Decision::Kind::kCrashT:
+      ++stats_.crashes_t;
+      if (awaiting_ok_) ++stats_.aborted;
+      record({.kind = ActionKind::kCrashT});
+      tm_->on_crash();
+      awaiting_ok_ = false;
+      last_step_crashed_t_ = true;
+      break;
+
+    case Decision::Kind::kCrashR:
+      ++stats_.crashes_r;
+      record({.kind = ActionKind::kCrashR});
+      rm_->on_crash();
+      break;
+
+    case Decision::Kind::kDeliverTR: {
+      const auto payload = tr_.payload(d.pkt);
+      if (!payload) break;  // unknown id: causality makes this a no-op
+      tr_.note_delivery();
+      record({.kind = ActionKind::kReceivePktTR,
+              .pkt_id = d.pkt,
+              .pkt_len = payload->size()});
+      RxOutbox out;
+      rm_->on_receive_pkt(*payload, out);
+      drain_rx(out);
+      break;
+    }
+
+    case Decision::Kind::kDeliverRT: {
+      const auto payload = rt_.payload(d.pkt);
+      if (!payload) break;
+      rt_.note_delivery();
+      record({.kind = ActionKind::kReceivePktRT,
+              .pkt_id = d.pkt,
+              .pkt_len = payload->size()});
+      TxOutbox out;
+      tm_->on_receive_pkt(*payload, out);
+      drain_tx(out);
+      break;
+    }
+
+    case Decision::Kind::kMutateTR: {
+      if (!cfg_.allow_noise) break;  // base model: causality axiom holds
+      const auto payload = tr_.payload(d.pkt);
+      if (!payload) break;
+      ++noise_deliveries_;
+      const Bytes noisy = mutate(*payload);
+      record({.kind = ActionKind::kReceivePktTR,
+              .pkt_id = d.pkt,
+              .pkt_len = noisy.size()});
+      RxOutbox out;
+      rm_->on_receive_pkt(noisy, out);
+      drain_rx(out);
+      break;
+    }
+
+    case Decision::Kind::kMutateRT: {
+      if (!cfg_.allow_noise) break;
+      const auto payload = rt_.payload(d.pkt);
+      if (!payload) break;
+      ++noise_deliveries_;
+      const Bytes noisy = mutate(*payload);
+      record({.kind = ActionKind::kReceivePktRT,
+              .pkt_id = d.pkt,
+              .pkt_len = noisy.size()});
+      TxOutbox out;
+      tm_->on_receive_pkt(noisy, out);
+      drain_tx(out);
+      break;
+    }
+
+    case Decision::Kind::kForgeTR: {
+      if (!cfg_.allow_noise) break;
+      ++noise_deliveries_;
+      const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
+      record({.kind = ActionKind::kReceivePktTR, .pkt_len = forged.size()});
+      RxOutbox out;
+      rm_->on_receive_pkt(forged, out);
+      drain_rx(out);
+      break;
+    }
+
+    case Decision::Kind::kForgeRT: {
+      if (!cfg_.allow_noise) break;
+      ++noise_deliveries_;
+      const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
+      record({.kind = ActionKind::kReceivePktRT, .pkt_len = forged.size()});
+      TxOutbox out;
+      tm_->on_receive_pkt(forged, out);
+      drain_tx(out);
+      break;
+    }
+  }
+}
+
+void DataLink::step() {
+  ++stats_.steps;
+  last_step_completed_ok_ = false;
+  last_step_crashed_t_ = false;
+
+  if (cfg_.retry_every != 0 && stats_.steps % cfg_.retry_every == 0) {
+    fire_retry();
+  }
+  if (cfg_.tx_timer_every != 0 && stats_.steps % cfg_.tx_timer_every == 0) {
+    fire_tx_timer();
+  }
+
+  const AdversaryView view(tr_, rt_, stats_.steps, stats_.crashes_t,
+                           stats_.crashes_r);
+  apply(adv_->next(view));
+
+  stats_.max_tm_state_bits =
+      std::max<std::uint64_t>(stats_.max_tm_state_bits, tm_->state_bits());
+  stats_.max_rm_state_bits =
+      std::max<std::uint64_t>(stats_.max_rm_state_bits, rm_->state_bits());
+}
+
+bool DataLink::run_until_ok(std::uint64_t max_steps) {
+  assert(awaiting_ok_ && "run_until_ok requires a message in flight");
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    step();
+    if (last_step_completed_ok_) return true;
+    if (last_step_crashed_t_) return false;  // message aborted by crash^T
+  }
+  return false;  // step budget exhausted (possible under unfair adversaries)
+}
+
+}  // namespace s2d

@@ -1,0 +1,159 @@
+// DataLink: the executor composing D(A, ADV) = TM + RM + two channels +
+// adversary (Figure 1 of the paper).
+//
+// The executor advances the system one atomic action at a time:
+//
+//   * the environment (harness) calls offer() to perform send_msg(m),
+//     respecting Axiom 1 (only when the TM is not busy);
+//   * each step() optionally fires the RM's RETRY internal action on a
+//     configurable cadence (the model assumes RETRY occurs infinitely
+//     often) and then asks the adversary for one scheduling decision;
+//   * module outputs are applied atomically after each input, in the order
+//     the module emitted them.
+//
+// Every externally visible action is appended to the Trace and fed to the
+// online TraceChecker, so at any moment `checker().violations()` reflects
+// the §2.6 conditions over the execution so far.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "link/actions.h"
+#include "link/adversary.h"
+#include "link/channel.h"
+#include "link/checker.h"
+#include "link/module.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+struct DataLinkConfig {
+  /// Fire the RM RETRY action every `retry_every` steps (0 = only when the
+  /// adversary explicitly schedules it). The default 1 matches the model's
+  /// assumption that RETRY occurs infinitely often.
+  std::uint64_t retry_every = 1;
+
+  /// Fire the transmitter timer every `tx_timer_every` steps (0 = never).
+  /// GHM does not need it; transmitter-driven baselines (ABP, stop-and-
+  /// wait) do.
+  std::uint64_t tx_timer_every = 0;
+
+  /// Record per-packet actions in the trace. Safety checking only needs
+  /// message-level events; packet events are useful for debugging but can
+  /// dominate memory on multi-million-step sweeps.
+  bool record_packet_events = false;
+
+  /// Keep the full trace in memory. The online checker runs either way.
+  bool keep_trace = true;
+
+  /// Collect delivered messages (with payloads) into an inbox the
+  /// environment drains via take_delivered(). The trace records message
+  /// ids only; applications that need the payloads enable this.
+  bool collect_deliveries = false;
+
+  /// Non-causal channel extension (§5): permit kMutateTR/kMutateRT
+  /// decisions, which deliver bit-flipped copies of previously sent
+  /// packets. Off by default — the base model's causality axiom forbids
+  /// it, and with it Theorem 9 (liveness) no longer holds.
+  bool allow_noise = false;
+
+  /// Bit flips applied per mutated delivery (1..noise_max_flips, uniform).
+  std::uint32_t noise_max_flips = 3;
+
+  /// Seed for the executor's noise generator (the mutation *content* is
+  /// channel noise, not adversary-chosen — the adversary stays oblivious).
+  std::uint64_t noise_seed = 0x6e6f697365ULL;  // "noise"
+};
+
+/// Aggregate statistics of one execution (inputs to the experiments).
+struct LinkStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_offered = 0;
+  std::uint64_t oks = 0;
+  std::uint64_t aborted = 0;  // messages whose transfer a crash^T cut short
+  std::uint64_t crashes_t = 0;
+  std::uint64_t crashes_r = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t max_tm_state_bits = 0;
+  std::uint64_t max_rm_state_bits = 0;
+};
+
+class DataLink {
+ public:
+  DataLink(std::unique_ptr<ITransmitter> tm, std::unique_ptr<IReceiver> rm,
+           std::unique_ptr<Adversary> adv, DataLinkConfig cfg = {});
+
+  /// True iff the TM may accept a new message (Axiom 1).
+  [[nodiscard]] bool tm_ready() const noexcept { return !awaiting_ok_; }
+
+  /// Performs send_msg(m). Precondition: tm_ready().
+  void offer(Message m);
+
+  /// Advances the system by one scheduling step.
+  void step();
+
+  /// Steps until the in-flight message completes (OK), is aborted by a
+  /// crash^T, or `max_steps` elapse. Returns true iff OK occurred.
+  /// Precondition: a message is in flight.
+  bool run_until_ok(std::uint64_t max_steps);
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const TraceChecker& checker() const noexcept {
+    return checker_;
+  }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Channel& tr_channel() const noexcept { return tr_; }
+  [[nodiscard]] const Channel& rt_channel() const noexcept { return rt_; }
+  [[nodiscard]] const ITransmitter& tm() const noexcept { return *tm_; }
+  [[nodiscard]] const IReceiver& rm() const noexcept { return *rm_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return stats_.steps; }
+
+  /// Number of mutated (non-causal) deliveries performed so far; nonzero
+  /// only when DataLinkConfig::allow_noise is set.
+  [[nodiscard]] std::uint64_t noise_deliveries() const noexcept {
+    return noise_deliveries_;
+  }
+
+  /// Drains the receiver-side inbox (requires collect_deliveries).
+  [[nodiscard]] std::vector<Message> take_delivered() {
+    std::vector<Message> out;
+    out.swap(delivered_inbox_);
+    return out;
+  }
+
+ private:
+  void record(TraceEvent ev);
+  void drain_tx(TxOutbox& out);
+  void drain_rx(RxOutbox& out);
+  void fire_retry();
+  void fire_tx_timer();
+  void apply(const Decision& d);
+  /// Returns a copy of `original` with 1..noise_max_flips random bits
+  /// flipped (non-causal channel noise).
+  [[nodiscard]] Bytes mutate(std::span<const std::byte> original);
+  /// Returns `length` uniformly random bytes (the §5 forged packet).
+  [[nodiscard]] Bytes forge(std::size_t length);
+
+  std::unique_ptr<ITransmitter> tm_;
+  std::unique_ptr<IReceiver> rm_;
+  std::unique_ptr<Adversary> adv_;
+  DataLinkConfig cfg_;
+
+  Channel tr_{"T->R"};
+  Channel rt_{"R->T"};
+
+  Trace trace_;
+  TraceChecker checker_;
+  LinkStats stats_;
+  Rng noise_rng_{0};
+  std::uint64_t noise_deliveries_ = 0;
+  std::vector<Message> delivered_inbox_;
+
+  bool awaiting_ok_ = false;
+  bool last_step_completed_ok_ = false;
+  bool last_step_crashed_t_ = false;
+};
+
+}  // namespace s2d

@@ -1,0 +1,115 @@
+// Module interfaces: the TM and RM automata of §2.1–§2.2.
+//
+// A protocol is a pair of Mealy machines. Each input action (send_msg,
+// receive_pkt, RETRY, timer) is a virtual call that may push output actions
+// (send_pkt, OK, receive_msg) into an Outbox. The executor applies the
+// outputs atomically after the call returns, realising the paper's
+// atomicity assumption ("there is no event between the input event to a
+// module and the resulting output actions of that module").
+//
+// on_crash() models the crash^T / crash^R input: implementations must reset
+// *all* volatile state to initial values. Baselines that assume stable
+// storage (e.g. the nonvolatile-bit protocol after [BS88]) may keep
+// explicitly designated nonvolatile members across crashes; such members
+// must be documented at the declaration site.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "link/actions.h"
+#include "util/codec.h"
+
+namespace s2d {
+
+/// Output buffer for the transmitting module.
+class TxOutbox {
+ public:
+  /// Queues a send_pkt^{T->R} action.
+  void send_pkt(Bytes pkt) { pkts_.push_back(std::move(pkt)); }
+
+  /// Queues the OK action (notification that the last message was
+  /// delivered; the higher layer may now send the next message).
+  void ok() noexcept { ok_ = true; }
+
+  [[nodiscard]] std::vector<Bytes>& pkts() noexcept { return pkts_; }
+  [[nodiscard]] bool ok_signalled() const noexcept { return ok_; }
+
+ private:
+  std::vector<Bytes> pkts_;
+  bool ok_ = false;
+};
+
+/// Output buffer for the receiving module.
+class RxOutbox {
+ public:
+  /// Queues a send_pkt^{R->T} action.
+  void send_pkt(Bytes pkt) { pkts_.push_back(std::move(pkt)); }
+
+  /// Queues a receive_msg action (delivery to the higher layer).
+  void deliver(Message m) { delivered_.push_back(std::move(m)); }
+
+  [[nodiscard]] std::vector<Bytes>& pkts() noexcept { return pkts_; }
+  [[nodiscard]] std::vector<Message>& delivered() noexcept {
+    return delivered_;
+  }
+
+ private:
+  std::vector<Bytes> pkts_;
+  std::vector<Message> delivered_;
+};
+
+class ITransmitter {
+ public:
+  virtual ~ITransmitter() = default;
+
+  /// send_msg(m): request from the higher layer. Only called when the
+  /// module is not busy (Axiom 1 is enforced by the executor).
+  virtual void on_send_msg(const Message& m, TxOutbox& out) = 0;
+
+  /// receive_pkt^{R->T}(p).
+  virtual void on_receive_pkt(std::span<const std::byte> pkt,
+                              TxOutbox& out) = 0;
+
+  /// Optional retransmission timer for transmitter-driven protocols
+  /// (the GHM transmitter is purely reactive and ignores this).
+  virtual void on_timer(TxOutbox& out) { (void)out; }
+
+  /// crash^T: erase all volatile memory.
+  virtual void on_crash() = 0;
+
+  /// True between send_msg and the matching OK/crash (used by the executor
+  /// to enforce Axiom 1).
+  [[nodiscard]] virtual bool busy() const = 0;
+
+  /// Approximate current volatile-state footprint in bits; experiments use
+  /// this to measure the paper's storage claim (strings grow only with the
+  /// number of errors during the current message).
+  [[nodiscard]] virtual std::size_t state_bits() const { return 0; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class IReceiver {
+ public:
+  virtual ~IReceiver() = default;
+
+  /// receive_pkt^{T->R}(p).
+  virtual void on_receive_pkt(std::span<const std::byte> pkt,
+                              RxOutbox& out) = 0;
+
+  /// RETRY: the RM internal action assumed to occur infinitely often; the
+  /// receiver typically retransmits its last control packet.
+  virtual void on_retry(RxOutbox& out) = 0;
+
+  /// crash^R: erase all volatile memory.
+  virtual void on_crash() = 0;
+
+  [[nodiscard]] virtual std::size_t state_bits() const { return 0; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace s2d

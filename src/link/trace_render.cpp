@@ -1,0 +1,92 @@
+#include "link/trace_render.h"
+
+#include <sstream>
+
+namespace s2d {
+namespace {
+
+constexpr int kStepWidth = 6;
+constexpr int kColWidth = 26;
+
+void line(std::ostringstream& out, std::uint64_t step, int column,
+          const std::string& text) {
+  std::string step_s = std::to_string(step);
+  out << std::string(
+             kStepWidth > static_cast<int>(step_s.size())
+                 ? static_cast<std::size_t>(kStepWidth) - step_s.size()
+                 : 0,
+             ' ')
+      << step_s << "  ";
+  out << std::string(static_cast<std::size_t>(column) * kColWidth, ' ')
+      << text << "\n";
+}
+
+}  // namespace
+
+std::string render_sequence(const Trace& trace, RenderOptions options) {
+  std::ostringstream out;
+  out << "  step  transmitter               channel                   "
+         "receiver\n"
+      << "  ----  -----------               -------                   "
+         "--------\n";
+
+  const auto& events = trace.events();
+  const std::size_t start =
+      events.size() > options.max_events ? events.size() - options.max_events
+                                         : 0;
+  if (start > 0) out << "  ... (" << start << " earlier events elided)\n";
+
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::ostringstream text;
+    int column = 0;  // 0 = transmitter, 1 = channel, 2 = receiver
+    switch (e.kind) {
+      case ActionKind::kSendMsg:
+        text << "send_msg(m" << e.msg_id << ")";
+        break;
+      case ActionKind::kOk:
+        text << "OK";
+        break;
+      case ActionKind::kCrashT:
+        text << "** crash^T **";
+        break;
+      case ActionKind::kReceiveMsg:
+        column = 2;
+        text << "receive_msg(m" << e.msg_id << ")";
+        break;
+      case ActionKind::kCrashR:
+        column = 2;
+        text << "** crash^R **";
+        break;
+      case ActionKind::kRetry:
+        if (!options.show_retries) continue;
+        column = 2;
+        text << "RETRY";
+        break;
+      case ActionKind::kSendPktTR:
+        if (!options.show_packet_events) continue;
+        column = 1;
+        text << "--(p" << e.pkt_id << ", " << e.pkt_len << "B)-->";
+        break;
+      case ActionKind::kReceivePktTR:
+        if (!options.show_packet_events) continue;
+        column = 1;
+        text << "      ==(p" << e.pkt_id << ")==> deliver";
+        break;
+      case ActionKind::kSendPktRT:
+        if (!options.show_packet_events) continue;
+        column = 1;
+        text << "<--(p" << e.pkt_id << ", " << e.pkt_len << "B)--";
+        break;
+      case ActionKind::kReceivePktRT:
+        if (!options.show_packet_events) continue;
+        column = 1;
+        text << "deliver <==(p" << e.pkt_id << ")==";
+        break;
+    }
+    line(out, e.step, column, text.str());
+  }
+  return out.str();
+}
+
+}  // namespace s2d

@@ -1,0 +1,32 @@
+// Sequence-diagram rendering of execution traces.
+//
+// render_sequence() turns a Trace into the classic three-column protocol
+// diagram (transmitter | channels | receiver), which is how every
+// networking textbook draws these handshakes — invaluable when staring at
+// a counterexample script from the explorer or a violation from a sweep.
+//
+//   step   transmitter         channel          receiver
+//   ----   -----------         -------          --------
+//      0   send_msg(m1)
+//      0   ---(p0, 34B)--->
+//      1                                        RETRY
+//      2                    <---(p0, 21B)---
+//      ...
+#pragma once
+
+#include <string>
+
+#include "link/actions.h"
+
+namespace s2d {
+
+struct RenderOptions {
+  std::size_t max_events = 200;  // render at most the last N events
+  bool show_packet_events = true;
+  bool show_retries = true;
+};
+
+[[nodiscard]] std::string render_sequence(const Trace& trace,
+                                          RenderOptions options = {});
+
+}  // namespace s2d

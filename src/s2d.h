@@ -1,0 +1,46 @@
+// Umbrella header: the public API of the s2dcomm library.
+//
+//   #include "s2d.h"
+//
+// pulls in everything an application needs — the GHM protocol, the
+// executor, adversaries, the application facades (Session, StreamMux,
+// Duplex, LaneStripe), the transport substrate and the verification
+// tooling. Individual headers remain includable for finer-grained builds.
+#pragma once
+
+// Protocol core (the paper's contribution).
+#include "core/ghm.h"        // make_ghm, GhmTransmitter, GhmReceiver
+#include "core/packets.h"    // wire packets
+#include "core/policy.h"     // GrowthPolicy (size/bound/increment)
+
+// Application facades.
+#include "core/duplex.h"     // bidirectional composition
+#include "core/lanes.h"      // pipelined striping
+#include "core/padding.h"    // length-hiding decorators
+#include "core/session.h"    // queueing send/receive API
+#include "core/stream.h"     // byte streams over messages
+
+// The link-layer model and executor.
+#include "link/actions.h"
+#include "link/adversary.h"
+#include "link/channel.h"
+#include "link/checker.h"
+#include "link/datalink.h"
+#include "link/module.h"
+#include "link/trace_render.h"
+
+// Adversary suite and baselines.
+#include "adversary/adversaries.h"
+#include "baseline/ab_random.h"
+#include "baseline/fixed_nonce.h"
+#include "baseline/stopwait.h"
+
+// Transport substrate.
+#include "transport/endtoend.h"
+#include "transport/fabric.h"
+#include "transport/network.h"
+#include "transport/relay.h"
+
+// Harness: workload runner and exhaustive explorer.
+#include "harness/explorer.h"
+#include "harness/runner.h"

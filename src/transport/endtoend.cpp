@@ -1,0 +1,123 @@
+#include "transport/endtoend.h"
+
+#include <cassert>
+
+namespace s2d {
+
+TransportSession::TransportSession(Network& net, std::unique_ptr<Relay> relay,
+                                   GhmPair protocol, TransportConfig cfg,
+                                   Rng rng)
+    : net_(net), relay_(std::move(relay)), tm_(std::move(protocol.tm)),
+      rm_(std::move(protocol.rm)), cfg_(cfg), rng_(rng) {
+  assert(relay_ && tm_ && rm_);
+  assert(cfg_.src != cfg_.dst);
+  assert(cfg_.src < net_.graph().node_count());
+  assert(cfg_.dst < net_.graph().node_count());
+}
+
+void TransportSession::record(TraceEvent ev) {
+  ev.step = stats_.steps;
+  checker_.on_event(ev);
+}
+
+void TransportSession::drain_tx(TxOutbox& out) {
+  for (auto& pkt : out.pkts()) {
+    relay_->inject(net_, cfg_.src, cfg_.dst, std::move(pkt));
+  }
+  out.pkts().clear();
+  if (out.ok_signalled()) {
+    record({.kind = ActionKind::kOk});
+    awaiting_ok_ = false;
+    last_step_ok_ = true;
+    ++stats_.oks;
+  }
+}
+
+void TransportSession::drain_rx(RxOutbox& out) {
+  for (auto& m : out.delivered()) {
+    record({.kind = ActionKind::kReceiveMsg, .msg_id = m.id});
+  }
+  out.delivered().clear();
+  for (auto& pkt : out.pkts()) {
+    relay_->inject(net_, cfg_.dst, cfg_.src, std::move(pkt));
+  }
+  out.pkts().clear();
+}
+
+void TransportSession::offer(Message m) {
+  assert(tm_ready());
+  ++stats_.messages_offered;
+  record({.kind = ActionKind::kSendMsg, .msg_id = m.id});
+  awaiting_ok_ = true;
+  TxOutbox out;
+  tm_->on_send_msg(m, out);
+  drain_tx(out);
+}
+
+void TransportSession::pump_inboxes() {
+  // Every node processes everything that arrived this step. Relay nodes
+  // forward; endpoint deliveries feed the protocol modules.
+  for (NodeId node = 0; node < net_.graph().node_count(); ++node) {
+    while (auto arrival = net_.poll(node)) {
+      auto delivery = relay_->on_frame(net_, node, *arrival);
+      if (!delivery) continue;
+      if (delivery->dst == cfg_.dst) {
+        record({.kind = ActionKind::kReceivePktTR,
+                .pkt_len = delivery->packet.size()});
+        RxOutbox out;
+        rm_->on_receive_pkt(delivery->packet, out);
+        drain_rx(out);
+      } else if (delivery->dst == cfg_.src) {
+        record({.kind = ActionKind::kReceivePktRT,
+                .pkt_len = delivery->packet.size()});
+        TxOutbox out;
+        tm_->on_receive_pkt(delivery->packet, out);
+        drain_tx(out);
+      }
+    }
+  }
+}
+
+void TransportSession::step() {
+  ++stats_.steps;
+  last_step_ok_ = false;
+  last_step_crash_t_ = false;
+
+  if (cfg_.retry_every != 0 && stats_.steps % cfg_.retry_every == 0) {
+    record({.kind = ActionKind::kRetry});
+    RxOutbox out;
+    rm_->on_retry(out);
+    drain_rx(out);
+  }
+
+  // Endpoint crash injection (the network nodes in between hold no
+  // protocol state, so endpoint crashes are the interesting ones).
+  if (cfg_.crash_t_per_step > 0.0 && rng_.bernoulli(cfg_.crash_t_per_step)) {
+    record({.kind = ActionKind::kCrashT});
+    tm_->on_crash();
+    if (awaiting_ok_) ++stats_.aborted;
+    awaiting_ok_ = false;
+    last_step_crash_t_ = true;
+    ++stats_.crashes_t;
+  }
+  if (cfg_.crash_r_per_step > 0.0 && rng_.bernoulli(cfg_.crash_r_per_step)) {
+    record({.kind = ActionKind::kCrashR});
+    rm_->on_crash();
+    ++stats_.crashes_r;
+  }
+
+  net_.step();
+  pump_inboxes();
+}
+
+bool TransportSession::run_until_ok(std::uint64_t max_steps) {
+  assert(awaiting_ok_);
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    step();
+    if (last_step_ok_) return true;
+    if (last_step_crash_t_) return false;
+  }
+  return false;
+}
+
+}  // namespace s2d

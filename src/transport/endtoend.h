@@ -1,0 +1,93 @@
+// End-to-end transport session: GHM at the source and destination nodes of
+// a simulated network, with a semi-reliable relay in between — the full
+// deployment of §1.
+//
+// Structure (compare Figure 1, with the two channels replaced by the
+// network + relay):
+//
+//     higher layer ──send_msg──▶ GhmTransmitter @ src
+//                                      │ packets
+//                                      ▼
+//                               Relay over Network      (loses, duplicates*,
+//                                      │                 reorders, corrupts;
+//                                      ▼                 *flooding duplicates
+//                               GhmReceiver @ dst         naturally)
+//                                      │
+//     higher layer ◀─receive_msg──────┘
+//
+// The session reuses the Trace/TraceChecker machinery, so the §2.6
+// correctness conditions are checked on transport executions exactly as on
+// link executions. Node crashes are supported at the endpoints (the relay
+// nodes are stateless apart from dedup caches).
+#pragma once
+
+#include <memory>
+
+#include "core/ghm.h"
+#include "link/checker.h"
+#include "transport/relay.h"
+
+namespace s2d {
+
+struct TransportConfig {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t retry_every = 4;  // RM RETRY cadence in network steps
+  double crash_t_per_step = 0.0;  // endpoint crash probabilities
+  double crash_r_per_step = 0.0;
+};
+
+struct TransportStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_offered = 0;
+  std::uint64_t oks = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t crashes_t = 0;
+  std::uint64_t crashes_r = 0;
+};
+
+class TransportSession {
+ public:
+  TransportSession(Network& net, std::unique_ptr<Relay> relay,
+                   GhmPair protocol, TransportConfig cfg, Rng rng);
+
+  [[nodiscard]] bool tm_ready() const noexcept { return !awaiting_ok_; }
+
+  /// send_msg(m) at the source's higher layer. Precondition: tm_ready().
+  void offer(Message m);
+
+  /// One network step: RETRY cadence, network advance, inbox pumping,
+  /// endpoint crash injection.
+  void step();
+
+  /// Steps until OK, crash^T abort, or budget exhaustion.
+  bool run_until_ok(std::uint64_t max_steps);
+
+  [[nodiscard]] const TraceChecker& checker() const noexcept {
+    return checker_;
+  }
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Relay& relay() const noexcept { return *relay_; }
+  [[nodiscard]] Network& network() noexcept { return net_; }
+
+ private:
+  void record(TraceEvent ev);
+  void drain_tx(TxOutbox& out);
+  void drain_rx(RxOutbox& out);
+  void pump_inboxes();
+
+  Network& net_;
+  std::unique_ptr<Relay> relay_;
+  std::unique_ptr<GhmTransmitter> tm_;
+  std::unique_ptr<GhmReceiver> rm_;
+  TransportConfig cfg_;
+  Rng rng_;
+
+  TraceChecker checker_;
+  TransportStats stats_;
+  bool awaiting_ok_ = false;
+  bool last_step_ok_ = false;
+  bool last_step_crash_t_ = false;
+};
+
+}  // namespace s2d

@@ -1,0 +1,129 @@
+#include "transport/fabric.h"
+
+#include <cassert>
+
+namespace s2d {
+
+std::uint64_t TransportFabric::add_session(GhmPair protocol,
+                                           FabricSessionConfig cfg) {
+  assert(cfg.src != cfg.dst);
+  assert(cfg.src < net_.graph().node_count());
+  assert(cfg.dst < net_.graph().node_count());
+  auto ep = std::make_unique<Endpoint>();
+  ep->id = sessions_.size() + 1;
+  ep->cfg = cfg;
+  ep->tm = std::move(protocol.tm);
+  ep->rm = std::move(protocol.rm);
+  sessions_.push_back(std::move(ep));
+  return sessions_.back()->id;
+}
+
+Bytes TransportFabric::wrap(std::uint64_t id, const Bytes& pkt) {
+  Writer w;
+  w.varint(id);
+  w.blob(pkt);
+  return w.take();
+}
+
+std::optional<TransportFabric::Unwrapped> TransportFabric::unwrap(
+    std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  Unwrapped u;
+  u.id = r.varint();
+  u.pkt = r.blob();
+  if (!r.ok_and_done()) return std::nullopt;
+  return u;
+}
+
+void TransportFabric::drain_tx(Endpoint& ep, TxOutbox& out) {
+  for (auto& pkt : out.pkts()) {
+    relay_->inject(net_, ep.cfg.src, ep.cfg.dst, wrap(ep.id, pkt));
+  }
+  out.pkts().clear();
+  if (out.ok_signalled()) {
+    ep.checker.on_event({.kind = ActionKind::kOk, .step = now_});
+    ep.awaiting_ok = false;
+    ep.completed_this_step = true;
+    ++ep.oks;
+  }
+}
+
+void TransportFabric::drain_rx(Endpoint& ep, RxOutbox& out) {
+  for (auto& m : out.delivered()) {
+    ep.checker.on_event(
+        {.kind = ActionKind::kReceiveMsg, .step = now_, .msg_id = m.id});
+  }
+  out.delivered().clear();
+  for (auto& pkt : out.pkts()) {
+    relay_->inject(net_, ep.cfg.dst, ep.cfg.src, wrap(ep.id, pkt));
+  }
+  out.pkts().clear();
+}
+
+void TransportFabric::offer(std::uint64_t id, Message m) {
+  Endpoint& ep = *sessions_[index(id)];
+  assert(!ep.awaiting_ok);
+  ep.checker.on_event(
+      {.kind = ActionKind::kSendMsg, .step = now_, .msg_id = m.id});
+  ep.awaiting_ok = true;
+  TxOutbox out;
+  ep.tm->on_send_msg(m, out);
+  drain_tx(ep, out);
+}
+
+void TransportFabric::dispatch(NodeId node, const Bytes& packet) {
+  const auto u = unwrap(packet);
+  if (!u || u->id == 0 || index(u->id) >= sessions_.size()) return;
+  Endpoint& ep = *sessions_[index(u->id)];
+  if (node == ep.cfg.dst) {
+    RxOutbox out;
+    ep.rm->on_receive_pkt(u->pkt, out);
+    drain_rx(ep, out);
+  } else if (node == ep.cfg.src) {
+    TxOutbox out;
+    ep.tm->on_receive_pkt(u->pkt, out);
+    drain_tx(ep, out);
+  }
+  // Arrivals at a node that is neither endpoint of the session: a relay
+  // artifact (e.g. flooding delivered to a bystander); ignore.
+}
+
+void TransportFabric::step() {
+  ++now_;
+  for (auto& ep : sessions_) {
+    ep->completed_this_step = false;
+    if (ep->cfg.retry_every != 0 && now_ % ep->cfg.retry_every == 0) {
+      ep->checker.on_event({.kind = ActionKind::kRetry, .step = now_});
+      RxOutbox out;
+      ep->rm->on_retry(out);
+      drain_rx(*ep, out);
+    }
+  }
+  net_.step();
+  for (NodeId node = 0; node < net_.graph().node_count(); ++node) {
+    while (auto arrival = net_.poll(node)) {
+      if (auto delivery = relay_->on_frame(net_, node, *arrival)) {
+        dispatch(node, delivery->packet);
+      }
+    }
+  }
+}
+
+bool TransportFabric::run_until_ok(std::uint64_t id, std::uint64_t max_steps) {
+  Endpoint& ep = *sessions_[index(id)];
+  assert(ep.awaiting_ok);
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    step();
+    if (ep.completed_this_step) return true;
+  }
+  return false;
+}
+
+bool TransportFabric::all_clean() const {
+  for (const auto& ep : sessions_) {
+    if (!ep->checker.clean()) return false;
+  }
+  return true;
+}
+
+}  // namespace s2d

@@ -1,0 +1,99 @@
+// TransportFabric: many concurrent GHM sessions over one shared network.
+//
+// The transport deployment of §1 rarely carries a single conversation. The
+// fabric multiplexes any number of (source, destination) protocol sessions
+// over one Network and one relay: each injected packet is wrapped with its
+// session id (the "port number"), the shared pump dispatches arrivals to
+// the owning session's module, and every session keeps its own trace
+// checker — the correctness conditions are per-conversation, and one
+// session's faults (or crashes) must never leak into another's bookkeeping.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/ghm.h"
+#include "link/checker.h"
+#include "transport/relay.h"
+
+namespace s2d {
+
+struct FabricSessionConfig {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t retry_every = 4;
+};
+
+class TransportFabric {
+ public:
+  TransportFabric(Network& net, std::unique_ptr<Relay> relay)
+      : net_(net), relay_(std::move(relay)) {}
+
+  /// Registers a conversation; returns its session id (also the wire
+  /// demultiplexing tag).
+  std::uint64_t add_session(GhmPair protocol, FabricSessionConfig cfg);
+
+  /// True iff session `id` may accept a new message.
+  [[nodiscard]] bool tm_ready(std::uint64_t id) const {
+    return !sessions_[index(id)]->awaiting_ok;
+  }
+
+  /// send_msg(m) on session `id`. Precondition: tm_ready(id).
+  void offer(std::uint64_t id, Message m);
+
+  /// One shared step: per-session RETRY cadences, one network step, and
+  /// arrival dispatch.
+  void step();
+
+  /// Steps until session `id` completes its in-flight message (true) or
+  /// `max_steps` elapse (false). Other sessions keep making progress.
+  bool run_until_ok(std::uint64_t id, std::uint64_t max_steps);
+
+  [[nodiscard]] const TraceChecker& checker(std::uint64_t id) const {
+    return sessions_[index(id)]->checker;
+  }
+  [[nodiscard]] std::uint64_t oks(std::uint64_t id) const {
+    return sessions_[index(id)]->oks;
+  }
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] bool all_clean() const;
+
+ private:
+  struct Endpoint {
+    std::uint64_t id = 0;
+    FabricSessionConfig cfg;
+    std::unique_ptr<GhmTransmitter> tm;
+    std::unique_ptr<GhmReceiver> rm;
+    TraceChecker checker;
+    bool awaiting_ok = false;
+    bool completed_this_step = false;
+    std::uint64_t oks = 0;
+    std::uint64_t steps = 0;
+  };
+
+  [[nodiscard]] std::size_t index(std::uint64_t id) const {
+    return static_cast<std::size_t>(id - 1);
+  }
+
+  /// Wire wrapper: varint(session id) + blob(packet).
+  [[nodiscard]] static Bytes wrap(std::uint64_t id, const Bytes& pkt);
+  struct Unwrapped {
+    std::uint64_t id;
+    Bytes pkt;
+  };
+  [[nodiscard]] static std::optional<Unwrapped> unwrap(
+      std::span<const std::byte> bytes);
+
+  void drain_tx(Endpoint& ep, TxOutbox& out);
+  void drain_rx(Endpoint& ep, RxOutbox& out);
+  void dispatch(NodeId node, const Bytes& packet);
+
+  Network& net_;
+  std::unique_ptr<Relay> relay_;
+  std::vector<std::unique_ptr<Endpoint>> sessions_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,185 @@
+#include "transport/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace s2d {
+
+// ------------------------------------------------------------ topology
+
+NetworkGraph NetworkGraph::line(NodeId n) {
+  NetworkGraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+NetworkGraph NetworkGraph::ring(NodeId n) {
+  NetworkGraph g = line(n);
+  if (n > 2) g.add_edge(n - 1, 0);
+  return g;
+}
+
+NetworkGraph NetworkGraph::grid(NodeId width, NodeId height) {
+  NetworkGraph g(width * height);
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      const NodeId v = y * width + x;
+      if (x + 1 < width) g.add_edge(v, v + 1);
+      if (y + 1 < height) g.add_edge(v, v + width);
+    }
+  }
+  return g;
+}
+
+NetworkGraph NetworkGraph::random(NodeId n, double p, Rng& rng) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    NetworkGraph g(n);
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) {
+        if (rng.bernoulli(p)) g.add_edge(a, b);
+      }
+    }
+    if (g.connected()) return g;
+  }
+  // Fall back to a ring + random chords: always connected.
+  NetworkGraph g = ring(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 2; b < n; ++b) {
+      if (rng.bernoulli(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+void NetworkGraph::add_edge(NodeId a, NodeId b) {
+  assert(a != b && a < node_count() && b < node_count());
+  // Ignore duplicate edges.
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end()) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++edges_;
+}
+
+std::vector<NodeId> NetworkGraph::shortest_path(
+    NodeId from, NodeId to,
+    const std::vector<std::uint64_t>& banned_edges) const {
+  auto banned = [&](NodeId a, NodeId b) {
+    const std::uint64_t key = edge_key(a, b);
+    return std::find(banned_edges.begin(), banned_edges.end(), key) !=
+           banned_edges.end();
+  };
+  std::vector<NodeId> parent(node_count(), UINT32_MAX);
+  std::queue<NodeId> frontier;
+  parent[from] = from;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (v == to) break;
+    for (NodeId w : adj_[v]) {
+      if (parent[w] != UINT32_MAX || banned(v, w)) continue;
+      parent[w] = v;
+      frontier.push(w);
+    }
+  }
+  if (parent[to] == UINT32_MAX) return {};
+  std::vector<NodeId> path{to};
+  while (path.back() != from) path.push_back(parent[path.back()]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool NetworkGraph::connected() const {
+  if (node_count() == 0) return true;
+  return shortest_path(0, node_count() - 1).size() > 0 &&
+         [&] {
+           // Full reachability check from node 0.
+           std::vector<bool> seen(node_count(), false);
+           std::queue<NodeId> q;
+           seen[0] = true;
+           q.push(0);
+           std::size_t reached = 1;
+           while (!q.empty()) {
+             const NodeId v = q.front();
+             q.pop();
+             for (NodeId w : adj_[v]) {
+               if (!seen[w]) {
+                 seen[w] = true;
+                 ++reached;
+                 q.push(w);
+               }
+             }
+           }
+           return reached == node_count();
+         }();
+}
+
+// ---------------------------------------------------------- simulation
+
+Network::Network(NetworkGraph graph, NetworkConfig cfg, Rng rng)
+    : graph_(std::move(graph)), cfg_(cfg), rng_(rng),
+      inboxes_(graph_.node_count()) {
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    for (NodeId w : graph_.neighbors(v)) {
+      if (v < w) link_up_[NetworkGraph::edge_key(v, w)] = true;
+    }
+  }
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  const auto it = link_up_.find(NetworkGraph::edge_key(a, b));
+  return it != link_up_.end() && it->second;
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  const auto it = link_up_.find(NetworkGraph::edge_key(a, b));
+  if (it != link_up_.end()) it->second = up;
+}
+
+bool Network::send_frame(NodeId from, NodeId to, Bytes frame) {
+  ++frames_attempted_;
+  bytes_attempted_ += frame.size();
+  if (!link_up(from, to)) return false;  // observable carrier-sense failure
+  if (rng_.bernoulli(cfg_.frame_loss)) return true;  // silent loss
+  if (cfg_.frame_corrupt > 0.0 && !frame.empty() &&
+      rng_.bernoulli(cfg_.frame_corrupt)) {
+    const auto idx = static_cast<std::size_t>(rng_.next_below(frame.size()));
+    frame[idx] ^= std::byte{0x20};
+  }
+  const std::uint64_t delay =
+      rng_.next_range(cfg_.delay_min, cfg_.delay_max);
+  in_flight_.emplace(now_ + delay,
+                     InFlight{now_ + delay, from, to, std::move(frame)});
+  return true;
+}
+
+void Network::step() {
+  ++now_;
+  // Link flapping.
+  for (auto& [key, up] : link_up_) {
+    if (up) {
+      if (cfg_.link_fail > 0.0 && rng_.bernoulli(cfg_.link_fail)) up = false;
+    } else if (rng_.bernoulli(cfg_.link_recover)) {
+      up = true;
+    }
+  }
+  // Deliveries due now (or earlier — none, since we deliver every step).
+  const auto end = in_flight_.upper_bound(now_);
+  for (auto it = in_flight_.begin(); it != end; ++it) {
+    ++frames_delivered_;
+    inboxes_[it->second.to].push_back(
+        Arrival{it->second.from, std::move(it->second.frame)});
+  }
+  in_flight_.erase(in_flight_.begin(), end);
+}
+
+std::optional<Arrival> Network::poll(NodeId node) {
+  auto& inbox = inboxes_[node];
+  if (inbox.empty()) return std::nullopt;
+  Arrival a = std::move(inbox.front());
+  inbox.pop_front();
+  return a;
+}
+
+}  // namespace s2d

@@ -1,0 +1,147 @@
+// Multi-hop network simulator: the substrate for the transport-layer
+// deployment of §1.
+//
+// The paper positions the protocol not just at the data-link layer but at
+// the transport layer, "run in the source and destination processors, in
+// conjunction with a semi-reliable protocol run by the processors
+// connecting them in the network". This module provides that network: an
+// undirected graph of nodes joined by raw links that delay, lose, corrupt
+// and flap. Relay protocols (relay.h) turn the raw links into the
+// semi-reliable packet service GHM needs; endtoend.h composes the three.
+//
+// Raw link faults:
+//   * per-frame loss probability,
+//   * per-frame corruption probability (a byte is flipped in transit;
+//     relays drop corrupted frames via CRC — realising the "lower layers
+//     guarantee a certain probability of causality" discussion of §2.5),
+//   * link failure/recovery (a down link transmits nothing, and the
+//     sending node can observe that, which is what lets a path-repair
+//     relay reroute),
+//   * per-frame delivery delay drawn uniformly from [delay_min, delay_max]
+//     (so frames on different paths reorder naturally).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+using NodeId = std::uint32_t;
+
+/// Static topology. Nodes are 0..n-1; edges are undirected.
+class NetworkGraph {
+ public:
+  static NetworkGraph line(NodeId n);
+  static NetworkGraph ring(NodeId n);
+  static NetworkGraph grid(NodeId width, NodeId height);
+  /// Erdos-Renyi G(n, p), re-sampled until connected (bounded retries).
+  static NetworkGraph random(NodeId n, double p, Rng& rng);
+
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adj_[v];
+  }
+
+  /// BFS shortest path avoiding `banned` edges; empty if unreachable.
+  /// Edges are encoded via edge_key().
+  [[nodiscard]] std::vector<NodeId> shortest_path(
+      NodeId from, NodeId to,
+      const std::vector<std::uint64_t>& banned_edges = {}) const;
+
+  [[nodiscard]] bool connected() const;
+
+  static std::uint64_t edge_key(NodeId a, NodeId b) noexcept {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+ private:
+  explicit NetworkGraph(NodeId n) : adj_(n) {}
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edges_ = 0;
+};
+
+struct NetworkConfig {
+  double frame_loss = 0.0;     // silent per-frame loss
+  double frame_corrupt = 0.0;  // per-frame byte flip (CRC-detectable)
+  double link_fail = 0.0;      // per-link per-step P(up -> down)
+  double link_recover = 0.05;  // per-link per-step P(down -> up)
+  std::uint32_t delay_min = 1; // frame delivery delay in steps
+  std::uint32_t delay_max = 3;
+};
+
+/// A frame arriving at a node's inbox.
+struct Arrival {
+  NodeId from = 0;
+  Bytes frame;
+};
+
+class Network {
+ public:
+  Network(NetworkGraph graph, NetworkConfig cfg, Rng rng);
+
+  /// Attempts to transmit a frame across the (from, to) link. Returns
+  /// false — observably, modelling carrier sense — iff the link is
+  /// currently down or nonexistent. Loss and corruption remain silent.
+  bool send_frame(NodeId from, NodeId to, Bytes frame);
+
+  /// Advances one step: flaps links, delivers due frames to inboxes.
+  void step();
+
+  /// Drains one pending arrival at `node`, oldest first.
+  std::optional<Arrival> poll(NodeId node);
+
+  [[nodiscard]] const NetworkGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+  // Cost accounting for the E8 experiment.
+  [[nodiscard]] std::uint64_t frames_attempted() const noexcept {
+    return frames_attempted_;
+  }
+  [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
+    return frames_delivered_;
+  }
+  [[nodiscard]] std::uint64_t bytes_attempted() const noexcept {
+    return bytes_attempted_;
+  }
+
+  /// Forces a link down/up (scripted failures in tests and examples).
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+ private:
+  struct InFlight {
+    std::uint64_t due;
+    NodeId from;
+    NodeId to;
+    Bytes frame;
+  };
+
+  NetworkGraph graph_;
+  NetworkConfig cfg_;
+  Rng rng_;
+  std::uint64_t now_ = 0;
+
+  std::map<std::uint64_t, bool> link_up_;  // edge_key -> up?
+  std::multimap<std::uint64_t, InFlight> in_flight_;  // due -> frame
+  std::vector<std::deque<Arrival>> inboxes_;
+
+  std::uint64_t frames_attempted_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t bytes_attempted_ = 0;
+};
+
+}  // namespace s2d

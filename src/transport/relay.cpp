@@ -1,0 +1,177 @@
+#include "transport/relay.h"
+
+#include <algorithm>
+
+#include "util/crc32.h"
+
+namespace s2d {
+namespace {
+
+constexpr std::uint8_t kFloodTag = 0xf1;
+constexpr std::uint8_t kPathTag = 0xf2;
+
+}  // namespace
+
+Bytes RelayFrame::encode(std::uint8_t tag) const {
+  Writer w;
+  w.u8(tag);
+  w.varint(frame_id);
+  w.varint(src);
+  w.varint(dst);
+  w.varint(ttl);
+  w.varint(route.size());
+  for (NodeId v : route) w.varint(v);
+  w.varint(hop);
+  w.blob(payload);
+  Bytes body = w.take();
+  Writer framed;
+  framed.blob(body);
+  framed.fixed64(Crc32::of(body));  // 64-bit slot keeps the codec uniform
+  return framed.take();
+}
+
+std::optional<RelayFrame> RelayFrame::decode(std::span<const std::byte> bytes,
+                                             std::uint8_t expected_tag) {
+  Reader outer(bytes);
+  const Bytes body = outer.blob();
+  const std::uint64_t crc = outer.fixed64();
+  if (!outer.ok_and_done()) return std::nullopt;
+  if (crc != Crc32::of(body)) return std::nullopt;  // corrupted in transit
+
+  Reader r(body);
+  if (r.u8() != expected_tag) return std::nullopt;
+  RelayFrame f;
+  f.frame_id = r.varint();
+  f.src = static_cast<NodeId>(r.varint());
+  f.dst = static_cast<NodeId>(r.varint());
+  f.ttl = static_cast<std::uint32_t>(r.varint());
+  const std::uint64_t route_len = r.varint();
+  if (!r.ok() || route_len > 4096) return std::nullopt;
+  f.route.reserve(route_len);
+  for (std::uint64_t i = 0; i < route_len; ++i) {
+    f.route.push_back(static_cast<NodeId>(r.varint()));
+  }
+  f.hop = static_cast<std::uint32_t>(r.varint());
+  f.payload = r.blob();
+  if (!r.ok_and_done()) return std::nullopt;
+  return f;
+}
+
+// ------------------------------------------------------------- flooding
+
+void FloodingRelay::remember(std::uint64_t key) {
+  if (seen_order_.size() >= kSeenCap) {
+    // FIFO eviction keeps memory bounded on endless runs.
+    seen_.erase(seen_order_.front());
+    seen_order_.erase(seen_order_.begin());
+  }
+  seen_.insert(key);
+  seen_order_.push_back(key);
+}
+
+void FloodingRelay::broadcast(Network& net, NodeId node, NodeId except,
+                              const RelayFrame& frame) {
+  const Bytes wire = frame.encode(kFloodTag);
+  for (NodeId neighbor : net.graph().neighbors(node)) {
+    if (neighbor == except) continue;
+    ++frames_sent_;
+    (void)net.send_frame(node, neighbor, wire);  // down links just fail
+  }
+}
+
+void FloodingRelay::inject(Network& net, NodeId src, NodeId dst,
+                           Bytes packet) {
+  RelayFrame frame;
+  frame.frame_id = next_frame_id_++;
+  frame.src = src;
+  frame.dst = dst;
+  frame.ttl = ttl_;
+  frame.payload = std::move(packet);
+  remember(seen_key(src, frame.frame_id));
+  broadcast(net, src, /*except=*/src, frame);
+}
+
+std::optional<RelayDelivery> FloodingRelay::on_frame(Network& net,
+                                                     NodeId node,
+                                                     const Arrival& arrival) {
+  auto frame = RelayFrame::decode(arrival.frame, kFloodTag);
+  if (!frame) return std::nullopt;  // corrupted or foreign
+  const std::uint64_t key = seen_key(node, frame->frame_id);
+  if (seen_.contains(key)) return std::nullopt;  // already handled here
+  remember(key);
+
+  if (frame->dst == node) {
+    return RelayDelivery{node, std::move(frame->payload)};
+  }
+  if (frame->ttl == 0) return std::nullopt;
+  --frame->ttl;
+  broadcast(net, node, arrival.from, *frame);
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------------- path
+
+void PathRelay::forward(Network& net, NodeId node, RelayFrame frame) {
+  // Try to push the frame along its route; on an observed dead link, ban
+  // the edge, recompute from the current node, and retry. Bounded retries
+  // so a fully partitioned network degrades to packet loss (which the
+  // layer above tolerates by design).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (frame.hop + 1 >= frame.route.size()) return;  // malformed route
+    const NodeId here = frame.route[frame.hop];
+    const NodeId next = frame.route[frame.hop + 1];
+    if (here != node) return;  // misrouted frame: drop
+    ++frames_sent_;
+    RelayFrame out = frame;
+    ++out.hop;
+    if (net.send_frame(node, next, out.encode(kPathTag))) return;
+
+    // Observed failure: blacklist the edge and reroute from here.
+    const std::uint64_t key = NetworkGraph::edge_key(node, next);
+    if (std::find(banned_.begin(), banned_.end(), key) == banned_.end()) {
+      banned_.push_back(key);
+    }
+    ++reroutes_;
+    std::vector<NodeId> fresh =
+        net.graph().shortest_path(node, frame.dst, banned_);
+    if (fresh.empty()) {
+      // Everything we know is dead ends; links recover in this model, so
+      // forget the blacklist and try once more from scratch next time.
+      banned_.clear();
+      fresh = net.graph().shortest_path(node, frame.dst);
+      if (fresh.empty()) return;  // genuinely unreachable
+    }
+    frame.route = std::move(fresh);
+    frame.hop = 0;
+  }
+}
+
+void PathRelay::inject(Network& net, NodeId src, NodeId dst, Bytes packet) {
+  RelayFrame frame;
+  frame.frame_id = next_frame_id_++;
+  frame.src = src;
+  frame.dst = dst;
+  frame.payload = std::move(packet);
+  frame.route = net.graph().shortest_path(src, dst, banned_);
+  if (frame.route.empty()) {
+    banned_.clear();
+    frame.route = net.graph().shortest_path(src, dst);
+    if (frame.route.empty()) return;  // unreachable topology
+  }
+  frame.hop = 0;
+  if (frame.route.size() < 2) return;  // src == dst: nothing to do
+  forward(net, src, std::move(frame));
+}
+
+std::optional<RelayDelivery> PathRelay::on_frame(Network& net, NodeId node,
+                                                 const Arrival& arrival) {
+  auto frame = RelayFrame::decode(arrival.frame, kPathTag);
+  if (!frame) return std::nullopt;
+  if (frame->dst == node) {
+    return RelayDelivery{node, std::move(frame->payload)};
+  }
+  forward(net, node, std::move(*frame));
+  return std::nullopt;
+}
+
+}  // namespace s2d

@@ -1,0 +1,147 @@
+// Semi-reliable relay protocols: the "lower layer" of the transport
+// deployment (§1).
+//
+// A relay moves opaque end-to-end packets between a source node and a
+// destination node over the raw network. It is *semi-reliable* in exactly
+// the paper's sense: packets may be lost, duplicated and reordered, but a
+// packet that arrives is bit-identical to one that was sent (relays drop
+// corrupted frames by CRC). GHM runs on top and turns this into reliable,
+// exactly-once, in-order delivery.
+//
+// Two relays are provided, mirroring the two implementations §1 sketches:
+//
+//   FloodingRelay   "a trivial implementation ... is by flooding each
+//                   packet": every node forwards each new frame to all
+//                   neighbours once (dedup by frame id, TTL-bounded).
+//                   Cost O(|E|) per packet, extremely fault-tolerant.
+//
+//   PathRelay       "a more efficient method (in actual use) is to try to
+//                   find a reliable path ... and send all messages over
+//                   that path, replacing the path only when an error is
+//                   detected" [HK89]. Source-routed over a BFS path;
+//                   when a hop's link is observed down, the edge is
+//                   blacklisted and the path recomputed. Cost O(path)
+//                   per packet when quiet, extra cost per detected error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "transport/network.h"
+#include "util/codec.h"
+
+namespace s2d {
+
+/// A packet that reached its destination node, ready for the data-link
+/// layer above.
+struct RelayDelivery {
+  NodeId dst = 0;
+  Bytes packet;
+};
+
+class Relay {
+ public:
+  virtual ~Relay() = default;
+
+  /// Injects an end-to-end packet at node `src` addressed to `dst`.
+  virtual void inject(Network& net, NodeId src, NodeId dst, Bytes packet) = 0;
+
+  /// Processes one raw frame that arrived at `node`; may forward frames
+  /// and/or complete a delivery.
+  virtual std::optional<RelayDelivery> on_frame(Network& net, NodeId node,
+                                                const Arrival& arrival) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Frames this relay asked the network to transmit (cost metric).
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_;
+  }
+
+ protected:
+  std::uint64_t frames_sent_ = 0;
+};
+
+// -------------------------------------------------------------- framing
+
+/// Common frame layout shared by both relays (tag distinguishes them):
+/// header + payload + CRC32 over everything before the CRC.
+struct RelayFrame {
+  std::uint64_t frame_id = 0;  // unique per injection (dedup key)
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t ttl = 0;                 // flooding only
+  std::vector<NodeId> route;             // path relay only (source route)
+  std::uint32_t hop = 0;                 // index into route
+  Bytes payload;
+
+  [[nodiscard]] Bytes encode(std::uint8_t tag) const;
+  static std::optional<RelayFrame> decode(std::span<const std::byte> bytes,
+                                          std::uint8_t expected_tag);
+};
+
+// ------------------------------------------------------------- flooding
+
+class FloodingRelay final : public Relay {
+ public:
+  /// `ttl` bounds the flood radius; pick >= network diameter.
+  explicit FloodingRelay(std::uint32_t ttl = 32) : ttl_(ttl) {}
+
+  void inject(Network& net, NodeId src, NodeId dst, Bytes packet) override;
+  std::optional<RelayDelivery> on_frame(Network& net, NodeId node,
+                                        const Arrival& arrival) override;
+  [[nodiscard]] std::string name() const override { return "flooding"; }
+
+ private:
+  void broadcast(Network& net, NodeId node, NodeId except,
+                 const RelayFrame& frame);
+
+  std::uint32_t ttl_;
+  std::uint64_t next_frame_id_ = 1;
+  // Per-node dedup cache of frame ids already forwarded. One shared relay
+  // object serves all nodes, so the cache is keyed by (node, frame_id).
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<std::uint64_t> seen_order_;  // FIFO eviction
+  static constexpr std::size_t kSeenCap = 1 << 20;
+
+  [[nodiscard]] static std::uint64_t seen_key(NodeId node,
+                                              std::uint64_t frame_id) {
+    return (static_cast<std::uint64_t>(node) << 44) ^ frame_id;
+  }
+  void remember(std::uint64_t key);
+};
+
+// ----------------------------------------------------------------- path
+
+class PathRelay final : public Relay {
+ public:
+  PathRelay() = default;
+
+  void inject(Network& net, NodeId src, NodeId dst, Bytes packet) override;
+  std::optional<RelayDelivery> on_frame(Network& net, NodeId node,
+                                        const Arrival& arrival) override;
+  [[nodiscard]] std::string name() const override { return "path"; }
+
+  /// Edges currently believed dead (diagnostics / tests).
+  [[nodiscard]] std::size_t blacklisted_edges() const noexcept {
+    return banned_.size();
+  }
+  [[nodiscard]] std::uint64_t reroutes() const noexcept { return reroutes_; }
+
+ private:
+  /// Sends along the frame's source route from position `hop`; on a down
+  /// link, bans the edge, recomputes the route and retries (bounded).
+  void forward(Network& net, NodeId node, RelayFrame frame);
+
+  std::uint64_t next_frame_id_ = 1;
+  std::vector<std::uint64_t> banned_;  // believed-dead edges
+  std::uint64_t reroutes_ = 0;
+  // Banned edges are probed again lazily: when no route exists without
+  // them, the blacklist is cleared (links recover in this model).
+};
+
+}  // namespace s2d

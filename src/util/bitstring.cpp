@@ -1,0 +1,154 @@
+#include "util/bitstring.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace s2d {
+
+BitString BitString::from_binary(std::string_view bits) {
+  BitString out;
+  for (char c : bits) {
+    assert(c == '0' || c == '1');
+    out.push_back(c == '1');
+  }
+  return out;
+}
+
+BitString BitString::random(std::size_t nbits, Rng& rng) {
+  BitString out;
+  out.nbits_ = nbits;
+  const std::size_t nwords = (nbits + kWordBits - 1) / kWordBits;
+  out.words_.resize(nwords);
+  for (std::size_t w = 0; w < nwords; ++w) out.words_[w] = rng.next_u64();
+  // Zero the unused high bits of the last word (class invariant).
+  const std::size_t tail = nbits % kWordBits;
+  if (nwords > 0 && tail != 0) {
+    out.words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+  return out;
+}
+
+bool BitString::bit(std::size_t i) const noexcept {
+  assert(i < nbits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+}
+
+void BitString::set_bit(std::size_t i, bool b) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (b) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitString::push_back(bool b) {
+  if (nbits_ % kWordBits == 0) words_.push_back(0);
+  ++nbits_;
+  set_bit(nbits_ - 1, b);
+}
+
+void BitString::append(const BitString& suffix) {
+  // Appending to a word boundary is a straight word copy; otherwise shift.
+  if (nbits_ % kWordBits == 0) {
+    words_.insert(words_.end(), suffix.words_.begin(), suffix.words_.end());
+    nbits_ += suffix.nbits_;
+    return;
+  }
+  for (std::size_t i = 0; i < suffix.nbits_; ++i) push_back(suffix.bit(i));
+}
+
+BitString BitString::concat(const BitString& suffix) const {
+  BitString out = *this;
+  out.append(suffix);
+  return out;
+}
+
+bool BitString::is_prefix_of(const BitString& other) const noexcept {
+  if (nbits_ > other.nbits_) return false;
+  const std::size_t full_words = nbits_ / kWordBits;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    if (words_[w] != other.words_[w]) return false;
+  }
+  const std::size_t tail = nbits_ % kWordBits;
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    if ((words_[full_words] & mask) != (other.words_[full_words] & mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BitString BitString::prefix(std::size_t nbits) const {
+  assert(nbits <= nbits_);
+  BitString out;
+  out.nbits_ = nbits;
+  const std::size_t nwords = (nbits + kWordBits - 1) / kWordBits;
+  out.words_.assign(words_.begin(),
+                    words_.begin() + static_cast<std::ptrdiff_t>(nwords));
+  const std::size_t tail = nbits % kWordBits;
+  if (nwords > 0 && tail != 0) {
+    out.words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+  return out;
+}
+
+BitString BitString::suffix(std::size_t nbits) const {
+  assert(nbits <= nbits_);
+  BitString out;
+  for (std::size_t i = nbits_ - nbits; i < nbits_; ++i) {
+    out.push_back(bit(i));
+  }
+  return out;
+}
+
+bool BitString::operator==(const BitString& other) const noexcept {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+std::strong_ordering BitString::operator<=>(
+    const BitString& other) const noexcept {
+  const std::size_t common = nbits_ < other.nbits_ ? nbits_ : other.nbits_;
+  for (std::size_t i = 0; i < common; ++i) {
+    const bool a = bit(i);
+    const bool b = other.bit(i);
+    if (a != b) return a <=> b;
+  }
+  return nbits_ <=> other.nbits_;
+}
+
+std::string BitString::to_binary() const {
+  std::string out;
+  out.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+std::uint64_t BitString::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ nbits_;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
+BitString BitString::from_words(std::vector<std::uint64_t> words,
+                                std::size_t nbits) {
+  const std::size_t need = (nbits + kWordBits - 1) / kWordBits;
+  assert(words.size() == need);
+  const std::size_t tail = nbits % kWordBits;
+  if (need > 0 && tail != 0) {
+    assert((words.back() & ~((std::uint64_t{1} << tail) - 1)) == 0);
+  }
+  BitString out;
+  out.words_ = std::move(words);
+  out.nbits_ = nbits;
+  return out;
+}
+
+}  // namespace s2d

@@ -1,0 +1,118 @@
+// BitString: a bit-granular, dynamically growing string of bits.
+//
+// The GHM protocol manipulates random strings whose length is measured in
+// bits and which grow by concatenation of fresh random suffixes. The three
+// operations the analysis relies on are exactly the ones exposed here:
+//
+//   * random generation of a fresh suffix (uniform over {0,1}^n),
+//   * concatenation (`append`, `concat`),
+//   * the prefix partial order (`is_prefix_of`), which induces the
+//     "neither prefix nor extension" comparability test used by the
+//     receiver to recognise a genuinely new message.
+//
+// Values are immutable-in-spirit: protocol code treats BitString as a value
+// type (copy, compare), mutating only its own state variables.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s2d {
+
+class Rng;
+
+class BitString {
+ public:
+  /// The empty bit string.
+  BitString() = default;
+
+  /// Parses a string of '0'/'1' characters. Any other character aborts
+  /// (programming error); intended for tests and literals.
+  static BitString from_binary(std::string_view bits);
+
+  /// Uniformly random string of exactly `nbits` bits drawn from `rng`.
+  static BitString random(std::size_t nbits, Rng& rng);
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+  [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
+
+  /// Value of bit `i` (0 = first/oldest bit). Precondition: i < size().
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+
+  /// Appends a single bit.
+  void push_back(bool b);
+
+  /// Appends all bits of `suffix` (the protocol's `concat`).
+  void append(const BitString& suffix);
+
+  /// Returns the concatenation `*this || suffix` without mutating.
+  [[nodiscard]] BitString concat(const BitString& suffix) const;
+
+  /// True iff `*this` is a prefix of `other` (every string is a prefix of
+  /// itself; the empty string is a prefix of everything).
+  [[nodiscard]] bool is_prefix_of(const BitString& other) const noexcept;
+
+  /// True iff the strings are prefix-comparable: one is a prefix of the
+  /// other. The receiver delivers a message exactly when the incoming tau
+  /// is NOT comparable with its stored tau (Appendix A, Figure 5).
+  [[nodiscard]] bool comparable(const BitString& other) const noexcept {
+    return is_prefix_of(other) || other.is_prefix_of(*this);
+  }
+
+  /// The first `nbits` bits. Precondition: nbits <= size().
+  [[nodiscard]] BitString prefix(std::size_t nbits) const;
+
+  /// The last `nbits` bits (the analysis in Lemma 2/4 talks about "the
+  /// last size(t, eps) bits"). Precondition: nbits <= size().
+  [[nodiscard]] BitString suffix(std::size_t nbits) const;
+
+  bool operator==(const BitString& other) const noexcept;
+
+  /// Lexicographic-with-length order; any strict total order works for
+  /// container keys.
+  std::strong_ordering operator<=>(const BitString& other) const noexcept;
+
+  /// Renders as a '0'/'1' string, e.g. "01101".
+  [[nodiscard]] std::string to_binary() const;
+
+  /// FNV-1a style hash over the canonicalised words; suitable for
+  /// unordered containers.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  /// Serialises into `out` (bit count as varint-free u64 + packed words);
+  /// see codec.h for the framing used on the wire.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  /// Reconstructs from raw words + bit count. Bits past `nbits` in the last
+  /// word must be zero (checked).
+  static BitString from_words(std::vector<std::uint64_t> words,
+                              std::size_t nbits);
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  void set_bit(std::size_t i, bool b) noexcept;
+
+  // Bits are stored LSB-first within each word: bit i lives in
+  // words_[i / 64] at position (i % 64). Unused high bits of the last
+  // word are kept at zero (class invariant) so equality and hashing can
+  // operate on whole words.
+  std::vector<std::uint64_t> words_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace s2d
+
+template <>
+struct std::hash<s2d::BitString> {
+  std::size_t operator()(const s2d::BitString& b) const noexcept {
+    return static_cast<std::size_t>(b.hash());
+  }
+};

@@ -1,0 +1,115 @@
+#include "util/codec.h"
+
+#include <cstring>
+
+namespace s2d {
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::fixed64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::blob(std::span<const std::byte> bytes) {
+  varint(bytes.size());
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+}
+
+void Writer::bits(const BitString& b) {
+  varint(b.size());
+  for (std::uint64_t w : b.words()) fixed64(w);
+}
+
+std::uint8_t Reader::u8() {
+  if (error_ || pos_ >= data_.size()) {
+    fail();
+    return 0;
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = u8();
+    if (error_) return 0;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      // Reject non-canonical zero continuation past 10 bytes implicitly:
+      // shift < 64 bound above already caps the loop.
+      return v;
+    }
+  }
+  fail();  // unterminated varint
+  return 0;
+}
+
+std::uint64_t Reader::fixed64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  }
+  return error_ ? 0 : v;
+}
+
+Bytes Reader::blob() {
+  const std::uint64_t n = varint();
+  if (error_ || n > remaining()) {
+    fail();
+    return {};
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = varint();
+  if (error_ || n > remaining()) {
+    fail();
+    return {};
+  }
+  std::string out(n, '\0');
+  std::memcpy(out.data(), data_.data() + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+BitString Reader::bits() {
+  const std::uint64_t nbits = varint();
+  if (error_) return {};
+  const std::uint64_t nwords = (nbits + 63) / 64;
+  if (nwords * 8 > remaining()) {
+    fail();
+    return {};
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(nwords);
+  for (std::uint64_t i = 0; i < nwords; ++i) words.push_back(fixed64());
+  if (error_) return {};
+  // Validate the padding invariant rather than asserting in from_words.
+  const std::uint64_t tail = nbits % 64;
+  if (nwords > 0 && tail != 0 &&
+      (words.back() & ~((std::uint64_t{1} << tail) - 1)) != 0) {
+    fail();
+    return {};
+  }
+  return BitString::from_words(std::move(words),
+                               static_cast<std::size_t>(nbits));
+}
+
+}  // namespace s2d

@@ -1,0 +1,84 @@
+// Wire codec: length-delimited binary encoding for packets.
+//
+// The model's communication channel carries opaque byte vectors; the only
+// attribute the adversary may observe is the length. All protocol packets
+// are therefore serialised through this codec so that "length" is a
+// well-defined, implementation-independent quantity.
+//
+// Encoding primitives: LEB128 varints for integers, varint-length-prefixed
+// blobs for byte strings, and bit-count-prefixed packed words for
+// BitStrings. Decoding is total: a Reader never throws and never reads out
+// of bounds; any malformed input flips a sticky error flag, which callers
+// check once at the end (monadic style keeps protocol decode sites short).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitstring.h"
+
+namespace s2d {
+
+using Bytes = std::vector<std::byte>;
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+
+  /// Fixed-width little-endian 64-bit value.
+  void fixed64(std::uint64_t v);
+
+  /// Varint length prefix followed by raw bytes.
+  void blob(std::span<const std::byte> bytes);
+  void str(std::string_view s);
+
+  /// Bit count (varint) followed by ceil(n/64) packed little-endian words.
+  void bits(const BitString& b);
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint64_t varint();
+  std::uint64_t fixed64();
+  Bytes blob();
+  std::string str();
+  BitString bits();
+
+  /// True iff every read so far was in-bounds and well-formed and the
+  /// input is fully consumed.
+  [[nodiscard]] bool ok_and_done() const noexcept {
+    return !error_ && pos_ == data_.size();
+  }
+  [[nodiscard]] bool ok() const noexcept { return !error_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  void fail() noexcept { error_ = true; }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace s2d

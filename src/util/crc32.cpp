@@ -1,0 +1,32 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace s2d {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  std::uint32_t c = state_;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xffU] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+}  // namespace s2d

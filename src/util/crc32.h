@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// The link-layer model assumes a semi-reliable channel that never corrupts
+// packet contents (§2.5 of the paper). The transport substrate, however,
+// simulates raw links where bit errors can occur; relay nodes use this CRC
+// to drop corrupted frames, which is exactly how the "semi-reliable lower
+// layer" assumption is realised in practice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace s2d {
+
+class Crc32 {
+ public:
+  Crc32() noexcept = default;
+
+  void update(std::span<const std::byte> data) noexcept;
+
+  /// Final CRC value over everything fed to update() so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xffffffffu; }
+
+  /// One-shot convenience.
+  static std::uint32_t of(std::span<const std::byte> data) noexcept {
+    Crc32 c;
+    c.update(data);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace s2d

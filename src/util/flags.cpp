@@ -1,0 +1,105 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace s2d {
+
+Flags& Flags::define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  specs_[name] = Spec{default_value, help};
+  return *this;
+}
+
+void Flags::usage() const {
+  std::fprintf(stderr, "%s\n\nFlags:\n", description_.c_str());
+  for (const auto& [name, spec] : specs_) {
+    std::fprintf(stderr, "  --%s=%s\n      %s\n", name.c_str(),
+                 spec.default_value.c_str(), spec.help.c_str());
+  }
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      failed_ = true;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    if (specs_.find(name) == specs_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s (see --help)\n", name.c_str());
+      failed_ = true;
+      return false;
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Flags::get(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = specs_.find(name); it != specs_.end())
+    return it->second.default_value;
+  std::fprintf(stderr, "flag not defined: --%s\n", name.c_str());
+  std::abort();
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+std::uint64_t Flags::get_u64(const std::string& name) const {
+  return std::strtoull(get(name).c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(get(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Flags::get_u64_list(const std::string& name) const {
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(get(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace s2d

@@ -1,0 +1,58 @@
+// Minimal command-line flag parser for examples and experiment binaries.
+//
+// Supports --name=value and --name value; `--help` prints registered flags
+// with defaults and descriptions. Unknown flags are an error so typos in
+// sweep scripts fail loudly instead of silently running the default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace s2d {
+
+class Flags {
+ public:
+  Flags(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  // Registration: call before parse(). Returns *this for chaining.
+  Flags& define(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv; on --help prints usage and returns false (caller should
+  /// exit 0). On error prints a message and returns false (caller should
+  /// exit nonzero — check failed()).
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Parses a comma-separated list of doubles/ints, e.g. "0.1,0.2,0.5".
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_list(
+      const std::string& name) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+
+  void usage() const;
+
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  bool failed_ = false;
+};
+
+}  // namespace s2d

@@ -1,0 +1,82 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace s2d {
+namespace {
+
+std::string bar(std::uint64_t value, std::uint64_t max_value,
+                std::size_t max_width) {
+  if (max_value == 0) return {};
+  const auto w = static_cast<std::size_t>(
+      (static_cast<double>(value) / static_cast<double>(max_value)) *
+      static_cast<double>(max_width));
+  return std::string(std::max<std::size_t>(value > 0 ? 1 : 0, w), '#');
+}
+
+}  // namespace
+
+void Log2Histogram::add(std::uint64_t v) noexcept {
+  const std::size_t b =
+      v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++total_;
+}
+
+std::string Log2Histogram::render(std::size_t max_width) const {
+  std::uint64_t max_v = 0;
+  for (auto b : buckets_) max_v = std::max(max_v, b);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t lo = i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+    const std::uint64_t hi = i == 0 ? 1 : (std::uint64_t{1} << i);
+    out << "[" << lo << ", " << hi << ")  "
+        << bar(buckets_[i], max_v, max_width) << "  " << buckets_[i] << "\n";
+  }
+  return out.str();
+}
+
+LinearHistogram::LinearHistogram(std::uint64_t lo, std::uint64_t width,
+                                 std::size_t nbuckets)
+    : lo_(lo), width_(width == 0 ? 1 : width), buckets_(nbuckets, 0) {}
+
+void LinearHistogram::add(std::uint64_t v) noexcept {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  const std::uint64_t idx = (v - lo_) / width_;
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+std::string LinearHistogram::render(std::size_t max_width) const {
+  std::uint64_t max_v = std::max(overflow_, underflow_);
+  for (auto b : buckets_) max_v = std::max(max_v, b);
+  std::ostringstream out;
+  if (underflow_ > 0) {
+    out << "(<" << lo_ << ")  " << bar(underflow_, max_v, max_width) << "  "
+        << underflow_ << "\n";
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t b_lo = lo_ + static_cast<std::uint64_t>(i) * width_;
+    out << "[" << b_lo << ", " << b_lo + width_ << ")  "
+        << bar(buckets_[i], max_v, max_width) << "  " << buckets_[i] << "\n";
+  }
+  if (overflow_ > 0) {
+    out << "(>=" << lo_ + buckets_.size() * width_ << ")  "
+        << bar(overflow_, max_v, max_width) << "  " << overflow_ << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace s2d

@@ -1,0 +1,63 @@
+// Histograms for distribution reporting in experiments.
+//
+// Log2Histogram buckets by floor(log2(v)), which matches how the protocol's
+// state grows (string lengths roughly double per epoch under geometric
+// bound policies); LinearHistogram covers small bounded ranges such as
+// retransmission counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2d {
+
+class Log2Histogram {
+ public:
+  void add(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+  /// ASCII rendering, one line per non-empty bucket:
+  ///   [  8,  16)  ###########  1234
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // bucket i holds values in [2^i-1 range)
+  std::uint64_t total_ = 0;
+};
+
+class LinearHistogram {
+ public:
+  /// Buckets [lo, lo+width), [lo+width, lo+2*width), ... plus an overflow
+  /// bucket.
+  LinearHistogram(std::uint64_t lo, std::uint64_t width, std::size_t nbuckets);
+
+  void add(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
+
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,45 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace s2d::log_internal {
+
+LogLevel& global_level() noexcept {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace {
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* basename_of(const char* path) noexcept {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", level_name(level),
+               basename_of(file), line, msg.c_str());
+}
+
+}  // namespace s2d::log_internal

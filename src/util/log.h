@@ -1,0 +1,55 @@
+// Leveled logging to stderr.
+//
+// Protocol modules log at Debug/Trace; experiments run with Warn by default
+// so million-execution sweeps stay quiet. The level is a process-global
+// because log statements appear on hot simulation paths and must cost one
+// branch when disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace s2d {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+namespace log_internal {
+
+LogLevel& global_level() noexcept;
+void emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+}  // namespace log_internal
+
+inline void set_log_level(LogLevel level) noexcept {
+  log_internal::global_level() = level;
+}
+inline LogLevel log_level() noexcept { return log_internal::global_level(); }
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_internal::global_level());
+}
+
+}  // namespace s2d
+
+#define S2D_LOG(level, expr)                                              \
+  do {                                                                    \
+    if (::s2d::log_enabled(level)) {                                      \
+      std::ostringstream s2d_log_stream_;                                 \
+      s2d_log_stream_ << expr;                                            \
+      ::s2d::log_internal::emit(level, __FILE__, __LINE__,                \
+                                s2d_log_stream_.str());                   \
+    }                                                                     \
+  } while (0)
+
+#define S2D_TRACE(expr) S2D_LOG(::s2d::LogLevel::kTrace, expr)
+#define S2D_DEBUG(expr) S2D_LOG(::s2d::LogLevel::kDebug, expr)
+#define S2D_INFO(expr) S2D_LOG(::s2d::LogLevel::kInfo, expr)
+#define S2D_WARN(expr) S2D_LOG(::s2d::LogLevel::kWarn, expr)
+#define S2D_ERROR(expr) S2D_LOG(::s2d::LogLevel::kError, expr)

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (protocol coin tosses,
+// adversary coin tosses, workload generation) draws from its own Rng
+// instance seeded explicitly, so whole executions replay bit-for-bit from
+// a single root seed. This is what makes the trace checkers and the
+// statistical experiments reproducible.
+//
+// Generator: xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+// Not cryptographic — the model only requires the adversary to be
+// content-oblivious, which we enforce by the type system (the adversary
+// never sees packet bytes), not by cryptography.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace s2d {
+
+/// SplitMix64: used to expand one u64 seed into generator state and to
+/// derive independent child seeds (`Rng::fork`).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derives an independent child generator; `salt` distinguishes children
+  /// forked from the same parent state.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses rejection
+  /// sampling (Lemire-style) to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Fast path for powers of two.
+    if ((bound & (bound - 1)) == 0) return next_u64() & (bound - 1);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  bool next_bit() noexcept { return (next_u64() & 1U) != 0; }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace s2d

@@ -1,0 +1,102 @@
+// Small statistics toolkit used by the experiment harness.
+//
+// Experiments replicate executions over many seeds and report means,
+// spreads and binomial confidence intervals (a violation either happens
+// in a run or it does not). Wilson intervals are used for proportions
+// because the interesting rates are near zero (<= epsilon) where the
+// normal approximation is useless.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace s2d {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with quantile queries (sorts lazily on demand).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Linear-interpolated quantile, q in [0,1]. NaN when empty.
+  [[nodiscard]] double quantile(double q);
+
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double p99() { return quantile(0.99); }
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = true;
+};
+
+/// Wilson score interval for a binomial proportion.
+struct Proportion {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  void add(bool success) noexcept {
+    successes += success ? 1U : 0U;
+    ++trials;
+  }
+
+  [[nodiscard]] double estimate() const noexcept {
+    return trials ? static_cast<double>(successes) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+
+  /// Wilson interval at confidence given by z (1.96 ~ 95%, 2.58 ~ 99%).
+  struct Interval {
+    double lo;
+    double hi;
+  };
+  [[nodiscard]] Interval wilson(double z = 1.96) const noexcept;
+};
+
+}  // namespace s2d

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace s2d {
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream s;
+  s << std::fixed << std::setprecision(precision) << v;
+  return s.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream s;
+  s << std::scientific << std::setprecision(precision) << v;
+  return s.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    out << " |\n";
+  };
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    }
+    out << "-|\n";
+  };
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      // Quote cells containing commas.
+      if (cells[c].find(',') != std::string::npos) {
+        out << '"' << cells[c] << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace s2d

@@ -1,0 +1,37 @@
+// Aligned ASCII table / CSV emitter for benchmark and experiment output.
+//
+// Every experiment binary prints its result both as a human-readable table
+// (the "paper table" reproduction) and, with --csv, as machine-readable CSV
+// for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace s2d {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s2d

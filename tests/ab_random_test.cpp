@@ -1,0 +1,166 @@
+// The [AB89]-style randomized session baseline: self-stabilizing over
+// FIFO channels (transient violations confined to crash-recovery windows,
+// steady state exactly-once in-order), broken under non-FIFO faults.
+#include "baseline/ab_random.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+DataLink make_link(std::unique_ptr<Adversary> adv, std::uint64_t seed) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 0;     // passive receiver
+  cfg.tx_timer_every = 4;  // transmitter-driven retransmission
+  return DataLink(std::make_unique<RandomSessionTransmitter>(Rng(seed)),
+                  std::make_unique<RandomSessionReceiver>(), std::move(adv),
+                  cfg);
+}
+
+TEST(RsFrames, RoundTrip) {
+  const RsDataFrame f{0xabcdefull, 7, {3, "pay"}};
+  const auto g = RsDataFrame::decode(f.encode());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->session, 0xabcdefull);
+  EXPECT_EQ(g->seq, 7u);
+  EXPECT_EQ(g->msg.payload, "pay");
+  const RsAckFrame a{5, 2};
+  const auto b = RsAckFrame::decode(a.encode());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->session, 5u);
+  EXPECT_EQ(b->seq, 2u);
+}
+
+TEST(RsFrames, CrossDecodeRejected) {
+  EXPECT_FALSE(RsAckFrame::decode(RsDataFrame{1, 0, {1, "x"}}.encode()));
+  EXPECT_FALSE(RsDataFrame::decode(RsAckFrame{1, 0}.encode()));
+}
+
+TEST(RandomSession, CleanOverLossyFifoWithoutCrashes) {
+  for (double loss : {0.0, 0.3}) {
+    DataLink link = make_link(
+        std::make_unique<BenignFifoAdversary>(loss, Rng(1)), 2);
+    const RunReport r = run_workload(link, {.messages = 50}, Rng(3));
+    EXPECT_EQ(r.completed, 50u) << loss;
+    EXPECT_TRUE(link.checker().clean())
+        << loss << " " << link.checker().violations().summary();
+  }
+}
+
+TEST(RandomSession, FreshSessionAdoptedAfterTransmitterCrash) {
+  // crash^T between messages: the new incarnation's (session', 0) frame is
+  // adopted and the stream continues with no violation.
+  struct CrashBetween final : Adversary {
+    BenignFifoAdversary fifo{0.0, Rng(4)};
+    std::uint64_t step = 0;
+    Decision next(const AdversaryView& v) override {
+      ++step;
+      if (step == 40) return Decision::crash_t();
+      return fifo.next(v);
+    }
+    std::string name() const override { return "crash-between"; }
+  };
+  DataLink link = make_link(std::make_unique<CrashBetween>(), 5);
+  const RunReport r = run_workload(
+      link, {.messages = 20, .stop_on_stall = false}, Rng(6));
+  EXPECT_GE(r.completed + r.aborted, 20u);
+  EXPECT_TRUE(link.checker().clean()) << link.checker().violations().summary();
+}
+
+TEST(RandomSession, SelfStabilizesAfterCrashStorms) {
+  // Under random crashes on a FIFO pipe, transient violations are allowed
+  // (the self-stabilization spec); they must stay RARE relative to the
+  // message volume, and the stream must keep completing.
+  std::uint64_t completed = 0;
+  std::uint64_t violations = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    FaultProfile p;
+    p.loss = 0.05;
+    p.crash_t = 0.004;
+    p.crash_r = 0.004;
+    DataLink link = make_link(
+        std::make_unique<RandomFaultAdversary>(p, Rng(seed + 10)), seed);
+    const RunReport r = run_workload(
+        link, {.messages = 100, .stop_on_stall = false}, Rng(seed + 20));
+    completed += r.completed;
+    violations += link.checker().violations().safety_total();
+  }
+  EXPECT_GT(completed, 900u);
+  // Strictly below 2% of messages: violations happen only inside crash
+  // recovery windows (compare ABP, which exceeds 25% in E6's crash column).
+  EXPECT_LT(violations * 50, completed);
+}
+
+TEST(RandomSession, SafeUnderDupReorderWithoutCrashes) {
+  // The classical fact this baseline embodies: UNBOUNDED sequence numbers
+  // (plus a session nonce) survive duplication and reordering — the
+  // non-FIFO problem only bites protocols that bound or reset their
+  // counters. The price appears elsewhere: the counter never resets
+  // (§1's storage criticism) and crashes still break it (below).
+  std::uint64_t completed = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    FaultProfile p;
+    p.duplicate = 0.3;
+    p.reorder = 0.5;
+    DataLink link = make_link(
+        std::make_unique<RandomFaultAdversary>(p, Rng(seed + 30)), seed);
+    const RunReport r = run_workload(
+        link, {.messages = 60, .stop_on_stall = false}, Rng(seed + 40));
+    completed += r.completed;
+    EXPECT_TRUE(link.checker().clean())
+        << "seed=" << seed << " " << link.checker().violations().summary();
+  }
+  EXPECT_GT(completed, 300u);
+}
+
+TEST(RandomSession, BreaksWhenDuplicationMeetsCrashes) {
+  // The stale-session replay: after a transmitter crash the receiver
+  // accepts any (session, 0) frame — a duplicated zero-frame of an OLD
+  // incarnation re-delivers an old message.
+  std::uint64_t violations = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    FaultProfile p;
+    p.duplicate = 0.4;
+    p.reorder = 0.3;
+    p.crash_t = 0.01;
+    p.crash_r = 0.01;
+    DataLink link = make_link(
+        std::make_unique<RandomFaultAdversary>(p, Rng(seed + 50)), seed);
+    (void)run_workload(link, {.messages = 80, .stop_on_stall = false},
+                       Rng(seed + 60));
+    violations += link.checker().violations().safety_total();
+  }
+  EXPECT_GT(violations, 0u);
+}
+
+TEST(RandomSession, ReceiverReadoptsAfterOwnCrash) {
+  RandomSessionReceiver rx;
+  RxOutbox out;
+  rx.on_receive_pkt(RsDataFrame{9, 0, {1, "a"}}.encode(), out);
+  ASSERT_EQ(out.delivered().size(), 1u);
+  EXPECT_TRUE(rx.locked());
+  rx.on_crash();
+  EXPECT_FALSE(rx.locked());
+  // Next frame (any seq) is adopted and delivered; §2.6 excuses the
+  // post-crash^R duplicate.
+  rx.on_receive_pkt(RsDataFrame{9, 0, {1, "a"}}.encode(), out);
+  EXPECT_EQ(out.delivered().size(), 2u);
+  EXPECT_TRUE(rx.locked());
+}
+
+TEST(RandomSession, StaleSessionFragmentsIgnored) {
+  RandomSessionReceiver rx;
+  RxOutbox out;
+  rx.on_receive_pkt(RsDataFrame{9, 0, {1, "a"}}.encode(), out);
+  // A stale non-zero-seq frame from an older incarnation must not flip
+  // the lock or deliver.
+  rx.on_receive_pkt(RsDataFrame{7, 3, {99, "old"}}.encode(), out);
+  EXPECT_EQ(out.delivered().size(), 1u);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,102 @@
+#include "link/actions.h"
+
+#include <gtest/gtest.h>
+
+#include "link/trace_render.h"
+
+namespace s2d {
+namespace {
+
+TEST(Actions, NamesAreStable) {
+  EXPECT_STREQ(action_name(ActionKind::kSendMsg), "send_msg");
+  EXPECT_STREQ(action_name(ActionKind::kOk), "OK");
+  EXPECT_STREQ(action_name(ActionKind::kReceiveMsg), "receive_msg");
+  EXPECT_STREQ(action_name(ActionKind::kCrashT), "crash^T");
+  EXPECT_STREQ(action_name(ActionKind::kCrashR), "crash^R");
+  EXPECT_STREQ(action_name(ActionKind::kRetry), "RETRY");
+  EXPECT_STREQ(action_name(ActionKind::kSendPktTR), "send_pkt^{T->R}");
+  EXPECT_STREQ(action_name(ActionKind::kReceivePktRT),
+               "receive_pkt^{R->T}");
+}
+
+Trace sample_trace() {
+  Trace t;
+  t.append({.kind = ActionKind::kSendMsg, .step = 0, .msg_id = 1});
+  t.append({.kind = ActionKind::kSendPktTR, .step = 0, .pkt_id = 0,
+            .pkt_len = 34});
+  t.append({.kind = ActionKind::kRetry, .step = 1});
+  t.append({.kind = ActionKind::kSendPktRT, .step = 1, .pkt_id = 0,
+            .pkt_len = 21});
+  t.append({.kind = ActionKind::kReceivePktTR, .step = 2, .pkt_id = 0,
+            .pkt_len = 34});
+  t.append({.kind = ActionKind::kReceiveMsg, .step = 2, .msg_id = 1});
+  t.append({.kind = ActionKind::kOk, .step = 3});
+  return t;
+}
+
+TEST(Actions, CountByKind) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.count(ActionKind::kSendMsg), 1u);
+  EXPECT_EQ(t.count(ActionKind::kOk), 1u);
+  EXPECT_EQ(t.count(ActionKind::kCrashT), 0u);
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Actions, RenderTailShowsRecentEvents) {
+  const Trace t = sample_trace();
+  const std::string tail = t.render_tail(3);
+  EXPECT_EQ(tail.find("send_msg"), std::string::npos);  // elided
+  EXPECT_NE(tail.find("receive_msg(m1)"), std::string::npos);
+  EXPECT_NE(tail.find("OK"), std::string::npos);
+}
+
+TEST(Actions, ClearEmptiesTrace) {
+  Trace t = sample_trace();
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceRender, SequenceDiagramHasAllColumns) {
+  const std::string diagram = render_sequence(sample_trace());
+  EXPECT_NE(diagram.find("send_msg(m1)"), std::string::npos);
+  EXPECT_NE(diagram.find("--(p0, 34B)-->"), std::string::npos);
+  EXPECT_NE(diagram.find("<--(p0, 21B)--"), std::string::npos);
+  EXPECT_NE(diagram.find("receive_msg(m1)"), std::string::npos);
+  EXPECT_NE(diagram.find("OK"), std::string::npos);
+  EXPECT_NE(diagram.find("RETRY"), std::string::npos);
+}
+
+TEST(TraceRender, OptionsSuppressNoise) {
+  RenderOptions opts;
+  opts.show_packet_events = false;
+  opts.show_retries = false;
+  const std::string diagram = render_sequence(sample_trace(), opts);
+  EXPECT_EQ(diagram.find("p0"), std::string::npos);
+  EXPECT_EQ(diagram.find("RETRY"), std::string::npos);
+  EXPECT_NE(diagram.find("send_msg"), std::string::npos);
+}
+
+TEST(TraceRender, ElisionNoted) {
+  Trace t;
+  for (int i = 0; i < 50; ++i) {
+    t.append({.kind = ActionKind::kRetry, .step = static_cast<std::uint64_t>(i)});
+  }
+  RenderOptions opts;
+  opts.max_events = 10;
+  const std::string diagram = render_sequence(t, opts);
+  EXPECT_NE(diagram.find("40 earlier events elided"), std::string::npos);
+}
+
+TEST(TraceRender, CrashesHighlighted) {
+  Trace t;
+  t.append({.kind = ActionKind::kCrashT, .step = 5});
+  t.append({.kind = ActionKind::kCrashR, .step = 6});
+  const std::string diagram = render_sequence(t);
+  EXPECT_NE(diagram.find("** crash^T **"), std::string::npos);
+  EXPECT_NE(diagram.find("** crash^R **"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2d

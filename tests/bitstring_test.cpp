@@ -1,0 +1,224 @@
+#include "util/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+TEST(BitString, EmptyBasics) {
+  BitString b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.to_binary(), "");
+  EXPECT_EQ(b, BitString());
+}
+
+TEST(BitString, FromBinaryRoundTrip) {
+  const std::string pattern = "0110100111010001";
+  BitString b = BitString::from_binary(pattern);
+  EXPECT_EQ(b.size(), pattern.size());
+  EXPECT_EQ(b.to_binary(), pattern);
+}
+
+TEST(BitString, PushBackBuildsInOrder) {
+  BitString b;
+  b.push_back(true);
+  b.push_back(false);
+  b.push_back(true);
+  EXPECT_EQ(b.to_binary(), "101");
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+}
+
+TEST(BitString, PushBackAcrossWordBoundary) {
+  BitString b;
+  std::string expect;
+  for (int i = 0; i < 200; ++i) {
+    const bool v = (i % 3) == 0;
+    b.push_back(v);
+    expect.push_back(v ? '1' : '0');
+  }
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.to_binary(), expect);
+}
+
+TEST(BitString, AppendMatchesStringConcat) {
+  BitString a = BitString::from_binary("1101");
+  BitString b = BitString::from_binary("0011");
+  BitString c = a.concat(b);
+  EXPECT_EQ(c.to_binary(), "11010011");
+  a.append(b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(BitString, AppendAtWordBoundaryFastPath) {
+  Rng rng(7);
+  BitString a = BitString::random(128, rng);  // exactly two words
+  BitString b = BitString::random(70, rng);
+  const std::string expect = a.to_binary() + b.to_binary();
+  a.append(b);
+  EXPECT_EQ(a.to_binary(), expect);
+}
+
+TEST(BitString, AppendEmptyIsIdentity) {
+  BitString a = BitString::from_binary("10101");
+  BitString copy = a;
+  a.append(BitString{});
+  EXPECT_EQ(a, copy);
+  BitString empty;
+  empty.append(copy);
+  EXPECT_EQ(empty, copy);
+}
+
+TEST(BitString, PrefixReflexive) {
+  Rng rng(11);
+  const BitString a = BitString::random(77, rng);
+  EXPECT_TRUE(a.is_prefix_of(a));
+  EXPECT_TRUE(a.comparable(a));
+}
+
+TEST(BitString, EmptyIsPrefixOfEverything) {
+  Rng rng(12);
+  const BitString a = BitString::random(9, rng);
+  EXPECT_TRUE(BitString().is_prefix_of(a));
+  EXPECT_FALSE(a.is_prefix_of(BitString()));
+}
+
+TEST(BitString, PrefixDetectsExtension) {
+  BitString a = BitString::from_binary("1100");
+  BitString b = a.concat(BitString::from_binary("01"));
+  EXPECT_TRUE(a.is_prefix_of(b));
+  EXPECT_FALSE(b.is_prefix_of(a));
+  EXPECT_TRUE(a.comparable(b));
+  EXPECT_TRUE(b.comparable(a));
+}
+
+TEST(BitString, IncomparableStrings) {
+  BitString a = BitString::from_binary("1100");
+  BitString b = BitString::from_binary("1010");
+  EXPECT_FALSE(a.is_prefix_of(b));
+  EXPECT_FALSE(b.is_prefix_of(a));
+  EXPECT_FALSE(a.comparable(b));
+}
+
+TEST(BitString, SameLengthPrefixIsEquality) {
+  // For equal lengths, "is a prefix of" must coincide with equality —
+  // the receiver's wrong-packet rule depends on this.
+  Rng rng(13);
+  const BitString a = BitString::random(100, rng);
+  BitString b = a;
+  EXPECT_TRUE(a.is_prefix_of(b));
+  b = BitString::random(100, rng);
+  ASSERT_NE(a, b);
+  EXPECT_FALSE(a.is_prefix_of(b));
+}
+
+TEST(BitString, PrefixAcrossWordBoundaries) {
+  Rng rng(14);
+  const BitString a = BitString::random(300, rng);
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 128u, 299u, 300u}) {
+    EXPECT_TRUE(a.prefix(n).is_prefix_of(a)) << n;
+    EXPECT_EQ(a.prefix(n).size(), n);
+  }
+}
+
+TEST(BitString, PrefixMethodMatchesToBinary) {
+  Rng rng(15);
+  const BitString a = BitString::random(150, rng);
+  const std::string s = a.to_binary();
+  EXPECT_EQ(a.prefix(71).to_binary(), s.substr(0, 71));
+}
+
+TEST(BitString, SuffixMatchesToBinary) {
+  Rng rng(16);
+  const BitString a = BitString::random(150, rng);
+  const std::string s = a.to_binary();
+  EXPECT_EQ(a.suffix(40).to_binary(), s.substr(150 - 40));
+  EXPECT_EQ(a.suffix(0).size(), 0u);
+  EXPECT_EQ(a.suffix(150), a);
+}
+
+TEST(BitString, RandomHasExactLength) {
+  Rng rng(17);
+  for (std::size_t n : {1u, 5u, 63u, 64u, 65u, 129u, 1000u}) {
+    EXPECT_EQ(BitString::random(n, rng).size(), n);
+  }
+}
+
+TEST(BitString, RandomZeroBits) {
+  Rng rng(18);
+  EXPECT_EQ(BitString::random(0, rng), BitString());
+}
+
+TEST(BitString, RandomIsRoughlyBalanced) {
+  Rng rng(19);
+  const BitString a = BitString::random(10000, rng);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) ones += a.bit(i) ? 1u : 0u;
+  EXPECT_GT(ones, 4700u);
+  EXPECT_LT(ones, 5300u);
+}
+
+TEST(BitString, RandomCollisionsAreRare) {
+  Rng rng(20);
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(BitString::random(64, rng).to_binary());
+  }
+  EXPECT_EQ(seen.size(), 2000u);  // 2000 draws of 64 bits never collide
+}
+
+TEST(BitString, OrderingIsStrictTotalOrder) {
+  BitString a = BitString::from_binary("0");
+  BitString b = BitString::from_binary("00");
+  BitString c = BitString::from_binary("1");
+  EXPECT_LT(a, b);  // prefix sorts first
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a <=> a, std::strong_ordering::equal);
+}
+
+TEST(BitString, HashDistinguishesLengths) {
+  // "0" and "00" share word content; length must feed the hash.
+  BitString a = BitString::from_binary("0");
+  BitString b = BitString::from_binary("00");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitString, UnorderedSetUsable) {
+  Rng rng(21);
+  std::unordered_set<BitString> set;
+  std::vector<BitString> values;
+  for (int i = 0; i < 100; ++i) values.push_back(BitString::random(90, rng));
+  for (const auto& v : values) set.insert(v);
+  EXPECT_EQ(set.size(), 100u);
+  for (const auto& v : values) EXPECT_TRUE(set.contains(v));
+}
+
+TEST(BitString, FromWordsRoundTrip) {
+  Rng rng(22);
+  const BitString a = BitString::random(130, rng);
+  const BitString b = BitString::from_words(a.words(), a.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitString, PaddingInvariantAfterOperations) {
+  // The unused high bits of the last word must stay zero through every
+  // operation, or equality/hashing would diverge from bit content.
+  Rng rng(23);
+  BitString a = BitString::random(70, rng);
+  a.append(BitString::random(3, rng));
+  const BitString rebuilt = BitString::from_binary(a.to_binary());
+  EXPECT_EQ(a, rebuilt);
+  EXPECT_EQ(a.words(), rebuilt.words());
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,80 @@
+#include "link/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace s2d {
+namespace {
+
+Bytes bytes_of(std::initializer_list<int> xs) {
+  Bytes out;
+  for (int x : xs) out.push_back(static_cast<std::byte>(x));
+  return out;
+}
+
+TEST(Channel, SendAssignsSequentialIds) {
+  Channel c("t");
+  EXPECT_EQ(c.send(bytes_of({1}), 0), 0u);
+  EXPECT_EQ(c.send(bytes_of({2}), 1), 1u);
+  EXPECT_EQ(c.send(bytes_of({3}), 2), 2u);
+  EXPECT_EQ(c.packets_sent(), 3u);
+}
+
+TEST(Channel, PayloadLookupReturnsExactBytes) {
+  Channel c("t");
+  const Bytes payload = bytes_of({10, 20, 30});
+  const PacketId id = c.send(payload, 5);
+  const auto got = c.payload(id);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(std::equal(got->begin(), got->end(), payload.begin(),
+                         payload.end()));
+}
+
+TEST(Channel, UnknownIdReturnsNothing) {
+  Channel c("t");
+  EXPECT_FALSE(c.payload(0).has_value());
+  c.send(bytes_of({1}), 0);
+  EXPECT_TRUE(c.payload(0).has_value());
+  EXPECT_FALSE(c.payload(1).has_value());
+}
+
+TEST(Channel, PacketsRetainedForever) {
+  // §2.3: a sent packet can be delivered any number of times, arbitrarily
+  // later — the store must never forget.
+  Channel c("t");
+  const PacketId id = c.send(bytes_of({7}), 0);
+  for (int i = 0; i < 1000; ++i) c.send(bytes_of({i & 0xff}), 1);
+  const auto got = c.payload(id);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], std::byte{7});
+}
+
+TEST(Channel, HistoryExposesOnlyMetadata) {
+  Channel c("t");
+  c.send(bytes_of({1, 2, 3}), 9);
+  const auto& h = c.history();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0].id, 0u);
+  EXPECT_EQ(h[0].length, 3u);
+  EXPECT_EQ(h[0].sent_step, 9u);
+}
+
+TEST(Channel, LengthQuery) {
+  Channel c("t");
+  c.send(bytes_of({1, 2, 3, 4}), 0);
+  EXPECT_EQ(c.length(0), 4u);
+  EXPECT_EQ(c.length(99), 0u);
+}
+
+TEST(Channel, StatsAccumulate) {
+  Channel c("t");
+  c.send(bytes_of({1, 2}), 0);
+  c.send(bytes_of({3, 4, 5}), 0);
+  EXPECT_EQ(c.bytes_sent(), 5u);
+  EXPECT_EQ(c.deliveries(), 0u);
+  c.note_delivery();
+  c.note_delivery();
+  EXPECT_EQ(c.deliveries(), 2u);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,159 @@
+// Soundness tests for the TraceChecker itself: hand-crafted traces with
+// known violations must be flagged, and violation-free traces must pass.
+// The experiments' conclusions rest on this file.
+#include "link/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace s2d {
+namespace {
+
+TraceEvent send(std::uint64_t m) {
+  return {.kind = ActionKind::kSendMsg, .msg_id = m};
+}
+TraceEvent ok() { return {.kind = ActionKind::kOk}; }
+TraceEvent recv(std::uint64_t m) {
+  return {.kind = ActionKind::kReceiveMsg, .msg_id = m};
+}
+TraceEvent crash_t() { return {.kind = ActionKind::kCrashT}; }
+TraceEvent crash_r() { return {.kind = ActionKind::kCrashR}; }
+
+TraceChecker check_all(std::initializer_list<TraceEvent> events) {
+  TraceChecker c;
+  for (const auto& e : events) c.on_event(e);
+  return c;
+}
+
+TEST(Checker, CleanHandshakeSequence) {
+  const auto c =
+      check_all({send(1), recv(1), ok(), send(2), recv(2), ok()});
+  EXPECT_TRUE(c.clean()) << c.violations().summary();
+  EXPECT_EQ(c.oks(), 2u);
+  EXPECT_EQ(c.deliveries(), 2u);
+}
+
+TEST(Checker, CausalityViolationOnUnsentMessage) {
+  const auto c = check_all({send(1), recv(99)});
+  EXPECT_EQ(c.violations().causality, 1u);
+}
+
+TEST(Checker, OrderViolationWhenOkWithoutDelivery) {
+  const auto c = check_all({send(1), ok()});
+  EXPECT_EQ(c.violations().order, 1u);
+}
+
+TEST(Checker, OrderViolationWhenDeliveryPrecedesSend) {
+  // A delivery of m before its send is a causality violation; a later OK
+  // must still see no delivery *after* the send.
+  TraceChecker c;
+  c.on_event(recv(1));
+  c.on_event(send(1));
+  c.on_event(ok());
+  EXPECT_EQ(c.violations().causality, 1u);
+  EXPECT_EQ(c.violations().order, 1u);
+}
+
+TEST(Checker, OkWithNothingInFlight) {
+  const auto c = check_all({ok()});
+  EXPECT_EQ(c.violations().order, 1u);
+}
+
+TEST(Checker, DuplicationViolation) {
+  const auto c = check_all({send(1), recv(1), recv(1), ok()});
+  EXPECT_EQ(c.violations().duplication, 1u);
+}
+
+TEST(Checker, DuplicationAllowedAcrossCrashR) {
+  // §2.6: duplicates are excluded from the condition when a crash^R
+  // intervenes — the receiver cannot remember what it already delivered.
+  const auto c = check_all({send(1), recv(1), crash_r(), recv(1), ok()});
+  EXPECT_EQ(c.violations().duplication, 0u);
+}
+
+TEST(Checker, TripleDeliveryCountsTwice) {
+  const auto c = check_all({send(1), recv(1), recv(1), recv(1)});
+  EXPECT_EQ(c.violations().duplication, 2u);
+}
+
+TEST(Checker, ReplayViolation) {
+  // m1 completes (send, recv, OK); m2 is delivered (a boundary); then m1
+  // is delivered again: a textbook replay.
+  const auto c = check_all(
+      {send(1), recv(1), ok(), send(2), recv(2), ok(), recv(1)});
+  EXPECT_EQ(c.violations().replay, 1u);
+}
+
+TEST(Checker, ReplayAfterCrashRBoundary) {
+  // The §3 attack shape: m1 completed, both stations crash, then the
+  // adversary forces a re-delivery of m1.
+  const auto c =
+      check_all({send(1), recv(1), ok(), crash_r(), crash_t(), recv(1)});
+  EXPECT_EQ(c.violations().replay, 1u);
+}
+
+TEST(Checker, AbortedMessageCountsForReplay) {
+  // m1's transfer is cut short by crash^T (no OK) — m1 is still in
+  // M_alpha ("followed by an OK or crash^T"), so a later re-delivery
+  // after a boundary is a replay.
+  const auto c =
+      check_all({send(1), recv(1), crash_t(), send(2), recv(2), recv(1)});
+  EXPECT_EQ(c.violations().replay, 1u);
+}
+
+TEST(Checker, RedeliveryWithoutBoundaryIsDuplicationNotReplay) {
+  const auto c = check_all({send(1), recv(1), ok(), recv(1)});
+  // The second recv(1) follows a boundary (the first recv(1)) and m1
+  // completed before... wait: m1's OK (completion) happened *after* the
+  // boundary event recv(1), so the no-replay condition is not violated;
+  // the duplication condition is.
+  EXPECT_EQ(c.violations().replay, 0u);
+  EXPECT_EQ(c.violations().duplication, 1u);
+}
+
+TEST(Checker, FreshDeliveryAfterCrashesIsClean) {
+  const auto c = check_all(
+      {send(1), recv(1), ok(), crash_t(), crash_r(), send(2), recv(2), ok()});
+  EXPECT_TRUE(c.clean()) << c.violations().summary();
+}
+
+TEST(Checker, Axiom1ViolationDetected) {
+  const auto c = check_all({send(1), send(2)});
+  EXPECT_EQ(c.violations().axiom, 1u);
+}
+
+TEST(Checker, Axiom1SatisfiedByCrash) {
+  const auto c = check_all({send(1), crash_t(), send(2)});
+  EXPECT_EQ(c.violations().axiom, 0u);
+}
+
+TEST(Checker, Axiom2ViolationDetected) {
+  const auto c = check_all({send(1), ok(), send(1)});
+  // ok() without delivery also flags order; we only assert the axiom here.
+  EXPECT_EQ(c.violations().axiom, 1u);
+}
+
+TEST(Checker, AbortedThenNothingIsClean) {
+  const auto c = check_all({send(1), crash_t(), send(2), recv(2), ok()});
+  EXPECT_TRUE(c.clean()) << c.violations().summary();
+}
+
+TEST(Checker, SummaryMentionsAllCounters) {
+  ViolationCounts v;
+  v.order = 2;
+  const std::string s = v.summary();
+  EXPECT_NE(s.find("order=2"), std::string::npos);
+  EXPECT_NE(s.find("replay=0"), std::string::npos);
+}
+
+TEST(Checker, SafetyTotalSums) {
+  ViolationCounts v;
+  v.causality = 1;
+  v.order = 2;
+  v.duplication = 3;
+  v.replay = 4;
+  v.axiom = 5;
+  EXPECT_EQ(v.safety_total(), 10u);
+}
+
+}  // namespace
+}  // namespace s2d

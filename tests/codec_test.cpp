@@ -1,0 +1,164 @@
+#include "util/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+TEST(Codec, VarintRoundTripBoundaries) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 32, UINT64_MAX}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok_and_done());
+  }
+}
+
+TEST(Codec, VarintCompactness) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, Fixed64RoundTrip) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{0xdeadbeefcafef00d}, UINT64_MAX}) {
+    Writer w;
+    w.fixed64(v);
+    EXPECT_EQ(w.size(), 8u);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.fixed64(), v);
+    EXPECT_TRUE(r.ok_and_done());
+  }
+}
+
+TEST(Codec, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(1000, 'x'));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.ok_and_done());
+}
+
+TEST(Codec, BlobRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<std::byte>(i));
+  Writer w;
+  w.blob(data);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.blob(), data);
+  EXPECT_TRUE(r.ok_and_done());
+}
+
+TEST(Codec, BitStringRoundTrip) {
+  Rng rng(31);
+  for (std::size_t n : {0u, 1u, 7u, 64u, 65u, 333u}) {
+    const BitString b = BitString::random(n, rng);
+    Writer w;
+    w.bits(b);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.bits(), b) << n;
+    EXPECT_TRUE(r.ok_and_done());
+  }
+}
+
+TEST(Codec, MixedSequenceRoundTrip) {
+  Rng rng(32);
+  const BitString b = BitString::random(100, rng);
+  Writer w;
+  w.u8(0xab);
+  w.varint(99);
+  w.str("payload");
+  w.bits(b);
+  w.fixed64(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.varint(), 99u);
+  EXPECT_EQ(r.str(), "payload");
+  EXPECT_EQ(r.bits(), b);
+  EXPECT_EQ(r.fixed64(), 7u);
+  EXPECT_TRUE(r.ok_and_done());
+}
+
+TEST(Codec, ReadPastEndSetsError) {
+  Writer w;
+  w.u8(1);
+  Reader r(w.bytes());
+  (void)r.u8();
+  (void)r.u8();  // past end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, TruncatedStringFails) {
+  Writer w;
+  w.str("hello world");
+  Bytes bytes = w.take();
+  bytes.resize(4);  // cut mid-payload
+  Reader r(bytes);
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, OversizedLengthPrefixFails) {
+  // A length prefix larger than the remaining input must fail cleanly, not
+  // allocate or read out of bounds.
+  Writer w;
+  w.varint(1'000'000'000);
+  w.u8('x');
+  Reader r(w.bytes());
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, UnterminatedVarintFails) {
+  Bytes bytes(12, std::byte{0xff});  // continuation bit forever
+  Reader r(bytes);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, BitStringBadPaddingFails) {
+  // Craft a bit string whose trailing padding bits are nonzero.
+  Writer w;
+  w.varint(1);              // one bit...
+  w.fixed64(0xffffffffull); // ...but a word with many bits set
+  Reader r(w.bytes());
+  (void)r.bits();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, OkAndDoneRejectsTrailingGarbage) {
+  Writer w;
+  w.varint(5);
+  w.u8(0);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.varint(), 5u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.ok_and_done());  // one unread byte remains
+}
+
+TEST(Codec, ErrorIsSticky) {
+  Writer w;
+  w.u8(1);
+  Reader r(w.bytes());
+  (void)r.fixed64();  // fails: needs 8 bytes
+  EXPECT_FALSE(r.ok());
+  (void)r.u8();
+  EXPECT_FALSE(r.ok());  // stays failed even though a byte existed
+}
+
+}  // namespace
+}  // namespace s2d

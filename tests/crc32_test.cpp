@@ -1,0 +1,49 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+namespace s2d {
+namespace {
+
+using Bytes = std::vector<std::byte>;
+
+Bytes to_bytes(std::string_view s) {
+  Bytes out;
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+TEST(Crc32, KnownVector) {
+  // The canonical check value for CRC-32/IEEE: crc("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32::of(to_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(Crc32::of({}), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  Crc32 inc;
+  inc.update(std::span(data).subspan(0, 10));
+  inc.update(std::span(data).subspan(10));
+  EXPECT_EQ(inc.value(), Crc32::of(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data = to_bytes("some frame payload");
+  const std::uint32_t original = Crc32::of(data);
+  data[5] ^= std::byte{0x01};
+  EXPECT_NE(Crc32::of(data), original);
+}
+
+TEST(Crc32, ResetRestoresInitialState) {
+  Crc32 c;
+  c.update(to_bytes("garbage"));
+  c.reset();
+  c.update(to_bytes("123456789"));
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace s2d

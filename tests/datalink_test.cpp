@@ -1,0 +1,153 @@
+// Executor tests with a scripted adversary: exact interleavings through the
+// full composition, using the real GHM modules.
+#include "link/datalink.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+
+namespace s2d {
+namespace {
+
+DataLink make_link(std::vector<Decision> script, DataLinkConfig cfg = {}) {
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), /*seed=*/1);
+  return DataLink(std::move(pair.tm), std::move(pair.rm),
+                  std::make_unique<ScriptedAdversary>(std::move(script)), cfg);
+}
+
+TEST(DataLink, ThreePacketHandshakeDelivers) {
+  // RETRY fires at the start of every step (retry_every = 1), so:
+  //   step 1: RETRY emits ack#0 (challenge); adversary delivers it -> TM
+  //           learns rho and emits data#0.
+  //   step 2: RETRY emits ack#1 (still pre-delivery); deliver data#0 ->
+  //           RM performs receive_msg.
+  //   step 3: RETRY emits ack#2 — the post-delivery ack confirming tau;
+  //           deliver it -> OK.
+  DataLink link = make_link({
+      Decision::deliver_rt(0),  // challenge reaches TM
+      Decision::deliver_tr(0),  // data reaches RM -> receive_msg
+      Decision::deliver_rt(2),  // confirming ack -> OK
+  });
+  link.offer({1, "hello"});
+  EXPECT_TRUE(link.run_until_ok(10));
+  EXPECT_TRUE(link.checker().clean()) << link.checker().violations().summary();
+  EXPECT_EQ(link.checker().deliveries(), 1u);
+  EXPECT_EQ(link.checker().oks(), 1u);
+}
+
+TEST(DataLink, TraceRecordsMessageEvents) {
+  DataLink link = make_link({
+      Decision::deliver_rt(0),
+      Decision::deliver_tr(0),
+      Decision::deliver_rt(2),
+  });
+  link.offer({7, "x"});
+  ASSERT_TRUE(link.run_until_ok(10));
+  const auto& t = link.trace();
+  EXPECT_EQ(t.count(ActionKind::kSendMsg), 1u);
+  EXPECT_EQ(t.count(ActionKind::kReceiveMsg), 1u);
+  EXPECT_EQ(t.count(ActionKind::kOk), 1u);
+}
+
+TEST(DataLink, PacketEventsRecordedWhenEnabled) {
+  DataLinkConfig cfg;
+  cfg.record_packet_events = true;
+  DataLink link = make_link(
+      {
+          Decision::deliver_rt(0),
+          Decision::deliver_tr(0),
+          Decision::deliver_rt(2),
+      },
+      cfg);
+  link.offer({7, "x"});
+  ASSERT_TRUE(link.run_until_ok(10));
+  EXPECT_GT(link.trace().count(ActionKind::kSendPktRT), 0u);
+  EXPECT_GT(link.trace().count(ActionKind::kReceivePktTR), 0u);
+  EXPECT_GT(link.trace().count(ActionKind::kRetry), 0u);
+}
+
+TEST(DataLink, DeliverUnknownIdIsNoop) {
+  DataLink link = make_link({
+      Decision::deliver_tr(12345),  // nothing with this id was ever sent
+      Decision::deliver_rt(54321),
+  });
+  link.offer({1, "x"});
+  link.step();
+  link.step();
+  EXPECT_TRUE(link.checker().clean());
+  EXPECT_EQ(link.checker().deliveries(), 0u);
+}
+
+TEST(DataLink, CrashTAbortsInFlightMessage) {
+  DataLink link = make_link({Decision::crash_t()});
+  link.offer({1, "x"});
+  EXPECT_FALSE(link.run_until_ok(5));
+  EXPECT_EQ(link.stats().aborted, 1u);
+  EXPECT_TRUE(link.tm_ready());  // Axiom 1 allows the next message now
+  EXPECT_TRUE(link.checker().clean());
+}
+
+TEST(DataLink, CrashRErasesReceiverProgress) {
+  DataLink link = make_link({
+      Decision::deliver_rt(0),
+      Decision::deliver_tr(0),
+      Decision::crash_r(),          // fires after step 3's RETRY emitted
+                                    // the confirming ack (#2)
+      Decision::deliver_rt(2),      // pre-crash confirming ack still works:
+                                    // the TM's tau check is on content
+  });
+  link.offer({1, "x"});
+  // Delivery happened, then crash^R; the old ack still confirms tau so the
+  // TM can complete. No safety condition is violated by this.
+  EXPECT_TRUE(link.run_until_ok(10));
+  EXPECT_EQ(link.stats().crashes_r, 1u);
+  EXPECT_TRUE(link.checker().clean()) << link.checker().violations().summary();
+}
+
+TEST(DataLink, RetryCadenceControlsAckVolume) {
+  DataLinkConfig sparse;
+  sparse.retry_every = 10;
+  DataLink link = make_link({}, sparse);
+  link.offer({1, "x"});
+  for (int i = 0; i < 100; ++i) link.step();
+  EXPECT_EQ(link.stats().retries, 10u);
+
+  DataLinkConfig dense;
+  dense.retry_every = 1;
+  DataLink link2 = make_link({}, dense);
+  link2.offer({1, "x"});
+  for (int i = 0; i < 100; ++i) link2.step();
+  EXPECT_EQ(link2.stats().retries, 100u);
+}
+
+TEST(DataLink, StateBitsTracked) {
+  DataLink link = make_link({});
+  link.offer({1, "x"});
+  for (int i = 0; i < 10; ++i) link.step();
+  EXPECT_GT(link.stats().max_rm_state_bits, 0u);
+  EXPECT_GT(link.stats().max_tm_state_bits, 0u);
+}
+
+TEST(DataLink, RunUntilOkBudgetExhausts) {
+  DataLink link = make_link({});  // adversary never delivers
+  link.offer({1, "x"});
+  EXPECT_FALSE(link.run_until_ok(50));
+  EXPECT_FALSE(link.tm_ready());  // still in flight
+}
+
+TEST(DataLink, SilentAdversaryMakesNoProgress) {
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), 3);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<SilentAdversary>(), {});
+  link.offer({1, "x"});
+  EXPECT_FALSE(link.run_until_ok(1000));
+  EXPECT_EQ(link.checker().deliveries(), 0u);
+  // Packets pile up on the R->T channel (RETRY fires every step) but none
+  // are delivered.
+  EXPECT_GT(link.rt_channel().packets_sent(), 900u);
+  EXPECT_EQ(link.rt_channel().deliveries(), 0u);
+}
+
+}  // namespace
+}  // namespace s2d

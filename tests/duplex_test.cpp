@@ -1,0 +1,93 @@
+#include "core/duplex.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 16);
+
+Duplex make_chaos_duplex(std::uint64_t seed, double pressure = 0.15) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  return make_duplex(GrowthPolicy::geometric(kEps), seed,
+                     [&](std::uint64_t dir_seed) {
+                       return std::make_unique<RandomFaultAdversary>(
+                           FaultProfile::chaos(pressure), Rng(dir_seed));
+                     },
+                     cfg);
+}
+
+TEST(Duplex, BothDirectionsDeliverInOrder) {
+  Duplex duplex = make_chaos_duplex(1);
+  duplex.send(Endpoint::kA, "a1");
+  duplex.send(Endpoint::kB, "b1");
+  duplex.send(Endpoint::kA, "a2");
+  duplex.send(Endpoint::kB, "b2");
+  ASSERT_TRUE(duplex.pump_until_idle(200000));
+
+  const auto at_b = duplex.take_received(Endpoint::kB);
+  ASSERT_EQ(at_b.size(), 2u);
+  EXPECT_EQ(at_b[0].payload, "a1");
+  EXPECT_EQ(at_b[1].payload, "a2");
+
+  const auto at_a = duplex.take_received(Endpoint::kA);
+  ASSERT_EQ(at_a.size(), 2u);
+  EXPECT_EQ(at_a[0].payload, "b1");
+  EXPECT_EQ(at_a[1].payload, "b2");
+
+  EXPECT_TRUE(duplex.clean());
+}
+
+TEST(Duplex, DirectionsAreIndependent) {
+  // Jam one direction entirely; the other must be unaffected.
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  cfg.collect_deliveries = true;
+  auto make_ab = [&] {
+    auto pair = make_ghm(GrowthPolicy::geometric(kEps), 11);
+    return std::make_unique<DataLink>(
+        std::move(pair.tm), std::move(pair.rm),
+        std::make_unique<SilentAdversary>(), cfg);  // A->B jammed
+  };
+  auto make_ba = [&] {
+    auto pair = make_ghm(GrowthPolicy::geometric(kEps), 12);
+    return std::make_unique<DataLink>(
+        std::move(pair.tm), std::move(pair.rm),
+        std::make_unique<BenignFifoAdversary>(0.0, Rng(13)), cfg);
+  };
+  Duplex duplex(make_ab(), make_ba());
+  duplex.send(Endpoint::kA, "stuck");
+  duplex.send(Endpoint::kB, "flows");
+  duplex.pump(2000);
+  EXPECT_FALSE(duplex.idle());  // A->B can never finish
+  const auto at_a = duplex.take_received(Endpoint::kA);
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0].payload, "flows");
+  EXPECT_TRUE(duplex.take_received(Endpoint::kB).empty());
+}
+
+TEST(Duplex, ConversationUnderSustainedChaos) {
+  Duplex duplex = make_chaos_duplex(21, 0.2);
+  for (int round = 0; round < 30; ++round) {
+    duplex.send(Endpoint::kA, "ping" + std::to_string(round));
+    duplex.send(Endpoint::kB, "pong" + std::to_string(round));
+  }
+  ASSERT_TRUE(duplex.pump_until_idle(2000000));
+  EXPECT_EQ(duplex.take_received(Endpoint::kA).size(), 30u);
+  EXPECT_EQ(duplex.take_received(Endpoint::kB).size(), 30u);
+  EXPECT_TRUE(duplex.clean());
+}
+
+TEST(Duplex, SessionAccessorsExposeStatus) {
+  Duplex duplex = make_chaos_duplex(31);
+  const auto id = duplex.send(Endpoint::kA, "tracked");
+  ASSERT_TRUE(duplex.pump_until_idle(200000));
+  EXPECT_EQ(duplex.session(Endpoint::kA).status(id),
+            Session::Status::kCompleted);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,142 @@
+// Transport-layer integration: GHM end-to-end over the simulated network
+// with both relays, under link faults and endpoint crashes.
+#include "transport/endtoend.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 20);
+
+std::unique_ptr<Relay> make_relay(const std::string& kind) {
+  if (kind == "flooding") return std::make_unique<FloodingRelay>(16);
+  return std::make_unique<PathRelay>();
+}
+
+/// Runs `messages` through a session; returns completions.
+std::uint64_t drive(TransportSession& session, std::uint64_t messages,
+                    std::uint64_t max_steps_each = 20000) {
+  Rng payload_rng(777);
+  std::uint64_t completed = 0;
+  for (std::uint64_t n = 1; n <= messages; ++n) {
+    if (!session.tm_ready()) break;
+    session.offer({n, make_payload(24, payload_rng)});
+    if (session.run_until_ok(max_steps_each)) ++completed;
+  }
+  return completed;
+}
+
+class EndToEndRelayTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EndToEndRelayTest, QuietGridDeliversEverything) {
+  Network net(NetworkGraph::grid(3, 3), {}, Rng(1));
+  TransportSession session(net, make_relay(GetParam()),
+                           make_ghm(GrowthPolicy::geometric(kEps), 2),
+                           {.src = 0, .dst = 8}, Rng(3));
+  EXPECT_EQ(drive(session, 20), 20u);
+  EXPECT_TRUE(session.checker().clean())
+      << session.checker().violations().summary();
+}
+
+TEST_P(EndToEndRelayTest, LossyNetworkStillReliable) {
+  NetworkConfig cfg;
+  cfg.frame_loss = 0.2;
+  Network net(NetworkGraph::grid(3, 3), cfg, Rng(4));
+  TransportSession session(net, make_relay(GetParam()),
+                           make_ghm(GrowthPolicy::geometric(kEps), 5),
+                           {.src = 0, .dst = 8}, Rng(6));
+  EXPECT_EQ(drive(session, 15), 15u);
+  EXPECT_TRUE(session.checker().clean())
+      << session.checker().violations().summary();
+}
+
+TEST_P(EndToEndRelayTest, CorruptingNetworkStillReliable) {
+  // §2.5: lower layers only approximate causality; the CRC-dropping relay
+  // restores the semi-reliable abstraction and GHM rides on top.
+  NetworkConfig cfg;
+  cfg.frame_corrupt = 0.2;
+  Network net(NetworkGraph::grid(3, 3), cfg, Rng(7));
+  TransportSession session(net, make_relay(GetParam()),
+                           make_ghm(GrowthPolicy::geometric(kEps), 8),
+                           {.src = 0, .dst = 8}, Rng(9));
+  EXPECT_EQ(drive(session, 15), 15u);
+  EXPECT_TRUE(session.checker().clean())
+      << session.checker().violations().summary();
+}
+
+TEST_P(EndToEndRelayTest, FlappingLinksStillReliable) {
+  NetworkConfig cfg;
+  cfg.link_fail = 0.02;
+  cfg.link_recover = 0.2;
+  Network net(NetworkGraph::grid(4, 4), cfg, Rng(10));
+  TransportSession session(net, make_relay(GetParam()),
+                           make_ghm(GrowthPolicy::geometric(kEps), 11),
+                           {.src = 0, .dst = 15}, Rng(12));
+  EXPECT_EQ(drive(session, 10, 100000), 10u);
+  EXPECT_TRUE(session.checker().clean())
+      << session.checker().violations().summary();
+}
+
+TEST_P(EndToEndRelayTest, EndpointCrashesPreserveSafety) {
+  NetworkConfig net_cfg;
+  net_cfg.frame_loss = 0.05;
+  Network net(NetworkGraph::grid(3, 3), net_cfg, Rng(13));
+  TransportConfig cfg{.src = 0, .dst = 8};
+  cfg.crash_t_per_step = 0.001;
+  cfg.crash_r_per_step = 0.001;
+  TransportSession session(net, make_relay(GetParam()),
+                           make_ghm(GrowthPolicy::geometric(kEps), 14), cfg,
+                           Rng(15));
+  Rng payload_rng(16);
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    if (!session.tm_ready()) break;
+    session.offer({n, make_payload(16, payload_rng)});
+    (void)session.run_until_ok(20000);  // aborts allowed
+  }
+  EXPECT_TRUE(session.checker().clean())
+      << session.checker().violations().summary();
+  EXPECT_GT(session.stats().oks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Relays, EndToEndRelayTest,
+                         ::testing::Values("flooding", "path"),
+                         [](const auto& param_info) { return param_info.param; });
+
+TEST(EndToEnd, PathRelayCheaperPerMessageOnQuietNetwork) {
+  // §1's cost claim: with no errors, path routing approaches optimal cost;
+  // flooding pays O(|E|) per packet.
+  auto run = [](const std::string& kind) {
+    Network net(NetworkGraph::grid(4, 4), {}, Rng(20));
+    TransportSession session(net, kind == "flooding"
+                                      ? std::unique_ptr<Relay>(
+                                            std::make_unique<FloodingRelay>(16))
+                                      : std::make_unique<PathRelay>(),
+                             make_ghm(GrowthPolicy::geometric(kEps), 21),
+                             {.src = 0, .dst = 15}, Rng(22));
+    drive(session, 10);
+    return session.relay().frames_sent();
+  };
+  EXPECT_LT(run("path"), run("flooding") / 2);
+}
+
+TEST(EndToEnd, MessagesArriveInOrderOverReorderingNetwork) {
+  // Random per-frame delays reorder packets across the grid's many paths;
+  // the delivered message sequence must still be exactly the sent one.
+  NetworkConfig cfg;
+  cfg.delay_min = 1;
+  cfg.delay_max = 10;
+  Network net(NetworkGraph::grid(3, 3), cfg, Rng(23));
+  TransportSession session(net, std::make_unique<FloodingRelay>(16),
+                           make_ghm(GrowthPolicy::geometric(kEps), 24),
+                           {.src = 0, .dst = 8}, Rng(25));
+  EXPECT_EQ(drive(session, 25), 25u);
+  EXPECT_TRUE(session.checker().clean())
+      << session.checker().violations().summary();
+  EXPECT_EQ(session.checker().deliveries(), 25u);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,258 @@
+// Bounded exhaustive exploration: every adversary interleaving up to a
+// depth bound, for GHM (expected: zero violating interleavings) and for
+// the alternating-bit baseline (expected: the explorer automatically finds
+// the [LMF88] crash counterexample).
+#include "harness/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "baseline/stopwait.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 16);
+
+ScriptedLinkFactory ghm_factory(std::uint64_t seed) {
+  return [seed](std::vector<Decision> script) {
+    DataLinkConfig cfg;
+    cfg.retry_every = 0;  // all timing flows through the script
+    cfg.tx_timer_every = 0;
+    cfg.keep_trace = false;
+    auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
+    return DataLink(std::move(pair.tm), std::move(pair.rm),
+                    std::make_unique<ScriptedAdversary>(std::move(script)),
+                    cfg);
+  };
+}
+
+ScriptedLinkFactory abp_factory(bool nonvolatile, bool resync) {
+  return [nonvolatile, resync](std::vector<Decision> script) {
+    DataLinkConfig cfg;
+    cfg.retry_every = 0;
+    cfg.tx_timer_every = 0;
+    cfg.keep_trace = false;
+    StopWaitConfig sw;
+    sw.nonvolatile_seq = nonvolatile;
+    sw.resync_on_crash = resync;
+    return DataLink(std::make_unique<StopWaitTransmitter>(sw),
+                    std::make_unique<StopWaitReceiver>(sw),
+                    std::make_unique<ScriptedAdversary>(std::move(script)),
+                    cfg);
+  };
+}
+
+TEST(Explorer, GhmCleanToDepthFiveWithCrashes) {
+  ExplorerConfig cfg;
+  cfg.max_depth = 5;
+  cfg.messages = 2;
+  cfg.crashes = true;
+  cfg.duplicates = true;
+  cfg.retries = true;
+  const ExplorerReport report = explore(ghm_factory(1), cfg);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_GT(report.nodes, 1000u);
+  EXPECT_TRUE(report.clean())
+      << "counterexample of " << report.counterexample.size() << " steps: "
+      << report.counterexample_violations.summary();
+}
+
+TEST(Explorer, GhmCleanDeeperWithoutCrashes) {
+  ExplorerConfig cfg;
+  cfg.max_depth = 7;
+  cfg.messages = 2;
+  cfg.crashes = false;
+  cfg.duplicates = true;
+  const ExplorerReport report = explore(ghm_factory(2), cfg);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Explorer, FindsLmf88CounterexampleForAbp) {
+  // The impossibility in action: with crashes in the option set, bounded
+  // search must uncover a violating interleaving for the volatile
+  // alternating-bit protocol.
+  ExplorerConfig cfg;
+  cfg.max_depth = 7;
+  cfg.messages = 2;
+  cfg.crashes = true;
+  cfg.duplicates = false;   // crashes alone suffice
+  cfg.retries = false;      // ABP is transmitter-driven
+  cfg.tx_timer = true;
+  const ExplorerReport report =
+      explore(abp_factory(/*nonvolatile=*/false, /*resync=*/false), cfg);
+  EXPECT_GT(report.violating_nodes, 0u);
+  EXPECT_FALSE(report.counterexample.empty());
+  EXPECT_LE(report.counterexample.size(), 7u);  // a short, minimal-ish script
+}
+
+TEST(Explorer, AbpCleanOnFifoSchedulesWithoutCrashes) {
+  // On its home turf (FIFO delivery, no crashes, no duplicates) the
+  // alternating-bit protocol is correct; the exhaustive pass must agree.
+  ExplorerConfig cfg;
+  cfg.max_depth = 9;
+  cfg.messages = 2;
+  cfg.crashes = false;
+  cfg.duplicates = false;
+  cfg.retries = false;
+  cfg.tx_timer = true;
+  cfg.fifo_only = true;
+  const ExplorerReport report = explore(abp_factory(false, false), cfg);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Explorer, FindsAbpReorderingCounterexampleWithoutCrashes) {
+  // With out-of-order delivery in the option set (the default), the
+  // explorer discovers the classical non-FIFO failure of the alternating
+  // bit on its own: a stale retransmission of message 1 (seq 0) delivered
+  // after message 2 (seq 1) wraps the receiver's expectation and is
+  // accepted as new — duplication + replay with no crash involved.
+  ExplorerConfig cfg;
+  cfg.max_depth = 7;
+  cfg.messages = 2;
+  cfg.crashes = false;
+  cfg.duplicates = false;
+  cfg.retries = false;
+  cfg.tx_timer = true;
+  const ExplorerReport report = explore(abp_factory(false, false), cfg);
+  EXPECT_GT(report.violating_nodes, 0u);
+  EXPECT_FALSE(report.counterexample.empty());
+  EXPECT_GT(report.counterexample_violations.duplication +
+                report.counterexample_violations.replay,
+            0u);
+}
+
+TEST(Explorer, NvbitResyncMeetsClassicalButNotGhmConditions) {
+  // The sharpest exhibit of the [LMF88] impossibility this repository
+  // produces. On FIFO schedules with crashes, the [BS88]-style protocol
+  // (nonvolatile sequence state + crash resync) never confuses ORDER,
+  // never duplicates, never delivers an unsent message — the classical
+  // correctness notions hold. But the explorer finds that it cannot meet
+  // the paper's stricter §2.6 no-replay condition: after
+  //   [m1 OK'd; m2 sent; crash^T (m2 aborted); crash^R]
+  // the old m2 frame still matches the receiver's surviving expectation
+  // and is delivered — and a message aborted by crash^T is in M_alpha, so
+  // that delivery is formally a replay. No deterministic protocol can
+  // reject it (the receiver cannot know m2 was aborted); GHM rejects it
+  // with probability 1 - eps because crash^R rotates the challenge.
+  ExplorerConfig cfg;
+  cfg.max_depth = 8;
+  cfg.messages = 2;
+  cfg.crashes = true;
+  cfg.duplicates = false;
+  cfg.retries = false;
+  cfg.tx_timer = true;
+  cfg.fifo_only = true;
+  const ExplorerReport report =
+      explore(abp_factory(/*nonvolatile=*/true, /*resync=*/true), cfg);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_GT(report.violating_nodes, 0u);
+  // Every violation found is of the replay kind; the classical conditions
+  // are indeed clean.
+  EXPECT_GT(report.counterexample_violations.replay, 0u);
+  EXPECT_EQ(report.counterexample_violations.order, 0u);
+  EXPECT_EQ(report.counterexample_violations.duplication, 0u);
+  EXPECT_EQ(report.counterexample_violations.causality, 0u);
+}
+
+TEST(Explorer, GhmRejectsTheAbortThenCrashReplayScenario) {
+  // The exact interleaving that defeats every deterministic baseline,
+  // replayed against GHM as a directed script: m1 completes, m2 goes out,
+  // both stations crash, and the adversary delivers the stale m2 data
+  // packet. crash^R rotated the challenge, so the receiver must ignore it.
+  auto factory = ghm_factory(7);
+  // With retry_every = 0, RETRY must be scheduled explicitly:
+  //   step 1: retry           -> ack#0 (challenge)
+  //   step 2: deliver ack#0   -> TM learns rho, sends data#0 (m1)
+  //   step 3: deliver data#0  -> receive_msg(m1), challenge rotates
+  //   step 4: retry           -> ack#1 (confirms tau, offers new rho)
+  //   step 5: deliver ack#1   -> OK; m2 offered, data#1 (m2) sent
+  //   step 6: crash^T         -> m2 aborted
+  //   step 7: crash^R         -> challenge rotates again
+  //   step 8: deliver data#1  -> stale m2: must NOT be delivered
+  DataLink link = factory({
+      Decision::retry(),
+      Decision::deliver_rt(0),
+      Decision::deliver_tr(0),
+      Decision::retry(),
+      Decision::deliver_rt(1),
+      Decision::crash_t(),
+      Decision::crash_r(),
+      Decision::deliver_tr(1),
+  });
+  Rng payload(0x9a9a);
+  std::uint64_t next_msg = 1;
+  auto maybe_offer = [&] {
+    if (next_msg <= 2 && link.tm_ready()) {
+      link.offer({next_msg, make_payload(2, payload)});
+      ++next_msg;
+    }
+  };
+  maybe_offer();
+  for (int i = 0; i < 8; ++i) {
+    link.step();
+    maybe_offer();
+  }
+  EXPECT_EQ(link.checker().deliveries(), 1u);  // only m1, never stale m2
+  EXPECT_TRUE(link.checker().clean())
+      << link.checker().violations().summary();
+}
+
+TEST(Explorer, AbpBreaksUnderDuplicationEvenWithoutCrashes) {
+  ExplorerConfig cfg;
+  cfg.max_depth = 8;
+  cfg.messages = 2;
+  cfg.crashes = false;
+  cfg.duplicates = true;
+  cfg.retries = false;
+  cfg.tx_timer = true;
+  const ExplorerReport report = explore(abp_factory(false, false), cfg);
+  EXPECT_GT(report.violating_nodes, 0u);
+}
+
+TEST(Explorer, CounterexampleReplays) {
+  // A counterexample script must reproduce the violation deterministically
+  // when replayed against a fresh system.
+  ExplorerConfig cfg;
+  cfg.max_depth = 7;
+  cfg.messages = 2;
+  cfg.crashes = true;
+  cfg.duplicates = false;
+  cfg.retries = false;
+  cfg.tx_timer = true;
+  auto factory = abp_factory(false, false);
+  const ExplorerReport report = explore(factory, cfg);
+  ASSERT_FALSE(report.counterexample.empty());
+
+  DataLink link = factory(report.counterexample);
+  Rng payload(0x9a9a);  // the explorer's fixed workload seed
+  std::uint64_t next_msg = 1;
+  auto maybe_offer = [&] {
+    if (next_msg <= cfg.messages && link.tm_ready()) {
+      link.offer({next_msg, make_payload(2, payload)});
+      ++next_msg;
+    }
+  };
+  maybe_offer();
+  for (std::size_t i = 0; i < report.counterexample.size(); ++i) {
+    link.step();
+    maybe_offer();
+  }
+  EXPECT_GT(link.checker().violations().safety_total(), 0u);
+}
+
+TEST(Explorer, NodeBudgetTruncates) {
+  ExplorerConfig cfg;
+  cfg.max_depth = 12;
+  cfg.max_nodes = 500;
+  const ExplorerReport report = explore(ghm_factory(3), cfg);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_LE(report.nodes, 501u);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,108 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace s2d {
+namespace {
+
+// argv helper: builds a mutable char*[] from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** data() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+Flags make_flags() {
+  Flags f("test program");
+  f.define("count", "10", "a count")
+      .define("rate", "0.5", "a rate")
+      .define("name", "default", "a name")
+      .define("verbose", "false", "a bool")
+      .define("list", "1,2,3", "a list");
+  return f;
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags f = make_flags();
+  Argv argv({"prog"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(f.get_double("rate"), 0.5);
+  EXPECT_EQ(f.get("name"), "default");
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags();
+  Argv argv({"prog", "--count=42", "--name=abc"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_int("count"), 42);
+  EXPECT_EQ(f.get("name"), "abc");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make_flags();
+  Argv argv({"prog", "--count", "7"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_int("count"), 7);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  Flags f = make_flags();
+  Argv argv({"prog", "--verbose"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Flags f = make_flags();
+  Argv argv({"prog", "--nope=1"});
+  EXPECT_FALSE(f.parse(argv.argc(), argv.data()));
+  EXPECT_TRUE(f.failed());
+}
+
+TEST(Flags, HelpReturnsFalseWithoutFailure) {
+  Flags f = make_flags();
+  Argv argv({"prog", "--help"});
+  EXPECT_FALSE(f.parse(argv.argc(), argv.data()));
+  EXPECT_FALSE(f.failed());
+}
+
+TEST(Flags, DoubleList) {
+  Flags f = make_flags();
+  Argv argv({"prog", "--list=0.25,0.5,0.75"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  const auto xs = f.get_double_list("list");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.25);
+  EXPECT_DOUBLE_EQ(xs[2], 0.75);
+}
+
+TEST(Flags, U64List) {
+  Flags f = make_flags();
+  Argv argv({"prog"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  const auto xs = f.get_u64_list("list");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs[0], 1u);
+  EXPECT_EQ(xs[2], 3u);
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  Flags f = make_flags();
+  Argv argv({"prog", "oops"});
+  EXPECT_FALSE(f.parse(argv.argc(), argv.data()));
+  EXPECT_TRUE(f.failed());
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,191 @@
+// Property-style parameterized sweeps: the §2.6 safety conditions must
+// hold (at eps = 2^-20, i.e. never in a few hundred runs) across the cross
+// product of growth policies, adversary families and seeds; and structural
+// invariants of the protocol state must hold at every step.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 20);
+
+enum class AdvKind {
+  kFifoLossy,
+  kChaos,
+  kCrashy,
+  kReplay,
+  kLengthTarget,
+  kStaleFirst,
+};
+
+const char* adv_name(AdvKind k) {
+  switch (k) {
+    case AdvKind::kFifoLossy:
+      return "fifo";
+    case AdvKind::kChaos:
+      return "chaos";
+    case AdvKind::kCrashy:
+      return "crashy";
+    case AdvKind::kReplay:
+      return "replay";
+    case AdvKind::kLengthTarget:
+      return "lengths";
+    case AdvKind::kStaleFirst:
+      return "stale";
+  }
+  return "?";
+}
+
+std::unique_ptr<Adversary> make_adv(AdvKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case AdvKind::kFifoLossy:
+      return std::make_unique<BenignFifoAdversary>(0.3, Rng(seed));
+    case AdvKind::kChaos:
+      return std::make_unique<RandomFaultAdversary>(FaultProfile::chaos(0.15),
+                                                    Rng(seed));
+    case AdvKind::kCrashy: {
+      FaultProfile p = FaultProfile::chaos(0.05);
+      p.crash_t = 0.003;
+      p.crash_r = 0.003;
+      return std::make_unique<RandomFaultAdversary>(p, Rng(seed));
+    }
+    case AdvKind::kReplay:
+      return std::make_unique<ReplayAttacker>(100, Rng(seed));
+    case AdvKind::kLengthTarget:
+      return std::make_unique<LengthTargetingAdversary>(24, 0.6, Rng(seed));
+    case AdvKind::kStaleFirst:
+      return std::make_unique<StaleFirstAdversary>(0.1, Rng(seed));
+  }
+  return nullptr;
+}
+
+using SafetyParam = std::tuple<const char*, int, std::uint64_t>;
+
+class SafetySweep : public ::testing::TestWithParam<SafetyParam> {};
+
+TEST_P(SafetySweep, NoViolationsEver) {
+  const auto& [policy_name, adv_kind, seed] = GetParam();
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  auto pair = make_ghm(GrowthPolicy::by_name(policy_name, kEps), seed * 31);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                make_adv(static_cast<AdvKind>(adv_kind), seed * 17),
+                cfg);
+  WorkloadConfig wl;
+  wl.messages = 30;
+  wl.payload_bytes = 8;
+  wl.max_steps_per_message = 3000;
+  wl.drain_steps = 3000;  // let attackers play out
+  wl.stop_on_stall = false;
+  (void)run_workload(link, wl, Rng(seed * 13));
+  EXPECT_EQ(link.checker().violations().safety_total(), 0u)
+      << "policy=" << policy_name
+      << " adv=" << adv_name(static_cast<AdvKind>(adv_kind))
+      << " seed=" << seed << " -> "
+      << link.checker().violations().summary();
+  EXPECT_EQ(link.checker().violations().axiom, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyAdversarySeed, SafetySweep,
+    ::testing::Combine(
+        ::testing::Values("geometric", "paper_linear", "quadratic",
+                          "aggressive"),
+        ::testing::Values(static_cast<int>(AdvKind::kFifoLossy),
+                          static_cast<int>(AdvKind::kChaos),
+                          static_cast<int>(AdvKind::kCrashy),
+                          static_cast<int>(AdvKind::kReplay),
+                          static_cast<int>(AdvKind::kLengthTarget),
+                          static_cast<int>(AdvKind::kStaleFirst)),
+        ::testing::Range<std::uint64_t>(1, 5)),
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_" +
+             adv_name(static_cast<AdvKind>(std::get<1>(param_info.param))) +
+             "_s" + std::to_string(std::get<2>(param_info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Structural invariants sampled during hostile executions.
+
+class InvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InvariantSweep, StateInvariantsHoldEveryStep) {
+  const std::uint64_t seed = GetParam();
+  const GrowthPolicy policy = GrowthPolicy::geometric(1.0 / 1024);
+  auto pair = make_ghm(policy, seed);
+  GhmTransmitter* tm = pair.tm.get();
+  GhmReceiver* rm = pair.rm.get();
+  DataLinkConfig cfg;
+  cfg.retry_every = 2;
+  FaultProfile p = FaultProfile::chaos(0.2);
+  p.crash_t = 0.002;
+  p.crash_r = 0.002;
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<RandomFaultAdversary>(p, Rng(seed)), cfg);
+
+  Rng payload(seed + 1);
+  std::uint64_t msg_id = 1;
+  for (int round = 0; round < 40; ++round) {
+    if (link.tm_ready()) link.offer({msg_id++, make_payload(6, payload)});
+    for (int s = 0; s < 50; ++s) {
+      link.step();
+      // Invariant 1: tau^T always starts with tau'_crash ("1").
+      ASSERT_GE(tm->tau().size(), 1u);
+      ASSERT_TRUE(tm->tau().bit(0));
+      // Invariant 2: epochs are >= 1 and within-epoch counters below bound.
+      ASSERT_GE(tm->epoch(), 1u);
+      ASSERT_GE(rm->epoch(), 1u);
+      ASSERT_LT(tm->wrong_count(), policy.bound(tm->epoch()));
+      ASSERT_LT(rm->wrong_count(), policy.bound(rm->epoch()));
+      // Invariant 3: string lengths match the policy's epoch schedule.
+      std::size_t expect_rho = 0;
+      for (std::uint64_t t = 1; t <= rm->epoch(); ++t) {
+        expect_rho += policy.size(t);
+      }
+      ASSERT_EQ(rm->rho().size(), expect_rho);
+      std::size_t expect_tau = 1;  // tau'_crash prefix bit
+      for (std::uint64_t t = 1; t <= tm->epoch(); ++t) {
+        expect_tau += policy.size(t);
+      }
+      ASSERT_EQ(tm->tau().size(), expect_tau);
+    }
+  }
+  EXPECT_EQ(link.checker().violations().safety_total(), 0u)
+      << link.checker().violations().summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Liveness latency is finite and bounded across fairness windows.
+
+class LivenessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LivenessSweep, CompletesUnderFairHostility) {
+  const std::uint64_t window = GetParam();
+  DataLinkConfig cfg;
+  cfg.retry_every = 2 * window;  // keep ack production below drain rate
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), window * 7 + 1);
+  DataLink link(
+      std::move(pair.tm), std::move(pair.rm),
+      std::make_unique<FairnessEnvelope>(std::make_unique<SilentAdversary>(),
+                                         window),
+      cfg);
+  const RunReport r = run_workload(
+      link, {.messages = 3, .max_steps_per_message = 3000000}, Rng(9));
+  EXPECT_EQ(r.completed, 3u) << "window=" << window;
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LivenessSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace s2d

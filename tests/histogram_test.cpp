@@ -1,0 +1,77 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace s2d {
+namespace {
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);  // bucket 0: [0,1)
+  h.add(1);  // bucket 1: [1,2)
+  h.add(2);  // bucket 2: [2,4)
+  h.add(3);
+  h.add(4);  // bucket 3: [4,8)
+  h.add(7);
+  h.add(8);  // bucket 4
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Log2Histogram, LargeValues) {
+  Log2Histogram h;
+  h.add(1ull << 40);
+  EXPECT_EQ(h.bucket(41), 1u);
+}
+
+TEST(Log2Histogram, RenderContainsCounts) {
+  Log2Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(10);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("5"), std::string::npos);
+  EXPECT_NE(out.find("[8, 16)"), std::string::npos);
+}
+
+TEST(Log2Histogram, EmptyRenderIsEmpty) {
+  Log2Histogram h;
+  EXPECT_EQ(h.render(), "");
+}
+
+TEST(LinearHistogram, BucketPlacement) {
+  LinearHistogram h(10, 5, 4);  // [10,15) [15,20) [20,25) [25,30)
+  h.add(9);   // underflow
+  h.add(10);  // bucket 0
+  h.add(14);
+  h.add(15);  // bucket 1
+  h.add(29);  // bucket 3
+  h.add(30);  // overflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(LinearHistogram, ZeroWidthIsClamped) {
+  LinearHistogram h(0, 0, 2);  // width clamped to 1
+  h.add(0);
+  h.add(1);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(LinearHistogram, RenderShowsOverflow) {
+  LinearHistogram h(0, 10, 2);
+  h.add(100);
+  const std::string out = h.render();
+  EXPECT_NE(out.find(">="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,182 @@
+#include "transport/network.h"
+
+#include <gtest/gtest.h>
+
+namespace s2d {
+namespace {
+
+Bytes frame_of(std::string_view s) {
+  Bytes out;
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+TEST(NetworkGraph, LineTopology) {
+  const auto g = NetworkGraph::line(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(2).size(), 2u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(NetworkGraph, RingTopology) {
+  const auto g = NetworkGraph::ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.neighbors(v).size(), 2u);
+}
+
+TEST(NetworkGraph, GridTopology) {
+  const auto g = NetworkGraph::grid(3, 3);
+  EXPECT_EQ(g.node_count(), 9u);
+  EXPECT_EQ(g.edge_count(), 12u);  // 2 * 3 * 2 horizontal+vertical
+  EXPECT_EQ(g.neighbors(4).size(), 4u);  // centre
+  EXPECT_EQ(g.neighbors(0).size(), 2u);  // corner
+}
+
+TEST(NetworkGraph, RandomGraphIsConnected) {
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const auto g = NetworkGraph::random(12, 0.3, rng);
+    EXPECT_TRUE(g.connected());
+    EXPECT_EQ(g.node_count(), 12u);
+  }
+}
+
+TEST(NetworkGraph, DuplicateEdgesIgnored) {
+  auto g = NetworkGraph::line(3);
+  const std::size_t before = g.edge_count();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), before);
+}
+
+TEST(NetworkGraph, ShortestPathOnLine) {
+  const auto g = NetworkGraph::line(5);
+  const auto path = g.shortest_path(0, 4);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(NetworkGraph, ShortestPathRespectsBannedEdges) {
+  const auto g = NetworkGraph::ring(6);
+  const auto direct = g.shortest_path(0, 2);
+  EXPECT_EQ(direct.size(), 3u);  // 0-1-2
+  const auto detour =
+      g.shortest_path(0, 2, {NetworkGraph::edge_key(1, 2)});
+  EXPECT_EQ(detour.size(), 5u);  // 0-5-4-3-2
+}
+
+TEST(NetworkGraph, UnreachableReturnsEmpty) {
+  const auto g = NetworkGraph::line(3);
+  const auto path =
+      g.shortest_path(0, 2, {NetworkGraph::edge_key(0, 1)});
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(NetworkGraph, EdgeKeySymmetric) {
+  EXPECT_EQ(NetworkGraph::edge_key(3, 7), NetworkGraph::edge_key(7, 3));
+  EXPECT_NE(NetworkGraph::edge_key(3, 7), NetworkGraph::edge_key(3, 8));
+}
+
+TEST(Network, FrameDeliveredWithinDelayBounds) {
+  NetworkConfig cfg;
+  cfg.delay_min = 2;
+  cfg.delay_max = 4;
+  Network net(NetworkGraph::line(2), cfg, Rng(1));
+  ASSERT_TRUE(net.send_frame(0, 1, frame_of("hi")));
+  std::uint64_t arrived_at = 0;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    net.step();
+    if (auto a = net.poll(1)) {
+      arrived_at = t;
+      EXPECT_EQ(a->from, 0u);
+      break;
+    }
+  }
+  EXPECT_GE(arrived_at, 2u);
+  EXPECT_LE(arrived_at, 4u);
+}
+
+TEST(Network, NoDeliveryOnNonexistentLink) {
+  Network net(NetworkGraph::line(3), {}, Rng(2));
+  EXPECT_FALSE(net.send_frame(0, 2, frame_of("x")));  // not adjacent
+}
+
+TEST(Network, DownLinkObservableAtSender) {
+  Network net(NetworkGraph::line(2), {}, Rng(3));
+  net.set_link_up(0, 1, false);
+  EXPECT_FALSE(net.send_frame(0, 1, frame_of("x")));
+  net.set_link_up(0, 1, true);
+  EXPECT_TRUE(net.send_frame(0, 1, frame_of("x")));
+}
+
+TEST(Network, LossDropsSilently) {
+  NetworkConfig cfg;
+  cfg.frame_loss = 1.0;
+  Network net(NetworkGraph::line(2), cfg, Rng(4));
+  EXPECT_TRUE(net.send_frame(0, 1, frame_of("x")));  // loss is silent
+  for (int i = 0; i < 10; ++i) net.step();
+  EXPECT_FALSE(net.poll(1).has_value());
+}
+
+TEST(Network, CorruptionFlipsExactlyOneByte) {
+  NetworkConfig cfg;
+  cfg.frame_corrupt = 1.0;
+  cfg.delay_min = 1;
+  cfg.delay_max = 1;
+  Network net(NetworkGraph::line(2), cfg, Rng(5));
+  const Bytes sent = frame_of("abcdef");
+  ASSERT_TRUE(net.send_frame(0, 1, sent));
+  net.step();
+  const auto a = net.poll(1);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_EQ(a->frame.size(), sent.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    diffs += a->frame[i] != sent[i] ? 1u : 0u;
+  }
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(Network, LinkFlappingRecovers) {
+  NetworkConfig cfg;
+  cfg.link_fail = 1.0;     // goes down immediately...
+  cfg.link_recover = 1.0;  // ...and back up next step
+  Network net(NetworkGraph::line(2), cfg, Rng(6));
+  EXPECT_TRUE(net.link_up(0, 1));
+  net.step();
+  EXPECT_FALSE(net.link_up(0, 1));
+  net.step();
+  EXPECT_TRUE(net.link_up(0, 1));
+}
+
+TEST(Network, StatsCount) {
+  NetworkConfig cfg;
+  cfg.delay_min = 1;
+  cfg.delay_max = 1;
+  Network net(NetworkGraph::line(2), cfg, Rng(7));
+  (void)net.send_frame(0, 1, frame_of("abc"));
+  net.step();
+  (void)net.poll(1);
+  EXPECT_EQ(net.frames_attempted(), 1u);
+  EXPECT_EQ(net.frames_delivered(), 1u);
+  EXPECT_EQ(net.bytes_attempted(), 3u);
+}
+
+TEST(Network, FifoWithinEqualDelays) {
+  NetworkConfig cfg;
+  cfg.delay_min = 1;
+  cfg.delay_max = 1;
+  Network net(NetworkGraph::line(2), cfg, Rng(8));
+  (void)net.send_frame(0, 1, frame_of("first"));
+  (void)net.send_frame(0, 1, frame_of("second"));
+  net.step();
+  const auto a = net.poll(1);
+  const auto b = net.poll(1);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->frame, frame_of("first"));
+  EXPECT_EQ(b->frame, frame_of("second"));
+}
+
+}  // namespace
+}  // namespace s2d

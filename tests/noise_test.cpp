@@ -1,0 +1,190 @@
+// The §5 non-causal channel extension: safety survives noise (mutated
+// deliveries), liveness measurably does not — exactly the paper's closing
+// claim ("our protocol satisfies all the correctness conditions except
+// liveness, given that the causality condition is relaxed").
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 20);
+
+DataLink noisy_link(double noise, std::uint64_t seed, bool allow = true,
+                    NoiseAdversary::Mode mode = NoiseAdversary::Mode::kMutate) {
+  DataLinkConfig cfg;
+  // Noise steps consume the adversary's turn, so scale the retry cadence
+  // with the noise rate to keep ack production below the drain rate.
+  cfg.retry_every = 8;
+  cfg.allow_noise = allow;
+  cfg.noise_seed = seed * 977 + 5;
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
+  return DataLink(std::move(pair.tm), std::move(pair.rm),
+                  std::make_unique<NoiseAdversary>(noise, 0.05,
+                                                   Rng(seed * 31 + 7), mode),
+                  cfg);
+}
+
+TEST(Noise, MutationsDisabledByDefault) {
+  // Without allow_noise the executor must reject mutate decisions: the
+  // base model's causality axiom stays intact. (The rejected decisions
+  // consume scheduler turns, so the run is slower — but still clean and
+  // still completes.)
+  DataLink link = noisy_link(0.5, 1, /*allow=*/false);
+  WorkloadConfig wl;
+  wl.messages = 10;
+  wl.max_steps_per_message = 200000;
+  wl.stop_on_stall = false;
+  const RunReport r = run_workload(link, wl, Rng(2));
+  EXPECT_EQ(link.noise_deliveries(), 0u);
+  EXPECT_EQ(r.completed, 10u);
+  EXPECT_TRUE(link.checker().clean());
+}
+
+TEST(Noise, MutatedDeliveriesHappenWhenEnabled) {
+  DataLink link = noisy_link(0.5, 3);
+  (void)run_workload(link, {.messages = 10, .max_steps_per_message = 50000},
+                     Rng(4));
+  EXPECT_GT(link.noise_deliveries(), 0u);
+}
+
+TEST(Noise, MutationNoiseRelaxesSafetyOnlyProbabilistically) {
+  // Mutation noise is *correlated with packet contents* (a flipped copy of
+  // the in-flight data packet still carries the correct challenge), so —
+  // unlike everything in the causal model — it can slip an accepted
+  // packet-that-was-never-sent past the receiver. This is §2.5's point
+  // that absolute causality is impossible under noise, and §5's relaxed
+  // causality. The rate must stay a small fraction of the injected
+  // mutants (most flips land outside the challenge/tau fields or break
+  // the framing entirely).
+  std::uint64_t violations = 0;
+  std::uint64_t mutants = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    DataLink link = noisy_link(0.4, seed + 10);
+    WorkloadConfig wl;
+    wl.messages = 25;
+    wl.max_steps_per_message = 100000;
+    wl.stop_on_stall = false;
+    (void)run_workload(link, wl, Rng(seed + 20));
+    violations += link.checker().violations().safety_total();
+    mutants += link.noise_deliveries();
+  }
+  ASSERT_GT(mutants, 500u);
+  EXPECT_LT(static_cast<double>(violations),
+            0.02 * static_cast<double>(mutants))
+      << violations << " violations from " << mutants << " mutants";
+}
+
+TEST(Noise, RandomForgeryIsHarmless) {
+  // The §5 malicious injector proper: random bytes of the right length,
+  // uncorrelated with contents. The codec's structural redundancy rejects
+  // essentially all of it, so both safety AND practical liveness survive —
+  // the protocol's packet framing acts as the "semi-reliable lower layer"
+  // filter of §2.5.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    DataLink link = noisy_link(0.4, seed + 50, true,
+                               NoiseAdversary::Mode::kForge);
+    WorkloadConfig wl;
+    wl.messages = 20;
+    wl.max_steps_per_message = 200000;
+    wl.stop_on_stall = false;
+    const RunReport r = run_workload(link, wl, Rng(seed + 60));
+    EXPECT_GT(link.noise_deliveries(), 50u);
+    EXPECT_EQ(r.completed, 20u) << "seed=" << seed;
+    EXPECT_TRUE(link.checker().clean())
+        << "seed=" << seed << " " << link.checker().violations().summary();
+  }
+}
+
+TEST(Noise, StateGrowsWithNoiseUnlikeCausalModel) {
+  // Liveness degradation made visible: under the causal model the
+  // receiver's state stabilises; under noise, current-length mutants keep
+  // burning the epoch budget and the strings keep growing.
+  DataLink causal = noisy_link(0.0, 30);
+  (void)run_workload(causal, {.messages = 40}, Rng(31));
+
+  DataLink noisy = noisy_link(0.45, 30);
+  WorkloadConfig wl;
+  wl.messages = 40;
+  wl.max_steps_per_message = 200000;
+  wl.stop_on_stall = false;
+  (void)run_workload(noisy, wl, Rng(31));
+
+  // Mutants only stress the epoch budget when the flips land inside the
+  // challenge field, so growth is steady rather than explosive — but it
+  // must be strictly beyond anything the causal model produces.
+  EXPECT_GT(noisy.stats().max_rm_state_bits,
+            causal.stats().max_rm_state_bits + 32);
+}
+
+TEST(Noise, EpochsNeverStabiliseUnderMutationNoise) {
+  // The precise sense in which Theorem 9 dies in the non-causal model.
+  // The liveness proof rests on the strings eventually outgrowing every
+  // packet in the system; mutants always carry the *current* length, so
+  // during a transfer whose genuine deliveries the channel withholds
+  // (loss = 1, only mutants get through) the extension epochs climb for
+  // as long as the noise keeps coming — no stabilisation, no OK, ever.
+  // Causal control: with the same total blackout but no mutants, nothing
+  // is charged to the budget and the epoch stays at 1.
+  auto run_blocked = [](double noise, std::uint64_t seed) {
+    DataLinkConfig cfg;
+    cfg.retry_every = 4;
+    cfg.allow_noise = true;
+    cfg.noise_seed = seed;
+    auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
+    const GhmTransmitter* tm = pair.tm.get();
+    DataLink link(std::move(pair.tm), std::move(pair.rm),
+                  std::make_unique<NoiseAdversary>(noise, /*loss=*/1.0,
+                                                   Rng(seed)),
+                  cfg);
+    // Empty payload: every bit flip lands in a protocol field, so no
+    // mutant can complete the handshake "by accident" the way a flip
+    // confined to payload bytes could (delivering a corrupted payload —
+    // which the link-layer model does not even consider an error).
+    link.offer({1, ""});
+    // A lucky chain of mutants can even complete the handshake (e.g. a
+    // flip confined to the message-id field delivers a forged id and sets
+    // tau^R = tau^T — the relaxed-causality effects in action), so we do
+    // not assert deadlock; we assert the epoch climb, the non-stabilising
+    // behaviour Theorem 9 rules out in the causal model.
+    (void)link.run_until_ok(5000);
+    return tm->epoch();
+  };
+  EXPECT_GE(run_blocked(0.7, 91), 3u);   // kept climbing the whole time
+  EXPECT_EQ(run_blocked(0.0, 91), 1u);   // blackout, causal: no growth
+}
+
+TEST(Noise, MutatedPacketsMostlyFailToDecode) {
+  // Structural check on the mutation plumbing: a mutated copy differs from
+  // the original in 1..3 bits (same length).
+  DataLinkConfig cfg;
+  cfg.retry_every = 1;
+  cfg.allow_noise = true;
+  cfg.record_packet_events = true;
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), 40);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<ScriptedAdversary>(std::vector<Decision>{
+                    Decision::mutate_rt(0),
+                }),
+                cfg);
+  link.offer({1, "x"});
+  link.step();  // RETRY emits ack#0, adversary delivers its mutant
+  EXPECT_EQ(link.noise_deliveries(), 1u);
+  // The mutant has the original's length (recorded on the receive event).
+  const auto& events = link.trace().events();
+  std::size_t sent_len = 0;
+  std::size_t recv_len = 0;
+  for (const auto& e : events) {
+    if (e.kind == ActionKind::kSendPktRT) sent_len = e.pkt_len;
+    if (e.kind == ActionKind::kReceivePktRT) recv_len = e.pkt_len;
+  }
+  EXPECT_EQ(sent_len, recv_len);
+  EXPECT_GT(sent_len, 0u);
+}
+
+}  // namespace
+}  // namespace s2d

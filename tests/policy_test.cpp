@@ -1,0 +1,152 @@
+#include "core/policy.h"
+
+#include "core/receiver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / 1024.0;
+
+TEST(GrowthPolicy, AllSoundPoliciesSatisfyLemma4Budget) {
+  for (const char* name : GrowthPolicy::kPolicyNames) {
+    const GrowthPolicy p = GrowthPolicy::by_name(name, kEps);
+    EXPECT_TRUE(p.sound()) << name << " budget=" << p.lemma4_budget();
+    EXPECT_LE(p.lemma4_budget(), kEps / 4.0) << name;
+  }
+}
+
+TEST(GrowthPolicy, BudgetHoldsAcrossEpsilonRange) {
+  for (double eps : {0.25, 1.0 / 16, 1.0 / 256, 1.0 / 65536, 1e-9}) {
+    for (const char* name : GrowthPolicy::kPolicyNames) {
+      const GrowthPolicy p = GrowthPolicy::by_name(name, eps);
+      EXPECT_LE(p.lemma4_budget(), eps / 4.0) << name << " eps=" << eps;
+    }
+  }
+}
+
+TEST(GrowthPolicy, SizeGrowsWithEpoch) {
+  const GrowthPolicy p = GrowthPolicy::geometric(kEps);
+  EXPECT_LT(p.size(1), p.size(2));
+  EXPECT_LT(p.size(2), p.size(10));
+}
+
+TEST(GrowthPolicy, SizeGrowsWithSecurity) {
+  const GrowthPolicy loose = GrowthPolicy::geometric(1.0 / 16);
+  const GrowthPolicy tight = GrowthPolicy::geometric(1.0 / 65536);
+  EXPECT_LT(loose.size(1), tight.size(1));
+}
+
+TEST(GrowthPolicy, GeometricBoundDoubles) {
+  const GrowthPolicy p = GrowthPolicy::geometric(kEps);
+  EXPECT_EQ(p.bound(1), 2u);
+  EXPECT_EQ(p.bound(2), 4u);
+  EXPECT_EQ(p.bound(10), 1024u);
+}
+
+TEST(GrowthPolicy, PaperLinearBoundAtLeastOne) {
+  const GrowthPolicy p = GrowthPolicy::paper_linear(kEps);
+  EXPECT_EQ(p.bound(1), 1u);
+  EXPECT_EQ(p.bound(2), 1u);
+  EXPECT_EQ(p.bound(7), 3u);
+}
+
+TEST(GrowthPolicy, BoundNoOverflowAtHugeEpochs) {
+  const GrowthPolicy p = GrowthPolicy::aggressive(kEps);
+  EXPECT_GT(p.bound(100), 0u);  // clamped, not wrapped to zero
+  EXPECT_GT(p.bound(1000), 0u);
+}
+
+TEST(GrowthPolicy, FixedNonceNeverExtends) {
+  const GrowthPolicy p = GrowthPolicy::fixed_nonce(8, kEps);
+  EXPECT_EQ(p.size(1), 8u);
+  EXPECT_EQ(p.size(5), 8u);
+  EXPECT_EQ(p.bound(1), UINT64_MAX);
+  EXPECT_FALSE(p.sound());
+}
+
+TEST(GrowthPolicy, NamesRoundTrip) {
+  for (const char* name : GrowthPolicy::kPolicyNames) {
+    EXPECT_EQ(GrowthPolicy::by_name(name, kEps).name(), name);
+  }
+}
+
+TEST(GrowthPolicy, EpsilonStored) {
+  EXPECT_DOUBLE_EQ(GrowthPolicy::geometric(kEps).epsilon(), kEps);
+}
+
+TEST(GrowthPolicy, CustomPolicyHonoursUserFunctions) {
+  const GrowthPolicy p = GrowthPolicy::custom(
+      "my-policy", kEps,
+      [](std::uint64_t t) { return static_cast<std::size_t>(3 * t + 20); },
+      [](std::uint64_t t) { return t; });
+  EXPECT_EQ(p.name(), "my-policy");
+  EXPECT_EQ(p.size(1), 23u);
+  EXPECT_EQ(p.size(4), 32u);
+  EXPECT_EQ(p.bound(5), 5u);
+  EXPECT_TRUE(p.sound());
+}
+
+TEST(GrowthPolicy, CustomPolicyBudgetVerified) {
+  // sum_t t * 2^-(3t+20) converges far below eps/4 for eps = 2^-10.
+  const GrowthPolicy p = GrowthPolicy::custom(
+      "tight", 1.0 / 1024,
+      [](std::uint64_t t) { return static_cast<std::size_t>(3 * t + 20); },
+      [](std::uint64_t t) { return t; });
+  EXPECT_LE(p.lemma4_budget(), p.epsilon() / 4.0);
+}
+
+TEST(GrowthPolicy, CustomPolicyUsableByProtocol) {
+  // A custom pair must drive the actual protocol machinery.
+  const GrowthPolicy p = GrowthPolicy::custom(
+      "chunky", kEps,
+      [](std::uint64_t t) { return static_cast<std::size_t>(16 * t); },
+      [](std::uint64_t) { return std::uint64_t{1}; });
+  GhmReceiver rx(p, Rng(1));
+  EXPECT_EQ(rx.rho().size(), 16u);
+  Rng rng(2);
+  RxOutbox out;
+  // One wrong packet (bound = 1) must trigger an extension by size(2)=32.
+  rx.on_receive_pkt(
+      DataPacket{{1, "x"}, BitString::random(16, rng),
+                 BitString::from_binary("1")}
+          .encode(),
+      out);
+  EXPECT_EQ(rx.epoch(), 2u);
+  EXPECT_EQ(rx.rho().size(), 48u);
+}
+
+TEST(GrowthPolicy, IncrementRules) {
+  const GrowthPolicy plus = GrowthPolicy::geometric(kEps);
+  EXPECT_EQ(plus.increment_rule(), GrowthPolicy::Increment::kPlusOne);
+  EXPECT_EQ(plus.increment(1), 2u);
+  EXPECT_EQ(plus.increment(100), 101u);
+
+  const GrowthPolicy dbl =
+      plus.with_increment(GrowthPolicy::Increment::kDouble);
+  EXPECT_EQ(dbl.increment_rule(), GrowthPolicy::Increment::kDouble);
+  EXPECT_EQ(dbl.increment(1), 2u);
+  EXPECT_EQ(dbl.increment(2), 4u);
+  EXPECT_EQ(dbl.increment(1024), 2048u);
+  // Saturation, not wraparound (wraparound would be a safety bug; the
+  // saturation liveness trap is measured in E12).
+  EXPECT_EQ(dbl.increment(UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(dbl.increment(UINT64_MAX / 2 + 1), UINT64_MAX);
+  // The original is unchanged (value semantics).
+  EXPECT_EQ(plus.increment_rule(), GrowthPolicy::Increment::kPlusOne);
+}
+
+TEST(GrowthPolicy, InitialStringLongEnoughForSecurity) {
+  // size(1) must exceed log2(1/eps): a single fresh string already gives
+  // collision probability below eps.
+  for (double eps : {1.0 / 16, 1.0 / 1024, 1e-6}) {
+    const GrowthPolicy p = GrowthPolicy::geometric(eps);
+    EXPECT_GT(static_cast<double>(p.size(1)), std::log2(1.0 / eps));
+  }
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,94 @@
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+DataLink quiet_link(std::uint64_t seed) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), seed);
+  return DataLink(std::move(pair.tm), std::move(pair.rm),
+                  std::make_unique<BenignFifoAdversary>(0.0, Rng(seed)), cfg);
+}
+
+TEST(MakePayload, ExactLengthAndPrintable) {
+  Rng rng(1);
+  const std::string p = make_payload(64, rng);
+  EXPECT_EQ(p.size(), 64u);
+  for (char c : p) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(MakePayload, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(make_payload(32, a), make_payload(32, b));
+}
+
+TEST(RunWorkload, CompletesAndReports) {
+  DataLink link = quiet_link(1);
+  const RunReport r = run_workload(link, {.messages = 25}, Rng(2));
+  EXPECT_EQ(r.offered, 25u);
+  EXPECT_EQ(r.completed, 25u);
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_EQ(r.stalled, 0u);
+  EXPECT_EQ(r.steps_per_ok.count(), 25u);
+  EXPECT_GT(r.tr_packets, 0u);
+  EXPECT_GT(r.rt_packets, 0u);
+  EXPECT_GT(r.packets_per_ok(), 0.0);
+}
+
+TEST(RunWorkload, UniqueAscendingMessageIds) {
+  DataLink link = quiet_link(2);
+  (void)run_workload(link, {.messages = 10}, Rng(3), /*first_msg_id=*/100);
+  std::vector<std::uint64_t> ids;
+  for (const auto& e : link.trace().events()) {
+    if (e.kind == ActionKind::kSendMsg) ids.push_back(e.msg_id);
+  }
+  ASSERT_EQ(ids.size(), 10u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], 100 + i);
+  }
+}
+
+TEST(RunWorkload, StallStopsWorkloadByDefault) {
+  DataLinkConfig cfg;
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), 3);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<SilentAdversary>(), cfg);
+  const RunReport r =
+      run_workload(link, {.messages = 5, .max_steps_per_message = 100},
+                   Rng(4));
+  EXPECT_EQ(r.offered, 1u);
+  EXPECT_EQ(r.stalled, 1u);
+  EXPECT_EQ(r.completed, 0u);
+}
+
+TEST(RunWorkload, DrainStepsRunAfterWorkload) {
+  DataLink link = quiet_link(4);
+  const RunReport r =
+      run_workload(link, {.messages = 2, .drain_steps = 500}, Rng(5));
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_GE(r.link.steps, 500u);
+}
+
+TEST(RunWorkload, AbortedCountsCrashCutMessages) {
+  DataLinkConfig cfg;
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), 5);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<ScriptedAdversary>(std::vector<Decision>{
+                    Decision::crash_t()}),
+                cfg);
+  const RunReport r = run_workload(
+      link, {.messages = 1, .max_steps_per_message = 50}, Rng(6));
+  EXPECT_EQ(r.aborted, 1u);
+  EXPECT_EQ(r.completed, 0u);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,133 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 16);
+
+DataLink make_link(std::unique_ptr<Adversary> adv, std::uint64_t seed) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  cfg.collect_deliveries = true;
+  auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
+  return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                  cfg);
+}
+
+TEST(Session, SendsQueueAndCompleteInOrder) {
+  DataLink link = make_link(
+      std::make_unique<BenignFifoAdversary>(0.0, Rng(1)), 2);
+  Session session(link);
+  const auto a = session.send("one");
+  const auto b = session.send("two");
+  const auto c = session.send("three");
+  EXPECT_EQ(session.status(a), Session::Status::kInFlight);
+  EXPECT_EQ(session.status(b), Session::Status::kQueued);
+  ASSERT_TRUE(session.pump_until_idle(10000));
+  EXPECT_EQ(session.status(a), Session::Status::kCompleted);
+  EXPECT_EQ(session.status(b), Session::Status::kCompleted);
+  EXPECT_EQ(session.status(c), Session::Status::kCompleted);
+  EXPECT_EQ(session.completed(), 3u);
+}
+
+TEST(Session, ReceivedPayloadsMatchInOrder) {
+  DataLink link = make_link(
+      std::make_unique<RandomFaultAdversary>(FaultProfile::chaos(0.1),
+                                             Rng(3)),
+      4);
+  Session session(link);
+  session.send("alpha");
+  session.send("beta");
+  session.send("gamma");
+  ASSERT_TRUE(session.pump_until_idle(100000));
+  const auto received = session.take_received();
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0].payload, "alpha");
+  EXPECT_EQ(received[1].payload, "beta");
+  EXPECT_EQ(received[2].payload, "gamma");
+  // Drained: a second take returns nothing.
+  EXPECT_TRUE(session.take_received().empty());
+}
+
+TEST(Session, UnknownIdStatus) {
+  DataLink link = make_link(
+      std::make_unique<SilentAdversary>(), 5);
+  Session session(link);
+  EXPECT_EQ(session.status(42), Session::Status::kUnknown);
+}
+
+TEST(Session, AbortReportedOnCrashT) {
+  DataLink link = make_link(
+      std::make_unique<ScriptedAdversary>(std::vector<Decision>{
+          Decision::crash_t()}),
+      6);
+  Session session(link);
+  const auto id = session.send("doomed");
+  session.pump(10);
+  EXPECT_EQ(session.status(id), Session::Status::kAborted);
+  EXPECT_EQ(session.aborted(), 1u);
+  EXPECT_TRUE(session.idle());
+}
+
+TEST(Session, QueueContinuesAfterAbort) {
+  // The message after an aborted one must still go through.
+  struct CrashOnceThenFifo final : Adversary {
+    BenignFifoAdversary fifo{0.0, Rng(7)};
+    bool crashed = false;
+    Decision next(const AdversaryView& v) override {
+      if (!crashed) {
+        crashed = true;
+        return Decision::crash_t();
+      }
+      return fifo.next(v);
+    }
+    std::string name() const override { return "crash-once"; }
+  };
+  DataLink link = make_link(std::make_unique<CrashOnceThenFifo>(), 8);
+  Session session(link);
+  const auto a = session.send("first");
+  const auto b = session.send("second");
+  ASSERT_TRUE(session.pump_until_idle(10000));
+  EXPECT_EQ(session.status(a), Session::Status::kAborted);
+  EXPECT_EQ(session.status(b), Session::Status::kCompleted);
+}
+
+TEST(Session, PumpStopsEarlyWhenIdle) {
+  DataLink link = make_link(
+      std::make_unique<BenignFifoAdversary>(0.0, Rng(9)), 10);
+  Session session(link);
+  session.send("only");
+  ASSERT_TRUE(session.pump_until_idle(100000));
+  const std::uint64_t steps = link.stats().steps;
+  session.pump(5000);  // idle: must not burn the budget
+  EXPECT_EQ(link.stats().steps, steps);
+}
+
+TEST(Session, PumpUntilIdleFailsAgainstSilentAdversary) {
+  DataLink link = make_link(std::make_unique<SilentAdversary>(), 11);
+  Session session(link);
+  session.send("stuck");
+  EXPECT_FALSE(session.pump_until_idle(500));
+  EXPECT_EQ(session.status(1), Session::Status::kInFlight);
+}
+
+TEST(Session, ManyMessagesUnderChaosAllComplete) {
+  DataLink link = make_link(
+      std::make_unique<RandomFaultAdversary>(FaultProfile::chaos(0.2),
+                                             Rng(12)),
+      13);
+  Session session(link);
+  for (int i = 0; i < 50; ++i) session.send("m" + std::to_string(i));
+  ASSERT_TRUE(session.pump_until_idle(2000000));
+  EXPECT_EQ(session.completed(), 50u);
+  EXPECT_EQ(session.take_received().size(), 50u);
+  EXPECT_TRUE(link.checker().clean());
+}
+
+}  // namespace
+}  // namespace s2d

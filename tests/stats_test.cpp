@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace s2d {
+namespace {
+
+TEST(RunningStat, EmptyIsZeroMean) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, StddevIsSqrtVariance) {
+  RunningStat s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(s.variance()));
+}
+
+TEST(Samples, QuantilesOfKnownSequence) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 0.5);
+}
+
+TEST(Samples, QuantileEmptyIsNaN) {
+  Samples s;
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
+}
+
+TEST(Samples, MeanAndStddev) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+TEST(Samples, AddAfterQuantileStillCorrect) {
+  Samples s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  s.add(0.5);  // invalidates cached sort
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);
+}
+
+TEST(Proportion, EstimateBasics) {
+  Proportion p;
+  for (int i = 0; i < 30; ++i) p.add(i < 3);
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.1);
+  EXPECT_EQ(p.trials, 30u);
+  EXPECT_EQ(p.successes, 3u);
+}
+
+TEST(Proportion, WilsonBracketsEstimate) {
+  Proportion p;
+  for (int i = 0; i < 200; ++i) p.add(i < 20);
+  const auto ci = p.wilson();
+  EXPECT_LT(ci.lo, 0.1);
+  EXPECT_GT(ci.hi, 0.1);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(Proportion, WilsonZeroSuccessesHasPositiveUpperBound) {
+  // The key property for near-zero violation rates: 0/n gives a
+  // nonzero upper bound that shrinks with n.
+  Proportion small;
+  for (int i = 0; i < 10; ++i) small.add(false);
+  Proportion large;
+  for (int i = 0; i < 10000; ++i) large.add(false);
+  EXPECT_EQ(small.wilson().lo, 0.0);
+  EXPECT_GT(small.wilson().hi, 0.0);
+  EXPECT_LT(large.wilson().hi, small.wilson().hi);
+}
+
+TEST(Proportion, WilsonNoTrials) {
+  Proportion p;
+  const auto ci = p.wilson();
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+}  // namespace
+}  // namespace s2d

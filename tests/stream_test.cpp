@@ -1,0 +1,151 @@
+#include "core/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 16);
+
+struct Fixture {
+  DataLink link;
+  Session session;
+  StreamMux mux;
+
+  explicit Fixture(std::uint64_t seed, double pressure = 0.1)
+      : link(make_link(seed, pressure)), session(link), mux(session) {}
+
+  static DataLink make_link(std::uint64_t seed, double pressure) {
+    DataLinkConfig cfg;
+    cfg.retry_every = 3;
+    cfg.collect_deliveries = true;
+    auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
+    return DataLink(std::move(pair.tm), std::move(pair.rm),
+                    std::make_unique<RandomFaultAdversary>(
+                        FaultProfile::chaos(pressure), Rng(seed + 1)),
+                    cfg);
+  }
+};
+
+TEST(StreamChunkFrame, RoundTrip) {
+  using stream_internal::ChunkFrame;
+  ChunkFrame f;
+  f.stream_id = 7;
+  f.chunk_index = 3;
+  f.last = true;
+  f.stream_crc = 0xdeadbeef;
+  f.data = "chunk contents";
+  const auto g = ChunkFrame::decode(f.encode());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->stream_id, 7u);
+  EXPECT_EQ(g->chunk_index, 3u);
+  EXPECT_TRUE(g->last);
+  EXPECT_EQ(g->stream_crc, 0xdeadbeefu);
+  EXPECT_EQ(g->data, "chunk contents");
+}
+
+TEST(StreamChunkFrame, RejectsForeignPayloads) {
+  using stream_internal::ChunkFrame;
+  EXPECT_FALSE(ChunkFrame::decode("just some text").has_value());
+  EXPECT_FALSE(ChunkFrame::decode("").has_value());
+}
+
+TEST(StreamMux, SmallStreamRoundTrip) {
+  Fixture fx(1);
+  Rng rng(2);
+  const std::string data = make_payload(5000, rng);
+  fx.mux.send(data, 512);
+  ASSERT_TRUE(fx.session.pump_until_idle(2000000));
+  const auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].intact);
+  EXPECT_EQ(done[0].data, data);
+}
+
+TEST(StreamMux, EmptyStreamIsValid) {
+  Fixture fx(3);
+  fx.mux.send("", 128);
+  ASSERT_TRUE(fx.session.pump_until_idle(100000));
+  const auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].intact);
+  EXPECT_TRUE(done[0].data.empty());
+}
+
+TEST(StreamMux, InterleavedStreamsReassembleIndependently) {
+  Fixture fx(4);
+  Rng rng(5);
+  const std::string a = make_payload(2000, rng);
+  const std::string b = make_payload(3000, rng);
+  const auto id_a = fx.mux.send(a, 256);
+  const auto id_b = fx.mux.send(b, 256);
+  ASSERT_TRUE(fx.session.pump_until_idle(2000000));
+  auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 2u);
+  // Completion order follows the last chunk of each stream; sort by id.
+  if (done[0].stream_id != id_a) std::swap(done[0], done[1]);
+  EXPECT_EQ(done[0].stream_id, id_a);
+  EXPECT_EQ(done[0].data, a);
+  EXPECT_TRUE(done[0].intact);
+  EXPECT_EQ(done[1].stream_id, id_b);
+  EXPECT_EQ(done[1].data, b);
+  EXPECT_TRUE(done[1].intact);
+}
+
+TEST(StreamMux, ChunkSizeOneSurvives) {
+  Fixture fx(6);
+  fx.mux.send("tiny", 1);
+  ASSERT_TRUE(fx.session.pump_until_idle(500000));
+  const auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].data, "tiny");
+  EXPECT_TRUE(done[0].intact);
+}
+
+TEST(StreamMux, PartialStreamsVisibleMidFlight) {
+  Fixture fx(7, 0.0);
+  Rng rng(8);
+  fx.mux.send(make_payload(4000, rng), 256);
+  fx.session.pump(20);  // not enough to finish
+  (void)fx.mux.take_completed();
+  EXPECT_GE(fx.mux.partial_streams(), 0u);  // smoke: no crash mid-flight
+  ASSERT_TRUE(fx.session.pump_until_idle(2000000));
+  const auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(fx.mux.partial_streams(), 0u);
+}
+
+TEST(StreamMux, BinaryLikePayloadSurvives) {
+  // Payloads are opaque: embedded NUL-ish characters and the chunk-tag
+  // byte itself must travel intact.
+  Fixture fx(9);
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<char>(i % 256));
+  fx.mux.send(data, 128);
+  ASSERT_TRUE(fx.session.pump_until_idle(1000000));
+  const auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].data, data);
+  EXPECT_TRUE(done[0].intact);
+}
+
+TEST(StreamMux, HeavyChaosStillIntact) {
+  Fixture fx(10, 0.25);
+  Rng rng(11);
+  const std::string data = make_payload(8000, rng);
+  fx.mux.send(data, 200);
+  ASSERT_TRUE(fx.session.pump_until_idle(5000000));
+  const auto done = fx.mux.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].intact);
+  EXPECT_EQ(done[0].data, data);
+  EXPECT_TRUE(fx.link.checker().clean());
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace s2d {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, CsvQuotesCommas) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a\n\"x,y\"\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, SciFormatting) {
+  const std::string s = Table::sci(0.000123, 2);
+  EXPECT_NE(s.find("e-04"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,218 @@
+// Unit tests for GhmTransmitter: each branch of the reconstructed
+// transmitter automaton, driven with crafted acks.
+#include "core/transmitter.h"
+
+#include <gtest/gtest.h>
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / 1024.0;
+
+GhmTransmitter make_tx(std::uint64_t seed = 1) {
+  return GhmTransmitter(GrowthPolicy::geometric(kEps), Rng(seed));
+}
+
+void push_ack(GhmTransmitter& tx, const BitString& rho, const BitString& tau,
+              std::uint64_t retry, TxOutbox& out) {
+  tx.on_receive_pkt(AckPacket{rho, tau, retry}.encode(), out);
+}
+
+TEST(GhmTransmitter, InitiallyIdleAndChallengeless) {
+  GhmTransmitter tx = make_tx();
+  EXPECT_FALSE(tx.busy());
+  EXPECT_FALSE(tx.knows_challenge());
+}
+
+TEST(GhmTransmitter, TauNeverHasTauCrashPrefix) {
+  // Every fresh tau must start with "1" (tau'_crash) so tau_crash = "0"
+  // is never a prefix — the post-crash delivery guarantee depends on it.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    GhmTransmitter tx = make_tx(seed);
+    ASSERT_GE(tx.tau().size(), 1u);
+    EXPECT_TRUE(tx.tau().bit(0));
+    TxOutbox out;
+    tx.on_send_msg({1, "x"}, out);
+    EXPECT_TRUE(tx.tau().bit(0));
+  }
+}
+
+TEST(GhmTransmitter, SendWithoutChallengeStaysQuiet) {
+  GhmTransmitter tx = make_tx();
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  EXPECT_TRUE(tx.busy());
+  EXPECT_TRUE(out.pkts().empty());  // no challenge known yet: nothing to echo
+}
+
+TEST(GhmTransmitter, LearnsChallengeFromAckThenSends) {
+  GhmTransmitter tx = make_tx();
+  Rng rng(50);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  const BitString rho = BitString::random(15, rng);
+  push_ack(tx, rho, BitString::from_binary("0"), 1, out);
+  ASSERT_EQ(out.pkts().size(), 1u);
+  const auto data = DataPacket::decode(out.pkts()[0]);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->msg.id, 1u);
+  EXPECT_EQ(data->rho, rho);   // echoes the ack's challenge
+  EXPECT_EQ(data->tau, tx.tau());
+}
+
+TEST(GhmTransmitter, OkOnExactTauMatch) {
+  GhmTransmitter tx = make_tx();
+  Rng rng(51);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  const BitString next_challenge = BitString::random(15, rng);
+  push_ack(tx, next_challenge, tx.tau(), 1, out);
+  EXPECT_TRUE(out.ok_signalled());
+  EXPECT_FALSE(tx.busy());
+  EXPECT_TRUE(tx.knows_challenge());
+}
+
+TEST(GhmTransmitter, NoOkWhenIdle) {
+  GhmTransmitter tx = make_tx();
+  TxOutbox out;
+  push_ack(tx, BitString::from_binary("101"), tx.tau(), 1, out);
+  EXPECT_FALSE(out.ok_signalled());
+}
+
+TEST(GhmTransmitter, OkIgnoresRetryFilter) {
+  // The receiver resets its retry counter on delivery, so confirming acks
+  // arrive with small i; the OK check must not be gated on freshness.
+  GhmTransmitter tx = make_tx();
+  Rng rng(52);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 100,
+           out);  // bump i^T to 100
+  out = TxOutbox{};
+  push_ack(tx, BitString::random(15, rng), tx.tau(), 1, out);  // stale i
+  EXPECT_TRUE(out.ok_signalled());
+}
+
+TEST(GhmTransmitter, StaleAckIgnored) {
+  GhmTransmitter tx = make_tx();
+  Rng rng(53);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 5,
+           out);
+  const std::size_t pkts_after_first = out.pkts().size();
+  // Same retry counter again: a replay — no reply, no state change.
+  push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 5,
+           out);
+  EXPECT_EQ(out.pkts().size(), pkts_after_first);
+  EXPECT_EQ(tx.highest_retry_seen(), 5u);
+}
+
+TEST(GhmTransmitter, FreshAckTriggersRetransmission) {
+  GhmTransmitter tx = make_tx();
+  Rng rng(54);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 1,
+           out);
+  push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 2,
+           out);
+  EXPECT_EQ(out.pkts().size(), 2u);  // one data packet per fresh ack
+}
+
+TEST(GhmTransmitter, WrongFullLengthTauExtendsAfterBound) {
+  GhmTransmitter tx = make_tx(7);
+  Rng rng(55);
+  const GrowthPolicy policy = GrowthPolicy::geometric(kEps);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  const BitString tau0 = tx.tau();
+  const std::size_t len0 = tau0.size();
+  for (std::uint64_t i = 0; i < policy.bound(1); ++i) {
+    BitString wrong = BitString::random(len0, rng);
+    ASSERT_NE(wrong, tx.tau());
+    push_ack(tx, BitString::random(15, rng), wrong, i + 1, out);
+  }
+  EXPECT_EQ(tx.epoch(), 2u);
+  EXPECT_EQ(tx.tau().size(), len0 + policy.size(2));
+  EXPECT_TRUE(tau0.is_prefix_of(tx.tau()));  // extension, not replacement
+}
+
+TEST(GhmTransmitter, ShortStaleTauNotCounted) {
+  GhmTransmitter tx = make_tx(8);
+  Rng rng(56);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  const std::uint64_t epoch_before = tx.epoch();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    // tau_crash-style short acks (e.g. from a crashed receiver) must not
+    // burn the epoch budget.
+    push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"),
+             i + 1, out);
+  }
+  EXPECT_EQ(tx.epoch(), epoch_before);
+  EXPECT_EQ(tx.wrong_count(), 0u);
+}
+
+TEST(GhmTransmitter, FreshTauPerMessage) {
+  GhmTransmitter tx = make_tx(9);
+  Rng rng(57);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  const BitString tau1 = tx.tau();
+  push_ack(tx, BitString::random(15, rng), tau1, 1, out);  // OK
+  ASSERT_TRUE(out.ok_signalled());
+  out = TxOutbox{};
+  tx.on_send_msg({2, "y"}, out);
+  EXPECT_NE(tx.tau(), tau1);
+  // The new message goes out immediately: the confirming ack delivered the
+  // next challenge.
+  ASSERT_EQ(out.pkts().size(), 1u);
+  const auto data = DataPacket::decode(out.pkts()[0]);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->msg.id, 2u);
+}
+
+TEST(GhmTransmitter, CrashForgetsEverything) {
+  GhmTransmitter tx = make_tx(10);
+  Rng rng(58);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 9,
+           out);
+  const BitString tau_before = tx.tau();
+  tx.on_crash();
+  EXPECT_FALSE(tx.busy());
+  EXPECT_FALSE(tx.knows_challenge());
+  EXPECT_NE(tx.tau(), tau_before);
+  EXPECT_EQ(tx.highest_retry_seen(), 0u);
+  EXPECT_EQ(tx.epoch(), 1u);
+}
+
+TEST(GhmTransmitter, MalformedAndCrossTypePacketsIgnored) {
+  GhmTransmitter tx = make_tx(11);
+  TxOutbox out;
+  tx.on_send_msg({1, "x"}, out);
+  Bytes junk(9, std::byte{0x77});
+  tx.on_receive_pkt(junk, out);
+  tx.on_receive_pkt(DataPacket{{1, "x"}, {}, {}}.encode(), out);
+  EXPECT_FALSE(out.ok_signalled());
+  EXPECT_EQ(tx.wrong_count(), 0u);
+}
+
+TEST(GhmTransmitter, IdleAckUpdatesChallengeForNextMessage) {
+  GhmTransmitter tx = make_tx(12);
+  Rng rng(59);
+  TxOutbox out;
+  const BitString rho = BitString::random(15, rng);
+  push_ack(tx, rho, BitString::from_binary("0"), 1, out);
+  EXPECT_TRUE(tx.knows_challenge());
+  tx.on_send_msg({1, "x"}, out);
+  ASSERT_EQ(out.pkts().size(), 1u);
+  const auto data = DataPacket::decode(out.pkts()[0]);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->rho, rho);
+}
+
+}  // namespace
+}  // namespace s2d

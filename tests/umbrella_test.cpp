@@ -1,0 +1,39 @@
+// The umbrella header must compile standalone and expose the whole public
+// surface; this doubles as a smoke test that the advertised one-include
+// quickstart actually works.
+#include "s2d.h"
+
+#include <gtest/gtest.h>
+
+namespace s2d {
+namespace {
+
+TEST(Umbrella, QuickstartThroughSingleInclude) {
+  GhmPair proto = make_ghm(GrowthPolicy::geometric(1.0 / (1 << 16)), 1);
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  DataLink link(std::move(proto.tm), std::move(proto.rm),
+                std::make_unique<RandomFaultAdversary>(
+                    FaultProfile::chaos(0.1), Rng(2)),
+                cfg);
+  link.offer({1, "hello"});
+  EXPECT_TRUE(link.run_until_ok(100000));
+  EXPECT_TRUE(link.checker().clean());
+}
+
+TEST(Umbrella, EverySubsystemReachable) {
+  // One symbol from each subsystem, proving the includes compose.
+  EXPECT_TRUE(GrowthPolicy::geometric(0.01).sound());
+  EXPECT_EQ(GhmReceiver::tau_crash().to_binary(), "0");
+  EXPECT_EQ(NetworkGraph::line(3).edge_count(), 2u);
+  EXPECT_EQ(StopWaitConfig{}.modulus, 2u);
+  EXPECT_EQ(SilentAdversary{}.name(), "silent");
+  ExplorerConfig explorer_cfg;
+  EXPECT_GT(explorer_cfg.max_depth, 0u);
+  Trace trace;
+  EXPECT_TRUE(render_sequence(trace).find("transmitter") !=
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2d
