@@ -7,9 +7,12 @@
 //   * exits nonzero only on harness misuse (never on "interesting" data).
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "util/flags.h"
 #include "util/table.h"
@@ -27,5 +30,110 @@ inline void emit(const Table& table, bool csv) {
     table.print(std::cout);
   }
 }
+
+/// Minimal machine-readable JSON emitter for experiment output, so perf
+/// trajectories can be tracked across PRs without scraping tables.
+///
+///   JsonWriter j;
+///   j.begin_object();
+///   j.kv("sessions", 4096u);
+///   j.key("scaling"); j.begin_array();
+///     j.begin_object(); j.kv("threads", 1u); ...; j.end_object();
+///   j.end_array();
+///   j.end_object();
+///   std::cout << j.str() << "\n";
+///
+/// Handles exactly what the experiments need: objects, arrays, numbers,
+/// booleans and strings (escaped for quotes/backslashes/control bytes).
+/// Doubles print with %.17g so values round-trip exactly.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    pending_value_ = true;
+  }
+
+  void value(const std::string& v) {
+    comma();
+    append_string(v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    comma();
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// The finished document. Precondition: all scopes closed.
+  [[nodiscard]] const std::string& str() const {
+    assert(depth_ == 0);
+    return out_;
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    need_comma_ = false;
+    ++depth_;
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    --depth_;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value directly follows its key
+    }
+    if (need_comma_) out_ += ',';
+    need_comma_ = true;
+  }
+  void append_string(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out_ += buf;
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
 
 }  // namespace s2d::bench

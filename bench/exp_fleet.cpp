@@ -1,0 +1,135 @@
+// E13 — fleet scaling: thousands of concurrent GHM sessions.
+//
+// The paper analyses one TM→RM link; a deployment hosts one link per
+// conversation. This experiment runs N independent sessions (fresh GHM
+// pair, random-fault channel, forked per-session RNG) through the fleet
+// engine at 1, 2, 4, ... worker threads and reports aggregate throughput
+// (sessions/sec, completed msgs/sec, executor steps/sec) and the speedup
+// over the single-threaded run of the *same* workload.
+//
+// Expected shape: sessions are share-nothing, so throughput scales close
+// to linearly until the thread count exceeds the physical cores. The
+// `fingerprint` column must be one constant: the aggregate report is
+// deterministic in the root seed no matter how many shards computed it.
+//
+// --json emits the same data machine-readably (bench_common.h JsonWriter)
+// so future PRs can track the perf trajectory.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+
+namespace s2d {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags("E13: sharded fleet of independent GHM sessions");
+  flags.define("sessions", "512", "independent sessions per run")
+      .define("messages", "16", "messages per session")
+      .define("payload", "32", "payload bytes per message")
+      .define("eps_log2", "16", "eps = 2^-k")
+      .define("fault", "0.05", "chaos fault profile intensity")
+      .define("retry", "4", "RM RETRY cadence (steps)")
+      .define("seed", "20890", "root seed of the whole fleet")
+      .define_threads()
+      .define("csv", "false", "emit CSV")
+      .define("json", "false", "emit machine-readable JSON instead");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  FleetConfig cfg;
+  cfg.sessions = flags.get_u64("sessions");
+  cfg.root_seed = flags.get_u64("seed");
+  cfg.workload.messages = flags.get_u64("messages");
+  cfg.workload.payload_bytes = flags.get_u64("payload");
+
+  GhmFleetOptions opts;
+  opts.epsilon = std::exp2(-static_cast<double>(flags.get_u64("eps_log2")));
+  opts.faults = FaultProfile::chaos(flags.get_double("fault"));
+  opts.retry_every = flags.get_u64("retry");
+  const SessionFactory factory = make_ghm_fleet_factory(opts);
+
+  // 1, 2, 4, ... doubling up to the resolved --threads value (inclusive).
+  const unsigned max_threads = flags.get_threads();
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+
+  const bool json = flags.get_bool("json");
+  if (!json) {
+    bench::print_header(
+        "E13: fleet scaling — N independent GHM sessions across shards",
+        "share-nothing sessions scale with cores; the aggregate report is "
+        "byte-identical at every shard count (root-seed determinism)");
+  }
+
+  Table table({"threads", "shards", "wall_s", "sessions_per_s",
+               "msgs_per_s", "steps_per_s", "speedup", "completed",
+               "safety_viol", "fingerprint"});
+  bench::JsonWriter j;
+  j.begin_object();
+  j.kv("experiment", "exp_fleet");
+  j.kv("sessions", cfg.sessions);
+  j.kv("messages_per_session", cfg.workload.messages);
+  j.kv("payload_bytes", cfg.workload.payload_bytes);
+  j.kv("root_seed", cfg.root_seed);
+  j.key("scaling");
+  j.begin_array();
+
+  double base_msgs_per_sec = 0.0;
+  std::string base_fingerprint;
+  bool deterministic = true;
+  for (const unsigned threads : sweep) {
+    cfg.threads = threads;
+    const FleetResult res = run_fleet(cfg, factory);
+    const std::string fp = res.report.fingerprint();
+    if (base_fingerprint.empty()) {
+      base_fingerprint = fp;
+      base_msgs_per_sec = res.msgs_per_sec();
+    }
+    deterministic = deterministic && fp == base_fingerprint;
+    const double speedup =
+        base_msgs_per_sec > 0.0 ? res.msgs_per_sec() / base_msgs_per_sec
+                                : 0.0;
+
+    table.add_row({std::to_string(threads), std::to_string(res.shards),
+                   Table::num(res.wall_seconds, 3),
+                   Table::num(res.sessions_per_sec(), 1),
+                   Table::num(res.msgs_per_sec(), 1),
+                   Table::num(res.steps_per_sec(), 0),
+                   Table::num(speedup, 2),
+                   std::to_string(res.report.completed),
+                   std::to_string(res.report.violations.safety_total()),
+                   fp});
+
+    j.begin_object();
+    j.kv("threads", threads);
+    j.kv("shards", res.shards);
+    j.kv("wall_seconds", res.wall_seconds);
+    j.kv("sessions_per_sec", res.sessions_per_sec());
+    j.kv("msgs_per_sec", res.msgs_per_sec());
+    j.kv("steps_per_sec", res.steps_per_sec());
+    j.kv("speedup_vs_1_thread", speedup);
+    j.kv("completed", res.report.completed);
+    j.kv("safety_violations", res.report.violations.safety_total());
+    j.kv("fingerprint", fp);
+    j.end_object();
+  }
+  j.end_array();
+  j.kv("deterministic_across_shard_counts", deterministic);
+  j.end_object();
+
+  if (json) {
+    std::cout << j.str() << "\n";
+  } else {
+    bench::emit(table, flags.get_bool("csv"));
+    std::cout << "#\n# deterministic across shard counts: "
+              << (deterministic ? "yes" : "NO — BUG") << "\n";
+  }
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

@@ -1,0 +1,151 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/ghm.h"
+#include "util/parallel.h"
+
+namespace s2d {
+namespace {
+
+// Salts for the factory's child RNG streams. The session seed itself is
+// index-derived, so these only need to be distinct from each other and
+// from kFleetWorkloadSalt.
+constexpr std::uint64_t kProtocolSalt = 0x70726f746f636f6cULL;  // "protocol"
+constexpr std::uint64_t kAdversarySalt = 0x61647665727361ULL;   // "adversa"
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffU;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+void FleetReport::add(const RunReport& run) {
+  ++sessions;
+  offered += run.offered;
+  completed += run.completed;
+  aborted += run.aborted;
+  stalled += run.stalled;
+  steps_per_ok.merge(run.steps_per_ok);
+  link.merge(run.link);
+  violations.merge(run.violations);
+  tr_packets += run.tr_packets;
+  rt_packets += run.rt_packets;
+  tr_bytes += run.tr_bytes;
+  rt_bytes += run.rt_bytes;
+}
+
+void FleetReport::merge(const FleetReport& other) {
+  sessions += other.sessions;
+  offered += other.offered;
+  completed += other.completed;
+  aborted += other.aborted;
+  stalled += other.stalled;
+  steps_per_ok.merge(other.steps_per_ok);
+  link.merge(other.link);
+  violations.merge(other.violations);
+  tr_packets += other.tr_packets;
+  rt_packets += other.rt_packets;
+  tr_bytes += other.tr_bytes;
+  rt_bytes += other.rt_bytes;
+}
+
+void FleetReport::canonicalize() { steps_per_ok.canonicalize(); }
+
+std::string FleetReport::fingerprint() const {
+  Fnv1a h;
+  h.mix(sessions);
+  h.mix(offered);
+  h.mix(completed);
+  h.mix(aborted);
+  h.mix(stalled);
+  h.mix(link.steps);
+  h.mix(link.messages_offered);
+  h.mix(link.oks);
+  h.mix(link.aborted);
+  h.mix(link.crashes_t);
+  h.mix(link.crashes_r);
+  h.mix(link.retries);
+  h.mix(link.max_tm_state_bits);
+  h.mix(link.max_rm_state_bits);
+  h.mix(violations.causality);
+  h.mix(violations.order);
+  h.mix(violations.duplication);
+  h.mix(violations.replay);
+  h.mix(violations.axiom);
+  h.mix(tr_packets);
+  h.mix(rt_packets);
+  h.mix(tr_bytes);
+  h.mix(rt_bytes);
+  h.mix(static_cast<std::uint64_t>(steps_per_ok.count()));
+  for (double x : steps_per_ok.values()) h.mix(x);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h.value()));
+  return buf;
+}
+
+FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {
+  FleetResult result;
+  result.threads_used = resolve_threads(cfg.threads);
+  result.shards = cfg.sessions == 0
+                      ? 1U
+                      : static_cast<unsigned>(std::min<std::uint64_t>(
+                            result.threads_used, cfg.sessions));
+
+  std::vector<FleetReport> partials(result.shards);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  parallel_shards(result.shards, [&](unsigned shard) {
+    FleetReport& part = partials[shard];
+    // Round-robin deal; within a shard sessions run in index order, so a
+    // shard's partial depends only on which indices it owns.
+    for (std::uint64_t i = shard; i < cfg.sessions; i += result.shards) {
+      const SessionSpec spec{i, fleet_session_seed(cfg.root_seed, i)};
+      const std::unique_ptr<DataLink> link = factory(spec);
+      part.add(
+          run_workload(*link, cfg.workload, spec.rng(kFleetWorkloadSalt)));
+    }
+  });
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Canonical merge order: shard 0, 1, ... All fields are commutative
+  // sums/maxes except the sample pools, which canonicalize() sorts — so
+  // the aggregate is identical for any shard count anyway.
+  for (const FleetReport& part : partials) result.report.merge(part);
+  result.report.canonicalize();
+  return result;
+}
+
+SessionFactory make_ghm_fleet_factory(GhmFleetOptions opts) {
+  return [opts](const SessionSpec& spec) {
+    DataLinkConfig cfg;
+    cfg.retry_every = opts.retry_every;
+    cfg.keep_trace = opts.keep_trace;
+    auto pair = make_ghm(GrowthPolicy::geometric(opts.epsilon),
+                         spec.rng(kProtocolSalt).next_u64());
+    auto adv = std::make_unique<RandomFaultAdversary>(
+        opts.faults, spec.rng(kAdversarySalt));
+    return std::make_unique<DataLink>(std::move(pair.tm), std::move(pair.rm),
+                                      std::move(adv), cfg);
+  };
+}
+
+}  // namespace s2d

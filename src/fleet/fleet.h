@@ -1,0 +1,171 @@
+// Fleet engine: sharded, multi-threaded execution of many independent
+// GHM sessions.
+//
+// The paper's model is one transmitter, one receiver, one adversary. A
+// production deployment hosts thousands of such data links at once —
+// one per user conversation — and the statistical experiments want to
+// replicate executions over thousands of seeds. The fleet engine serves
+// both: it partitions N independent sessions across worker shards, runs
+// each session's DataLink executor to completion on its shard's thread,
+// and aggregates the per-session RunReports into one FleetReport.
+//
+// Determinism contract (see docs/FLEET.md):
+//
+//   * every session's randomness is a pure function of (root_seed,
+//     session index) — `fleet_session_seed` — never of thread identity,
+//     shard assignment or arrival order;
+//   * shards share no mutable state: each owns its sessions and its
+//     partial FleetReport exclusively, so the engine needs no locks;
+//   * aggregation is order-canonicalized — counters are commutative
+//     sums/maxes and sample populations are sorted by canonicalize() —
+//     so the same root seed produces a byte-identical FleetReport at any
+//     shard count under any thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "adversary/adversaries.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace s2d {
+
+/// Per-session seed: a pure, injective function of the session index for
+/// a fixed root (SplitMix64's finalizer is a bijection composed with an
+/// affine index map), so no two sessions of one fleet can share an RNG
+/// stream and the value never depends on which shard runs the session.
+[[nodiscard]] inline std::uint64_t fleet_session_seed(
+    std::uint64_t root_seed, std::uint64_t index) noexcept {
+  SplitMix64 sm(root_seed ^ (index * 0x9e3779b97f4a7c15ULL));
+  return sm.next();
+}
+
+/// Salt of the child RNG stream run_fleet() feeds each session's
+/// workload (public so serial re-implementations can reproduce a fleet
+/// run exactly; factories pick their own salts for protocol/adversary).
+inline constexpr std::uint64_t kFleetWorkloadSalt =
+    0x776f726b6c6f6164ULL;  // "workload"
+
+/// Identity of one session within a fleet run, handed to the factory.
+struct SessionSpec {
+  std::uint64_t index = 0;  // 0..sessions-1, stable across shard counts
+  std::uint64_t seed = 0;   // fleet_session_seed(root_seed, index)
+
+  /// Derives a named child generator from the session seed; the factory
+  /// uses distinct salts for protocol, adversary and workload streams.
+  [[nodiscard]] Rng rng(std::uint64_t salt) const noexcept {
+    return Rng(seed).fork(salt);
+  }
+};
+
+/// Builds one session's executor. Must derive all randomness from `spec`
+/// (never from globals) and must not touch shared mutable state — the
+/// factory is called concurrently from every shard.
+using SessionFactory =
+    std::function<std::unique_ptr<DataLink>(const SessionSpec&)>;
+
+struct FleetConfig {
+  /// Number of independent sessions to run.
+  std::uint64_t sessions = 1;
+
+  /// Worker shards (0 = std::thread::hardware_concurrency()). Sessions
+  /// are dealt round-robin: shard s runs indices s, s+shards, ...
+  unsigned threads = 0;
+
+  /// Root of the whole fleet's randomness; everything else derives.
+  std::uint64_t root_seed = 0x666c656574ULL;  // "fleet"
+
+  /// Workload driven through every session (same shape, distinct rng).
+  WorkloadConfig workload;
+};
+
+/// Order-canonicalized aggregate of every session's RunReport. Contains
+/// only shard-count-independent data; execution metadata (threads, wall
+/// time) lives in FleetResult.
+struct FleetReport {
+  std::uint64_t sessions = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t stalled = 0;
+  Samples steps_per_ok;  // pooled completion-latency population
+
+  LinkStats link;
+  ViolationCounts violations;
+
+  std::uint64_t tr_packets = 0;
+  std::uint64_t rt_packets = 0;
+  std::uint64_t tr_bytes = 0;
+  std::uint64_t rt_bytes = 0;
+
+  /// Folds one session's report in.
+  void add(const RunReport& run);
+
+  /// Folds another partial aggregate in (shard partials -> total).
+  void merge(const FleetReport& other);
+
+  /// Sorts the pooled sample populations so that aggregates built in any
+  /// order compare byte-identical. run_fleet() returns canonicalized
+  /// reports; call this after hand-built merges.
+  void canonicalize();
+
+  /// FNV-1a digest over every field (samples by exact bit pattern),
+  /// rendered as 16 hex digits. Two canonicalized reports are equal iff
+  /// their fingerprints match — the determinism tests' comparator.
+  [[nodiscard]] std::string fingerprint() const;
+
+  [[nodiscard]] double packets_per_ok() const noexcept {
+    return completed ? static_cast<double>(tr_packets + rt_packets) /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+};
+
+/// A fleet run's outcome: the deterministic aggregate plus execution
+/// metadata that legitimately varies run to run.
+struct FleetResult {
+  FleetReport report;
+  unsigned threads_used = 0;
+  unsigned shards = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double sessions_per_sec() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(report.sessions) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double msgs_per_sec() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(report.completed) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double steps_per_sec() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(report.link.steps) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Runs cfg.sessions independent sessions across min(threads, sessions)
+/// shards and returns the canonicalized aggregate.
+FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory);
+
+/// Options for the canned GHM-over-faulty-channel factory shared by the
+/// fleet bench, demo and tests.
+struct GhmFleetOptions {
+  double epsilon = 1.0 / (1 << 16);
+  FaultProfile faults = FaultProfile::chaos(0.05);
+  std::uint64_t retry_every = 4;
+  bool keep_trace = false;  // traces dominate memory at fleet scale
+};
+
+/// Each session: a fresh GHM pair (per-session forked coin tapes) over a
+/// RandomFaultAdversary, all seeded from the SessionSpec.
+[[nodiscard]] SessionFactory make_ghm_fleet_factory(GhmFleetOptions opts = {});
+
+}  // namespace s2d

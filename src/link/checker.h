@@ -49,6 +49,19 @@ struct ViolationCounts {
     return causality + order + duplication + replay;
   }
 
+  /// Sums violation counts across executions (fleet aggregation).
+  ViolationCounts& merge(const ViolationCounts& o) noexcept {
+    causality += o.causality;
+    order += o.order;
+    duplication += o.duplication;
+    replay += o.replay;
+    axiom += o.axiom;
+    return *this;
+  }
+  ViolationCounts& operator+=(const ViolationCounts& o) noexcept {
+    return merge(o);
+  }
+
   [[nodiscard]] std::string summary() const;
 };
 

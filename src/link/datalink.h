@@ -16,6 +16,7 @@
 // the §2.6 conditions over the execution so far.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -78,6 +79,23 @@ struct LinkStats {
   std::uint64_t retries = 0;
   std::uint64_t max_tm_state_bits = 0;
   std::uint64_t max_rm_state_bits = 0;
+
+  /// Aggregates statistics of another execution into this one: counters
+  /// add, peaks take the max. Commutative and associative, so the fleet
+  /// aggregate is independent of shard count and merge order.
+  LinkStats& merge(const LinkStats& o) noexcept {
+    steps += o.steps;
+    messages_offered += o.messages_offered;
+    oks += o.oks;
+    aborted += o.aborted;
+    crashes_t += o.crashes_t;
+    crashes_r += o.crashes_r;
+    retries += o.retries;
+    max_tm_state_bits = std::max(max_tm_state_bits, o.max_tm_state_bits);
+    max_rm_state_bits = std::max(max_rm_state_bits, o.max_rm_state_bits);
+    return *this;
+  }
+  LinkStats& operator+=(const LinkStats& o) noexcept { return merge(o); }
 };
 
 class DataLink {

@@ -44,3 +44,6 @@
 // Harness: workload runner and exhaustive explorer.
 #include "harness/explorer.h"
 #include "harness/runner.h"
+
+// Fleet engine: sharded multi-threaded execution of many sessions.
+#include "fleet/fleet.h"

@@ -4,12 +4,19 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/parallel.h"
+
 namespace s2d {
 
 Flags& Flags::define(const std::string& name, const std::string& default_value,
                      const std::string& help) {
   specs_[name] = Spec{default_value, help};
   return *this;
+}
+
+Flags& Flags::define_threads() {
+  return define("threads", "0",
+                "worker threads (0 = all hardware threads)");
 }
 
 void Flags::usage() const {
@@ -75,6 +82,10 @@ std::uint64_t Flags::get_u64(const std::string& name) const {
 
 double Flags::get_double(const std::string& name) const {
   return std::strtod(get(name).c_str(), nullptr);
+}
+
+unsigned Flags::get_threads(const std::string& name) const {
+  return resolve_threads(static_cast<unsigned>(get_u64(name)));
 }
 
 bool Flags::get_bool(const std::string& name) const {

@@ -22,6 +22,10 @@ class Flags {
   Flags& define(const std::string& name, const std::string& default_value,
                 const std::string& help);
 
+  /// Registers the standard `--threads` flag shared by the multi-threaded
+  /// binaries (default 0 = all hardware threads).
+  Flags& define_threads();
+
   /// Parses argv; on --help prints usage and returns false (caller should
   /// exit 0). On error prints a message and returns false (caller should
   /// exit nonzero — check failed()).
@@ -34,6 +38,10 @@ class Flags {
   [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Resolved worker-thread count for a `--threads`-style flag: the flag
+  /// value, with 0 mapped to std::thread::hardware_concurrency().
+  [[nodiscard]] unsigned get_threads(const std::string& name = "threads") const;
 
   /// Parses a comma-separated list of doubles/ints, e.g. "0.1,0.2,0.5".
   [[nodiscard]] std::vector<double> get_double_list(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <sstream>
 
 namespace s2d {
@@ -24,6 +25,16 @@ void Log2Histogram::add(std::uint64_t v) noexcept {
   if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
   ++buckets_[b];
   ++total_;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
 }
 
 std::string Log2Histogram::render(std::size_t max_width) const {
@@ -56,6 +67,17 @@ void LinearHistogram::add(std::uint64_t v) noexcept {
     return;
   }
   ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  assert(lo_ == other.lo_ && width_ == other.width_ &&
+         buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 std::string LinearHistogram::render(std::size_t max_width) const {

@@ -17,6 +17,10 @@ class Log2Histogram {
  public:
   void add(std::uint64_t v) noexcept;
 
+  /// Bucket-wise sum. Merging is commutative and associative, so shard
+  /// aggregation order cannot change the result.
+  void merge(const Log2Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
     return i < buckets_.size() ? buckets_[i] : 0;
@@ -41,6 +45,10 @@ class LinearHistogram {
   LinearHistogram(std::uint64_t lo, std::uint64_t width, std::size_t nbuckets);
 
   void add(std::uint64_t v) noexcept;
+
+  /// Bucket-wise sum. Precondition: identical geometry (lo, width,
+  /// bucket count); merging differently shaped histograms is a caller bug.
+  void merge(const LinearHistogram& other);
 
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }

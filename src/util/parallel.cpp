@@ -1,0 +1,46 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace s2d {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+void parallel_shards(unsigned shards,
+                     const std::function<void(unsigned)>& body) {
+  if (shards <= 1) {
+    if (shards == 1) body(0);
+    return;
+  }
+
+  // One slot per shard: writers never race and no mutex is needed.
+  std::vector<std::exception_ptr> errors(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  for (unsigned s = 1; s < shards; ++s) {
+    workers.emplace_back([s, &body, &errors] {
+      try {
+        body(s);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  try {
+    body(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (auto& w : workers) w.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace s2d

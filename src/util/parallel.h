@@ -1,0 +1,27 @@
+// Minimal shard-parallel execution helper for the fleet engine and the
+// multi-threaded experiments.
+//
+// The concurrency model deliberately offers nothing but fork/join over
+// disjoint shards: each worker owns its shard's state exclusively, there
+// is no shared mutable state and therefore nothing to lock. Determinism
+// then reduces to (a) seeding each unit of work from its *index*, never
+// from thread identity or arrival order, and (b) merging shard results in
+// a canonical order after the join.
+#pragma once
+
+#include <functional>
+
+namespace s2d {
+
+/// Maps a requested thread count to an effective one: 0 means "all
+/// hardware threads" (std::thread::hardware_concurrency(), itself clamped
+/// to at least 1 because the standard allows it to return 0).
+[[nodiscard]] unsigned resolve_threads(unsigned requested) noexcept;
+
+/// Runs `body(shard)` for every shard in [0, shards) on `shards` threads
+/// and joins them all before returning. Shard 0 runs on the calling
+/// thread. The first exception thrown by any shard is rethrown on the
+/// caller after every thread has joined.
+void parallel_shards(unsigned shards, const std::function<void(unsigned)>& body);
+
+}  // namespace s2d

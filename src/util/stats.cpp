@@ -2,6 +2,19 @@
 
 namespace s2d {
 
+void Samples::merge(const Samples& other) {
+  if (other.xs_.empty()) return;
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
+void Samples::canonicalize() {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
 double Samples::mean() const noexcept {
   if (xs_.empty()) return 0.0;
   double s = 0.0;

@@ -44,6 +44,26 @@ class RunningStat {
     return mean_ * static_cast<double>(n_);
   }
 
+  /// Combines two accumulators (Chan et al. parallel variance update).
+  /// Floating-point results depend on merge order; callers that need
+  /// order-independent aggregates should merge raw Samples instead.
+  RunningStat& merge(const RunningStat& other) noexcept {
+    if (other.n_ == 0) return *this;
+    if (n_ == 0) {
+      *this = other;
+      return *this;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    return *this;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -58,6 +78,21 @@ class Samples {
   void add(double x) {
     xs_.push_back(x);
     sorted_ = false;
+  }
+
+  /// Appends every sample of `other`; the fleet aggregator builds one
+  /// population out of per-shard partials this way.
+  void merge(const Samples& other);
+
+  /// Sorts the samples ascending. Two sample sets holding the same
+  /// multiset of values compare identical after canonicalize() regardless
+  /// of insertion order — what makes aggregated reports byte-comparable
+  /// across shard counts.
+  void canonicalize();
+
+  /// Raw samples in current storage order (sorted after canonicalize()).
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return xs_;
   }
 
   [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
@@ -83,6 +118,12 @@ struct Proportion {
   void add(bool success) noexcept {
     successes += success ? 1U : 0U;
     ++trials;
+  }
+
+  Proportion& merge(const Proportion& other) noexcept {
+    successes += other.successes;
+    trials += other.trials;
+    return *this;
   }
 
   [[nodiscard]] double estimate() const noexcept {

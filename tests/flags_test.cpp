@@ -104,5 +104,22 @@ TEST(Flags, PositionalArgumentFails) {
   EXPECT_TRUE(f.failed());
 }
 
+TEST(Flags, ThreadsDefaultResolvesToHardware) {
+  Flags f("test");
+  f.define_threads();
+  Argv argv({"prog"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_u64("threads"), 0u);   // raw flag value
+  EXPECT_GE(f.get_threads(), 1u);        // resolved: at least one worker
+}
+
+TEST(Flags, ThreadsExplicitValueIsRespected) {
+  Flags f("test");
+  f.define_threads();
+  Argv argv({"prog", "--threads=7"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_threads(), 7u);
+}
+
 }  // namespace
 }  // namespace s2d

@@ -1,0 +1,239 @@
+// Fleet engine tests: determinism across shard counts, seed-stream
+// distinctness, aggregation algebra, and agreement with a hand-rolled
+// serial baseline.
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/parallel.h"
+
+namespace s2d {
+namespace {
+
+FleetConfig small_fleet(unsigned threads) {
+  FleetConfig cfg;
+  cfg.sessions = 24;
+  cfg.threads = threads;
+  cfg.root_seed = 0xfee7;
+  cfg.workload.messages = 5;
+  cfg.workload.payload_bytes = 16;
+  return cfg;
+}
+
+TEST(FleetSeeds, DistinctAcrossTenThousandSessions) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seeds.insert(fleet_session_seed(/*root_seed=*/7, i));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(FleetSeeds, DependOnRootSeed) {
+  EXPECT_NE(fleet_session_seed(1, 0), fleet_session_seed(2, 0));
+  EXPECT_NE(fleet_session_seed(1, 5), fleet_session_seed(2, 5));
+}
+
+TEST(FleetSeeds, PureFunctionOfIndex) {
+  // Same (root, index) -> same seed, independent of evaluation order.
+  const std::uint64_t a = fleet_session_seed(99, 17);
+  (void)fleet_session_seed(99, 3);
+  EXPECT_EQ(fleet_session_seed(99, 17), a);
+}
+
+TEST(Fleet, DeterministicAcrossShardCounts) {
+  const SessionFactory factory = make_ghm_fleet_factory();
+  const FleetResult one = run_fleet(small_fleet(1), factory);
+  const FleetResult two = run_fleet(small_fleet(2), factory);
+  const FleetResult eight = run_fleet(small_fleet(8), factory);
+
+  ASSERT_EQ(one.shards, 1u);
+  ASSERT_EQ(two.shards, 2u);
+  ASSERT_EQ(eight.shards, 8u);
+
+  EXPECT_EQ(one.report.fingerprint(), two.report.fingerprint());
+  EXPECT_EQ(one.report.fingerprint(), eight.report.fingerprint());
+
+  // Spot-check the fields behind the fingerprint too.
+  EXPECT_EQ(one.report.completed, eight.report.completed);
+  EXPECT_EQ(one.report.link.steps, eight.report.link.steps);
+  EXPECT_EQ(one.report.tr_bytes, eight.report.tr_bytes);
+  EXPECT_EQ(one.report.steps_per_ok.values(),
+            eight.report.steps_per_ok.values());
+}
+
+TEST(Fleet, DifferentRootSeedsDiffer) {
+  const SessionFactory factory = make_ghm_fleet_factory();
+  FleetConfig a = small_fleet(2);
+  FleetConfig b = small_fleet(2);
+  b.root_seed = a.root_seed + 1;
+  EXPECT_NE(run_fleet(a, factory).report.fingerprint(),
+            run_fleet(b, factory).report.fingerprint());
+}
+
+TEST(Fleet, MatchesSerialBaseline) {
+  // One shard of the engine must equal running each session by hand.
+  FleetConfig cfg = small_fleet(1);
+  cfg.sessions = 4;
+  const SessionFactory factory = make_ghm_fleet_factory();
+  const FleetResult engine = run_fleet(cfg, factory);
+
+  FleetReport byhand;
+  for (std::uint64_t i = 0; i < cfg.sessions; ++i) {
+    const SessionSpec spec{i, fleet_session_seed(cfg.root_seed, i)};
+    auto link = factory(spec);
+    byhand.add(run_workload(*link, cfg.workload,
+                            spec.rng(kFleetWorkloadSalt)));
+  }
+  byhand.canonicalize();
+  EXPECT_EQ(engine.report.fingerprint(), byhand.fingerprint());
+}
+
+TEST(Fleet, CleanUnderChaosFleet) {
+  // eps = 2^-16 over 24*5 messages: safety violations should be absent.
+  const FleetResult res =
+      run_fleet(small_fleet(4), make_ghm_fleet_factory());
+  EXPECT_EQ(res.report.violations.safety_total(), 0u);
+  EXPECT_EQ(res.report.violations.axiom, 0u);
+  EXPECT_EQ(res.report.offered, res.report.sessions * 5);
+  EXPECT_EQ(res.report.completed, res.report.offered);  // no crashes in profile
+}
+
+TEST(Fleet, ZeroSessions) {
+  FleetConfig cfg;
+  cfg.sessions = 0;
+  const FleetResult res = run_fleet(cfg, make_ghm_fleet_factory());
+  EXPECT_EQ(res.report.sessions, 0u);
+  EXPECT_EQ(res.shards, 1u);
+  EXPECT_EQ(res.report.fingerprint(),
+            FleetReport{}.fingerprint());
+}
+
+TEST(Fleet, MoreShardsThanSessionsClamps) {
+  FleetConfig cfg = small_fleet(64);
+  cfg.sessions = 3;
+  const FleetResult res = run_fleet(cfg, make_ghm_fleet_factory());
+  EXPECT_EQ(res.shards, 3u);
+  EXPECT_EQ(res.report.sessions, 3u);
+}
+
+TEST(FleetReportAlgebra, MergeIsOrderIndependentAfterCanonicalize) {
+  RunReport r1;
+  r1.offered = 3;
+  r1.completed = 2;
+  r1.steps_per_ok.add(10.0);
+  r1.steps_per_ok.add(30.0);
+  r1.link.steps = 100;
+  r1.link.max_rm_state_bits = 64;
+  r1.violations.replay = 1;
+
+  RunReport r2;
+  r2.offered = 1;
+  r2.completed = 1;
+  r2.steps_per_ok.add(20.0);
+  r2.link.steps = 50;
+  r2.link.max_rm_state_bits = 32;
+
+  FleetReport ab;
+  ab.add(r1);
+  ab.add(r2);
+  ab.canonicalize();
+
+  FleetReport a;
+  a.add(r1);
+  FleetReport b;
+  b.add(r2);
+  b.merge(a);  // reversed order
+  b.canonicalize();
+
+  EXPECT_EQ(ab.fingerprint(), b.fingerprint());
+  EXPECT_EQ(ab.sessions, 2u);
+  EXPECT_EQ(ab.offered, 4u);
+  EXPECT_EQ(ab.link.steps, 150u);
+  EXPECT_EQ(ab.link.max_rm_state_bits, 64u);
+  EXPECT_EQ(ab.violations.replay, 1u);
+  const std::vector<double> want{10.0, 20.0, 30.0};
+  EXPECT_EQ(ab.steps_per_ok.values(), want);
+}
+
+TEST(FleetReportAlgebra, FingerprintSensitiveToEveryCounter) {
+  FleetReport a;
+  FleetReport b;
+  b.completed = 1;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  FleetReport c;
+  c.violations.causality = 1;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  FleetReport d;
+  d.steps_per_ok.add(1.0);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(LinkStatsMerge, SumsCountersAndMaxesPeaks) {
+  LinkStats a;
+  a.steps = 10;
+  a.oks = 2;
+  a.retries = 5;
+  a.max_tm_state_bits = 100;
+  a.max_rm_state_bits = 10;
+  LinkStats b;
+  b.steps = 7;
+  b.oks = 1;
+  b.crashes_r = 3;
+  b.max_tm_state_bits = 50;
+  b.max_rm_state_bits = 200;
+  a += b;
+  EXPECT_EQ(a.steps, 17u);
+  EXPECT_EQ(a.oks, 3u);
+  EXPECT_EQ(a.retries, 5u);
+  EXPECT_EQ(a.crashes_r, 3u);
+  EXPECT_EQ(a.max_tm_state_bits, 100u);
+  EXPECT_EQ(a.max_rm_state_bits, 200u);
+}
+
+TEST(ViolationCountsMerge, SumsEveryCondition) {
+  ViolationCounts a;
+  a.causality = 1;
+  a.order = 2;
+  ViolationCounts b;
+  b.order = 3;
+  b.duplication = 4;
+  b.replay = 5;
+  b.axiom = 6;
+  a += b;
+  EXPECT_EQ(a.causality, 1u);
+  EXPECT_EQ(a.order, 5u);
+  EXPECT_EQ(a.duplication, 4u);
+  EXPECT_EQ(a.replay, 5u);
+  EXPECT_EQ(a.axiom, 6u);
+  EXPECT_EQ(a.safety_total(), 15u);
+}
+
+TEST(ParallelShards, CoversEveryShardExactlyOnce) {
+  std::vector<int> hits(16, 0);
+  parallel_shards(16, [&](unsigned s) { ++hits[s]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelShards, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_shards(4,
+                      [](unsigned s) {
+                        if (s == 2) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+TEST(ParallelShards, ZeroShardsIsANoop) {
+  parallel_shards(0, [](unsigned) { FAIL() << "must not be called"; });
+}
+
+TEST(ResolveThreads, ZeroMapsToHardware) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+}
+
+}  // namespace
+}  // namespace s2d

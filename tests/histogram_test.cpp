@@ -73,5 +73,33 @@ TEST(LinearHistogram, RenderShowsOverflow) {
   EXPECT_NE(out.find(">="), std::string::npos);
 }
 
+TEST(Log2HistogramMerge, SumsBucketsAndGrowsToWiderOperand) {
+  Log2Histogram a;
+  a.add(1);
+  a.add(2);
+  Log2Histogram b;
+  b.add(2);
+  b.add(1000);  // bucket far beyond a's current width
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(1), 1u);  // the two 2s share a bucket
+  EXPECT_EQ(a.bucket(2), 2u);
+  EXPECT_EQ(a.bucket(10), 1u);  // 1000 -> [512, 1024)
+}
+
+TEST(LinearHistogramMerge, SumsBucketsAndOverUnderflow) {
+  LinearHistogram a(10, 5, 4);
+  a.add(12);
+  a.add(5);    // underflow
+  LinearHistogram b(10, 5, 4);
+  b.add(13);
+  b.add(100);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
 }  // namespace
 }  // namespace s2d

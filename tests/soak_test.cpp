@@ -5,6 +5,7 @@
 
 #include "adversary/adversaries.h"
 #include "core/ghm.h"
+#include "fleet/fleet.h"
 #include "harness/runner.h"
 #include "link/datalink.h"
 
@@ -94,6 +95,36 @@ TEST(Soak, ExecutorStepCountsStayConsistent) {
   EXPECT_EQ(link.trace().count(ActionKind::kOk), r.completed);
   EXPECT_EQ(link.trace().count(ActionKind::kSendMsg), r.offered);
   EXPECT_EQ(link.stats().oks, r.completed);
+}
+
+TEST(Soak, FleetOfFiveHundredSessionsStaysDeterministic) {
+  // Fleet-scale soak: 512 concurrent sessions, crashes enabled, run at
+  // two different shard counts — identical aggregate, zero violations.
+  FleetConfig cfg;
+  cfg.sessions = 512;
+  cfg.root_seed = 0x50a4;
+  cfg.workload.messages = 8;
+  cfg.workload.payload_bytes = 16;
+  cfg.workload.stop_on_stall = false;
+
+  GhmFleetOptions opts;
+  opts.faults = FaultProfile::chaos(0.08);
+  opts.faults.crash_t = 0.0002;
+  opts.faults.crash_r = 0.0002;
+  const SessionFactory factory = make_ghm_fleet_factory(opts);
+
+  cfg.threads = 3;
+  const FleetResult a = run_fleet(cfg, factory);
+  cfg.threads = 8;
+  const FleetResult b = run_fleet(cfg, factory);
+
+  EXPECT_EQ(a.report.fingerprint(), b.report.fingerprint());
+  EXPECT_EQ(a.report.sessions, 512u);
+  EXPECT_EQ(a.report.offered,
+            a.report.completed + a.report.aborted + a.report.stalled);
+  EXPECT_EQ(a.report.violations.safety_total(), 0u)
+      << a.report.violations.summary();
+  EXPECT_EQ(a.report.violations.axiom, 0u);
 }
 
 }  // namespace

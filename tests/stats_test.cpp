@@ -107,5 +107,82 @@ TEST(Proportion, WilsonNoTrials) {
   EXPECT_EQ(ci.hi, 1.0);
 }
 
+TEST(SamplesMerge, PoolsBothPopulations) {
+  Samples a;
+  a.add(3.0);
+  a.add(1.0);
+  Samples b;
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);
+}
+
+TEST(SamplesMerge, EmptySidesAreNoops) {
+  Samples a;
+  a.add(5.0);
+  Samples empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(SamplesMerge, CanonicalizeMakesOrderIrrelevant) {
+  Samples ab;
+  ab.add(1.0);
+  ab.add(2.0);
+  Samples b;
+  b.add(2.0);
+  Samples ba;
+  ba.merge(b);
+  ba.add(1.0);
+  ab.canonicalize();
+  ba.canonicalize();
+  EXPECT_EQ(ab.values(), ba.values());
+}
+
+TEST(RunningStatMerge, MatchesSinglePass) {
+  RunningStat whole;
+  RunningStat left;
+  RunningStat right;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (int i = 0; i < 8; ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatMerge, EmptySidesAreNoops) {
+  RunningStat a;
+  a.add(1.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStat e2;
+  e2.merge(a);
+  EXPECT_EQ(e2.count(), 1u);
+  EXPECT_DOUBLE_EQ(e2.mean(), 1.0);
+}
+
+TEST(ProportionMerge, SumsSuccessesAndTrials) {
+  Proportion a;
+  a.add(true);
+  a.add(false);
+  Proportion b;
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.successes, 2u);
+  EXPECT_EQ(a.trials, 3u);
+}
+
 }  // namespace
 }  // namespace s2d
