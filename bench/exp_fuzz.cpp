@@ -1,0 +1,165 @@
+// E14 — schedule fuzzing: violations found per 10^k random schedules vs
+// depth, per protocol.
+//
+// The explorer (exhaustive, depth <= ~7) proves the shallow tree; this
+// experiment measures what guided *sampling* finds in the deep tree the
+// explorer cannot reach: for each protocol and each schedule depth it
+// runs N weighted random decision scripts (src/harness/fuzzer.h) and
+// reports how many violate the §2.6 conditions, the per-1000-script hit
+// rate, and the length of the first counterexample before and after
+// delta-debug shrinking.
+//
+// Expected shape: the deterministic baselines (abp, stopwait, nvbit)
+// leak at rates that RISE with depth (more crash/duplication windows per
+// script); fixed_nonce needs depth enough for record-crash-replay cycles;
+// GHM stays at zero at every depth — its violations require 2^-16 nonce
+// collisions no random budget here will hit.
+//
+// --fail-on=ghm turns "a protocol that must be clean produced a
+// violation" into a nonzero exit: the CI fuzz-smoke gate.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/fuzzer.h"
+
+namespace s2d {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags("E14: randomized deep-schedule search, per protocol");
+  flags
+      .define("protocols", "ghm,fixed_nonce,abp,stopwait,nvbit,ab_random",
+              "comma-separated system names to fuzz")
+      .define_fuzz()
+      .define("depths", "25,50,100,200", "schedule depths to sweep")
+      .define("messages", "4", "workload messages per script")
+      .define("payload", "2", "payload bytes per message")
+      .define("shrink", "true", "shrink the first counterexample per cell")
+      .define("fail-on", "",
+              "comma-separated systems whose violations fail the run")
+      .define_threads()
+      .define("csv", "false", "emit CSV")
+      .define("json", "false", "emit machine-readable JSON instead");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  // Comma-split protocol lists (get_double_list is numeric-only).
+  const auto split = [](const std::string& csv) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+      const std::size_t comma = csv.find(',', pos);
+      const std::string item = csv.substr(
+          pos, comma == std::string::npos ? csv.size() - pos : comma - pos);
+      if (!item.empty()) out.push_back(item);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return out;
+  };
+  const std::vector<std::string> protocols = split(flags.get("protocols"));
+  const std::vector<std::string> fail_on = split(flags.get("fail-on"));
+  const std::vector<std::uint64_t> depths = flags.get_u64_list("depths");
+  const bool shrink = flags.get_bool("shrink");
+  const bool json = flags.get_bool("json");
+
+  FuzzerConfig cfg;
+  cfg.scripts = flags.get_u64("fuzz-scripts");
+  cfg.root_seed = flags.get_u64("fuzz-seed");
+  cfg.threads = flags.get_threads();
+  cfg.workload.messages = flags.get_u64("messages");
+  cfg.workload.payload_bytes = flags.get_u64("payload");
+
+  if (!json) {
+    bench::print_header(
+        "E14: schedule fuzzing — violations per 10^k random schedules",
+        "deep randomized search finds the baseline counterexamples the "
+        "depth-bounded explorer cannot reach; GHM stays clean at every "
+        "depth and budget");
+  }
+
+  Table table({"protocol", "depth", "scripts", "violating", "per_1k",
+               "classes", "first_len", "shrunk_len", "fingerprint"});
+  bench::JsonWriter j;
+  j.begin_object();
+  j.kv("experiment", "exp_fuzz");
+  j.kv("scripts_per_cell", cfg.scripts);
+  j.kv("root_seed", cfg.root_seed);
+  j.kv("messages", cfg.workload.messages);
+  j.key("cells");
+  j.begin_array();
+
+  bool gate_tripped = false;
+  for (const std::string& protocol : protocols) {
+    const SeededSystem system = make_seeded_system(protocol);
+    if (!system) {
+      std::cerr << "unknown system '" << protocol << "'\n";
+      return 1;
+    }
+    const bool must_be_clean =
+        std::find(fail_on.begin(), fail_on.end(), protocol) !=
+        fail_on.end();
+
+    for (const std::uint64_t depth : depths) {
+      cfg.depth = static_cast<std::uint32_t>(depth);
+      const FuzzReport report = run_fuzz(system, cfg);
+      const double per_1k =
+          report.scripts
+              ? 1000.0 * static_cast<double>(report.violating_scripts) /
+                    static_cast<double>(report.scripts)
+              : 0.0;
+
+      std::size_t first_len = 0;
+      std::size_t shrunk_len = 0;
+      std::string classes = "-";
+      if (!report.findings.empty()) {
+        const FuzzFinding& first = report.findings.front();
+        first_len = first.script.size();
+        classes = violation_class_name(violation_class(report.violations));
+        if (shrink) {
+          shrunk_len = shrink_script(system(first.seed), first.script,
+                                     cfg.workload)
+                           .script.size();
+        }
+      }
+      if (must_be_clean && !report.clean()) gate_tripped = true;
+
+      table.add_row({protocol, std::to_string(depth),
+                     std::to_string(report.scripts),
+                     std::to_string(report.violating_scripts),
+                     Table::num(per_1k, 2), classes,
+                     std::to_string(first_len), std::to_string(shrunk_len),
+                     report.fingerprint()});
+
+      j.begin_object();
+      j.kv("protocol", protocol);
+      j.kv("depth", depth);
+      j.kv("scripts", report.scripts);
+      j.kv("violating", report.violating_scripts);
+      j.kv("per_1k", per_1k);
+      j.kv("classes", classes);
+      j.kv("first_len", static_cast<std::uint64_t>(first_len));
+      j.kv("shrunk_len", static_cast<std::uint64_t>(shrunk_len));
+      j.kv("fingerprint", report.fingerprint());
+      j.end_object();
+    }
+  }
+  j.end_array();
+  j.kv("gate_tripped", gate_tripped);
+  j.end_object();
+
+  if (json) {
+    std::cout << j.str() << "\n";
+  } else {
+    bench::emit(table, flags.get_bool("csv"));
+    if (gate_tripped) {
+      std::cout << "#\n# GATE TRIPPED: a --fail-on protocol violated\n";
+    }
+  }
+  return gate_tripped ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

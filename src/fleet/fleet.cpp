@@ -1,12 +1,11 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
-#include <cstdio>
 #include <vector>
 
 #include "core/ghm.h"
+#include "util/fnv.h"
 #include "util/parallel.h"
 
 namespace s2d {
@@ -17,21 +16,6 @@ namespace {
 // from kFleetWorkloadSalt.
 constexpr std::uint64_t kProtocolSalt = 0x70726f746f636f6cULL;  // "protocol"
 constexpr std::uint64_t kAdversarySalt = 0x61647665727361ULL;   // "adversa"
-
-class Fnv1a {
- public:
-  void mix(std::uint64_t v) noexcept {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xffU;
-      h_ *= 0x100000001b3ULL;
-    }
-  }
-  void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
-  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
-
- private:
-  std::uint64_t h_ = 0xcbf29ce484222325ULL;
-};
 
 }  // namespace
 
@@ -94,10 +78,7 @@ std::string FleetReport::fingerprint() const {
   h.mix(rt_bytes);
   h.mix(static_cast<std::uint64_t>(steps_per_ok.count()));
   for (double x : steps_per_ok.values()) h.mix(x);
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(h.value()));
-  return buf;
+  return h.hex();
 }
 
 FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {

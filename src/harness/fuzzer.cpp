@@ -1,0 +1,335 @@
+#include "harness/fuzzer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "fleet/fleet.h"  // fleet_session_seed (header-only)
+#include "util/fnv.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+/// Salt of the schedule RNG stream, distinct from the protocol streams
+/// the system factory forks from the same session seed.
+constexpr std::uint64_t kScheduleSalt = 0x7363686564756c65ULL;  // "schedule"
+
+/// Weighted random scheduler that records every decision it makes, so
+/// the executed schedule IS a replayable script. Observes only the
+/// AdversaryView (packet ids and lengths) like every other adversary.
+class RecordingRandomAdversary final : public Adversary {
+ public:
+  RecordingRandomAdversary(const FuzzWeights& weights, Rng rng)
+      : w_(weights), rng_(rng) {}
+
+  Decision next(const AdversaryView& view) override {
+    const Decision d = sample(view);
+    if (d.kind == Decision::Kind::kDeliverTR) note_delivered(tr_, d.pkt);
+    if (d.kind == Decision::Kind::kDeliverRT) note_delivered(rt_, d.pkt);
+    script_.push_back(d);
+    return d;
+  }
+
+  [[nodiscard]] std::string name() const override { return "fuzz-random"; }
+
+  [[nodiscard]] std::vector<Decision> take_script() {
+    return std::move(script_);
+  }
+
+ private:
+  /// Per-channel record of what this scheduler already delivered.
+  /// `unique` mirrors `seen` for O(1) uniform sampling of duplicates.
+  struct Delivered {
+    std::set<PacketId> seen;
+    std::vector<PacketId> unique;
+  };
+
+  static void note_delivered(Delivered& d, PacketId id) {
+    if (d.seen.insert(id).second) d.unique.push_back(id);
+  }
+
+  /// Sent-but-undelivered ids, oldest first.
+  static std::vector<PacketId> pending(const Delivered& d,
+                                       std::size_t sent) {
+    std::vector<PacketId> out;
+    for (PacketId id = 0; id < sent; ++id) {
+      if (!d.seen.contains(id)) out.push_back(id);
+    }
+    return out;
+  }
+
+  Decision sample(const AdversaryView& view) {
+    const std::vector<PacketId> tr_pending =
+        pending(tr_, view.tr_packets().size());
+    const std::vector<PacketId> rt_pending =
+        pending(rt_, view.rt_packets().size());
+    const bool can_deliver = !tr_pending.empty() || !rt_pending.empty();
+    const bool can_duplicate =
+        !tr_.unique.empty() || !rt_.unique.empty();
+
+    enum Cat : std::size_t {
+      kOldest,
+      kNewest,
+      kRandom,
+      kDuplicate,
+      kCrashT,
+      kCrashR,
+      kRetry,
+      kTxTimer,
+      kIdle,
+      kCats
+    };
+    double weight[kCats] = {};
+    if (can_deliver) {
+      weight[kOldest] = w_.deliver_oldest;
+      weight[kNewest] = w_.deliver_newest;
+      weight[kRandom] = w_.deliver_random;
+    }
+    if (can_duplicate) weight[kDuplicate] = w_.duplicate;
+    weight[kCrashT] = w_.crash_t;
+    weight[kCrashR] = w_.crash_r;
+    weight[kRetry] = w_.retry;
+    weight[kTxTimer] = w_.tx_timer;
+    weight[kIdle] = w_.idle;
+
+    double total = 0.0;
+    for (double w : weight) total += w;
+    if (total <= 0.0) return Decision::idle();
+
+    double draw = rng_.next_double() * total;
+    std::size_t cat = kIdle;
+    for (std::size_t c = 0; c < kCats; ++c) {
+      if (weight[c] <= 0.0) continue;
+      if (draw < weight[c]) {
+        cat = c;
+        break;
+      }
+      draw -= weight[c];
+    }
+
+    switch (cat) {
+      case kOldest:
+      case kNewest:
+      case kRandom: {
+        // Channel weighted by its backlog, so a busy channel gets
+        // proportionally more scheduling attention.
+        const std::uint64_t backlog = tr_pending.size() + rt_pending.size();
+        const bool is_tr = rng_.next_below(backlog) < tr_pending.size();
+        const std::vector<PacketId>& p = is_tr ? tr_pending : rt_pending;
+        PacketId id = 0;
+        if (cat == kOldest) {
+          id = p.front();
+        } else if (cat == kNewest) {
+          id = p.back();
+        } else {
+          id = p[static_cast<std::size_t>(rng_.next_below(p.size()))];
+        }
+        return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+      }
+      case kDuplicate: {
+        const std::uint64_t done = tr_.unique.size() + rt_.unique.size();
+        const bool is_tr = rng_.next_below(done) < tr_.unique.size();
+        const std::vector<PacketId>& u = is_tr ? tr_.unique : rt_.unique;
+        const PacketId id =
+            u[static_cast<std::size_t>(rng_.next_below(u.size()))];
+        return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
+      }
+      case kCrashT:
+        return Decision::crash_t();
+      case kCrashR:
+        return Decision::crash_r();
+      case kRetry:
+        return Decision::retry();
+      case kTxTimer:
+        return Decision::tx_timer();
+      default:
+        return Decision::idle();
+    }
+  }
+
+  FuzzWeights w_;
+  Rng rng_;
+  std::vector<Decision> script_;
+  Delivered tr_;
+  Delivered rt_;
+};
+
+}  // namespace
+
+FuzzRun fuzz_script(const AdversaryLinkFactory& factory,
+                    std::uint64_t schedule_seed, const FuzzerConfig& cfg) {
+  auto adv = std::make_unique<RecordingRandomAdversary>(
+      cfg.weights, Rng(schedule_seed).fork(kScheduleSalt));
+  RecordingRandomAdversary* recorder = adv.get();
+
+  DataLink link = factory(std::move(adv));
+  FuzzRun run;
+  run.steps = drive_script_workload(link, cfg.depth, cfg.workload,
+                                    /*stop_on_violation=*/true);
+  run.script = recorder->take_script();
+  run.script.resize(run.steps);  // == steps: one decision per step
+  run.violations = link.checker().violations();
+  run.oks = link.stats().oks;
+  return run;
+}
+
+FuzzReport run_fuzz(const SeededSystem& system, const FuzzerConfig& cfg) {
+  const unsigned threads = resolve_threads(cfg.threads);
+  const unsigned shards =
+      cfg.scripts == 0 ? 1U
+                       : static_cast<unsigned>(std::min<std::uint64_t>(
+                             threads, cfg.scripts));
+
+  std::vector<FuzzReport> partials(shards);
+  parallel_shards(shards, [&](unsigned shard) {
+    FuzzReport& part = partials[shard];
+    // Round-robin deal (as the fleet engine): a shard's partial depends
+    // only on which indices it owns, never on the other shards.
+    for (std::uint64_t i = shard; i < cfg.scripts; i += shards) {
+      const std::uint64_t seed = fleet_session_seed(cfg.root_seed, i);
+      FuzzRun run = fuzz_script(system(seed), seed, cfg);
+      ++part.scripts;
+      part.steps_total += run.steps;
+      part.oks_total += run.oks;
+      part.violations.merge(run.violations);
+      if (run.violating()) {
+        ++part.violating_scripts;
+        // Indices within a shard ascend, so the first max_findings kept
+        // here are this shard's lowest — a superset of its share of the
+        // global lowest max_findings.
+        if (part.findings.size() < cfg.max_findings) {
+          part.findings.push_back(
+              {i, seed, std::move(run.script), run.violations});
+        }
+      }
+    }
+  });
+
+  FuzzReport total;
+  for (FuzzReport& part : partials) {
+    total.scripts += part.scripts;
+    total.violating_scripts += part.violating_scripts;
+    total.steps_total += part.steps_total;
+    total.oks_total += part.oks_total;
+    total.violations.merge(part.violations);
+    for (FuzzFinding& f : part.findings) {
+      total.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(total.findings.begin(), total.findings.end(),
+            [](const FuzzFinding& a, const FuzzFinding& b) {
+              return a.index < b.index;
+            });
+  if (total.findings.size() > cfg.max_findings) {
+    total.findings.resize(cfg.max_findings);
+  }
+  return total;
+}
+
+std::string FuzzReport::fingerprint() const {
+  Fnv1a h;
+  h.mix(scripts);
+  h.mix(violating_scripts);
+  h.mix(steps_total);
+  h.mix(oks_total);
+  h.mix(violations.causality);
+  h.mix(violations.order);
+  h.mix(violations.duplication);
+  h.mix(violations.replay);
+  h.mix(violations.axiom);
+  h.mix(static_cast<std::uint64_t>(findings.size()));
+  for (const FuzzFinding& f : findings) {
+    h.mix(f.index);
+    h.mix(f.seed);
+    h.mix(static_cast<std::uint64_t>(f.script.size()));
+    for (const Decision& d : f.script) {
+      h.mix(static_cast<std::uint64_t>(d.kind));
+      h.mix(d.pkt);
+    }
+    h.mix(f.violations.causality);
+    h.mix(f.violations.order);
+    h.mix(f.violations.duplication);
+    h.mix(f.violations.replay);
+  }
+  return h.hex();
+}
+
+std::uint32_t violation_class(const ViolationCounts& counts) noexcept {
+  std::uint32_t mask = 0;
+  if (counts.causality > 0) mask |= 1U << 0;
+  if (counts.order > 0) mask |= 1U << 1;
+  if (counts.duplication > 0) mask |= 1U << 2;
+  if (counts.replay > 0) mask |= 1U << 3;
+  return mask;
+}
+
+std::string violation_class_name(std::uint32_t mask) {
+  static constexpr const char* kNames[] = {"causality", "order",
+                                           "duplication", "replay"};
+  std::string out;
+  for (std::uint32_t bit = 0; bit < 4; ++bit) {
+    if ((mask & (1U << bit)) == 0) continue;
+    if (!out.empty()) out += '+';
+    out += kNames[bit];
+  }
+  return out.empty() ? "clean" : out;
+}
+
+ShrinkResult shrink_script(const AdversaryLinkFactory& factory,
+                           const std::vector<Decision>& script,
+                           const ScriptWorkload& workload) {
+  ShrinkResult res;
+  const auto replay_counts = [&](const std::vector<Decision>& s) {
+    ++res.replays;
+    return replay_script(factory, s, workload).checker().violations();
+  };
+
+  res.script = script;
+  res.violations = replay_counts(script);
+  const std::uint32_t target = violation_class(res.violations);
+  if (target == 0) return res;  // clean input: nothing to preserve
+
+  // Accept a deletion only when the replay still exhibits EVERY category
+  // of the input — the violation class is preserved exactly, and since
+  // reshrinking starts from a (super)set of this target, a fixpoint of
+  // one run is a fixpoint of the next: shrinking is idempotent.
+  const auto still_violates = [&](const std::vector<Decision>& s,
+                                  ViolationCounts& out) {
+    out = replay_counts(s);
+    return (violation_class(out) & target) == target;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(res.script.size() / 2, 1);
+         chunk >= 1; chunk >>= 1) {
+      std::size_t i = 0;
+      while (i < res.script.size()) {
+        const std::size_t n = std::min(chunk, res.script.size() - i);
+        std::vector<Decision> candidate;
+        candidate.reserve(res.script.size() - n);
+        candidate.insert(candidate.end(), res.script.begin(),
+                         res.script.begin() + static_cast<std::ptrdiff_t>(i));
+        candidate.insert(
+            candidate.end(),
+            res.script.begin() + static_cast<std::ptrdiff_t>(i + n),
+            res.script.end());
+        ViolationCounts counts;
+        if (still_violates(candidate, counts)) {
+          res.script = std::move(candidate);
+          res.violations = counts;
+          changed = true;
+          // Do not advance: position i now holds fresh decisions.
+        } else {
+          i += chunk;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace s2d

@@ -1,0 +1,149 @@
+// Schedule fuzzer: randomized deep-schedule search with counterexample
+// shrinking.
+//
+// The explorer (explorer.h) enumerates every interleaving but is capped
+// at depth ~7 by branching^depth; the §2.6 conditions and the §3 replay
+// attack only bite on *long* schedules with many wrong-packet epochs.
+// The fuzzer trades completeness for depth: it samples weighted random
+// decision scripts — the explorer's exact vocabulary (deliver oldest/
+// newest/random, duplicate, crash, RETRY, transmitter timer) — to depths
+// of hundreds, runs thousands of seeded scripts across worker shards
+// (util/parallel, as the fleet engine does) with the online TraceChecker
+// as the oracle, and reports every violating schedule as a replayable
+// decision script.
+//
+// Determinism contract (mirrors docs/FLEET.md):
+//   * script i's randomness — the system's coin tosses AND the schedule —
+//     is a pure function of (root_seed, i) via fleet_session_seed;
+//   * shards share nothing; findings are merged sorted by script index;
+//   * therefore the FuzzReport (and its fingerprint) is byte-identical
+//     at any shard count.
+//
+// A violating script is then minimized by shrink_script — greedy
+// delta-debugging over decision subsequences, preserving the violation
+// class — and serialized (link/script.h) into tests/corpus/, turning a
+// one-off falsification into a permanent regression test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/systems.h"
+#include "link/checker.h"
+
+namespace s2d {
+
+/// Relative odds of each decision category. Categories that are
+/// infeasible at a step (no pending packet to deliver, nothing delivered
+/// yet to duplicate) drop out of that step's draw.
+struct FuzzWeights {
+  double deliver_oldest = 4.0;  // FIFO-ish progress
+  double deliver_newest = 1.5;  // skip the backlog
+  double deliver_random = 2.0;  // arbitrary reordering
+  double duplicate = 1.5;       // redeliver an already-delivered packet
+  double crash_t = 0.4;
+  double crash_r = 0.4;
+  double retry = 3.0;     // RM RETRY (receiver-driven protocols)
+  double tx_timer = 3.0;  // transmitter timer (sender-driven baselines)
+  double idle = 0.25;
+};
+
+struct FuzzerConfig {
+  /// Number of random decision scripts to run.
+  std::uint64_t scripts = 1000;
+
+  /// Steps per script (the schedule depth; generation stops early at the
+  /// first safety violation, so violating scripts end at the violation).
+  std::uint32_t depth = 100;
+
+  /// Root of all randomness; script i derives fleet_session_seed(root, i).
+  std::uint64_t root_seed = 1989;
+
+  /// Worker shards (0 = all hardware threads).
+  unsigned threads = 0;
+
+  FuzzWeights weights;
+  ScriptWorkload workload{.messages = 4, .payload_bytes = 2};
+
+  /// Keep at most this many violating scripts (the lowest indices).
+  std::size_t max_findings = 16;
+};
+
+/// One violating schedule, replayable forever: rebuild the system with
+/// `seed`, drive `script` under the same workload, observe `violations`.
+struct FuzzFinding {
+  std::uint64_t index = 0;  // script index within the fuzz run
+  std::uint64_t seed = 0;   // fleet_session_seed(root_seed, index)
+  std::vector<Decision> script;
+  ViolationCounts violations;
+};
+
+struct FuzzReport {
+  std::uint64_t scripts = 0;
+  std::uint64_t violating_scripts = 0;
+  std::uint64_t steps_total = 0;
+  std::uint64_t oks_total = 0;
+  ViolationCounts violations;  // summed over every script
+
+  /// Lowest-index findings, sorted by index, truncated to max_findings.
+  std::vector<FuzzFinding> findings;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return violating_scripts == 0;
+  }
+
+  /// FNV-1a digest over every field; the determinism comparator (equal
+  /// root seed => equal fingerprint at any shard count).
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Outcome of generating + running one random schedule.
+struct FuzzRun {
+  std::vector<Decision> script;  // ends at the violating step, if any
+  ViolationCounts violations;
+  std::uint64_t steps = 0;
+  std::uint64_t oks = 0;
+
+  [[nodiscard]] bool violating() const noexcept {
+    return violations.safety_total() > 0;
+  }
+};
+
+/// Generates and executes one weighted random schedule of cfg.depth steps
+/// against `factory`, with the schedule drawn from `schedule_seed`.
+[[nodiscard]] FuzzRun fuzz_script(const AdversaryLinkFactory& factory,
+                                  std::uint64_t schedule_seed,
+                                  const FuzzerConfig& cfg);
+
+/// Runs cfg.scripts random schedules against `system` across worker
+/// shards. Deterministic in cfg.root_seed at any cfg.threads.
+[[nodiscard]] FuzzReport run_fuzz(const SeededSystem& system,
+                                  const FuzzerConfig& cfg);
+
+// --- Violation classes & shrinking -----------------------------------
+
+/// Bitmask over the §2.6 categories with nonzero count (bit 0 causality,
+/// 1 order, 2 duplication, 3 replay).
+[[nodiscard]] std::uint32_t violation_class(
+    const ViolationCounts& counts) noexcept;
+
+/// Human-readable class name(s), e.g. "duplication+replay".
+[[nodiscard]] std::string violation_class_name(std::uint32_t mask);
+
+struct ShrinkResult {
+  std::vector<Decision> script;  // minimized; == input when input is clean
+  ViolationCounts violations;    // of the minimized script's replay
+  std::uint64_t replays = 0;     // predicate evaluations spent
+};
+
+/// Delta-debugging minimizer: repeatedly deletes decision subsequences
+/// (halving chunk sizes down to single decisions) while the replay still
+/// exhibits at least one of the input script's violation categories, and
+/// iterates to a fixpoint — so the result is 1-minimal and shrinking is
+/// idempotent. Output length is always <= input length.
+[[nodiscard]] ShrinkResult shrink_script(const AdversaryLinkFactory& factory,
+                                         const std::vector<Decision>& script,
+                                         const ScriptWorkload& workload);
+
+}  // namespace s2d

@@ -1,0 +1,137 @@
+#include "harness/systems.h"
+
+#include <utility>
+
+#include "adversary/adversaries.h"
+#include "baseline/ab_random.h"
+#include "baseline/fixed_nonce.h"
+#include "baseline/stopwait.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kGhmEps = 1.0 / (1 << 16);
+constexpr std::size_t kFixedNonceBits = 4;
+
+DataLinkConfig script_config(bool keep_trace) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 0;  // all timing flows through the script
+  cfg.tx_timer_every = 0;
+  cfg.keep_trace = keep_trace;
+  cfg.record_packet_events = keep_trace;
+  return cfg;
+}
+
+AdversaryLinkFactory ghm_like_factory(const GrowthPolicy& policy,
+                                      std::uint64_t seed, bool keep_trace) {
+  return [policy, seed, keep_trace](std::unique_ptr<Adversary> adv) {
+    auto pair = make_ghm(policy, seed);
+    return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                    script_config(keep_trace));
+  };
+}
+
+AdversaryLinkFactory stopwait_factory(StopWaitConfig sw, bool keep_trace) {
+  return [sw, keep_trace](std::unique_ptr<Adversary> adv) {
+    return DataLink(std::make_unique<StopWaitTransmitter>(sw),
+                    std::make_unique<StopWaitReceiver>(sw), std::move(adv),
+                    script_config(keep_trace));
+  };
+}
+
+}  // namespace
+
+const std::vector<std::string>& system_names() {
+  static const std::vector<std::string> names = {
+      "ghm", "fixed_nonce", "abp", "stopwait", "nvbit", "ab_random"};
+  return names;
+}
+
+AdversaryLinkFactory make_system_factory(const std::string& name,
+                                         std::uint64_t seed,
+                                         bool keep_trace) {
+  if (name == "ghm") {
+    return ghm_like_factory(GrowthPolicy::geometric(kGhmEps), seed,
+                            keep_trace);
+  }
+  if (name == "fixed_nonce") {
+    return [seed, keep_trace](std::unique_ptr<Adversary> adv) {
+      auto pair = make_fixed_nonce(kFixedNonceBits, seed);
+      return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                      script_config(keep_trace));
+    };
+  }
+  if (name == "abp") {
+    return stopwait_factory({.modulus = 2}, keep_trace);
+  }
+  if (name == "stopwait") {
+    return stopwait_factory({.modulus = 16}, keep_trace);
+  }
+  if (name == "nvbit") {
+    return stopwait_factory(
+        {.modulus = 2, .nonvolatile_seq = true, .resync_on_crash = true},
+        keep_trace);
+  }
+  if (name == "ab_random") {
+    return [seed, keep_trace](std::unique_ptr<Adversary> adv) {
+      Rng root(seed);
+      return DataLink(
+          std::make_unique<RandomSessionTransmitter>(
+              root.fork(0x7472616e736d6974ULL)),  // "transmit"
+          std::make_unique<RandomSessionReceiver>(), std::move(adv),
+          script_config(keep_trace));
+    };
+  }
+  return {};
+}
+
+SeededSystem make_seeded_system(const std::string& name) {
+  if (!make_system_factory(name, 0)) return {};
+  return [name](std::uint64_t seed) {
+    return make_system_factory(name, seed);
+  };
+}
+
+ScriptedLinkFactory to_scripted(AdversaryLinkFactory factory) {
+  return [factory = std::move(factory)](std::vector<Decision> script) {
+    return factory(std::make_unique<ScriptedAdversary>(std::move(script)));
+  };
+}
+
+std::uint64_t drive_script_workload(DataLink& link, std::uint64_t steps,
+                                    const ScriptWorkload& workload,
+                                    bool stop_on_violation) {
+  Rng payload_rng(kScriptPayloadSeed);
+  std::uint64_t next_msg = 1;
+  const auto maybe_offer = [&] {
+    if (next_msg <= workload.messages && link.tm_ready()) {
+      link.offer(
+          {next_msg, make_payload(workload.payload_bytes, payload_rng)});
+      ++next_msg;
+    }
+  };
+  maybe_offer();
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    link.step();
+    maybe_offer();
+    if (stop_on_violation &&
+        link.checker().violations().safety_total() > 0) {
+      return i + 1;
+    }
+  }
+  return steps;
+}
+
+DataLink replay_script(const AdversaryLinkFactory& factory,
+                       std::vector<Decision> script,
+                       const ScriptWorkload& workload) {
+  const std::uint64_t steps = script.size();
+  DataLink link =
+      factory(std::make_unique<ScriptedAdversary>(std::move(script)));
+  drive_script_workload(link, steps, workload);
+  return link;
+}
+
+}  // namespace s2d

@@ -1,0 +1,83 @@
+// Named-system registry: one place that maps the protocol names used by
+// script documents (@system), the replay/fuzz CLIs and exp_fuzz onto
+// fully wired DataLink compositions.
+//
+// Every factory builds the composition in *script time*: retry_every and
+// tx_timer_every are 0, so ALL timing — RETRY firings, transmitter-timer
+// firings, deliveries, crashes — flows through the adversary's decisions.
+// That is what makes a decision script a complete, deterministic witness:
+// system = f(name, seed), execution = f(system, script, workload).
+//
+// Registered names:
+//
+//   ghm          the paper's protocol, GrowthPolicy::geometric(2^-16)
+//   fixed_nonce  the §3 vulnerable handshake, 4-bit never-growing nonces
+//   abp          alternating-bit protocol (volatile, modulus 2)
+//   stopwait     stop-and-wait with 4-bit sequence numbers (modulus 16)
+//   nvbit        [BS88] nonvolatile bit + crash-resync handshake
+//   ab_random    [AB89]-style randomized-session stop-and-wait
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/explorer.h"
+#include "link/datalink.h"
+
+namespace s2d {
+
+/// Builds the composition around a caller-supplied adversary (the fuzzer
+/// passes its recording random scheduler, replay passes a
+/// ScriptedAdversary). Factories are pure in (name, seed): calling one
+/// twice yields byte-identical initial states.
+using AdversaryLinkFactory =
+    std::function<DataLink(std::unique_ptr<Adversary> adv)>;
+
+/// Names accepted by make_system_factory, in canonical order.
+[[nodiscard]] const std::vector<std::string>& system_names();
+
+/// Factory for `name` seeded with `seed`; empty std::function when the
+/// name is unknown. `keep_trace` enables full trace recording (the replay
+/// tool's sequence diagram); fuzzing leaves it off.
+[[nodiscard]] AdversaryLinkFactory make_system_factory(
+    const std::string& name, std::uint64_t seed, bool keep_trace = false);
+
+/// Adapts an AdversaryLinkFactory to the explorer's script-driven shape.
+[[nodiscard]] ScriptedLinkFactory to_scripted(AdversaryLinkFactory factory);
+
+/// A system abstracted over its seed — what the fuzzer fans out over:
+/// script index i runs against system(seed_i) so every script probes a
+/// fresh coin-toss universe.
+using SeededSystem = std::function<AdversaryLinkFactory(std::uint64_t seed)>;
+
+/// SeededSystem wrapper around make_system_factory; empty when unknown.
+[[nodiscard]] SeededSystem make_seeded_system(const std::string& name);
+
+/// The canonical script workload (mirrors the explorer's): offer the next
+/// unique message whenever the TM is ready, fixed payload stream.
+struct ScriptWorkload {
+  std::uint64_t messages = 2;
+  std::size_t payload_bytes = 2;
+};
+
+/// Seed of the workload payload stream (shared with the explorer so its
+/// counterexample scripts replay under the same payloads).
+inline constexpr std::uint64_t kScriptPayloadSeed = 0x9a9a;
+
+/// Drives `link` for `steps` executor steps under the canonical workload.
+/// Returns the number of steps actually executed (== steps unless
+/// `stop_on_violation` ended the run early at the first safety violation).
+std::uint64_t drive_script_workload(DataLink& link, std::uint64_t steps,
+                                    const ScriptWorkload& workload,
+                                    bool stop_on_violation = false);
+
+/// Builds the named system around a ScriptedAdversary, replays the whole
+/// script and returns the executed link for inspection (checker verdict,
+/// trace, stats).
+[[nodiscard]] DataLink replay_script(const AdversaryLinkFactory& factory,
+                                     std::vector<Decision> script,
+                                     const ScriptWorkload& workload);
+
+}  // namespace s2d

@@ -79,6 +79,8 @@ struct Decision {
   Kind kind = Kind::kIdle;
   PacketId pkt = 0;  // packet id, or forged length for kForge*
 
+  friend bool operator==(const Decision&, const Decision&) = default;
+
   static Decision idle() noexcept { return {Kind::kIdle, 0}; }
   static Decision deliver_tr(PacketId id) noexcept {
     return {Kind::kDeliverTR, id};

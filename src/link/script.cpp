@@ -1,0 +1,235 @@
+#include "link/script.h"
+
+#include <array>
+#include <charconv>
+#include <utility>
+
+namespace s2d {
+namespace {
+
+struct KindName {
+  Decision::Kind kind;
+  const char* name;
+  bool has_arg;
+};
+
+constexpr std::array<KindName, 11> kKinds = {{
+    {Decision::Kind::kIdle, "idle", false},
+    {Decision::Kind::kDeliverTR, "deliver_tr", true},
+    {Decision::Kind::kDeliverRT, "deliver_rt", true},
+    {Decision::Kind::kCrashT, "crash_t", false},
+    {Decision::Kind::kCrashR, "crash_r", false},
+    {Decision::Kind::kRetry, "retry", false},
+    {Decision::Kind::kTxTimer, "tx_timer", false},
+    {Decision::Kind::kMutateTR, "mutate_tr", true},
+    {Decision::Kind::kMutateRT, "mutate_rt", true},
+    {Decision::Kind::kForgeTR, "forge_tr", true},
+    {Decision::Kind::kForgeRT, "forge_rt", true},
+}};
+
+const KindName* lookup(std::string_view word) {
+  for (const auto& k : kKinds) {
+    if (word == k.name) return &k;
+  }
+  return nullptr;
+}
+
+/// One whitespace-separated token with its 1-based source column.
+struct Token {
+  std::string_view text;
+  std::size_t column = 0;
+};
+
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    out.push_back({line.substr(start, i - start), start + 1});
+  }
+  return out;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Shared line-walking core. `on_directive` is null for bare scripts (a
+/// directive line then fails the parse).
+template <typename Fail, typename OnDirective>
+bool parse_lines(std::string_view text, std::vector<Decision>& decisions,
+                 const Fail& fail, const OnDirective& on_directive) {
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    ++lineno;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<Token> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0].text.starts_with('@')) {
+      if (!on_directive(tokens, lineno)) return false;
+      continue;
+    }
+
+    const KindName* kind = lookup(tokens[0].text);
+    if (kind == nullptr) {
+      return fail(lineno, tokens[0].column,
+                  "unknown decision '" + std::string(tokens[0].text) + "'");
+    }
+    std::uint64_t arg = 0;
+    if (kind->has_arg) {
+      if (tokens.size() < 2) {
+        return fail(lineno, tokens[0].column + tokens[0].text.size(),
+                    std::string(tokens[0].text) +
+                        " requires a packet-id/length argument");
+      }
+      if (!parse_u64(tokens[1].text, arg)) {
+        return fail(lineno, tokens[1].column,
+                    "expected an unsigned integer, got '" +
+                        std::string(tokens[1].text) + "'");
+      }
+    }
+    const std::size_t max_tokens = kind->has_arg ? 2 : 1;
+    if (tokens.size() > max_tokens) {
+      return fail(lineno, tokens[max_tokens].column,
+                  "trailing token '" + std::string(tokens[max_tokens].text) +
+                      "' after complete decision");
+    }
+    decisions.push_back({kind->kind, arg});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string render_decision(const Decision& d) {
+  for (const auto& k : kKinds) {
+    if (k.kind == d.kind) {
+      std::string out = k.name;
+      if (k.has_arg) out += ' ' + std::to_string(d.pkt);
+      return out;
+    }
+  }
+  return "idle";  // unreachable for well-formed decisions
+}
+
+std::string render_script(const std::vector<Decision>& script) {
+  std::string out;
+  for (const Decision& d : script) {
+    out += render_decision(d);
+    out += '\n';
+  }
+  return out;
+}
+
+bool valid_expectation(std::string_view word) {
+  return word == "clean" || word == "violating" || word == "causality" ||
+         word == "order" || word == "duplication" || word == "replay";
+}
+
+ScriptParse parse_script(std::string_view text) {
+  ScriptParse result;
+  const auto fail = [&](std::size_t line, std::size_t column,
+                        std::string error) {
+    result.line = line;
+    result.column = column;
+    result.error = std::move(error);
+    return false;
+  };
+  const auto reject_directive = [&](const std::vector<Token>& tokens,
+                                    std::size_t lineno) {
+    return fail(lineno, tokens[0].column,
+                "directives are not allowed in a bare script");
+  };
+  result.ok =
+      parse_lines(text, result.decisions, fail, reject_directive);
+  if (!result.ok) result.decisions.clear();
+  return result;
+}
+
+std::string render_script_doc(const ScriptDoc& doc) {
+  std::string out;
+  out += "@system " + doc.system + '\n';
+  out += "@seed " + std::to_string(doc.seed) + '\n';
+  out += "@messages " + std::to_string(doc.messages) + '\n';
+  out += "@payload " + std::to_string(doc.payload_bytes) + '\n';
+  if (!doc.expect.empty()) out += "@expect " + doc.expect + '\n';
+  out += render_script(doc.decisions);
+  return out;
+}
+
+ScriptDocParse parse_script_doc(std::string_view text) {
+  ScriptDocParse result;
+  const auto fail = [&](std::size_t line, std::size_t column,
+                        std::string error) {
+    result.line = line;
+    result.column = column;
+    result.error = std::move(error);
+    return false;
+  };
+  const auto directive = [&](const std::vector<Token>& tokens,
+                             std::size_t lineno) {
+    const std::string_view name = tokens[0].text;
+    if (tokens.size() < 2) {
+      return fail(lineno, tokens[0].column + name.size(),
+                  std::string(name) + " requires a value");
+    }
+    if (tokens.size() > 2) {
+      return fail(lineno, tokens[2].column,
+                  "trailing token '" + std::string(tokens[2].text) +
+                      "' after directive value");
+    }
+    const std::string_view value = tokens[1].text;
+    if (name == "@system") {
+      result.doc.system = std::string(value);
+      return true;
+    }
+    if (name == "@expect") {
+      if (!valid_expectation(value)) {
+        return fail(lineno, tokens[1].column,
+                    "unknown expectation '" + std::string(value) + "'");
+      }
+      result.doc.expect = std::string(value);
+      return true;
+    }
+    std::uint64_t number = 0;
+    if (name == "@seed" || name == "@messages" || name == "@payload") {
+      if (!parse_u64(value, number)) {
+        return fail(lineno, tokens[1].column,
+                    "expected an unsigned integer, got '" +
+                        std::string(value) + "'");
+      }
+      if (name == "@seed") result.doc.seed = number;
+      if (name == "@messages") result.doc.messages = number;
+      if (name == "@payload") result.doc.payload_bytes = number;
+      return true;
+    }
+    return fail(lineno, tokens[0].column,
+                "unknown directive '" + std::string(name) + "'");
+  };
+  result.ok = parse_lines(text, result.doc.decisions, fail, directive);
+  if (!result.ok) result.doc = ScriptDoc{};
+  return result;
+}
+
+}  // namespace s2d

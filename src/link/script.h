@@ -1,0 +1,102 @@
+// Decision-script serialization: the replayable witness format.
+//
+// The explorer and the fuzzer both express adversary behaviour as a
+// vector<Decision>; this header gives that vocabulary a stable text form
+// so a violating schedule found by any search becomes a *file* — shrunk,
+// checked into tests/corpus/, replayed by ctest and tools/replay forever.
+//
+// Grammar (one decision per line; '#' starts a comment; blank lines and
+// leading/trailing whitespace are ignored):
+//
+//   idle
+//   deliver_tr <pkt-id>        # deliver_pkt^{T->R}(pkt)
+//   deliver_rt <pkt-id>
+//   crash_t
+//   crash_r
+//   retry                      # the RM RETRY internal action
+//   tx_timer                   # the transmitter's retransmission timer
+//   mutate_tr <pkt-id>         # non-causal noise (needs allow_noise)
+//   mutate_rt <pkt-id>
+//   forge_tr <length>          # forged random packet of <length> bytes
+//   forge_rt <length>
+//
+// A script *document* additionally carries '@' directives binding the
+// script to the system it falsifies, so corpus files are self-describing:
+//
+//   @system fixed_nonce        # ghm | fixed_nonce | abp | stopwait |
+//                              # nvbit | ab_random  (src/harness/systems.h)
+//   @seed 7                    # root seed of the rebuilt system
+//   @messages 2                # workload driven through the link
+//   @payload 2                 # payload bytes per message
+//   @expect replay             # clean | violating | causality | order |
+//                              # duplication | replay
+//
+// parse_* report malformed input with 1-based line/column diagnostics
+// instead of best-effort guessing: a corpus file that no longer parses is
+// a regression, not a warning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "link/adversary.h"
+
+namespace s2d {
+
+/// Renders one decision in the grammar above (no trailing newline).
+[[nodiscard]] std::string render_decision(const Decision& d);
+
+/// Renders a bare script, one decision per line.
+[[nodiscard]] std::string render_script(const std::vector<Decision>& script);
+
+/// Outcome of a parse. When !ok, `line`/`column` (1-based) locate the
+/// offending token and `error` says what was expected.
+struct ScriptParse {
+  bool ok = false;
+  std::vector<Decision> decisions;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string error;
+};
+
+/// Parses a bare script (directives are rejected; use parse_script_doc
+/// for corpus files). parse_script(render_script(s)).decisions == s.
+[[nodiscard]] ScriptParse parse_script(std::string_view text);
+
+/// A self-describing script file: the decision sequence plus the identity
+/// of the system it drives and the verdict its replay must produce.
+struct ScriptDoc {
+  std::string system = "ghm";
+  std::uint64_t seed = 1;
+  std::uint64_t messages = 2;
+  std::uint64_t payload_bytes = 2;
+
+  /// Expected replay verdict: "" (none), "clean", "violating", or a
+  /// specific §2.6 category ("causality", "order", "duplication",
+  /// "replay") that must be nonzero.
+  std::string expect;
+
+  std::vector<Decision> decisions;
+
+  friend bool operator==(const ScriptDoc&, const ScriptDoc&) = default;
+};
+
+struct ScriptDocParse {
+  bool ok = false;
+  ScriptDoc doc;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string error;
+};
+
+/// Renders a full document (directives first, then the script).
+[[nodiscard]] std::string render_script_doc(const ScriptDoc& doc);
+
+[[nodiscard]] ScriptDocParse parse_script_doc(std::string_view text);
+
+/// True iff `word` is a valid @expect value.
+[[nodiscard]] bool valid_expectation(std::string_view word);
+
+}  // namespace s2d

@@ -19,6 +19,14 @@ Flags& Flags::define_threads() {
                 "worker threads (0 = all hardware threads)");
 }
 
+Flags& Flags::define_fuzz() {
+  return define("fuzz-scripts", "1000",
+                "random decision scripts per fuzz run")
+      .define("fuzz-depth", "100",
+              "steps per script (schedule depth)")
+      .define("fuzz-seed", "1989", "root seed of the fuzz run");
+}
+
 void Flags::usage() const {
   std::fprintf(stderr, "%s\n\nFlags:\n", description_.c_str());
   for (const auto& [name, spec] : specs_) {

@@ -26,6 +26,10 @@ class Flags {
   /// binaries (default 0 = all hardware threads).
   Flags& define_threads();
 
+  /// Registers the standard fuzz-budget flags shared by the fuzz driver
+  /// binaries: `--fuzz-scripts`, `--fuzz-depth`, `--fuzz-seed`.
+  Flags& define_fuzz();
+
   /// Parses argv; on --help prints usage and returns false (caller should
   /// exit 0). On error prints a message and returns false (caller should
   /// exit nonzero — check failed()).

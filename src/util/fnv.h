@@ -1,0 +1,40 @@
+// FNV-1a fingerprinting for determinism comparators.
+//
+// The fleet engine and the schedule fuzzer both promise "byte-identical
+// aggregate at any shard count"; their tests compare runs via a 64-bit
+// FNV-1a digest over every report field. Doubles are mixed by exact bit
+// pattern so the digest distinguishes -0.0 from 0.0 and NaN payloads —
+// equality of fingerprints means equality of bits, not approximation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace s2d {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffU;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+  /// The digest as 16 lowercase hex digits.
+  [[nodiscard]] std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace s2d

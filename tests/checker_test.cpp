@@ -137,6 +137,43 @@ TEST(Checker, AbortedThenNothingIsClean) {
   EXPECT_TRUE(c.clean()) << c.violations().summary();
 }
 
+TEST(Checker, DuplicateStraddlingCrashRIsLegalButThirdCopyIsNot) {
+  // §2.6 no-duplication quantifies over intervals with no crash^R strictly
+  // between the two deliveries. A crash^R between copies one and two
+  // excuses that pair — but copies two and three have no crash between
+  // them, so the third delivery is a violation again.
+  const auto c = check_all(
+      {send(1), recv(1), crash_r(), recv(1), recv(1)});
+  EXPECT_EQ(c.violations().duplication, 1u);
+}
+
+TEST(Checker, CrashRBetweenEachPairExcusesEveryDuplicate) {
+  const auto c = check_all(
+      {send(1), recv(1), crash_r(), recv(1), crash_r(), recv(1)});
+  EXPECT_EQ(c.violations().duplication, 0u);
+}
+
+TEST(Checker, CrashTCompletionThenCrashRBoundaryMakesRedeliveryAReplay) {
+  // crash^T "completes" the in-flight m1 — it joins M_alpha without an OK
+  // — and the subsequent crash^R is a boundary after that completion, so
+  // re-delivering m1 violates no-replay. The crash^R simultaneously
+  // excuses the duplication condition: this is a *pure* replay.
+  const auto c =
+      check_all({send(1), recv(1), crash_t(), crash_r(), recv(1)});
+  EXPECT_EQ(c.violations().replay, 1u);
+  EXPECT_EQ(c.violations().duplication, 0u);
+}
+
+TEST(Checker, RedeliveryRightAfterCrashTIsDuplicationNotReplay) {
+  // Without a boundary (receive_msg or crash^R) *after* the crash^T
+  // completion, the no-replay condition cannot fire: the last boundary is
+  // the first recv(1), and m1 completed after it. The re-delivery is
+  // ordinary duplication instead.
+  const auto c = check_all({send(1), recv(1), crash_t(), recv(1)});
+  EXPECT_EQ(c.violations().replay, 0u);
+  EXPECT_EQ(c.violations().duplication, 1u);
+}
+
 TEST(Checker, SummaryMentionsAllCounters) {
   ViolationCounts v;
   v.order = 2;

@@ -1,0 +1,110 @@
+// Corpus regression test: every script in tests/corpus/ is a witness —
+// a shrunk counterexample against a baseline, or a schedule a correct
+// protocol must survive. Each file re-executes here on every ctest run;
+// its @expect verdict is the assertion.
+//
+// S2D_CORPUS_DIR is injected by tests/CMakeLists.txt.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/systems.h"
+#include "link/script.h"
+
+namespace s2d {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Mirrors tools/replay's verdict rule.
+bool verdict_matches(const std::string& expect,
+                     const ViolationCounts& counts) {
+  if (expect == "clean") return counts.safety_total() == 0;
+  if (expect == "violating") return counts.safety_total() > 0;
+  if (expect == "causality") return counts.causality > 0;
+  if (expect == "order") return counts.order > 0;
+  if (expect == "duplication") return counts.duplication > 0;
+  if (expect == "replay") return counts.replay > 0;
+  return false;
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(S2D_CORPUS_DIR)) {
+    if (entry.path().extension() == ".script") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, DirectoryHoldsWitnesses) {
+  // An empty corpus means the path wiring broke, not that all is well.
+  EXPECT_GE(corpus_files().size(), 3u) << "corpus dir: " << S2D_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryScriptParsesAndCarriesAnExpectation) {
+  for (const fs::path& path : corpus_files()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const ScriptDocParse parsed = parse_script_doc(buffer.str());
+    ASSERT_TRUE(parsed.ok) << path << ":" << parsed.line << ":"
+                           << parsed.column << ": " << parsed.error;
+    EXPECT_FALSE(parsed.doc.expect.empty())
+        << path << ": corpus scripts must pin an @expect verdict";
+    EXPECT_FALSE(parsed.doc.decisions.empty()) << path;
+  }
+}
+
+TEST(Corpus, EveryScriptReplaysToItsExpectedVerdict) {
+  for (const fs::path& path : corpus_files()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const ScriptDocParse parsed = parse_script_doc(buffer.str());
+    ASSERT_TRUE(parsed.ok) << path << ": " << parsed.error;
+    const ScriptDoc& doc = parsed.doc;
+
+    const AdversaryLinkFactory factory =
+        make_system_factory(doc.system, doc.seed);
+    ASSERT_TRUE(factory) << path << ": unknown @system " << doc.system;
+
+    const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+    const DataLink link = replay_script(factory, doc.decisions, workload);
+    const ViolationCounts& counts = link.checker().violations();
+    EXPECT_TRUE(verdict_matches(doc.expect, counts))
+        << path << ": expected " << doc.expect << ", replay produced "
+        << counts.summary();
+  }
+}
+
+TEST(Corpus, GhmScriptsAreCleanAndBaselineScriptsAreNot) {
+  // The corpus must keep both kinds of witness: schedules GHM survives
+  // and shrunk counterexamples that falsify at least one baseline.
+  bool saw_clean_ghm = false;
+  bool saw_violating_baseline = false;
+  for (const fs::path& path : corpus_files()) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const ScriptDocParse parsed = parse_script_doc(buffer.str());
+    ASSERT_TRUE(parsed.ok) << path;
+    if (parsed.doc.system == "ghm" && parsed.doc.expect == "clean") {
+      saw_clean_ghm = true;
+    }
+    if (parsed.doc.system != "ghm" && parsed.doc.expect != "clean") {
+      saw_violating_baseline = true;
+    }
+  }
+  EXPECT_TRUE(saw_clean_ghm);
+  EXPECT_TRUE(saw_violating_baseline);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -121,5 +121,26 @@ TEST(Flags, ThreadsExplicitValueIsRespected) {
   EXPECT_EQ(f.get_threads(), 7u);
 }
 
+TEST(Flags, FuzzDefaults) {
+  Flags f("test");
+  f.define_fuzz();
+  Argv argv({"prog"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_u64("fuzz-scripts"), 1000u);
+  EXPECT_EQ(f.get_u64("fuzz-depth"), 100u);
+  EXPECT_EQ(f.get_u64("fuzz-seed"), 1989u);
+}
+
+TEST(Flags, FuzzFlagsAreOverridable) {
+  Flags f("test");
+  f.define_fuzz();
+  Argv argv({"prog", "--fuzz-scripts=250", "--fuzz-depth", "64",
+             "--fuzz-seed=42"});
+  ASSERT_TRUE(f.parse(argv.argc(), argv.data()));
+  EXPECT_EQ(f.get_u64("fuzz-scripts"), 250u);
+  EXPECT_EQ(f.get_u64("fuzz-depth"), 64u);
+  EXPECT_EQ(f.get_u64("fuzz-seed"), 42u);
+}
+
 }  // namespace
 }  // namespace s2d

@@ -1,0 +1,155 @@
+// Schedule fuzzer (harness/fuzzer.h): the randomized deep search must
+// find the baseline counterexamples the explorer cannot reach, stay
+// silent on GHM at the same budget, be deterministic at any shard count,
+// and shrink counterexamples without changing what they prove.
+#include "harness/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.h"
+
+namespace s2d {
+namespace {
+
+FuzzerConfig small_budget() {
+  FuzzerConfig cfg;
+  cfg.scripts = 300;
+  cfg.depth = 60;
+  cfg.root_seed = 20260806;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(Fuzzer, FindsAlternatingBitCounterexample) {
+  const FuzzReport report = run_fuzz(make_seeded_system("abp"), small_budget());
+  EXPECT_FALSE(report.clean());
+  EXPECT_GT(report.violating_scripts, 0u);
+  ASSERT_FALSE(report.findings.empty());
+  // Findings are the lowest-index violating scripts, in index order.
+  for (std::size_t i = 1; i < report.findings.size(); ++i) {
+    EXPECT_LT(report.findings[i - 1].index, report.findings[i].index);
+  }
+  const FuzzFinding& first = report.findings.front();
+  EXPECT_GT(first.script.size(), 0u);
+  EXPECT_GT(violation_class(first.violations), 0u);
+}
+
+TEST(Fuzzer, GhmStaysCleanAtTheSameBudget) {
+  const FuzzReport report = run_fuzz(make_seeded_system("ghm"), small_budget());
+  EXPECT_TRUE(report.clean()) << report.violations.summary();
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Fuzzer, FixedNonceLeaksReplayAtDepth) {
+  FuzzerConfig cfg = small_budget();
+  cfg.scripts = 1200;
+  cfg.depth = 200;
+  const FuzzReport report =
+      run_fuzz(make_seeded_system("fixed_nonce"), cfg);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GT(report.violations.replay, 0u);
+}
+
+TEST(Fuzzer, DeterministicAcrossShardCounts) {
+  FuzzerConfig cfg = small_budget();
+  cfg.threads = 1;
+  const FuzzReport serial = run_fuzz(make_seeded_system("abp"), cfg);
+  cfg.threads = 3;
+  const FuzzReport sharded = run_fuzz(make_seeded_system("abp"), cfg);
+  EXPECT_EQ(serial.fingerprint(), sharded.fingerprint());
+  EXPECT_EQ(serial.violating_scripts, sharded.violating_scripts);
+  EXPECT_EQ(serial.steps_total, sharded.steps_total);
+  ASSERT_EQ(serial.findings.size(), sharded.findings.size());
+  for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+    EXPECT_EQ(serial.findings[i].index, sharded.findings[i].index);
+    EXPECT_EQ(serial.findings[i].script, sharded.findings[i].script);
+  }
+}
+
+TEST(Fuzzer, DifferentRootSeedsDiverge) {
+  FuzzerConfig cfg = small_budget();
+  const FuzzReport a = run_fuzz(make_seeded_system("abp"), cfg);
+  cfg.root_seed ^= 0xabcdef;
+  const FuzzReport b = run_fuzz(make_seeded_system("abp"), cfg);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fuzzer, FindingReplaysToTheRecordedViolations) {
+  const FuzzerConfig cfg = small_budget();
+  const SeededSystem system = make_seeded_system("abp");
+  const FuzzReport report = run_fuzz(system, cfg);
+  ASSERT_FALSE(report.findings.empty());
+  const FuzzFinding& f = report.findings.front();
+  const DataLink link =
+      replay_script(system(f.seed), f.script, cfg.workload);
+  const ViolationCounts& replayed = link.checker().violations();
+  EXPECT_EQ(replayed.causality, f.violations.causality);
+  EXPECT_EQ(replayed.order, f.violations.order);
+  EXPECT_EQ(replayed.duplication, f.violations.duplication);
+  EXPECT_EQ(replayed.replay, f.violations.replay);
+}
+
+TEST(Fuzzer, ViolationClassBits) {
+  ViolationCounts v;
+  EXPECT_EQ(violation_class(v), 0u);
+  v.causality = 1;
+  EXPECT_EQ(violation_class(v), 1u);
+  v.causality = 0;
+  v.order = 2;
+  v.replay = 1;
+  EXPECT_EQ(violation_class(v), 0b1010u);
+  EXPECT_EQ(violation_class_name(0b1010u), "order+replay");
+  EXPECT_EQ(violation_class_name(0b0100u), "duplication");
+  EXPECT_EQ(violation_class_name(0u), "clean");
+}
+
+// --- Shrinker properties ---------------------------------------------
+//
+// For every counterexample the fuzzer finds: shrinking (1) never grows
+// the script, (2) preserves the violation class (the shrunk replay still
+// exhibits every category the original did), and (3) is idempotent — a
+// second pass has nothing left to delete.
+TEST(Fuzzer, ShrinkerPropertiesOverRandomSeeds) {
+  const SeededSystem system = make_seeded_system("abp");
+  FuzzerConfig cfg = small_budget();
+  cfg.depth = 50;
+  int shrunk_cases = 0;
+  for (std::uint64_t seed = 1; seed <= 24 && shrunk_cases < 6; ++seed) {
+    const std::uint64_t session = fleet_session_seed(cfg.root_seed, seed);
+    const AdversaryLinkFactory factory = system(session);
+    const FuzzRun run = fuzz_script(factory, session, cfg);
+    if (!run.violating()) continue;
+    ++shrunk_cases;
+
+    const std::uint32_t original_class = violation_class(run.violations);
+    const ShrinkResult shrunk =
+        shrink_script(factory, run.script, cfg.workload);
+
+    EXPECT_LE(shrunk.script.size(), run.script.size()) << "seed " << seed;
+    EXPECT_EQ(violation_class(shrunk.violations) & original_class,
+              original_class)
+        << "seed " << seed << ": class not preserved";
+    EXPECT_GT(shrunk.replays, 0u);
+
+    const ShrinkResult again =
+        shrink_script(factory, shrunk.script, cfg.workload);
+    EXPECT_EQ(again.script, shrunk.script)
+        << "seed " << seed << ": shrinking is not idempotent";
+  }
+  // The ABP baseline violates often; if this stops holding the budget is
+  // wrong, not the property.
+  EXPECT_GE(shrunk_cases, 3);
+}
+
+TEST(Fuzzer, ShrinkingACleanScriptReturnsItUnchanged) {
+  const SeededSystem system = make_seeded_system("ghm");
+  const AdversaryLinkFactory factory = system(7);
+  const std::vector<Decision> script = {
+      Decision::tx_timer(), Decision::deliver_tr(0), Decision::retry(),
+      Decision::deliver_rt(0)};
+  const ShrinkResult shrunk = shrink_script(factory, script, ScriptWorkload{});
+  EXPECT_EQ(shrunk.script, script);
+}
+
+}  // namespace
+}  // namespace s2d

@@ -1,0 +1,158 @@
+// Decision-script serialization (link/script.h): corpus files are only
+// trustworthy if parse inverts render exactly and malformed input is
+// rejected with a usable location, not silently skipped.
+#include "link/script.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+std::vector<Decision> sample_script() {
+  return {Decision::idle(),          Decision::deliver_tr(3),
+          Decision::deliver_rt(0),   Decision::crash_t(),
+          Decision::crash_r(),       Decision::retry(),
+          Decision::tx_timer(),      Decision::mutate_tr(7),
+          Decision::mutate_rt(12),   Decision::forge_tr(5),
+          Decision::forge_rt(9)};
+}
+
+TEST(Script, RenderDecisionSpellsEveryKind) {
+  EXPECT_EQ(render_decision(Decision::idle()), "idle");
+  EXPECT_EQ(render_decision(Decision::deliver_tr(3)), "deliver_tr 3");
+  EXPECT_EQ(render_decision(Decision::deliver_rt(0)), "deliver_rt 0");
+  EXPECT_EQ(render_decision(Decision::crash_t()), "crash_t");
+  EXPECT_EQ(render_decision(Decision::crash_r()), "crash_r");
+  EXPECT_EQ(render_decision(Decision::retry()), "retry");
+  EXPECT_EQ(render_decision(Decision::tx_timer()), "tx_timer");
+  EXPECT_EQ(render_decision(Decision::mutate_rt(12)), "mutate_rt 12");
+  EXPECT_EQ(render_decision(Decision::forge_tr(5)), "forge_tr 5");
+}
+
+TEST(Script, RoundTripAllKinds) {
+  const auto script = sample_script();
+  const ScriptParse parsed = parse_script(render_script(script));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.decisions, script);
+}
+
+TEST(Script, RoundTripRandomizedScripts) {
+  Rng rng(0xdecade);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Decision> script;
+    const std::uint64_t len = rng.next_below(40);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      switch (rng.next_below(7)) {
+        case 0: script.push_back(Decision::idle()); break;
+        case 1:
+          script.push_back(Decision::deliver_tr(rng.next_below(100)));
+          break;
+        case 2:
+          script.push_back(Decision::deliver_rt(rng.next_below(100)));
+          break;
+        case 3: script.push_back(Decision::crash_t()); break;
+        case 4: script.push_back(Decision::crash_r()); break;
+        case 5: script.push_back(Decision::retry()); break;
+        default: script.push_back(Decision::tx_timer()); break;
+      }
+    }
+    const ScriptParse parsed = parse_script(render_script(script));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.decisions, script) << "trial " << trial;
+  }
+}
+
+TEST(Script, CommentsAndBlankLinesIgnored) {
+  const ScriptParse parsed = parse_script(
+      "# witness for the abp crash bug\n"
+      "\n"
+      "  tx_timer   # fire the timer\n"
+      "deliver_tr 1\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.decisions.size(), 2u);
+  EXPECT_EQ(parsed.decisions[0], Decision::tx_timer());
+  EXPECT_EQ(parsed.decisions[1], Decision::deliver_tr(1));
+}
+
+TEST(Script, UnknownMnemonicRejectedWithLocation) {
+  const ScriptParse parsed = parse_script("idle\n  explode\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 2u);
+  EXPECT_EQ(parsed.column, 3u);  // after the two-space indent
+  EXPECT_NE(parsed.error.find("explode"), std::string::npos);
+}
+
+TEST(Script, MissingArgumentRejected) {
+  const ScriptParse parsed = parse_script("deliver_tr\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 1u);
+}
+
+TEST(Script, UnexpectedArgumentRejected) {
+  const ScriptParse parsed = parse_script("crash_t 3\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 1u);
+}
+
+TEST(Script, NonNumericArgumentRejected) {
+  const ScriptParse parsed = parse_script("deliver_tr abc\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 1u);
+  EXPECT_EQ(parsed.column, 12u);  // the argument token, 1-based
+}
+
+TEST(Script, BareScriptRejectsDirectives) {
+  const ScriptParse parsed = parse_script("@system ghm\nidle\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 1u);
+}
+
+TEST(Script, DocRoundTrip) {
+  ScriptDoc doc;
+  doc.system = "fixed_nonce";
+  doc.seed = 123456789;
+  doc.messages = 4;
+  doc.payload_bytes = 3;
+  doc.expect = "replay";
+  doc.decisions = sample_script();
+  const ScriptDocParse parsed = parse_script_doc(render_script_doc(doc));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.doc, doc);
+}
+
+TEST(Script, DocDefaultsWhenDirectivesOmitted) {
+  const ScriptDocParse parsed = parse_script_doc("idle\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.doc.system, "ghm");
+  EXPECT_EQ(parsed.doc.seed, 1u);
+  EXPECT_EQ(parsed.doc.messages, 2u);
+  EXPECT_TRUE(parsed.doc.expect.empty());
+}
+
+TEST(Script, DocRejectsUnknownDirective) {
+  const ScriptDocParse parsed = parse_script_doc("@flavor vanilla\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 1u);
+}
+
+TEST(Script, DocRejectsBadExpectation) {
+  const ScriptDocParse parsed = parse_script_doc("@expect sideways\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.line, 1u);
+}
+
+TEST(Script, ValidExpectationWords) {
+  EXPECT_TRUE(valid_expectation("clean"));
+  EXPECT_TRUE(valid_expectation("violating"));
+  EXPECT_TRUE(valid_expectation("causality"));
+  EXPECT_TRUE(valid_expectation("order"));
+  EXPECT_TRUE(valid_expectation("duplication"));
+  EXPECT_TRUE(valid_expectation("replay"));
+  EXPECT_FALSE(valid_expectation("axiom"));
+  EXPECT_FALSE(valid_expectation(""));
+}
+
+}  // namespace
+}  // namespace s2d

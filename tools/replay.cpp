@@ -1,0 +1,130 @@
+// tools/replay — re-execute a decision-script file against a named system
+// and print the checker verdict plus the rendered trace.
+//
+//   ./build/tools/replay --script tests/corpus/abp_crash.script
+//   ./build/tools/replay --script ce.script --system ghm --seed 42
+//
+// The script document's @directives select the system, seed and workload;
+// command-line flags override them. Exit status: 0 when the replay verdict
+// matches the script's @expect (or no expectation is recorded), 1 on a
+// verdict mismatch, 2 on unreadable/malformed input — so corpus replays
+// slot straight into shell loops and CI.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/fuzzer.h"
+#include "harness/systems.h"
+#include "link/script.h"
+#include "link/trace_render.h"
+#include "util/flags.h"
+
+namespace s2d {
+namespace {
+
+std::string join_names() {
+  std::string out;
+  for (const std::string& n : system_names()) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
+}
+
+/// True iff the executed link's violations satisfy the expectation word.
+bool verdict_matches(const std::string& expect,
+                     const ViolationCounts& counts) {
+  if (expect.empty()) return true;
+  if (expect == "clean") return counts.safety_total() == 0;
+  if (expect == "violating") return counts.safety_total() > 0;
+  if (expect == "causality") return counts.causality > 0;
+  if (expect == "order") return counts.order > 0;
+  if (expect == "duplication") return counts.duplication > 0;
+  if (expect == "replay") return counts.replay > 0;
+  return false;
+}
+
+int run(int argc, char** argv) {
+  Flags flags("replay: re-execute a decision script against a named system");
+  flags.define("script", "", "path to the script file (required)")
+      .define("system", "", "override @system (" + join_names() + ")")
+      .define("seed", "", "override @seed")
+      .define("messages", "", "override @messages")
+      .define("payload", "", "override @payload")
+      .define("render", "true", "print the sequence-diagram trace")
+      .define("max-events", "200", "trace events to render");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 2 : 0;
+
+  const std::string path = flags.get("script");
+  if (path.empty()) {
+    std::cerr << "--script is required (see --help)\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  ScriptDocParse parsed = parse_script_doc(buffer.str());
+  if (!parsed.ok) {
+    std::cerr << path << ":" << parsed.line << ":" << parsed.column << ": "
+              << parsed.error << "\n";
+    return 2;
+  }
+  ScriptDoc doc = std::move(parsed.doc);
+  if (!flags.get("system").empty()) doc.system = flags.get("system");
+  if (!flags.get("seed").empty()) doc.seed = flags.get_u64("seed");
+  if (!flags.get("messages").empty()) {
+    doc.messages = flags.get_u64("messages");
+  }
+  if (!flags.get("payload").empty()) {
+    doc.payload_bytes = flags.get_u64("payload");
+  }
+
+  const AdversaryLinkFactory factory =
+      make_system_factory(doc.system, doc.seed, /*keep_trace=*/true);
+  if (!factory) {
+    std::cerr << "unknown system '" << doc.system << "' (expected "
+              << join_names() << ")\n";
+    return 2;
+  }
+
+  const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+  const DataLink link = replay_script(factory, doc.decisions, workload);
+  const ViolationCounts& counts = link.checker().violations();
+
+  std::cout << "script:     " << path << "\n"
+            << "system:     " << doc.system << " (seed " << doc.seed << ")\n"
+            << "decisions:  " << doc.decisions.size() << "\n"
+            << "workload:   " << doc.messages << " msgs x "
+            << doc.payload_bytes << "B\n"
+            << "deliveries: " << link.checker().deliveries()
+            << ", oks: " << link.stats().oks << "\n"
+            << "verdict:    "
+            << (counts.safety_total() == 0 ? "clean"
+                                           : violation_class_name(
+                                                 violation_class(counts)))
+            << " (" << counts.summary() << ")\n";
+
+  if (flags.get_bool("render")) {
+    RenderOptions opts;
+    opts.max_events = flags.get_u64("max-events");
+    std::cout << "\n" << render_sequence(link.trace(), opts);
+  }
+
+  if (!doc.expect.empty()) {
+    const bool match = verdict_matches(doc.expect, counts);
+    std::cout << "\nexpected:   " << doc.expect << " -> "
+              << (match ? "MATCH" : "MISMATCH") << "\n";
+    return match ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }
