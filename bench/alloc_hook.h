@@ -1,0 +1,112 @@
+// Global allocation-counting hook for the perf benchmarks (E15).
+//
+// Replaces the global operator new/delete family with counting wrappers so
+// a benchmark can report *allocations per protocol step* — the metric the
+// zero-allocation hot-path work optimises and the CI bench-smoke job
+// budgets. Counters are relaxed atomics (counting must never serialise the
+// fleet) and the hook itself never allocates.
+//
+// IMPORTANT: this header DEFINES the replacement operators, so it must be
+// included in exactly one translation unit of a binary (the one with
+// main()). Including it twice in one binary is a duplicate-symbol error;
+// linking it into a library would silently impose the hook on every user.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace s2d::bench {
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+struct AllocSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+
+  friend AllocSnapshot operator-(AllocSnapshot a, AllocSnapshot b) noexcept {
+    return {a.count - b.count, a.bytes - b.bytes};
+  }
+};
+
+/// Current totals since process start. Take one before and one after a
+/// measured region; the difference is the region's allocation cost.
+inline AllocSnapshot alloc_snapshot() noexcept {
+  return {g_alloc_count.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+inline void* counted_alloc(std::size_t n) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+
+inline void* counted_aligned_alloc(std::size_t n, std::size_t align) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (n + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+
+}  // namespace s2d::bench
+
+// GCC pairs `delete` sites with the malloc it can see through our
+// replacement operators and flags the free() as mismatched; the pairing is
+// exactly what operator replacement intends, so silence the warning here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  if (void* p = s2d::bench::counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  if (void* p = s2d::bench::counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return s2d::bench::counted_alloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return s2d::bench::counted_alloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t align) {
+  if (void* p = s2d::bench::counted_aligned_alloc(
+          n, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  if (void* p = s2d::bench::counted_aligned_alloc(
+          n, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop

@@ -1,0 +1,292 @@
+// E15 — hot-path throughput: steps/sec, bytes/step and allocations/step.
+//
+// Every other experiment measures *protocol* quantities (violation rates,
+// latencies, storage). This one measures the *implementation*: how fast the
+// executor can grind protocol steps, and how many heap allocations each
+// step costs. It is the repo's perf trajectory — the JSON it emits
+// (BENCH_throughput.json) is compared against the checked-in
+// pre-optimization baseline in bench/baselines/, and the CI bench-smoke
+// job fails the build if steady-state GHM stepping exceeds the
+// allocations-per-step budget in bench/alloc_budget.txt.
+//
+// Grid: named systems (ghm, abp, stopwait) x adversary mix (fifo, lossy,
+// chaos, replay). Each cell drives one link with a steady message workload
+// for --warmup steps (populating caches, scratch buffers and the arena's
+// intern table), then measures --steps steps. All simulation-derived
+// fields (steps, completions, wire bytes, allocation counts) are
+// deterministic in --seed; only the wall-clock timings vary run to run.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/adversaries.h"
+#include "alloc_hook.h"
+#include "baseline/stopwait.h"
+#include "bench_common.h"
+#include "core/ghm.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+
+namespace s2d {
+namespace {
+
+constexpr double kEps = 1.0 / (1 << 16);
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+DataLink build_system(const std::string& name, std::uint64_t seed,
+                      std::uint64_t retry, std::unique_ptr<Adversary> adv) {
+  DataLinkConfig cfg;
+  cfg.retry_every = retry;
+  cfg.keep_trace = false;
+  if (name == "ghm") {
+    auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
+    return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                    cfg);
+  }
+  // Stop-and-wait retransmission originates at the sender.
+  cfg.tx_timer_every = retry;
+  const StopWaitConfig sw{.modulus = (name == "abp") ? 2ull : 16ull};
+  return DataLink(std::make_unique<StopWaitTransmitter>(sw),
+                  std::make_unique<StopWaitReceiver>(sw), std::move(adv),
+                  cfg);
+}
+
+std::unique_ptr<Adversary> build_adversary(const std::string& name,
+                                           Rng rng) {
+  if (name == "fifo") return std::make_unique<BenignFifoAdversary>(0.0, rng);
+  if (name == "lossy") return std::make_unique<BenignFifoAdversary>(0.2, rng);
+  if (name == "chaos") {
+    return std::make_unique<RandomFaultAdversary>(FaultProfile::chaos(0.05),
+                                                  rng);
+  }
+  if (name == "replay") return std::make_unique<ReplayAttacker>(200, rng);
+  return nullptr;
+}
+
+/// Offers the next unique message whenever the TM is idle and advances the
+/// executor `steps` times. The one Message object is reused so the driving
+/// loop itself stays off the heap.
+void drive(DataLink& link, Message& m, std::uint64_t& next_id,
+           std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    if (link.tm_ready()) {
+      m.id = next_id++;
+      link.offer(m);
+    }
+    link.step();
+  }
+}
+
+struct Cell {
+  std::string system;
+  std::string adversary;
+  std::uint64_t steps = 0;
+  double wall_seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double allocs_per_step = 0.0;
+  double alloc_bytes_per_step = 0.0;
+  double wire_bytes_per_step = 0.0;
+  std::uint64_t completed = 0;
+  double msgs_per_sec = 0.0;
+  std::uint64_t safety_violations = 0;
+  std::uint64_t channel_bytes_stored = 0;
+  std::uint64_t channel_bytes_logical = 0;
+};
+
+int run(int argc, char** argv) {
+  Flags flags(
+      "E15: hot-path throughput — steps/sec, bytes/step, allocs/step");
+  flags.define("systems", "ghm,abp,stopwait", "comma list of systems")
+      .define("adversaries", "fifo,lossy,chaos,replay",
+              "comma list: fifo,lossy,chaos,replay")
+      .define("warmup", "20000", "unmeasured warmup steps per cell")
+      .define("steps", "200000", "measured steps per cell")
+      .define("payload", "32", "payload bytes per message")
+      .define("retry", "4", "RM RETRY / TX timer cadence (steps)")
+      .define("seed", "15150", "root seed")
+      .define("out", "BENCH_throughput.json", "JSON output path (empty: none)")
+      .define("note", "", "free-form note recorded in the JSON meta")
+      .define("fail-over-allocs", "-1",
+              "exit 1 if the ghm/fifo cell exceeds this allocs/step budget "
+              "(negative: disabled); CI passes bench/alloc_budget.txt here")
+      .define("csv", "false", "emit CSV table")
+      .define("json", "false", "print the JSON document to stdout too");
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+
+  const auto systems = split_csv(flags.get("systems"));
+  const auto adversaries = split_csv(flags.get("adversaries"));
+  const std::uint64_t warmup = flags.get_u64("warmup");
+  const std::uint64_t steps = flags.get_u64("steps");
+  const std::uint64_t retry = flags.get_u64("retry");
+  const std::uint64_t seed = flags.get_u64("seed");
+  const double budget = flags.get_double("fail-over-allocs");
+  const bool json = flags.get_bool("json");
+
+  // Repo convention (matches exp_fleet): under --json, stdout carries the
+  // JSON document and nothing else, so `--json | python3 -m json.tool`
+  // always parses; human-facing lines move to stderr.
+  if (!json) {
+    bench::print_header(
+        "E15: hot-path throughput over the (system x adversary) grid",
+        "steady-state stepping should be allocation-free; steps/sec is the "
+        "repo's headline perf number (tracked in BENCH_throughput.json)");
+  }
+
+  // Fixed payload content: ids provide Axiom 2 uniqueness, and a constant
+  // payload keeps the driving loop allocation-free.
+  Rng payload_rng(seed ^ 0x7061796cULL);  // "payl"
+  Message msg;
+  msg.payload = make_payload(flags.get_u64("payload"), payload_rng);
+
+  std::vector<Cell> cells;
+  double gated_allocs_per_step = -1.0;  // the ghm/fifo cell's number
+  std::uint64_t cell_seed = seed;
+  for (const auto& system : systems) {
+    for (const auto& adv_name : adversaries) {
+      ++cell_seed;
+      auto adv = build_adversary(adv_name, Rng(cell_seed ^ 0x61647665ULL));
+      if (!adv) {
+        std::cerr << "unknown adversary: " << adv_name << "\n";
+        return 1;
+      }
+      DataLink link = build_system(system, cell_seed, retry, std::move(adv));
+
+      std::uint64_t next_id = 1;
+      drive(link, msg, next_id, warmup);
+
+      const std::uint64_t oks0 = link.stats().oks;
+      const std::uint64_t wire0 =
+          link.tr_channel().bytes_sent() + link.rt_channel().bytes_sent();
+      const auto a0 = bench::alloc_snapshot();
+      const auto t0 = std::chrono::steady_clock::now();
+      drive(link, msg, next_id, steps);
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto da = bench::alloc_snapshot() - a0;
+
+      Cell c;
+      c.system = system;
+      c.adversary = adv_name;
+      c.steps = steps;
+      c.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+      c.steps_per_sec =
+          c.wall_seconds > 0 ? static_cast<double>(steps) / c.wall_seconds
+                             : 0.0;
+      c.allocs_per_step =
+          static_cast<double>(da.count) / static_cast<double>(steps);
+      c.alloc_bytes_per_step =
+          static_cast<double>(da.bytes) / static_cast<double>(steps);
+      c.wire_bytes_per_step =
+          static_cast<double>(link.tr_channel().bytes_sent() +
+                              link.rt_channel().bytes_sent() - wire0) /
+          static_cast<double>(steps);
+      c.completed = link.stats().oks - oks0;
+      c.msgs_per_sec = c.wall_seconds > 0
+                           ? static_cast<double>(c.completed) / c.wall_seconds
+                           : 0.0;
+      c.safety_violations = link.checker().violations().safety_total();
+      c.channel_bytes_stored = link.tr_channel().bytes_stored() +
+                               link.rt_channel().bytes_stored();
+      c.channel_bytes_logical =
+          link.tr_channel().bytes_sent() + link.rt_channel().bytes_sent();
+      cells.push_back(c);
+
+      if (system == "ghm" && adv_name == "fifo") {
+        gated_allocs_per_step = c.allocs_per_step;
+      }
+    }
+  }
+
+  Table table({"system", "adversary", "steps_per_s", "allocs_per_step",
+               "alloc_B_per_step", "wire_B_per_step", "msgs_per_s",
+               "completed", "stored/logical", "viol"});
+  for (const auto& c : cells) {
+    const double dedup =
+        c.channel_bytes_logical
+            ? static_cast<double>(c.channel_bytes_stored) /
+                  static_cast<double>(c.channel_bytes_logical)
+            : 1.0;
+    table.add_row({c.system, c.adversary, Table::num(c.steps_per_sec, 0),
+                   Table::num(c.allocs_per_step, 3),
+                   Table::num(c.alloc_bytes_per_step, 1),
+                   Table::num(c.wire_bytes_per_step, 1),
+                   Table::num(c.msgs_per_sec, 0), std::to_string(c.completed),
+                   Table::num(dedup, 3),
+                   std::to_string(c.safety_violations)});
+  }
+  if (!json) bench::emit(table, flags.get_bool("csv"));
+
+  bench::JsonWriter j;
+  j.begin_object();
+  j.kv("experiment", "exp_throughput");
+  j.kv("schema", std::uint64_t{1});
+  j.kv("seed", seed);
+  j.kv("warmup_steps", warmup);
+  j.kv("measure_steps", steps);
+  j.kv("payload_bytes", flags.get_u64("payload"));
+  j.kv("retry_every", retry);
+  if (!flags.get("note").empty()) j.kv("note", flags.get("note"));
+  j.key("cells");
+  j.begin_array();
+  for (const auto& c : cells) {
+    j.begin_object();
+    j.kv("system", c.system);
+    j.kv("adversary", c.adversary);
+    j.kv("steps", c.steps);
+    j.kv("wall_seconds", c.wall_seconds);
+    j.kv("steps_per_sec", c.steps_per_sec);
+    j.kv("allocs_per_step", c.allocs_per_step);
+    j.kv("alloc_bytes_per_step", c.alloc_bytes_per_step);
+    j.kv("wire_bytes_per_step", c.wire_bytes_per_step);
+    j.kv("completed", c.completed);
+    j.kv("msgs_per_sec", c.msgs_per_sec);
+    j.kv("safety_violations", c.safety_violations);
+    j.kv("channel_bytes_stored", c.channel_bytes_stored);
+    j.kv("channel_bytes_logical", c.channel_bytes_logical);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  const std::string out_path = flags.get("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << j.str() << "\n";
+    if (!json) std::cout << "#\n# wrote " << out_path << "\n";
+  }
+  if (json) std::cout << j.str() << "\n";
+
+  if (budget >= 0.0) {
+    if (gated_allocs_per_step < 0.0) {
+      std::cerr << "--fail-over-allocs requires the ghm/fifo cell in the "
+                   "grid\n";
+      return 1;
+    }
+    (json ? std::cerr : std::cout)
+        << "# steady-state GHM allocs/step: " << gated_allocs_per_step
+        << " (budget " << budget << ")\n";
+    if (gated_allocs_per_step > budget) {
+      std::cerr << "ALLOC BUDGET EXCEEDED: " << gated_allocs_per_step
+                << " allocs/step > budget " << budget << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

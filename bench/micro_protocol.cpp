@@ -7,6 +7,7 @@
 #include "adversary/adversaries.h"
 #include "core/ghm.h"
 #include "harness/runner.h"
+#include "link/arena.h"
 #include "link/datalink.h"
 
 namespace s2d {
@@ -47,6 +48,34 @@ void BM_BitStringAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_BitStringAppend);
 
+void BM_BitStringCopySbo(benchmark::State& state) {
+  // Copying a challenge-sized string: fits the 128-bit small buffer, so
+  // this should be a pair of word stores, no allocator traffic.
+  Rng rng(30);
+  const BitString src = BitString::random(static_cast<std::size_t>(state.range(0)), rng);
+  BitString dst;
+  for (auto _ : state) {
+    dst = src;
+    benchmark::DoNotOptimize(dst);
+  }
+}
+BENCHMARK(BM_BitStringCopySbo)->Arg(33)->Arg(128)->Arg(512);
+
+void BM_BitStringFreshInPlace(benchmark::State& state) {
+  // The transmitter's per-message tau refresh: clear + append_random on a
+  // warm buffer (the zero-allocation replacement for BitString::random).
+  Rng rng(31);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  BitString tau;
+  for (auto _ : state) {
+    tau.clear();
+    tau.append_bits(1u, 1);
+    tau.append_random(bits, rng);
+    benchmark::DoNotOptimize(tau);
+  }
+}
+BENCHMARK(BM_BitStringFreshInPlace)->Arg(32)->Arg(256);
+
 void BM_DataPacketEncode(benchmark::State& state) {
   Rng rng(4);
   const DataPacket pkt{{7, std::string(static_cast<std::size_t>(state.range(0)), 'x')},
@@ -72,6 +101,54 @@ void BM_DataPacketDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(wire.size()));
 }
 BENCHMARK(BM_DataPacketDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DataPacketEncodeInto(benchmark::State& state) {
+  // Scratch-writer variant used on the hot path: amortises the buffer to
+  // zero allocations once warm. Compare against BM_DataPacketEncode.
+  Rng rng(32);
+  const DataPacket pkt{{7, std::string(static_cast<std::size_t>(state.range(0)), 'x')},
+                       BitString::random(32, rng), BitString::random(33, rng)};
+  Writer w;
+  for (auto _ : state) {
+    w.clear();
+    pkt.encode_into(w);
+    benchmark::DoNotOptimize(w.bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DataPacketEncodeInto)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DataPacketDecodeInto(benchmark::State& state) {
+  // Scratch-packet variant used on the hot path (reuses msg/rho/tau
+  // buffers across calls). Compare against BM_DataPacketDecode.
+  Rng rng(33);
+  const Bytes wire =
+      DataPacket{{7, std::string(static_cast<std::size_t>(state.range(0)), 'x')},
+                 BitString::random(32, rng), BitString::random(33, rng)}
+          .encode();
+  DataPacket scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DataPacket::decode_into(scratch, wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DataPacketDecodeInto)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ArenaInternRepeat(benchmark::State& state) {
+  // Interning a payload the arena has already seen (the retransmission
+  // case): one hash + one table probe + one memcmp, no copy.
+  PayloadArena arena;
+  Bytes payload(static_cast<std::size_t>(state.range(0)), std::byte{0x5a});
+  (void)arena.intern(payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.intern(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ArenaInternRepeat)->Arg(16)->Arg(64)->Arg(1024);
 
 void BM_ReceiverAcceptPath(benchmark::State& state) {
   // The receiver's hot path: a correct packet arriving (delivery branch).

@@ -8,46 +8,65 @@ constexpr std::uint8_t kAckTag = 0xa2;
 
 }  // namespace
 
-Bytes DataPacket::encode() const {
-  Writer w;
+void DataPacket::encode_fields(Writer& w, const Message& msg,
+                               const BitString& rho, const BitString& tau) {
   w.u8(kDataTag);
   w.varint(msg.id);
   w.str(msg.payload);
   w.bits(rho);
   w.bits(tau);
+}
+
+Bytes DataPacket::encode() const {
+  Writer w;
+  encode_into(w);
   return w.take();
+}
+
+bool DataPacket::decode_into(DataPacket& out,
+                             std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  if (r.u8() != kDataTag) return false;
+  out.msg.id = r.varint();
+  r.str_into(out.msg.payload);
+  r.bits_into(out.rho);
+  r.bits_into(out.tau);
+  return r.ok_and_done();
 }
 
 std::optional<DataPacket> DataPacket::decode(
     std::span<const std::byte> bytes) {
-  Reader r(bytes);
-  if (r.u8() != kDataTag) return std::nullopt;
   DataPacket p;
-  p.msg.id = r.varint();
-  p.msg.payload = r.str();
-  p.rho = r.bits();
-  p.tau = r.bits();
-  if (!r.ok_and_done()) return std::nullopt;
+  if (!decode_into(p, bytes)) return std::nullopt;
   return p;
 }
 
-Bytes AckPacket::encode() const {
-  Writer w;
+void AckPacket::encode_fields(Writer& w, const BitString& rho,
+                              const BitString& tau, std::uint64_t retry) {
   w.u8(kAckTag);
   w.bits(rho);
   w.bits(tau);
   w.varint(retry);
+}
+
+Bytes AckPacket::encode() const {
+  Writer w;
+  encode_into(w);
   return w.take();
 }
 
-std::optional<AckPacket> AckPacket::decode(std::span<const std::byte> bytes) {
+bool AckPacket::decode_into(AckPacket& out, std::span<const std::byte> bytes) {
   Reader r(bytes);
-  if (r.u8() != kAckTag) return std::nullopt;
+  if (r.u8() != kAckTag) return false;
+  r.bits_into(out.rho);
+  r.bits_into(out.tau);
+  out.retry = r.varint();
+  return r.ok_and_done();
+}
+
+std::optional<AckPacket> AckPacket::decode(std::span<const std::byte> bytes) {
   AckPacket p;
-  p.rho = r.bits();
-  p.tau = r.bits();
-  p.retry = r.varint();
-  if (!r.ok_and_done()) return std::nullopt;
+  if (!decode_into(p, bytes)) return std::nullopt;
   return p;
 }
 

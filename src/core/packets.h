@@ -31,6 +31,19 @@ struct DataPacket {
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<DataPacket> decode(std::span<const std::byte> bytes);
+
+  /// Appends the encoding to `w` (hot path: a reused scratch Writer).
+  void encode_into(Writer& w) const { encode_fields(w, msg, rho, tau); }
+
+  /// encode_into without requiring the fields to live in a DataPacket —
+  /// the transmitter encodes straight from its state variables.
+  static void encode_fields(Writer& w, const Message& msg,
+                            const BitString& rho, const BitString& tau);
+
+  /// Decodes into an existing packet, reusing its payload/rho/tau buffers.
+  /// Returns false (leaving `out` in an unspecified but valid state) on
+  /// malformed bytes.
+  static bool decode_into(DataPacket& out, std::span<const std::byte> bytes);
 };
 
 struct AckPacket {
@@ -40,6 +53,11 @@ struct AckPacket {
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<AckPacket> decode(std::span<const std::byte> bytes);
+
+  void encode_into(Writer& w) const { encode_fields(w, rho, tau, retry); }
+  static void encode_fields(Writer& w, const BitString& rho,
+                            const BitString& tau, std::uint64_t retry);
+  static bool decode_into(AckPacket& out, std::span<const std::byte> bytes);
 };
 
 }  // namespace s2d

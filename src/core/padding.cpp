@@ -4,15 +4,22 @@
 
 namespace s2d {
 
-Bytes pad_to_bucket(const Bytes& packet, std::size_t bucket) {
+void pad_into(Writer& w, std::span<const std::byte> packet,
+              std::size_t bucket) {
   if (bucket == 0) bucket = 1;
-  Writer w;
+  const std::size_t base = w.size();
   w.varint(packet.size());
   w.blob(packet);  // blob adds its own length prefix; harmless redundancy
-  Bytes out = w.take();
-  const std::size_t rem = out.size() % bucket;
-  if (rem != 0) out.resize(out.size() + (bucket - rem), std::byte{0});
-  return out;
+  const std::size_t rem = (w.size() - base) % bucket;
+  if (rem != 0) {
+    for (std::size_t i = 0; i < bucket - rem; ++i) w.u8(0);
+  }
+}
+
+Bytes pad_to_bucket(std::span<const std::byte> packet, std::size_t bucket) {
+  Writer w;
+  pad_into(w, packet, bucket);
+  return w.take();
 }
 
 std::optional<Bytes> unpad(std::span<const std::byte> padded) {
@@ -24,57 +31,51 @@ std::optional<Bytes> unpad(std::span<const std::byte> padded) {
   return inner;
 }
 
-void PaddedTransmitter::repad(TxOutbox& inner_out, TxOutbox& out) {
-  for (auto& pkt : inner_out.pkts()) {
-    out.send_pkt(pad_to_bucket(pkt, bucket_));
+void PaddedTransmitter::repad(TxOutbox& out) {
+  for (std::size_t i = 0; i < inner_out_.pkt_count(); ++i) {
+    pad_into(out.pkt_writer(), inner_out_.pkt(i), bucket_);
   }
-  inner_out.pkts().clear();
-  if (inner_out.ok_signalled()) out.ok();
+  if (inner_out_.ok_signalled()) out.ok();
+  inner_out_.clear();
 }
 
 void PaddedTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
-  TxOutbox inner_out;
-  inner_->on_send_msg(m, inner_out);
-  repad(inner_out, out);
+  inner_->on_send_msg(m, inner_out_);
+  repad(out);
 }
 
 void PaddedTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
                                        TxOutbox& out) {
   const auto inner_pkt = unpad(pkt);
   if (!inner_pkt) return;  // not one of ours (or corrupted): drop
-  TxOutbox inner_out;
-  inner_->on_receive_pkt(*inner_pkt, inner_out);
-  repad(inner_out, out);
+  inner_->on_receive_pkt(*inner_pkt, inner_out_);
+  repad(out);
 }
 
 void PaddedTransmitter::on_timer(TxOutbox& out) {
-  TxOutbox inner_out;
-  inner_->on_timer(inner_out);
-  repad(inner_out, out);
+  inner_->on_timer(inner_out_);
+  repad(out);
 }
 
-void PaddedReceiver::repad(RxOutbox& inner_out, RxOutbox& out) {
-  for (auto& pkt : inner_out.pkts()) {
-    out.send_pkt(pad_to_bucket(pkt, bucket_));
+void PaddedReceiver::repad(RxOutbox& out) {
+  for (std::size_t i = 0; i < inner_out_.pkt_count(); ++i) {
+    pad_into(out.pkt_writer(), inner_out_.pkt(i), bucket_);
   }
-  inner_out.pkts().clear();
-  for (auto& m : inner_out.delivered()) out.deliver(std::move(m));
-  inner_out.delivered().clear();
+  for (auto& m : inner_out_.delivered()) out.deliver(std::move(m));
+  inner_out_.clear();
 }
 
 void PaddedReceiver::on_receive_pkt(std::span<const std::byte> pkt,
                                     RxOutbox& out) {
   const auto inner_pkt = unpad(pkt);
   if (!inner_pkt) return;
-  RxOutbox inner_out;
-  inner_->on_receive_pkt(*inner_pkt, inner_out);
-  repad(inner_out, out);
+  inner_->on_receive_pkt(*inner_pkt, inner_out_);
+  repad(out);
 }
 
 void PaddedReceiver::on_retry(RxOutbox& out) {
-  RxOutbox inner_out;
-  inner_->on_retry(inner_out);
-  repad(inner_out, out);
+  inner_->on_retry(inner_out_);
+  repad(out);
 }
 
 }  // namespace s2d

@@ -24,7 +24,12 @@ namespace s2d {
 
 /// Pads `packet` to the next multiple of `bucket` (>= 1):
 /// varint(length) || packet || zeros.
-[[nodiscard]] Bytes pad_to_bucket(const Bytes& packet, std::size_t bucket);
+[[nodiscard]] Bytes pad_to_bucket(std::span<const std::byte> packet,
+                                  std::size_t bucket);
+
+/// pad_to_bucket appended to a Writer (hot path: a reused outbox slot).
+void pad_into(Writer& w, std::span<const std::byte> packet,
+              std::size_t bucket);
 
 /// Inverse of pad_to_bucket; nullopt on malformed input.
 [[nodiscard]] std::optional<Bytes> unpad(std::span<const std::byte> padded);
@@ -48,10 +53,11 @@ class PaddedTransmitter final : public ITransmitter {
   }
 
  private:
-  void repad(TxOutbox& inner_out, TxOutbox& out);
+  void repad(TxOutbox& out);
 
   std::unique_ptr<ITransmitter> inner_;
   std::size_t bucket_;
+  TxOutbox inner_out_;  // scratch for the inner module, reused per call
 };
 
 class PaddedReceiver final : public IReceiver {
@@ -71,10 +77,11 @@ class PaddedReceiver final : public IReceiver {
   }
 
  private:
-  void repad(RxOutbox& inner_out, RxOutbox& out);
+  void repad(RxOutbox& out);
 
   std::unique_ptr<IReceiver> inner_;
   std::size_t bucket_;
+  RxOutbox inner_out_;  // scratch for the inner module, reused per call
 };
 
 }  // namespace s2d

@@ -13,7 +13,8 @@ void GhmReceiver::reset_after_boundary() {
   t_ = 1;
   num_ = 0;
   i_ = 1;
-  rho_ = BitString::random(policy_.size(t_), rng_);
+  rho_.clear();
+  rho_.append_random(policy_.size(t_), rng_);
 }
 
 void GhmReceiver::on_crash() {
@@ -26,26 +27,28 @@ void GhmReceiver::on_crash() {
 void GhmReceiver::on_retry(RxOutbox& out) {
   // Figure 5, RETRY: send (rho^R, tau^R, i^R); increment(i^R). The
   // increment rule is the policy's third tunable (Figure 3).
-  out.send_pkt(AckPacket{rho_, tau_, i_}.encode());
+  AckPacket::encode_fields(out.pkt_writer(), rho_, tau_, i_);
   i_ = policy_.increment(i_);
 }
 
 void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
                                  RxOutbox& out) {
-  const auto data = DataPacket::decode(pkt);
-  if (!data) return;  // not a data packet: provably stale or misrouted
+  if (!DataPacket::decode_into(pkt_scratch_, pkt)) {
+    return;  // not a data packet: provably stale or misrouted
+  }
+  const DataPacket& data = pkt_scratch_;
 
-  if (data->rho == rho_) {
-    if (tau_.is_prefix_of(data->tau)) {
+  if (data.rho == rho_) {
+    if (tau_.is_prefix_of(data.tau)) {
       // Same message as the last accepted one, with an equal or extended
       // tau: adopt the longer tau but do not deliver again (this is what
       // suppresses duplicates when our ack was lost and the transmitter
       // extended tau in the meantime).
-      tau_ = data->tau;
-    } else if (!data->tau.is_prefix_of(tau_)) {
+      tau_ = data.tau;
+    } else if (!data.tau.is_prefix_of(tau_)) {
       // tau incomparable with tau^R: a genuinely new message.
-      out.deliver(data->msg);
-      tau_ = data->tau;
+      out.deliver(data.msg);
+      tau_ = data.tau;
       ++k_;
       reset_after_boundary();
     }
@@ -58,12 +61,12 @@ void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
   // length are charged against the epoch budget; shorter (or longer)
   // challenges are provably stale and must not trigger extensions, or the
   // adversary could starve liveness by replaying ancient packets.
-  if (data->rho.size() == rho_.size()) {
+  if (data.rho.size() == rho_.size()) {
     ++num_;
     if (num_ >= policy_.bound(t_)) {
       ++t_;
       num_ = 0;
-      rho_.append(BitString::random(policy_.size(t_), rng_));
+      rho_.append_random(policy_.size(t_), rng_);
     }
   }
 }

@@ -66,6 +66,10 @@ class GhmReceiver final : public IReceiver {
   std::uint64_t t_ = 1;    // t^R
   std::uint64_t i_ = 1;    // i^R
   std::uint64_t k_ = 0;    // messages delivered (analysis only)
+
+  // Decode scratch, not protocol state: reused across on_receive_pkt calls
+  // so data-packet decoding stops allocating once its buffers are warm.
+  DataPacket pkt_scratch_;
 };
 
 }  // namespace s2d

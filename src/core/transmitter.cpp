@@ -7,17 +7,19 @@ GhmTransmitter::GhmTransmitter(GrowthPolicy policy, Rng rng)
   on_crash();  // the initial state equals the post-crash state
 }
 
-BitString GhmTransmitter::fresh_tau() {
-  BitString tau = BitString::from_binary("1");  // tau'_crash, Figure 3
-  tau.append(BitString::random(policy_.size(1), rng_));
-  return tau;
+void GhmTransmitter::fresh_tau() {
+  // tau'_crash ("1", Figure 3) followed by size(1, eps) random bits,
+  // rebuilt in place so the per-message refresh reuses tau's buffer.
+  tau_.clear();
+  tau_.append_bits(1u, 1);
+  tau_.append_random(policy_.size(1), rng_);
 }
 
 void GhmTransmitter::on_crash() {
   busy_ = false;
   msg_ = Message{};
   rho_.reset();  // the challenge died with our memory; wait for a fresh ack
-  tau_ = fresh_tau();
+  fresh_tau();
   num_ = 0;
   t_ = 1;
   i_ = 0;
@@ -25,7 +27,7 @@ void GhmTransmitter::on_crash() {
 
 void GhmTransmitter::send_data(TxOutbox& out) {
   if (!busy_ || !rho_) return;
-  out.send_pkt(DataPacket{msg_, *rho_, tau_}.encode());
+  DataPacket::encode_fields(out.pkt_writer(), msg_, *rho_, tau_);
 }
 
 void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
@@ -34,7 +36,7 @@ void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
   // station"); the epoch machinery restarts with it.
   busy_ = true;
   msg_ = m;
-  tau_ = fresh_tau();
+  fresh_tau();
   num_ = 0;
   t_ = 1;
   i_ = 0;
@@ -43,16 +45,16 @@ void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
 
 void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
                                     TxOutbox& out) {
-  const auto ack = AckPacket::decode(pkt);
-  if (!ack) return;
+  if (!AckPacket::decode_into(ack_scratch_, pkt)) return;
+  const AckPacket& ack = ack_scratch_;
 
   // OK check first, independent of the retry filter: the receiver resets
   // its retry counter on delivery, so the very acks that confirm our
   // message carry small i values.
-  if (busy_ && ack->tau == tau_) {
+  if (busy_ && ack.tau == tau_) {
     busy_ = false;
     msg_ = Message{};
-    rho_ = ack->rho;  // the challenge for the next message
+    rho_ = ack.rho;  // the challenge for the next message
     i_ = 0;
     out.ok();
     return;
@@ -62,22 +64,22 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
   // the adversary both pump unbounded responses out of us and keep
   // flipping rho^T between old challenges, defeating stabilisation
   // (Theorem 9's time_1/time_2 argument).
-  if (ack->retry <= i_) return;
-  i_ = ack->retry;
+  if (ack.retry <= i_) return;
+  i_ = ack.retry;
 
   // Fresh ack that does not acknowledge tau^T. Adopt the challenge it
   // carries — it is the receiver's current rho^R or a newer value than
   // whatever we hold — and charge wrong full-length taus against the
   // epoch budget, mirroring the receiver (Lemma 6 / Lemma 2^T).
-  rho_ = ack->rho;
+  rho_ = ack.rho;
 
   if (busy_) {
-    if (ack->tau.size() == tau_.size() && ack->tau != tau_) {
+    if (ack.tau.size() == tau_.size() && ack.tau != tau_) {
       ++num_;
       if (num_ >= policy_.bound(t_)) {
         ++t_;
         num_ = 0;
-        tau_.append(BitString::random(policy_.size(t_), rng_));
+        tau_.append_random(policy_.size(t_), rng_);
       }
     }
     send_data(out);

@@ -66,9 +66,9 @@ class GhmTransmitter final : public ITransmitter {
   }
 
  private:
-  /// Fresh tau^T: tau'_crash ("1") followed by size(1, eps) random bits,
-  /// guaranteeing tau_crash ("0") is not a prefix.
-  [[nodiscard]] BitString fresh_tau();
+  /// Rebuilds tau^T in place: tau'_crash ("1") followed by size(1, eps)
+  /// random bits, guaranteeing tau_crash ("0") is not a prefix.
+  void fresh_tau();
 
   void send_data(TxOutbox& out);
 
@@ -82,6 +82,10 @@ class GhmTransmitter final : public ITransmitter {
   std::uint64_t num_ = 0;         // num^T
   std::uint64_t t_ = 1;           // t^T
   std::uint64_t i_ = 0;           // i^T
+
+  // Decode scratch, not protocol state: reused across on_receive_pkt calls
+  // so ack decoding stops allocating once its buffers are warm.
+  AckPacket ack_scratch_;
 };
 
 }  // namespace s2d

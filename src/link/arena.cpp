@@ -1,0 +1,98 @@
+#include "link/arena.h"
+
+#include <cstring>
+
+namespace s2d {
+namespace {
+
+std::uint64_t content_hash(std::span<const std::byte> bytes) noexcept {
+  // FNV-1a over 8-byte chunks (plus a length mix so "abc" and "abc\0"
+  // differ): one multiply per word instead of per byte. Packet payloads
+  // are 20-40 bytes, so the chunking matters on every send.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ bytes.size();
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+  }
+  if (i < bytes.size()) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, bytes.data() + i, bytes.size() - i);
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
+bool same_bytes(std::span<const std::byte> a,
+                std::span<const std::byte> b) noexcept {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace
+
+std::span<const std::byte> PayloadArena::store(
+    std::span<const std::byte> bytes) {
+  bytes_stored_ += bytes.size();
+  if (bytes.size() > kChunkBytes) {
+    // Oversize payload: dedicated chunk, inserted *before* the tail so the
+    // tail chunk's remaining space stays usable.
+    auto chunk = std::make_unique<std::byte[]>(bytes.size());
+    std::memcpy(chunk.get(), bytes.data(), bytes.size());
+    std::span<const std::byte> out{chunk.get(), bytes.size()};
+    const std::size_t at = chunks_.empty() ? 0 : chunks_.size() - 1;
+    chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(at),
+                   std::move(chunk));
+    return out;
+  }
+  if (tail_used_ + bytes.size() > kChunkBytes) {
+    chunks_.push_back(std::make_unique<std::byte[]>(kChunkBytes));
+    tail_used_ = 0;
+  }
+  std::byte* dst = chunks_.back().get() + tail_used_;
+  if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
+  tail_used_ += bytes.size();
+  return {dst, bytes.size()};
+}
+
+void PayloadArena::rehash(std::size_t new_buckets) {
+  buckets_.assign(new_buckets, 0);
+  const std::size_t mask = new_buckets - 1;
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    std::size_t slot = entries_[e].hash & mask;
+    while (buckets_[slot] != 0) slot = (slot + 1) & mask;
+    buckets_[slot] = static_cast<std::uint32_t>(e + 1);
+  }
+}
+
+std::span<const std::byte> PayloadArena::intern(
+    std::span<const std::byte> bytes) {
+  // Grow at ~0.7 load; power-of-two sizes keep probing a mask-and-add.
+  if (buckets_.empty()) {
+    rehash(64);
+  } else if ((entries_.size() + 1) * 10 > buckets_.size() * 7) {
+    rehash(buckets_.size() * 2);
+  }
+  const std::uint64_t h = content_hash(bytes);
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t slot = h & mask;
+  while (buckets_[slot] != 0) {
+    const Entry& e = entries_[buckets_[slot] - 1];
+    if (e.hash == h && same_bytes(e.bytes, bytes)) {
+      ++hits_;
+      return e.bytes;
+    }
+    slot = (slot + 1) & mask;
+  }
+  const std::span<const std::byte> stored = store(bytes);
+  entries_.push_back(Entry{h, stored});
+  buckets_[slot] = static_cast<std::uint32_t>(entries_.size());
+  return stored;
+}
+
+}  // namespace s2d

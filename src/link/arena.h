@@ -1,0 +1,65 @@
+// PayloadArena: bump-allocated, content-interned packet payload storage.
+//
+// The channel of §2.3 retains every packet ever sent (the adversary may
+// deliver any identifier arbitrarily late), which naively costs one heap
+// vector per send. Two observations make that cheap:
+//
+//   * payload bytes are immutable once sent, so thousands of packets can
+//     share a handful of large chunks (bump allocation, stable addresses);
+//   * retransmissions are byte-identical — the GHM receiver re-sends the
+//     same ack until something changes, and the transmitter re-sends the
+//     same data packet on every RETRY of an epoch — so interning by content
+//     stores each distinct payload once and hands back the same span.
+//
+// intern() is the only operation; returned spans remain valid for the
+// arena's lifetime (chunks are never moved or freed), which is exactly the
+// channel's retain-forever contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace s2d {
+
+class PayloadArena {
+ public:
+  /// Returns a stable span whose contents equal `bytes`. Identical
+  /// contents may (and after the first occurrence, do) share storage.
+  std::span<const std::byte> intern(std::span<const std::byte> bytes);
+
+  /// Bytes physically occupied by distinct payloads.
+  [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
+    return bytes_stored_;
+  }
+  /// intern() calls satisfied by an existing entry.
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::span<const std::byte> bytes;
+  };
+
+  std::span<const std::byte> store(std::span<const std::byte> bytes);
+  void rehash(std::size_t new_buckets);
+
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  // Bump storage: payloads are appended to the tail chunk; payloads larger
+  // than a chunk get a dedicated one. Chunks are never freed or moved.
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t tail_used_ = kChunkBytes;  // forces first-chunk allocation
+
+  // Open-addressing intern table over entries_: buckets_ holds entry
+  // index + 1 (0 = empty). No per-insert node allocations.
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> buckets_;
+
+  std::uint64_t bytes_stored_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace s2d

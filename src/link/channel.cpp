@@ -2,18 +2,19 @@
 
 namespace s2d {
 
-PacketId Channel::send(Bytes payload, std::uint64_t step) {
+PacketId Channel::send(std::span<const std::byte> payload,
+                       std::uint64_t step) {
   const PacketId id = static_cast<PacketId>(payloads_.size());
   bytes_sent_ += payload.size();
   meta_.push_back(PacketMeta{id, payload.size(), step});
-  payloads_.push_back(std::move(payload));
+  payloads_.push_back(arena_.intern(payload));
   return id;
 }
 
 std::optional<std::span<const std::byte>> Channel::payload(
     PacketId id) const noexcept {
   if (id >= payloads_.size()) return std::nullopt;
-  return std::span<const std::byte>(payloads_[static_cast<std::size_t>(id)]);
+  return payloads_[static_cast<std::size_t>(id)];
 }
 
 std::size_t Channel::length(PacketId id) const noexcept {

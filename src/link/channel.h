@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "link/actions.h"
+#include "link/arena.h"
 #include "util/codec.h"
 
 namespace s2d {
@@ -35,15 +36,24 @@ class Channel {
   /// Places `payload` on the channel; returns the fresh identifier
   /// (the new_pkt notification's id). The packet is retained forever —
   /// the adversary may deliver it any number of times, arbitrarily later.
-  PacketId send(Bytes payload, std::uint64_t step);
+  /// The bytes are copied into the channel's arena (retransmissions of an
+  /// identical payload share storage), so the caller's buffer may be
+  /// reused immediately after the call.
+  PacketId send(std::span<const std::byte> payload, std::uint64_t step);
 
-  /// Bytes of a previously sent packet, or nullopt for an unknown id
-  /// (attempting to deliver an unknown id is an adversary bug; the
-  /// executor treats it as a no-op so a buggy adversary cannot forge
-  /// packets, preserving the causality axiom).
+  /// Bytes of a previously sent packet, or nullopt for an unknown id.
+  /// Attempting to deliver an unknown id is an adversary bug; the
+  /// executor treats nullopt as a no-op so a buggy adversary cannot forge
+  /// packets, preserving the causality axiom. Consistently, length() of
+  /// the same unknown id is 0 — the pair never disagrees about whether a
+  /// packet exists.
   [[nodiscard]] std::optional<std::span<const std::byte>> payload(
       PacketId id) const noexcept;
 
+  /// Length of a previously sent packet; 0 for an unknown id (see
+  /// payload() for the unknown-id contract). A zero-length packet is
+  /// indistinguishable from an unknown id here — callers that need the
+  /// distinction must use payload().
   [[nodiscard]] std::size_t length(PacketId id) const noexcept;
 
   /// Adversary-visible history of all send_pkt actions on this channel.
@@ -63,11 +73,25 @@ class Channel {
     return bytes_sent_;
   }
 
+  /// Bytes physically retained for payload storage. With payload interning
+  /// duplicate payloads are stored once, so this can be far below
+  /// bytes_sent() under retransmission-heavy schedules.
+  [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
+    return arena_.bytes_stored();
+  }
+
+  /// Sends whose payload was already present in the arena (retransmissions
+  /// stored for free).
+  [[nodiscard]] std::uint64_t interned_sends() const noexcept {
+    return arena_.hits();
+  }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
   std::string name_;
-  std::vector<Bytes> payloads_;  // indexed by PacketId
+  PayloadArena arena_;  // owns all payload bytes; spans below point into it
+  std::vector<std::span<const std::byte>> payloads_;  // indexed by PacketId
   std::vector<PacketMeta> meta_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t bytes_sent_ = 0;

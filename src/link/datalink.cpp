@@ -57,18 +57,19 @@ void DataLink::record(TraceEvent ev) {
 }
 
 void DataLink::drain_tx(TxOutbox& out) {
-  for (auto& pkt : out.pkts()) {
-    const std::size_t len = pkt.size();
-    const PacketId id = tr_.send(std::move(pkt), stats_.steps);
-    record({.kind = ActionKind::kSendPktTR, .pkt_id = id, .pkt_len = len});
+  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
+    const auto pkt = out.pkt(i);
+    const PacketId id = tr_.send(pkt, stats_.steps);
+    record({.kind = ActionKind::kSendPktTR, .pkt_id = id,
+            .pkt_len = pkt.size()});
   }
-  out.pkts().clear();
   if (out.ok_signalled()) {
     record({.kind = ActionKind::kOk});
     awaiting_ok_ = false;
     last_step_completed_ok_ = true;
     ++stats_.oks;
   }
+  out.clear();
 }
 
 void DataLink::drain_rx(RxOutbox& out) {
@@ -76,37 +77,34 @@ void DataLink::drain_rx(RxOutbox& out) {
     record({.kind = ActionKind::kReceiveMsg, .msg_id = m.id});
     if (cfg_.collect_deliveries) delivered_inbox_.push_back(std::move(m));
   }
-  out.delivered().clear();
-  for (auto& pkt : out.pkts()) {
-    const std::size_t len = pkt.size();
-    const PacketId id = rt_.send(std::move(pkt), stats_.steps);
-    record({.kind = ActionKind::kSendPktRT, .pkt_id = id, .pkt_len = len});
+  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
+    const auto pkt = out.pkt(i);
+    const PacketId id = rt_.send(pkt, stats_.steps);
+    record({.kind = ActionKind::kSendPktRT, .pkt_id = id,
+            .pkt_len = pkt.size()});
   }
-  out.pkts().clear();
+  out.clear();
 }
 
-void DataLink::offer(Message m) {
+void DataLink::offer(const Message& m) {
   assert(tm_ready() && "Axiom 1: offer() requires the TM to be idle");
   ++stats_.messages_offered;
   record({.kind = ActionKind::kSendMsg, .msg_id = m.id});
   awaiting_ok_ = true;
-  TxOutbox out;
-  tm_->on_send_msg(m, out);
-  drain_tx(out);
+  tm_->on_send_msg(m, tx_out_);
+  drain_tx(tx_out_);
 }
 
 void DataLink::fire_retry() {
   ++stats_.retries;
   record({.kind = ActionKind::kRetry});
-  RxOutbox out;
-  rm_->on_retry(out);
-  drain_rx(out);
+  rm_->on_retry(rx_out_);
+  drain_rx(rx_out_);
 }
 
 void DataLink::fire_tx_timer() {
-  TxOutbox out;
-  tm_->on_timer(out);
-  drain_tx(out);
+  tm_->on_timer(tx_out_);
+  drain_tx(tx_out_);
 }
 
 void DataLink::apply(const Decision& d) {
@@ -144,9 +142,8 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktTR,
               .pkt_id = d.pkt,
               .pkt_len = payload->size()});
-      RxOutbox out;
-      rm_->on_receive_pkt(*payload, out);
-      drain_rx(out);
+      rm_->on_receive_pkt(*payload, rx_out_);
+      drain_rx(rx_out_);
       break;
     }
 
@@ -157,9 +154,8 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktRT,
               .pkt_id = d.pkt,
               .pkt_len = payload->size()});
-      TxOutbox out;
-      tm_->on_receive_pkt(*payload, out);
-      drain_tx(out);
+      tm_->on_receive_pkt(*payload, tx_out_);
+      drain_tx(tx_out_);
       break;
     }
 
@@ -172,9 +168,8 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktTR,
               .pkt_id = d.pkt,
               .pkt_len = noisy.size()});
-      RxOutbox out;
-      rm_->on_receive_pkt(noisy, out);
-      drain_rx(out);
+      rm_->on_receive_pkt(noisy, rx_out_);
+      drain_rx(rx_out_);
       break;
     }
 
@@ -187,9 +182,8 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktRT,
               .pkt_id = d.pkt,
               .pkt_len = noisy.size()});
-      TxOutbox out;
-      tm_->on_receive_pkt(noisy, out);
-      drain_tx(out);
+      tm_->on_receive_pkt(noisy, tx_out_);
+      drain_tx(tx_out_);
       break;
     }
 
@@ -198,9 +192,8 @@ void DataLink::apply(const Decision& d) {
       ++noise_deliveries_;
       const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
       record({.kind = ActionKind::kReceivePktTR, .pkt_len = forged.size()});
-      RxOutbox out;
-      rm_->on_receive_pkt(forged, out);
-      drain_rx(out);
+      rm_->on_receive_pkt(forged, rx_out_);
+      drain_rx(rx_out_);
       break;
     }
 
@@ -209,9 +202,8 @@ void DataLink::apply(const Decision& d) {
       ++noise_deliveries_;
       const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
       record({.kind = ActionKind::kReceivePktRT, .pkt_len = forged.size()});
-      TxOutbox out;
-      tm_->on_receive_pkt(forged, out);
-      drain_tx(out);
+      tm_->on_receive_pkt(forged, tx_out_);
+      drain_tx(tx_out_);
       break;
     }
   }

@@ -106,8 +106,9 @@ class DataLink {
   /// True iff the TM may accept a new message (Axiom 1).
   [[nodiscard]] bool tm_ready() const noexcept { return !awaiting_ok_; }
 
-  /// Performs send_msg(m). Precondition: tm_ready().
-  void offer(Message m);
+  /// Performs send_msg(m). Precondition: tm_ready(). The message is
+  /// copied into the module; the caller's object may be reused.
+  void offer(const Message& m);
 
   /// Advances the system by one scheduling step.
   void step();
@@ -168,6 +169,13 @@ class DataLink {
   Rng noise_rng_{0};
   std::uint64_t noise_deliveries_ = 0;
   std::vector<Message> delivered_inbox_;
+
+  // Scratch outboxes, reused across every module invocation (the drain
+  // clears them after applying outputs). Members rather than locals so the
+  // packet Writers and delivery slots keep their buffers between steps —
+  // the core of the zero-allocation hot path.
+  TxOutbox tx_out_;
+  RxOutbox rx_out_;
 
   bool awaiting_ok_ = false;
   bool last_step_completed_ok_ = false;

@@ -24,41 +24,99 @@
 
 namespace s2d {
 
-/// Output buffer for the transmitting module.
-class TxOutbox {
+/// Packet slots shared by both outboxes: a pool of Writers recycled across
+/// clear() cycles. Each queued packet owns a Writer whose buffer survives
+/// the clear, so a module that emits one packet per step stops allocating
+/// once the pool and its buffers are warm.
+class PktSlots {
  public:
-  /// Queues a send_pkt^{T->R} action.
-  void send_pkt(Bytes pkt) { pkts_.push_back(std::move(pkt)); }
+  /// Begins a send_pkt action: returns a cleared scratch Writer; whatever
+  /// it holds when the module returns is the packet.
+  Writer& pkt_writer() {
+    if (used_ == writers_.size()) writers_.emplace_back();
+    Writer& w = writers_[used_++];
+    w.clear();
+    return w;
+  }
 
+  /// Queues a send_pkt action by copying `pkt` (legacy shape; hot paths
+  /// prefer pkt_writer() + encode_into to skip the intermediate vector).
+  void send_pkt(std::span<const std::byte> pkt) { pkt_writer().raw(pkt); }
+
+  [[nodiscard]] std::size_t pkt_count() const noexcept { return used_; }
+  [[nodiscard]] std::span<const std::byte> pkt(std::size_t i) const noexcept {
+    return writers_[i].bytes();
+  }
+
+ protected:
+  void reset() noexcept { used_ = 0; }
+
+ private:
+  std::vector<Writer> writers_;
+  std::size_t used_ = 0;
+};
+
+/// Output buffer for the transmitting module.
+class TxOutbox : public PktSlots {
+ public:
   /// Queues the OK action (notification that the last message was
   /// delivered; the higher layer may now send the next message).
   void ok() noexcept { ok_ = true; }
 
-  [[nodiscard]] std::vector<Bytes>& pkts() noexcept { return pkts_; }
   [[nodiscard]] bool ok_signalled() const noexcept { return ok_; }
 
+  /// Empties the outbox, keeping all packet buffers for reuse. The
+  /// executor calls this after draining; queued spans are invalidated.
+  void clear() noexcept {
+    reset();
+    ok_ = false;
+  }
+
  private:
-  std::vector<Bytes> pkts_;
   bool ok_ = false;
 };
 
 /// Output buffer for the receiving module.
-class RxOutbox {
+class RxOutbox : public PktSlots {
  public:
-  /// Queues a send_pkt^{R->T} action.
-  void send_pkt(Bytes pkt) { pkts_.push_back(std::move(pkt)); }
+  /// Begins a receive_msg action (delivery to the higher layer): returns a
+  /// recycled Message slot for the module to fill. The slot's payload
+  /// string keeps its capacity across clear() cycles, so steady-state
+  /// delivery copies bytes without allocating.
+  Message& deliver_slot() {
+    if (dused_ == delivered_.size()) delivered_.emplace_back();
+    return delivered_[dused_++];
+  }
 
-  /// Queues a receive_msg action (delivery to the higher layer).
-  void deliver(Message m) { delivered_.push_back(std::move(m)); }
+  /// Queues a receive_msg action by copying `m` into a recycled slot.
+  void deliver(const Message& m) {
+    Message& d = deliver_slot();
+    d.id = m.id;
+    d.payload = m.payload;
+  }
+  void deliver(Message&& m) {
+    Message& d = deliver_slot();
+    d.id = m.id;
+    d.payload = std::move(m.payload);
+  }
 
-  [[nodiscard]] std::vector<Bytes>& pkts() noexcept { return pkts_; }
-  [[nodiscard]] std::vector<Message>& delivered() noexcept {
-    return delivered_;
+  [[nodiscard]] std::span<Message> delivered() noexcept {
+    return {delivered_.data(), dused_};
+  }
+  [[nodiscard]] std::span<const Message> delivered() const noexcept {
+    return {delivered_.data(), dused_};
+  }
+
+  /// Empties the outbox, keeping packet buffers and delivery slots for
+  /// reuse; queued spans are invalidated.
+  void clear() noexcept {
+    reset();
+    dused_ = 0;
   }
 
  private:
-  std::vector<Bytes> pkts_;
   std::vector<Message> delivered_;
+  std::size_t dused_ = 0;
 };
 
 class ITransmitter {

@@ -21,27 +21,28 @@ void TransportSession::record(TraceEvent ev) {
 }
 
 void TransportSession::drain_tx(TxOutbox& out) {
-  for (auto& pkt : out.pkts()) {
-    relay_->inject(net_, cfg_.src, cfg_.dst, std::move(pkt));
+  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
+    const auto pkt = out.pkt(i);
+    relay_->inject(net_, cfg_.src, cfg_.dst, Bytes(pkt.begin(), pkt.end()));
   }
-  out.pkts().clear();
   if (out.ok_signalled()) {
     record({.kind = ActionKind::kOk});
     awaiting_ok_ = false;
     last_step_ok_ = true;
     ++stats_.oks;
   }
+  out.clear();
 }
 
 void TransportSession::drain_rx(RxOutbox& out) {
-  for (auto& m : out.delivered()) {
+  for (const auto& m : out.delivered()) {
     record({.kind = ActionKind::kReceiveMsg, .msg_id = m.id});
   }
-  out.delivered().clear();
-  for (auto& pkt : out.pkts()) {
-    relay_->inject(net_, cfg_.dst, cfg_.src, std::move(pkt));
+  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
+    const auto pkt = out.pkt(i);
+    relay_->inject(net_, cfg_.dst, cfg_.src, Bytes(pkt.begin(), pkt.end()));
   }
-  out.pkts().clear();
+  out.clear();
 }
 
 void TransportSession::offer(Message m) {

@@ -18,7 +18,7 @@ std::uint64_t TransportFabric::add_session(GhmPair protocol,
   return sessions_.back()->id;
 }
 
-Bytes TransportFabric::wrap(std::uint64_t id, const Bytes& pkt) {
+Bytes TransportFabric::wrap(std::uint64_t id, std::span<const std::byte> pkt) {
   Writer w;
   w.varint(id);
   w.blob(pkt);
@@ -36,28 +36,27 @@ std::optional<TransportFabric::Unwrapped> TransportFabric::unwrap(
 }
 
 void TransportFabric::drain_tx(Endpoint& ep, TxOutbox& out) {
-  for (auto& pkt : out.pkts()) {
-    relay_->inject(net_, ep.cfg.src, ep.cfg.dst, wrap(ep.id, pkt));
+  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
+    relay_->inject(net_, ep.cfg.src, ep.cfg.dst, wrap(ep.id, out.pkt(i)));
   }
-  out.pkts().clear();
   if (out.ok_signalled()) {
     ep.checker.on_event({.kind = ActionKind::kOk, .step = now_});
     ep.awaiting_ok = false;
     ep.completed_this_step = true;
     ++ep.oks;
   }
+  out.clear();
 }
 
 void TransportFabric::drain_rx(Endpoint& ep, RxOutbox& out) {
-  for (auto& m : out.delivered()) {
+  for (const auto& m : out.delivered()) {
     ep.checker.on_event(
         {.kind = ActionKind::kReceiveMsg, .step = now_, .msg_id = m.id});
   }
-  out.delivered().clear();
-  for (auto& pkt : out.pkts()) {
-    relay_->inject(net_, ep.cfg.dst, ep.cfg.src, wrap(ep.id, pkt));
+  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
+    relay_->inject(net_, ep.cfg.dst, ep.cfg.src, wrap(ep.id, out.pkt(i)));
   }
-  out.pkts().clear();
+  out.clear();
 }
 
 void TransportFabric::offer(std::uint64_t id, Message m) {

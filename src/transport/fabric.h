@@ -78,7 +78,8 @@ class TransportFabric {
   }
 
   /// Wire wrapper: varint(session id) + blob(packet).
-  [[nodiscard]] static Bytes wrap(std::uint64_t id, const Bytes& pkt);
+  [[nodiscard]] static Bytes wrap(std::uint64_t id,
+                                  std::span<const std::byte> pkt);
   struct Unwrapped {
     std::uint64_t id;
     Bytes pkt;

@@ -1,11 +1,83 @@
 #include "util/bitstring.h"
 
 #include <cassert>
-#include <cstdlib>
+#include <cstring>
 
 #include "util/rng.h"
 
 namespace s2d {
+
+void BitString::release() noexcept {
+  if (on_heap()) delete[] heap_;
+}
+
+void BitString::reserve_words(std::size_t nwords) {
+  if (nwords <= cap_) return;
+  std::size_t new_cap = cap_ * 2;
+  if (new_cap < nwords) new_cap = nwords;
+  auto* buf = new std::uint64_t[new_cap]();  // zero-filled (class invariant)
+  std::memcpy(buf, data(), word_count() * sizeof(std::uint64_t));
+  release();
+  heap_ = buf;
+  cap_ = new_cap;
+}
+
+void BitString::assign_words(const std::uint64_t* words, std::size_t nwords,
+                             std::size_t nbits) {
+  reserve_words(nwords);
+  std::uint64_t* d = data();
+  const std::size_t old_words = word_count();
+  std::memmove(d, words, nwords * sizeof(std::uint64_t));
+  if (old_words > nwords) {
+    // Re-zero words the previous (longer) value occupied.
+    std::memset(d + nwords, 0, (old_words - nwords) * sizeof(std::uint64_t));
+  }
+  nbits_ = nbits;
+}
+
+BitString::BitString(const BitString& other) : inline_{0, 0} {
+  assign_words(other.data(), other.word_count(), other.nbits_);
+}
+
+BitString::BitString(BitString&& other) noexcept : inline_{0, 0} {
+  if (other.on_heap()) {
+    heap_ = other.heap_;
+    cap_ = other.cap_;
+  } else {
+    std::memcpy(inline_, other.inline_, sizeof(inline_));
+  }
+  nbits_ = other.nbits_;
+  other.cap_ = kInlineWords;
+  other.nbits_ = 0;
+  other.inline_[0] = 0;
+  other.inline_[1] = 0;
+}
+
+BitString& BitString::operator=(const BitString& other) {
+  if (this != &other) {
+    assign_words(other.data(), other.word_count(), other.nbits_);
+  }
+  return *this;
+}
+
+BitString& BitString::operator=(BitString&& other) noexcept {
+  if (this == &other) return *this;
+  if (other.on_heap()) {
+    release();
+    heap_ = other.heap_;
+    cap_ = other.cap_;
+    nbits_ = other.nbits_;
+    other.cap_ = kInlineWords;
+    other.nbits_ = 0;
+    other.inline_[0] = 0;
+    other.inline_[1] = 0;
+  } else {
+    // Inline source: copying is as cheap as stealing and keeps our
+    // (possibly heap) capacity warm for reuse. Never allocates.
+    assign_words(other.inline_, other.word_count(), other.nbits_);
+  }
+  return *this;
+}
 
 BitString BitString::from_binary(std::string_view bits) {
   BitString out;
@@ -18,46 +90,69 @@ BitString BitString::from_binary(std::string_view bits) {
 
 BitString BitString::random(std::size_t nbits, Rng& rng) {
   BitString out;
-  out.nbits_ = nbits;
-  const std::size_t nwords = (nbits + kWordBits - 1) / kWordBits;
-  out.words_.resize(nwords);
-  for (std::size_t w = 0; w < nwords; ++w) out.words_[w] = rng.next_u64();
-  // Zero the unused high bits of the last word (class invariant).
-  const std::size_t tail = nbits % kWordBits;
-  if (nwords > 0 && tail != 0) {
-    out.words_.back() &= (std::uint64_t{1} << tail) - 1;
-  }
+  out.append_random(nbits, rng);
   return out;
+}
+
+void BitString::append_random(std::size_t nbits, Rng& rng) {
+  reserve_words((nbits_ + nbits + kWordBits - 1) / kWordBits);
+  std::size_t left = nbits;
+  while (left >= kWordBits) {
+    append_bits(rng.next_u64(), kWordBits);
+    left -= kWordBits;
+  }
+  if (left != 0) append_bits(rng.next_u64(), left);
 }
 
 bool BitString::bit(std::size_t i) const noexcept {
   assert(i < nbits_);
-  return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+  return (data()[i / kWordBits] >> (i % kWordBits)) & 1U;
 }
 
-void BitString::set_bit(std::size_t i, bool b) noexcept {
-  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
-  if (b) {
-    words_[i / kWordBits] |= mask;
-  } else {
-    words_[i / kWordBits] &= ~mask;
+void BitString::clear() noexcept {
+  std::memset(data(), 0, word_count() * sizeof(std::uint64_t));
+  nbits_ = 0;
+}
+
+void BitString::append_bits(std::uint64_t w, std::size_t n) {
+  assert(n >= 1 && n <= kWordBits);
+  if (n < kWordBits) w &= (std::uint64_t{1} << n) - 1;
+  reserve_words((nbits_ + n + kWordBits - 1) / kWordBits);
+  const std::size_t off = nbits_ % kWordBits;
+  std::uint64_t* d = data();
+  d[nbits_ / kWordBits] |= w << off;
+  if (off != 0 && off + n > kWordBits) {
+    d[nbits_ / kWordBits + 1] = w >> (kWordBits - off);
   }
-}
-
-void BitString::push_back(bool b) {
-  if (nbits_ % kWordBits == 0) words_.push_back(0);
-  ++nbits_;
-  set_bit(nbits_ - 1, b);
+  nbits_ += n;
 }
 
 void BitString::append(const BitString& suffix) {
-  // Appending to a word boundary is a straight word copy; otherwise shift.
-  if (nbits_ % kWordBits == 0) {
-    words_.insert(words_.end(), suffix.words_.begin(), suffix.words_.end());
-    nbits_ += suffix.nbits_;
+  if (suffix.nbits_ == 0) return;
+  if (this == &suffix) {
+    const BitString copy(suffix);
+    append(copy);
     return;
   }
-  for (std::size_t i = 0; i < suffix.nbits_; ++i) push_back(suffix.bit(i));
+  const std::size_t off = nbits_ % kWordBits;
+  const std::size_t new_bits = nbits_ + suffix.nbits_;
+  const std::size_t total_words = (new_bits + kWordBits - 1) / kWordBits;
+  reserve_words(total_words);
+  std::uint64_t* d = data();
+  const std::uint64_t* s = suffix.data();
+  const std::size_t s_words = suffix.word_count();
+  const std::size_t base = nbits_ / kWordBits;
+  if (off == 0) {
+    std::memcpy(d + base, s, s_words * sizeof(std::uint64_t));
+  } else {
+    for (std::size_t i = 0; i < s_words; ++i) {
+      d[base + i] |= s[i] << off;
+      if (base + i + 1 < total_words) {
+        d[base + i + 1] = s[i] >> (kWordBits - off);
+      }
+    }
+  }
+  nbits_ = new_bits;
 }
 
 BitString BitString::concat(const BitString& suffix) const {
@@ -68,16 +163,16 @@ BitString BitString::concat(const BitString& suffix) const {
 
 bool BitString::is_prefix_of(const BitString& other) const noexcept {
   if (nbits_ > other.nbits_) return false;
+  const std::uint64_t* a = data();
+  const std::uint64_t* b = other.data();
   const std::size_t full_words = nbits_ / kWordBits;
   for (std::size_t w = 0; w < full_words; ++w) {
-    if (words_[w] != other.words_[w]) return false;
+    if (a[w] != b[w]) return false;
   }
   const std::size_t tail = nbits_ % kWordBits;
   if (tail != 0) {
     const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
-    if ((words_[full_words] & mask) != (other.words_[full_words] & mask)) {
-      return false;
-    }
+    if ((a[full_words] & mask) != (b[full_words] & mask)) return false;
   }
   return true;
 }
@@ -85,28 +180,48 @@ bool BitString::is_prefix_of(const BitString& other) const noexcept {
 BitString BitString::prefix(std::size_t nbits) const {
   assert(nbits <= nbits_);
   BitString out;
-  out.nbits_ = nbits;
   const std::size_t nwords = (nbits + kWordBits - 1) / kWordBits;
-  out.words_.assign(words_.begin(),
-                    words_.begin() + static_cast<std::ptrdiff_t>(nwords));
+  out.reserve_words(nwords);
+  std::uint64_t* d = out.data();
+  std::memcpy(d, data(), nwords * sizeof(std::uint64_t));
   const std::size_t tail = nbits % kWordBits;
   if (nwords > 0 && tail != 0) {
-    out.words_.back() &= (std::uint64_t{1} << tail) - 1;
+    d[nwords - 1] &= (std::uint64_t{1} << tail) - 1;
   }
+  out.nbits_ = nbits;
   return out;
 }
 
 BitString BitString::suffix(std::size_t nbits) const {
   assert(nbits <= nbits_);
   BitString out;
-  for (std::size_t i = nbits_ - nbits; i < nbits_; ++i) {
-    out.push_back(bit(i));
+  const std::size_t start = nbits_ - nbits;
+  const std::size_t nwords = (nbits + kWordBits - 1) / kWordBits;
+  out.reserve_words(nwords);
+  const std::size_t woff = start / kWordBits;
+  const std::size_t boff = start % kWordBits;
+  const std::uint64_t* s = data();
+  const std::size_t s_words = word_count();
+  std::uint64_t* d = out.data();
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t w = s[woff + i] >> boff;
+    if (boff != 0 && woff + i + 1 < s_words) {
+      w |= s[woff + i + 1] << (kWordBits - boff);
+    }
+    d[i] = w;
   }
+  const std::size_t tail = nbits % kWordBits;
+  if (nwords > 0 && tail != 0) {
+    d[nwords - 1] &= (std::uint64_t{1} << tail) - 1;
+  }
+  out.nbits_ = nbits;
   return out;
 }
 
 bool BitString::operator==(const BitString& other) const noexcept {
-  return nbits_ == other.nbits_ && words_ == other.words_;
+  return nbits_ == other.nbits_ &&
+         std::memcmp(data(), other.data(),
+                     word_count() * sizeof(std::uint64_t)) == 0;
 }
 
 std::strong_ordering BitString::operator<=>(
@@ -129,25 +244,34 @@ std::string BitString::to_binary() const {
 
 std::uint64_t BitString::hash() const noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL ^ nbits_;
-  for (std::uint64_t w : words_) {
-    h ^= w;
+  const std::uint64_t* d = data();
+  const std::size_t n = word_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= d[i];
     h *= 0x100000001b3ULL;
     h ^= h >> 32;
   }
   return h;
 }
 
-BitString BitString::from_words(std::vector<std::uint64_t> words,
+BitString BitString::from_words(std::span<const std::uint64_t> words,
                                 std::size_t nbits) {
+  auto out = try_from_words(words, nbits);
+  assert(out.has_value());
+  return *std::move(out);
+}
+
+std::optional<BitString> BitString::try_from_words(
+    std::span<const std::uint64_t> words, std::size_t nbits) {
   const std::size_t need = (nbits + kWordBits - 1) / kWordBits;
-  assert(words.size() == need);
+  if (words.size() != need) return std::nullopt;
   const std::size_t tail = nbits % kWordBits;
-  if (need > 0 && tail != 0) {
-    assert((words.back() & ~((std::uint64_t{1} << tail) - 1)) == 0);
+  if (need > 0 && tail != 0 &&
+      (words[need - 1] & ~((std::uint64_t{1} << tail) - 1)) != 0) {
+    return std::nullopt;
   }
   BitString out;
-  out.words_ = std::move(words);
-  out.nbits_ = nbits;
+  out.assign_words(words.data(), need, nbits);
   return out;
 }
 

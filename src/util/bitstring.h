@@ -12,14 +12,23 @@
 //
 // Values are immutable-in-spirit: protocol code treats BitString as a value
 // type (copy, compare), mutating only its own state variables.
+//
+// Storage is small-buffer optimised: two inline words cover 128 bits,
+// which is every rho/tau the protocol produces until the adversary forces
+// enough epoch extensions to outgrow them (for the epsilon range the
+// experiments use, size(1..4, eps) sums comfortably below 128). Copying,
+// comparing and appending protocol strings therefore never touches the
+// heap in steady state; the representation spills to a heap buffer
+// transparently once a string grows past 128 bits.
 #pragma once
 
 #include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace s2d {
 
@@ -28,7 +37,13 @@ class Rng;
 class BitString {
  public:
   /// The empty bit string.
-  BitString() = default;
+  BitString() noexcept : inline_{0, 0} {}
+
+  BitString(const BitString& other);
+  BitString(BitString&& other) noexcept;
+  BitString& operator=(const BitString& other);
+  BitString& operator=(BitString&& other) noexcept;
+  ~BitString() { release(); }
 
   /// Parses a string of '0'/'1' characters. Any other character aborts
   /// (programming error); intended for tests and literals.
@@ -44,11 +59,26 @@ class BitString {
   /// Value of bit `i` (0 = first/oldest bit). Precondition: i < size().
   [[nodiscard]] bool bit(std::size_t i) const noexcept;
 
+  /// Resets to the empty string, keeping any heap capacity for reuse.
+  void clear() noexcept;
+
   /// Appends a single bit.
-  void push_back(bool b);
+  void push_back(bool b) { append_bits(b ? 1u : 0u, 1); }
+
+  /// Appends the low `n` bits of `w` (1 <= n <= 64), oldest bit first.
+  /// Bits of `w` above `n` are ignored. This is the primitive underneath
+  /// random generation and wire decoding; both fill word-aligned chunks
+  /// without per-bit loops.
+  void append_bits(std::uint64_t w, std::size_t n);
 
   /// Appends all bits of `suffix` (the protocol's `concat`).
   void append(const BitString& suffix);
+
+  /// Appends `nbits` uniformly random bits drawn from `rng`. Consumes
+  /// exactly ceil(nbits/64) draws and produces the same bits as
+  /// append(random(nbits, rng)), without the temporary — the protocol's
+  /// epoch extensions use this in place.
+  void append_random(std::size_t nbits, Rng& rng);
 
   /// Returns the concatenation `*this || suffix` without mutating.
   [[nodiscard]] BitString concat(const BitString& suffix) const;
@@ -84,27 +114,62 @@ class BitString {
   /// unordered containers.
   [[nodiscard]] std::uint64_t hash() const noexcept;
 
-  /// Serialises into `out` (bit count as varint-free u64 + packed words);
-  /// see codec.h for the framing used on the wire.
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
-    return words_;
+  /// The packed little-endian words backing the string (LSB-first bits);
+  /// see codec.h for the framing used on the wire. The span is invalidated
+  /// by any mutation.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return {data(), word_count()};
   }
 
-  /// Reconstructs from raw words + bit count. Bits past `nbits` in the last
-  /// word must be zero (checked).
-  static BitString from_words(std::vector<std::uint64_t> words,
+  /// Reconstructs from raw words + bit count. Precondition (asserted):
+  /// words.size() == ceil(nbits/64) and all bits past `nbits` in the last
+  /// word are zero.
+  static BitString from_words(std::span<const std::uint64_t> words,
                               std::size_t nbits);
+
+  /// Validating variant of from_words: returns nullopt instead of
+  /// asserting when the word count is wrong or padding bits are nonzero
+  /// (the wire decoder's rejection path).
+  static std::optional<BitString> try_from_words(
+      std::span<const std::uint64_t> words, std::size_t nbits);
 
  private:
   static constexpr std::size_t kWordBits = 64;
+  static constexpr std::size_t kInlineWords = 2;  // 128 bits before heap
 
-  void set_bit(std::size_t i, bool b) noexcept;
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return (nbits_ + kWordBits - 1) / kWordBits;
+  }
+  [[nodiscard]] bool on_heap() const noexcept { return cap_ > kInlineWords; }
+  [[nodiscard]] std::uint64_t* data() noexcept {
+    return on_heap() ? heap_ : inline_;
+  }
+  [[nodiscard]] const std::uint64_t* data() const noexcept {
+    return on_heap() ? heap_ : inline_;
+  }
 
-  // Bits are stored LSB-first within each word: bit i lives in
-  // words_[i / 64] at position (i % 64). Unused high bits of the last
-  // word are kept at zero (class invariant) so equality and hashing can
-  // operate on whole words.
-  std::vector<std::uint64_t> words_;
+  /// Grows capacity to at least `nwords`, preserving contents and the
+  /// all-zero state of words beyond word_count() (class invariant).
+  void reserve_words(std::size_t nwords);
+
+  /// Replaces the contents with a copy of `words` (which must satisfy the
+  /// padding invariant), reusing existing capacity.
+  void assign_words(const std::uint64_t* words, std::size_t nwords,
+                    std::size_t nbits);
+
+  void release() noexcept;
+
+  // Bits are stored LSB-first within each word: bit i lives in word i / 64
+  // at position (i % 64). Invariant: every word at index >= word_count()
+  // that lies within capacity is zero, and so are the bits past nbits_ in
+  // the last word — equality, hashing and append can then operate on whole
+  // words without masking.
+  union {
+    std::uint64_t inline_[kInlineWords];
+    std::uint64_t* heap_;
+  };
+  std::size_t cap_ = kInlineWords;  // capacity in words; > kInlineWords
+                                    // means heap_ is active
   std::size_t nbits_ = 0;
 };
 

@@ -13,19 +13,22 @@ void Writer::varint(std::uint64_t v) {
 }
 
 void Writer::fixed64(std::uint64_t v) {
+  std::byte tmp[8];
   for (int i = 0; i < 8; ++i) {
-    u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    tmp[i] = static_cast<std::byte>(v >> (8 * i));
   }
+  buf_.insert(buf_.end(), tmp, tmp + 8);
 }
 
 void Writer::blob(std::span<const std::byte> bytes) {
   varint(bytes.size());
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  raw(bytes);
 }
 
 void Writer::str(std::string_view s) {
   varint(s.size());
-  for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
 }
 
 void Writer::bits(const BitString& b) {
@@ -58,11 +61,17 @@ std::uint64_t Reader::varint() {
 }
 
 std::uint64_t Reader::fixed64() {
+  if (error_ || remaining() < 8) {
+    fail();
+    return 0;
+  }
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
   }
-  return error_ ? 0 : v;
+  pos_ += 8;
+  return v;
 }
 
 Bytes Reader::blob() {
@@ -78,38 +87,59 @@ Bytes Reader::blob() {
 }
 
 std::string Reader::str() {
-  const std::uint64_t n = varint();
-  if (error_ || n > remaining()) {
-    fail();
-    return {};
-  }
-  std::string out(n, '\0');
-  std::memcpy(out.data(), data_.data() + pos_, n);
-  pos_ += n;
+  std::string out;
+  str_into(out);
   return out;
 }
 
+void Reader::str_into(std::string& out) {
+  out.clear();
+  const std::uint64_t n = varint();
+  if (error_ || n > remaining()) {
+    fail();
+    return;
+  }
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+}
+
 BitString Reader::bits() {
+  BitString out;
+  bits_into(out);
+  return out;
+}
+
+void Reader::bits_into(BitString& out) {
+  out.clear();
   const std::uint64_t nbits = varint();
-  if (error_) return {};
+  if (error_) return;
+  // Each remaining byte carries at most 8 payload bits, so this bound both
+  // rejects truncated input early and makes the word-count arithmetic below
+  // overflow-free for adversarial nbits.
+  if (nbits > remaining() * 8) {
+    fail();
+    return;
+  }
   const std::uint64_t nwords = (nbits + 63) / 64;
   if (nwords * 8 > remaining()) {
     fail();
-    return {};
+    return;
   }
-  std::vector<std::uint64_t> words;
-  words.reserve(nwords);
-  for (std::uint64_t i = 0; i < nwords; ++i) words.push_back(fixed64());
-  if (error_) return {};
-  // Validate the padding invariant rather than asserting in from_words.
-  const std::uint64_t tail = nbits % 64;
-  if (nwords > 0 && tail != 0 &&
-      (words.back() & ~((std::uint64_t{1} << tail) - 1)) != 0) {
-    fail();
-    return {};
+  for (std::uint64_t i = 0; i + 1 < nwords; ++i) {
+    out.append_bits(fixed64(), 64);
   }
-  return BitString::from_words(std::move(words),
-                               static_cast<std::size_t>(nbits));
+  if (nwords > 0) {
+    const std::uint64_t last = fixed64();
+    const std::uint64_t tail = nbits % 64;
+    // Validate the padding invariant rather than asserting in append_bits.
+    if (tail != 0 && (last & ~((std::uint64_t{1} << tail) - 1)) != 0) {
+      fail();
+      out.clear();
+      return;
+    }
+    out.append_bits(last, tail == 0 ? 64 : static_cast<std::size_t>(tail));
+  }
+  if (error_) out.clear();
 }
 
 }  // namespace s2d

@@ -44,6 +44,16 @@ class Writer {
   /// Bit count (varint) followed by ceil(n/64) packed little-endian words.
   void bits(const BitString& b);
 
+  /// Raw bytes with no length prefix (framing already applied by caller).
+  void raw(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Resets to empty, keeping the buffer's capacity. A Writer cleared and
+  /// refilled each packet is the codec's scratch-buffer reuse primitive:
+  /// after warm-up, encoding allocates nothing.
+  void clear() noexcept { buf_.clear(); }
+
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
   [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
@@ -62,6 +72,12 @@ class Reader {
   Bytes blob();
   std::string str();
   BitString bits();
+
+  /// Decode-into variants: overwrite an existing object, reusing its
+  /// capacity (string buffer / BitString heap words). On a malformed field
+  /// the sticky error flag is set and the target is left empty.
+  void str_into(std::string& out);
+  void bits_into(BitString& out);
 
   /// True iff every read so far was in-bounds and well-formed and the
   /// input is fully consumed.

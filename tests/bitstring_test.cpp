@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <unordered_set>
 
@@ -209,6 +210,93 @@ TEST(BitString, FromWordsRoundTrip) {
   EXPECT_EQ(a, b);
 }
 
+TEST(BitString, TryFromWordsRejectsMalformedInput) {
+  // Wrong word count for the bit length.
+  const std::uint64_t one[] = {1};
+  EXPECT_FALSE(BitString::try_from_words(one, 65).has_value());
+  const std::uint64_t two[] = {1, 0};
+  EXPECT_FALSE(BitString::try_from_words(two, 64).has_value());
+  // Nonzero padding bits above nbits violate the class invariant and must
+  // be rejected, not silently masked: a forged packet could otherwise
+  // smuggle two different word images of the same logical string past
+  // equality/hashing.
+  const std::uint64_t padded[] = {std::uint64_t{1} << 10};
+  EXPECT_FALSE(BitString::try_from_words(padded, 10).has_value());
+  const std::uint64_t ok[] = {(std::uint64_t{1} << 10) - 1};
+  const auto got = BitString::try_from_words(ok, 10);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->to_binary(), "1111111111");
+  // Empty is fine.
+  EXPECT_TRUE(BitString::try_from_words({}, 0).has_value());
+}
+
+TEST(BitString, PrefixSuffixAtWordBoundaries) {
+  // 63/64/65 bits straddle the word boundary — the shift paths differ.
+  Rng rng(24);
+  const BitString a = BitString::random(130, rng);
+  const std::string s = a.to_binary();
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 129u, 130u}) {
+    EXPECT_EQ(a.prefix(n).to_binary(), s.substr(0, n)) << n;
+    EXPECT_EQ(a.suffix(n).to_binary(), s.substr(s.size() - n)) << n;
+    EXPECT_TRUE(a.prefix(n).is_prefix_of(a)) << n;
+  }
+}
+
+TEST(BitString, InlineToHeapTransitionPreservesContent) {
+  // Growing past the 128-bit small buffer must not disturb existing bits,
+  // and values must round-trip through copies/moves in both storage modes.
+  Rng rng(25);
+  BitString a = BitString::random(128, rng);  // exactly fills the SBO
+  const std::string small = a.to_binary();
+  a.append(BitString::random(1, rng));  // forces the heap transition
+  EXPECT_EQ(a.to_binary().substr(0, 128), small);
+  EXPECT_EQ(a.size(), 129u);
+
+  const BitString heap_copy = a;  // heap -> fresh object
+  EXPECT_EQ(heap_copy, a);
+  BitString small_val = BitString::random(7, rng);
+  const std::string small_bits = small_val.to_binary();
+  BitString stolen = std::move(a);  // heap move
+  EXPECT_EQ(stolen, heap_copy);
+  stolen = small_val;  // heap object assigned a small value
+  EXPECT_EQ(stolen.to_binary(), small_bits);
+  // Move-assign from an inline source copies instead of stealing (keeps
+  // the destination's capacity warm, never allocates) — the source keeps
+  // its value.
+  stolen = std::move(small_val);
+  EXPECT_EQ(stolen.to_binary(), small_bits);
+  EXPECT_EQ(small_val.to_binary(), small_bits);  // NOLINT(bugprone-use-after-move)
+
+  // clear() + reuse keeps the invariant (padding words re-zeroed).
+  stolen = heap_copy;
+  stolen.clear();
+  EXPECT_EQ(stolen.size(), 0u);
+  stolen.append_bits(0b101u, 3);
+  EXPECT_EQ(stolen.to_binary(), "101");
+  EXPECT_EQ(stolen, BitString::from_binary("101"));
+  EXPECT_EQ(stolen.hash(), BitString::from_binary("101").hash());
+}
+
+TEST(BitString, AppendRandomMatchesRandomStream) {
+  // append_random must consume the RNG exactly like BitString::random so
+  // seeded executions stay replayable across the in-place refactor.
+  for (std::size_t n : {1u, 63u, 64u, 65u, 200u}) {
+    Rng r1(42), r2(42);
+    BitString grown;
+    grown.append_random(n, r1);
+    EXPECT_EQ(grown, BitString::random(n, r2)) << n;
+    EXPECT_EQ(r1.next_u64(), r2.next_u64()) << n;  // streams stay in sync
+  }
+  // Appending in two chunks equals the bits of two sequential draws.
+  Rng r1(43), r2(43);
+  BitString two_step;
+  two_step.append_random(70, r1);
+  two_step.append_random(30, r1);
+  BitString a = BitString::random(70, r2);
+  a.append(BitString::random(30, r2));
+  EXPECT_EQ(two_step, a);
+}
+
 TEST(BitString, PaddingInvariantAfterOperations) {
   // The unused high bits of the last word must stay zero through every
   // operation, or equality/hashing would diverge from bit content.
@@ -217,7 +305,10 @@ TEST(BitString, PaddingInvariantAfterOperations) {
   a.append(BitString::random(3, rng));
   const BitString rebuilt = BitString::from_binary(a.to_binary());
   EXPECT_EQ(a, rebuilt);
-  EXPECT_EQ(a.words(), rebuilt.words());
+  const auto aw = a.words();
+  const auto rw = rebuilt.words();
+  ASSERT_EQ(aw.size(), rw.size());
+  EXPECT_TRUE(std::equal(aw.begin(), aw.end(), rw.begin()));
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "util/rng.h"
+
 namespace s2d {
 namespace {
 
@@ -63,6 +67,67 @@ TEST(Channel, LengthQuery) {
   c.send(bytes_of({1, 2, 3, 4}), 0);
   EXPECT_EQ(c.length(0), 4u);
   EXPECT_EQ(c.length(99), 0u);
+}
+
+TEST(Channel, UnknownIdConsistentAcrossLengthAndPayload) {
+  // Regression for the unknown-id contract: length() and payload() must
+  // never disagree about whether a packet exists. An unknown id is a
+  // documented no-op (payload nullopt, length 0) — the executor relies on
+  // this to neutralise buggy adversaries without a crash.
+  Channel c("t");
+  for (PacketId id : {PacketId{0}, PacketId{1}, PacketId{1000}}) {
+    EXPECT_FALSE(c.payload(id).has_value()) << id;
+    EXPECT_EQ(c.length(id), 0u) << id;
+  }
+  c.send(bytes_of({1, 2}), 0);
+  EXPECT_TRUE(c.payload(0).has_value());
+  EXPECT_EQ(c.length(0), 2u);
+  EXPECT_FALSE(c.payload(1).has_value());
+  EXPECT_EQ(c.length(1), 0u);
+  // The documented ambiguity: a zero-length packet exists (payload engaged)
+  // but is indistinguishable from unknown via length() alone.
+  const PacketId empty_id = c.send(Bytes{}, 1);
+  ASSERT_TRUE(c.payload(empty_id).has_value());
+  EXPECT_TRUE(c.payload(empty_id)->empty());
+  EXPECT_EQ(c.length(empty_id), 0u);
+}
+
+TEST(Channel, IdenticalPayloadsInternedOnce) {
+  Channel c("t");
+  const Bytes pkt = bytes_of({9, 8, 7, 6});
+  const PacketId a = c.send(pkt, 0);
+  const PacketId b = c.send(pkt, 1);
+  EXPECT_EQ(c.bytes_sent(), 8u);
+  EXPECT_EQ(c.bytes_stored(), 4u);  // retransmission stored for free
+  EXPECT_EQ(c.interned_sends(), 1u);
+  // Same storage, and both ids still resolve to the exact bytes.
+  EXPECT_EQ(c.payload(a)->data(), c.payload(b)->data());
+  EXPECT_TRUE(std::equal(c.payload(b)->begin(), c.payload(b)->end(),
+                         pkt.begin(), pkt.end()));
+}
+
+TEST(Channel, PayloadSpansStableAcrossArenaGrowth) {
+  // Spans handed out must survive arbitrary later traffic, including
+  // payloads larger than an arena chunk (dedicated-chunk path).
+  Channel c("t");
+  const PacketId first = c.send(bytes_of({42, 43}), 0);
+  const auto before = *c.payload(first);
+  const Bytes big(100 * 1024, std::byte{5});  // > one 64KiB chunk
+  c.send(big, 1);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    Bytes p(1 + rng.next_below(40));
+    for (auto& x : p) x = static_cast<std::byte>(rng.next_u64() & 0xff);
+    c.send(p, 2);
+  }
+  const auto after = *c.payload(first);
+  EXPECT_EQ(before.data(), after.data());
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0], std::byte{42});
+  EXPECT_EQ(after[1], std::byte{43});
+  const auto big_back = *c.payload(1);
+  ASSERT_EQ(big_back.size(), big.size());
+  EXPECT_TRUE(std::equal(big_back.begin(), big_back.end(), big.begin()));
 }
 
 TEST(Channel, StatsAccumulate) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace s2d {
@@ -148,6 +150,63 @@ TEST(Codec, OkAndDoneRejectsTrailingGarbage) {
   EXPECT_EQ(r.varint(), 5u);
   EXPECT_TRUE(r.ok());
   EXPECT_FALSE(r.ok_and_done());  // one unread byte remains
+}
+
+TEST(Codec, WriterClearReusesBuffer) {
+  Writer w;
+  w.str("first payload");
+  const Bytes first(w.bytes().begin(), w.bytes().end());
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.str("first payload");
+  EXPECT_TRUE(std::equal(w.bytes().begin(), w.bytes().end(), first.begin(),
+                         first.end()));
+  // clear() then a different encode: no residue from the longer content.
+  w.clear();
+  w.u8(7);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Codec, StrIntoReusesTarget) {
+  Writer w;
+  w.str("abc");
+  std::string out = "previous-much-longer-content";
+  Reader r(w.bytes());
+  r.str_into(out);
+  EXPECT_TRUE(r.ok_and_done());
+  EXPECT_EQ(out, "abc");
+}
+
+TEST(Codec, BitsIntoReusesTargetAndClearsOnError) {
+  Rng rng(31);
+  const BitString value = BitString::random(100, rng);
+  Writer w;
+  w.bits(value);
+  BitString out = BitString::random(300, rng);  // stale, larger content
+  Reader r(w.bytes());
+  r.bits_into(out);
+  EXPECT_TRUE(r.ok_and_done());
+  EXPECT_EQ(out, value);
+
+  // Malformed input: sticky error flag set, target left empty — never a
+  // half-decoded value the caller could mistake for protocol state.
+  Writer bad;
+  bad.varint(1);               // one bit...
+  bad.fixed64(0xffffffffull);  // ...with nonzero padding
+  Reader rb(bad.bytes());
+  BitString target = value;
+  rb.bits_into(target);
+  EXPECT_FALSE(rb.ok());
+  EXPECT_EQ(target.size(), 0u);
+
+  // Truncated input (declared length exceeds the buffer): same contract.
+  Writer trunc;
+  trunc.varint(1'000'000);  // a million bits, no words follow
+  Reader rt(trunc.bytes());
+  BitString target2 = value;
+  rt.bits_into(target2);
+  EXPECT_FALSE(rt.ok());
+  EXPECT_EQ(target2.size(), 0u);
 }
 
 TEST(Codec, ErrorIsSticky) {

@@ -18,7 +18,8 @@ std::vector<Message> push(GhmReceiver& rx, const Message& m,
                           const BitString& rho, const BitString& tau) {
   RxOutbox out;
   rx.on_receive_pkt(DataPacket{m, rho, tau}.encode(), out);
-  return out.delivered();
+  const auto d = out.delivered();
+  return {d.begin(), d.end()};
 }
 
 TEST(GhmReceiver, InitialStateMatchesPostCrash) {
@@ -34,9 +35,9 @@ TEST(GhmReceiver, RetryEmitsCurrentStateAndIncrementsCounter) {
   RxOutbox out;
   rx.on_retry(out);
   rx.on_retry(out);
-  ASSERT_EQ(out.pkts().size(), 2u);
-  const auto a1 = AckPacket::decode(out.pkts()[0]);
-  const auto a2 = AckPacket::decode(out.pkts()[1]);
+  ASSERT_EQ(out.pkt_count(), 2u);
+  const auto a1 = AckPacket::decode(out.pkt(0));
+  const auto a2 = AckPacket::decode(out.pkt(1));
   ASSERT_TRUE(a1 && a2);
   EXPECT_EQ(a1->rho, rx.rho());
   EXPECT_EQ(a1->tau, GhmReceiver::tau_crash());

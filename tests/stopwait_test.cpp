@@ -145,25 +145,25 @@ TEST(NonvolatileBit, ResyncResolvesPostCrashAmbiguity) {
   TxOutbox txo;
   RxOutbox rxo;
   tx.on_send_msg({1, "m1"}, txo);
-  rx.on_receive_pkt(txo.pkts().back(), rxo);  // delivered, expected -> 1
+  rx.on_receive_pkt(txo.pkt(txo.pkt_count() - 1), rxo);  // delivered, expected -> 1
   ASSERT_EQ(rxo.delivered().size(), 1u);
   tx.on_crash();  // the ack never arrives
   EXPECT_TRUE(tx.resyncing());
 
   txo = TxOutbox{};
   tx.on_send_msg({2, "m2"}, txo);
-  EXPECT_TRUE(txo.pkts().empty());  // no data until resynced
+  EXPECT_TRUE(txo.pkt_count() == 0u);  // no data until resynced
   tx.on_timer(txo);                 // emits the resync request
-  ASSERT_EQ(txo.pkts().size(), 1u);
+  ASSERT_EQ(txo.pkt_count(), 1u);
   rxo = RxOutbox{};
-  rx.on_receive_pkt(txo.pkts().back(), rxo);  // resync ack (expected = 1)
-  ASSERT_EQ(rxo.pkts().size(), 1u);
+  rx.on_receive_pkt(txo.pkt(txo.pkt_count() - 1), rxo);  // resync ack (expected = 1)
+  ASSERT_EQ(rxo.pkt_count(), 1u);
   txo = TxOutbox{};
-  tx.on_receive_pkt(rxo.pkts().back(), txo);  // adopts seq = 1, sends m2
+  tx.on_receive_pkt(rxo.pkt(rxo.pkt_count() - 1), txo);  // adopts seq = 1, sends m2
   EXPECT_FALSE(tx.resyncing());
-  ASSERT_EQ(txo.pkts().size(), 1u);
+  ASSERT_EQ(txo.pkt_count(), 1u);
   rxo = RxOutbox{};
-  rx.on_receive_pkt(txo.pkts().back(), rxo);
+  rx.on_receive_pkt(txo.pkt(txo.pkt_count() - 1), rxo);
   ASSERT_EQ(rxo.delivered().size(), 1u);  // m2 actually delivered
   EXPECT_EQ(rxo.delivered()[0].id, 2u);
 }
@@ -201,7 +201,7 @@ TEST(StopWaitTransmitter, CrashClearsVolatileSeq) {
   tx.on_crash();
   out = TxOutbox{};
   tx.on_send_msg({2, "y"}, out);
-  const auto f = SeqDataFrame::decode(out.pkts().back());
+  const auto f = SeqDataFrame::decode(out.pkt(out.pkt_count() - 1));
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->seq, 0u);  // reset: the source of the crash bug
 }
@@ -215,7 +215,7 @@ TEST(StopWaitTransmitter, NonvolatileSeqSurvivesCrash) {
   tx.on_crash();
   out = TxOutbox{};
   tx.on_send_msg({2, "y"}, out);
-  const auto f = SeqDataFrame::decode(out.pkts().back());
+  const auto f = SeqDataFrame::decode(out.pkt(out.pkt_count() - 1));
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->seq, 1u);  // survived
 }
@@ -227,7 +227,7 @@ TEST(StopWaitReceiver, DuplicateFrameReackedNotRedelivered) {
   ASSERT_EQ(out.delivered().size(), 1u);
   rx.on_receive_pkt(SeqDataFrame{{1, "x"}, 0}.encode(), out);
   EXPECT_EQ(out.delivered().size(), 1u);  // no duplicate delivery
-  EXPECT_EQ(out.pkts().size(), 2u);       // but re-acked
+  EXPECT_EQ(out.pkt_count(), 2u);       // but re-acked
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ TEST(GhmTransmitter, SendWithoutChallengeStaysQuiet) {
   TxOutbox out;
   tx.on_send_msg({1, "x"}, out);
   EXPECT_TRUE(tx.busy());
-  EXPECT_TRUE(out.pkts().empty());  // no challenge known yet: nothing to echo
+  EXPECT_TRUE(out.pkt_count() == 0u);  // no challenge known yet: nothing to echo
 }
 
 TEST(GhmTransmitter, LearnsChallengeFromAckThenSends) {
@@ -52,8 +52,8 @@ TEST(GhmTransmitter, LearnsChallengeFromAckThenSends) {
   tx.on_send_msg({1, "x"}, out);
   const BitString rho = BitString::random(15, rng);
   push_ack(tx, rho, BitString::from_binary("0"), 1, out);
-  ASSERT_EQ(out.pkts().size(), 1u);
-  const auto data = DataPacket::decode(out.pkts()[0]);
+  ASSERT_EQ(out.pkt_count(), 1u);
+  const auto data = DataPacket::decode(out.pkt(0));
   ASSERT_TRUE(data.has_value());
   EXPECT_EQ(data->msg.id, 1u);
   EXPECT_EQ(data->rho, rho);   // echoes the ack's challenge
@@ -100,11 +100,11 @@ TEST(GhmTransmitter, StaleAckIgnored) {
   tx.on_send_msg({1, "x"}, out);
   push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 5,
            out);
-  const std::size_t pkts_after_first = out.pkts().size();
+  const std::size_t pkts_after_first = out.pkt_count();
   // Same retry counter again: a replay — no reply, no state change.
   push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 5,
            out);
-  EXPECT_EQ(out.pkts().size(), pkts_after_first);
+  EXPECT_EQ(out.pkt_count(), pkts_after_first);
   EXPECT_EQ(tx.highest_retry_seen(), 5u);
 }
 
@@ -117,7 +117,7 @@ TEST(GhmTransmitter, FreshAckTriggersRetransmission) {
            out);
   push_ack(tx, BitString::random(15, rng), BitString::from_binary("0"), 2,
            out);
-  EXPECT_EQ(out.pkts().size(), 2u);  // one data packet per fresh ack
+  EXPECT_EQ(out.pkt_count(), 2u);  // one data packet per fresh ack
 }
 
 TEST(GhmTransmitter, WrongFullLengthTauExtendsAfterBound) {
@@ -167,8 +167,8 @@ TEST(GhmTransmitter, FreshTauPerMessage) {
   EXPECT_NE(tx.tau(), tau1);
   // The new message goes out immediately: the confirming ack delivered the
   // next challenge.
-  ASSERT_EQ(out.pkts().size(), 1u);
-  const auto data = DataPacket::decode(out.pkts()[0]);
+  ASSERT_EQ(out.pkt_count(), 1u);
+  const auto data = DataPacket::decode(out.pkt(0));
   ASSERT_TRUE(data.has_value());
   EXPECT_EQ(data->msg.id, 2u);
 }
@@ -208,8 +208,8 @@ TEST(GhmTransmitter, IdleAckUpdatesChallengeForNextMessage) {
   push_ack(tx, rho, BitString::from_binary("0"), 1, out);
   EXPECT_TRUE(tx.knows_challenge());
   tx.on_send_msg({1, "x"}, out);
-  ASSERT_EQ(out.pkts().size(), 1u);
-  const auto data = DataPacket::decode(out.pkts()[0]);
+  ASSERT_EQ(out.pkt_count(), 1u);
+  const auto data = DataPacket::decode(out.pkt(0));
   ASSERT_TRUE(data.has_value());
   EXPECT_EQ(data->rho, rho);
 }
