@@ -34,8 +34,10 @@ int run(int argc, char** argv) {
       .define("seed", "20890", "root seed of the whole fleet")
       .define_threads()
       .define("csv", "false", "emit CSV")
-      .define("json", "false", "emit machine-readable JSON instead");
+      .define("json", "false", "emit machine-readable JSON instead")
+      .define_log_level();
   if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+  if (!flags.apply_log_level()) return 1;
 
   FleetConfig cfg;
   cfg.sessions = flags.get_u64("sessions");

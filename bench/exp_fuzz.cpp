@@ -40,8 +40,10 @@ int run(int argc, char** argv) {
               "comma-separated systems whose violations fail the run")
       .define_threads()
       .define("csv", "false", "emit CSV")
-      .define("json", "false", "emit machine-readable JSON instead");
+      .define("json", "false", "emit machine-readable JSON instead")
+      .define_log_level();
   if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+  if (!flags.apply_log_level()) return 1;
 
   // Comma-split protocol lists (get_double_list is numeric-only).
   const auto split = [](const std::string& csv) {

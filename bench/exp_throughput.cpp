@@ -123,8 +123,10 @@ int run(int argc, char** argv) {
               "exit 1 if the ghm/fifo cell exceeds this allocs/step budget "
               "(negative: disabled); CI passes bench/alloc_budget.txt here")
       .define("csv", "false", "emit CSV table")
-      .define("json", "false", "print the JSON document to stdout too");
+      .define("json", "false", "print the JSON document to stdout too")
+      .define_log_level();
   if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+  if (!flags.apply_log_level()) return 1;
 
   const auto systems = split_csv(flags.get("systems"));
   const auto adversaries = split_csv(flags.get("adversaries"));

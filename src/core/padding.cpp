@@ -1,5 +1,6 @@
 #include "core/padding.h"
 
+#include "obs/bus.h"
 #include "util/codec.h"
 
 namespace s2d {
@@ -47,7 +48,15 @@ void PaddedTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
 void PaddedTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
                                        TxOutbox& out) {
   const auto inner_pkt = unpad(pkt);
-  if (!inner_pkt) return;  // not one of ours (or corrupted): drop
+  if (!inner_pkt) {
+    // Not one of ours (or corrupted): drop before the inner module sees it.
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kTm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kMalformed)});
+    }
+    return;
+  }
   inner_->on_receive_pkt(*inner_pkt, inner_out_);
   repad(out);
 }
@@ -68,7 +77,14 @@ void PaddedReceiver::repad(RxOutbox& out) {
 void PaddedReceiver::on_receive_pkt(std::span<const std::byte> pkt,
                                     RxOutbox& out) {
   const auto inner_pkt = unpad(pkt);
-  if (!inner_pkt) return;
+  if (!inner_pkt) {
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kMalformed)});
+    }
+    return;
+  }
   inner_->on_receive_pkt(*inner_pkt, inner_out_);
   repad(out);
 }

@@ -39,6 +39,10 @@ class PaddedTransmitter final : public ITransmitter {
   PaddedTransmitter(std::unique_ptr<ITransmitter> inner, std::size_t bucket)
       : inner_(std::move(inner)), bucket_(bucket) {}
 
+  void bind_bus(EventBus* bus) override {
+    bus_ = bus;
+    inner_->bind_bus(bus);
+  }
   void on_send_msg(const Message& m, TxOutbox& out) override;
   void on_receive_pkt(std::span<const std::byte> pkt, TxOutbox& out) override;
   void on_timer(TxOutbox& out) override;
@@ -57,6 +61,7 @@ class PaddedTransmitter final : public ITransmitter {
 
   std::unique_ptr<ITransmitter> inner_;
   std::size_t bucket_;
+  EventBus* bus_ = nullptr;
   TxOutbox inner_out_;  // scratch for the inner module, reused per call
 };
 
@@ -65,6 +70,10 @@ class PaddedReceiver final : public IReceiver {
   PaddedReceiver(std::unique_ptr<IReceiver> inner, std::size_t bucket)
       : inner_(std::move(inner)), bucket_(bucket) {}
 
+  void bind_bus(EventBus* bus) override {
+    bus_ = bus;
+    inner_->bind_bus(bus);
+  }
   void on_receive_pkt(std::span<const std::byte> pkt, RxOutbox& out) override;
   void on_retry(RxOutbox& out) override;
   void on_crash() override { inner_->on_crash(); }
@@ -81,6 +90,7 @@ class PaddedReceiver final : public IReceiver {
 
   std::unique_ptr<IReceiver> inner_;
   std::size_t bucket_;
+  EventBus* bus_ = nullptr;
   RxOutbox inner_out_;  // scratch for the inner module, reused per call
 };
 

@@ -1,5 +1,7 @@
 #include "core/receiver.h"
 
+#include "obs/bus.h"
+
 namespace s2d {
 
 GhmReceiver::GhmReceiver(GrowthPolicy policy, Rng rng)
@@ -15,6 +17,10 @@ void GhmReceiver::reset_after_boundary() {
   i_ = 1;
   rho_.clear();
   rho_.append_random(policy_.size(t_), rng_);
+  if (bus_ != nullptr) {
+    bus_->emit({.kind = EventKind::kStringReset, .side = Side::kRm,
+                .value = rho_.size()});
+  }
 }
 
 void GhmReceiver::on_crash() {
@@ -34,7 +40,13 @@ void GhmReceiver::on_retry(RxOutbox& out) {
 void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
                                  RxOutbox& out) {
   if (!DataPacket::decode_into(pkt_scratch_, pkt)) {
-    return;  // not a data packet: provably stale or misrouted
+    // Not a data packet: provably stale or misrouted.
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kMalformed)});
+    }
+    return;
   }
   const DataPacket& data = pkt_scratch_;
 
@@ -44,16 +56,30 @@ void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
       // tau: adopt the longer tau but do not deliver again (this is what
       // suppresses duplicates when our ack was lost and the transmitter
       // extended tau in the meantime).
+      if (bus_ != nullptr) {
+        bus_->emit({.kind = EventKind::kPacketAccept, .side = Side::kRm,
+                    .detail = static_cast<std::uint8_t>(AcceptKind::kExtend),
+                    .msg = data.msg.id, .value = data.tau.size()});
+      }
       tau_ = data.tau;
     } else if (!data.tau.is_prefix_of(tau_)) {
       // tau incomparable with tau^R: a genuinely new message.
+      if (bus_ != nullptr) {
+        bus_->emit({.kind = EventKind::kPacketAccept, .side = Side::kRm,
+                    .detail = static_cast<std::uint8_t>(AcceptKind::kDeliver),
+                    .msg = data.msg.id});
+      }
       out.deliver(data.msg);
       tau_ = data.tau;
       ++k_;
       reset_after_boundary();
+    } else if (bus_ != nullptr) {
+      // Strict prefix of tau^R: an old packet of the already-accepted
+      // message; ignore.
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kStalePrefix)});
     }
-    // Strict prefix of tau^R: an old packet of the already-accepted
-    // message; ignore.
     return;
   }
 
@@ -62,12 +88,28 @@ void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
   // challenges are provably stale and must not trigger extensions, or the
   // adversary could starve liveness by replaying ancient packets.
   if (data.rho.size() == rho_.size()) {
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kWrongChallenge),
+                  .value = num_ + 1, .aux = policy_.bound(t_)});
+    }
     ++num_;
     if (num_ >= policy_.bound(t_)) {
       ++t_;
       num_ = 0;
-      rho_.append_random(policy_.size(t_), rng_);
+      const std::size_t grown = policy_.size(t_);
+      rho_.append_random(grown, rng_);
+      if (bus_ != nullptr) {
+        bus_->emit({.kind = EventKind::kEpochExtend, .side = Side::kRm,
+                    .value = t_, .aux = grown});
+      }
     }
+  } else if (bus_ != nullptr) {
+    bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
+                .detail = static_cast<std::uint8_t>(
+                    RejectReason::kStaleChallenge),
+                .value = data.rho.size(), .aux = rho_.size()});
   }
 }
 

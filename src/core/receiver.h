@@ -36,6 +36,7 @@ class GhmReceiver final : public IReceiver {
  public:
   GhmReceiver(GrowthPolicy policy, Rng rng);
 
+  void bind_bus(EventBus* bus) override { bus_ = bus; }
   void on_receive_pkt(std::span<const std::byte> pkt, RxOutbox& out) override;
   void on_retry(RxOutbox& out) override;
   void on_crash() override;
@@ -59,6 +60,7 @@ class GhmReceiver final : public IReceiver {
 
   GrowthPolicy policy_;
   Rng rng_;
+  EventBus* bus_ = nullptr;
 
   BitString rho_;         // rho^R
   BitString tau_;         // tau^R

@@ -1,5 +1,7 @@
 #include "core/transmitter.h"
 
+#include "obs/bus.h"
+
 namespace s2d {
 
 GhmTransmitter::GhmTransmitter(GrowthPolicy policy, Rng rng)
@@ -13,6 +15,10 @@ void GhmTransmitter::fresh_tau() {
   tau_.clear();
   tau_.append_bits(1u, 1);
   tau_.append_random(policy_.size(1), rng_);
+  if (bus_ != nullptr) {
+    bus_->emit({.kind = EventKind::kStringReset, .side = Side::kTm,
+                .value = tau_.size()});
+  }
 }
 
 void GhmTransmitter::on_crash() {
@@ -45,13 +51,25 @@ void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
 
 void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
                                     TxOutbox& out) {
-  if (!AckPacket::decode_into(ack_scratch_, pkt)) return;
+  if (!AckPacket::decode_into(ack_scratch_, pkt)) {
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kTm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kMalformed)});
+    }
+    return;
+  }
   const AckPacket& ack = ack_scratch_;
 
   // OK check first, independent of the retry filter: the receiver resets
   // its retry counter on delivery, so the very acks that confirm our
   // message carry small i values.
   if (busy_ && ack.tau == tau_) {
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketAccept, .side = Side::kTm,
+                  .detail = static_cast<std::uint8_t>(AcceptKind::kOk),
+                  .msg = msg_.id});
+    }
     busy_ = false;
     msg_ = Message{};
     rho_ = ack.rho;  // the challenge for the next message
@@ -64,7 +82,15 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
   // the adversary both pump unbounded responses out of us and keep
   // flipping rho^T between old challenges, defeating stabilisation
   // (Theorem 9's time_1/time_2 argument).
-  if (ack.retry <= i_) return;
+  if (ack.retry <= i_) {
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kTm,
+                  .detail = static_cast<std::uint8_t>(
+                      RejectReason::kStaleRetry),
+                  .value = ack.retry, .aux = i_});
+    }
+    return;
+  }
   i_ = ack.retry;
 
   // Fresh ack that does not acknowledge tau^T. Adopt the challenge it
@@ -72,6 +98,11 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
   // whatever we hold — and charge wrong full-length taus against the
   // epoch budget, mirroring the receiver (Lemma 6 / Lemma 2^T).
   rho_ = ack.rho;
+  if (bus_ != nullptr) {
+    bus_->emit({.kind = EventKind::kPacketAccept, .side = Side::kTm,
+                .detail = static_cast<std::uint8_t>(AcceptKind::kChallenge),
+                .value = ack.retry});
+  }
 
   if (busy_) {
     if (ack.tau.size() == tau_.size() && ack.tau != tau_) {
@@ -79,7 +110,12 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
       if (num_ >= policy_.bound(t_)) {
         ++t_;
         num_ = 0;
-        tau_.append_random(policy_.size(t_), rng_);
+        const std::size_t grown = policy_.size(t_);
+        tau_.append_random(grown, rng_);
+        if (bus_ != nullptr) {
+          bus_->emit({.kind = EventKind::kEpochExtend, .side = Side::kTm,
+                      .value = t_, .aux = grown});
+        }
       }
     }
     send_data(out);

@@ -46,6 +46,7 @@ class GhmTransmitter final : public ITransmitter {
  public:
   GhmTransmitter(GrowthPolicy policy, Rng rng);
 
+  void bind_bus(EventBus* bus) override { bus_ = bus; }
   void on_send_msg(const Message& m, TxOutbox& out) override;
   void on_receive_pkt(std::span<const std::byte> pkt, TxOutbox& out) override;
   void on_crash() override;
@@ -74,6 +75,7 @@ class GhmTransmitter final : public ITransmitter {
 
   GrowthPolicy policy_;
   Rng rng_;
+  EventBus* bus_ = nullptr;
 
   bool busy_ = false;
   Message msg_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fleet/fleet.h"  // fleet_session_seed (header-only)
+#include "obs/ring_sink.h"
 #include "util/fnv.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -170,7 +171,7 @@ FuzzRun fuzz_script(const AdversaryLinkFactory& factory,
                                     /*stop_on_violation=*/true);
   run.script = recorder->take_script();
   run.script.resize(run.steps);  // == steps: one decision per step
-  run.violations = link.checker().violations();
+  run.violations = link.violations();
   run.oks = link.stats().oks;
   return run;
 }
@@ -283,7 +284,7 @@ ShrinkResult shrink_script(const AdversaryLinkFactory& factory,
   ShrinkResult res;
   const auto replay_counts = [&](const std::vector<Decision>& s) {
     ++res.replays;
-    return replay_script(factory, s, workload).checker().violations();
+    return replay_script(factory, s, workload).violations();
   };
 
   res.script = script;
@@ -329,7 +330,20 @@ ShrinkResult shrink_script(const AdversaryLinkFactory& factory,
       }
     }
   }
+
+  // Annotate the fixpoint with the violating event suffix: one more
+  // replay, this time with a ring sink listening.
+  res.tail = violation_tail(factory, res.script, workload);
   return res;
+}
+
+std::vector<Event> violation_tail(const AdversaryLinkFactory& factory,
+                                  const std::vector<Decision>& script,
+                                  const ScriptWorkload& workload,
+                                  std::size_t n) {
+  RingTraceSink ring(n);
+  (void)replay_script(factory, script, workload, &ring);
+  return ring.snapshot();
 }
 
 }  // namespace s2d

@@ -31,6 +31,7 @@
 
 #include "harness/systems.h"
 #include "link/checker.h"
+#include "obs/event.h"
 
 namespace s2d {
 
@@ -135,6 +136,12 @@ struct ShrinkResult {
   std::vector<Decision> script;  // minimized; == input when input is clean
   ViolationCounts violations;    // of the minimized script's replay
   std::uint64_t replays = 0;     // predicate evaluations spent
+
+  /// The last events of the minimized script's replay, ending at the
+  /// violation (clock-tick events excluded). Annotates the shrunk
+  /// counterexample with *why* it violates; empty when the input was
+  /// clean.
+  std::vector<Event> tail;
 };
 
 /// Delta-debugging minimizer: repeatedly deletes decision subsequences
@@ -145,5 +152,12 @@ struct ShrinkResult {
 [[nodiscard]] ShrinkResult shrink_script(const AdversaryLinkFactory& factory,
                                          const std::vector<Decision>& script,
                                          const ScriptWorkload& workload);
+
+/// Replays `script` with a RingTraceSink attached and returns the last
+/// (up to) `n` non-tick events — the violating event suffix. Deterministic
+/// in (factory, script, workload).
+[[nodiscard]] std::vector<Event> violation_tail(
+    const AdversaryLinkFactory& factory, const std::vector<Decision>& script,
+    const ScriptWorkload& workload, std::size_t n = 16);
 
 }  // namespace s2d

@@ -44,12 +44,15 @@ RunReport run_workload(DataLink& link, const WorkloadConfig& cfg, Rng rng,
 
   for (std::uint64_t i = 0; i < cfg.drain_steps; ++i) link.step();
 
-  report.link = link.stats();
-  report.violations = link.checker().violations();
-  report.tr_packets = link.tr_channel().packets_sent();
-  report.rt_packets = link.rt_channel().packets_sent();
-  report.tr_bytes = link.tr_channel().bytes_sent();
-  report.rt_bytes = link.rt_channel().bytes_sent();
+  // Everything below is a read of the event-derived counter views; the
+  // runner no longer keeps parallel wire-level bookkeeping of its own.
+  const CounterSink& counters = link.counters();
+  report.link = counters.link();
+  report.violations = counters.violations();
+  report.tr_packets = counters.channel(Dir::kTR).packets;
+  report.rt_packets = counters.channel(Dir::kRT).packets;
+  report.tr_bytes = counters.channel(Dir::kTR).bytes;
+  report.rt_bytes = counters.channel(Dir::kRT).bytes;
   return report;
 }
 

@@ -116,8 +116,7 @@ std::uint64_t drive_script_workload(DataLink& link, std::uint64_t steps,
   for (std::uint64_t i = 0; i < steps; ++i) {
     link.step();
     maybe_offer();
-    if (stop_on_violation &&
-        link.checker().violations().safety_total() > 0) {
+    if (stop_on_violation && link.violations().safety_total() > 0) {
       return i + 1;
     }
   }
@@ -126,11 +125,13 @@ std::uint64_t drive_script_workload(DataLink& link, std::uint64_t steps,
 
 DataLink replay_script(const AdversaryLinkFactory& factory,
                        std::vector<Decision> script,
-                       const ScriptWorkload& workload) {
+                       const ScriptWorkload& workload, EventSink* sink) {
   const std::uint64_t steps = script.size();
   DataLink link =
       factory(std::make_unique<ScriptedAdversary>(std::move(script)));
+  if (sink != nullptr) link.bus().attach(sink);
   drive_script_workload(link, steps, workload);
+  if (sink != nullptr) link.bus().detach(sink);
   return link;
 }
 

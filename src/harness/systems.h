@@ -75,9 +75,12 @@ std::uint64_t drive_script_workload(DataLink& link, std::uint64_t steps,
 
 /// Builds the named system around a ScriptedAdversary, replays the whole
 /// script and returns the executed link for inspection (checker verdict,
-/// trace, stats).
+/// trace, stats). A non-null `sink` is attached to the link's event bus
+/// for the duration of the replay (and detached before return), so
+/// callers can observe the full event timeline of the execution.
 [[nodiscard]] DataLink replay_script(const AdversaryLinkFactory& factory,
                                      std::vector<Decision> script,
-                                     const ScriptWorkload& workload);
+                                     const ScriptWorkload& workload,
+                                     EventSink* sink = nullptr);
 
 }  // namespace s2d

@@ -7,8 +7,52 @@ PacketId Channel::send(std::span<const std::byte> payload,
   const PacketId id = static_cast<PacketId>(payloads_.size());
   bytes_sent_ += payload.size();
   meta_.push_back(PacketMeta{id, payload.size(), step});
+  const std::uint64_t hits_before = arena_.hits();
   payloads_.push_back(arena_.intern(payload));
+  delivered_count_.push_back(0);
+  if (bus_ != nullptr) {
+    Event ev;
+    ev.kind = EventKind::kChannelSend;
+    ev.dir = dir_;
+    ev.pkt = id;
+    ev.value = payload.size();
+    bus_->emit(ev);
+    if (arena_.hits() != hits_before) {
+      ev.kind = EventKind::kChannelIntern;
+      bus_->emit(ev);
+    }
+  }
   return id;
+}
+
+void Channel::note_delivery(PacketId id) {
+  ++deliveries_;
+  std::uint32_t prior = 0;
+  if (id < delivered_count_.size()) {
+    prior = delivered_count_[static_cast<std::size_t>(id)]++;
+  }
+  const bool out_of_order = any_delivered_ && id < max_delivered_;
+  if (bus_ != nullptr) {
+    Event ev;
+    ev.kind = EventKind::kChannelDeliver;
+    ev.dir = dir_;
+    ev.detail = static_cast<std::uint8_t>(DeliveryKind::kGenuine);
+    ev.pkt = id;
+    ev.value = length(id);
+    ev.aux = prior;
+    bus_->emit(ev);
+    if (prior > 0) {
+      ev.kind = EventKind::kChannelDuplicate;
+      bus_->emit(ev);
+    }
+    if (out_of_order) {
+      ev.kind = EventKind::kChannelReorder;
+      ev.aux = max_delivered_;
+      bus_->emit(ev);
+    }
+  }
+  if (!any_delivered_ || id > max_delivered_) max_delivered_ = id;
+  any_delivered_ = true;
 }
 
 std::optional<std::span<const std::byte>> Channel::payload(

@@ -17,6 +17,7 @@
 
 #include "link/actions.h"
 #include "link/arena.h"
+#include "obs/bus.h"
 #include "util/codec.h"
 
 namespace s2d {
@@ -31,7 +32,11 @@ struct PacketMeta {
 
 class Channel {
  public:
-  explicit Channel(std::string name) : name_(std::move(name)) {}
+  /// `dir` tags this channel's events on the bus; a null bus disables
+  /// instrumentation entirely (standalone channel tests).
+  explicit Channel(std::string name, Dir dir = Dir::kTR,
+                   EventBus* bus = nullptr)
+      : name_(std::move(name)), dir_(dir), bus_(bus) {}
 
   /// Places `payload` on the channel; returns the fresh identifier
   /// (the new_pkt notification's id). The packet is retained forever —
@@ -67,7 +72,12 @@ class Channel {
   [[nodiscard]] std::uint64_t deliveries() const noexcept {
     return deliveries_;
   }
-  void note_delivery() noexcept { ++deliveries_; }
+
+  /// Records a genuine delivery of packet `id` and emits the corresponding
+  /// channel events: kChannelDeliver always, kChannelDuplicate when the
+  /// same id was delivered before, kChannelReorder when an older id is
+  /// delivered after a newer one already arrived.
+  void note_delivery(PacketId id);
 
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
     return bytes_sent_;
@@ -90,9 +100,14 @@ class Channel {
 
  private:
   std::string name_;
+  Dir dir_ = Dir::kTR;
+  EventBus* bus_ = nullptr;
   PayloadArena arena_;  // owns all payload bytes; spans below point into it
   std::vector<std::span<const std::byte>> payloads_;  // indexed by PacketId
   std::vector<PacketMeta> meta_;
+  std::vector<std::uint32_t> delivered_count_;  // indexed by PacketId
+  bool any_delivered_ = false;
+  PacketId max_delivered_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };

@@ -1,15 +1,24 @@
 #include "link/checker.h"
 
-#include <sstream>
+#include "obs/bus.h"
 
 namespace s2d {
 
-std::string ViolationCounts::summary() const {
-  std::ostringstream out;
-  out << "causality=" << causality << " order=" << order
-      << " duplication=" << duplication << " replay=" << replay
-      << " axiom=" << axiom;
-  return out.str();
+void TraceChecker::flag(ViolationKind kind, std::uint64_t msg) {
+  switch (kind) {
+    case ViolationKind::kCausality: ++counts_.causality; break;
+    case ViolationKind::kOrder: ++counts_.order; break;
+    case ViolationKind::kDuplication: ++counts_.duplication; break;
+    case ViolationKind::kReplay: ++counts_.replay; break;
+    case ViolationKind::kAxiom: ++counts_.axiom; break;
+  }
+  if (bus_ != nullptr) {
+    Event ev;
+    ev.kind = EventKind::kViolation;
+    ev.detail = static_cast<std::uint8_t>(kind);
+    ev.msg = msg;
+    bus_->emit(ev);
+  }
 }
 
 void TraceChecker::on_event(const TraceEvent& ev) {
@@ -19,13 +28,13 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       ++sends_;
       // Axiom 1: between two consecutive send_msg actions there is an OK
       // or crash^T.
-      if (tm_busy_) ++counts_.axiom;
+      if (tm_busy_) flag(ViolationKind::kAxiom, ev.msg_id);
       tm_busy_ = true;
       have_inflight_ = true;
       inflight_msg_ = ev.msg_id;
       MsgState& st = msgs_[ev.msg_id];
       // Axiom 2: at most one send_msg(m) per message.
-      if (st.sent) ++counts_.axiom;
+      if (st.sent) flag(ViolationKind::kAxiom, ev.msg_id);
       st.sent = true;
       st.sent_seq = seq_;
       break;
@@ -36,14 +45,14 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       if (!have_inflight_) {
         // OK with no message in flight: a protocol bug surfacing as an
         // order violation (there is no send_msg the OK could confirm).
-        ++counts_.order;
+        flag(ViolationKind::kOrder, 0);
         break;
       }
       MsgState& st = msgs_[inflight_msg_];
       // Order condition (Theorem 3): the OK-extension of an execution
       // ending in send_msg(m) must contain receive_msg(m).
       if (!(st.delivered && st.delivered_seq > st.sent_seq)) {
-        ++counts_.order;
+        flag(ViolationKind::kOrder, inflight_msg_);
       }
       st.completed = true;
       st.completed_seq = seq_;
@@ -57,7 +66,7 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       auto it = msgs_.find(ev.msg_id);
       if (it == msgs_.end() || !it->second.sent) {
         // Causality: delivered a message that was never sent.
-        ++counts_.causality;
+        flag(ViolationKind::kCausality, ev.msg_id);
         // Record it so later duplicates are still tracked.
         MsgState& st = msgs_[ev.msg_id];
         st.delivered = true;
@@ -72,13 +81,13 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       // No-duplication (Theorem 8): a second delivery without an
       // intervening crash^R.
       if (st.delivered && st.crash_r_epoch_at_delivery == crash_r_epoch_) {
-        ++counts_.duplication;
+        flag(ViolationKind::kDuplication, ev.msg_id);
       }
 
       // No-replay (Theorem 7): m was completed (OK or crash^T after its
       // send) strictly before the previous receive_msg/crash^R boundary.
       if (have_boundary_ && st.completed && st.completed_seq < boundary_seq_) {
-        ++counts_.replay;
+        flag(ViolationKind::kReplay, ev.msg_id);
       }
 
       st.delivered = true;

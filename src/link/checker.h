@@ -30,43 +30,23 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "link/actions.h"
+#include "obs/counters.h"
 
 namespace s2d {
 
-struct ViolationCounts {
-  std::uint64_t causality = 0;
-  std::uint64_t order = 0;
-  std::uint64_t duplication = 0;
-  std::uint64_t replay = 0;
-  std::uint64_t axiom = 0;
-
-  [[nodiscard]] std::uint64_t safety_total() const noexcept {
-    return causality + order + duplication + replay;
-  }
-
-  /// Sums violation counts across executions (fleet aggregation).
-  ViolationCounts& merge(const ViolationCounts& o) noexcept {
-    causality += o.causality;
-    order += o.order;
-    duplication += o.duplication;
-    replay += o.replay;
-    axiom += o.axiom;
-    return *this;
-  }
-  ViolationCounts& operator+=(const ViolationCounts& o) noexcept {
-    return merge(o);
-  }
-
-  [[nodiscard]] std::string summary() const;
-};
+class EventBus;
 
 class TraceChecker {
  public:
+  /// Binds the instrumentation bus: every violation the checker counts is
+  /// additionally emitted as a kViolation event, so trace sinks see *when*
+  /// a condition broke, not just that it did. Optional — a standalone
+  /// checker (no bus) only counts.
+  void bind_bus(EventBus* bus) noexcept { bus_ = bus; }
+
   /// Feed one event. Events must arrive in trace order.
   void on_event(const TraceEvent& ev);
 
@@ -101,6 +81,10 @@ class TraceChecker {
     std::uint64_t crash_r_epoch_at_delivery = 0;
   };
 
+  // Increments the named violation counter and mirrors it onto the bus.
+  void flag(ViolationKind kind, std::uint64_t msg);
+
+  EventBus* bus_ = nullptr;
   ViolationCounts counts_;
   std::unordered_map<std::uint64_t, MsgState> msgs_;
 

@@ -9,9 +9,14 @@ namespace s2d {
 DataLink::DataLink(std::unique_ptr<ITransmitter> tm,
                    std::unique_ptr<IReceiver> rm,
                    std::unique_ptr<Adversary> adv, DataLinkConfig cfg)
-    : tm_(std::move(tm)), rm_(std::move(rm)), adv_(std::move(adv)),
-      cfg_(cfg), noise_rng_(cfg.noise_seed) {
+    : obs_(std::make_unique<Obs>()), tm_(std::move(tm)), rm_(std::move(rm)),
+      adv_(std::move(adv)), cfg_(cfg),
+      tr_("T->R", Dir::kTR, &obs_->bus), rt_("R->T", Dir::kRT, &obs_->bus),
+      noise_rng_(cfg.noise_seed) {
   assert(tm_ && rm_ && adv_);
+  tm_->bind_bus(&obs_->bus);
+  rm_->bind_bus(&obs_->bus);
+  checker_.bind_bus(&obs_->bus);
 }
 
 Bytes DataLink::forge(std::size_t length) {
@@ -39,7 +44,7 @@ Bytes DataLink::mutate(std::span<const std::byte> original) {
 }
 
 void DataLink::record(TraceEvent ev) {
-  ev.step = stats_.steps;
+  ev.step = obs_->bus.now;
   checker_.on_event(ev);
   if (!cfg_.keep_trace) return;
   switch (ev.kind) {
@@ -59,27 +64,28 @@ void DataLink::record(TraceEvent ev) {
 void DataLink::drain_tx(TxOutbox& out) {
   for (std::size_t i = 0; i < out.pkt_count(); ++i) {
     const auto pkt = out.pkt(i);
-    const PacketId id = tr_.send(pkt, stats_.steps);
+    const PacketId id = tr_.send(pkt, stats().steps);
     record({.kind = ActionKind::kSendPktTR, .pkt_id = id,
             .pkt_len = pkt.size()});
   }
   if (out.ok_signalled()) {
+    obs_->bus.emit({.kind = EventKind::kOk, .msg = inflight_msg_id_});
     record({.kind = ActionKind::kOk});
     awaiting_ok_ = false;
     last_step_completed_ok_ = true;
-    ++stats_.oks;
   }
   out.clear();
 }
 
 void DataLink::drain_rx(RxOutbox& out) {
   for (auto& m : out.delivered()) {
+    obs_->bus.emit({.kind = EventKind::kReceiveMsg, .msg = m.id});
     record({.kind = ActionKind::kReceiveMsg, .msg_id = m.id});
     if (cfg_.collect_deliveries) delivered_inbox_.push_back(std::move(m));
   }
   for (std::size_t i = 0; i < out.pkt_count(); ++i) {
     const auto pkt = out.pkt(i);
-    const PacketId id = rt_.send(pkt, stats_.steps);
+    const PacketId id = rt_.send(pkt, stats().steps);
     record({.kind = ActionKind::kSendPktRT, .pkt_id = id,
             .pkt_len = pkt.size()});
   }
@@ -88,7 +94,8 @@ void DataLink::drain_rx(RxOutbox& out) {
 
 void DataLink::offer(const Message& m) {
   assert(tm_ready() && "Axiom 1: offer() requires the TM to be idle");
-  ++stats_.messages_offered;
+  inflight_msg_id_ = m.id;
+  obs_->bus.emit({.kind = EventKind::kSendMsg, .msg = m.id});
   record({.kind = ActionKind::kSendMsg, .msg_id = m.id});
   awaiting_ok_ = true;
   tm_->on_send_msg(m, tx_out_);
@@ -96,13 +103,14 @@ void DataLink::offer(const Message& m) {
 }
 
 void DataLink::fire_retry() {
-  ++stats_.retries;
+  obs_->bus.emit({.kind = EventKind::kRetry});
   record({.kind = ActionKind::kRetry});
   rm_->on_retry(rx_out_);
   drain_rx(rx_out_);
 }
 
 void DataLink::fire_tx_timer() {
+  obs_->bus.emit({.kind = EventKind::kTxTimer});
   tm_->on_timer(tx_out_);
   drain_tx(tx_out_);
 }
@@ -121,8 +129,10 @@ void DataLink::apply(const Decision& d) {
       break;
 
     case Decision::Kind::kCrashT:
-      ++stats_.crashes_t;
-      if (awaiting_ok_) ++stats_.aborted;
+      obs_->bus.emit({.kind = EventKind::kCrashT});
+      if (awaiting_ok_) {
+        obs_->bus.emit({.kind = EventKind::kAbort, .msg = inflight_msg_id_});
+      }
       record({.kind = ActionKind::kCrashT});
       tm_->on_crash();
       awaiting_ok_ = false;
@@ -130,15 +140,20 @@ void DataLink::apply(const Decision& d) {
       break;
 
     case Decision::Kind::kCrashR:
-      ++stats_.crashes_r;
+      obs_->bus.emit({.kind = EventKind::kCrashR});
       record({.kind = ActionKind::kCrashR});
       rm_->on_crash();
       break;
 
     case Decision::Kind::kDeliverTR: {
       const auto payload = tr_.payload(d.pkt);
-      if (!payload) break;  // unknown id: causality makes this a no-op
-      tr_.note_delivery();
+      if (!payload) {
+        // Unknown id: causality makes this a no-op.
+        obs_->bus.emit(
+            {.kind = EventKind::kChannelDrop, .dir = Dir::kTR, .pkt = d.pkt});
+        break;
+      }
+      tr_.note_delivery(d.pkt);
       record({.kind = ActionKind::kReceivePktTR,
               .pkt_id = d.pkt,
               .pkt_len = payload->size()});
@@ -149,8 +164,12 @@ void DataLink::apply(const Decision& d) {
 
     case Decision::Kind::kDeliverRT: {
       const auto payload = rt_.payload(d.pkt);
-      if (!payload) break;
-      rt_.note_delivery();
+      if (!payload) {
+        obs_->bus.emit(
+            {.kind = EventKind::kChannelDrop, .dir = Dir::kRT, .pkt = d.pkt});
+        break;
+      }
+      rt_.note_delivery(d.pkt);
       record({.kind = ActionKind::kReceivePktRT,
               .pkt_id = d.pkt,
               .pkt_len = payload->size()});
@@ -162,9 +181,16 @@ void DataLink::apply(const Decision& d) {
     case Decision::Kind::kMutateTR: {
       if (!cfg_.allow_noise) break;  // base model: causality axiom holds
       const auto payload = tr_.payload(d.pkt);
-      if (!payload) break;
-      ++noise_deliveries_;
+      if (!payload) {
+        obs_->bus.emit(
+            {.kind = EventKind::kChannelDrop, .dir = Dir::kTR, .pkt = d.pkt});
+        break;
+      }
       const Bytes noisy = mutate(*payload);
+      obs_->bus.emit(
+          {.kind = EventKind::kChannelDeliver, .dir = Dir::kTR,
+           .detail = static_cast<std::uint8_t>(DeliveryKind::kMutated),
+           .pkt = d.pkt, .value = noisy.size()});
       record({.kind = ActionKind::kReceivePktTR,
               .pkt_id = d.pkt,
               .pkt_len = noisy.size()});
@@ -176,9 +202,16 @@ void DataLink::apply(const Decision& d) {
     case Decision::Kind::kMutateRT: {
       if (!cfg_.allow_noise) break;
       const auto payload = rt_.payload(d.pkt);
-      if (!payload) break;
-      ++noise_deliveries_;
+      if (!payload) {
+        obs_->bus.emit(
+            {.kind = EventKind::kChannelDrop, .dir = Dir::kRT, .pkt = d.pkt});
+        break;
+      }
       const Bytes noisy = mutate(*payload);
+      obs_->bus.emit(
+          {.kind = EventKind::kChannelDeliver, .dir = Dir::kRT,
+           .detail = static_cast<std::uint8_t>(DeliveryKind::kMutated),
+           .pkt = d.pkt, .value = noisy.size()});
       record({.kind = ActionKind::kReceivePktRT,
               .pkt_id = d.pkt,
               .pkt_len = noisy.size()});
@@ -189,8 +222,11 @@ void DataLink::apply(const Decision& d) {
 
     case Decision::Kind::kForgeTR: {
       if (!cfg_.allow_noise) break;
-      ++noise_deliveries_;
       const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
+      obs_->bus.emit(
+          {.kind = EventKind::kChannelDeliver, .dir = Dir::kTR,
+           .detail = static_cast<std::uint8_t>(DeliveryKind::kForged),
+           .value = forged.size()});
       record({.kind = ActionKind::kReceivePktTR, .pkt_len = forged.size()});
       rm_->on_receive_pkt(forged, rx_out_);
       drain_rx(rx_out_);
@@ -199,8 +235,11 @@ void DataLink::apply(const Decision& d) {
 
     case Decision::Kind::kForgeRT: {
       if (!cfg_.allow_noise) break;
-      ++noise_deliveries_;
       const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
+      obs_->bus.emit(
+          {.kind = EventKind::kChannelDeliver, .dir = Dir::kRT,
+           .detail = static_cast<std::uint8_t>(DeliveryKind::kForged),
+           .value = forged.size()});
       record({.kind = ActionKind::kReceivePktRT, .pkt_len = forged.size()});
       tm_->on_receive_pkt(forged, tx_out_);
       drain_tx(tx_out_);
@@ -210,25 +249,26 @@ void DataLink::apply(const Decision& d) {
 }
 
 void DataLink::step() {
-  ++stats_.steps;
+  obs_->bus.now = stats().steps + 1;
+  obs_->bus.emit({.kind = EventKind::kStep});
   last_step_completed_ok_ = false;
   last_step_crashed_t_ = false;
 
-  if (cfg_.retry_every != 0 && stats_.steps % cfg_.retry_every == 0) {
+  const std::uint64_t steps = stats().steps;
+  if (cfg_.retry_every != 0 && steps % cfg_.retry_every == 0) {
     fire_retry();
   }
-  if (cfg_.tx_timer_every != 0 && stats_.steps % cfg_.tx_timer_every == 0) {
+  if (cfg_.tx_timer_every != 0 && steps % cfg_.tx_timer_every == 0) {
     fire_tx_timer();
   }
 
-  const AdversaryView view(tr_, rt_, stats_.steps, stats_.crashes_t,
-                           stats_.crashes_r);
+  const LinkStats& s = stats();
+  const AdversaryView view(tr_, rt_, s.steps, s.crashes_t, s.crashes_r);
   apply(adv_->next(view));
 
-  stats_.max_tm_state_bits =
-      std::max<std::uint64_t>(stats_.max_tm_state_bits, tm_->state_bits());
-  stats_.max_rm_state_bits =
-      std::max<std::uint64_t>(stats_.max_rm_state_bits, rm_->state_bits());
+  obs_->bus.emit({.kind = EventKind::kStateSample,
+                  .value = tm_->state_bits(),
+                  .aux = rm_->state_bits()});
 }
 
 bool DataLink::run_until_ok(std::uint64_t max_steps) {

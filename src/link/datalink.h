@@ -12,8 +12,16 @@
 //     the module emitted them.
 //
 // Every externally visible action is appended to the Trace and fed to the
-// online TraceChecker, so at any moment `checker().violations()` reflects
-// the §2.6 conditions over the execution so far.
+// online TraceChecker, so at any moment `violations()` reflects the §2.6
+// conditions over the execution so far.
+//
+// Instrumentation: the executor owns an EventBus (obs/bus.h) through which
+// every layer — the executor itself, both channels, both protocol modules
+// and the checker — emits typed events. LinkStats/ViolationCounts are
+// derived views maintained by the bus's CounterSink; trace sinks attach
+// via bus() to observe the full timeline. The bus lives behind a
+// unique_ptr so DataLink stays movable (factories return it by value)
+// while emitters hold stable pointers to it.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +34,8 @@
 #include "link/channel.h"
 #include "link/checker.h"
 #include "link/module.h"
+#include "obs/bus.h"
+#include "obs/counters.h"
 #include "util/rng.h"
 
 namespace s2d {
@@ -68,36 +78,6 @@ struct DataLinkConfig {
   std::uint64_t noise_seed = 0x6e6f697365ULL;  // "noise"
 };
 
-/// Aggregate statistics of one execution (inputs to the experiments).
-struct LinkStats {
-  std::uint64_t steps = 0;
-  std::uint64_t messages_offered = 0;
-  std::uint64_t oks = 0;
-  std::uint64_t aborted = 0;  // messages whose transfer a crash^T cut short
-  std::uint64_t crashes_t = 0;
-  std::uint64_t crashes_r = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t max_tm_state_bits = 0;
-  std::uint64_t max_rm_state_bits = 0;
-
-  /// Aggregates statistics of another execution into this one: counters
-  /// add, peaks take the max. Commutative and associative, so the fleet
-  /// aggregate is independent of shard count and merge order.
-  LinkStats& merge(const LinkStats& o) noexcept {
-    steps += o.steps;
-    messages_offered += o.messages_offered;
-    oks += o.oks;
-    aborted += o.aborted;
-    crashes_t += o.crashes_t;
-    crashes_r += o.crashes_r;
-    retries += o.retries;
-    max_tm_state_bits = std::max(max_tm_state_bits, o.max_tm_state_bits);
-    max_rm_state_bits = std::max(max_rm_state_bits, o.max_rm_state_bits);
-    return *this;
-  }
-  LinkStats& operator+=(const LinkStats& o) noexcept { return merge(o); }
-};
-
 class DataLink {
  public:
   DataLink(std::unique_ptr<ITransmitter> tm, std::unique_ptr<IReceiver> rm,
@@ -122,17 +102,33 @@ class DataLink {
   [[nodiscard]] const TraceChecker& checker() const noexcept {
     return checker_;
   }
-  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  /// The execution's event bus. Attach trace sinks here (RingTraceSink,
+  /// JsonlTraceSink, TimelineSink, test collectors); detach them before
+  /// they are destroyed.
+  [[nodiscard]] EventBus& bus() noexcept { return obs_->bus; }
+
+  /// All event-derived counters of this execution.
+  [[nodiscard]] const CounterSink& counters() const noexcept {
+    return obs_->counters;
+  }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept {
+    return obs_->counters.link();
+  }
+  [[nodiscard]] const ViolationCounts& violations() const noexcept {
+    return obs_->counters.violations();
+  }
   [[nodiscard]] const Channel& tr_channel() const noexcept { return tr_; }
   [[nodiscard]] const Channel& rt_channel() const noexcept { return rt_; }
   [[nodiscard]] const ITransmitter& tm() const noexcept { return *tm_; }
   [[nodiscard]] const IReceiver& rm() const noexcept { return *rm_; }
-  [[nodiscard]] std::uint64_t now() const noexcept { return stats_.steps; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return stats().steps; }
 
   /// Number of mutated (non-causal) deliveries performed so far; nonzero
   /// only when DataLinkConfig::allow_noise is set.
   [[nodiscard]] std::uint64_t noise_deliveries() const noexcept {
-    return noise_deliveries_;
+    return obs_->counters.noise_deliveries();
   }
 
   /// Drains the receiver-side inbox (requires collect_deliveries).
@@ -155,20 +151,28 @@ class DataLink {
   /// Returns `length` uniformly random bytes (the §5 forged packet).
   [[nodiscard]] Bytes forge(std::size_t length);
 
+  /// Counter storage + bus, heap-held so channel/module/checker pointers
+  /// into it survive moves of the DataLink itself. Declared first: the
+  /// channels below capture &obs_->bus during construction.
+  struct Obs {
+    CounterSink counters;
+    EventBus bus{&counters};
+  };
+  std::unique_ptr<Obs> obs_;
+
   std::unique_ptr<ITransmitter> tm_;
   std::unique_ptr<IReceiver> rm_;
   std::unique_ptr<Adversary> adv_;
   DataLinkConfig cfg_;
 
-  Channel tr_{"T->R"};
-  Channel rt_{"R->T"};
+  Channel tr_;
+  Channel rt_;
 
   Trace trace_;
   TraceChecker checker_;
-  LinkStats stats_;
   Rng noise_rng_{0};
-  std::uint64_t noise_deliveries_ = 0;
   std::vector<Message> delivered_inbox_;
+  std::uint64_t inflight_msg_id_ = 0;
 
   // Scratch outboxes, reused across every module invocation (the drain
   // clears them after applying outputs). Members rather than locals so the

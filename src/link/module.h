@@ -24,6 +24,8 @@
 
 namespace s2d {
 
+class EventBus;
+
 /// Packet slots shared by both outboxes: a pool of Writers recycled across
 /// clear() cycles. Each queued packet owns a Writer whose buffer survives
 /// the clear, so a module that emits one packet per step stops allocating
@@ -123,6 +125,12 @@ class ITransmitter {
  public:
   virtual ~ITransmitter() = default;
 
+  /// Binds the executor's event bus so the module can report protocol-
+  /// level events (packet accept/reject, epoch extension, string reset).
+  /// Optional: modules that don't instrument themselves ignore it, and a
+  /// standalone module (no executor) simply never gets bound.
+  virtual void bind_bus(EventBus* bus) { (void)bus; }
+
   /// send_msg(m): request from the higher layer. Only called when the
   /// module is not busy (Axiom 1 is enforced by the executor).
   virtual void on_send_msg(const Message& m, TxOutbox& out) = 0;
@@ -153,6 +161,9 @@ class ITransmitter {
 class IReceiver {
  public:
   virtual ~IReceiver() = default;
+
+  /// See ITransmitter::bind_bus.
+  virtual void bind_bus(EventBus* bus) { (void)bus; }
 
   /// receive_pkt^{T->R}(p).
   virtual void on_receive_pkt(std::span<const std::byte> pkt,

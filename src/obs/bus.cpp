@@ -1,0 +1,22 @@
+#include "obs/bus.h"
+
+#include <algorithm>
+
+namespace s2d {
+
+void EventBus::attach(EventSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+  sinks_.push_back(sink);
+}
+
+void EventBus::detach(EventSink* sink) noexcept {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+}
+
+void EventBus::dispatch(const Event& ev) noexcept {
+  for (EventSink* sink : sinks_) sink->on_event(ev);
+}
+
+}  // namespace s2d

@@ -1,0 +1,64 @@
+// EventBus: the per-executor fan-out point of the instrumentation layer.
+//
+// One bus per DataLink. The executor's CounterSink occupies a dedicated
+// non-virtual slot so the always-on counter path costs an inline switch
+// increment — the same work the scattered hand counters used to do —
+// while trace sinks (ring buffers, JSONL writers, test collectors)
+// attach dynamically and cost nothing beyond one emptiness branch when
+// absent.
+//
+// The bus is not thread-safe; fleet shards each own their sessions'
+// buses exclusively, exactly as they own the sessions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/event.h"
+
+namespace s2d {
+
+class EventBus {
+ public:
+  /// `counters`, when non-null, receives every event via the inline
+  /// fast path. Not owned.
+  explicit EventBus(CounterSink* counters = nullptr) noexcept
+      : counters_(counters) {}
+
+  /// Attaches a trace sink (not owned; detach before destroying it).
+  /// Attaching is not hot-path: it may allocate.
+  void attach(EventSink* sink);
+
+  /// Detaches a previously attached sink; no-op when absent.
+  void detach(EventSink* sink) noexcept;
+
+  /// True iff at least one trace sink is attached. Call sites building
+  /// events that only trace sinks consume may guard on this, keeping the
+  /// events-off path at one branch (the util/log.h rule).
+  [[nodiscard]] bool traced() const noexcept { return !sinks_.empty(); }
+
+  [[nodiscard]] std::size_t sink_count() const noexcept {
+    return sinks_.size();
+  }
+
+  /// The executor step stamped onto every emitted event. The DataLink
+  /// maintains it; emitters below the executor never need to know time.
+  std::uint64_t now = 0;
+
+  /// Emits one event: stamps the step, counts it, and fans it out to any
+  /// attached trace sinks. Inline and allocation-free.
+  void emit(Event ev) noexcept {
+    ev.step = now;
+    if (counters_ != nullptr) counters_->count(ev);
+    if (!sinks_.empty()) dispatch(ev);
+  }
+
+ private:
+  void dispatch(const Event& ev) noexcept;
+
+  CounterSink* counters_;
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace s2d

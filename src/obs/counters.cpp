@@ -1,0 +1,15 @@
+#include "obs/counters.h"
+
+#include <sstream>
+
+namespace s2d {
+
+std::string ViolationCounts::summary() const {
+  std::ostringstream out;
+  out << "causality=" << causality << " order=" << order
+      << " duplication=" << duplication << " replay=" << replay
+      << " axiom=" << axiom;
+  return out.str();
+}
+
+}  // namespace s2d

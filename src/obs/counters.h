@@ -1,0 +1,273 @@
+// CounterSink: the event-derived counter views.
+//
+// LinkStats and ViolationCounts — the aggregate statistics every
+// experiment, the fleet engine and the fuzzer consume — are defined here
+// and maintained exclusively by counting events. No layer hand-updates
+// them anymore: the executor, channels, protocol modules and checker
+// emit typed events (obs/event.h) and the CounterSink derives the
+// counters, preserving the commutative merge semantics the fleet's
+// order-canonicalized aggregation relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "obs/event.h"
+
+namespace s2d {
+
+/// Aggregate statistics of one execution (inputs to the experiments).
+/// Derived from events by CounterSink; DataLink::stats() is the usual
+/// access path.
+struct LinkStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_offered = 0;
+  std::uint64_t oks = 0;
+  std::uint64_t aborted = 0;  // messages whose transfer a crash^T cut short
+  std::uint64_t crashes_t = 0;
+  std::uint64_t crashes_r = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t max_tm_state_bits = 0;
+  std::uint64_t max_rm_state_bits = 0;
+
+  /// Aggregates statistics of another execution into this one: counters
+  /// add, peaks take the max. Commutative and associative, so the fleet
+  /// aggregate is independent of shard count and merge order.
+  LinkStats& merge(const LinkStats& o) noexcept {
+    steps += o.steps;
+    messages_offered += o.messages_offered;
+    oks += o.oks;
+    aborted += o.aborted;
+    crashes_t += o.crashes_t;
+    crashes_r += o.crashes_r;
+    retries += o.retries;
+    max_tm_state_bits = std::max(max_tm_state_bits, o.max_tm_state_bits);
+    max_rm_state_bits = std::max(max_rm_state_bits, o.max_rm_state_bits);
+    return *this;
+  }
+  LinkStats& operator+=(const LinkStats& o) noexcept { return merge(o); }
+};
+
+/// Counts of §2.6 condition violations (plus environment-axiom breaches),
+/// derived from kViolation events.
+struct ViolationCounts {
+  std::uint64_t causality = 0;
+  std::uint64_t order = 0;
+  std::uint64_t duplication = 0;
+  std::uint64_t replay = 0;
+  std::uint64_t axiom = 0;
+
+  [[nodiscard]] std::uint64_t safety_total() const noexcept {
+    return causality + order + duplication + replay;
+  }
+
+  /// Sums violation counts across executions (fleet aggregation).
+  ViolationCounts& merge(const ViolationCounts& o) noexcept {
+    causality += o.causality;
+    order += o.order;
+    duplication += o.duplication;
+    replay += o.replay;
+    axiom += o.axiom;
+    return *this;
+  }
+  ViolationCounts& operator+=(const ViolationCounts& o) noexcept {
+    return merge(o);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Per-channel wire accounting, derived from channel-level events. The
+/// packets/bytes pair is what RunReport used to re-count by reaching into
+/// the channels; duplicates/reorders/drops/interned are new visibility
+/// the hand counters never had.
+struct ChannelCounters {
+  std::uint64_t packets = 0;     // kChannelSend
+  std::uint64_t bytes = 0;       // sum of kChannelSend lengths
+  std::uint64_t deliveries = 0;  // genuine kChannelDeliver
+  std::uint64_t duplicates = 0;  // kChannelDuplicate
+  std::uint64_t reorders = 0;    // kChannelReorder
+  std::uint64_t drops = 0;       // kChannelDrop
+  std::uint64_t interned = 0;    // kChannelIntern (arena hits)
+  std::uint64_t noise = 0;       // mutated/forged kChannelDeliver (§5)
+
+  ChannelCounters& merge(const ChannelCounters& o) noexcept {
+    packets += o.packets;
+    bytes += o.bytes;
+    deliveries += o.deliveries;
+    duplicates += o.duplicates;
+    reorders += o.reorders;
+    drops += o.drops;
+    interned += o.interned;
+    noise += o.noise;
+    return *this;
+  }
+};
+
+/// Per-station protocol accounting: what each module did with the packets
+/// it saw, and how often its random string machinery fired.
+struct ProtocolCounters {
+  std::uint64_t accepts = 0;           // kPacketAccept
+  std::uint64_t rejects = 0;           // kPacketReject
+  std::uint64_t epoch_extensions = 0;  // kEpochExtend
+  std::uint64_t string_resets = 0;     // kStringReset
+
+  ProtocolCounters& merge(const ProtocolCounters& o) noexcept {
+    accepts += o.accepts;
+    rejects += o.rejects;
+    epoch_extensions += o.epoch_extensions;
+    string_resets += o.string_resets;
+    return *this;
+  }
+};
+
+/// The counting sink. count() is inline and branch-light because it sits
+/// on the executor's hot path for every emitted event — it is the same
+/// increment the scattered hand counters used to perform, centralized.
+class CounterSink final : public EventSink {
+ public:
+  void on_event(const Event& ev) override { count(ev); }
+
+  void count(const Event& ev) noexcept {
+    switch (ev.kind) {
+      case EventKind::kStep:
+        ++link_.steps;
+        break;
+      case EventKind::kStateSample:
+        link_.max_tm_state_bits =
+            std::max(link_.max_tm_state_bits, ev.value);
+        link_.max_rm_state_bits = std::max(link_.max_rm_state_bits, ev.aux);
+        break;
+      case EventKind::kRetry:
+        ++link_.retries;
+        break;
+      case EventKind::kTxTimer:
+        ++tx_timers_;
+        break;
+      case EventKind::kCrashT:
+        ++link_.crashes_t;
+        break;
+      case EventKind::kCrashR:
+        ++link_.crashes_r;
+        break;
+      case EventKind::kSendMsg:
+        ++link_.messages_offered;
+        break;
+      case EventKind::kReceiveMsg:
+        ++deliveries_;
+        break;
+      case EventKind::kOk:
+        ++link_.oks;
+        break;
+      case EventKind::kAbort:
+        ++link_.aborted;
+        break;
+      case EventKind::kChannelSend: {
+        ChannelCounters& ch = channel_[static_cast<std::size_t>(ev.dir)];
+        ++ch.packets;
+        ch.bytes += ev.value;
+        break;
+      }
+      case EventKind::kChannelIntern:
+        ++channel_[static_cast<std::size_t>(ev.dir)].interned;
+        break;
+      case EventKind::kChannelDeliver: {
+        ChannelCounters& ch = channel_[static_cast<std::size_t>(ev.dir)];
+        if (static_cast<DeliveryKind>(ev.detail) == DeliveryKind::kGenuine) {
+          ++ch.deliveries;
+        } else {
+          ++ch.noise;
+        }
+        break;
+      }
+      case EventKind::kChannelDuplicate:
+        ++channel_[static_cast<std::size_t>(ev.dir)].duplicates;
+        break;
+      case EventKind::kChannelReorder:
+        ++channel_[static_cast<std::size_t>(ev.dir)].reorders;
+        break;
+      case EventKind::kChannelDrop:
+        ++channel_[static_cast<std::size_t>(ev.dir)].drops;
+        break;
+      case EventKind::kPacketAccept:
+        ++protocol_[static_cast<std::size_t>(ev.side)].accepts;
+        break;
+      case EventKind::kPacketReject:
+        ++protocol_[static_cast<std::size_t>(ev.side)].rejects;
+        break;
+      case EventKind::kEpochExtend:
+        ++protocol_[static_cast<std::size_t>(ev.side)].epoch_extensions;
+        break;
+      case EventKind::kStringReset:
+        ++protocol_[static_cast<std::size_t>(ev.side)].string_resets;
+        break;
+      case EventKind::kViolation:
+        switch (static_cast<ViolationKind>(ev.detail)) {
+          case ViolationKind::kCausality:
+            ++violations_.causality;
+            break;
+          case ViolationKind::kOrder:
+            ++violations_.order;
+            break;
+          case ViolationKind::kDuplication:
+            ++violations_.duplication;
+            break;
+          case ViolationKind::kReplay:
+            ++violations_.replay;
+            break;
+          case ViolationKind::kAxiom:
+            ++violations_.axiom;
+            break;
+        }
+        break;
+      case EventKind::kEventKindCount:
+        break;
+    }
+  }
+
+  // The derived views.
+  [[nodiscard]] const LinkStats& link() const noexcept { return link_; }
+  [[nodiscard]] const ViolationCounts& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] const ChannelCounters& channel(Dir dir) const noexcept {
+    return channel_[static_cast<std::size_t>(dir)];
+  }
+  [[nodiscard]] const ProtocolCounters& protocol(Side side) const noexcept {
+    return protocol_[static_cast<std::size_t>(side)];
+  }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return deliveries_;
+  }
+  [[nodiscard]] std::uint64_t tx_timers() const noexcept { return tx_timers_; }
+  [[nodiscard]] std::uint64_t noise_deliveries() const noexcept {
+    return channel_[0].noise + channel_[1].noise;
+  }
+
+  /// Folds another execution's counters in (commutative, associative —
+  /// the same contract as the per-struct merges).
+  CounterSink& merge(const CounterSink& o) noexcept {
+    link_.merge(o.link_);
+    violations_.merge(o.violations_);
+    channel_[0].merge(o.channel_[0]);
+    channel_[1].merge(o.channel_[1]);
+    protocol_[0].merge(o.protocol_[0]);
+    protocol_[1].merge(o.protocol_[1]);
+    deliveries_ += o.deliveries_;
+    tx_timers_ += o.tx_timers_;
+    return *this;
+  }
+
+  void reset() noexcept { *this = CounterSink{}; }
+
+ private:
+  LinkStats link_;
+  ViolationCounts violations_;
+  ChannelCounters channel_[2];   // indexed by Dir
+  ProtocolCounters protocol_[2];  // indexed by Side
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t tx_timers_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,121 @@
+#include "obs/event.h"
+
+namespace s2d {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kStep:
+      return "step";
+    case EventKind::kStateSample:
+      return "state_sample";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kTxTimer:
+      return "tx_timer";
+    case EventKind::kCrashT:
+      return "crash_t";
+    case EventKind::kCrashR:
+      return "crash_r";
+    case EventKind::kSendMsg:
+      return "send_msg";
+    case EventKind::kReceiveMsg:
+      return "receive_msg";
+    case EventKind::kOk:
+      return "ok";
+    case EventKind::kAbort:
+      return "abort";
+    case EventKind::kChannelSend:
+      return "channel_send";
+    case EventKind::kChannelIntern:
+      return "channel_intern";
+    case EventKind::kChannelDeliver:
+      return "channel_deliver";
+    case EventKind::kChannelDuplicate:
+      return "channel_duplicate";
+    case EventKind::kChannelReorder:
+      return "channel_reorder";
+    case EventKind::kChannelDrop:
+      return "channel_drop";
+    case EventKind::kPacketAccept:
+      return "packet_accept";
+    case EventKind::kPacketReject:
+      return "packet_reject";
+    case EventKind::kEpochExtend:
+      return "epoch_extend";
+    case EventKind::kStringReset:
+      return "string_reset";
+    case EventKind::kViolation:
+      return "violation";
+    case EventKind::kEventKindCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* dir_name(Dir dir) noexcept {
+  return dir == Dir::kTR ? "tr" : "rt";
+}
+
+const char* side_name(Side side) noexcept {
+  return side == Side::kTm ? "tm" : "rm";
+}
+
+const char* delivery_kind_name(DeliveryKind k) noexcept {
+  switch (k) {
+    case DeliveryKind::kGenuine:
+      return "genuine";
+    case DeliveryKind::kMutated:
+      return "mutated";
+    case DeliveryKind::kForged:
+      return "forged";
+  }
+  return "unknown";
+}
+
+const char* accept_kind_name(AcceptKind k) noexcept {
+  switch (k) {
+    case AcceptKind::kDeliver:
+      return "deliver";
+    case AcceptKind::kExtend:
+      return "extend";
+    case AcceptKind::kOk:
+      return "ok";
+    case AcceptKind::kChallenge:
+      return "challenge";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::kMalformed:
+      return "malformed";
+    case RejectReason::kWrongChallenge:
+      return "wrong_challenge";
+    case RejectReason::kStaleChallenge:
+      return "stale_challenge";
+    case RejectReason::kStalePrefix:
+      return "stale_prefix";
+    case RejectReason::kStaleRetry:
+      return "stale_retry";
+  }
+  return "unknown";
+}
+
+const char* violation_kind_name(ViolationKind v) noexcept {
+  switch (v) {
+    case ViolationKind::kCausality:
+      return "causality";
+    case ViolationKind::kOrder:
+      return "order";
+    case ViolationKind::kDuplication:
+      return "duplication";
+    case ViolationKind::kReplay:
+      return "replay";
+    case ViolationKind::kAxiom:
+      return "axiom";
+  }
+  return "unknown";
+}
+
+}  // namespace s2d

@@ -1,0 +1,165 @@
+// The unified instrumentation layer: typed events from channel to fleet.
+//
+// Every observable thing that happens inside a data-link execution —
+// a channel send, an adversary-scheduled delivery (and whether it was a
+// duplicate or a reordering), a packet acceptance or rejection with the
+// protocol's *reason*, an epoch extension after bound(t) wrong packets,
+// a crash and the string reset it forces, an OK/abort, a §2.6 checker
+// violation — is one `Event`: a fixed-size POD emitted into the
+// executor's EventBus and fanned out to attached EventSinks.
+//
+// The event layer replaces the previous patchwork of hand-updated
+// counter structs: LinkStats and ViolationCounts are now *derived views*
+// maintained by the CounterSink (obs/counters.h), and trace sinks
+// (RingTraceSink, JsonlTraceSink) answer the question counters cannot —
+// not just *what* went wrong but *when and why*.
+//
+// Cost discipline (the util/log.h rule): events are PODs built on the
+// stack, the bus emit is inline, and the no-trace-sink path costs one
+// branch per event beyond the counter increment the legacy code already
+// paid. Nothing on the emit path allocates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace s2d {
+
+/// One tag per observable action, ordered roughly by layer: executor,
+/// message level, channel level, protocol level, checker. Must stay
+/// below 32 kinds so a kind set fits an EventMask word.
+enum class EventKind : std::uint8_t {
+  // Executor (DataLink).
+  kStep,         // one scheduling step begins; counts LinkStats::steps
+  kStateSample,  // end-of-step state sizes: value=TM bits, aux=RM bits
+  kRetry,        // the RM RETRY internal action fired
+  kTxTimer,      // the transmitter retransmission timer fired
+  kCrashT,       // crash^T
+  kCrashR,       // crash^R
+
+  // Message level (the higher-layer interface).
+  kSendMsg,     // send_msg(m): msg = message id
+  kReceiveMsg,  // receive_msg(m): delivery to the higher layer
+  kOk,          // OK: the in-flight message was confirmed
+  kAbort,       // crash^T cut the in-flight message short; msg = its id
+
+  // Channel level (§2.3). dir says which channel; pkt the identifier.
+  kChannelSend,       // send_pkt: value = wire length
+  kChannelIntern,     // the payload was already in the arena (stored free)
+  kChannelDeliver,    // adversary-scheduled delivery; detail = DeliveryKind,
+                      // value = wire length, aux = prior delivery count
+  kChannelDuplicate,  // this delivery was a re-delivery of pkt
+  kChannelReorder,    // a higher (newer) id was already delivered
+  kChannelDrop,       // a scheduled delivery was dropped (unknown id, or a
+                      // noise decision with allow_noise off)
+
+  // Protocol level (emitted by the modules themselves).
+  kPacketAccept,  // detail = AcceptKind; msg set for kDeliver
+  kPacketReject,  // detail = RejectReason
+  kEpochExtend,   // num reached bound(t): value = new t, aux = bits appended
+  kStringReset,   // tau/rho rebuilt from scratch: value = new length in bits
+
+  // Checker (§2.6).
+  kViolation,  // detail = ViolationKind; msg set when message-specific
+
+  kEventKindCount,
+};
+
+/// Which channel a channel-level event concerns.
+enum class Dir : std::uint8_t {
+  kTR,  // transmitter -> receiver
+  kRT,  // receiver -> transmitter
+};
+
+/// Which station a protocol-level event concerns.
+enum class Side : std::uint8_t {
+  kTm,  // transmitting station
+  kRm,  // receiving station
+};
+
+/// kChannelDeliver detail: how the delivered bytes relate to the send.
+enum class DeliveryKind : std::uint8_t {
+  kGenuine,  // exact bytes of a previously sent packet
+  kMutated,  // bit-flipped copy (§5 noise; needs allow_noise)
+  kForged,   // random bytes never sent (§5 forgery; needs allow_noise)
+};
+
+/// kPacketAccept detail: what the module did with the packet.
+enum class AcceptKind : std::uint8_t {
+  kDeliver,    // RM: fresh message, receive_msg emitted
+  kExtend,     // RM: same message with an equal/extended tau; adopted
+  kOk,         // TM: the ack confirms tau^T; OK emitted
+  kChallenge,  // TM: fresh ack adopted as the new challenge (no OK)
+};
+
+/// kPacketReject detail: why the module ignored the packet.
+enum class RejectReason : std::uint8_t {
+  kMalformed,       // failed to decode (or failed to unpad)
+  kWrongChallenge,  // current-length challenge mismatch: charged to num
+  kStaleChallenge,  // challenge of a non-current length: provably old
+  kStalePrefix,     // tau a strict prefix of tau^R: an old packet
+  kStaleRetry,      // TM: ack retry counter i <= i^T: replayed/reordered
+};
+
+/// kViolation detail: which §2.6 condition (or environment axiom) failed.
+enum class ViolationKind : std::uint8_t {
+  kCausality,
+  kOrder,
+  kDuplication,
+  kReplay,
+  kAxiom,
+};
+
+/// One observable action. Fixed-size POD; field meaning depends on kind
+/// (see the per-kind comments above). Unused fields are zero, so event
+/// sequences compare and hash bytewise.
+struct Event {
+  EventKind kind{};
+  Dir dir = Dir::kTR;
+  Side side = Side::kTm;
+  std::uint8_t detail = 0;  // DeliveryKind / AcceptKind / RejectReason /
+                            // ViolationKind, per kind
+  std::uint64_t step = 0;   // executor step; stamped by the bus
+  std::uint64_t pkt = 0;    // packet id (channel/packet events)
+  std::uint64_t msg = 0;    // message id (message-level events)
+  std::uint64_t value = 0;  // kind-specific scalar (length, new t, bits)
+  std::uint64_t aux = 0;    // kind-specific scalar (see kind comments)
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Bitset over EventKind (kEventKindCount <= 32 by static_assert below).
+using EventMask = std::uint32_t;
+
+inline constexpr EventMask kAllEvents = ~EventMask{0};
+
+[[nodiscard]] constexpr EventMask event_bit(EventKind kind) noexcept {
+  return EventMask{1} << static_cast<unsigned>(kind);
+}
+
+static_assert(static_cast<unsigned>(EventKind::kEventKindCount) <= 32,
+              "EventMask is a 32-bit kind set");
+
+/// The per-step bookkeeping events; trace sinks usually exclude them so
+/// timelines show transitions, not clock ticks.
+inline constexpr EventMask kTickEvents =
+    event_bit(EventKind::kStep) | event_bit(EventKind::kStateSample);
+
+/// Stable lower_snake names ("channel_send") for rendering and JSONL.
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+[[nodiscard]] const char* dir_name(Dir dir) noexcept;            // "tr"/"rt"
+[[nodiscard]] const char* side_name(Side side) noexcept;         // "tm"/"rm"
+[[nodiscard]] const char* delivery_kind_name(DeliveryKind k) noexcept;
+[[nodiscard]] const char* accept_kind_name(AcceptKind k) noexcept;
+[[nodiscard]] const char* reject_reason_name(RejectReason r) noexcept;
+[[nodiscard]] const char* violation_kind_name(ViolationKind v) noexcept;
+
+/// A consumer of the event stream. Sinks are not owned by the bus; the
+/// attacher keeps them alive for as long as they stay attached.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& ev) = 0;
+};
+
+}  // namespace s2d

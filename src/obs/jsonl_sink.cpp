@@ -1,0 +1,113 @@
+#include "obs/jsonl_sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace s2d {
+namespace {
+
+void kv_u64(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64, key, v);
+  out += buf;
+}
+
+void kv_str(std::string& out, const char* key, const char* v) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  out += v;  // enum names are fixed identifiers; no escaping needed
+  out += '"';
+}
+
+}  // namespace
+
+std::string event_to_json(const Event& ev) {
+  std::string out = "{\"step\":";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.step);
+    out += buf;
+  }
+  kv_str(out, "kind", event_kind_name(ev.kind));
+  switch (ev.kind) {
+    case EventKind::kStep:
+    case EventKind::kRetry:
+    case EventKind::kTxTimer:
+    case EventKind::kCrashT:
+    case EventKind::kCrashR:
+    case EventKind::kOk:
+      break;
+    case EventKind::kStateSample:
+      kv_u64(out, "tm_bits", ev.value);
+      kv_u64(out, "rm_bits", ev.aux);
+      break;
+    case EventKind::kSendMsg:
+    case EventKind::kReceiveMsg:
+    case EventKind::kAbort:
+      kv_u64(out, "msg", ev.msg);
+      break;
+    case EventKind::kChannelSend:
+    case EventKind::kChannelIntern:
+      kv_str(out, "dir", dir_name(ev.dir));
+      kv_u64(out, "pkt", ev.pkt);
+      kv_u64(out, "len", ev.value);
+      break;
+    case EventKind::kChannelDeliver:
+      kv_str(out, "dir", dir_name(ev.dir));
+      kv_u64(out, "pkt", ev.pkt);
+      kv_u64(out, "len", ev.value);
+      kv_str(out, "delivery",
+             delivery_kind_name(static_cast<DeliveryKind>(ev.detail)));
+      kv_u64(out, "seen", ev.aux);
+      break;
+    case EventKind::kChannelDuplicate:
+    case EventKind::kChannelDrop:
+      kv_str(out, "dir", dir_name(ev.dir));
+      kv_u64(out, "pkt", ev.pkt);
+      break;
+    case EventKind::kChannelReorder:
+      kv_str(out, "dir", dir_name(ev.dir));
+      kv_u64(out, "pkt", ev.pkt);
+      kv_u64(out, "newest", ev.aux);
+      break;
+    case EventKind::kPacketAccept:
+      kv_str(out, "side", side_name(ev.side));
+      kv_str(out, "accept",
+             accept_kind_name(static_cast<AcceptKind>(ev.detail)));
+      if (ev.msg != 0) kv_u64(out, "msg", ev.msg);
+      break;
+    case EventKind::kPacketReject:
+      kv_str(out, "side", side_name(ev.side));
+      kv_str(out, "reason",
+             reject_reason_name(static_cast<RejectReason>(ev.detail)));
+      break;
+    case EventKind::kEpochExtend:
+      kv_str(out, "side", side_name(ev.side));
+      kv_u64(out, "t", ev.value);
+      kv_u64(out, "bits", ev.aux);
+      break;
+    case EventKind::kStringReset:
+      kv_str(out, "side", side_name(ev.side));
+      kv_u64(out, "bits", ev.value);
+      break;
+    case EventKind::kViolation:
+      kv_str(out, "condition",
+             violation_kind_name(static_cast<ViolationKind>(ev.detail)));
+      if (ev.msg != 0) kv_u64(out, "msg", ev.msg);
+      break;
+    case EventKind::kEventKindCount:
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+void JsonlTraceSink::on_event(const Event& ev) {
+  if ((mask_ & event_bit(ev.kind)) == 0) return;
+  out_ << event_to_json(ev) << '\n';
+  ++lines_;
+}
+
+}  // namespace s2d

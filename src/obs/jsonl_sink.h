@@ -1,0 +1,37 @@
+// JsonlTraceSink: one JSON object per event, one event per line.
+//
+// The offline-analysis sink: stream an execution's events to a file and
+// slice them with jq/pandas afterwards. Only fields meaningful for the
+// event's kind are emitted, and enum fields are written as their stable
+// lower_snake names (obs/event.h), so downstream tooling never has to
+// know the numeric encodings.
+//
+// This sink writes on every event — attach it for offline analysis, not
+// on alloc-budgeted hot paths.
+#pragma once
+
+#include <ostream>
+
+#include "obs/event.h"
+
+namespace s2d {
+
+class JsonlTraceSink final : public EventSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out, EventMask mask = kAllEvents)
+      : out_(out), mask_(mask) {}
+
+  void on_event(const Event& ev) override;
+
+  [[nodiscard]] std::uint64_t lines() const noexcept { return lines_; }
+
+ private:
+  std::ostream& out_;
+  EventMask mask_;
+  std::uint64_t lines_ = 0;
+};
+
+/// The one-line JSON rendering used by the sink, exposed for tests.
+[[nodiscard]] std::string event_to_json(const Event& ev);
+
+}  // namespace s2d

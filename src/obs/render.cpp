@@ -1,0 +1,99 @@
+#include "obs/render.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace s2d {
+namespace {
+
+/// Appends printf-formatted text to `out` (events are tiny; 160 bytes
+/// covers every shape with room to spare).
+template <typename... Args>
+void append(std::string& out, const char* fmt, Args... args) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_event(const Event& ev) {
+  std::string out;
+  append(out, "[%8" PRIu64 "] %-17s", ev.step, event_kind_name(ev.kind));
+  switch (ev.kind) {
+    case EventKind::kStep:
+    case EventKind::kRetry:
+    case EventKind::kTxTimer:
+    case EventKind::kCrashT:
+    case EventKind::kCrashR:
+    case EventKind::kOk:
+      break;
+    case EventKind::kStateSample:
+      append(out, " tm=%" PRIu64 "b rm=%" PRIu64 "b", ev.value, ev.aux);
+      break;
+    case EventKind::kSendMsg:
+    case EventKind::kReceiveMsg:
+    case EventKind::kAbort:
+      append(out, " msg=%" PRIu64, ev.msg);
+      break;
+    case EventKind::kChannelSend:
+    case EventKind::kChannelIntern:
+      append(out, " %s pkt=%" PRIu64 " len=%" PRIu64, dir_name(ev.dir),
+             ev.pkt, ev.value);
+      break;
+    case EventKind::kChannelDeliver:
+      append(out, " %s pkt=%" PRIu64 " len=%" PRIu64, dir_name(ev.dir),
+             ev.pkt, ev.value);
+      if (static_cast<DeliveryKind>(ev.detail) != DeliveryKind::kGenuine) {
+        append(out, " %s",
+               delivery_kind_name(static_cast<DeliveryKind>(ev.detail)));
+      }
+      if (ev.aux > 0) append(out, " seen=%" PRIu64, ev.aux);
+      break;
+    case EventKind::kChannelDuplicate:
+      append(out, " %s pkt=%" PRIu64, dir_name(ev.dir), ev.pkt);
+      break;
+    case EventKind::kChannelReorder:
+      append(out, " %s pkt=%" PRIu64 " newest=%" PRIu64, dir_name(ev.dir),
+             ev.pkt, ev.aux);
+      break;
+    case EventKind::kChannelDrop:
+      append(out, " %s pkt=%" PRIu64, dir_name(ev.dir), ev.pkt);
+      break;
+    case EventKind::kPacketAccept:
+      append(out, " %s %s", side_name(ev.side),
+             accept_kind_name(static_cast<AcceptKind>(ev.detail)));
+      if (ev.msg != 0) append(out, " msg=%" PRIu64, ev.msg);
+      break;
+    case EventKind::kPacketReject:
+      append(out, " %s %s", side_name(ev.side),
+             reject_reason_name(static_cast<RejectReason>(ev.detail)));
+      break;
+    case EventKind::kEpochExtend:
+      append(out, " %s t=%" PRIu64 " +%" PRIu64 "b", side_name(ev.side),
+             ev.value, ev.aux);
+      break;
+    case EventKind::kStringReset:
+      append(out, " %s len=%" PRIu64 "b", side_name(ev.side), ev.value);
+      break;
+    case EventKind::kViolation:
+      append(out, " %s",
+             violation_kind_name(static_cast<ViolationKind>(ev.detail)));
+      if (ev.msg != 0) append(out, " msg=%" PRIu64, ev.msg);
+      break;
+    case EventKind::kEventKindCount:
+      break;
+  }
+  // Field-less kinds leave the %-17s padding dangling; golden-file diffs
+  // want no trailing whitespace.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+void TimelineSink::on_event(const Event& ev) {
+  if ((mask_ & event_bit(ev.kind)) == 0) return;
+  out_ << format_event(ev) << '\n';
+  ++lines_;
+}
+
+}  // namespace s2d

@@ -1,0 +1,41 @@
+// Human-readable event rendering: one deterministic line per event.
+//
+// format_event() is a pure function of the Event, so a timeline printed
+// from any sink — live through a TimelineSink, post-hoc from a
+// RingTraceSink snapshot — is byte-identical for identical event
+// sequences. tools/replay --trace and the fuzzer's counterexample
+// annotations both render through here, and CI diffs the output against
+// golden files.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/event.h"
+
+namespace s2d {
+
+/// One line (no trailing newline), e.g.
+///   [     12] channel_send     tr pkt=3 len=34
+///   [     37] packet_reject    rm stale_prefix
+[[nodiscard]] std::string format_event(const Event& ev);
+
+/// Streams format_event(ev) lines as events happen. The per-step tick
+/// events are excluded by default so timelines show transitions.
+class TimelineSink final : public EventSink {
+ public:
+  explicit TimelineSink(std::ostream& out,
+                        EventMask mask = kAllEvents & ~kTickEvents)
+      : out_(out), mask_(mask) {}
+
+  void on_event(const Event& ev) override;
+
+  [[nodiscard]] std::uint64_t lines() const noexcept { return lines_; }
+
+ private:
+  std::ostream& out_;
+  EventMask mask_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,69 @@
+// RingTraceSink: the last-N-events flight recorder.
+//
+// A fixed-capacity ring of Events, fully allocated at construction —
+// pushing events performs zero heap work (PR 3's hot-path discipline),
+// so the sink can stay attached through multi-million-step executions
+// and still answer "what were the last N things that happened?" when a
+// violation finally fires. The fuzzer uses exactly this to annotate
+// shrunk counterexamples with the violating event suffix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace s2d {
+
+class RingTraceSink final : public EventSink {
+ public:
+  /// `capacity` events are preallocated here; `mask` filters which kinds
+  /// are recorded (per-step ticks are excluded by default so the ring
+  /// holds transitions, not clock ticks).
+  explicit RingTraceSink(std::size_t capacity,
+                         EventMask mask = kAllEvents & ~kTickEvents)
+      : mask_(mask), buf_(capacity == 0 ? 1 : capacity) {}
+
+  void on_event(const Event& ev) override {
+    if ((mask_ & event_bit(ev.kind)) == 0) return;
+    buf_[total_ % buf_.size()] = ev;
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                                : buf_.size();
+  }
+
+  /// Events ever recorded (wraparound does not forget the count).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// i-th retained event, oldest first (0 <= i < size()).
+  [[nodiscard]] const Event& at(std::size_t i) const noexcept {
+    const std::size_t start =
+        total_ < buf_.size() ? 0
+                             : static_cast<std::size_t>(total_ % buf_.size());
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  /// Oldest-first copy of the retained events (allocates; tooling only).
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) out.push_back(at(i));
+    return out;
+  }
+
+  /// Forgets all retained events; capacity (and its storage) is kept.
+  void clear() noexcept { total_ = 0; }
+
+ private:
+  EventMask mask_;
+  std::vector<Event> buf_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace s2d

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/log.h"
 #include "util/parallel.h"
 
 namespace s2d {
@@ -25,6 +26,11 @@ Flags& Flags::define_fuzz() {
       .define("fuzz-depth", "100",
               "steps per script (schedule depth)")
       .define("fuzz-seed", "1989", "root seed of the fuzz run");
+}
+
+Flags& Flags::define_log_level() {
+  return define("log-level", "warn",
+                "stderr log threshold: trace|debug|info|warn|error|off");
 }
 
 void Flags::usage() const {
@@ -94,6 +100,30 @@ double Flags::get_double(const std::string& name) const {
 
 unsigned Flags::get_threads(const std::string& name) const {
   return resolve_threads(static_cast<unsigned>(get_u64(name)));
+}
+
+bool Flags::apply_log_level(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "trace") {
+    set_log_level(LogLevel::kTrace);
+  } else if (v == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else if (v == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (v == "warn") {
+    set_log_level(LogLevel::kWarn);
+  } else if (v == "error") {
+    set_log_level(LogLevel::kError);
+  } else if (v == "off") {
+    set_log_level(LogLevel::kOff);
+  } else {
+    std::fprintf(stderr,
+                 "invalid --%s value: %s "
+                 "(expected trace|debug|info|warn|error|off)\n",
+                 name.c_str(), v.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool Flags::get_bool(const std::string& name) const {

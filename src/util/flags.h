@@ -30,6 +30,10 @@ class Flags {
   /// binaries: `--fuzz-scripts`, `--fuzz-depth`, `--fuzz-seed`.
   Flags& define_fuzz();
 
+  /// Registers the standard `--log-level` flag
+  /// (trace|debug|info|warn|error|off; default warn).
+  Flags& define_log_level();
+
   /// Parses argv; on --help prints usage and returns false (caller should
   /// exit 0). On error prints a message and returns false (caller should
   /// exit nonzero — check failed()).
@@ -46,6 +50,12 @@ class Flags {
   /// Resolved worker-thread count for a `--threads`-style flag: the flag
   /// value, with 0 mapped to std::thread::hardware_concurrency().
   [[nodiscard]] unsigned get_threads(const std::string& name = "threads") const;
+
+  /// Applies the parsed `--log-level` value to the process-global logger
+  /// (util/log.h). Returns false (with a stderr message) on an
+  /// unrecognized level name.
+  [[nodiscard]] bool apply_log_level(
+      const std::string& name = "log-level") const;
 
   /// Parses a comma-separated list of doubles/ints, e.g. "0.1,0.2,0.5".
   [[nodiscard]] std::vector<double> get_double_list(

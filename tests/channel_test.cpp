@@ -136,8 +136,8 @@ TEST(Channel, StatsAccumulate) {
   c.send(bytes_of({3, 4, 5}), 0);
   EXPECT_EQ(c.bytes_sent(), 5u);
   EXPECT_EQ(c.deliveries(), 0u);
-  c.note_delivery();
-  c.note_delivery();
+  c.note_delivery(0);
+  c.note_delivery(0);
   EXPECT_EQ(c.deliveries(), 2u);
 }
 

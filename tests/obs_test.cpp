@@ -1,0 +1,486 @@
+// Event-bus tests: the CounterSink's derived views must agree with the
+// ground truth every layer keeps for itself (channel intrinsics, checker
+// counts), trace sinks must be deterministic flight recorders, and the
+// rendering must be stable enough to diff against golden files.
+//
+// S2D_CORPUS_DIR is injected by tests/CMakeLists.txt (shared with
+// corpus_test.cpp): the determinism tests replay real checked-in witness
+// scripts.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "core/ghm.h"
+#include "fleet/fleet.h"
+#include "harness/fuzzer.h"
+#include "harness/runner.h"
+#include "harness/systems.h"
+#include "link/datalink.h"
+#include "link/script.h"
+#include "obs/bus.h"
+#include "obs/counters.h"
+#include "obs/jsonl_sink.h"
+#include "obs/render.h"
+#include "obs/ring_sink.h"
+#include "util/flags.h"
+#include "util/log.h"
+
+namespace s2d {
+namespace {
+
+// --- RingTraceSink -------------------------------------------------------
+
+Event send_msg_event(std::uint64_t id) {
+  return Event{.kind = EventKind::kSendMsg, .msg = id};
+}
+
+TEST(RingTraceSink, WrapAroundKeepsTheNewestEventsOldestFirst) {
+  RingTraceSink ring(8, kAllEvents);
+  for (std::uint64_t i = 0; i < 20; ++i) ring.on_event(send_msg_event(i));
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.total(), 20u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).msg, 12 + i) << "slot " << i;
+  }
+  const std::vector<Event> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().msg, 12u);
+  EXPECT_EQ(snap.back().msg, 19u);
+}
+
+TEST(RingTraceSink, BelowCapacityHoldsEverything) {
+  RingTraceSink ring(16, kAllEvents);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.on_event(send_msg_event(i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.total(), 5u);
+  EXPECT_EQ(ring.at(0).msg, 0u);
+  EXPECT_EQ(ring.at(4).msg, 4u);
+}
+
+TEST(RingTraceSink, DefaultMaskExcludesPerStepTicks) {
+  RingTraceSink ring(8);  // default mask: kAllEvents & ~kTickEvents
+  ring.on_event(Event{.kind = EventKind::kStep});
+  ring.on_event(Event{.kind = EventKind::kStateSample, .value = 7});
+  ring.on_event(send_msg_event(1));
+  EXPECT_EQ(ring.total(), 1u);
+  EXPECT_EQ(ring.at(0).kind, EventKind::kSendMsg);
+}
+
+TEST(RingTraceSink, ZeroCapacityIsClampedNotUndefined) {
+  RingTraceSink ring(0, kAllEvents);
+  ring.on_event(send_msg_event(1));
+  ring.on_event(send_msg_event(2));
+  EXPECT_EQ(ring.capacity(), 1u);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).msg, 2u);
+}
+
+TEST(RingTraceSink, ClearForgetsEventsKeepsCapacity) {
+  RingTraceSink ring(4, kAllEvents);
+  for (std::uint64_t i = 0; i < 9; ++i) ring.on_event(send_msg_event(i));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 0u);
+  ring.on_event(send_msg_event(42));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).msg, 42u);
+}
+
+// --- rendering -----------------------------------------------------------
+
+TEST(Render, FormatEventShapesAreStable) {
+  EXPECT_EQ(format_event(Event{.kind = EventKind::kRetry, .step = 3}),
+            "[       3] retry");
+  EXPECT_EQ(format_event(Event{.kind = EventKind::kSendMsg,
+                               .step = 1,
+                               .msg = 7}),
+            "[       1] send_msg          msg=7");
+  EXPECT_EQ(format_event(Event{.kind = EventKind::kChannelSend,
+                               .dir = Dir::kTR,
+                               .step = 12,
+                               .pkt = 3,
+                               .value = 34}),
+            "[      12] channel_send      tr pkt=3 len=34");
+  EXPECT_EQ(format_event(Event{.kind = EventKind::kPacketReject,
+                               .side = Side::kRm,
+                               .detail =
+                                   static_cast<std::uint8_t>(
+                                       RejectReason::kStalePrefix),
+                               .step = 37}),
+            "[      37] packet_reject     rm stale_prefix");
+  EXPECT_EQ(format_event(Event{.kind = EventKind::kViolation,
+                               .detail =
+                                   static_cast<std::uint8_t>(
+                                       ViolationKind::kDuplication),
+                               .step = 9,
+                               .msg = 2}),
+            "[       9] violation         duplication msg=2");
+}
+
+TEST(Render, NoLineCarriesTrailingWhitespace) {
+  // Field-less kinds would otherwise keep the %-17s padding; golden-file
+  // diffs must stay whitespace-clean.
+  for (unsigned k = 0;
+       k < static_cast<unsigned>(EventKind::kEventKindCount); ++k) {
+    const std::string line =
+        format_event(Event{.kind = static_cast<EventKind>(k)});
+    ASSERT_FALSE(line.empty());
+    EXPECT_NE(line.back(), ' ') << "kind " << k << ": '" << line << "'";
+  }
+}
+
+TEST(Render, JsonLinesAreWellFormedObjects) {
+  const std::string plain = event_to_json(send_msg_event(5));
+  EXPECT_EQ(plain, "{\"step\":0,\"kind\":\"send_msg\",\"msg\":5}");
+  const std::string deliver =
+      event_to_json(Event{.kind = EventKind::kChannelDeliver,
+                          .dir = Dir::kRT,
+                          .step = 4,
+                          .pkt = 2,
+                          .value = 20});
+  EXPECT_EQ(deliver,
+            "{\"step\":4,\"kind\":\"channel_deliver\",\"dir\":\"rt\","
+            "\"pkt\":2,\"len\":20,\"delivery\":\"genuine\",\"seen\":0}");
+}
+
+// --- CounterSink ---------------------------------------------------------
+
+void expect_counters_equal(const CounterSink& a, const CounterSink& b) {
+  EXPECT_EQ(a.link().steps, b.link().steps);
+  EXPECT_EQ(a.link().messages_offered, b.link().messages_offered);
+  EXPECT_EQ(a.link().oks, b.link().oks);
+  EXPECT_EQ(a.link().aborted, b.link().aborted);
+  EXPECT_EQ(a.link().crashes_t, b.link().crashes_t);
+  EXPECT_EQ(a.link().crashes_r, b.link().crashes_r);
+  EXPECT_EQ(a.link().retries, b.link().retries);
+  EXPECT_EQ(a.link().max_tm_state_bits, b.link().max_tm_state_bits);
+  EXPECT_EQ(a.link().max_rm_state_bits, b.link().max_rm_state_bits);
+  EXPECT_EQ(a.violations().causality, b.violations().causality);
+  EXPECT_EQ(a.violations().order, b.violations().order);
+  EXPECT_EQ(a.violations().duplication, b.violations().duplication);
+  EXPECT_EQ(a.violations().replay, b.violations().replay);
+  EXPECT_EQ(a.violations().axiom, b.violations().axiom);
+  for (const Dir dir : {Dir::kTR, Dir::kRT}) {
+    EXPECT_EQ(a.channel(dir).packets, b.channel(dir).packets);
+    EXPECT_EQ(a.channel(dir).bytes, b.channel(dir).bytes);
+    EXPECT_EQ(a.channel(dir).deliveries, b.channel(dir).deliveries);
+    EXPECT_EQ(a.channel(dir).duplicates, b.channel(dir).duplicates);
+    EXPECT_EQ(a.channel(dir).reorders, b.channel(dir).reorders);
+    EXPECT_EQ(a.channel(dir).drops, b.channel(dir).drops);
+    EXPECT_EQ(a.channel(dir).interned, b.channel(dir).interned);
+    EXPECT_EQ(a.channel(dir).noise, b.channel(dir).noise);
+  }
+  for (const Side side : {Side::kTm, Side::kRm}) {
+    EXPECT_EQ(a.protocol(side).accepts, b.protocol(side).accepts);
+    EXPECT_EQ(a.protocol(side).rejects, b.protocol(side).rejects);
+    EXPECT_EQ(a.protocol(side).epoch_extensions,
+              b.protocol(side).epoch_extensions);
+    EXPECT_EQ(a.protocol(side).string_resets,
+              b.protocol(side).string_resets);
+  }
+  EXPECT_EQ(a.deliveries(), b.deliveries());
+  EXPECT_EQ(a.tx_timers(), b.tx_timers());
+}
+
+TEST(CounterSink, MergeIsCommutative) {
+  // Two disjoint event histories; folding either way must agree.
+  CounterSink a;
+  a.count(Event{.kind = EventKind::kStep});
+  a.count(send_msg_event(1));
+  a.count(Event{.kind = EventKind::kChannelSend,
+                .dir = Dir::kTR,
+                .pkt = 0,
+                .value = 30});
+  a.count(Event{.kind = EventKind::kStateSample, .value = 100, .aux = 40});
+  CounterSink b;
+  b.count(Event{.kind = EventKind::kRetry});
+  b.count(Event{.kind = EventKind::kViolation,
+                .detail =
+                    static_cast<std::uint8_t>(ViolationKind::kReplay)});
+  b.count(Event{.kind = EventKind::kStateSample, .value = 60, .aux = 90});
+  b.count(Event{.kind = EventKind::kPacketAccept, .side = Side::kRm});
+
+  CounterSink ab = a;
+  ab.merge(b);
+  CounterSink ba = b;
+  ba.merge(a);
+  expect_counters_equal(ab, ba);
+  // Spot-check the derived values themselves.
+  EXPECT_EQ(ab.link().steps, 1u);
+  EXPECT_EQ(ab.link().max_tm_state_bits, 100u);
+  EXPECT_EQ(ab.link().max_rm_state_bits, 90u);
+  EXPECT_EQ(ab.violations().replay, 1u);
+  EXPECT_EQ(ab.channel(Dir::kTR).bytes, 30u);
+  EXPECT_EQ(ab.protocol(Side::kRm).accepts, 1u);
+}
+
+// Drives a real GHM link through a chaotic workload, then cross-checks
+// every CounterSink view against the ground truth the layers keep for
+// themselves. This is the differential guarantee that made the refactor
+// safe: derived counters == legacy hand counters, field for field.
+TEST(CounterSink, DerivedViewsMatchChannelAndCheckerGroundTruth) {
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), /*seed=*/77);
+  DataLinkConfig cfg;
+  cfg.retry_every = 3;
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<RandomFaultAdversary>(
+                    FaultProfile::chaos(0.05), Rng(1234)),
+                cfg);
+  WorkloadConfig wl;
+  wl.messages = 40;
+  wl.payload_bytes = 8;
+  const RunReport report = run_workload(link, wl, Rng(99));
+
+  const CounterSink& c = link.counters();
+  // Channel intrinsics (the arena and meta vectors the channel maintains
+  // for the adversary interface) vs the event-derived wire accounting.
+  EXPECT_EQ(c.channel(Dir::kTR).packets, link.tr_channel().packets_sent());
+  EXPECT_EQ(c.channel(Dir::kTR).bytes, link.tr_channel().bytes_sent());
+  EXPECT_EQ(c.channel(Dir::kTR).deliveries, link.tr_channel().deliveries());
+  EXPECT_EQ(c.channel(Dir::kTR).interned,
+            link.tr_channel().interned_sends());
+  EXPECT_EQ(c.channel(Dir::kRT).packets, link.rt_channel().packets_sent());
+  EXPECT_EQ(c.channel(Dir::kRT).bytes, link.rt_channel().bytes_sent());
+  EXPECT_EQ(c.channel(Dir::kRT).deliveries, link.rt_channel().deliveries());
+  EXPECT_EQ(c.channel(Dir::kRT).interned,
+            link.rt_channel().interned_sends());
+  // Checker ground truth vs the event-derived views.
+  EXPECT_EQ(c.deliveries(), link.checker().deliveries());
+  EXPECT_EQ(c.link().oks, link.checker().oks());
+  EXPECT_EQ(c.link().messages_offered, link.checker().sends());
+  EXPECT_EQ(c.violations().causality, link.checker().violations().causality);
+  EXPECT_EQ(c.violations().order, link.checker().violations().order);
+  EXPECT_EQ(c.violations().duplication,
+            link.checker().violations().duplication);
+  EXPECT_EQ(c.violations().replay, link.checker().violations().replay);
+  EXPECT_EQ(c.violations().axiom, link.checker().violations().axiom);
+  // RunReport consumes the same sink; it must agree with itself.
+  EXPECT_EQ(report.tr_packets, c.channel(Dir::kTR).packets);
+  EXPECT_EQ(report.rt_packets, c.channel(Dir::kRT).packets);
+  EXPECT_EQ(report.tr_bytes, c.channel(Dir::kTR).bytes);
+  EXPECT_EQ(report.rt_bytes, c.channel(Dir::kRT).bytes);
+  EXPECT_EQ(report.link.oks, report.completed);
+  // The chaos profile actually exercised the interesting paths.
+  EXPECT_GT(c.channel(Dir::kTR).duplicates + c.channel(Dir::kRT).duplicates,
+            0u);
+  EXPECT_GT(c.protocol(Side::kTm).rejects + c.protocol(Side::kRm).rejects,
+            0u);
+  EXPECT_GT(c.protocol(Side::kTm).string_resets, 0u);
+}
+
+// --- bus attach/detach ---------------------------------------------------
+
+TEST(EventBus, DetachedSinkStopsReceivingEvents) {
+  auto pair = make_ghm(GrowthPolicy::geometric(1.0 / 1024), /*seed=*/5);
+  DataLink link(std::move(pair.tm), std::move(pair.rm),
+                std::make_unique<BenignFifoAdversary>(0.0, Rng(5)), {});
+  RingTraceSink ring(64);
+  link.bus().attach(&ring);
+  EXPECT_TRUE(link.bus().traced());
+  link.offer({1, "x"});
+  ASSERT_TRUE(link.run_until_ok(50));
+  const std::uint64_t seen = ring.total();
+  EXPECT_GT(seen, 0u);
+  link.bus().detach(&ring);
+  EXPECT_FALSE(link.bus().traced());
+  link.offer({2, "y"});
+  ASSERT_TRUE(link.run_until_ok(50));
+  EXPECT_EQ(ring.total(), seen);
+  // The counters kept counting through both messages regardless.
+  EXPECT_EQ(link.stats().oks, 2u);
+}
+
+// --- determinism against checked-in corpus witnesses ---------------------
+
+ScriptDoc load_corpus_doc(const std::string& filename) {
+  const std::filesystem::path path =
+      std::filesystem::path(S2D_CORPUS_DIR) / filename;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const ScriptDocParse parsed = parse_script_doc(buffer.str());
+  EXPECT_TRUE(parsed.ok) << path << ": " << parsed.error;
+  return parsed.doc;
+}
+
+TEST(EventTrace, CorpusReplayYieldsIdenticalEventSequences) {
+  const ScriptDoc doc = load_corpus_doc("ghm_abort_replay_clean.script");
+  const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+  const auto capture = [&] {
+    const AdversaryLinkFactory factory =
+        make_system_factory(doc.system, doc.seed);
+    RingTraceSink ring(4096);
+    (void)replay_script(factory, doc.decisions, workload, &ring);
+    return ring.snapshot();
+  };
+  const std::vector<Event> first = capture();
+  const std::vector<Event> second = capture();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // Event == is bytewise: full determinism
+}
+
+TEST(EventTrace, CorpusTimelineRendersByteIdenticallyAcrossRuns) {
+  const ScriptDoc doc = load_corpus_doc("fixed_nonce_replay.script");
+  const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+  const auto render = [&] {
+    const AdversaryLinkFactory factory =
+        make_system_factory(doc.system, doc.seed);
+    std::ostringstream out;
+    TimelineSink sink(out);
+    (void)replay_script(factory, doc.decisions, workload, &sink);
+    return out.str();
+  };
+  const std::string first = render();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, render());
+  // A replay witness must actually show the violation in its timeline.
+  EXPECT_NE(first.find("violation"), std::string::npos);
+}
+
+TEST(EventTrace, JsonlSinkEmitsOneObjectPerLine) {
+  const ScriptDoc doc = load_corpus_doc("ghm_abort_replay_clean.script");
+  const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+  const AdversaryLinkFactory factory =
+      make_system_factory(doc.system, doc.seed);
+  std::ostringstream out;
+  JsonlTraceSink sink(out, kAllEvents & ~kTickEvents);
+  (void)replay_script(factory, doc.decisions, workload, &sink);
+  EXPECT_GT(sink.lines(), 0u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::uint64_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_EQ(line.find("\"step\":"), 1u) << line;
+  }
+  EXPECT_EQ(n, sink.lines());
+}
+
+// --- fuzzer: tails and shard-count invariance ----------------------------
+
+TEST(EventTrace, FuzzerTailIsDeterministicAndShowsTheViolation) {
+  const SeededSystem system = make_seeded_system("abp");
+  ASSERT_TRUE(system);
+  FuzzerConfig cfg;
+  cfg.scripts = 300;
+  cfg.depth = 50;
+  cfg.root_seed = 424242;
+  cfg.threads = 1;
+  cfg.workload.messages = 3;
+  const FuzzReport report = run_fuzz(system, cfg);
+  ASSERT_FALSE(report.clean())
+      << "abp must leak at this budget; fingerprint " << report.fingerprint();
+  const FuzzFinding& first = report.findings.front();
+
+  const std::vector<Event> tail1 =
+      violation_tail(system(first.seed), first.script, cfg.workload);
+  const std::vector<Event> tail2 =
+      violation_tail(system(first.seed), first.script, cfg.workload);
+  ASSERT_FALSE(tail1.empty());
+  EXPECT_EQ(tail1, tail2);
+  bool saw_violation = false;
+  for (const Event& ev : tail1) {
+    saw_violation = saw_violation || ev.kind == EventKind::kViolation;
+  }
+  EXPECT_TRUE(saw_violation);
+
+  // The shrinker annotates its result with the same deterministic tail.
+  const ShrinkResult shrunk =
+      shrink_script(system(first.seed), first.script, cfg.workload);
+  EXPECT_FALSE(shrunk.tail.empty());
+  EXPECT_EQ(shrunk.tail,
+            violation_tail(system(first.seed), shrunk.script, cfg.workload));
+}
+
+TEST(EventTrace, FuzzFingerprintInvariantAcrossThreadCounts) {
+  const SeededSystem system = make_seeded_system("stopwait");
+  ASSERT_TRUE(system);
+  FuzzerConfig cfg;
+  cfg.scripts = 200;
+  cfg.depth = 40;
+  cfg.root_seed = 777;
+  cfg.workload.messages = 3;
+  cfg.threads = 1;
+  const FuzzReport one = run_fuzz(system, cfg);
+  cfg.threads = 3;
+  const FuzzReport three = run_fuzz(system, cfg);
+  EXPECT_EQ(one.fingerprint(), three.fingerprint());
+  EXPECT_EQ(one.violating_scripts, three.violating_scripts);
+}
+
+TEST(EventTrace, FleetAggregateInvariantAcrossShardCounts) {
+  FleetConfig cfg;
+  cfg.sessions = 24;
+  cfg.root_seed = 4321;
+  cfg.workload.messages = 4;
+  cfg.workload.payload_bytes = 8;
+  GhmFleetOptions opts;
+  opts.faults = FaultProfile::chaos(0.05);
+  const SessionFactory factory = make_ghm_fleet_factory(opts);
+  cfg.threads = 1;
+  const FleetResult one = run_fleet(cfg, factory);
+  cfg.threads = 4;
+  const FleetResult four = run_fleet(cfg, factory);
+  EXPECT_EQ(one.report.fingerprint(), four.report.fingerprint());
+}
+
+// --- the --log-level flag ------------------------------------------------
+
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** data() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+class LogLevelFlagTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = log_level();
+};
+
+TEST_F(LogLevelFlagTest, AppliesEveryNamedLevel) {
+  const struct {
+    const char* name;
+    LogLevel level;
+  } cases[] = {{"trace", LogLevel::kTrace}, {"debug", LogLevel::kDebug},
+               {"info", LogLevel::kInfo},   {"warn", LogLevel::kWarn},
+               {"error", LogLevel::kError}, {"off", LogLevel::kOff}};
+  for (const auto& c : cases) {
+    Flags flags("test");
+    flags.define_log_level();
+    Argv argv({"prog", std::string("--log-level=") + c.name});
+    ASSERT_TRUE(flags.parse(argv.argc(), argv.data())) << c.name;
+    ASSERT_TRUE(flags.apply_log_level()) << c.name;
+    EXPECT_EQ(log_level(), c.level) << c.name;
+  }
+}
+
+TEST_F(LogLevelFlagTest, RejectsUnknownLevelName) {
+  Flags flags("test");
+  flags.define_log_level();
+  Argv argv({"prog", "--log-level=loud"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.data()));
+  const LogLevel before = log_level();
+  EXPECT_FALSE(flags.apply_log_level());
+  EXPECT_EQ(log_level(), before);  // a bad value must not change the level
+}
+
+}  // namespace
+}  // namespace s2d

@@ -17,6 +17,8 @@
 #include "harness/systems.h"
 #include "link/script.h"
 #include "link/trace_render.h"
+#include "obs/jsonl_sink.h"
+#include "obs/render.h"
 #include "util/flags.h"
 
 namespace s2d {
@@ -52,8 +54,15 @@ int run(int argc, char** argv) {
       .define("messages", "", "override @messages")
       .define("payload", "", "override @payload")
       .define("render", "true", "print the sequence-diagram trace")
-      .define("max-events", "200", "trace events to render");
+      .define("max-events", "200", "trace events to render")
+      .define("trace", "false",
+              "print the typed event timeline (obs layer) instead of the "
+              "sequence diagram")
+      .define("jsonl", "false",
+              "event timeline as one JSON object per event (implies --trace)")
+      .define_log_level();
   if (!flags.parse(argc, argv)) return flags.failed() ? 2 : 0;
+  if (!flags.apply_log_level()) return 2;
 
   const std::string path = flags.get("script");
   if (path.empty()) {
@@ -93,8 +102,30 @@ int run(int argc, char** argv) {
   }
 
   const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+
+  if (flags.get_bool("trace") || flags.get_bool("jsonl")) {
+    // Timeline mode: stdout is exactly the event timeline, deterministic
+    // and byte-identical across runs (CI diffs it against golden files).
+    // The verdict still drives the exit code.
+    std::unique_ptr<EventSink> sink;
+    if (flags.get_bool("jsonl")) {
+      sink = std::make_unique<JsonlTraceSink>(std::cout);
+    } else {
+      sink = std::make_unique<TimelineSink>(std::cout);
+    }
+    const DataLink link =
+        replay_script(factory, doc.decisions, workload, sink.get());
+    if (!doc.expect.empty() &&
+        !verdict_matches(doc.expect, link.violations())) {
+      std::cerr << "expected " << doc.expect << ", got "
+                << link.violations().summary() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
   const DataLink link = replay_script(factory, doc.decisions, workload);
-  const ViolationCounts& counts = link.checker().violations();
+  const ViolationCounts& counts = link.violations();
 
   std::cout << "script:     " << path << "\n"
             << "system:     " << doc.system << " (seed " << doc.seed << ")\n"
