@@ -26,12 +26,21 @@ Bytes DataPacket::encode() const {
 bool DataPacket::decode_into(DataPacket& out,
                              std::span<const std::byte> bytes) {
   Reader r(bytes);
-  if (r.u8() != kDataTag) return false;
-  out.msg.id = r.varint();
-  r.str_into(out.msg.payload);
-  r.bits_into(out.rho);
-  r.bits_into(out.tau);
-  return r.ok_and_done();
+  if (r.u8() == kDataTag) {
+    out.msg.id = r.varint();
+    r.str_into(out.msg.payload);
+    r.bits_into(out.rho);
+    r.bits_into(out.tau);
+    if (r.ok_and_done()) return true;
+  }
+  // Malformed input must not leave half-written fields behind: a caller
+  // that ignores the return value (or reuses `out` across packets) would
+  // otherwise act on a chimera of the old and new packet.
+  out.msg.id = 0;
+  out.msg.payload.clear();
+  out.rho.clear();
+  out.tau.clear();
+  return false;
 }
 
 std::optional<DataPacket> DataPacket::decode(
@@ -57,11 +66,16 @@ Bytes AckPacket::encode() const {
 
 bool AckPacket::decode_into(AckPacket& out, std::span<const std::byte> bytes) {
   Reader r(bytes);
-  if (r.u8() != kAckTag) return false;
-  r.bits_into(out.rho);
-  r.bits_into(out.tau);
-  out.retry = r.varint();
-  return r.ok_and_done();
+  if (r.u8() == kAckTag) {
+    r.bits_into(out.rho);
+    r.bits_into(out.tau);
+    out.retry = r.varint();
+    if (r.ok_and_done()) return true;
+  }
+  out.rho.clear();
+  out.tau.clear();
+  out.retry = 0;
+  return false;
 }
 
 std::optional<AckPacket> AckPacket::decode(std::span<const std::byte> bytes) {

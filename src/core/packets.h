@@ -41,8 +41,8 @@ struct DataPacket {
                             const BitString& rho, const BitString& tau);
 
   /// Decodes into an existing packet, reusing its payload/rho/tau buffers.
-  /// Returns false (leaving `out` in an unspecified but valid state) on
-  /// malformed bytes.
+  /// Returns false on malformed bytes, leaving `out` in the
+  /// default-constructed state (never a partial decode).
   static bool decode_into(DataPacket& out, std::span<const std::byte> bytes);
 };
 

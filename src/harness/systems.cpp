@@ -24,21 +24,9 @@ DataLinkConfig script_config(bool keep_trace) {
   return cfg;
 }
 
-AdversaryLinkFactory ghm_like_factory(const GrowthPolicy& policy,
-                                      std::uint64_t seed, bool keep_trace) {
-  return [policy, seed, keep_trace](std::unique_ptr<Adversary> adv) {
-    auto pair = make_ghm(policy, seed);
-    return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
-                    script_config(keep_trace));
-  };
-}
-
-AdversaryLinkFactory stopwait_factory(StopWaitConfig sw, bool keep_trace) {
-  return [sw, keep_trace](std::unique_ptr<Adversary> adv) {
-    return DataLink(std::make_unique<StopWaitTransmitter>(sw),
-                    std::make_unique<StopWaitReceiver>(sw), std::move(adv),
-                    script_config(keep_trace));
-  };
+ModulePair stopwait_pair(StopWaitConfig sw) {
+  return {std::make_unique<StopWaitTransmitter>(sw),
+          std::make_unique<StopWaitReceiver>(sw)};
 }
 
 }  // namespace
@@ -49,42 +37,46 @@ const std::vector<std::string>& system_names() {
   return names;
 }
 
+ModulePair make_module_pair(const std::string& name, std::uint64_t seed) {
+  if (name == "ghm") {
+    auto pair = make_ghm(GrowthPolicy::geometric(kGhmEps), seed);
+    return {std::move(pair.tm), std::move(pair.rm)};
+  }
+  if (name == "fixed_nonce") {
+    auto pair = make_fixed_nonce(kFixedNonceBits, seed);
+    return {std::move(pair.tm), std::move(pair.rm)};
+  }
+  if (name == "abp") {
+    return stopwait_pair({.modulus = 2});
+  }
+  if (name == "stopwait") {
+    return stopwait_pair({.modulus = 16});
+  }
+  if (name == "nvbit") {
+    return stopwait_pair(
+        {.modulus = 2, .nonvolatile_seq = true, .resync_on_crash = true});
+  }
+  if (name == "ab_random") {
+    Rng root(seed);
+    return {std::make_unique<RandomSessionTransmitter>(
+                root.fork(0x7472616e736d6974ULL)),  // "transmit"
+            std::make_unique<RandomSessionReceiver>()};
+  }
+  return {};
+}
+
 AdversaryLinkFactory make_system_factory(const std::string& name,
                                          std::uint64_t seed,
                                          bool keep_trace) {
-  if (name == "ghm") {
-    return ghm_like_factory(GrowthPolicy::geometric(kGhmEps), seed,
-                            keep_trace);
-  }
-  if (name == "fixed_nonce") {
-    return [seed, keep_trace](std::unique_ptr<Adversary> adv) {
-      auto pair = make_fixed_nonce(kFixedNonceBits, seed);
-      return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
-                      script_config(keep_trace));
-    };
-  }
-  if (name == "abp") {
-    return stopwait_factory({.modulus = 2}, keep_trace);
-  }
-  if (name == "stopwait") {
-    return stopwait_factory({.modulus = 16}, keep_trace);
-  }
-  if (name == "nvbit") {
-    return stopwait_factory(
-        {.modulus = 2, .nonvolatile_seq = true, .resync_on_crash = true},
-        keep_trace);
-  }
-  if (name == "ab_random") {
-    return [seed, keep_trace](std::unique_ptr<Adversary> adv) {
-      Rng root(seed);
-      return DataLink(
-          std::make_unique<RandomSessionTransmitter>(
-              root.fork(0x7472616e736d6974ULL)),  // "transmit"
-          std::make_unique<RandomSessionReceiver>(), std::move(adv),
-          script_config(keep_trace));
-    };
-  }
-  return {};
+  if (!make_module_pair(name, seed).tm) return {};
+  // Rebuild the pair inside the lambda (rather than capturing one) so the
+  // factory stays pure in (name, seed): every call yields fresh modules in
+  // byte-identical initial states.
+  return [name, seed, keep_trace](std::unique_ptr<Adversary> adv) {
+    ModulePair pair = make_module_pair(name, seed);
+    return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                    script_config(keep_trace));
+  };
 }
 
 SeededSystem make_seeded_system(const std::string& name) {

@@ -38,6 +38,21 @@ using AdversaryLinkFactory =
 /// Names accepted by make_system_factory, in canonical order.
 [[nodiscard]] const std::vector<std::string>& system_names();
 
+/// A TM/RM pair outside any executor — what a wire driver needs, where
+/// each station lives in its own OS process and only ever constructs its
+/// own half. Both members null when the name is unknown.
+struct ModulePair {
+  std::unique_ptr<ITransmitter> tm;
+  std::unique_ptr<IReceiver> rm;
+};
+
+/// Builds the named protocol's module pair seeded with `seed`. This is
+/// the single construction point: make_system_factory composes exactly
+/// this pair into a DataLink, so a wire run and a simulator run of the
+/// same (name, seed) start from byte-identical module states.
+[[nodiscard]] ModulePair make_module_pair(const std::string& name,
+                                          std::uint64_t seed);
+
 /// Factory for `name` seeded with `seed`; empty std::function when the
 /// name is unknown. `keep_trace` enables full trace recording (the replay
 /// tool's sequence diagram); fuzzing leaves it off.

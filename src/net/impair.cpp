@@ -1,0 +1,94 @@
+#include "net/impair.h"
+
+#include <algorithm>
+
+#include "obs/event.h"
+
+namespace s2d {
+namespace {
+
+constexpr int to_int(ImpairAction a) noexcept { return static_cast<int>(a); }
+
+}  // namespace
+
+void Impairer::note(int action, std::size_t len) {
+  if (observe_) observe_(action, len, held_.size());
+}
+
+void Impairer::emit_now(std::span<const std::byte> datagram) {
+  ++stats_.emitted;
+  if (emit_) emit_(datagram);
+}
+
+void Impairer::place_copy(std::span<const std::byte> datagram) {
+  const bool hold = rng_.bernoulli(cfg_.hold);
+  if (hold && cfg_.max_hold_ticks > 0) {
+    const std::uint64_t ticks = rng_.next_range(1, cfg_.max_hold_ticks);
+    held_.push_back(
+        {tick_ + ticks, next_seq_++, Bytes(datagram.begin(), datagram.end())});
+    ++stats_.held;
+    note(to_int(ImpairAction::kHold), datagram.size());
+    return;
+  }
+  note(to_int(ImpairAction::kPass), datagram.size());
+  emit_now(datagram);
+}
+
+void Impairer::offer(std::span<const std::byte> datagram) {
+  ++stats_.offered;
+  if (cfg_.transparent()) {
+    emit_now(datagram);
+    return;
+  }
+  const bool drop = rng_.bernoulli(cfg_.drop);
+  const bool dup = rng_.bernoulli(cfg_.dup);
+  if (drop) {
+    ++stats_.dropped;
+    note(to_int(ImpairAction::kDrop), datagram.size());
+    return;
+  }
+  if (dup) {
+    ++stats_.duplicated;
+    note(to_int(ImpairAction::kDup), datagram.size());
+  }
+  place_copy(datagram);
+  if (dup) place_copy(datagram);
+}
+
+void Impairer::tick() {
+  ++tick_;
+  if (held_.empty()) return;
+  // Release in (release_tick, enqueue seq) order: stable, deterministic,
+  // and independent of how the held vector was permuted by erasure.
+  std::sort(held_.begin(), held_.end(), [](const Held& a, const Held& b) {
+    return a.release_tick != b.release_tick ? a.release_tick < b.release_tick
+                                            : a.seq < b.seq;
+  });
+  std::size_t released = 0;
+  while (released < held_.size() &&
+         held_[released].release_tick <= tick_) {
+    ++released;
+  }
+  for (std::size_t i = 0; i < released; ++i) {
+    ++stats_.released;
+    note(to_int(ImpairAction::kRelease), held_[i].bytes.size());
+    emit_now(held_[i].bytes);
+  }
+  held_.erase(held_.begin(),
+              held_.begin() + static_cast<std::ptrdiff_t>(released));
+}
+
+void Impairer::flush() {
+  std::sort(held_.begin(), held_.end(), [](const Held& a, const Held& b) {
+    return a.release_tick != b.release_tick ? a.release_tick < b.release_tick
+                                            : a.seq < b.seq;
+  });
+  for (const Held& h : held_) {
+    ++stats_.released;
+    note(to_int(ImpairAction::kRelease), h.bytes.size());
+    emit_now(h.bytes);
+  }
+  held_.clear();
+}
+
+}  // namespace s2d

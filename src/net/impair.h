@@ -1,0 +1,117 @@
+// Deterministic netem-style impairment shim for the wire path.
+//
+// Real loopback UDP barely misbehaves, so CI would never exercise the
+// protocol's §3 machinery. The Impairer sits between the session and the
+// socket on the *send* side and re-creates the simulator's adversary
+// repertoire — drop, duplicate, reorder (via held/delayed copies) — as a
+// pure function of (config, seed, offered-datagram sequence, tick
+// schedule):
+//
+//   * the fate of offered datagram k is drawn from a private seeded Rng
+//     whose consumption depends only on earlier decisions — never on
+//     wall-clock time;
+//   * held copies are released by tick() in (release_tick, enqueue
+//     sequence) order, so the full emitted sequence is byte-identical
+//     across runs with the same seed — the property the determinism tests
+//     pin and CI relies on to make wire replay storms reproducible.
+//
+// The shim impairs only what this endpoint transmits; applying it on both
+// endpoints impairs both directions, exactly like netem on both ends of a
+// veth pair. An all-zero config is a transparent pass-through.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+struct ImpairConfig {
+  double drop = 0.0;  // P(datagram silently discarded)
+  double dup = 0.0;   // P(an extra copy is scheduled)
+  double hold = 0.0;  // P(a copy is delayed instead of sent now)
+  /// A held copy is released after 1..max_hold_ticks ticks (uniform);
+  /// datagrams sent in between overtake it — that is the reordering.
+  std::uint32_t max_hold_ticks = 4;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool transparent() const noexcept {
+    return drop == 0.0 && dup == 0.0 && hold == 0.0;
+  }
+};
+
+struct ImpairStats {
+  std::uint64_t offered = 0;
+  std::uint64_t emitted = 0;  // datagrams actually handed to the sink
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  // extra copies scheduled
+  std::uint64_t held = 0;        // copies queued for delayed release
+  std::uint64_t released = 0;    // held copies that have since hit the sink
+};
+
+class Impairer {
+ public:
+  /// `emit` receives every datagram that survives impairment, in its
+  /// final (possibly reordered) order.
+  using EmitFn = std::function<void(std::span<const std::byte>)>;
+
+  /// `observe`, when set, is told each decision as it is made (the hook
+  /// the WireChannel uses to emit kWireImpair events): action is an
+  /// obs ImpairAction value cast to int to keep this layer obs-free.
+  using ObserveFn =
+      std::function<void(int action, std::size_t len, std::size_t depth)>;
+
+  explicit Impairer(ImpairConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
+
+  void set_emit(EmitFn emit) { emit_ = std::move(emit); }
+  void set_observe(ObserveFn observe) { observe_ = std::move(observe); }
+
+  /// Offers one datagram to the shim: decides drop/dup/hold and emits the
+  /// surviving immediate copies.
+  void offer(std::span<const std::byte> datagram);
+
+  /// Advances impairment time one tick and emits every held copy that
+  /// came due. The session drives this from a periodic loop timer; tests
+  /// drive it directly.
+  void tick();
+
+  /// Releases everything still held (session shutdown): the wire should
+  /// not swallow scheduled datagrams just because the node is exiting.
+  void flush();
+
+  [[nodiscard]] const ImpairStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t held_count() const noexcept {
+    return held_.size();
+  }
+  [[nodiscard]] std::uint64_t now_ticks() const noexcept { return tick_; }
+
+ private:
+  struct Held {
+    std::uint64_t release_tick;
+    std::uint64_t seq;  // enqueue order; tie-break for equal release ticks
+    Bytes bytes;
+  };
+
+  /// Schedules one copy: held with probability cfg_.hold, else emitted
+  /// immediately.
+  void place_copy(std::span<const std::byte> datagram);
+  void emit_now(std::span<const std::byte> datagram);
+  void note(int action, std::size_t len);
+
+  ImpairConfig cfg_;
+  Rng rng_;
+  ImpairStats stats_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Held> held_;  // kept sorted lazily at release time
+  EmitFn emit_;
+  ObserveFn observe_;
+};
+
+}  // namespace s2d

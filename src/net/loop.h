@@ -1,0 +1,80 @@
+// A small single-threaded epoll event loop.
+//
+// The simulator advances the composed system one adversary decision at a
+// time; on the wire there is no lockstep scheduler — a session advances
+// whenever its socket turns readable or a timer expires. EventLoop is the
+// minimal reactor that provides exactly those two wake-up sources:
+//
+//   * watch_readable(fd, cb): cb runs every time fd has data (level-
+//     triggered, so a callback that drains partially is re-invoked);
+//   * add_timer(delay, cb): cb runs once after `delay`; periodic cadences
+//     (RM RETRY, impairment ticks) re-arm themselves from inside cb.
+//
+// run() turns until stop() is called or no work remains. Deliberately not
+// thread-safe: one loop drives one (or, in tests and exp_wire, both)
+// endpoint sessions, mirroring how fleet shards own their sessions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace s2d {
+
+class EventLoop {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `cb` to run whenever `fd` is readable. One callback per fd;
+  /// re-registering replaces it.
+  void watch_readable(int fd, std::function<void()> cb);
+
+  /// Stops watching `fd`; no-op when it was never watched.
+  void unwatch(int fd);
+
+  /// Schedules `cb` once, `delay` from now. The returned id cancels it;
+  /// ids are never reused within one loop.
+  TimerId add_timer(std::chrono::milliseconds delay, std::function<void()> cb);
+
+  /// Cancels a pending timer; no-op when already fired or cancelled.
+  void cancel_timer(TimerId id);
+
+  /// Runs until stop() — or forever if neither fds nor timers remain and
+  /// nothing could ever wake us: that state stops the loop instead.
+  void run();
+
+  /// Runs one iteration: waits at most `max_wait` (or until the next
+  /// timer), dispatches ready fds and due timers. Returns false when the
+  /// loop has been stopped.
+  bool poll_once(std::chrono::milliseconds max_wait);
+
+  /// Makes run() return after the current iteration.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::size_t pending_timers() const noexcept {
+    return timers_.size();
+  }
+
+ private:
+  void fire_due_timers();
+
+  int epoll_fd_ = -1;
+  bool stopped_ = false;
+  TimerId next_timer_ = 1;
+  std::unordered_map<int, std::function<void()>> readers_;
+  // Deadline-ordered pending timers; TimerId tie-breaks identical
+  // deadlines so firing order is deterministic (insertion order).
+  std::map<std::pair<Clock::time_point, TimerId>, std::function<void()>>
+      timers_;
+};
+
+}  // namespace s2d

@@ -1,0 +1,234 @@
+#include "net/session.h"
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace s2d {
+
+std::string wire_payload(std::uint64_t seed, std::uint64_t id,
+                         std::size_t bytes) {
+  // Per-id forked stream (not one sequential stream) so the receiving
+  // process can regenerate message k's payload without generating 1..k-1.
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  Rng rng = Rng(seed).fork(id);
+  std::string out(bytes, '\0');
+  for (auto& c : out) {
+    c = kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+WireSessionBase::WireSessionBase(WireChannelConfig net, WireSessionConfig cfg)
+    : obs_(std::make_unique<Obs>()), cfg_(cfg),
+      channel_(std::move(net), &obs_->bus) {}
+
+void WireSessionBase::stamp() {
+  obs_->bus.now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+}
+
+void WireSessionBase::start(EventLoop& loop) {
+  loop_ = &loop;
+  started_ = std::chrono::steady_clock::now();
+  channel_.attach(loop, [this](std::span<const std::byte> bytes) {
+    stamp();
+    on_datagram(bytes);
+  });
+  arm_tick(loop);
+  arm_deadline(loop);
+  arm_role_timers(loop);
+}
+
+void WireSessionBase::arm_tick(EventLoop& loop) {
+  loop.add_timer(cfg_.tick_interval, [this, &loop] {
+    if (done_) return;
+    stamp();
+    obs_->bus.emit(
+        {.kind = EventKind::kWireTimer,
+         .detail = static_cast<std::uint8_t>(WireTimerKind::kTick)});
+    channel_.tick();
+    arm_tick(loop);
+  });
+}
+
+void WireSessionBase::arm_deadline(EventLoop& loop) {
+  deadline_timer_ = loop.add_timer(cfg_.time_limit, [this] {
+    if (done_) return;
+    stamp();
+    obs_->bus.emit(
+        {.kind = EventKind::kWireTimer,
+         .detail = static_cast<std::uint8_t>(WireTimerKind::kDeadline)});
+    finish(/*timed_out=*/true);
+  });
+}
+
+void WireSessionBase::finish(bool timed_out) {
+  if (done_) return;
+  done_ = true;
+  timed_out_ = timed_out;
+  // Let anything the shim still holds reach the wire: the peer may need
+  // those datagrams (e.g. the ack carrying the TM's final OK).
+  channel_.flush();
+  if (loop_ != nullptr) {
+    channel_.detach(*loop_);
+    if (deadline_timer_ != 0) loop_->cancel_timer(deadline_timer_);
+  }
+  if (on_done_) {
+    on_done_();
+  } else if (loop_ != nullptr) {
+    loop_->stop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TmWireSession
+
+TmWireSession::TmWireSession(std::unique_ptr<ITransmitter> tm,
+                             WireChannelConfig net, WireSessionConfig cfg)
+    : WireSessionBase(std::move(net), cfg), tm_(std::move(tm)) {
+  tm_->bind_bus(&obs_->bus);
+}
+
+template <typename Invoke>
+void TmWireSession::step_module(Invoke&& invoke) {
+  invoke(out_);
+  for (std::size_t i = 0; i < out_.pkt_count(); ++i) {
+    channel_.send(out_.pkt(i));
+  }
+  const bool ok = out_.ok_signalled();
+  out_.clear();
+  if (ok) {
+    obs_->bus.emit({.kind = EventKind::kOk, .msg = next_msg_ - 1});
+    ++completed_;
+    if (completed_ >= cfg_.messages) {
+      finish(/*timed_out=*/false);
+    } else {
+      offer_next();
+    }
+  }
+}
+
+void TmWireSession::offer_next() {
+  const Message m{next_msg_,
+                  wire_payload(cfg_.payload_seed, next_msg_,
+                               cfg_.payload_bytes)};
+  ++next_msg_;
+  obs_->bus.emit({.kind = EventKind::kSendMsg, .msg = m.id});
+  step_module([&](TxOutbox& out) { tm_->on_send_msg(m, out); });
+}
+
+void TmWireSession::on_datagram(std::span<const std::byte> bytes) {
+  if (done()) return;
+  step_module([&](TxOutbox& out) { tm_->on_receive_pkt(bytes, out); });
+}
+
+void TmWireSession::arm_role_timers(EventLoop& loop) {
+  // Axiom 1: offer the first message as soon as the session starts; every
+  // later offer happens when the previous message's OK drains.
+  stamp();
+  offer_next();
+  if (cfg_.tx_timer_interval.count() > 0) arm_resend(loop);
+}
+
+void TmWireSession::arm_resend(EventLoop& loop) {
+  loop.add_timer(cfg_.tx_timer_interval, [this, &loop] {
+    if (done()) return;
+    stamp();
+    obs_->bus.emit(
+        {.kind = EventKind::kWireTimer,
+         .detail = static_cast<std::uint8_t>(WireTimerKind::kTxResend)});
+    step_module([&](TxOutbox& out) { tm_->on_timer(out); });
+    if (!done()) arm_resend(loop);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// RmWireSession
+
+RmWireSession::RmWireSession(std::unique_ptr<IReceiver> rm,
+                             WireChannelConfig net, WireSessionConfig cfg)
+    : WireSessionBase(std::move(net), cfg), rm_(std::move(rm)) {
+  rm_->bind_bus(&obs_->bus);
+}
+
+void RmWireSession::check_delivery(const Message& m) {
+  // The wire-side §2.6 projection (see the header comment): duplication,
+  // replay/order against the ascending unique-id workload, and payload
+  // integrity standing in for causality.
+  if (seen_.count(m.id) != 0) {
+    obs_->bus.emit(
+        {.kind = EventKind::kViolation,
+         .detail = static_cast<std::uint8_t>(ViolationKind::kDuplication),
+         .msg = m.id});
+    return;
+  }
+  if (m.id < max_seen_) {
+    obs_->bus.emit(
+        {.kind = EventKind::kViolation,
+         .detail = static_cast<std::uint8_t>(ViolationKind::kReplay),
+         .msg = m.id});
+  }
+  if (m.id == 0 || m.id > cfg_.messages ||
+      m.payload != wire_payload(cfg_.payload_seed, m.id,
+                                cfg_.payload_bytes)) {
+    obs_->bus.emit(
+        {.kind = EventKind::kViolation,
+         .detail = static_cast<std::uint8_t>(ViolationKind::kCausality),
+         .msg = m.id});
+  }
+  seen_.insert(m.id);
+  max_seen_ = std::max(max_seen_, m.id);
+}
+
+void RmWireSession::drain() {
+  for (const Message& m : out_.delivered()) {
+    obs_->bus.emit({.kind = EventKind::kReceiveMsg, .msg = m.id});
+    ++deliveries_;
+    check_delivery(m);
+  }
+  for (std::size_t i = 0; i < out_.pkt_count(); ++i) {
+    channel_.send(out_.pkt(i));
+  }
+  out_.clear();
+
+  if (!lingering_ && distinct_delivered() >= cfg_.messages) {
+    // Goal reached; keep retrying through the linger window so the TM's
+    // final OK handshake can complete, then finish.
+    lingering_ = true;
+    loop_->add_timer(cfg_.linger, [this] {
+      if (done()) return;
+      stamp();
+      obs_->bus.emit(
+          {.kind = EventKind::kWireTimer,
+           .detail = static_cast<std::uint8_t>(WireTimerKind::kLinger)});
+      finish(/*timed_out=*/false);
+    });
+  }
+}
+
+void RmWireSession::on_datagram(std::span<const std::byte> bytes) {
+  if (done()) return;
+  rm_->on_receive_pkt(bytes, out_);
+  drain();
+}
+
+void RmWireSession::fire_retry() {
+  if (done()) return;
+  stamp();
+  obs_->bus.emit({.kind = EventKind::kRetry});
+  rm_->on_retry(out_);
+  drain();
+}
+
+void RmWireSession::arm_role_timers(EventLoop& loop) {
+  loop.add_timer(cfg_.retry_interval, [this, &loop] {
+    fire_retry();
+    if (!done()) arm_role_timers(loop);
+  });
+}
+
+}  // namespace s2d

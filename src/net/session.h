@@ -1,0 +1,200 @@
+// Wire sessions: stepping a data-link module against socket readiness and
+// timers instead of the lockstep simulator.
+//
+// In the simulator the DataLink executor advances TM, RM, channels and
+// adversary one scheduling decision at a time. On the wire each station is
+// its own process and there is no global scheduler, so each side gets a
+// session object that translates event-loop wake-ups into the module's
+// input actions:
+//
+//   TmWireSession                      RmWireSession
+//     datagram readable -> on_receive_pkt   datagram readable -> on_receive_pkt
+//     (OK drained)      -> offer next msg   retry timer       -> on_retry
+//     resend timer      -> on_timer         linger timer      -> finish
+//     deadline timer    -> fail             deadline timer    -> fail
+//
+// Module outputs drain exactly as in DataLink — packets go to the channel
+// (here: UDP datagrams through the impairment shim), OK/receive_msg become
+// bus events — so the protocol implementations run unmodified.
+//
+// Checking: §2.6 is defined over the joint trace, which no single wire
+// process observes. The receiving side holds the checkable half — with the
+// workload's unique ascending message ids (Axioms 1-2) and its payload
+// stream derived from a seed both ends share, the RM process can check,
+// per delivery: duplication (id delivered twice, Theorem 8), replay/order
+// (id below an already-delivered id, Theorems 3/7), and causality (payload
+// differs from what the workload would have sent for that id — only a
+// forged or corrupted packet can do that, Theorem 1). Violations are
+// emitted as kViolation events, so "checker-clean" means exactly what it
+// means in the simulator: violations().safety_total() == 0.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "link/module.h"
+#include "net/wire_channel.h"
+#include "obs/counters.h"
+
+namespace s2d {
+
+struct WireSessionConfig {
+  std::uint64_t messages = 100;
+  std::size_t payload_bytes = 16;
+  /// Seed of the deterministic payload stream; must match on both ends
+  /// for the RM-side causality check to be meaningful.
+  std::uint64_t payload_seed = 0x9a9a;
+
+  /// RM RETRY cadence (the model assumes RETRY fires infinitely often;
+  /// on the wire "infinitely often" is a periodic timer).
+  std::chrono::milliseconds retry_interval{5};
+
+  /// TM resend-timer cadence for transmitter-driven protocols
+  /// (stop-and-wait family); 0 disables it — GHM never needs it.
+  std::chrono::milliseconds tx_timer_interval{0};
+
+  /// Impairment-shim tick cadence (held datagrams age one tick per fire).
+  std::chrono::milliseconds tick_interval{2};
+
+  /// How long the RM keeps serving retries after its Nth delivery, so the
+  /// TM's final OK handshake can complete through a lossy wire.
+  std::chrono::milliseconds linger{2000};
+
+  /// Wall-clock budget; exceeding it fails the session.
+  std::chrono::milliseconds time_limit{30000};
+};
+
+/// The deterministic wire workload payload for message `id`: both ends
+/// compute it independently from the shared seed, which is what lets the
+/// receiving process check payload integrity without a back-channel.
+[[nodiscard]] std::string wire_payload(std::uint64_t seed, std::uint64_t id,
+                                       std::size_t bytes);
+
+/// State shared by both session roles: the per-session bus + counters
+/// (the wire analogue of DataLink's Obs), the channel, and the timers.
+class WireSessionBase {
+ public:
+  WireSessionBase(WireChannelConfig net, WireSessionConfig cfg);
+  virtual ~WireSessionBase() = default;
+
+  /// Attaches to `loop` and arms the timers. The session stops the loop
+  /// when it finishes (success or failure) unless a custom on_done is
+  /// installed — exp_wire and the in-process tests run both roles on one
+  /// loop and only stop it when every session is done.
+  void start(EventLoop& loop);
+
+  /// Invoked exactly once when the session reaches a terminal state.
+  void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
+  /// Terminal success: the role-specific goal was met and no §2.6
+  /// violation was flagged.
+  [[nodiscard]] bool succeeded() const noexcept {
+    return done_ && !timed_out_ && violations().safety_total() == 0;
+  }
+
+  [[nodiscard]] EventBus& bus() noexcept { return obs_->bus; }
+  [[nodiscard]] const CounterSink& counters() const noexcept {
+    return obs_->counters;
+  }
+  [[nodiscard]] const ViolationCounts& violations() const noexcept {
+    return obs_->counters.violations();
+  }
+  [[nodiscard]] WireChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] const WireChannel& channel() const noexcept {
+    return channel_;
+  }
+
+ protected:
+  /// Stamps bus.now with milliseconds since start() — wall time is the
+  /// only global clock wire processes share (coarsely).
+  void stamp();
+  void finish(bool timed_out);
+  virtual void on_datagram(std::span<const std::byte> bytes) = 0;
+  /// Role-specific timer arming, called from start().
+  virtual void arm_role_timers(EventLoop& loop) = 0;
+
+  // Bus + counters heap-held so emitter pointers survive moves, exactly
+  // like DataLink::Obs.
+  struct Obs {
+    CounterSink counters;
+    EventBus bus{&counters};
+  };
+  std::unique_ptr<Obs> obs_;
+  WireSessionConfig cfg_;
+  WireChannel channel_;
+  EventLoop* loop_ = nullptr;
+
+ private:
+  void arm_tick(EventLoop& loop);
+  void arm_deadline(EventLoop& loop);
+
+  std::function<void()> on_done_;
+  std::chrono::steady_clock::time_point started_;
+  bool done_ = false;
+  bool timed_out_ = false;
+  EventLoop::TimerId deadline_timer_ = 0;
+};
+
+/// The transmitting-station process driver.
+class TmWireSession final : public WireSessionBase {
+ public:
+  TmWireSession(std::unique_ptr<ITransmitter> tm, WireChannelConfig net,
+                WireSessionConfig cfg);
+
+  /// Messages confirmed by OK so far.
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] const ITransmitter& tm() const noexcept { return *tm_; }
+
+ private:
+  void on_datagram(std::span<const std::byte> bytes) override;
+  void arm_role_timers(EventLoop& loop) override;
+  void arm_resend(EventLoop& loop);
+  /// Runs one module input action and drains the outbox (packets to the
+  /// channel, OK to completion bookkeeping).
+  template <typename Invoke>
+  void step_module(Invoke&& invoke);
+  void offer_next();
+
+  std::unique_ptr<ITransmitter> tm_;
+  TxOutbox out_;
+  std::uint64_t next_msg_ = 1;
+  std::uint64_t completed_ = 0;
+};
+
+/// The receiving-station process driver, including the wire-side checker.
+class RmWireSession final : public WireSessionBase {
+ public:
+  RmWireSession(std::unique_ptr<IReceiver> rm, WireChannelConfig net,
+                WireSessionConfig cfg);
+
+  /// Distinct workload messages delivered so far.
+  [[nodiscard]] std::uint64_t distinct_delivered() const noexcept {
+    return static_cast<std::uint64_t>(seen_.size());
+  }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return deliveries_;
+  }
+  [[nodiscard]] const IReceiver& rm() const noexcept { return *rm_; }
+
+ private:
+  void on_datagram(std::span<const std::byte> bytes) override;
+  void arm_role_timers(EventLoop& loop) override;
+  void drain();
+  void check_delivery(const Message& m);
+  void fire_retry();
+
+  std::unique_ptr<IReceiver> rm_;
+  RxOutbox out_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t max_seen_ = 0;
+  std::uint64_t deliveries_ = 0;
+  bool lingering_ = false;
+};
+
+}  // namespace s2d

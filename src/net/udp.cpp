@@ -1,0 +1,139 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace s2d {
+namespace {
+
+sockaddr_in to_sockaddr(const UdpAddress& a) noexcept {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.ip);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+UdpAddress from_sockaddr(const sockaddr_in& sa) noexcept {
+  return {ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+std::string UdpAddress::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff,
+                static_cast<unsigned>(port));
+  return buf;
+}
+
+std::optional<UdpAddress> UdpAddress::parse(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const std::string host = text.substr(0, colon);
+  in_addr addr{};
+  if (inet_pton(AF_INET, host.c_str(), &addr) != 1) return std::nullopt;
+  std::uint64_t port = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint64_t>(c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  return UdpAddress{ntohl(addr.s_addr), static_cast<std::uint16_t>(port)};
+}
+
+UdpSocket::UdpSocket(const UdpAddress& bind_addr) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  // REUSEADDR so a quickly restarted node can rebind its well-known port
+  // without waiting out stale kernel state.
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = to_sockaddr(bind_addr);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  local_ = from_sockaddr(actual);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), local_(o.local_) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+    local_ = o.local_;
+  }
+  return *this;
+}
+
+bool UdpSocket::send_to(std::span<const std::byte> payload,
+                        const UdpAddress& peer) {
+  const sockaddr_in sa = to_sockaddr(peer);
+  for (;;) {
+    const ssize_t n =
+        ::sendto(fd_, payload.data(), payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    if (n >= 0) return static_cast<std::size_t>(n) == payload.size();
+    if (errno == EINTR) continue;
+    return false;  // EAGAIN/ENOBUFS/ECONNREFUSED: the wire lost it
+  }
+}
+
+std::optional<RecvResult> UdpSocket::recv_from(std::span<std::byte> buf) {
+  sockaddr_in sa{};
+  socklen_t salen = sizeof(sa);
+  for (;;) {
+    const ssize_t n =
+        ::recvfrom(fd_, buf.data(), buf.size(), MSG_TRUNC,
+                   reinterpret_cast<sockaddr*>(&sa), &salen);
+    if (n >= 0) {
+      RecvResult r;
+      r.wire_length = static_cast<std::size_t>(n);
+      r.length = std::min(r.wire_length, buf.size());
+      r.from = from_sockaddr(sa);
+      return r;
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;  // EAGAIN or a transient error: queue is empty
+  }
+}
+
+}  // namespace s2d

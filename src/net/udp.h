@@ -1,0 +1,89 @@
+// Non-blocking IPv4 UDP sockets for the real-wire backend.
+//
+// The simulator's Channel is an in-process ledger; UdpSocket is its door
+// to the operating system: a bound, non-blocking datagram socket with the
+// two operations the wire path needs — push one datagram at a peer, pull
+// one datagram off the receive queue. Everything above (impairment,
+// framing, protocol) stays byte-for-byte identical to the simulator
+// because UDP preserves datagram boundaries: one send_pkt = one datagram,
+// no extra framing layer.
+//
+// Error discipline: construction failures throw (a node that cannot bind
+// its socket cannot run), steady-state I/O never does — send/recv report
+// would-block and transient errors through their return values so the
+// event loop can keep turning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace s2d {
+
+/// An IPv4 endpoint. Parsed from "a.b.c.d:port" text; stored
+/// host-ordered so tests can build them directly.
+struct UdpAddress {
+  std::uint32_t ip = 0;    // host byte order; 0x7f000001 = 127.0.0.1
+  std::uint16_t port = 0;  // host byte order
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "ip:port" dotted-quad text; nullopt on malformed input.
+  static std::optional<UdpAddress> parse(const std::string& text);
+
+  static UdpAddress loopback(std::uint16_t port) noexcept {
+    return {0x7f000001u, port};
+  }
+
+  friend bool operator==(const UdpAddress&, const UdpAddress&) = default;
+};
+
+/// Result of one recv_from() attempt.
+struct RecvResult {
+  std::size_t length = 0;   // bytes copied into the caller's buffer
+  std::size_t wire_length = 0;  // true datagram length (> length when
+                                // the datagram was truncated to fit)
+  UdpAddress from;
+  [[nodiscard]] bool truncated() const noexcept {
+    return wire_length > length;
+  }
+};
+
+/// A bound, non-blocking UDP socket. Move-only; closes on destruction.
+class UdpSocket {
+ public:
+  /// Opens and binds. Port 0 asks the OS for an ephemeral port;
+  /// local_address() reports the one actually assigned. Throws
+  /// std::system_error on failure.
+  explicit UdpSocket(const UdpAddress& bind_addr);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& o) noexcept;
+  UdpSocket& operator=(UdpSocket&& o) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Sends one datagram to `peer`. Returns false when the kernel would
+  /// block or transiently refused (ENOBUFS, ECONNREFUSED from a prior
+  /// ICMP error) — for UDP under a lossy-channel model, an unsendable
+  /// datagram is just a lost packet.
+  bool send_to(std::span<const std::byte> payload, const UdpAddress& peer);
+
+  /// Receives one datagram into `buf`, reporting the true wire length
+  /// (MSG_TRUNC) so callers can detect and count truncation. nullopt when
+  /// the receive queue is empty.
+  std::optional<RecvResult> recv_from(std::span<std::byte> buf);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] const UdpAddress& local_address() const noexcept {
+    return local_;
+  }
+
+ private:
+  int fd_ = -1;
+  UdpAddress local_;
+};
+
+}  // namespace s2d

@@ -1,0 +1,74 @@
+#include "net/wire_channel.h"
+
+#include <utility>
+
+namespace s2d {
+
+WireChannel::WireChannel(WireChannelConfig cfg, EventBus* bus)
+    : socket_(cfg.bind), peer_(cfg.peer), learn_peer_(cfg.learn_peer),
+      bus_(bus), impairer_(cfg.impair), rx_buf_(cfg.rx_buffer_bytes) {
+  impairer_.set_emit([this](std::span<const std::byte> datagram) {
+    ++tx_;
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kWireTx, .value = datagram.size()});
+    }
+    socket_.send_to(datagram, peer_);
+  });
+  impairer_.set_observe([this](int action, std::size_t len,
+                               std::size_t depth) {
+    // Pass decisions are implied by the kWireTx that follows; emitting
+    // them too would double every datagram's event cost for no signal.
+    if (action == static_cast<int>(ImpairAction::kPass)) return;
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kWireImpair,
+                  .detail = static_cast<std::uint8_t>(action),
+                  .value = len,
+                  .aux = depth});
+    }
+  });
+}
+
+void WireChannel::attach(EventLoop& loop, RxFn on_datagram) {
+  on_datagram_ = std::move(on_datagram);
+  loop.watch_readable(socket_.fd(), [this] { on_readable(); });
+}
+
+void WireChannel::detach(EventLoop& loop) {
+  loop.unwatch(socket_.fd());
+  on_datagram_ = nullptr;
+}
+
+void WireChannel::send(std::span<const std::byte> payload) {
+  // A learn-peer station has nowhere to send until the first datagram
+  // arrives; offering anyway would burn impairment decisions and count
+  // phantom tx for traffic that can only go nowhere.
+  if (peer_.port == 0) return;
+  impairer_.offer(payload);
+}
+
+void WireChannel::on_readable() {
+  // Drain the whole kernel queue: the loop is level-triggered, but one
+  // callback per datagram would cost one epoll_wait round-trip each.
+  for (;;) {
+    const auto r = socket_.recv_from(rx_buf_);
+    if (!r) return;
+    if (r->truncated()) {
+      ++truncated_;
+      if (bus_ != nullptr) {
+        bus_->emit(
+            {.kind = EventKind::kWireTruncated, .value = r->wire_length});
+      }
+      continue;  // an incomplete packet can never decode; drop it here
+    }
+    ++rx_;
+    if (learn_peer_) peer_ = r->from;
+    if (bus_ != nullptr) {
+      bus_->emit({.kind = EventKind::kWireRx, .value = r->length});
+    }
+    if (on_datagram_) {
+      on_datagram_(std::span<const std::byte>(rx_buf_.data(), r->length));
+    }
+  }
+}
+
+}  // namespace s2d

@@ -1,0 +1,99 @@
+// WireChannel: the real-UDP sibling of the simulator's Channel (§2.3).
+//
+// The simulated Channel is an honest ledger whose faults are adversary
+// *choices*; a WireChannel is the opposite composition of the same
+// contract — an OS datagram socket whose faults are genuinely the wire's
+// (plus whatever the deterministic Impairer injects on the way out). The
+// byte format on the wire is exactly the simulator's packet codec: one
+// send_pkt = one UDP datagram, no extra framing, so a packet captured
+// with tcpdump decodes with the same code path the simulator uses.
+//
+// Instrumentation mirrors the simulator channel: every datagram tx/rx,
+// truncation and impairment decision is emitted on the session's EventBus
+// (kWireTx / kWireRx / kWireTruncated / kWireImpair), so CounterSink
+// accounting and --trace/JSONL timelines work unchanged on real traffic.
+//
+// Trust boundary: the channel delivers *any* datagram that arrives on the
+// socket, whoever sent it — stray or malicious traffic is indistinguishable
+// from the §5 forged-packet channel, and the protocol's decode hardening
+// plus nonce machinery are the defense, exactly as in the model.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "net/impair.h"
+#include "net/loop.h"
+#include "net/udp.h"
+#include "obs/bus.h"
+
+namespace s2d {
+
+struct WireChannelConfig {
+  UdpAddress bind;  // local endpoint (port 0 = ephemeral)
+  UdpAddress peer;  // where send() aims datagrams
+  /// Adopt the source address of each inbound datagram as the peer
+  /// (server-style operation): lets a station bind first and learn its
+  /// peer's ephemeral port from the first packet that arrives. Off by
+  /// default — a pinned peer ignores stray traffic sources entirely.
+  bool learn_peer = false;
+  ImpairConfig impair;
+  /// Receive buffer: datagrams longer than this are counted as truncated
+  /// and discarded (GHM packets are tens of bytes; 64 KiB is the UDP max).
+  std::size_t rx_buffer_bytes = 64 * 1024;
+};
+
+class WireChannel {
+ public:
+  using RxFn = std::function<void(std::span<const std::byte>)>;
+
+  /// Opens and binds the socket. `bus` (optional) receives wire events.
+  WireChannel(WireChannelConfig cfg, EventBus* bus);
+
+  /// Starts delivering inbound datagrams to `on_datagram` via `loop`.
+  void attach(EventLoop& loop, RxFn on_datagram);
+  void detach(EventLoop& loop);
+
+  /// Sends one protocol packet through the impairment shim to the peer.
+  void send(std::span<const std::byte> payload);
+
+  /// Advances the impairment shim one tick (releases held datagrams).
+  void tick() { impairer_.tick(); }
+
+  /// Releases everything the shim still holds (shutdown path).
+  void flush() { impairer_.flush(); }
+
+  [[nodiscard]] const UdpAddress& local_address() const noexcept {
+    return socket_.local_address();
+  }
+  [[nodiscard]] const UdpAddress& peer() const noexcept { return peer_; }
+
+  /// Re-aims send() at a new peer. In-process tests bind both endpoint
+  /// sockets first (ephemeral ports), then cross-wire them with this.
+  void set_peer(const UdpAddress& peer) noexcept { peer_ = peer; }
+  [[nodiscard]] const ImpairStats& impair_stats() const noexcept {
+    return impairer_.stats();
+  }
+  [[nodiscard]] std::uint64_t tx_datagrams() const noexcept { return tx_; }
+  [[nodiscard]] std::uint64_t rx_datagrams() const noexcept { return rx_; }
+  [[nodiscard]] std::uint64_t truncated() const noexcept {
+    return truncated_;
+  }
+
+ private:
+  void on_readable();
+
+  UdpSocket socket_;
+  UdpAddress peer_;
+  bool learn_peer_;
+  EventBus* bus_;
+  Impairer impairer_;
+  RxFn on_datagram_;
+  Bytes rx_buf_;
+  std::uint64_t tx_ = 0;
+  std::uint64_t rx_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace s2d

@@ -122,6 +122,37 @@ struct ProtocolCounters {
   }
 };
 
+/// Datagram-level accounting for the real-UDP backend (src/net), derived
+/// from the kWire* events. A wire endpoint owns one socket, so unlike
+/// ChannelCounters this view is not split by direction: tx is what this
+/// process put on the wire, rx what it pulled off.
+struct WireCounters {
+  std::uint64_t tx_datagrams = 0;  // kWireTx
+  std::uint64_t tx_bytes = 0;      // sum of kWireTx lengths
+  std::uint64_t rx_datagrams = 0;  // kWireRx
+  std::uint64_t rx_bytes = 0;      // sum of kWireRx lengths
+  std::uint64_t truncated = 0;     // kWireTruncated (datagram > rx buffer)
+  std::uint64_t impair_dropped = 0;     // kWireImpair drop
+  std::uint64_t impair_duplicated = 0;  // kWireImpair dup
+  std::uint64_t impair_held = 0;        // kWireImpair hold
+  std::uint64_t impair_released = 0;    // kWireImpair release
+  std::uint64_t timer_fires = 0;        // kWireTimer
+
+  WireCounters& merge(const WireCounters& o) noexcept {
+    tx_datagrams += o.tx_datagrams;
+    tx_bytes += o.tx_bytes;
+    rx_datagrams += o.rx_datagrams;
+    rx_bytes += o.rx_bytes;
+    truncated += o.truncated;
+    impair_dropped += o.impair_dropped;
+    impair_duplicated += o.impair_duplicated;
+    impair_held += o.impair_held;
+    impair_released += o.impair_released;
+    timer_fires += o.timer_fires;
+    return *this;
+  }
+};
+
 /// The counting sink. count() is inline and branch-light because it sits
 /// on the executor's hot path for every emitted event — it is the same
 /// increment the scattered hand counters used to perform, centralized.
@@ -221,6 +252,38 @@ class CounterSink final : public EventSink {
             break;
         }
         break;
+      case EventKind::kWireTx:
+        ++wire_.tx_datagrams;
+        wire_.tx_bytes += ev.value;
+        break;
+      case EventKind::kWireRx:
+        ++wire_.rx_datagrams;
+        wire_.rx_bytes += ev.value;
+        break;
+      case EventKind::kWireTruncated:
+        ++wire_.truncated;
+        break;
+      case EventKind::kWireImpair:
+        switch (static_cast<ImpairAction>(ev.detail)) {
+          case ImpairAction::kPass:
+            break;
+          case ImpairAction::kDrop:
+            ++wire_.impair_dropped;
+            break;
+          case ImpairAction::kDup:
+            ++wire_.impair_duplicated;
+            break;
+          case ImpairAction::kHold:
+            ++wire_.impair_held;
+            break;
+          case ImpairAction::kRelease:
+            ++wire_.impair_released;
+            break;
+        }
+        break;
+      case EventKind::kWireTimer:
+        ++wire_.timer_fires;
+        break;
       case EventKind::kEventKindCount:
         break;
     }
@@ -237,6 +300,7 @@ class CounterSink final : public EventSink {
   [[nodiscard]] const ProtocolCounters& protocol(Side side) const noexcept {
     return protocol_[static_cast<std::size_t>(side)];
   }
+  [[nodiscard]] const WireCounters& wire() const noexcept { return wire_; }
   [[nodiscard]] std::uint64_t deliveries() const noexcept {
     return deliveries_;
   }
@@ -254,6 +318,7 @@ class CounterSink final : public EventSink {
     channel_[1].merge(o.channel_[1]);
     protocol_[0].merge(o.protocol_[0]);
     protocol_[1].merge(o.protocol_[1]);
+    wire_.merge(o.wire_);
     deliveries_ += o.deliveries_;
     tx_timers_ += o.tx_timers_;
     return *this;
@@ -266,6 +331,7 @@ class CounterSink final : public EventSink {
   ViolationCounts violations_;
   ChannelCounters channel_[2];   // indexed by Dir
   ProtocolCounters protocol_[2];  // indexed by Side
+  WireCounters wire_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t tx_timers_ = 0;
 };

@@ -46,6 +46,16 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "string_reset";
     case EventKind::kViolation:
       return "violation";
+    case EventKind::kWireTx:
+      return "wire_tx";
+    case EventKind::kWireRx:
+      return "wire_rx";
+    case EventKind::kWireTruncated:
+      return "wire_truncated";
+    case EventKind::kWireImpair:
+      return "wire_impair";
+    case EventKind::kWireTimer:
+      return "wire_timer";
     case EventKind::kEventKindCount:
       break;
   }
@@ -114,6 +124,36 @@ const char* violation_kind_name(ViolationKind v) noexcept {
       return "replay";
     case ViolationKind::kAxiom:
       return "axiom";
+  }
+  return "unknown";
+}
+
+const char* impair_action_name(ImpairAction a) noexcept {
+  switch (a) {
+    case ImpairAction::kPass:
+      return "pass";
+    case ImpairAction::kDrop:
+      return "drop";
+    case ImpairAction::kDup:
+      return "dup";
+    case ImpairAction::kHold:
+      return "hold";
+    case ImpairAction::kRelease:
+      return "release";
+  }
+  return "unknown";
+}
+
+const char* wire_timer_kind_name(WireTimerKind k) noexcept {
+  switch (k) {
+    case WireTimerKind::kTick:
+      return "tick";
+    case WireTimerKind::kTxResend:
+      return "tx_resend";
+    case WireTimerKind::kLinger:
+      return "linger";
+    case WireTimerKind::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }

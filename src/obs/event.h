@@ -62,6 +62,16 @@ enum class EventKind : std::uint8_t {
   // Checker (§2.6).
   kViolation,  // detail = ViolationKind; msg set when message-specific
 
+  // Wire level (src/net): real-UDP datagram activity. Appended after the
+  // simulator kinds so existing numeric values (and therefore fingerprints
+  // over event bytes) are unchanged.
+  kWireTx,         // datagram written to the socket; value = bytes
+  kWireRx,         // datagram read from the socket; value = bytes
+  kWireTruncated,  // datagram exceeded the rx buffer; value = true length
+  kWireImpair,     // impairment-shim decision; detail = ImpairAction,
+                   // value = payload bytes, aux = held-queue depth
+  kWireTimer,      // a session timer fired; detail = WireTimerKind
+
   kEventKindCount,
 };
 
@@ -99,6 +109,23 @@ enum class RejectReason : std::uint8_t {
   kStaleChallenge,  // challenge of a non-current length: provably old
   kStalePrefix,     // tau a strict prefix of tau^R: an old packet
   kStaleRetry,      // TM: ack retry counter i <= i^T: replayed/reordered
+};
+
+/// kWireImpair detail: what the shim decided for one offered datagram.
+enum class ImpairAction : std::uint8_t {
+  kPass,     // forwarded to the socket unchanged, immediately
+  kDrop,     // silently discarded
+  kDup,      // an extra copy was scheduled on top of the original
+  kHold,     // queued for delayed release (reordering pressure)
+  kRelease,  // a previously held copy hit the wire
+};
+
+/// kWireTimer detail: which session timer fired.
+enum class WireTimerKind : std::uint8_t {
+  kTick,      // impairment-shim tick (releases held datagrams)
+  kTxResend,  // transmitter-driven resend timer (stop-and-wait family)
+  kLinger,    // receiver post-completion linger window elapsed
+  kDeadline,  // session wall-clock budget exhausted
 };
 
 /// kViolation detail: which §2.6 condition (or environment axiom) failed.
@@ -153,6 +180,8 @@ inline constexpr EventMask kTickEvents =
 [[nodiscard]] const char* accept_kind_name(AcceptKind k) noexcept;
 [[nodiscard]] const char* reject_reason_name(RejectReason r) noexcept;
 [[nodiscard]] const char* violation_kind_name(ViolationKind v) noexcept;
+[[nodiscard]] const char* impair_action_name(ImpairAction a) noexcept;
+[[nodiscard]] const char* wire_timer_kind_name(WireTimerKind k) noexcept;
 
 /// A consumer of the event stream. Sinks are not owned by the bus; the
 /// attacher keeps them alive for as long as they stay attached.

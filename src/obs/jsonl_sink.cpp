@@ -97,6 +97,21 @@ std::string event_to_json(const Event& ev) {
              violation_kind_name(static_cast<ViolationKind>(ev.detail)));
       if (ev.msg != 0) kv_u64(out, "msg", ev.msg);
       break;
+    case EventKind::kWireTx:
+    case EventKind::kWireRx:
+    case EventKind::kWireTruncated:
+      kv_u64(out, "len", ev.value);
+      break;
+    case EventKind::kWireImpair:
+      kv_str(out, "action",
+             impair_action_name(static_cast<ImpairAction>(ev.detail)));
+      kv_u64(out, "len", ev.value);
+      kv_u64(out, "held", ev.aux);
+      break;
+    case EventKind::kWireTimer:
+      kv_str(out, "timer",
+             wire_timer_kind_name(static_cast<WireTimerKind>(ev.detail)));
+      break;
     case EventKind::kEventKindCount:
       break;
   }

@@ -81,6 +81,21 @@ std::string format_event(const Event& ev) {
              violation_kind_name(static_cast<ViolationKind>(ev.detail)));
       if (ev.msg != 0) append(out, " msg=%" PRIu64, ev.msg);
       break;
+    case EventKind::kWireTx:
+    case EventKind::kWireRx:
+    case EventKind::kWireTruncated:
+      append(out, " len=%" PRIu64, ev.value);
+      break;
+    case EventKind::kWireImpair:
+      append(out, " %s len=%" PRIu64,
+             impair_action_name(static_cast<ImpairAction>(ev.detail)),
+             ev.value);
+      if (ev.aux > 0) append(out, " held=%" PRIu64, ev.aux);
+      break;
+    case EventKind::kWireTimer:
+      append(out, " %s",
+             wire_timer_kind_name(static_cast<WireTimerKind>(ev.detail)));
+      break;
     case EventKind::kEventKindCount:
       break;
   }

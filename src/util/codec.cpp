@@ -49,12 +49,15 @@ std::uint64_t Reader::varint() {
   for (unsigned shift = 0; shift < 64; shift += 7) {
     const std::uint8_t b = u8();
     if (error_) return 0;
-    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) {
-      // Reject non-canonical zero continuation past 10 bytes implicitly:
-      // shift < 64 bound above already caps the loop.
-      return v;
+    if (shift == 63 && (b & ~std::uint8_t{1}) != 0) {
+      // Terminal byte of a maximal-length varint: only bit 0 still fits in
+      // a u64. Anything else either overflows (value bits silently lost,
+      // making decoding non-injective) or continues past 10 bytes.
+      fail();
+      return 0;
     }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
   }
   fail();  // unterminated varint
   return 0;

@@ -31,6 +31,35 @@ TEST(Codec, VarintCompactness) {
   EXPECT_EQ(w2.size(), 2u);
 }
 
+TEST(Codec, VarintOverflowingTerminalByteRejected) {
+  // A 10-byte varint's last byte can only contribute bit 63: any higher
+  // value bit would be silently discarded by the shift, making two
+  // distinct encodings decode to the same u64. Decoding must be injective
+  // on accepted inputs, so such bytes are malformed.
+  const Bytes overflow = {std::byte{0xff}, std::byte{0xff}, std::byte{0xff},
+                          std::byte{0xff}, std::byte{0xff}, std::byte{0xff},
+                          std::byte{0xff}, std::byte{0xff}, std::byte{0xff},
+                          std::byte{0x02}};
+  Reader r(overflow);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+
+  // ...while UINT64_MAX itself (terminal byte 0x01) still round-trips.
+  Writer w;
+  w.varint(UINT64_MAX);
+  EXPECT_EQ(w.bytes().back(), std::byte{0x01});
+  Reader r2(w.bytes());
+  EXPECT_EQ(r2.varint(), UINT64_MAX);
+  EXPECT_TRUE(r2.ok_and_done());
+}
+
+TEST(Codec, VarintContinuationPastTenBytesRejected) {
+  const Bytes unterminated(11, std::byte{0x80});
+  Reader r(unterminated);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(Codec, Fixed64RoundTrip) {
   for (std::uint64_t v :
        {std::uint64_t{0}, std::uint64_t{0xdeadbeefcafef00d}, UINT64_MAX}) {

@@ -70,6 +70,72 @@ TEST(Packets, EmptyInputRejected) {
   EXPECT_FALSE(AckPacket::decode({}).has_value());
 }
 
+TEST(Packets, DecodeIntoClearsOnFailure) {
+  // A failed decode must leave the target in the default-constructed
+  // state, never a partial decode: modules reuse one scratch packet across
+  // receives, and a chimera of two packets is exactly the §5 forgery the
+  // wire path must be immune to.
+  Rng rng(7);
+  DataPacket data;
+  ASSERT_TRUE(DataPacket::decode_into(
+      data,
+      DataPacket{{9, "stale"}, BitString::random(24, rng), {}}.encode()));
+  Bytes wire =
+      DataPacket{{10, "fresh"}, BitString::random(24, rng), {}}.encode();
+  wire.pop_back();  // truncate: decode must fail
+  ASSERT_FALSE(DataPacket::decode_into(data, wire));
+  EXPECT_EQ(data.msg.id, 0u);
+  EXPECT_TRUE(data.msg.payload.empty());
+  EXPECT_TRUE(data.rho.empty());
+  EXPECT_TRUE(data.tau.empty());
+
+  AckPacket ack;
+  ASSERT_TRUE(AckPacket::decode_into(
+      ack, AckPacket{BitString::random(16, rng), {}, 5}.encode()));
+  Bytes ack_wire = AckPacket{BitString::random(16, rng), {}, 6}.encode();
+  ack_wire.pop_back();
+  ASSERT_FALSE(AckPacket::decode_into(ack, ack_wire));
+  EXPECT_TRUE(ack.rho.empty());
+  EXPECT_TRUE(ack.tau.empty());
+  EXPECT_EQ(ack.retry, 0u);
+}
+
+TEST(Packets, BitFlipsNeverCrashAndNeverHalfDecode) {
+  // Every single-bit flip of a valid packet must either decode to *some*
+  // complete packet or fail cleanly with the output cleared. Under
+  // ASan/UBSan this doubles as a no-UB sweep of the decode path.
+  Rng rng(8);
+  const Bytes wire = DataPacket{{77, "bit flip probe"},
+                                BitString::random(65, rng),
+                                BitString::random(130, rng)}
+                         .encode();
+  DataPacket out;
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    Bytes flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    if (!DataPacket::decode_into(out, flipped)) {
+      EXPECT_EQ(out.msg.id, 0u) << "bit " << bit;
+      EXPECT_TRUE(out.msg.payload.empty()) << "bit " << bit;
+      EXPECT_TRUE(out.rho.empty()) << "bit " << bit;
+      EXPECT_TRUE(out.tau.empty()) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Packets, RandomBytesNeverCrash) {
+  Rng rng(9);
+  DataPacket data;
+  AckPacket ack;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.next_below(64));
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    DataPacket::decode_into(data, junk);
+    AckPacket::decode_into(ack, junk);
+  }
+}
+
 TEST(Packets, LengthReflectsStringGrowth) {
   // The adversary sees lengths; a grown challenge must produce a longer
   // wire packet (this is what makes stale packets distinguishable *to the

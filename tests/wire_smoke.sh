@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Two-process wire smoke: the TM binds an ephemeral loopback port first
+# (learn-peer mode — GHM's transmitter is purely reactive, so it is the
+# natural server: it never needs to speak until a RETRY arrives, and that
+# first datagram teaches it the RM's address). The RM is then aimed at
+# the TM's bound port and its RETRY timer elicits everything. Both run
+# under a seeded drop+dup+reorder impairment profile and must finish
+# checker-clean with all messages completed inside the time limit.
+# Event-bus timelines from both ends are captured as JSONL next to the
+# logs.
+#
+#   wire_smoke.sh <wire_node-binary> <work-dir> [messages]
+set -u
+
+WIRE_NODE=${1:?usage: wire_smoke.sh <wire_node> <workdir> [messages]}
+WORKDIR=${2:?usage: wire_smoke.sh <wire_node> <workdir> [messages]}
+MESSAGES=${3:-100}
+
+mkdir -p "$WORKDIR"
+RM_OUT="$WORKDIR/rm.out"
+TM_OUT="$WORKDIR/tm.out"
+: > "$TM_OUT"
+
+IMPAIR=(--drop 0.1 --dup 0.05 --hold 0.1 --max-hold-ticks 4)
+
+"$WIRE_NODE" --role tm --bind 127.0.0.1:0 --learn-peer --print-bound \
+  --messages "$MESSAGES" "${IMPAIR[@]}" --impair-seed 1 \
+  --trace-jsonl "$WORKDIR/tm_timeline.jsonl" > "$TM_OUT" 2>&1 &
+TM_PID=$!
+
+# Wait for the TM to report its bound address.
+BOUND=""
+for _ in $(seq 1 100); do
+  BOUND=$(sed -n 's/^bound=//p' "$TM_OUT" | head -n1)
+  [ -n "$BOUND" ] && break
+  sleep 0.1
+done
+if [ -z "$BOUND" ]; then
+  echo "wire_smoke: TM never reported its bound address" >&2
+  cat "$TM_OUT" >&2
+  kill "$TM_PID" 2>/dev/null
+  exit 1
+fi
+
+"$WIRE_NODE" --role rm --bind 127.0.0.1:0 --peer "$BOUND" \
+  --messages "$MESSAGES" "${IMPAIR[@]}" --impair-seed 2 \
+  --trace-jsonl "$WORKDIR/rm_timeline.jsonl" > "$RM_OUT" 2>&1
+RM_STATUS=$?
+
+wait "$TM_PID"
+TM_STATUS=$?
+
+echo "--- tm ---"; cat "$TM_OUT"
+echo "--- rm ---"; cat "$RM_OUT"
+
+FAIL=0
+if [ "$TM_STATUS" -ne 0 ]; then
+  echo "wire_smoke: tm exited $TM_STATUS" >&2; FAIL=1
+fi
+if [ "$RM_STATUS" -ne 0 ]; then
+  echo "wire_smoke: rm exited $RM_STATUS" >&2; FAIL=1
+fi
+grep -q "result=ok role=tm progress=$MESSAGES/$MESSAGES" "$TM_OUT" || {
+  echo "wire_smoke: tm did not complete $MESSAGES messages" >&2; FAIL=1; }
+grep -q "result=ok role=rm progress=$MESSAGES/$MESSAGES" "$RM_OUT" || {
+  echo "wire_smoke: rm did not deliver $MESSAGES messages" >&2; FAIL=1; }
+for side in tm rm; do
+  if ! [ -s "$WORKDIR/${side}_timeline.jsonl" ]; then
+    echo "wire_smoke: missing $side timeline capture" >&2; FAIL=1
+  fi
+done
+exit "$FAIL"

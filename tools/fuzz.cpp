@@ -5,10 +5,16 @@
 //   ./build/tools/fuzz --system abp --fuzz-scripts 2000 --fuzz-depth 80
 //   ./build/tools/fuzz --system fixed_nonce --shrink
 //       --out tests/corpus/fixed_nonce_replay.script
+//   cat old_witness.script | ./build/tools/fuzz --seed-script -
+//
+// `--seed-script <path|->` replays an existing witness document first (a
+// regression check around which the fuzz run then searches); malformed
+// script bytes — from a file or piped through stdin — are a hard error
+// with a line/column diagnostic, never silently treated as empty input.
 //
 // Exit status: 0 always for a completed run (finding violations in a
-// baseline is the tool doing its job); 2 on usage errors. Use
-// bench/exp_fuzz --fail-on for CI gating.
+// baseline is the tool doing its job); 2 on usage errors or a malformed
+// --seed-script. Use bench/exp_fuzz --fail-on for CI gating.
 #include <fstream>
 #include <iostream>
 
@@ -16,6 +22,7 @@
 #include "harness/systems.h"
 #include "link/script.h"
 #include "obs/render.h"
+#include "script_input.h"
 #include "util/flags.h"
 
 namespace s2d {
@@ -38,6 +45,9 @@ int run(int argc, char** argv) {
       .define("payload", "2", "payload bytes per message")
       .define("shrink", "true", "delta-debug the first counterexample")
       .define("out", "", "write the (shrunk) counterexample script here")
+      .define("seed-script", "",
+              "witness script (path or - for stdin) to replay before "
+              "fuzzing; its @directives select its own system")
       .define_threads()
       .define_log_level();
   if (!flags.parse(argc, argv)) return flags.failed() ? 2 : 0;
@@ -49,6 +59,32 @@ int run(int argc, char** argv) {
     std::cerr << "unknown system '" << system_name << "' (expected "
               << join_names() << ")\n";
     return 2;
+  }
+
+  const std::string seed_script = flags.get("seed-script");
+  if (!seed_script.empty()) {
+    const auto source = read_script_source(seed_script);
+    if (!source) return 2;
+    ScriptDocParse parsed = parse_script_doc(source->text);
+    if (!parsed.ok) {
+      std::cerr << source->display << ":" << parsed.line << ":"
+                << parsed.column << ": " << parsed.error << "\n";
+      return 2;
+    }
+    const ScriptDoc& doc = parsed.doc;
+    const AdversaryLinkFactory factory =
+        make_system_factory(doc.system, doc.seed);
+    if (!factory) {
+      std::cerr << source->display << ": unknown @system '" << doc.system
+                << "' (expected " << join_names() << ")\n";
+      return 2;
+    }
+    const DataLink link =
+        replay_script(factory, doc.decisions,
+                      ScriptWorkload{doc.messages, doc.payload_bytes});
+    std::cout << "seed script: " << source->display << " (" << doc.system
+              << " seed " << doc.seed << ", " << doc.decisions.size()
+              << " decisions) -> " << link.violations().summary() << "\n";
   }
 
   FuzzerConfig cfg;

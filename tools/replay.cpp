@@ -3,15 +3,15 @@
 //
 //   ./build/tools/replay --script tests/corpus/abp_crash.script
 //   ./build/tools/replay --script ce.script --system ghm --seed 42
+//   tools/fuzz ... | ./build/tools/replay --script -
 //
 // The script document's @directives select the system, seed and workload;
-// command-line flags override them. Exit status: 0 when the replay verdict
-// matches the script's @expect (or no expectation is recorded), 1 on a
-// verdict mismatch, 2 on unreadable/malformed input — so corpus replays
-// slot straight into shell loops and CI.
-#include <fstream>
+// command-line flags override them. `--script -` reads the document from
+// stdin with the same line/column diagnostics as a file. Exit status: 0
+// when the replay verdict matches the script's @expect (or no expectation
+// is recorded), 1 on a verdict mismatch, 2 on unreadable/malformed input —
+// so corpus replays slot straight into shell loops and CI.
 #include <iostream>
-#include <sstream>
 
 #include "harness/fuzzer.h"
 #include "harness/systems.h"
@@ -19,6 +19,7 @@
 #include "link/trace_render.h"
 #include "obs/jsonl_sink.h"
 #include "obs/render.h"
+#include "script_input.h"
 #include "util/flags.h"
 
 namespace s2d {
@@ -48,7 +49,8 @@ bool verdict_matches(const std::string& expect,
 
 int run(int argc, char** argv) {
   Flags flags("replay: re-execute a decision script against a named system");
-  flags.define("script", "", "path to the script file (required)")
+  flags.define("script", "",
+               "path to the script file, or - for stdin (required)")
       .define("system", "", "override @system (" + join_names() + ")")
       .define("seed", "", "override @seed")
       .define("messages", "", "override @messages")
@@ -69,18 +71,13 @@ int run(int argc, char** argv) {
     std::cerr << "--script is required (see --help)\n";
     return 2;
   }
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "cannot open " << path << "\n";
-    return 2;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
+  const auto source = read_script_source(path);
+  if (!source) return 2;
 
-  ScriptDocParse parsed = parse_script_doc(buffer.str());
+  ScriptDocParse parsed = parse_script_doc(source->text);
   if (!parsed.ok) {
-    std::cerr << path << ":" << parsed.line << ":" << parsed.column << ": "
-              << parsed.error << "\n";
+    std::cerr << source->display << ":" << parsed.line << ":"
+              << parsed.column << ": " << parsed.error << "\n";
     return 2;
   }
   ScriptDoc doc = std::move(parsed.doc);
@@ -127,7 +124,7 @@ int run(int argc, char** argv) {
   const DataLink link = replay_script(factory, doc.decisions, workload);
   const ViolationCounts& counts = link.violations();
 
-  std::cout << "script:     " << path << "\n"
+  std::cout << "script:     " << source->display << "\n"
             << "system:     " << doc.system << " (seed " << doc.seed << ")\n"
             << "decisions:  " << doc.decisions.size() << "\n"
             << "workload:   " << doc.messages << " msgs x "

@@ -1,0 +1,48 @@
+// Shared script ingestion for the operator CLIs: read a script document
+// from a file path or ("-") from stdin, keeping a display name suitable
+// for line/column diagnostics either way. Malformed bytes from a pipe get
+// the same `<stdin>:line:col: error` treatment as a corpus file, so shell
+// pipelines fail loudly instead of replaying an empty script.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace s2d {
+
+struct ScriptSource {
+  std::string display;  // the path, or "<stdin>" when piped
+  std::string text;
+};
+
+/// Reads `path` fully; "-" means stdin. Returns nullopt (after printing a
+/// diagnostic to stderr) when the source cannot be opened or errors
+/// mid-read — callers should exit 2.
+inline std::optional<ScriptSource> read_script_source(
+    const std::string& path) {
+  std::stringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+    if (std::cin.bad()) {
+      std::cerr << "<stdin>: read error\n";
+      return std::nullopt;
+    }
+    return ScriptSource{"<stdin>", buffer.str()};
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    std::cerr << path << ": read error\n";
+    return std::nullopt;
+  }
+  return ScriptSource{path, buffer.str()};
+}
+
+}  // namespace s2d

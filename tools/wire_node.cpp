@@ -1,0 +1,170 @@
+// wire_node: one data-link station as one OS process on a real UDP socket.
+//
+//   wire_node --role tm --bind 127.0.0.1:7001 --peer 127.0.0.1:7002
+//             --system ghm --messages 100 --drop 0.1 --dup 0.05 --hold 0.1
+//
+// Run one with --role tm and one with --role rm (either order: UDP has no
+// connection to establish, and the RM's RETRY timer elicits everything).
+// The process exits 0 iff the session finished inside --time-limit-ms with
+// zero §2.6 violations; the final summary line on stdout is machine-
+// greppable (`wire_node: result=ok ...`).
+//
+// With --bind port 0 the kernel assigns an ephemeral port; --print-bound
+// writes `bound=ip:port` to stdout (flushed) before the loop starts so a
+// wrapper script can discover the address and start the peer.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "harness/systems.h"
+#include "net/session.h"
+#include "obs/jsonl_sink.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace s2d;
+
+int run(int argc, char** argv) {
+  Flags flags(
+      "wire_node: run one station of a data-link protocol over real UDP");
+  flags.define("role", "", "which station this process is: tm | rm")
+      .define("bind", "127.0.0.1:0", "local ip:port (port 0 = ephemeral)")
+      .define("peer", "", "peer ip:port datagrams are sent to")
+      .define("learn-peer", "false",
+              "adopt the peer from inbound datagrams (server-style; makes "
+              "--peer optional)")
+      .define("system", "ghm", "protocol name (see replay --help)")
+      .define("seed", "1", "module seed (coin tosses)")
+      .define("messages", "100", "workload length in messages")
+      .define("payload-bytes", "16", "payload size per message")
+      .define("payload-seed", "39578",
+              "payload-stream seed; MUST match on both ends")
+      .define("drop", "0", "impairment: P(drop) per datagram")
+      .define("dup", "0", "impairment: P(duplicate) per datagram")
+      .define("hold", "0", "impairment: P(hold for reordering) per copy")
+      .define("max-hold-ticks", "4", "impairment: max ticks a datagram is held")
+      .define("impair-seed", "1", "impairment decision seed")
+      .define("retry-ms", "5", "RM RETRY cadence")
+      .define("tx-timer-ms", "0", "TM resend cadence (0 = off; ghm needs none)")
+      .define("tick-ms", "2", "impairment tick cadence")
+      .define("linger-ms", "2000", "RM post-completion linger window")
+      .define("time-limit-ms", "30000", "session wall-clock budget")
+      .define("trace-jsonl", "", "write the event timeline to this file")
+      .define("print-bound", "false",
+              "print bound=ip:port to stdout before running")
+      .define_log_level();
+  if (!flags.parse(argc, argv)) return flags.failed() ? 2 : 0;
+  if (!flags.apply_log_level()) return 2;
+
+  const std::string role = flags.get("role");
+  if (role != "tm" && role != "rm") {
+    std::cerr << "wire_node: --role must be tm or rm\n";
+    return 2;
+  }
+  const bool learn_peer = flags.get_bool("learn-peer");
+  const auto bind = UdpAddress::parse(flags.get("bind"));
+  auto peer = UdpAddress::parse(flags.get("peer"));
+  if (learn_peer && flags.get("peer").empty()) {
+    peer = UdpAddress{};  // sends go nowhere until the peer is learned
+  }
+  if (!bind || !peer) {
+    std::cerr << "wire_node: --bind and --peer must be ip:port "
+                 "(--peer may be omitted with --learn-peer)\n";
+    return 2;
+  }
+
+  ModulePair pair = make_module_pair(flags.get("system"),
+                                     flags.get_u64("seed"));
+  if (!pair.tm) {
+    std::cerr << "wire_node: unknown system '" << flags.get("system")
+              << "'\n";
+    return 2;
+  }
+
+  WireChannelConfig net;
+  net.bind = *bind;
+  net.peer = *peer;
+  net.learn_peer = learn_peer;
+  net.impair.drop = flags.get_double("drop");
+  net.impair.dup = flags.get_double("dup");
+  net.impair.hold = flags.get_double("hold");
+  net.impair.max_hold_ticks =
+      static_cast<std::uint32_t>(flags.get_u64("max-hold-ticks"));
+  net.impair.seed = flags.get_u64("impair-seed");
+
+  WireSessionConfig cfg;
+  cfg.messages = flags.get_u64("messages");
+  cfg.payload_bytes = static_cast<std::size_t>(flags.get_u64("payload-bytes"));
+  cfg.payload_seed = flags.get_u64("payload-seed");
+  cfg.retry_interval = std::chrono::milliseconds(flags.get_u64("retry-ms"));
+  cfg.tx_timer_interval =
+      std::chrono::milliseconds(flags.get_u64("tx-timer-ms"));
+  cfg.tick_interval = std::chrono::milliseconds(flags.get_u64("tick-ms"));
+  cfg.linger = std::chrono::milliseconds(flags.get_u64("linger-ms"));
+  cfg.time_limit = std::chrono::milliseconds(flags.get_u64("time-limit-ms"));
+
+  std::unique_ptr<WireSessionBase> session;
+  if (role == "tm") {
+    session = std::make_unique<TmWireSession>(std::move(pair.tm),
+                                              std::move(net), cfg);
+  } else {
+    session = std::make_unique<RmWireSession>(std::move(pair.rm),
+                                              std::move(net), cfg);
+  }
+
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlTraceSink> trace;
+  const std::string trace_path = flags.get("trace-jsonl");
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "wire_node: cannot open " << trace_path << "\n";
+      return 2;
+    }
+    trace = std::make_unique<JsonlTraceSink>(trace_file);
+    session->bus().attach(trace.get());
+  }
+
+  if (flags.get_bool("print-bound")) {
+    std::cout << "bound=" << session->channel().local_address().to_string()
+              << std::endl;  // flushed: a wrapper may be waiting on this
+  }
+
+  EventLoop loop;
+  session->start(loop);
+  loop.run();
+
+  if (trace) session->bus().detach(trace.get());
+
+  const auto& ch = session->channel();
+  const auto& vio = session->violations();
+  std::uint64_t progress = 0;
+  if (role == "tm") {
+    progress = static_cast<TmWireSession&>(*session).completed();
+  } else {
+    progress = static_cast<RmWireSession&>(*session).distinct_delivered();
+  }
+  const bool ok = session->succeeded();
+  std::cout << "wire_node: result=" << (ok ? "ok" : "fail")
+            << " role=" << role << " progress=" << progress << "/"
+            << cfg.messages << " timed_out=" << (session->timed_out() ? 1 : 0)
+            << " violations=" << vio.safety_total()
+            << " tx=" << ch.tx_datagrams() << " rx=" << ch.rx_datagrams()
+            << " dropped=" << ch.impair_stats().dropped
+            << " duplicated=" << ch.impair_stats().duplicated
+            << " held=" << ch.impair_stats().held << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "wire_node: " << e.what() << "\n";
+    return 2;
+  }
+}
