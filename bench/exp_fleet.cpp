@@ -1,27 +1,87 @@
-// E13 — fleet scaling: thousands of concurrent GHM sessions.
+// E13 — fleet scaling: from thousands to a million concurrent GHM
+// sessions.
 //
 // The paper analyses one TM→RM link; a deployment hosts one link per
-// conversation. This experiment runs N independent sessions (fresh GHM
-// pair, random-fault channel, forked per-session RNG) through the fleet
-// engine at 1, 2, 4, ... worker threads and reports aggregate throughput
-// (sessions/sec, completed msgs/sec, executor steps/sec) and the speedup
-// over the single-threaded run of the *same* workload.
+// conversation. This experiment has two modes:
 //
-// Expected shape: sessions are share-nothing, so throughput scales close
-// to linearly until the thread count exceeds the physical cores. The
-// `fingerprint` column must be one constant: the aggregate report is
-// deterministic in the root seed no matter how many shards computed it.
+//   * thread sweep (default): run N independent sessions through the
+//     fleet engine at 1, 2, 4, ... worker threads and report aggregate
+//     throughput plus the speedup over the single-threaded run. The
+//     `fingerprint` column must be one constant: the aggregate report is
+//     deterministic in the root seed no matter how many shards computed
+//     it.
+//
+//   * scale curve (--scale N1,N2,...): hold the thread count fixed and
+//     sweep the *fleet size* — 10^3 → 10^6 sessions — reporting
+//     steps/sec, physical RSS bytes per concurrent session (sampled by
+//     the slab engine at the moment every session is live), slab arena
+//     bytes/session, and the p99 latency of one batched scheduler visit.
+//     This is the curve that makes the "millions of users" claim a
+//     number instead of a slogan; CI runs the 10^4 point and gates RSS
+//     bytes/session against bench/baselines/fleet_rss_per_session.txt.
+//
+// --engine slab|legacy|both selects the execution engine; `both` runs
+// the slab engine *and* the legacy per-object oracle on every point and
+// fails unless their FleetReport fingerprints are byte-identical — the
+// same differential contract tests/fleet_slab_diff_test.cpp enforces,
+// exercised here at bench scale.
 //
 // --json emits the same data machine-readably (bench_common.h JsonWriter)
 // so future PRs can track the perf trajectory.
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "fleet/fleet.h"
+#include "fleet/slab.h"
 
 namespace s2d {
 namespace {
+
+struct EngineChoice {
+  FleetEngine engine = FleetEngine::kSlab;
+  bool differential = false;  // run both engines, compare fingerprints
+};
+
+bool parse_engine(const std::string& name, EngineChoice& out) {
+  if (name == "slab") {
+    out = {FleetEngine::kSlab, false};
+  } else if (name == "legacy") {
+    out = {FleetEngine::kLegacy, false};
+  } else if (name == "both") {
+    out = {FleetEngine::kSlab, true};
+  } else {
+    std::cerr << "exp_fleet: unknown --engine '" << name
+              << "' (want slab|legacy|both)\n";
+    return false;
+  }
+  return true;
+}
+
+/// One measured point: the primary engine's result plus (in differential
+/// mode) whether the legacy oracle agreed byte-for-byte.
+struct Point {
+  FleetResult res;
+  bool checked = false;
+  bool matched = true;
+};
+
+Point run_point(FleetConfig cfg, const SessionFactory& factory,
+                const EngineChoice& choice) {
+  Point p;
+  cfg.engine = choice.engine;
+  p.res = run_fleet(cfg, factory);
+  if (choice.differential) {
+    FleetConfig legacy_cfg = cfg;
+    legacy_cfg.engine = FleetEngine::kLegacy;
+    const FleetResult oracle = run_fleet(legacy_cfg, factory);
+    p.checked = true;
+    p.matched =
+        p.res.report.fingerprint() == oracle.report.fingerprint();
+  }
+  return p;
+}
 
 int run(int argc, char** argv) {
   Flags flags("E13: sharded fleet of independent GHM sessions");
@@ -32,6 +92,17 @@ int run(int argc, char** argv) {
       .define("fault", "0.05", "chaos fault profile intensity")
       .define("retry", "4", "RM RETRY cadence (steps)")
       .define("seed", "20890", "root seed of the whole fleet")
+      .define("engine", "slab", "execution engine: slab|legacy|both "
+              "(both = differential, fail on fingerprint mismatch)")
+      .define("batch", "64", "slab engine: steps per session per visit")
+      .define("jitter", "false",
+              "slab engine: jitter per-visit budgets from the shard RNG")
+      .define("scale", "",
+              "comma list of fleet sizes (e.g. 1000,10000,100000); "
+              "replaces the thread sweep with a scale curve")
+      .define("fail-over-rss-per-session", "0",
+              "exit nonzero when RSS bytes/session at the largest scale "
+              "point exceeds this budget (0 = no gate; slab engine only)")
       .define_threads()
       .define("csv", "false", "emit CSV")
       .define("json", "false", "emit machine-readable JSON instead")
@@ -39,11 +110,16 @@ int run(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
   if (!flags.apply_log_level()) return 1;
 
+  EngineChoice choice;
+  if (!parse_engine(flags.get("engine"), choice)) return 1;
+
   FleetConfig cfg;
   cfg.sessions = flags.get_u64("sessions");
   cfg.root_seed = flags.get_u64("seed");
   cfg.workload.messages = flags.get_u64("messages");
   cfg.workload.payload_bytes = flags.get_u64("payload");
+  cfg.batch_steps = flags.get_u64("batch");
+  cfg.batch_jitter = flags.get_bool("jitter");
 
   GhmFleetOptions opts;
   opts.epsilon = std::exp2(-static_cast<double>(flags.get_u64("eps_log2")));
@@ -51,13 +127,117 @@ int run(int argc, char** argv) {
   opts.retry_every = flags.get_u64("retry");
   const SessionFactory factory = make_ghm_fleet_factory(opts);
 
+  const bool json = flags.get_bool("json");
+  const std::uint64_t rss_budget =
+      flags.get_u64("fail-over-rss-per-session");
+  bench::JsonWriter j;
+
+  if (!flags.get("scale").empty()) {
+    // ---- Scale curve: sweep fleet size at a fixed thread count. ----
+    const std::vector<std::uint64_t> sizes = flags.get_u64_list("scale");
+    cfg.threads = flags.get_threads();
+
+    if (!json) {
+      bench::print_header(
+          "E13: fleet scale curve — concurrent GHM sessions on one machine",
+          "slab/SoA session storage holds every link live at once; RSS "
+          "bytes/session is sampled at the all-live moment");
+    }
+    Table table({"sessions", "wall_s", "steps_per_s", "msgs_per_s",
+                 "rss_per_session", "arena_per_session", "p99_batch_us",
+                 "completed", "safety_viol", "slab_eq_legacy",
+                 "fingerprint"});
+    j.begin_object();
+    j.kv("experiment", "exp_fleet");
+    j.kv("mode", "scale");
+    j.kv("engine", flags.get("engine"));
+    j.kv("threads", cfg.threads);
+    j.kv("batch_steps", cfg.batch_steps);
+    j.kv("messages_per_session", cfg.workload.messages);
+    j.kv("payload_bytes", cfg.workload.payload_bytes);
+    j.kv("root_seed", cfg.root_seed);
+    j.key("curve");
+    j.begin_array();
+
+    bool all_matched = true;
+    std::uint64_t last_rss_per_session = 0;
+    for (const std::uint64_t n : sizes) {
+      cfg.sessions = n;
+      const std::uint64_t rss_before = process_rss_bytes();
+      Point p = run_point(cfg, factory, choice);
+      const std::string fp = p.res.report.fingerprint();
+      all_matched = all_matched && p.matched;
+
+      const std::uint64_t rss_delta =
+          p.res.rss_live_bytes > rss_before
+              ? p.res.rss_live_bytes - rss_before
+              : 0;
+      const std::uint64_t rss_per_session = n ? rss_delta / n : 0;
+      const std::uint64_t arena_per_session =
+          n ? p.res.slab_bytes_reserved / n : 0;
+      const double p99_us = p.res.batch_latency_us.count()
+                                ? p.res.batch_latency_us.p99()
+                                : 0.0;
+      last_rss_per_session = rss_per_session;
+
+      table.add_row(
+          {std::to_string(n), Table::num(p.res.wall_seconds, 3),
+           Table::num(p.res.steps_per_sec(), 0),
+           Table::num(p.res.msgs_per_sec(), 1),
+           std::to_string(rss_per_session),
+           std::to_string(arena_per_session), Table::num(p99_us, 1),
+           std::to_string(p.res.report.completed),
+           std::to_string(p.res.report.violations.safety_total()),
+           p.checked ? (p.matched ? "yes" : "NO") : "-", fp});
+
+      j.begin_object();
+      j.kv("sessions", n);
+      j.kv("wall_seconds", p.res.wall_seconds);
+      j.kv("steps_per_sec", p.res.steps_per_sec());
+      j.kv("msgs_per_sec", p.res.msgs_per_sec());
+      j.kv("rss_live_bytes", p.res.rss_live_bytes);
+      j.kv("rss_bytes_per_session", rss_per_session);
+      j.kv("slab_arena_bytes_per_session", arena_per_session);
+      j.kv("p99_batch_visit_us", p99_us);
+      j.kv("completed", p.res.report.completed);
+      j.kv("safety_violations", p.res.report.violations.safety_total());
+      if (p.checked) j.kv("slab_eq_legacy", p.matched);
+      j.kv("fingerprint", fp);
+      j.end_object();
+    }
+    j.end_array();
+    j.kv("differential_clean", all_matched);
+
+    const bool rss_over = rss_budget != 0 && choice.engine ==
+        FleetEngine::kSlab && last_rss_per_session > rss_budget;
+    j.kv("rss_budget_bytes_per_session", rss_budget);
+    j.kv("rss_over_budget", rss_over);
+    j.end_object();
+
+    if (json) {
+      std::cout << j.str() << "\n";
+    } else {
+      bench::emit(table, flags.get_bool("csv"));
+      if (choice.differential) {
+        std::cout << "#\n# slab == legacy at every point: "
+                  << (all_matched ? "yes" : "NO — BUG") << "\n";
+      }
+    }
+    if (rss_over) {
+      std::cerr << "exp_fleet: RSS " << last_rss_per_session
+                << " bytes/session exceeds budget " << rss_budget << "\n";
+      return 1;
+    }
+    return all_matched ? 0 : 1;
+  }
+
+  // ---- Thread sweep (the original E13 shape). ----
   // 1, 2, 4, ... doubling up to the resolved --threads value (inclusive).
   const unsigned max_threads = flags.get_threads();
   std::vector<unsigned> sweep;
   for (unsigned t = 1; t < max_threads; t *= 2) sweep.push_back(t);
   sweep.push_back(max_threads);
 
-  const bool json = flags.get_bool("json");
   if (!json) {
     bench::print_header(
         "E13: fleet scaling — N independent GHM sessions across shards",
@@ -68,9 +248,10 @@ int run(int argc, char** argv) {
   Table table({"threads", "shards", "wall_s", "sessions_per_s",
                "msgs_per_s", "steps_per_s", "speedup", "completed",
                "safety_viol", "fingerprint"});
-  bench::JsonWriter j;
   j.begin_object();
   j.kv("experiment", "exp_fleet");
+  j.kv("mode", "threads");
+  j.kv("engine", flags.get("engine"));
   j.kv("sessions", cfg.sessions);
   j.kv("messages_per_session", cfg.workload.messages);
   j.kv("payload_bytes", cfg.workload.payload_bytes);
@@ -81,9 +262,12 @@ int run(int argc, char** argv) {
   double base_msgs_per_sec = 0.0;
   std::string base_fingerprint;
   bool deterministic = true;
+  bool all_matched = true;
   for (const unsigned threads : sweep) {
     cfg.threads = threads;
-    const FleetResult res = run_fleet(cfg, factory);
+    const Point p = run_point(cfg, factory, choice);
+    const FleetResult& res = p.res;
+    all_matched = all_matched && p.matched;
     const std::string fp = res.report.fingerprint();
     if (base_fingerprint.empty()) {
       base_fingerprint = fp;
@@ -114,11 +298,13 @@ int run(int argc, char** argv) {
     j.kv("speedup_vs_1_thread", speedup);
     j.kv("completed", res.report.completed);
     j.kv("safety_violations", res.report.violations.safety_total());
+    if (p.checked) j.kv("slab_eq_legacy", p.matched);
     j.kv("fingerprint", fp);
     j.end_object();
   }
   j.end_array();
   j.kv("deterministic_across_shard_counts", deterministic);
+  if (choice.differential) j.kv("differential_clean", all_matched);
   j.end_object();
 
   if (json) {
@@ -127,8 +313,12 @@ int run(int argc, char** argv) {
     bench::emit(table, flags.get_bool("csv"));
     std::cout << "#\n# deterministic across shard counts: "
               << (deterministic ? "yes" : "NO — BUG") << "\n";
+    if (choice.differential) {
+      std::cout << "# slab == legacy at every thread count: "
+                << (all_matched ? "yes" : "NO — BUG") << "\n";
+    }
   }
-  return deterministic ? 0 : 1;
+  return deterministic && all_matched ? 0 : 1;
 }
 
 }  // namespace

@@ -5,7 +5,7 @@ namespace s2d {
 std::uint64_t Session::send(std::string payload) {
   const std::uint64_t id = next_id_++;
   queue_.push_back(Message{id, std::move(payload)});
-  status_[id] = Status::kQueued;
+  slot(id) = Status::kQueued;
   settle();
   return id;
 }
@@ -14,11 +14,11 @@ void Session::settle() {
   // Fold in OK / crash^T transitions that happened since the last poll.
   if (in_flight_) {
     if (link_.stats().oks > oks_seen_) {
-      status_[in_flight_id_] = Status::kCompleted;
+      slot(in_flight_id_) = Status::kCompleted;
       ++completed_;
       in_flight_ = false;
     } else if (link_.stats().aborted > aborts_seen_) {
-      status_[in_flight_id_] = Status::kAborted;
+      slot(in_flight_id_) = Status::kAborted;
       ++aborted_;
       in_flight_ = false;
     }
@@ -31,7 +31,7 @@ void Session::settle() {
     queue_.pop_front();
     in_flight_ = true;
     in_flight_id_ = m.id;
-    status_[m.id] = Status::kInFlight;
+    slot(m.id) = Status::kInFlight;
     link_.offer(std::move(m));
   }
 }
@@ -51,8 +51,8 @@ bool Session::pump_until_idle(std::uint64_t max_steps) {
 }
 
 Session::Status Session::status(std::uint64_t id) const {
-  const auto it = status_.find(id);
-  return it == status_.end() ? Status::kUnknown : it->second;
+  if (id == 0 || id > status_.size()) return Status::kUnknown;
+  return status_[id - 1];
 }
 
 }  // namespace s2d

@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "link/datalink.h"
@@ -76,10 +75,20 @@ class Session {
   /// bookkeeping for OK/abort transitions observed since the last poll.
   void settle();
 
+  /// Status slot of message `id`, growing the table on first touch.
+  /// Ids are allocated densely from 1 by send(), so status bookkeeping is
+  /// a flat byte array indexed by id-1 — one byte per message instead of
+  /// a hash node, which is what lets thousands of Session facades ride on
+  /// top of a slab fleet without per-message heap churn.
+  [[nodiscard]] Status& slot(std::uint64_t id) {
+    if (status_.size() < id) status_.resize(id, Status::kUnknown);
+    return status_[id - 1];
+  }
+
   DataLink& link_;
   std::uint64_t next_id_ = 1;
   std::deque<Message> queue_;
-  std::unordered_map<std::uint64_t, Status> status_;
+  std::vector<Status> status_;  // indexed by id-1 (ids are dense from 1)
 
   bool in_flight_ = false;
   std::uint64_t in_flight_id_ = 0;

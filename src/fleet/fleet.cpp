@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/ghm.h"
+#include "fleet/slab.h"
 #include "util/fnv.h"
 #include "util/parallel.h"
 
@@ -81,7 +82,21 @@ std::string FleetReport::fingerprint() const {
   return h.hex();
 }
 
-FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {
+namespace {
+
+/// One legacy shard's partial aggregate, padded to a cacheline so two
+/// shards' hot counters never share a line (the same false-sharing rule
+/// SlabShard enforces for the slab engine).
+struct alignas(kCacheLineBytes) LegacyShardSlot {
+  FleetReport report;
+};
+static_assert(alignof(LegacyShardSlot) >= kCacheLineBytes,
+              "per-shard hot slots must be cacheline-aligned");
+
+/// The original one-object-graph-at-a-time path, kept verbatim as the
+/// differential oracle for the slab engine.
+FleetResult run_fleet_legacy(const FleetConfig& cfg,
+                             const SessionFactory& factory) {
   FleetResult result;
   result.threads_used = resolve_threads(cfg.threads);
   result.shards = cfg.sessions == 0
@@ -89,11 +104,11 @@ FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {
                       : static_cast<unsigned>(std::min<std::uint64_t>(
                             result.threads_used, cfg.sessions));
 
-  std::vector<FleetReport> partials(result.shards);
+  std::vector<LegacyShardSlot> partials(result.shards);
   const auto t0 = std::chrono::steady_clock::now();
 
   parallel_shards(result.shards, [&](unsigned shard) {
-    FleetReport& part = partials[shard];
+    FleetReport& part = partials[shard].report;
     // Round-robin deal; within a shard sessions run in index order, so a
     // shard's partial depends only on which indices it owns.
     for (std::uint64_t i = shard; i < cfg.sessions; i += result.shards) {
@@ -110,9 +125,18 @@ FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {
   // Canonical merge order: shard 0, 1, ... All fields are commutative
   // sums/maxes except the sample pools, which canonicalize() sorts — so
   // the aggregate is identical for any shard count anyway.
-  for (const FleetReport& part : partials) result.report.merge(part);
+  for (const LegacyShardSlot& part : partials) {
+    result.report.merge(part.report);
+  }
   result.report.canonicalize();
   return result;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {
+  return cfg.engine == FleetEngine::kLegacy ? run_fleet_legacy(cfg, factory)
+                                            : run_fleet_slab(cfg, factory);
 }
 
 SessionFactory make_ghm_fleet_factory(GhmFleetOptions opts) {

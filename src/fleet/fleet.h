@@ -69,6 +69,19 @@ struct SessionSpec {
 using SessionFactory =
     std::function<std::unique_ptr<DataLink>(const SessionSpec&)>;
 
+/// Which execution engine run_fleet() uses. Both produce byte-identical
+/// canonicalized FleetReports for the same config (enforced by
+/// tests/fleet_slab_diff_test.cpp); they differ only in memory layout and
+/// scheduling.
+enum class FleetEngine : std::uint8_t {
+  /// Slab/SoA storage with batched stepping (fleet/slab.h): every session
+  /// is live concurrently in per-shard arenas — the production path.
+  kSlab,
+  /// One heap object graph at a time, run to completion before the next
+  /// is built. Kept as the differential oracle for the slab engine.
+  kLegacy,
+};
+
 struct FleetConfig {
   /// Number of independent sessions to run.
   std::uint64_t sessions = 1;
@@ -82,6 +95,21 @@ struct FleetConfig {
 
   /// Workload driven through every session (same shape, distinct rng).
   WorkloadConfig workload;
+
+  /// Execution engine (see FleetEngine). The report is engine-invariant.
+  FleetEngine engine = FleetEngine::kSlab;
+
+  /// Slab engine: executor steps granted per session per scheduler visit.
+  /// Larger batches amortise dispatch and keep one session's verification
+  /// state cache-hot; smaller batches interleave sessions more finely.
+  /// Any value >= 1 yields the identical report.
+  std::uint64_t batch_steps = 64;
+
+  /// Slab engine: jitter each visit's budget in [batch_steps/2,
+  /// batch_steps] from the shard's private RNG stream, desynchronising
+  /// shards that would otherwise march through memory in lockstep.
+  /// Interleaving-only — the report is invariant to it.
+  bool batch_jitter = false;
 };
 
 /// Order-canonicalized aggregate of every session's RunReport. Contains
@@ -133,6 +161,14 @@ struct FleetResult {
   unsigned threads_used = 0;
   unsigned shards = 0;
   double wall_seconds = 0.0;
+
+  /// Slab engine only — execution metadata, never fingerprinted:
+  /// process RSS sampled at the moment every session was live (0 when
+  /// unavailable or under the legacy engine), bytes the per-shard slab
+  /// arenas reserved, and the pooled per-visit batch latency samples.
+  std::uint64_t rss_live_bytes = 0;
+  std::uint64_t slab_bytes_reserved = 0;
+  Samples batch_latency_us;
 
   [[nodiscard]] double sessions_per_sec() const noexcept {
     return wall_seconds > 0.0

@@ -1,0 +1,299 @@
+#include "fleet/slab.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "util/parallel.h"
+
+namespace s2d {
+
+void* SlabArena::allocate(std::size_t size, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  const std::size_t misalign =
+      reinterpret_cast<std::uintptr_t>(tail_) & (align - 1);
+  const std::size_t pad = misalign ? align - misalign : 0;
+  if (tail_left_ < size + pad) {
+    std::size_t chunk = next_chunk_bytes_;
+    if (chunk < size + align) chunk = size + align;
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+    tail_ = chunks_.back().get();
+    tail_left_ = chunk;
+    bytes_reserved_ += chunk;
+    if (next_chunk_bytes_ < max_chunk_bytes_) {
+      next_chunk_bytes_ =
+          std::min(next_chunk_bytes_ * 2, max_chunk_bytes_);
+    }
+    return allocate(size, align);  // fresh chunk: recursion bottoms out
+  }
+  tail_ += pad;
+  tail_left_ -= pad;
+  void* out = tail_;
+  tail_ += size;
+  tail_left_ -= size;
+  bytes_used_ += size + pad;
+  return out;
+}
+
+SlabShard::SlabShard(const FleetConfig& cfg, const SessionFactory& factory,
+                     unsigned shard, unsigned shards)
+    : cfg_(cfg),
+      shard_rng_(Rng(cfg.root_seed).fork(0x73686172'64000000ULL | shard)) {
+  std::size_t count = 0;
+  for (std::uint64_t i = shard; i < cfg.sessions; i += shards) ++count;
+  links_.reserve(count);
+  workload_rng_.reserve(count);
+  phase_.reserve(count);
+  msgs_offered_.assign(count, 0);
+  msg_steps_left_.assign(count, 0);
+  steps_before_.assign(count, 0);
+  aborted_before_.assign(count, 0);
+  drain_left_.assign(count, 0);
+  offered_.assign(count, 0);
+  completed_.assign(count, 0);
+  aborted_.assign(count, 0);
+  stalled_.assign(count, 0);
+  steps_per_ok_.resize(count);
+  active_.reserve(count);
+
+  for (std::uint64_t i = shard; i < cfg.sessions; i += shards) {
+    const SessionSpec spec{i, fleet_session_seed(cfg.root_seed, i)};
+    // The factory builds on the heap (its public contract); the executor
+    // is then moved into its contiguous arena slot and the shell freed,
+    // so steady-state stepping walks slab memory, not factory leftovers.
+    std::unique_ptr<DataLink> built = factory(spec);
+    DataLink* slot = arena_.create<DataLink>(std::move(*built));
+    built.reset();
+    active_.push_back(static_cast<std::uint32_t>(links_.size()));
+    links_.push_back(slot);
+    workload_rng_.push_back(spec.rng(kFleetWorkloadSalt));
+    phase_.push_back(Phase::kNextMessage);
+  }
+}
+
+SlabShard::~SlabShard() {
+  for (DataLink* link : links_) {
+    if (link != nullptr) std::destroy_at(link);
+  }
+}
+
+void SlabShard::finalize(std::size_t s) {
+  // The tail of run_workload(): the per-session report is read off the
+  // link's event-derived counter views, then the executor is destroyed
+  // immediately so channel histories stop occupying memory. The arena
+  // keeps the raw slot bytes until shard teardown.
+  RunReport run;
+  run.offered = offered_[s];
+  run.completed = completed_[s];
+  run.aborted = aborted_[s];
+  run.stalled = stalled_[s];
+  run.steps_per_ok = std::move(steps_per_ok_[s]);
+  const CounterSink& counters = links_[s]->counters();
+  run.link = counters.link();
+  run.violations = counters.violations();
+  run.tr_packets = counters.channel(Dir::kTR).packets;
+  run.rt_packets = counters.channel(Dir::kRT).packets;
+  run.tr_bytes = counters.channel(Dir::kTR).bytes;
+  run.rt_bytes = counters.channel(Dir::kRT).bytes;
+  partial_.add(run);
+
+  std::destroy_at(links_[s]);
+  links_[s] = nullptr;
+  phase_[s] = Phase::kFinished;
+}
+
+bool SlabShard::advance(std::size_t s, std::uint64_t budget) {
+  DataLink& link = *links_[s];
+  const WorkloadConfig& wl = cfg_.workload;
+
+  while (budget > 0) {
+    switch (phase_[s]) {
+      case Phase::kNextMessage: {
+        if (msgs_offered_[s] == wl.messages || !link.tm_ready()) {
+          // Workload exhausted — or a stalled message still occupies the
+          // link (run_workload's `break`): move to the drain tail.
+          phase_[s] = Phase::kDraining;
+          drain_left_[s] = wl.drain_steps;
+          break;
+        }
+        // Identical draw order to run_workload: the payload consumes the
+        // workload stream before anything else happens to this message.
+        Message m{1 + msgs_offered_[s],
+                  make_payload(wl.payload_bytes, workload_rng_[s])};
+        aborted_before_[s] = link.stats().aborted;
+        steps_before_[s] = link.stats().steps;
+        link.offer(m);
+        ++offered_[s];
+        ++msgs_offered_[s];
+        msg_steps_left_[s] = wl.max_steps_per_message;
+        phase_[s] = Phase::kStepping;
+        if (msg_steps_left_[s] == 0) {
+          // Degenerate budget: run_until_ok(0) returns false at once.
+          ++stalled_[s];
+          phase_[s] = wl.stop_on_stall ? Phase::kDraining : Phase::kNextMessage;
+          if (phase_[s] == Phase::kDraining) drain_left_[s] = wl.drain_steps;
+        }
+        break;
+      }
+
+      case Phase::kStepping: {
+        // The hot loop: burn this visit's budget against the in-flight
+        // message, exactly as run_until_ok does, but resumable.
+        while (budget > 0 && msg_steps_left_[s] > 0) {
+          link.step();
+          --budget;
+          --msg_steps_left_[s];
+          if (link.last_step_completed_ok()) {
+            ++completed_[s];
+            steps_per_ok_[s].add(static_cast<double>(link.stats().steps -
+                                                     steps_before_[s]));
+            phase_[s] = Phase::kNextMessage;
+            break;
+          }
+          if (link.last_step_crashed_t()) {
+            if (link.stats().aborted > aborted_before_[s]) {
+              ++aborted_[s];
+            } else {
+              ++stalled_[s];
+              if (wl.stop_on_stall) {
+                phase_[s] = Phase::kDraining;
+                drain_left_[s] = wl.drain_steps;
+                break;
+              }
+            }
+            phase_[s] = Phase::kNextMessage;
+            break;
+          }
+        }
+        if (phase_[s] == Phase::kStepping && msg_steps_left_[s] == 0) {
+          // Step budget exhausted without OK or abort: stalled.
+          ++stalled_[s];
+          phase_[s] = wl.stop_on_stall ? Phase::kDraining : Phase::kNextMessage;
+          if (phase_[s] == Phase::kDraining) drain_left_[s] = wl.drain_steps;
+        }
+        if (budget == 0) return false;
+        break;
+      }
+
+      case Phase::kDraining: {
+        while (budget > 0 && drain_left_[s] > 0) {
+          link.step();
+          --budget;
+          --drain_left_[s];
+        }
+        if (drain_left_[s] == 0) {
+          finalize(s);
+          return true;
+        }
+        return false;
+      }
+
+      case Phase::kFinished:
+        return true;
+    }
+  }
+  return false;
+}
+
+std::size_t SlabShard::step_round() {
+  std::size_t i = 0;
+  while (i < active_.size()) {
+    const std::uint32_t slot = active_[i];
+    std::uint64_t budget = cfg_.batch_steps == 0 ? 1 : cfg_.batch_steps;
+    if (cfg_.batch_jitter && budget >= 2) {
+      const std::uint64_t half = budget / 2;
+      budget = half + shard_rng_.next_below(budget - half + 1);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool finished = advance(slot, budget);
+    const auto t1 = std::chrono::steady_clock::now();
+    batch_latency_us_.add(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (finished) {
+      // Swap-remove keeps the live list dense; visiting order within a
+      // round is immaterial because sessions share nothing.
+      active_[i] = active_.back();
+      active_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return active_.size();
+}
+
+void SlabShard::run_to_completion() {
+  while (step_round() != 0) {
+  }
+}
+
+std::uint64_t process_rss_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+FleetResult run_fleet_slab(const FleetConfig& cfg,
+                           const SessionFactory& factory) {
+  FleetResult result;
+  result.threads_used = resolve_threads(cfg.threads);
+  result.shards = cfg.sessions == 0
+                      ? 1U
+                      : static_cast<unsigned>(std::min<std::uint64_t>(
+                            result.threads_used, cfg.sessions));
+
+  std::vector<std::unique_ptr<SlabShard>> shards(result.shards);
+  std::atomic<unsigned> built{0};
+  std::atomic<std::uint64_t> rss_live{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_shards(result.shards, [&](unsigned shard) {
+    try {
+      shards[shard] =
+          std::make_unique<SlabShard>(cfg, factory, shard, result.shards);
+    } catch (...) {
+      // Unblock peers spinning on the rendezvous before propagating.
+      built.fetch_add(1, std::memory_order_acq_rel);
+      throw;
+    }
+    // Rendezvous: once the last shard finishes construction every session
+    // in the fleet is live simultaneously — the moment the concurrency
+    // claim is about — and that shard samples the process RSS for the
+    // bytes/session accounting before anyone starts retiring sessions.
+    if (built.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        result.shards) {
+      rss_live.store(process_rss_bytes(), std::memory_order_release);
+    } else {
+      while (built.load(std::memory_order_acquire) < result.shards) {
+        std::this_thread::yield();
+      }
+    }
+    shards[shard]->run_to_completion();
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.rss_live_bytes = rss_live.load(std::memory_order_acquire);
+
+  // Canonical merge order: shard 0, 1, ... — same as the legacy engine.
+  for (const auto& shard : shards) {
+    result.report.merge(shard->partial());
+    result.slab_bytes_reserved += shard->arena_bytes_reserved();
+    result.batch_latency_us.merge(shard->batch_latency_us());
+  }
+  result.report.canonicalize();
+  return result;
+}
+
+}  // namespace s2d

@@ -1,0 +1,202 @@
+// Slab fleet engine: contiguous session storage + batched stepping.
+//
+// The legacy fleet path (fleet.cpp) materialises one heap DataLink at a
+// time and runs it to completion — correct, but it never actually *holds*
+// N live links, and every session is a pointer-chased object graph built
+// and torn down in sequence. The slab engine is the fleet path that makes
+// the "million concurrent links" claim literal:
+//
+//   * every session's executor lives in a per-shard SlabArena — a bump
+//     allocator of large chunks — so a shard's DataLink slots are
+//     contiguous in memory and freed wholesale at shard teardown;
+//   * the per-session *driver* state (workload phase, message cursor,
+//     per-message step budget, workload RNG) is stored structure-of-arrays
+//     in the shard, so the scheduling scan touches dense arrays instead of
+//     hopping through executors;
+//   * sessions are stepped in batches: each scheduler round visits every
+//     live session once and advances it `batch_steps` executor steps, so
+//     one session's packet-verification working set stays cache-hot for a
+//     whole batch and the per-visit dispatch cost is amortised;
+//   * each shard owns a private RNG stream (derived from the root seed and
+//     the shard id, never from thread identity) used only for scheduling
+//     jitter — per-session protocol/adversary/workload streams stay the
+//     index-derived streams the legacy engine uses, which is why the two
+//     engines produce byte-identical FleetReports.
+//
+// Determinism contract: a session's observable execution is a pure
+// function of its SessionSpec and the workload config. The slab engine
+// changes only *when* a session's steps happen relative to other
+// sessions' steps, never *which* steps happen, so for any batch size,
+// jitter setting and shard count the canonicalized FleetReport —
+// fingerprint included — equals the legacy engine's byte for byte.
+// tests/fleet_slab_diff_test.cpp enforces exactly this over a grid of
+// systems, adversaries, shard counts and fleet sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "harness/runner.h"
+#include "link/datalink.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace s2d {
+
+/// Destructive-interference granularity for the per-shard hot slots.
+/// std::hardware_destructive_interference_size is not universally
+/// available (and ABI-fragile); 64 bytes is the line size of every
+/// x86-64/aarch64 part this repo targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Bump allocator backing one shard's session slots. Alloc-only: memory
+/// is handed out forwards from geometrically growing chunks and released
+/// all at once when the arena dies — the slab analogue of the channel
+/// PayloadArena, but for executor objects instead of payload bytes.
+/// Addresses are stable for the arena's lifetime (chunks never move).
+class SlabArena {
+ public:
+  explicit SlabArena(std::size_t first_chunk_bytes = 1 << 14,
+                     std::size_t max_chunk_bytes = 1 << 20) noexcept
+      : next_chunk_bytes_(first_chunk_bytes),
+        max_chunk_bytes_(max_chunk_bytes) {}
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Raw storage of `size` bytes aligned to `align` (which must be a
+  /// power of two <= alignof(std::max_align_t)... larger alignments are
+  /// honoured by overallocating within the chunk).
+  void* allocate(std::size_t size, std::size_t align);
+
+  /// Constructs a T in the arena. The caller owns the *logical* lifetime:
+  /// destroy_at() it when done (the arena only reclaims the bytes).
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return ::new (mem) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Bytes handed out to live objects (excludes chunk slack).
+  [[nodiscard]] std::uint64_t bytes_used() const noexcept {
+    return bytes_used_;
+  }
+  /// Bytes reserved from the system allocator (includes chunk slack).
+  [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
+    return bytes_reserved_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* tail_ = nullptr;
+  std::size_t tail_left_ = 0;
+  std::size_t next_chunk_bytes_;
+  std::size_t max_chunk_bytes_;
+  std::uint64_t bytes_used_ = 0;
+  std::uint64_t bytes_reserved_ = 0;
+};
+
+/// One shard of the slab engine. Owns its sessions' executors (in the
+/// arena), the SoA driver lanes, and its partial aggregate exclusively —
+/// shards share no mutable state, which is why the engine needs no locks.
+/// The whole shard is cacheline-aligned so that two shards' hot slots
+/// (report counters, scheduling cursors) can never share a line: the
+/// false-sharing audit (tests/fleet_false_sharing_test.cpp) stress-steps
+/// max-shard fleets under TSan on top of this static guarantee.
+class alignas(kCacheLineBytes) SlabShard {
+ public:
+  /// Builds every session this shard owns (indices shard, shard+shards,
+  /// ... below cfg.sessions — the same round-robin deal as the legacy
+  /// engine) by moving the factory's product into arena slots.
+  SlabShard(const FleetConfig& cfg, const SessionFactory& factory,
+            unsigned shard, unsigned shards);
+  ~SlabShard();
+
+  SlabShard(const SlabShard&) = delete;
+  SlabShard& operator=(const SlabShard&) = delete;
+
+  /// One scheduler round: visits every live session once, advancing each
+  /// by ~cfg.batch_steps executor steps (jittered per visit when
+  /// cfg.batch_jitter is set). Finished sessions fold their RunReport
+  /// into the shard partial and release their executor immediately.
+  /// Returns the number of sessions still live afterwards.
+  std::size_t step_round();
+
+  /// Runs rounds until every session has finished.
+  void run_to_completion();
+
+  [[nodiscard]] std::size_t live() const noexcept { return active_.size(); }
+  [[nodiscard]] const FleetReport& partial() const noexcept {
+    return partial_;
+  }
+  /// Wall-clock micros of each (session × batch) visit this shard timed;
+  /// execution metadata only — never part of the deterministic report.
+  [[nodiscard]] Samples& batch_latency_us() noexcept {
+    return batch_latency_us_;
+  }
+  [[nodiscard]] std::uint64_t arena_bytes_reserved() const noexcept {
+    return arena_.bytes_reserved();
+  }
+
+ private:
+  // Mirrors run_workload()'s control flow, incrementally.
+  enum class Phase : std::uint8_t {
+    kNextMessage,  // between messages: offer the next one (or move on)
+    kStepping,     // a message is in flight, burning its step budget
+    kDraining,     // workload done, running cfg.workload.drain_steps
+    kFinished,
+  };
+
+  /// Advances slot `s` by up to `budget` executor steps. Returns true if
+  /// the session finished during this visit.
+  bool advance(std::size_t s, std::uint64_t budget);
+  void finalize(std::size_t s);
+
+  const FleetConfig& cfg_;
+  SlabArena arena_;
+  Rng shard_rng_;  // scheduling jitter only; results are invariant to it
+
+  // SoA driver lanes, indexed by local slot. links_[s] points into the
+  // arena; null once the session finished and was destroyed.
+  std::vector<DataLink*> links_;
+  std::vector<Rng> workload_rng_;
+  std::vector<Phase> phase_;
+  std::vector<std::uint64_t> msgs_offered_;
+  std::vector<std::uint64_t> msg_steps_left_;
+  std::vector<std::uint64_t> steps_before_;
+  std::vector<std::uint64_t> aborted_before_;
+  std::vector<std::uint64_t> drain_left_;
+
+  // Per-slot report accumulators (the per-session RunReport, SoA).
+  std::vector<std::uint64_t> offered_;
+  std::vector<std::uint64_t> completed_;
+  std::vector<std::uint64_t> aborted_;
+  std::vector<std::uint64_t> stalled_;
+  std::vector<Samples> steps_per_ok_;
+
+  std::vector<std::uint32_t> active_;  // live slots, visited in order
+
+  FleetReport partial_;
+  Samples batch_latency_us_;
+};
+
+static_assert(alignof(SlabShard) >= kCacheLineBytes,
+              "per-shard hot slots must be cacheline-aligned (false-sharing "
+              "audit)");
+
+/// The slab engine's run loop: one SlabShard per shard, stepped to
+/// completion in parallel, partials merged in canonical shard order.
+/// Called by run_fleet() when cfg.engine == FleetEngine::kSlab.
+FleetResult run_fleet_slab(const FleetConfig& cfg,
+                           const SessionFactory& factory);
+
+/// Current VmRSS of this process in bytes (0 where /proc is unavailable).
+/// The scale experiment uses the all-sessions-live sample this engine
+/// takes to report physical bytes per concurrent session.
+[[nodiscard]] std::uint64_t process_rss_bytes() noexcept;
+
+}  // namespace s2d

@@ -1,5 +1,6 @@
 #include "link/arena.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace s2d {
@@ -39,7 +40,7 @@ bool same_bytes(std::span<const std::byte> a,
 std::span<const std::byte> PayloadArena::store(
     std::span<const std::byte> bytes) {
   bytes_stored_ += bytes.size();
-  if (bytes.size() > kChunkBytes) {
+  if (bytes.size() > kMaxChunkBytes) {
     // Oversize payload: dedicated chunk, inserted *before* the tail so the
     // tail chunk's remaining space stays usable.
     auto chunk = std::make_unique<std::byte[]>(bytes.size());
@@ -48,11 +49,20 @@ std::span<const std::byte> PayloadArena::store(
     const std::size_t at = chunks_.empty() ? 0 : chunks_.size() - 1;
     chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(at),
                    std::move(chunk));
+    bytes_reserved_ += bytes.size();
     return out;
   }
-  if (tail_used_ + bytes.size() > kChunkBytes) {
-    chunks_.push_back(std::make_unique<std::byte[]>(kChunkBytes));
+  if (tail_used_ + bytes.size() > tail_cap_) {
+    // Geometric growth: the first chunk is small (most links send a few
+    // dozen distinct payloads and never need more), doubling toward the
+    // cap so heavy links still amortise to one allocation per 64 KiB.
+    std::size_t chunk = next_chunk_bytes_;
+    if (chunk < bytes.size()) chunk = bytes.size();
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
     tail_used_ = 0;
+    tail_cap_ = chunk;
+    bytes_reserved_ += chunk;
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
   }
   std::byte* dst = chunks_.back().get() + tail_used_;
   if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());

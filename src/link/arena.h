@@ -34,6 +34,15 @@ class PayloadArena {
   [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
     return bytes_stored_;
   }
+  /// Bytes reserved from the allocator for chunk storage (>= bytes_stored;
+  /// the difference is tail-chunk slack). The fleet's bytes-per-session
+  /// accounting sums this, which is why chunks grow geometrically: a
+  /// session that sends a handful of small packets reserves half a
+  /// kilobyte, not 64 KiB — the difference between a million concurrent
+  /// links fitting in RAM or not.
+  [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
+    return bytes_reserved_;
+  }
   /// intern() calls satisfied by an existing entry.
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
 
@@ -46,12 +55,17 @@ class PayloadArena {
   std::span<const std::byte> store(std::span<const std::byte> bytes);
   void rehash(std::size_t new_buckets);
 
-  static constexpr std::size_t kChunkBytes = 64 * 1024;
+  // Chunks grow geometrically from kFirstChunkBytes up to kMaxChunkBytes
+  // (also the oversize threshold: anything larger gets a dedicated chunk).
+  static constexpr std::size_t kFirstChunkBytes = 512;
+  static constexpr std::size_t kMaxChunkBytes = 64 * 1024;
 
   // Bump storage: payloads are appended to the tail chunk; payloads larger
   // than a chunk get a dedicated one. Chunks are never freed or moved.
   std::vector<std::unique_ptr<std::byte[]>> chunks_;
-  std::size_t tail_used_ = kChunkBytes;  // forces first-chunk allocation
+  std::size_t tail_used_ = 0;
+  std::size_t tail_cap_ = 0;  // no tail chunk yet
+  std::size_t next_chunk_bytes_ = kFirstChunkBytes;
 
   // Open-addressing intern table over entries_: buckets_ holds entry
   // index + 1 (0 = empty). No per-insert node allocations.
@@ -59,6 +73,7 @@ class PayloadArena {
   std::vector<std::uint32_t> buckets_;
 
   std::uint64_t bytes_stored_ = 0;
+  std::uint64_t bytes_reserved_ = 0;
   std::uint64_t hits_ = 0;
 };
 

@@ -90,6 +90,13 @@ class Channel {
     return arena_.bytes_stored();
   }
 
+  /// Bytes the payload arena reserved from the allocator (chunk storage
+  /// including tail slack) — this channel's physical footprint
+  /// contribution to the fleet's bytes-per-session accounting.
+  [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
+    return arena_.bytes_reserved();
+  }
+
   /// Sends whose payload was already present in the arena (retransmissions
   /// stored for free).
   [[nodiscard]] std::uint64_t interned_sends() const noexcept {

@@ -98,6 +98,17 @@ class DataLink {
   /// Precondition: a message is in flight.
   bool run_until_ok(std::uint64_t max_steps);
 
+  /// Outcome flags of the most recent step(): whether it completed the
+  /// in-flight message (OK) or aborted it (crash^T). These are what
+  /// run_until_ok() polls; incremental drivers that interleave many links
+  /// (the slab fleet engine) poll them between batched steps instead.
+  [[nodiscard]] bool last_step_completed_ok() const noexcept {
+    return last_step_completed_ok_;
+  }
+  [[nodiscard]] bool last_step_crashed_t() const noexcept {
+    return last_step_crashed_t_;
+  }
+
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
   [[nodiscard]] const TraceChecker& checker() const noexcept {
     return checker_;

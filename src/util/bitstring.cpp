@@ -1,5 +1,6 @@
 #include "util/bitstring.h"
 
+#include <bit>
 #include <cassert>
 #include <cstring>
 
@@ -177,6 +178,26 @@ bool BitString::is_prefix_of(const BitString& other) const noexcept {
   return true;
 }
 
+bool BitString::comparable(const BitString& other) const noexcept {
+  // One is a prefix of the other iff they agree on the first min(size)
+  // bits, so a single whole-word scan over the common prefix replaces two
+  // is_prefix_of passes. The padding invariant (bits past nbits_ zero)
+  // lets the full common words compare unmasked.
+  const BitString& shorter = nbits_ <= other.nbits_ ? *this : other;
+  const std::uint64_t* a = data();
+  const std::uint64_t* b = other.data();
+  const std::size_t full_words = shorter.nbits_ / kWordBits;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    if (a[w] != b[w]) return false;
+  }
+  const std::size_t tail = shorter.nbits_ % kWordBits;
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    if ((a[full_words] & mask) != (b[full_words] & mask)) return false;
+  }
+  return true;
+}
+
 BitString BitString::prefix(std::size_t nbits) const {
   assert(nbits <= nbits_);
   BitString out;
@@ -226,11 +247,28 @@ bool BitString::operator==(const BitString& other) const noexcept {
 
 std::strong_ordering BitString::operator<=>(
     const BitString& other) const noexcept {
+  // Whole-word scan: bits are LSB-first within a word, so the first
+  // differing bit position in a differing word is countr_zero of the
+  // xor, and the string with a 0 there is the lexicographically smaller.
   const std::size_t common = nbits_ < other.nbits_ ? nbits_ : other.nbits_;
-  for (std::size_t i = 0; i < common; ++i) {
-    const bool a = bit(i);
-    const bool b = other.bit(i);
-    if (a != b) return a <=> b;
+  const std::uint64_t* a = data();
+  const std::uint64_t* b = other.data();
+  const std::size_t full_words = common / kWordBits;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const std::uint64_t diff = a[w] ^ b[w];
+    if (diff != 0) {
+      const int i = std::countr_zero(diff);
+      return ((a[w] >> i) & 1U) <=> ((b[w] >> i) & 1U);
+    }
+  }
+  const std::size_t tail = common % kWordBits;
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    const std::uint64_t diff = (a[full_words] ^ b[full_words]) & mask;
+    if (diff != 0) {
+      const int i = std::countr_zero(diff);
+      return ((a[full_words] >> i) & 1U) <=> ((b[full_words] >> i) & 1U);
+    }
   }
   return nbits_ <=> other.nbits_;
 }

@@ -89,10 +89,11 @@ class BitString {
 
   /// True iff the strings are prefix-comparable: one is a prefix of the
   /// other. The receiver delivers a message exactly when the incoming tau
-  /// is NOT comparable with its stored tau (Appendix A, Figure 5).
-  [[nodiscard]] bool comparable(const BitString& other) const noexcept {
-    return is_prefix_of(other) || other.is_prefix_of(*this);
-  }
+  /// is NOT comparable with its stored tau (Appendix A, Figure 5). This
+  /// is the single hottest predicate at fleet scale, so it runs one
+  /// whole-word scan over min(size) bits instead of two is_prefix_of
+  /// passes; a scalar bit-by-bit reference pins it in tests/bitstring.
+  [[nodiscard]] bool comparable(const BitString& other) const noexcept;
 
   /// The first `nbits` bits. Precondition: nbits <= size().
   [[nodiscard]] BitString prefix(std::size_t nbits) const;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -295,6 +296,135 @@ TEST(BitString, AppendRandomMatchesRandomStream) {
   BitString a = BitString::random(70, r2);
   a.append(BitString::random(30, r2));
   EXPECT_EQ(two_step, a);
+}
+
+// ---------------------------------------------------------------------
+// Property tests pinning the whole-word fast paths (is_prefix_of,
+// comparable, operator<=>) against scalar bit-by-bit references built on
+// bit(). The fast paths scan 64-bit words with an unmasked compare over
+// full words (padding invariant) plus a masked tail; the references below
+// are too slow to ship but obviously correct. Lengths are drawn to
+// straddle the 128-bit small-buffer boundary and to hit every word-tail
+// offset (len mod 64 = 0..63), including heap-spilled strings.
+// ---------------------------------------------------------------------
+
+bool prefix_ref(const BitString& a, const BitString& b) {
+  if (a.size() > b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.bit(i) != b.bit(i)) return false;
+  }
+  return true;
+}
+
+bool comparable_ref(const BitString& a, const BitString& b) {
+  return prefix_ref(a, b) || prefix_ref(b, a);
+}
+
+std::strong_ordering ordering_ref(const BitString& a, const BitString& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.bit(i) != b.bit(i)) {
+      return static_cast<int>(a.bit(i)) <=> static_cast<int>(b.bit(i));
+    }
+  }
+  return a.size() <=> b.size();
+}
+
+/// Lengths covering every tail offset around each word boundary up to one
+/// word past the 128-bit inline capacity: 0..2 near 0/64/128/192 plus the
+/// full 0..63 offset sweep in the third word.
+std::vector<std::size_t> boundary_lengths() {
+  std::vector<std::size_t> lens;
+  for (std::size_t base : {std::size_t{0}, std::size_t{64}, std::size_t{128},
+                           std::size_t{192}}) {
+    for (std::size_t d = 0; d <= 2; ++d) {
+      if (base + d > 0) lens.push_back(base + d);
+      if (base >= d && base - d > 0) lens.push_back(base - d);
+    }
+  }
+  for (std::size_t off = 0; off < 64; ++off) lens.push_back(128 + off);
+  return lens;
+}
+
+TEST(BitStringProperty, PrefixAndComparableMatchScalarReference) {
+  Rng rng(0x5ca1a);
+  for (const std::size_t la : boundary_lengths()) {
+    const BitString a = BitString::random(la, rng);
+    // Related strings: a genuine extension of `a` (comparable), a copy
+    // with one flipped bit (incomparable once past the flip), and an
+    // independent random string of a nearby length.
+    BitString ext = a;
+    ext.append_random(1 + la % 67, rng);
+    BitString indep = BitString::random(la ? la - la / 3 : 5, rng);
+    std::vector<BitString> others{a, ext, indep};
+    if (la > 0) {
+      const std::size_t flip = rng.next_u64() % la;
+      BitString mut;
+      for (std::size_t i = 0; i < la; ++i) {
+        mut.push_back(i == flip ? !a.bit(i) : a.bit(i));
+      }
+      mut.append_random(la % 13, rng);
+      others.push_back(std::move(mut));
+    }
+    for (const BitString& b : others) {
+      EXPECT_EQ(a.is_prefix_of(b), prefix_ref(a, b))
+          << "la=" << la << " lb=" << b.size();
+      EXPECT_EQ(b.is_prefix_of(a), prefix_ref(b, a))
+          << "la=" << la << " lb=" << b.size();
+      EXPECT_EQ(a.comparable(b), comparable_ref(a, b))
+          << "la=" << la << " lb=" << b.size();
+      EXPECT_EQ(b.comparable(a), comparable_ref(b, a))
+          << "la=" << la << " lb=" << b.size();
+    }
+  }
+}
+
+TEST(BitStringProperty, OrderingMatchesScalarReference) {
+  Rng rng(0x0d0e5);
+  for (const std::size_t la : boundary_lengths()) {
+    const BitString a = BitString::random(la, rng);
+    BitString ext = a;
+    ext.append_random(1 + la % 31, rng);
+    // A near-twin differing in exactly the last bit isolates the masked
+    // tail-word compare.
+    BitString twin;
+    for (std::size_t i = 0; i + 1 < la; ++i) twin.push_back(a.bit(i));
+    if (la > 0) twin.push_back(!a.bit(la - 1));
+    const BitString indep = BitString::random((la * 7 + 3) % 200, rng);
+    const std::vector<const BitString*> rhs{&a, &ext, &twin, &indep};
+    for (const BitString* b : rhs) {
+      EXPECT_EQ(a <=> *b, ordering_ref(a, *b))
+          << "la=" << la << " lb=" << b->size();
+      EXPECT_EQ(*b <=> a, ordering_ref(*b, a))
+          << "la=" << la << " lb=" << b->size();
+    }
+    EXPECT_EQ(a <=> ext, std::strong_ordering::less);
+  }
+}
+
+TEST(BitStringProperty, ComparableIsEquivalentToEitherPrefix) {
+  // comparable() is *defined* as is_prefix_of either way round; the
+  // single-scan implementation must preserve that equivalence exactly,
+  // heap-spilled strings included.
+  Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t la = rng.next_u64() % 260;
+    const std::size_t lb = rng.next_u64() % 260;
+    BitString a = BitString::random(la, rng);
+    BitString b;
+    if (rng.next_u64() % 2 == 0 && la > 0) {
+      // Half the trials: force a shared random prefix so the comparable
+      // branch is exercised, not just the first-word mismatch exit.
+      const std::size_t cut = rng.next_u64() % std::min(la, lb + 1);
+      b = a.prefix(cut);
+      if (lb > cut) b.append_random(lb - cut, rng);
+    } else {
+      b = BitString::random(lb, rng);
+    }
+    EXPECT_EQ(a.comparable(b),
+              a.is_prefix_of(b) || b.is_prefix_of(a))
+        << "trial " << trial << " la=" << la << " lb=" << b.size();
+  }
 }
 
 TEST(BitString, PaddingInvariantAfterOperations) {

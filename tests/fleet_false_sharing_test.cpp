@@ -1,0 +1,78 @@
+// False-sharing audit for the fleet engines' per-shard hot state.
+//
+// Two guarantees, checked two ways:
+//
+//   * statically: SlabShard — the slab engine's per-shard slot holding
+//     the SoA lanes and report accumulators every batched step writes —
+//     is cacheline-aligned, so two shards' hot counters never straddle
+//     one line (the legacy engine's LegacyShardSlot carries the same
+//     static_assert next to its definition in fleet.cpp);
+//
+//   * dynamically: a max-shard fleet stepped with jittered batches is
+//     raced repeatedly and must stay byte-deterministic. The test is in
+//     the `fast` label set, so CI's ThreadSanitizer job runs it — any
+//     cross-shard write the alignment audit cannot see (a shared vector
+//     resized mid-run, a stats cell merged without a barrier) surfaces
+//     there as a data race, and here as a fingerprint flip.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/fleet.h"
+#include "fleet/slab.h"
+#include "util/parallel.h"
+
+namespace s2d {
+namespace {
+
+static_assert(alignof(SlabShard) >= kCacheLineBytes,
+              "SlabShard must start on a cacheline boundary");
+static_assert(sizeof(SlabShard) % kCacheLineBytes == 0,
+              "adjacent SlabShards in an array must not share a line");
+static_assert(kCacheLineBytes >= 64,
+              "cacheline constant below any contemporary x86/arm line size");
+
+TEST(FleetFalseSharing, MaxShardStressStaysDeterministic) {
+  // More shards than cores oversubscribes the scheduler, maximising
+  // preemption points inside batched stepping; jitter desynchronises the
+  // shards' walks over their slabs. Every run must still land on the
+  // 1-shard fingerprint.
+  FleetConfig cfg;
+  cfg.sessions = 64;
+  cfg.threads = 1;
+  cfg.root_seed = 0xfa15e;
+  cfg.workload.messages = 3;
+  cfg.workload.payload_bytes = 16;
+  cfg.batch_steps = 5;
+  cfg.batch_jitter = true;
+  const SessionFactory factory = make_ghm_fleet_factory();
+  const std::string want = run_fleet(cfg, factory).report.fingerprint();
+
+  const unsigned max_shards = 4 * resolve_threads(0);
+  cfg.threads = max_shards;
+  for (int run = 0; run < 3; ++run) {
+    const FleetResult res = run_fleet(cfg, factory);
+    EXPECT_EQ(res.shards, max_shards < 64 ? max_shards : 64u);
+    EXPECT_EQ(res.report.fingerprint(), want)
+        << "run " << run << " at " << max_shards << " shards";
+  }
+}
+
+TEST(FleetFalseSharing, LegacyEngineUnderSameStress) {
+  // The oracle must survive the identical oversubscription (its per-shard
+  // partials are the cacheline-padded LegacyShardSlots).
+  FleetConfig cfg;
+  cfg.sessions = 48;
+  cfg.root_seed = 0xfa15e;
+  cfg.workload.messages = 3;
+  cfg.workload.payload_bytes = 16;
+  cfg.engine = FleetEngine::kLegacy;
+  cfg.threads = 1;
+  const SessionFactory factory = make_ghm_fleet_factory();
+  const std::string want = run_fleet(cfg, factory).report.fingerprint();
+  cfg.threads = 4 * resolve_threads(0);
+  EXPECT_EQ(run_fleet(cfg, factory).report.fingerprint(), want);
+}
+
+}  // namespace
+}  // namespace s2d

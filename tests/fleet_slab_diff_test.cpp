@@ -1,0 +1,227 @@
+// Differential harness for the slab fleet engine: the slab/SoA path and
+// the legacy one-object-graph-at-a-time oracle must produce byte-identical
+// canonicalized FleetReports over a grid of (system x adversary x shard
+// count x fleet size x batch shape).
+//
+// This is the test that licenses the slab refactor. The slab engine may
+// interleave sessions in any order, visit them in any batch size, jitter
+// its budgets and pack state into arenas — but a session's observable
+// execution is a pure function of (SessionSpec, WorkloadConfig), so every
+// aggregate must land on the same bytes. Any divergence — a misplaced
+// RNG draw, a dropped drain step, an off-by-one in the abort/stall
+// distinction — shows up here as a fingerprint mismatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversaries.h"
+#include "fleet/fleet.h"
+#include "harness/systems.h"
+
+namespace s2d {
+namespace {
+
+// Child-stream salts for the named-system factory below. Like the GHM
+// factory's salts they only need to be distinct from kFleetWorkloadSalt
+// and each other.
+constexpr std::uint64_t kModuleSalt = 0x6d6f64756c65ULL;  // "module"
+constexpr std::uint64_t kFaultSalt = 0x6661756c74ULL;     // "fault"
+
+/// Fleet factory over the named-system registry: each session gets a
+/// fresh `name` module pair and a RandomFaultAdversary, all seeded from
+/// the SessionSpec. Exercises protocols whose state layout differs
+/// radically from GHM's (modular sequence numbers, nonvolatile bits,
+/// randomized session ids).
+SessionFactory make_named_factory(std::string name, FaultProfile faults) {
+  return [name = std::move(name), faults](const SessionSpec& spec) {
+    DataLinkConfig cfg;
+    cfg.retry_every = 4;
+    cfg.tx_timer_every = 6;  // transmitter-driven baselines need the timer
+    cfg.keep_trace = false;
+    ModulePair pair =
+        make_module_pair(name, spec.rng(kModuleSalt).next_u64());
+    auto adv = std::make_unique<RandomFaultAdversary>(faults,
+                                                      spec.rng(kFaultSalt));
+    return std::make_unique<DataLink>(std::move(pair.tm), std::move(pair.rm),
+                                      std::move(adv), cfg);
+  };
+}
+
+struct GridCase {
+  std::string label;
+  SessionFactory factory;
+  WorkloadConfig workload;
+};
+
+WorkloadConfig quick_workload() {
+  WorkloadConfig w;
+  w.messages = 4;
+  w.payload_bytes = 24;
+  w.max_steps_per_message = 2000;
+  return w;
+}
+
+/// Crash-heavy workload shape: small step budget forces stalls, crashes
+/// force aborts, drain steps exercise the post-workload drain phase and
+/// stop_on_stall=false exercises the continue-after-stall path — every
+/// branch of the slab engine's resumable per-session state machine.
+WorkloadConfig stress_workload() {
+  WorkloadConfig w;
+  w.messages = 5;
+  w.payload_bytes = 8;
+  w.max_steps_per_message = 400;
+  w.drain_steps = 16;
+  w.stop_on_stall = false;
+  return w;
+}
+
+std::vector<GridCase> grid() {
+  std::vector<GridCase> cases;
+  cases.push_back({"ghm/chaos", make_ghm_fleet_factory(), quick_workload()});
+
+  GhmFleetOptions crashy;
+  crashy.epsilon = 1.0 / (1 << 8);  // coarse eps -> shorter strings
+  crashy.faults = {.loss = 0.05,
+                   .duplicate = 0.05,
+                   .reorder = 0.15,
+                   .crash_t = 0.02,
+                   .crash_r = 0.01};
+  cases.push_back({"ghm/crashy", make_ghm_fleet_factory(crashy),
+                   stress_workload()});
+
+  const FaultProfile chaos = FaultProfile::chaos(0.05);
+  for (const char* name : {"stopwait", "abp", "nvbit", "ab_random"}) {
+    cases.push_back(
+        {std::string(name) + "/chaos", make_named_factory(name, chaos),
+         quick_workload()});
+  }
+  return cases;
+}
+
+/// Fingerprint equality plus the individual fields behind it, so a
+/// divergence names the counter that moved instead of just "hash differs".
+void expect_identical(const FleetReport& want, const FleetReport& got,
+                      const std::string& what) {
+  EXPECT_EQ(want.fingerprint(), got.fingerprint()) << what;
+  EXPECT_EQ(want.offered, got.offered) << what;
+  EXPECT_EQ(want.completed, got.completed) << what;
+  EXPECT_EQ(want.aborted, got.aborted) << what;
+  EXPECT_EQ(want.stalled, got.stalled) << what;
+  EXPECT_EQ(want.link.steps, got.link.steps) << what;
+  EXPECT_EQ(want.link.oks, got.link.oks) << what;
+  EXPECT_EQ(want.link.retries, got.link.retries) << what;
+  EXPECT_EQ(want.link.crashes_t, got.link.crashes_t) << what;
+  EXPECT_EQ(want.link.crashes_r, got.link.crashes_r) << what;
+  EXPECT_EQ(want.link.max_tm_state_bits, got.link.max_tm_state_bits) << what;
+  EXPECT_EQ(want.link.max_rm_state_bits, got.link.max_rm_state_bits) << what;
+  EXPECT_EQ(want.violations.causality, got.violations.causality) << what;
+  EXPECT_EQ(want.violations.order, got.violations.order) << what;
+  EXPECT_EQ(want.violations.duplication, got.violations.duplication) << what;
+  EXPECT_EQ(want.violations.replay, got.violations.replay) << what;
+  EXPECT_EQ(want.violations.axiom, got.violations.axiom) << what;
+  EXPECT_EQ(want.tr_packets, got.tr_packets) << what;
+  EXPECT_EQ(want.rt_packets, got.rt_packets) << what;
+  EXPECT_EQ(want.tr_bytes, got.tr_bytes) << what;
+  EXPECT_EQ(want.rt_bytes, got.rt_bytes) << what;
+  EXPECT_EQ(want.steps_per_ok.values(), got.steps_per_ok.values()) << what;
+}
+
+TEST(FleetSlabDiff, SlabMatchesLegacyAcrossGrid) {
+  for (const GridCase& c : grid()) {
+    // One fingerprint per (case, N): shard count, engine, batch size and
+    // jitter must all be invisible in the aggregate.
+    for (const std::uint64_t sessions : {std::uint64_t{5}, std::uint64_t{23}}) {
+      std::string reference_fp;
+      for (const unsigned shards : {1U, 3U}) {
+        FleetConfig cfg;
+        cfg.sessions = sessions;
+        cfg.threads = shards;
+        cfg.root_seed = 0xd1ffULL + sessions;
+        cfg.workload = c.workload;
+
+        cfg.engine = FleetEngine::kLegacy;
+        const FleetReport legacy = run_fleet(cfg, c.factory).report;
+
+        cfg.engine = FleetEngine::kSlab;
+        cfg.batch_steps = 1;  // finest interleaving: round-robin stepping
+        const FleetReport slab_fine = run_fleet(cfg, c.factory).report;
+
+        cfg.batch_steps = 97;  // coarse, non-power-of-two, jittered
+        cfg.batch_jitter = true;
+        const FleetReport slab_coarse = run_fleet(cfg, c.factory).report;
+
+        const std::string what = c.label + " N=" + std::to_string(sessions) +
+                                 " shards=" + std::to_string(shards);
+        expect_identical(legacy, slab_fine, what + " [slab batch=1]");
+        expect_identical(legacy, slab_coarse,
+                         what + " [slab batch=97 jitter]");
+
+        if (reference_fp.empty()) {
+          reference_fp = legacy.fingerprint();
+        } else {
+          EXPECT_EQ(reference_fp, legacy.fingerprint())
+              << c.label << " N=" << sessions
+              << ": legacy diverged across shard counts";
+        }
+      }
+    }
+  }
+}
+
+TEST(FleetSlabDiff, StressWorkloadExercisesEveryPhase) {
+  // Sanity that the crashy grid point actually reaches the abort/stall
+  // paths — a diff test over permanently-green counters proves nothing.
+  GhmFleetOptions crashy;
+  crashy.epsilon = 1.0 / (1 << 8);
+  crashy.faults = {.loss = 0.05,
+                   .duplicate = 0.05,
+                   .reorder = 0.15,
+                   .crash_t = 0.02,
+                   .crash_r = 0.01};
+  FleetConfig cfg;
+  cfg.sessions = 23;
+  cfg.threads = 1;
+  cfg.root_seed = 0xd1ffULL + 23;
+  cfg.workload = stress_workload();
+  const FleetReport rep = run_fleet(cfg, make_ghm_fleet_factory(crashy)).report;
+  EXPECT_GT(rep.aborted, 0u);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_EQ(rep.offered, cfg.sessions * cfg.workload.messages);
+}
+
+TEST(FleetSlabDiff, ZeroAndOneSessionDegenerates) {
+  const SessionFactory factory = make_ghm_fleet_factory();
+  for (const std::uint64_t sessions : {std::uint64_t{0}, std::uint64_t{1}}) {
+    FleetConfig cfg;
+    cfg.sessions = sessions;
+    cfg.threads = 2;
+    cfg.workload = quick_workload();
+    cfg.engine = FleetEngine::kLegacy;
+    const FleetReport legacy = run_fleet(cfg, factory).report;
+    cfg.engine = FleetEngine::kSlab;
+    const FleetReport slab = run_fleet(cfg, factory).report;
+    expect_identical(legacy, slab, "N=" + std::to_string(sessions));
+  }
+}
+
+TEST(FleetSlabDiff, MaxStepsZeroStallsEverySessionIdentically) {
+  // Degenerate budget: every message stalls immediately on both engines.
+  const SessionFactory factory = make_ghm_fleet_factory();
+  FleetConfig cfg;
+  cfg.sessions = 7;
+  cfg.threads = 2;
+  cfg.workload = quick_workload();
+  cfg.workload.max_steps_per_message = 0;
+  cfg.engine = FleetEngine::kLegacy;
+  const FleetReport legacy = run_fleet(cfg, factory).report;
+  cfg.engine = FleetEngine::kSlab;
+  const FleetReport slab = run_fleet(cfg, factory).report;
+  expect_identical(legacy, slab, "max_steps=0");
+  EXPECT_GT(slab.stalled, 0u);
+}
+
+}  // namespace
+}  // namespace s2d

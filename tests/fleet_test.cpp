@@ -119,6 +119,40 @@ TEST(Fleet, MoreShardsThanSessionsClamps) {
   EXPECT_EQ(res.report.sessions, 3u);
 }
 
+TEST(Fleet, BatchSizeAndJitterInvariant) {
+  // The slab engine's batch size and budget jitter change only the
+  // interleaving of sessions, never any session's step sequence — so the
+  // canonicalized aggregate must not move. (The full grid lives in
+  // fleet_slab_diff_test.cpp; this is the quick inner-loop check.)
+  const SessionFactory factory = make_ghm_fleet_factory();
+  FleetConfig cfg = small_fleet(3);
+  const std::string want = run_fleet(cfg, factory).report.fingerprint();
+  for (const std::uint64_t batch : {std::uint64_t{1}, std::uint64_t{7},
+                                    std::uint64_t{1024}}) {
+    cfg.batch_steps = batch;
+    for (const bool jitter : {false, true}) {
+      cfg.batch_jitter = jitter;
+      EXPECT_EQ(run_fleet(cfg, factory).report.fingerprint(), want)
+          << "batch=" << batch << " jitter=" << jitter;
+    }
+  }
+}
+
+TEST(Fleet, EnginesAgreeOnTheDefaultFleet) {
+  const SessionFactory factory = make_ghm_fleet_factory();
+  FleetConfig cfg = small_fleet(2);
+  cfg.engine = FleetEngine::kSlab;
+  const FleetResult slab = run_fleet(cfg, factory);
+  cfg.engine = FleetEngine::kLegacy;
+  const FleetResult legacy = run_fleet(cfg, factory);
+  EXPECT_EQ(slab.report.fingerprint(), legacy.report.fingerprint());
+  // Slab-only execution metadata: the arenas reserved real memory and
+  // every scheduler visit was timed; the legacy oracle reports neither.
+  EXPECT_GT(slab.slab_bytes_reserved, 0u);
+  EXPECT_GT(slab.batch_latency_us.count(), 0u);
+  EXPECT_EQ(legacy.slab_bytes_reserved, 0u);
+}
+
 TEST(FleetReportAlgebra, MergeIsOrderIndependentAfterCanonicalize) {
   RunReport r1;
   r1.offered = 3;

@@ -9,6 +9,15 @@
 # Event-bus timelines from both ends are captured as JSONL next to the
 # logs.
 #
+# Flake posture: ports are always ephemeral (127.0.0.1:0, never a fixed
+# number that another job could hold), the TM's bound-address report is
+# polled against a wall-clock deadline rather than a fixed iteration
+# count (loaded CI machines can stall a fresh process for seconds), both
+# nodes run under a watchdog `timeout` so a wedged process fails this
+# test instead of eating the whole ctest budget, and every failure path
+# dumps both nodes' JSONL event timelines — the flight recorders — so a
+# CI-only failure is diagnosable from the log alone.
+#
 #   wire_smoke.sh <wire_node-binary> <work-dir> [messages]
 set -u
 
@@ -16,33 +25,58 @@ WIRE_NODE=${1:?usage: wire_smoke.sh <wire_node> <workdir> [messages]}
 WORKDIR=${2:?usage: wire_smoke.sh <wire_node> <workdir> [messages]}
 MESSAGES=${3:-100}
 
+# Seconds each node may run before the watchdog kills it; comfortably
+# above a healthy run (sub-second on an idle machine) and comfortably
+# below the ctest TIMEOUT of 120 so the timelines still get printed.
+WATCHDOG=90
+BOUND_DEADLINE=30
+
 mkdir -p "$WORKDIR"
 RM_OUT="$WORKDIR/rm.out"
 TM_OUT="$WORKDIR/tm.out"
 : > "$TM_OUT"
 
+dump_timelines() {
+  for side in tm rm; do
+    echo "--- ${side} timeline (last 50 events) ---" >&2
+    if [ -s "$WORKDIR/${side}_timeline.jsonl" ]; then
+      tail -n 50 "$WORKDIR/${side}_timeline.jsonl" >&2
+    else
+      echo "(no ${side} timeline captured)" >&2
+    fi
+  done
+}
+
 IMPAIR=(--drop 0.1 --dup 0.05 --hold 0.1 --max-hold-ticks 4)
 
-"$WIRE_NODE" --role tm --bind 127.0.0.1:0 --learn-peer --print-bound \
+timeout "$WATCHDOG" \
+  "$WIRE_NODE" --role tm --bind 127.0.0.1:0 --learn-peer --print-bound \
   --messages "$MESSAGES" "${IMPAIR[@]}" --impair-seed 1 \
   --trace-jsonl "$WORKDIR/tm_timeline.jsonl" > "$TM_OUT" 2>&1 &
 TM_PID=$!
 
-# Wait for the TM to report its bound address.
+# Wait for the TM to report its bound address (deadline, not iterations).
 BOUND=""
-for _ in $(seq 1 100); do
+SECONDS=0
+while [ "$SECONDS" -lt "$BOUND_DEADLINE" ]; do
   BOUND=$(sed -n 's/^bound=//p' "$TM_OUT" | head -n1)
   [ -n "$BOUND" ] && break
+  if ! kill -0 "$TM_PID" 2>/dev/null; then
+    break  # TM already exited; fall through to the error report
+  fi
   sleep 0.1
 done
 if [ -z "$BOUND" ]; then
-  echo "wire_smoke: TM never reported its bound address" >&2
+  echo "wire_smoke: TM never reported its bound address within ${BOUND_DEADLINE}s" >&2
   cat "$TM_OUT" >&2
+  dump_timelines
   kill "$TM_PID" 2>/dev/null
+  wait "$TM_PID" 2>/dev/null
   exit 1
 fi
 
-"$WIRE_NODE" --role rm --bind 127.0.0.1:0 --peer "$BOUND" \
+timeout "$WATCHDOG" \
+  "$WIRE_NODE" --role rm --bind 127.0.0.1:0 --peer "$BOUND" \
   --messages "$MESSAGES" "${IMPAIR[@]}" --impair-seed 2 \
   --trace-jsonl "$WORKDIR/rm_timeline.jsonl" > "$RM_OUT" 2>&1
 RM_STATUS=$?
@@ -55,10 +89,20 @@ echo "--- rm ---"; cat "$RM_OUT"
 
 FAIL=0
 if [ "$TM_STATUS" -ne 0 ]; then
-  echo "wire_smoke: tm exited $TM_STATUS" >&2; FAIL=1
+  if [ "$TM_STATUS" -eq 124 ]; then
+    echo "wire_smoke: tm hit the ${WATCHDOG}s watchdog" >&2
+  else
+    echo "wire_smoke: tm exited $TM_STATUS" >&2
+  fi
+  FAIL=1
 fi
 if [ "$RM_STATUS" -ne 0 ]; then
-  echo "wire_smoke: rm exited $RM_STATUS" >&2; FAIL=1
+  if [ "$RM_STATUS" -eq 124 ]; then
+    echo "wire_smoke: rm hit the ${WATCHDOG}s watchdog" >&2
+  else
+    echo "wire_smoke: rm exited $RM_STATUS" >&2
+  fi
+  FAIL=1
 fi
 grep -q "result=ok role=tm progress=$MESSAGES/$MESSAGES" "$TM_OUT" || {
   echo "wire_smoke: tm did not complete $MESSAGES messages" >&2; FAIL=1; }
@@ -69,4 +113,7 @@ for side in tm rm; do
     echo "wire_smoke: missing $side timeline capture" >&2; FAIL=1
   fi
 done
+if [ "$FAIL" -ne 0 ]; then
+  dump_timelines
+fi
 exit "$FAIL"
