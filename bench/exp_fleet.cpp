@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "bench_common.h"
 #include "fleet/fleet.h"
 #include "fleet/slab.h"
@@ -65,13 +66,24 @@ struct Point {
   FleetResult res;
   bool checked = false;
   bool matched = true;
+  /// Heap allocations per executor step across the primary engine's whole
+  /// run — construction, stepping and teardown. Slab sessions build and
+  /// step out of shard arenas, so this stays far below one; a per-step
+  /// malloc sneaking back into the fleet path multiplies it.
+  double allocs_per_step = 0.0;
 };
 
 Point run_point(FleetConfig cfg, const SessionFactory& factory,
                 const EngineChoice& choice) {
   Point p;
   cfg.engine = choice.engine;
+  const auto a0 = bench::alloc_snapshot();
   p.res = run_fleet(cfg, factory);
+  const auto da = bench::alloc_snapshot() - a0;
+  if (p.res.report.link.steps > 0) {
+    p.allocs_per_step = static_cast<double>(da.count) /
+                        static_cast<double>(p.res.report.link.steps);
+  }
   if (choice.differential) {
     FleetConfig legacy_cfg = cfg;
     legacy_cfg.engine = FleetEngine::kLegacy;
@@ -103,6 +115,11 @@ int run(int argc, char** argv) {
       .define("fail-over-rss-per-session", "0",
               "exit nonzero when RSS bytes/session at the largest scale "
               "point exceeds this budget (0 = no gate; slab engine only)")
+      .define("fail-over-allocs-per-step", "-1",
+              "exit nonzero when heap allocations per executor step at the "
+              "largest scale point exceed this budget (negative = no gate; "
+              "slab engine only); CI passes "
+              "bench/baselines/fleet_allocs_per_step.txt here")
       .define_threads()
       .define("csv", "false", "emit CSV")
       .define("json", "false", "emit machine-readable JSON instead")
@@ -130,6 +147,7 @@ int run(int argc, char** argv) {
   const bool json = flags.get_bool("json");
   const std::uint64_t rss_budget =
       flags.get_u64("fail-over-rss-per-session");
+  const double alloc_budget = flags.get_double("fail-over-allocs-per-step");
   bench::JsonWriter j;
 
   if (!flags.get("scale").empty()) {
@@ -144,9 +162,9 @@ int run(int argc, char** argv) {
           "bytes/session is sampled at the all-live moment");
     }
     Table table({"sessions", "wall_s", "steps_per_s", "msgs_per_s",
-                 "rss_per_session", "arena_per_session", "p99_batch_us",
-                 "completed", "safety_viol", "slab_eq_legacy",
-                 "fingerprint"});
+                 "rss_per_session", "arena_per_session", "allocs_per_step",
+                 "p99_batch_us", "completed", "safety_viol",
+                 "slab_eq_legacy", "fingerprint"});
     j.begin_object();
     j.kv("experiment", "exp_fleet");
     j.kv("mode", "scale");
@@ -161,6 +179,7 @@ int run(int argc, char** argv) {
 
     bool all_matched = true;
     std::uint64_t last_rss_per_session = 0;
+    double last_allocs_per_step = 0.0;
     for (const std::uint64_t n : sizes) {
       cfg.sessions = n;
       const std::uint64_t rss_before = process_rss_bytes();
@@ -179,13 +198,15 @@ int run(int argc, char** argv) {
                                 ? p.res.batch_latency_us.p99()
                                 : 0.0;
       last_rss_per_session = rss_per_session;
+      last_allocs_per_step = p.allocs_per_step;
 
       table.add_row(
           {std::to_string(n), Table::num(p.res.wall_seconds, 3),
            Table::num(p.res.steps_per_sec(), 0),
            Table::num(p.res.msgs_per_sec(), 1),
            std::to_string(rss_per_session),
-           std::to_string(arena_per_session), Table::num(p99_us, 1),
+           std::to_string(arena_per_session),
+           Table::num(p.allocs_per_step, 4), Table::num(p99_us, 1),
            std::to_string(p.res.report.completed),
            std::to_string(p.res.report.violations.safety_total()),
            p.checked ? (p.matched ? "yes" : "NO") : "-", fp});
@@ -198,6 +219,7 @@ int run(int argc, char** argv) {
       j.kv("rss_live_bytes", p.res.rss_live_bytes);
       j.kv("rss_bytes_per_session", rss_per_session);
       j.kv("slab_arena_bytes_per_session", arena_per_session);
+      j.kv("allocs_per_step", p.allocs_per_step);
       j.kv("p99_batch_visit_us", p99_us);
       j.kv("completed", p.res.report.completed);
       j.kv("safety_violations", p.res.report.violations.safety_total());
@@ -212,6 +234,11 @@ int run(int argc, char** argv) {
         FleetEngine::kSlab && last_rss_per_session > rss_budget;
     j.kv("rss_budget_bytes_per_session", rss_budget);
     j.kv("rss_over_budget", rss_over);
+    const bool allocs_over = alloc_budget >= 0.0 &&
+        choice.engine == FleetEngine::kSlab &&
+        last_allocs_per_step > alloc_budget;
+    j.kv("allocs_per_step_budget", alloc_budget);
+    j.kv("allocs_over_budget", allocs_over);
     j.end_object();
 
     if (json) {
@@ -226,6 +253,11 @@ int run(int argc, char** argv) {
     if (rss_over) {
       std::cerr << "exp_fleet: RSS " << last_rss_per_session
                 << " bytes/session exceeds budget " << rss_budget << "\n";
+      return 1;
+    }
+    if (allocs_over) {
+      std::cerr << "exp_fleet: " << last_allocs_per_step
+                << " allocs/step exceeds budget " << alloc_budget << "\n";
       return 1;
     }
     return all_matched ? 0 : 1;

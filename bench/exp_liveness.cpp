@@ -60,7 +60,7 @@ int run(int argc, char** argv) {
         base = std::make_unique<SilentAdversary>();
       }
       DataLinkConfig cfg;
-      cfg.retry_every = 2 * window;  // ack production below drain rate
+      cfg.retry_every = static_cast<std::uint32_t>(2 * window);  // ack production below drain rate
       cfg.keep_trace = false;
       auto pair = make_ghm(GrowthPolicy::geometric(eps), r * 311 + window);
       DataLink link(std::move(pair.tm), std::move(pair.rm),

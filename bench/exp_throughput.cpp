@@ -49,7 +49,7 @@ std::vector<std::string> split_csv(const std::string& s) {
 DataLink build_system(const std::string& name, std::uint64_t seed,
                       std::uint64_t retry, std::unique_ptr<Adversary> adv) {
   DataLinkConfig cfg;
-  cfg.retry_every = retry;
+  cfg.retry_every = static_cast<std::uint32_t>(retry);
   cfg.keep_trace = false;
   if (name == "ghm") {
     auto pair = make_ghm(GrowthPolicy::geometric(kEps), seed);
@@ -57,7 +57,7 @@ DataLink build_system(const std::string& name, std::uint64_t seed,
                     cfg);
   }
   // Stop-and-wait retransmission originates at the sender.
-  cfg.tx_timer_every = retry;
+  cfg.tx_timer_every = static_cast<std::uint32_t>(retry);
   const StopWaitConfig sw{.modulus = (name == "abp") ? 2ull : 16ull};
   return DataLink(std::make_unique<StopWaitTransmitter>(sw),
                   std::make_unique<StopWaitReceiver>(sw), std::move(adv),

@@ -11,7 +11,7 @@ Decision BenignFifoAdversary::next(const AdversaryView& view) {
   for (int attempts = 0; attempts < 2; ++attempts) {
     const bool tr = turn_tr_;
     turn_tr_ = !turn_tr_;
-    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    const PacketLog history = tr ? view.tr_packets() : view.rt_packets();
     std::size_t& cursor = tr ? next_tr_ : next_rt_;
     while (cursor < history.size()) {
       const PacketId id = history[cursor].id;
@@ -26,19 +26,18 @@ Decision BenignFifoAdversary::next(const AdversaryView& view) {
 
 // ---------------------------------------------------------- random fault
 
-void RandomFaultAdversary::ingest(ChannelCursor& c,
-                                  const std::vector<PacketMeta>& history) {
+void RandomFaultAdversary::ingest(ChannelCursor& c, PacketLog history) {
   for (; c.seen < history.size(); ++c.seen) {
     // Loss is decided on ingest: a lost packet never enters `pending`.
-    if (!rng_.bernoulli(profile_.loss)) c.pending.push_back(history[c.seen].id);
+    if (!rng_.bernoulli(profile_->loss)) c.pending.push_back(history[c.seen].id);
   }
 }
 
-Decision RandomFaultAdversary::deliver_from(
-    ChannelCursor& c, bool is_tr, const std::vector<PacketMeta>& history) {
+Decision RandomFaultAdversary::deliver_from(ChannelCursor& c, bool is_tr,
+                                            PacketLog history) {
   // Duplication: redeliver a uniformly random packet from the entire
   // history (§2.3: a sent packet may be delivered any number of times).
-  if (!history.empty() && rng_.bernoulli(profile_.duplicate)) {
+  if (!history.empty() && rng_.bernoulli(profile_->duplicate)) {
     const auto idx =
         static_cast<std::size_t>(rng_.next_below(history.size()));
     const PacketId id = history[idx].id;
@@ -46,7 +45,7 @@ Decision RandomFaultAdversary::deliver_from(
   }
   if (c.pending.empty()) return Decision::idle();
   std::size_t pick = 0;
-  if (c.pending.size() > 1 && rng_.bernoulli(profile_.reorder)) {
+  if (c.pending.size() > 1 && rng_.bernoulli(profile_->reorder)) {
     pick = static_cast<std::size_t>(rng_.next_below(c.pending.size()));
   }
   const PacketId id = c.pending[pick];
@@ -58,8 +57,8 @@ Decision RandomFaultAdversary::next(const AdversaryView& view) {
   ingest(tr_, view.tr_packets());
   ingest(rt_, view.rt_packets());
 
-  if (rng_.bernoulli(profile_.crash_t)) return Decision::crash_t();
-  if (rng_.bernoulli(profile_.crash_r)) return Decision::crash_r();
+  if (rng_.bernoulli(profile_->crash_t)) return Decision::crash_t();
+  if (rng_.bernoulli(profile_->crash_r)) return Decision::crash_r();
 
   for (int attempts = 0; attempts < 2; ++attempts) {
     const bool tr = turn_tr_;
@@ -85,7 +84,7 @@ Decision ReplayAttacker::next(const AdversaryView& view) {
       for (int attempts = 0; attempts < 2; ++attempts) {
         const bool tr = turn_tr_;
         turn_tr_ = !turn_tr_;
-        const auto& history = tr ? view.tr_packets() : view.rt_packets();
+        const PacketLog history = tr ? view.tr_packets() : view.rt_packets();
         std::size_t& cursor = tr ? next_tr_ : next_rt_;
         if (cursor < history.size()) {
           const PacketId id = history[cursor].id;
@@ -124,7 +123,7 @@ Decision ReplayAttacker::next(const AdversaryView& view) {
 // ------------------------------------------------------------- fairness
 
 Decision FairnessEnvelope::next(const AdversaryView& view) {
-  auto force = [&](Watermark& w, const std::vector<PacketMeta>& history,
+  auto force = [&](Watermark& w, PacketLog history,
                    bool is_tr) -> std::optional<Decision> {
     ++w.since_force;
     if (w.since_force < window_) return std::nullopt;
@@ -157,27 +156,30 @@ Decision FairnessEnvelope::next(const AdversaryView& view) {
 // ----------------------------------------------------------- stale first
 
 Decision StaleFirstAdversary::next(const AdversaryView& view) {
-  auto ingest = [&](std::deque<PacketId>& pending, std::size_t& seen,
-                    const std::vector<PacketMeta>& history) {
-    for (; seen < history.size(); ++seen) {
-      if (!rng_.bernoulli(loss_)) pending.push_back(history[seen].id);
+  auto ingest = [&](Backlog& b, PacketLog history) {
+    for (; b.seen < history.size(); ++b.seen) {
+      if (!rng_.bernoulli(loss_)) b.pending.push_back(history[b.seen].id);
     }
   };
-  ingest(tr_pending_, tr_seen_, view.tr_packets());
-  ingest(rt_pending_, rt_seen_, view.rt_packets());
+  ingest(tr_, view.tr_packets());
+  ingest(rt_, view.rt_packets());
 
   // Serve the fuller backlog: its head is the stalest packet in flight.
-  std::deque<PacketId>* pending = nullptr;
+  Backlog* backlog = nullptr;
   bool is_tr = true;
-  if (tr_pending_.size() >= rt_pending_.size() && !tr_pending_.empty()) {
-    pending = &tr_pending_;
-  } else if (!rt_pending_.empty()) {
-    pending = &rt_pending_;
+  if (tr_.size() >= rt_.size() && tr_.size() != 0) {
+    backlog = &tr_;
+  } else if (rt_.size() != 0) {
+    backlog = &rt_;
     is_tr = false;
   }
-  if (pending == nullptr) return Decision::idle();
-  const PacketId id = pending->front();
-  pending->pop_front();
+  if (backlog == nullptr) return Decision::idle();
+  const PacketId id = backlog->pending[backlog->head];
+  ++backlog->head;
+  if (backlog->head == backlog->pending.size()) {
+    backlog->pending.clear();
+    backlog->head = 0;
+  }
   return is_tr ? Decision::deliver_tr(id) : Decision::deliver_rt(id);
 }
 
@@ -189,7 +191,7 @@ Decision NoiseAdversary::next(const AdversaryView& view) {
   // epoch budget (older mutants would be ignored by the length rule).
   if (rng_.bernoulli(noise_)) {
     const bool tr = rng_.next_bit();
-    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    const PacketLog history = tr ? view.tr_packets() : view.rt_packets();
     if (!history.empty()) {
       if (mode_ == Mode::kMutate) {
         const PacketId id = history.back().id;
@@ -203,7 +205,7 @@ Decision NoiseAdversary::next(const AdversaryView& view) {
   for (int attempts = 0; attempts < 2; ++attempts) {
     const bool tr = turn_tr_;
     turn_tr_ = !turn_tr_;
-    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    const PacketLog history = tr ? view.tr_packets() : view.rt_packets();
     std::size_t& cursor = tr ? next_tr_ : next_rt_;
     while (cursor < history.size()) {
       const PacketId id = history[cursor].id;
@@ -221,10 +223,10 @@ Decision LengthTargetingAdversary::next(const AdversaryView& view) {
   for (int attempts = 0; attempts < 2; ++attempts) {
     const bool tr = turn_tr_;
     turn_tr_ = !turn_tr_;
-    const auto& history = tr ? view.tr_packets() : view.rt_packets();
+    const PacketLog history = tr ? view.tr_packets() : view.rt_packets();
     std::size_t& cursor = tr ? next_tr_ : next_rt_;
     while (cursor < history.size()) {
-      const PacketMeta& meta = history[cursor];
+      const PacketMeta meta = history[cursor];
       ++cursor;
       if (meta.length >= min_drop_len_ && rng_.bernoulli(drop_prob_)) {
         continue;  // targeted drop, by length alone

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "link/adversary.h"
+#include "util/owned.h"
 #include "util/rng.h"
 
 namespace s2d {
@@ -53,22 +53,32 @@ struct FaultProfile {
 class RandomFaultAdversary final : public Adversary {
  public:
   RandomFaultAdversary(FaultProfile profile, Rng rng)
-      : profile_(profile), rng_(rng) {}
+      : profile_(std::make_unique<const FaultProfile>(profile)), rng_(rng) {}
+
+  /// Borrowing overload: `profile` must outlive the adversary. Lets a fleet
+  /// share one FaultProfile across every session instead of embedding five
+  /// doubles per adversary.
+  RandomFaultAdversary(const FaultProfile* profile, Rng rng)
+      : profile_(OwnedPtr<const FaultProfile>::borrow(profile)), rng_(rng) {}
 
   Decision next(const AdversaryView& view) override;
   [[nodiscard]] std::string name() const override { return "random-fault"; }
 
  private:
   struct ChannelCursor {
-    std::deque<PacketId> pending;  // sent but neither delivered nor dropped
-    std::size_t seen = 0;          // packets already ingested from history
+    // A plain vector: ingest appends at the back, delivery erases at a
+    // random (usually front) index. Backlogs are small, and unlike a
+    // deque the vector costs nothing until the first packet arrives —
+    // libstdc++'s deque eagerly allocates ~600 B per instance, which at
+    // fleet scale was the single largest per-session heap item.
+    std::vector<PacketId> pending;  // sent but neither delivered nor dropped
+    std::size_t seen = 0;           // packets already ingested from history
   };
 
-  void ingest(ChannelCursor& c, const std::vector<PacketMeta>& history);
-  Decision deliver_from(ChannelCursor& c, bool is_tr,
-                        const std::vector<PacketMeta>& history);
+  void ingest(ChannelCursor& c, PacketLog history);
+  Decision deliver_from(ChannelCursor& c, bool is_tr, PacketLog history);
 
-  FaultProfile profile_;
+  OwnedPtr<const FaultProfile> profile_;
   Rng rng_;
   ChannelCursor tr_;
   ChannelCursor rt_;
@@ -180,12 +190,21 @@ class StaleFirstAdversary final : public Adversary {
   [[nodiscard]] std::string name() const override { return "stale-first"; }
 
  private:
+  /// FIFO backlog as vector + head cursor (pop_front = ++head): same
+  /// decisions as a deque, no eager per-deque allocation.
+  struct Backlog {
+    std::vector<PacketId> pending;
+    std::size_t head = 0;
+    std::size_t seen = 0;
+    [[nodiscard]] std::size_t size() const noexcept {
+      return pending.size() - head;
+    }
+  };
+
   double loss_;
   Rng rng_;
-  std::deque<PacketId> tr_pending_;
-  std::deque<PacketId> rt_pending_;
-  std::size_t tr_seen_ = 0;
-  std::size_t rt_seen_ = 0;
+  Backlog tr_;
+  Backlog rt_;
 };
 
 /// Non-causal channel model (§5 / [AUWY82] noise discussion): a FIFO link

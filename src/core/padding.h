@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "link/module.h"
+#include "util/owned.h"
 
 namespace s2d {
 
@@ -36,7 +37,7 @@ void pad_into(Writer& w, std::span<const std::byte> packet,
 
 class PaddedTransmitter final : public ITransmitter {
  public:
-  PaddedTransmitter(std::unique_ptr<ITransmitter> inner, std::size_t bucket)
+  PaddedTransmitter(OwnedPtr<ITransmitter> inner, std::size_t bucket)
       : inner_(std::move(inner)), bucket_(bucket) {}
 
   void bind_bus(EventBus* bus) override {
@@ -59,7 +60,7 @@ class PaddedTransmitter final : public ITransmitter {
  private:
   void repad(TxOutbox& out);
 
-  std::unique_ptr<ITransmitter> inner_;
+  OwnedPtr<ITransmitter> inner_;
   std::size_t bucket_;
   EventBus* bus_ = nullptr;
   TxOutbox inner_out_;  // scratch for the inner module, reused per call
@@ -67,7 +68,7 @@ class PaddedTransmitter final : public ITransmitter {
 
 class PaddedReceiver final : public IReceiver {
  public:
-  PaddedReceiver(std::unique_ptr<IReceiver> inner, std::size_t bucket)
+  PaddedReceiver(OwnedPtr<IReceiver> inner, std::size_t bucket)
       : inner_(std::move(inner)), bucket_(bucket) {}
 
   void bind_bus(EventBus* bus) override {
@@ -88,7 +89,7 @@ class PaddedReceiver final : public IReceiver {
  private:
   void repad(RxOutbox& out);
 
-  std::unique_ptr<IReceiver> inner_;
+  OwnedPtr<IReceiver> inner_;
   std::size_t bucket_;
   EventBus* bus_ = nullptr;
   RxOutbox inner_out_;  // scratch for the inner module, reused per call

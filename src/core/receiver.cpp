@@ -4,9 +4,24 @@
 
 namespace s2d {
 
+namespace {
+/// Decode scratch, not protocol state: one per thread rather than one per
+/// module (see the transmitter's ack scratch for the safety argument).
+DataPacket& pkt_scratch() {
+  static thread_local DataPacket scratch;
+  return scratch;
+}
+}  // namespace
+
 GhmReceiver::GhmReceiver(GrowthPolicy policy, Rng rng)
-    : policy_(policy), rng_(rng) {
+    : policy_(std::make_unique<const GrowthPolicy>(std::move(policy))),
+      rng_(rng) {
   on_crash();  // the initial state equals the post-crash state (§2.1)
+}
+
+GhmReceiver::GhmReceiver(const GrowthPolicy* policy, Rng rng)
+    : policy_(OwnedPtr<const GrowthPolicy>::borrow(policy)), rng_(rng) {
+  on_crash();
 }
 
 BitString GhmReceiver::tau_crash() { return BitString::from_binary("0"); }
@@ -16,7 +31,7 @@ void GhmReceiver::reset_after_boundary() {
   num_ = 0;
   i_ = 1;
   rho_.clear();
-  rho_.append_random(policy_.size(t_), rng_);
+  rho_.append_random(policy_->size(t_), rng_);
   if (bus_ != nullptr) {
     bus_->emit({.kind = EventKind::kStringReset, .side = Side::kRm,
                 .value = rho_.size()});
@@ -34,12 +49,13 @@ void GhmReceiver::on_retry(RxOutbox& out) {
   // Figure 5, RETRY: send (rho^R, tau^R, i^R); increment(i^R). The
   // increment rule is the policy's third tunable (Figure 3).
   AckPacket::encode_fields(out.pkt_writer(), rho_, tau_, i_);
-  i_ = policy_.increment(i_);
+  i_ = policy_->increment(i_);
 }
 
 void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
                                  RxOutbox& out) {
-  if (!DataPacket::decode_into(pkt_scratch_, pkt)) {
+  DataPacket& data = pkt_scratch();
+  if (!DataPacket::decode_into(data, pkt)) {
     // Not a data packet: provably stale or misrouted.
     if (bus_ != nullptr) {
       bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
@@ -48,7 +64,6 @@ void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
     }
     return;
   }
-  const DataPacket& data = pkt_scratch_;
 
   if (data.rho == rho_) {
     if (tau_.is_prefix_of(data.tau)) {
@@ -92,13 +107,13 @@ void GhmReceiver::on_receive_pkt(std::span<const std::byte> pkt,
       bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kRm,
                   .detail = static_cast<std::uint8_t>(
                       RejectReason::kWrongChallenge),
-                  .value = num_ + 1, .aux = policy_.bound(t_)});
+                  .value = num_ + 1, .aux = policy_->bound(t_)});
     }
     ++num_;
-    if (num_ >= policy_.bound(t_)) {
+    if (num_ >= policy_->bound(t_)) {
       ++t_;
       num_ = 0;
-      const std::size_t grown = policy_.size(t_);
+      const std::size_t grown = policy_->size(t_);
       rho_.append_random(grown, rng_);
       if (bus_ != nullptr) {
         bus_->emit({.kind = EventKind::kEpochExtend, .side = Side::kRm,

@@ -25,16 +25,22 @@
 //     the liveness proof, must not count as errors.
 #pragma once
 
+#include <memory>
+
 #include "core/packets.h"
 #include "core/policy.h"
 #include "link/module.h"
+#include "util/owned.h"
 #include "util/rng.h"
 
 namespace s2d {
 
 class GhmReceiver final : public IReceiver {
  public:
+  /// Owns a private copy of the policy (standalone use).
   GhmReceiver(GrowthPolicy policy, Rng rng);
+  /// Borrows a policy owned elsewhere (fleet use; see GhmTransmitter).
+  GhmReceiver(const GrowthPolicy* policy, Rng rng);
 
   void bind_bus(EventBus* bus) override { bus_ = bus; }
   void on_receive_pkt(std::span<const std::byte> pkt, RxOutbox& out) override;
@@ -58,20 +64,20 @@ class GhmReceiver final : public IReceiver {
  private:
   void reset_after_boundary();  // common to crash^R and delivery
 
-  GrowthPolicy policy_;
+  OwnedPtr<const GrowthPolicy> policy_;
   Rng rng_;
   EventBus* bus_ = nullptr;
 
   BitString rho_;         // rho^R
   BitString tau_;         // tau^R
-  std::uint64_t num_ = 0;  // num^R
-  std::uint64_t t_ = 1;    // t^R
+  // num/t/k stored 32-bit for the same reason as GhmTransmitter (the
+  // model's 64-bit accounting in state_bits() is unchanged); i^R stays
+  // 64-bit because the kDouble increment rule overflows 32 bits after a
+  // few dozen retries.
+  std::uint32_t num_ = 0;  // num^R
+  std::uint32_t t_ = 1;    // t^R
+  std::uint32_t k_ = 0;    // messages delivered (analysis only)
   std::uint64_t i_ = 1;    // i^R
-  std::uint64_t k_ = 0;    // messages delivered (analysis only)
-
-  // Decode scratch, not protocol state: reused across on_receive_pkt calls
-  // so data-packet decoding stops allocating once its buffers are warm.
-  DataPacket pkt_scratch_;
 };
 
 }  // namespace s2d

@@ -26,9 +26,12 @@ void Session::settle() {
   oks_seen_ = link_.stats().oks;
   aborts_seen_ = link_.stats().aborted;
 
-  if (!in_flight_ && !queue_.empty() && link_.tm_ready()) {
-    Message m = std::move(queue_.front());
-    queue_.pop_front();
+  if (!in_flight_ && queued() != 0 && link_.tm_ready()) {
+    Message m = std::move(queue_[queue_head_]);
+    if (++queue_head_ == queue_.size()) {
+      queue_.clear();
+      queue_head_ = 0;
+    }
     in_flight_ = true;
     in_flight_id_ = m.id;
     slot(m.id) = Status::kInFlight;

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -60,9 +59,11 @@ class Session {
     return link_.take_delivered();
   }
 
-  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queued() const noexcept {
+    return queue_.size() - queue_head_;
+  }
   [[nodiscard]] bool idle() const noexcept {
-    return queue_.empty() && !in_flight_;
+    return queued() == 0 && !in_flight_;
   }
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return completed_;
@@ -87,7 +88,10 @@ class Session {
 
   DataLink& link_;
   std::uint64_t next_id_ = 1;
-  std::deque<Message> queue_;
+  // FIFO as vector + head cursor (pop = ++head, compacting when drained):
+  // same semantics as a deque without its eager ~0.5 KB block allocation.
+  std::vector<Message> queue_;
+  std::size_t queue_head_ = 0;
   std::vector<Status> status_;  // indexed by id-1 (ids are dense from 1)
 
   bool in_flight_ = false;

@@ -4,9 +4,26 @@
 
 namespace s2d {
 
+namespace {
+/// Decode scratch, not protocol state: one per thread rather than one per
+/// module, so fleet-scale sessions carry no decode buffers at all. Safe
+/// because on_receive_pkt never nests (the executor invokes one module at
+/// a time) and decode_into fully rewrites the packet or resets it.
+AckPacket& ack_scratch() {
+  static thread_local AckPacket scratch;
+  return scratch;
+}
+}  // namespace
+
 GhmTransmitter::GhmTransmitter(GrowthPolicy policy, Rng rng)
-    : policy_(policy), rng_(rng) {
+    : policy_(std::make_unique<const GrowthPolicy>(std::move(policy))),
+      rng_(rng) {
   on_crash();  // the initial state equals the post-crash state
+}
+
+GhmTransmitter::GhmTransmitter(const GrowthPolicy* policy, Rng rng)
+    : policy_(OwnedPtr<const GrowthPolicy>::borrow(policy)), rng_(rng) {
+  on_crash();
 }
 
 void GhmTransmitter::fresh_tau() {
@@ -14,7 +31,7 @@ void GhmTransmitter::fresh_tau() {
   // rebuilt in place so the per-message refresh reuses tau's buffer.
   tau_.clear();
   tau_.append_bits(1u, 1);
-  tau_.append_random(policy_.size(1), rng_);
+  tau_.append_random(policy_->size(1), rng_);
   if (bus_ != nullptr) {
     bus_->emit({.kind = EventKind::kStringReset, .side = Side::kTm,
                 .value = tau_.size()});
@@ -24,7 +41,8 @@ void GhmTransmitter::fresh_tau() {
 void GhmTransmitter::on_crash() {
   busy_ = false;
   msg_ = Message{};
-  rho_.reset();  // the challenge died with our memory; wait for a fresh ack
+  knows_rho_ = false;  // the challenge died with our memory
+  rho_.clear();
   fresh_tau();
   num_ = 0;
   t_ = 1;
@@ -32,8 +50,8 @@ void GhmTransmitter::on_crash() {
 }
 
 void GhmTransmitter::send_data(TxOutbox& out) {
-  if (!busy_ || !rho_) return;
-  DataPacket::encode_fields(out.pkt_writer(), msg_, *rho_, tau_);
+  if (!busy_ || !knows_rho_) return;
+  DataPacket::encode_fields(out.pkt_writer(), msg_, rho_, tau_);
 }
 
 void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
@@ -51,7 +69,8 @@ void GhmTransmitter::on_send_msg(const Message& m, TxOutbox& out) {
 
 void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
                                     TxOutbox& out) {
-  if (!AckPacket::decode_into(ack_scratch_, pkt)) {
+  AckPacket& ack = ack_scratch();
+  if (!AckPacket::decode_into(ack, pkt)) {
     if (bus_ != nullptr) {
       bus_->emit({.kind = EventKind::kPacketReject, .side = Side::kTm,
                   .detail = static_cast<std::uint8_t>(
@@ -59,7 +78,6 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
     }
     return;
   }
-  const AckPacket& ack = ack_scratch_;
 
   // OK check first, independent of the retry filter: the receiver resets
   // its retry counter on delivery, so the very acks that confirm our
@@ -73,6 +91,7 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
     busy_ = false;
     msg_ = Message{};
     rho_ = ack.rho;  // the challenge for the next message
+    knows_rho_ = true;
     i_ = 0;
     out.ok();
     return;
@@ -98,6 +117,7 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
   // whatever we hold — and charge wrong full-length taus against the
   // epoch budget, mirroring the receiver (Lemma 6 / Lemma 2^T).
   rho_ = ack.rho;
+  knows_rho_ = true;
   if (bus_ != nullptr) {
     bus_->emit({.kind = EventKind::kPacketAccept, .side = Side::kTm,
                 .detail = static_cast<std::uint8_t>(AcceptKind::kChallenge),
@@ -107,10 +127,10 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
   if (busy_) {
     if (ack.tau.size() == tau_.size() && ack.tau != tau_) {
       ++num_;
-      if (num_ >= policy_.bound(t_)) {
+      if (num_ >= policy_->bound(t_)) {
         ++t_;
         num_ = 0;
-        const std::size_t grown = policy_.size(t_);
+        const std::size_t grown = policy_->size(t_);
         tau_.append_random(grown, rng_);
         if (bus_ != nullptr) {
           bus_->emit({.kind = EventKind::kEpochExtend, .side = Side::kTm,
@@ -123,7 +143,7 @@ void GhmTransmitter::on_receive_pkt(std::span<const std::byte> pkt,
 }
 
 std::size_t GhmTransmitter::state_bits() const {
-  const std::size_t rho_bits = rho_ ? rho_->size() : 0;
+  const std::size_t rho_bits = knows_rho_ ? rho_.size() : 0;
   return rho_bits + tau_.size() + msg_.payload.size() * 8 + 3 * 64;
 }
 

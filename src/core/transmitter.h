@@ -33,18 +33,24 @@
 //     fresh acks is what lets tau^T stabilise (Theorem 9).
 #pragma once
 
-#include <optional>
+#include <memory>
 
 #include "core/packets.h"
 #include "core/policy.h"
 #include "link/module.h"
+#include "util/owned.h"
 #include "util/rng.h"
 
 namespace s2d {
 
 class GhmTransmitter final : public ITransmitter {
  public:
+  /// Owns a private copy of the policy (standalone use).
   GhmTransmitter(GrowthPolicy policy, Rng rng);
+  /// Borrows a policy owned elsewhere (fleet use: one GrowthPolicy — a
+  /// ~130-byte object with std::function members — serves every session
+  /// a factory builds). `policy` must outlive the module.
+  GhmTransmitter(const GrowthPolicy* policy, Rng rng);
 
   void bind_bus(EventBus* bus) override { bus_ = bus; }
   void on_send_msg(const Message& m, TxOutbox& out) override;
@@ -57,9 +63,7 @@ class GhmTransmitter final : public ITransmitter {
 
   // Introspection for tests and experiments.
   [[nodiscard]] const BitString& tau() const noexcept { return tau_; }
-  [[nodiscard]] bool knows_challenge() const noexcept {
-    return rho_.has_value();
-  }
+  [[nodiscard]] bool knows_challenge() const noexcept { return knows_rho_; }
   [[nodiscard]] std::uint64_t epoch() const noexcept { return t_; }
   [[nodiscard]] std::uint64_t wrong_count() const noexcept { return num_; }
   [[nodiscard]] std::uint64_t highest_retry_seen() const noexcept {
@@ -73,21 +77,23 @@ class GhmTransmitter final : public ITransmitter {
 
   void send_data(TxOutbox& out);
 
-  GrowthPolicy policy_;
+  OwnedPtr<const GrowthPolicy> policy_;
   Rng rng_;
   EventBus* bus_ = nullptr;
 
   bool busy_ = false;
+  bool knows_rho_ = false;  // rho^T is unknown right after a crash
   Message msg_;
-  std::optional<BitString> rho_;  // rho^T (the challenge to echo)
-  BitString tau_;                 // tau^T
-  std::uint64_t num_ = 0;         // num^T
-  std::uint64_t t_ = 1;           // t^T
-  std::uint64_t i_ = 0;           // i^T
-
-  // Decode scratch, not protocol state: reused across on_receive_pkt calls
-  // so ack decoding stops allocating once its buffers are warm.
-  AckPacket ack_scratch_;
+  BitString rho_;  // rho^T (the challenge to echo); valid iff knows_rho_
+  BitString tau_;  // tau^T
+  // The model charges 64 bits each for num/t/i (state_bits()); num and t
+  // are stored 32-bit because no execution approaches 2^32 wrong acks or
+  // epochs — fleet-scale footprint, identical observable behaviour. i^T
+  // stays 64-bit: the kDouble increment rule doubles i^R per RETRY, so
+  // adopted retry counters legitimately exceed 2^32.
+  std::uint32_t num_ = 0;  // num^T
+  std::uint32_t t_ = 1;    // t^T
+  std::uint64_t i_ = 0;    // i^T
 };
 
 }  // namespace s2d

@@ -140,16 +140,32 @@ FleetResult run_fleet(const FleetConfig& cfg, const SessionFactory& factory) {
 }
 
 SessionFactory make_ghm_fleet_factory(GhmFleetOptions opts) {
-  return [opts](const SessionSpec& spec) {
+  // One GrowthPolicy (~130 B of std::string + std::function) and one
+  // FaultProfile serve every session the factory ever builds; sessions
+  // borrow them. shared_ptr keeps them alive as long as any copy of the
+  // returned factory is.
+  auto policy = std::make_shared<const GrowthPolicy>(
+      GrowthPolicy::geometric(opts.epsilon));
+  auto profile = std::make_shared<const FaultProfile>(opts.faults);
+  auto link_cfg = std::make_shared<const DataLinkConfig>([&opts] {
     DataLinkConfig cfg;
-    cfg.retry_every = opts.retry_every;
+    cfg.retry_every = static_cast<std::uint32_t>(opts.retry_every);
     cfg.keep_trace = opts.keep_trace;
-    auto pair = make_ghm(GrowthPolicy::geometric(opts.epsilon),
-                         spec.rng(kProtocolSalt).next_u64());
-    auto adv = std::make_unique<RandomFaultAdversary>(
-        opts.faults, spec.rng(kAdversarySalt));
-    return std::make_unique<DataLink>(std::move(pair.tm), std::move(pair.rm),
-                                      std::move(adv), cfg);
+    return cfg;
+  }());
+  return [policy, profile, link_cfg](const SessionSpec& spec) {
+    // Same derivation as make_ghm (root + named forks), routed through
+    // spec.create so module state lands in the shard arena when present.
+    Rng root(spec.rng(kProtocolSalt).next_u64());
+    Rng tx_rng = root.fork(0x7472616e736d6974ULL);  // "transmit"
+    Rng rx_rng = root.fork(0x7265636569766572ULL);  // "receiver"
+    auto tm = spec.create<GhmTransmitter>(policy.get(), tx_rng);
+    auto rm = spec.create<GhmReceiver>(policy.get(), rx_rng);
+    auto adv =
+        spec.create<RandomFaultAdversary>(profile.get(), spec.rng(kAdversarySalt));
+    return std::make_unique<DataLink>(std::move(tm), std::move(rm),
+                                      std::move(adv), link_cfg.get(),
+                                      spec.shared);
   };
 }
 

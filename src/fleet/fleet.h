@@ -30,7 +30,9 @@
 #include "adversary/adversaries.h"
 #include "harness/runner.h"
 #include "link/datalink.h"
+#include "util/owned.h"
 #include "util/rng.h"
+#include "util/slab_arena.h"
 #include "util/stats.h"
 
 namespace s2d {
@@ -56,10 +58,32 @@ struct SessionSpec {
   std::uint64_t index = 0;  // 0..sessions-1, stable across shard counts
   std::uint64_t seed = 0;   // fleet_session_seed(root_seed, index)
 
+  /// Shard-shared executor plumbing (observability sink, module scratch,
+  /// payload chunk source) the factory should hand to the DataLink ctor.
+  /// Null when the caller runs sessions standalone (legacy engine, tests)
+  /// — the DataLink then owns private instances. Both choices must be
+  /// passed through; everything stays deterministic either way.
+  const DataLinkShared* shared = nullptr;
+
+  /// Arena the session's modules should be interned into; null means heap.
+  SlabArena* arena = nullptr;
+
   /// Derives a named child generator from the session seed; the factory
   /// uses distinct salts for protocol, adversary and workload streams.
   [[nodiscard]] Rng rng(std::uint64_t salt) const noexcept {
     return Rng(seed).fork(salt);
+  }
+
+  /// Constructs a module in the session's arena (pooled) or on the heap
+  /// when no arena is bound. Either way the result carries its ownership
+  /// in the pointer tag, so factories write one code path.
+  template <typename T, typename... Args>
+  [[nodiscard]] OwnedPtr<T> create(Args&&... args) const {
+    if (arena != nullptr) {
+      return OwnedPtr<T>::adopt_pooled(
+          arena->create<T>(std::forward<Args>(args)...));
+    }
+    return OwnedPtr<T>(std::make_unique<T>(std::forward<Args>(args)...));
   }
 };
 

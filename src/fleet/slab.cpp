@@ -1,70 +1,47 @@
 #include "fleet/slab.h"
 
 #include <atomic>
-#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <thread>
 
+#include "util/bitstring.h"
 #include "util/parallel.h"
 
 namespace s2d {
-
-void* SlabArena::allocate(std::size_t size, std::size_t align) {
-  assert(align != 0 && (align & (align - 1)) == 0);
-  const std::size_t misalign =
-      reinterpret_cast<std::uintptr_t>(tail_) & (align - 1);
-  const std::size_t pad = misalign ? align - misalign : 0;
-  if (tail_left_ < size + pad) {
-    std::size_t chunk = next_chunk_bytes_;
-    if (chunk < size + align) chunk = size + align;
-    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
-    tail_ = chunks_.back().get();
-    tail_left_ = chunk;
-    bytes_reserved_ += chunk;
-    if (next_chunk_bytes_ < max_chunk_bytes_) {
-      next_chunk_bytes_ =
-          std::min(next_chunk_bytes_ * 2, max_chunk_bytes_);
-    }
-    return allocate(size, align);  // fresh chunk: recursion bottoms out
-  }
-  tail_ += pad;
-  tail_left_ -= pad;
-  void* out = tail_;
-  tail_ += size;
-  tail_left_ -= size;
-  bytes_used_ += size + pad;
-  return out;
-}
 
 SlabShard::SlabShard(const FleetConfig& cfg, const SessionFactory& factory,
                      unsigned shard, unsigned shards)
     : cfg_(cfg),
       shard_rng_(Rng(cfg.root_seed).fork(0x73686172'64000000ULL | shard)) {
+  // Oversize BitStrings built during session construction (rho/tau coin
+  // tapes beyond the inline word) spill into the shard arena, not malloc.
+  BitString::SpillScope spill(&arena_);
+
   std::size_t count = 0;
   for (std::uint64_t i = shard; i < cfg.sessions; i += shards) ++count;
   links_.reserve(count);
   workload_rng_.reserve(count);
   phase_.reserve(count);
   msgs_offered_.assign(count, 0);
-  msg_steps_left_.assign(count, 0);
+  steps_left_.assign(count, 0);
   steps_before_.assign(count, 0);
   aborted_before_.assign(count, 0);
-  drain_left_.assign(count, 0);
-  offered_.assign(count, 0);
   completed_.assign(count, 0);
   aborted_.assign(count, 0);
   stalled_.assign(count, 0);
-  steps_per_ok_.resize(count);
   active_.reserve(count);
 
   for (std::uint64_t i = shard; i < cfg.sessions; i += shards) {
-    const SessionSpec spec{i, fleet_session_seed(cfg.root_seed, i)};
-    // The factory builds on the heap (its public contract); the executor
-    // is then moved into its contiguous arena slot and the shell freed,
-    // so steady-state stepping walks slab memory, not factory leftovers.
+    const SessionSpec spec{i, fleet_session_seed(cfg.root_seed, i), &shared_,
+                           &arena_};
+    // The factory builds the link shell on the heap (its public
+    // contract); the executor is then moved into its contiguous arena
+    // slot and the shell freed, so steady-state stepping walks slab
+    // memory, not factory leftovers. Modules built via spec.create are
+    // already arena slots and move as tagged pointers.
     std::unique_ptr<DataLink> built = factory(spec);
     DataLink* slot = arena_.create<DataLink>(std::move(*built));
     built.reset();
@@ -82,28 +59,45 @@ SlabShard::~SlabShard() {
 }
 
 void SlabShard::finalize(std::size_t s) {
-  // The tail of run_workload(): the per-session report is read off the
-  // link's event-derived counter views, then the executor is destroyed
-  // immediately so channel histories stop occupying memory. The arena
-  // keeps the raw slot bytes until shard teardown.
+  // The tail of run_workload(): the per-session outcome comes from the
+  // SoA lanes and the link's hot counters; the event-derived sink is
+  // per-link only for standalone links (owns_obs) — under the shared
+  // block it aggregates the whole shard and is folded once at the end.
+  // Either way the executor is destroyed immediately so channel records
+  // stop occupying memory and its payload chunks return to the recycler.
   RunReport run;
-  run.offered = offered_[s];
+  run.offered = msgs_offered_[s];
   run.completed = completed_[s];
   run.aborted = aborted_[s];
   run.stalled = stalled_[s];
-  run.steps_per_ok = std::move(steps_per_ok_[s]);
-  const CounterSink& counters = links_[s]->counters();
-  run.link = counters.link();
-  run.violations = counters.violations();
-  run.tr_packets = counters.channel(Dir::kTR).packets;
-  run.rt_packets = counters.channel(Dir::kRT).packets;
-  run.tr_bytes = counters.channel(Dir::kTR).bytes;
-  run.rt_bytes = counters.channel(Dir::kRT).bytes;
+  if (links_[s]->owns_obs()) {
+    const CounterSink& counters = links_[s]->counters();
+    run.link = counters.link();
+    run.violations = counters.violations();
+    run.tr_packets = counters.channel(Dir::kTR).packets;
+    run.rt_packets = counters.channel(Dir::kRT).packets;
+    run.tr_bytes = counters.channel(Dir::kTR).bytes;
+    run.rt_bytes = counters.channel(Dir::kRT).bytes;
+  }
   partial_.add(run);
 
   std::destroy_at(links_[s]);
   links_[s] = nullptr;
   phase_[s] = Phase::kFinished;
+}
+
+void SlabShard::fold_shared_obs() {
+  // Everything per-session was already folded by finalize(); the shared
+  // sink contributes the event-derived aggregates exactly once. When the
+  // factory ignored DataLinkShared (standalone links), this sink saw no
+  // events and the fold is a no-op.
+  const CounterSink& counters = obs_.counters;
+  partial_.link.merge(counters.link());
+  partial_.violations.merge(counters.violations());
+  partial_.tr_packets += counters.channel(Dir::kTR).packets;
+  partial_.rt_packets += counters.channel(Dir::kRT).packets;
+  partial_.tr_bytes += counters.channel(Dir::kTR).bytes;
+  partial_.rt_bytes += counters.channel(Dir::kRT).bytes;
 }
 
 bool SlabShard::advance(std::size_t s, std::uint64_t budget) {
@@ -117,25 +111,24 @@ bool SlabShard::advance(std::size_t s, std::uint64_t budget) {
           // Workload exhausted — or a stalled message still occupies the
           // link (run_workload's `break`): move to the drain tail.
           phase_[s] = Phase::kDraining;
-          drain_left_[s] = wl.drain_steps;
+          steps_left_[s] = wl.drain_steps;
           break;
         }
         // Identical draw order to run_workload: the payload consumes the
         // workload stream before anything else happens to this message.
         Message m{1 + msgs_offered_[s],
                   make_payload(wl.payload_bytes, workload_rng_[s])};
-        aborted_before_[s] = link.stats().aborted;
-        steps_before_[s] = link.stats().steps;
+        aborted_before_[s] = static_cast<std::uint32_t>(link.aborted_count());
+        steps_before_[s] = link.steps_taken();
         link.offer(m);
-        ++offered_[s];
         ++msgs_offered_[s];
-        msg_steps_left_[s] = wl.max_steps_per_message;
+        steps_left_[s] = wl.max_steps_per_message;
         phase_[s] = Phase::kStepping;
-        if (msg_steps_left_[s] == 0) {
+        if (steps_left_[s] == 0) {
           // Degenerate budget: run_until_ok(0) returns false at once.
           ++stalled_[s];
           phase_[s] = wl.stop_on_stall ? Phase::kDraining : Phase::kNextMessage;
-          if (phase_[s] == Phase::kDraining) drain_left_[s] = wl.drain_steps;
+          if (phase_[s] == Phase::kDraining) steps_left_[s] = wl.drain_steps;
         }
         break;
       }
@@ -143,25 +136,27 @@ bool SlabShard::advance(std::size_t s, std::uint64_t budget) {
       case Phase::kStepping: {
         // The hot loop: burn this visit's budget against the in-flight
         // message, exactly as run_until_ok does, but resumable.
-        while (budget > 0 && msg_steps_left_[s] > 0) {
+        while (budget > 0 && steps_left_[s] > 0) {
           link.step();
           --budget;
-          --msg_steps_left_[s];
+          --steps_left_[s];
           if (link.last_step_completed_ok()) {
             ++completed_[s];
-            steps_per_ok_[s].add(static_cast<double>(link.stats().steps -
-                                                     steps_before_[s]));
+            // Straight into the pooled population: canonicalize() sorts,
+            // so per-slot staging would only change accumulation order.
+            partial_.steps_per_ok.add(
+                static_cast<double>(link.steps_taken() - steps_before_[s]));
             phase_[s] = Phase::kNextMessage;
             break;
           }
           if (link.last_step_crashed_t()) {
-            if (link.stats().aborted > aborted_before_[s]) {
+            if (link.aborted_count() > aborted_before_[s]) {
               ++aborted_[s];
             } else {
               ++stalled_[s];
               if (wl.stop_on_stall) {
                 phase_[s] = Phase::kDraining;
-                drain_left_[s] = wl.drain_steps;
+                steps_left_[s] = wl.drain_steps;
                 break;
               }
             }
@@ -169,23 +164,23 @@ bool SlabShard::advance(std::size_t s, std::uint64_t budget) {
             break;
           }
         }
-        if (phase_[s] == Phase::kStepping && msg_steps_left_[s] == 0) {
+        if (phase_[s] == Phase::kStepping && steps_left_[s] == 0) {
           // Step budget exhausted without OK or abort: stalled.
           ++stalled_[s];
           phase_[s] = wl.stop_on_stall ? Phase::kDraining : Phase::kNextMessage;
-          if (phase_[s] == Phase::kDraining) drain_left_[s] = wl.drain_steps;
+          if (phase_[s] == Phase::kDraining) steps_left_[s] = wl.drain_steps;
         }
         if (budget == 0) return false;
         break;
       }
 
       case Phase::kDraining: {
-        while (budget > 0 && drain_left_[s] > 0) {
+        while (budget > 0 && steps_left_[s] > 0) {
           link.step();
           --budget;
-          --drain_left_[s];
+          --steps_left_[s];
         }
-        if (drain_left_[s] == 0) {
+        if (steps_left_[s] == 0) {
           finalize(s);
           return true;
         }
@@ -200,6 +195,11 @@ bool SlabShard::advance(std::size_t s, std::uint64_t budget) {
 }
 
 std::size_t SlabShard::step_round() {
+  // Stepping may grow rho/tau past the inline word; spills land in the
+  // shard arena. The scope binds this thread, so it must be (re)entered
+  // on whichever thread runs the round.
+  BitString::SpillScope spill(&arena_);
+
   std::size_t i = 0;
   while (i < active_.size()) {
     const std::uint32_t slot = active_[i];
@@ -208,11 +208,17 @@ std::size_t SlabShard::step_round() {
       const std::uint64_t half = budget / 2;
       budget = half + shard_rng_.next_below(budget - half + 1);
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    // Timing every visit costs as much as a small batch itself; sample
+    // 1 in 16 — plenty for the latency distribution, invisible in perf.
+    const bool timed = (visits_++ & 15U) == 0;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     const bool finished = advance(slot, budget);
-    const auto t1 = std::chrono::steady_clock::now();
-    batch_latency_us_.add(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (timed) {
+      const auto t1 = std::chrono::steady_clock::now();
+      batch_latency_us_.add(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
     if (finished) {
       // Swap-remove keeps the live list dense; visiting order within a
       // round is immaterial because sessions share nothing.
@@ -221,6 +227,10 @@ std::size_t SlabShard::step_round() {
     } else {
       ++i;
     }
+  }
+  if (active_.empty() && !shared_obs_folded_) {
+    fold_shared_obs();
+    shared_obs_folded_ = true;
   }
   return active_.size();
 }
@@ -254,6 +264,11 @@ FleetResult run_fleet_slab(const FleetConfig& cfg,
                       : static_cast<unsigned>(std::min<std::uint64_t>(
                             result.threads_used, cfg.sessions));
 
+  // The shards vector must outlive every stepping thread: thread_local
+  // module scratch may hold BitStrings spilled into one shard's arena
+  // and be reused while another shard steps on the same thread, so no
+  // shard arena may die before all stepping is done. parallel_shards
+  // joins before this function returns, which is exactly that.
   std::vector<std::unique_ptr<SlabShard>> shards(result.shards);
   std::atomic<unsigned> built{0};
   std::atomic<std::uint64_t> rss_live{0};

@@ -6,9 +6,16 @@
 // and torn down in sequence. The slab engine is the fleet path that makes
 // the "million concurrent links" claim literal:
 //
-//   * every session's executor lives in a per-shard SlabArena — a bump
-//     allocator of large chunks — so a shard's DataLink slots are
-//     contiguous in memory and freed wholesale at shard teardown;
+//   * every session's executor — and, via SessionSpec::create, its
+//     protocol modules and adversary — lives in a per-shard SlabArena, so
+//     a shard's session state is contiguous in memory and freed wholesale
+//     at shard teardown;
+//   * one observability block (bus + counters), one outbox scratch pair
+//     and one payload-chunk recycler are owned by the shard and lent to
+//     every session (DataLinkShared): sessions are stepped one at a time,
+//     so per-session copies of this plumbing would be pure waste;
+//   * oversize BitStrings (rho/tau beyond the inline word) spill into the
+//     shard arena (BitString::SpillScope) instead of malloc;
 //   * the per-session *driver* state (workload phase, message cursor,
 //     per-message step budget, workload RNG) is stored structure-of-arrays
 //     in the shard, so the scheduling scan touches dense arrays instead of
@@ -43,6 +50,7 @@
 #include "harness/runner.h"
 #include "link/datalink.h"
 #include "util/rng.h"
+#include "util/slab_arena.h"
 #include "util/stats.h"
 
 namespace s2d {
@@ -53,56 +61,10 @@ namespace s2d {
 /// x86-64/aarch64 part this repo targets.
 inline constexpr std::size_t kCacheLineBytes = 64;
 
-/// Bump allocator backing one shard's session slots. Alloc-only: memory
-/// is handed out forwards from geometrically growing chunks and released
-/// all at once when the arena dies — the slab analogue of the channel
-/// PayloadArena, but for executor objects instead of payload bytes.
-/// Addresses are stable for the arena's lifetime (chunks never move).
-class SlabArena {
- public:
-  explicit SlabArena(std::size_t first_chunk_bytes = 1 << 14,
-                     std::size_t max_chunk_bytes = 1 << 20) noexcept
-      : next_chunk_bytes_(first_chunk_bytes),
-        max_chunk_bytes_(max_chunk_bytes) {}
-
-  SlabArena(const SlabArena&) = delete;
-  SlabArena& operator=(const SlabArena&) = delete;
-
-  /// Raw storage of `size` bytes aligned to `align` (which must be a
-  /// power of two <= alignof(std::max_align_t)... larger alignments are
-  /// honoured by overallocating within the chunk).
-  void* allocate(std::size_t size, std::size_t align);
-
-  /// Constructs a T in the arena. The caller owns the *logical* lifetime:
-  /// destroy_at() it when done (the arena only reclaims the bytes).
-  template <typename T, typename... Args>
-  T* create(Args&&... args) {
-    void* mem = allocate(sizeof(T), alignof(T));
-    return ::new (mem) T(static_cast<Args&&>(args)...);
-  }
-
-  /// Bytes handed out to live objects (excludes chunk slack).
-  [[nodiscard]] std::uint64_t bytes_used() const noexcept {
-    return bytes_used_;
-  }
-  /// Bytes reserved from the system allocator (includes chunk slack).
-  [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
-    return bytes_reserved_;
-  }
-
- private:
-  std::vector<std::unique_ptr<std::byte[]>> chunks_;
-  std::byte* tail_ = nullptr;
-  std::size_t tail_left_ = 0;
-  std::size_t next_chunk_bytes_;
-  std::size_t max_chunk_bytes_;
-  std::uint64_t bytes_used_ = 0;
-  std::uint64_t bytes_reserved_ = 0;
-};
-
 /// One shard of the slab engine. Owns its sessions' executors (in the
-/// arena), the SoA driver lanes, and its partial aggregate exclusively —
-/// shards share no mutable state, which is why the engine needs no locks.
+/// arena), the SoA driver lanes, the shared observability/scratch blocks
+/// and its partial aggregate exclusively — shards share no mutable state,
+/// which is why the engine needs no locks.
 /// The whole shard is cacheline-aligned so that two shards' hot slots
 /// (report counters, scheduling cursors) can never share a line: the
 /// false-sharing audit (tests/fleet_false_sharing_test.cpp) stress-steps
@@ -123,7 +85,9 @@ class alignas(kCacheLineBytes) SlabShard {
   /// by ~cfg.batch_steps executor steps (jittered per visit when
   /// cfg.batch_jitter is set). Finished sessions fold their RunReport
   /// into the shard partial and release their executor immediately.
-  /// Returns the number of sessions still live afterwards.
+  /// When the last session retires, the shard folds its shared
+  /// observability block into the partial too. Returns the number of
+  /// sessions still live afterwards.
   std::size_t step_round();
 
   /// Runs rounds until every session has finished.
@@ -133,7 +97,8 @@ class alignas(kCacheLineBytes) SlabShard {
   [[nodiscard]] const FleetReport& partial() const noexcept {
     return partial_;
   }
-  /// Wall-clock micros of each (session × batch) visit this shard timed;
+  /// Wall-clock micros of sampled (session × batch) visits (every 16th —
+  /// timing each visit costs more than small batches themselves);
   /// execution metadata only — never part of the deterministic report.
   [[nodiscard]] Samples& batch_latency_us() noexcept {
     return batch_latency_us_;
@@ -155,33 +120,51 @@ class alignas(kCacheLineBytes) SlabShard {
   /// the session finished during this visit.
   bool advance(std::size_t s, std::uint64_t budget);
   void finalize(std::size_t s);
+  /// Folds the shard-shared counter sink into partial_ exactly once, after
+  /// the last session retires. Harmless no-op contents when every link
+  /// owned a private sink (the shared one then saw no events).
+  void fold_shared_obs();
 
   const FleetConfig& cfg_;
   SlabArena arena_;
   Rng shard_rng_;  // scheduling jitter only; results are invariant to it
 
+  // Shard-shared executor plumbing, lent to every session built here (the
+  // factory decides whether to honour it; make_ghm_fleet_factory does).
+  LinkObs obs_;
+  LinkScratch scratch_;
+  DataLinkShared shared_{&obs_, &scratch_, &arena_};
+
   // SoA driver lanes, indexed by local slot. links_[s] points into the
   // arena; null once the session finished and was destroyed.
+  // steps_left_ is the *current phase's* remaining step budget — the
+  // in-flight message's while kStepping, the drain tail's while kDraining
+  // (the two phases are mutually exclusive and each transition re-arms
+  // it), so one lane serves both.
   std::vector<DataLink*> links_;
   std::vector<Rng> workload_rng_;
   std::vector<Phase> phase_;
   std::vector<std::uint64_t> msgs_offered_;
-  std::vector<std::uint64_t> msg_steps_left_;
+  std::vector<std::uint64_t> steps_left_;
   std::vector<std::uint64_t> steps_before_;
-  std::vector<std::uint64_t> aborted_before_;
-  std::vector<std::uint64_t> drain_left_;
 
-  // Per-slot report accumulators (the per-session RunReport, SoA).
-  std::vector<std::uint64_t> offered_;
-  std::vector<std::uint64_t> completed_;
-  std::vector<std::uint64_t> aborted_;
-  std::vector<std::uint64_t> stalled_;
-  std::vector<Samples> steps_per_ok_;
+  // Per-slot report accumulators (the per-session RunReport, SoA; 32-bit —
+  // bounded by the per-session message count, nowhere near 2^32).
+  // `offered` needs no lane: it is definitionally msgs_offered_.
+  // Completion latencies go straight into partial_.steps_per_ok — the
+  // population is sorted by canonicalize(), so accumulation order is
+  // immaterial and a per-slot Samples lane would buy nothing.
+  std::vector<std::uint32_t> aborted_before_;
+  std::vector<std::uint32_t> completed_;
+  std::vector<std::uint32_t> aborted_;
+  std::vector<std::uint32_t> stalled_;
 
   std::vector<std::uint32_t> active_;  // live slots, visited in order
 
   FleetReport partial_;
+  bool shared_obs_folded_ = false;
   Samples batch_latency_us_;
+  std::uint64_t visits_ = 0;  // for the 1-in-16 latency sampling
 };
 
 static_assert(alignof(SlabShard) >= kCacheLineBytes,

@@ -29,14 +29,11 @@ class AdversaryView {
         crashes_r_(crashes_r) {}
 
   /// All send_pkt^{T->R} actions so far (id, length, step) — the stream of
-  /// new_pkt^{T->R} notifications.
-  [[nodiscard]] const std::vector<PacketMeta>& tr_packets() const noexcept {
-    return tr_.history();
-  }
+  /// new_pkt^{T->R} notifications. A cheap view materialising PacketMeta
+  /// rows on demand; valid until the next send on the channel.
+  [[nodiscard]] PacketLog tr_packets() const noexcept { return tr_.history(); }
   /// All send_pkt^{R->T} actions so far.
-  [[nodiscard]] const std::vector<PacketMeta>& rt_packets() const noexcept {
-    return rt_.history();
-  }
+  [[nodiscard]] PacketLog rt_packets() const noexcept { return rt_.history(); }
 
   [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
   [[nodiscard]] std::uint64_t crashes_t() const noexcept { return crashes_t_; }

@@ -3,25 +3,27 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/slab_arena.h"
+
 namespace s2d {
 namespace {
 
-std::uint64_t content_hash(std::span<const std::byte> bytes) noexcept {
+std::uint64_t content_hash(const std::byte* data, std::size_t size) noexcept {
   // FNV-1a over 8-byte chunks (plus a length mix so "abc" and "abc\0"
   // differ): one multiply per word instead of per byte. Packet payloads
   // are 20-40 bytes, so the chunking matters on every send.
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ bytes.size();
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ size;
   std::size_t i = 0;
-  for (; i + 8 <= bytes.size(); i += 8) {
+  for (; i + 8 <= size; i += 8) {
     std::uint64_t w;
-    std::memcpy(&w, bytes.data() + i, 8);
+    std::memcpy(&w, data + i, 8);
     h ^= w;
     h *= 0x100000001b3ULL;
     h ^= h >> 32;
   }
-  if (i < bytes.size()) {
+  if (i < size) {
     std::uint64_t w = 0;
-    std::memcpy(&w, bytes.data() + i, bytes.size() - i);
+    std::memcpy(&w, data + i, size - i);
     h ^= w;
     h *= 0x100000001b3ULL;
     h ^= h >> 32;
@@ -29,13 +31,46 @@ std::uint64_t content_hash(std::span<const std::byte> bytes) noexcept {
   return h;
 }
 
-bool same_bytes(std::span<const std::byte> a,
-                std::span<const std::byte> b) noexcept {
-  return a.size() == b.size() &&
-         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
-}
+// Address for zero-length interned spans; never dereferenced, keeps
+// nullptr free as the table's empty-slot marker.
+constexpr std::byte kEmptyPayload{0};
 
 }  // namespace
+
+PayloadArena::PayloadArena(PayloadArena&& other) noexcept
+    : chunks_(std::move(other.chunks_)),
+      slots_(std::move(other.slots_)),
+      source_(other.source_),
+      tail_used_(other.tail_used_),
+      tail_cap_(other.tail_cap_),
+      next_chunk_bytes_(other.next_chunk_bytes_),
+      used_(other.used_),
+      hits_(other.hits_),
+      bytes_stored_(other.bytes_stored_) {
+  // The moved-from arena must destroy cleanly and report empty.
+  other.tail_used_ = 0;
+  other.tail_cap_ = 0;
+  other.used_ = 0;
+  other.hits_ = 0;
+  other.bytes_stored_ = 0;
+}
+
+PayloadArena::~PayloadArena() {
+  for (ChunkRec& c : chunks_) {
+    if (source_ != nullptr) {
+      source_->give_chunk(c.p, c.size);
+    } else {
+      delete[] c.p;
+    }
+  }
+}
+
+std::byte* PayloadArena::new_chunk(std::size_t& size) {
+  if (source_ != nullptr) {
+    return source_->take_chunk(size);  // rounds size up to its bucket
+  }
+  return new std::byte[size];
+}
 
 std::span<const std::byte> PayloadArena::store(
     std::span<const std::byte> bytes) {
@@ -43,14 +78,13 @@ std::span<const std::byte> PayloadArena::store(
   if (bytes.size() > kMaxChunkBytes) {
     // Oversize payload: dedicated chunk, inserted *before* the tail so the
     // tail chunk's remaining space stays usable.
-    auto chunk = std::make_unique<std::byte[]>(bytes.size());
-    std::memcpy(chunk.get(), bytes.data(), bytes.size());
-    std::span<const std::byte> out{chunk.get(), bytes.size()};
+    std::size_t size = bytes.size();
+    std::byte* chunk = new_chunk(size);
+    std::memcpy(chunk, bytes.data(), bytes.size());
     const std::size_t at = chunks_.empty() ? 0 : chunks_.size() - 1;
     chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(at),
-                   std::move(chunk));
-    bytes_reserved_ += bytes.size();
-    return out;
+                   ChunkRec{chunk, size});
+    return {chunk, bytes.size()};
   }
   if (tail_used_ + bytes.size() > tail_cap_) {
     // Geometric growth: the first chunk is small (most links send a few
@@ -58,50 +92,60 @@ std::span<const std::byte> PayloadArena::store(
     // cap so heavy links still amortise to one allocation per 64 KiB.
     std::size_t chunk = next_chunk_bytes_;
     if (chunk < bytes.size()) chunk = bytes.size();
-    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+    std::byte* p = new_chunk(chunk);
+    chunks_.push_back(ChunkRec{p, chunk});
     tail_used_ = 0;
-    tail_cap_ = chunk;
-    bytes_reserved_ += chunk;
-    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+    tail_cap_ = static_cast<std::uint32_t>(chunk);
+    next_chunk_bytes_ = static_cast<std::uint32_t>(std::min<std::size_t>(
+        std::size_t{next_chunk_bytes_} * 2, kMaxChunkBytes));
   }
-  std::byte* dst = chunks_.back().get() + tail_used_;
+  std::byte* dst = chunks_.back().p + tail_used_;
   if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
-  tail_used_ += bytes.size();
+  tail_used_ += static_cast<std::uint32_t>(bytes.size());
   return {dst, bytes.size()};
 }
 
-void PayloadArena::rehash(std::size_t new_buckets) {
-  buckets_.assign(new_buckets, 0);
-  const std::size_t mask = new_buckets - 1;
-  for (std::size_t e = 0; e < entries_.size(); ++e) {
-    std::size_t slot = entries_[e].hash & mask;
-    while (buckets_[slot] != 0) slot = (slot + 1) & mask;
-    buckets_[slot] = static_cast<std::uint32_t>(e + 1);
+void PayloadArena::rehash(std::size_t new_slots) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_slots, Slot{});
+  const std::size_t mask = new_slots - 1;
+  for (const Slot& s : old) {
+    if (s.p == nullptr) continue;
+    std::size_t at = content_hash(s.p, s.len) & mask;
+    while (slots_[at].p != nullptr) at = (at + 1) & mask;
+    slots_[at] = s;
   }
 }
 
 std::span<const std::byte> PayloadArena::intern(
     std::span<const std::byte> bytes) {
-  // Grow at ~0.7 load; power-of-two sizes keep probing a mask-and-add.
-  if (buckets_.empty()) {
-    rehash(64);
-  } else if ((entries_.size() + 1) * 10 > buckets_.size() * 7) {
-    rehash(buckets_.size() * 2);
+  if (bytes.empty()) {
+    // Zero-length payloads share a static sentinel address; the table
+    // reserves nullptr for empty slots.
+    ++hits_;
+    return {&kEmptyPayload, 0};
   }
-  const std::uint64_t h = content_hash(bytes);
-  const std::size_t mask = buckets_.size() - 1;
-  std::size_t slot = h & mask;
-  while (buckets_[slot] != 0) {
-    const Entry& e = entries_[buckets_[slot] - 1];
-    if (e.hash == h && same_bytes(e.bytes, bytes)) {
+  // Grow at ~0.7 load; power-of-two sizes keep probing a mask-and-add.
+  if (slots_.empty()) {
+    rehash(64);
+  } else if ((std::size_t{used_} + 1) * 10 > slots_.size() * 7) {
+    rehash(slots_.size() * 2);
+  }
+  const std::uint64_t h = content_hash(bytes.data(), bytes.size());
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t at = h & mask;
+  while (slots_[at].p != nullptr) {
+    const Slot& s = slots_[at];
+    if (s.len == bytes.size() &&
+        std::memcmp(s.p, bytes.data(), bytes.size()) == 0) {
       ++hits_;
-      return e.bytes;
+      return {s.p, s.len};
     }
-    slot = (slot + 1) & mask;
+    at = (at + 1) & mask;
   }
   const std::span<const std::byte> stored = store(bytes);
-  entries_.push_back(Entry{h, stored});
-  buckets_[slot] = static_cast<std::uint32_t>(entries_.size());
+  slots_[at] = Slot{stored.data(), static_cast<std::uint32_t>(stored.size())};
+  ++used_;
   return stored;
 }
 

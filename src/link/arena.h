@@ -14,18 +14,38 @@
 // intern() is the only operation; returned spans remain valid for the
 // arena's lifetime (chunks are never moved or freed), which is exactly the
 // channel's retain-forever contract.
+//
+// One arena serves both of a link's channels (interning is content-keyed,
+// and data and ack frames can never collide byte-for-byte), so a DataLink
+// carries a single pool instead of two. At fleet scale the pool can be
+// bound to the shard's SlabArena (bind_source): chunks are then drawn from
+// and returned to the shard-wide recycler instead of malloc, so payload
+// storage for a retired session is immediately reusable by live ones.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
 namespace s2d {
 
+class SlabArena;
+
 class PayloadArena {
  public:
+  PayloadArena() = default;
+  PayloadArena(PayloadArena&& other) noexcept;
+  PayloadArena& operator=(PayloadArena&&) = delete;
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+  ~PayloadArena();
+
+  /// Draws all chunk storage from `source` (and returns it there on
+  /// destruction) instead of the system allocator. Must be called before
+  /// the first intern(); the source must outlive this arena.
+  void bind_source(SlabArena* source) noexcept { source_ = source; }
+
   /// Returns a stable span whose contents equal `bytes`. Identical
   /// contents may (and after the first occurrence, do) share storage.
   std::span<const std::byte> intern(std::span<const std::byte> bytes);
@@ -34,47 +54,63 @@ class PayloadArena {
   [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
     return bytes_stored_;
   }
-  /// Bytes reserved from the allocator for chunk storage (>= bytes_stored;
-  /// the difference is tail-chunk slack). The fleet's bytes-per-session
-  /// accounting sums this, which is why chunks grow geometrically: a
-  /// session that sends a handful of small packets reserves half a
-  /// kilobyte, not 64 KiB — the difference between a million concurrent
-  /// links fitting in RAM or not.
+  /// Bytes reserved beyond the object itself: chunk storage (including an
+  /// estimated malloc header per chunk when unbound — bound chunks live
+  /// inside a SlabArena that does its own header accounting) plus the
+  /// capacity of the chunk directory and intern table. This is the number
+  /// the fleet's bytes-per-session table reconciles against measured RSS,
+  /// which is why it must not undercount. Computed on demand from the
+  /// chunk directory (ChunkRec.size records each chunk's rounded-up
+  /// reservation) rather than carried as a per-intern running total.
   [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
-    return bytes_reserved_;
+    std::uint64_t chunk_bytes = 0;
+    for (const ChunkRec& c : chunks_) chunk_bytes += c.size;
+    if (source_ == nullptr) {
+      chunk_bytes += chunks_.size() * kChunkHeaderBytes;
+    }
+    return chunk_bytes + chunks_.capacity() * sizeof(ChunkRec) +
+           slots_.capacity() * sizeof(Slot);
   }
   /// intern() calls satisfied by an existing entry.
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
 
  private:
-  struct Entry {
-    std::uint64_t hash = 0;
-    std::span<const std::byte> bytes;
+  /// Open-addressing intern table entry: span of the stored payload.
+  /// p == nullptr marks an empty slot (empty payloads never enter the
+  /// table; they intern to a static sentinel).
+  struct Slot {
+    const std::byte* p = nullptr;
+    std::uint32_t len = 0;
+  };
+  struct ChunkRec {
+    std::byte* p = nullptr;
+    std::size_t size = 0;
   };
 
   std::span<const std::byte> store(std::span<const std::byte> bytes);
-  void rehash(std::size_t new_buckets);
+  std::byte* new_chunk(std::size_t& size);
+  void rehash(std::size_t new_slots);
 
   // Chunks grow geometrically from kFirstChunkBytes up to kMaxChunkBytes
   // (also the oversize threshold: anything larger gets a dedicated chunk).
   static constexpr std::size_t kFirstChunkBytes = 512;
   static constexpr std::size_t kMaxChunkBytes = 64 * 1024;
+  /// Estimated allocator overhead per malloc'd chunk (glibc header +
+  /// 16-byte rounding), counted so bytes_reserved() stays honest.
+  static constexpr std::size_t kChunkHeaderBytes = 16;
 
-  // Bump storage: payloads are appended to the tail chunk; payloads larger
-  // than a chunk get a dedicated one. Chunks are never freed or moved.
-  std::vector<std::unique_ptr<std::byte[]>> chunks_;
-  std::size_t tail_used_ = 0;
-  std::size_t tail_cap_ = 0;  // no tail chunk yet
-  std::size_t next_chunk_bytes_ = kFirstChunkBytes;
-
-  // Open-addressing intern table over entries_: buckets_ holds entry
-  // index + 1 (0 = empty). No per-insert node allocations.
-  std::vector<Entry> entries_;
-  std::vector<std::uint32_t> buckets_;
-
+  // Bump storage: payloads are appended to the tail chunk (chunks_.back());
+  // payloads larger than a chunk get a dedicated one inserted before the
+  // tail. Chunks never move or shrink while the arena lives.
+  std::vector<ChunkRec> chunks_;
+  std::vector<Slot> slots_;
+  SlabArena* source_ = nullptr;
+  std::uint32_t tail_used_ = 0;
+  std::uint32_t tail_cap_ = 0;  // no tail chunk yet
+  std::uint32_t next_chunk_bytes_ = kFirstChunkBytes;
+  std::uint32_t used_ = 0;   // occupied slots_
+  std::uint32_t hits_ = 0;   // no link approaches 2^32 interns
   std::uint64_t bytes_stored_ = 0;
-  std::uint64_t bytes_reserved_ = 0;
-  std::uint64_t hits_ = 0;
 };
 
 }  // namespace s2d

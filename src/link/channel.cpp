@@ -4,12 +4,15 @@ namespace s2d {
 
 PacketId Channel::send(std::span<const std::byte> payload,
                        std::uint64_t step) {
-  const PacketId id = static_cast<PacketId>(payloads_.size());
+  const PacketId id = static_cast<PacketId>(records_.size());
   bytes_sent_ += payload.size();
-  meta_.push_back(PacketMeta{id, payload.size(), step});
-  const std::uint64_t hits_before = arena_.hits();
-  payloads_.push_back(arena_.intern(payload));
-  delivered_count_.push_back(0);
+  const std::uint64_t hits_before = arena_->hits();
+  const std::span<const std::byte> stored = arena_->intern(payload);
+  const bool interned = arena_->hits() != hits_before;
+  if (interned) ++interned_;
+  records_.push_back(PacketRec{stored.data(),
+                               static_cast<std::uint32_t>(stored.size()), 0,
+                               step});
   if (bus_ != nullptr) {
     Event ev;
     ev.kind = EventKind::kChannelSend;
@@ -17,7 +20,7 @@ PacketId Channel::send(std::span<const std::byte> payload,
     ev.pkt = id;
     ev.value = payload.size();
     bus_->emit(ev);
-    if (arena_.hits() != hits_before) {
+    if (interned) {
       ev.kind = EventKind::kChannelIntern;
       bus_->emit(ev);
     }
@@ -28,8 +31,8 @@ PacketId Channel::send(std::span<const std::byte> payload,
 void Channel::note_delivery(PacketId id) {
   ++deliveries_;
   std::uint32_t prior = 0;
-  if (id < delivered_count_.size()) {
-    prior = delivered_count_[static_cast<std::size_t>(id)]++;
+  if (id < records_.size()) {
+    prior = records_[static_cast<std::size_t>(id)].delivered++;
   }
   const bool out_of_order = any_delivered_ && id < max_delivered_;
   if (bus_ != nullptr) {
@@ -51,18 +54,10 @@ void Channel::note_delivery(PacketId id) {
       bus_->emit(ev);
     }
   }
-  if (!any_delivered_ || id > max_delivered_) max_delivered_ = id;
+  if (!any_delivered_ || id > max_delivered_) {
+    max_delivered_ = static_cast<std::uint32_t>(id);
+  }
   any_delivered_ = true;
-}
-
-std::optional<std::span<const std::byte>> Channel::payload(
-    PacketId id) const noexcept {
-  if (id >= payloads_.size()) return std::nullopt;
-  return payloads_[static_cast<std::size_t>(id)];
-}
-
-std::size_t Channel::length(PacketId id) const noexcept {
-  return id < meta_.size() ? meta_[static_cast<std::size_t>(id)].length : 0;
 }
 
 }  // namespace s2d

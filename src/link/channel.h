@@ -7,12 +7,18 @@
 // the *adversary's* choices (§2.4), not channel behaviour. Causality (every
 // packet received was previously sent) holds by construction because
 // delivery is lookup by id.
+//
+// Storage is one record per packet (payload span + delivery count +
+// send step) in a single vector; the payload bytes live in a PayloadArena
+// the owning link provides, shared by both of its channels. At fleet
+// scale a Channel is 72 bytes plus one 24-byte record per packet — the
+// identifier doubles as the record index, so PacketMeta rows are
+// materialised on demand by the PacketLog view instead of being stored.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <string>
 #include <vector>
 
 #include "link/actions.h"
@@ -30,18 +36,90 @@ struct PacketMeta {
   std::uint64_t sent_step = 0;
 };
 
+/// One retained packet. The PacketId is the index into the channel's
+/// record vector, so it is not stored again.
+struct PacketRec {
+  const std::byte* data = nullptr;
+  std::uint32_t len = 0;
+  std::uint32_t delivered = 0;
+  std::uint64_t sent_step = 0;
+};
+
+/// Read-only view of a channel's send history presenting PacketMeta rows
+/// (materialised on the fly from the packed records). Cheap to copy;
+/// invalidated by the next send on the underlying channel.
+class PacketLog {
+ public:
+  class iterator {
+   public:
+    using value_type = PacketMeta;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    PacketMeta operator*() const noexcept {
+      return PacketMeta{static_cast<PacketId>(i_), base_[i_].len,
+                        base_[i_].sent_step};
+    }
+    iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator out = *this;
+      ++i_;
+      return out;
+    }
+    bool operator==(const iterator&) const noexcept = default;
+
+   private:
+    friend class PacketLog;
+    iterator(const PacketRec* base, std::size_t i) noexcept
+        : base_(base), i_(i) {}
+    const PacketRec* base_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] PacketMeta operator[](std::size_t i) const noexcept {
+    return PacketMeta{static_cast<PacketId>(i), base_[i].len,
+                      base_[i].sent_step};
+  }
+  [[nodiscard]] PacketMeta front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] PacketMeta back() const noexcept {
+    return (*this)[size_ - 1];
+  }
+  [[nodiscard]] iterator begin() const noexcept { return {base_, 0}; }
+  [[nodiscard]] iterator end() const noexcept { return {base_, size_}; }
+
+ private:
+  friend class Channel;
+  PacketLog(const PacketRec* base, std::size_t size) noexcept
+      : base_(base), size_(size) {}
+  const PacketRec* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class Channel {
  public:
   /// `dir` tags this channel's events on the bus; a null bus disables
-  /// instrumentation entirely (standalone channel tests).
-  explicit Channel(std::string name, Dir dir = Dir::kTR,
-                   EventBus* bus = nullptr)
-      : name_(std::move(name)), dir_(dir), bus_(bus) {}
+  /// instrumentation entirely (standalone channel tests). The arena —
+  /// typically shared with the link's other channel — owns all payload
+  /// bytes this channel retains and must outlive it.
+  explicit Channel(Dir dir, EventBus* bus, PayloadArena* arena) noexcept
+      : dir_(dir), bus_(bus), arena_(arena) {}
+
+  /// Re-points instrumentation and payload storage; the owning DataLink
+  /// calls this after a move (its inline arena changed address).
+  void rebind(EventBus* bus, PayloadArena* arena) noexcept {
+    bus_ = bus;
+    arena_ = arena;
+  }
 
   /// Places `payload` on the channel; returns the fresh identifier
   /// (the new_pkt notification's id). The packet is retained forever —
   /// the adversary may deliver it any number of times, arbitrarily later.
-  /// The bytes are copied into the channel's arena (retransmissions of an
+  /// The bytes are copied into the payload arena (retransmissions of an
   /// identical payload share storage), so the caller's buffer may be
   /// reused immediately after the call.
   PacketId send(std::span<const std::byte> payload, std::uint64_t step);
@@ -53,21 +131,29 @@ class Channel {
   /// the same unknown id is 0 — the pair never disagrees about whether a
   /// packet exists.
   [[nodiscard]] std::optional<std::span<const std::byte>> payload(
-      PacketId id) const noexcept;
+      PacketId id) const noexcept {
+    if (id >= records_.size()) return std::nullopt;
+    const PacketRec& r = records_[static_cast<std::size_t>(id)];
+    return std::span<const std::byte>{r.data, r.len};
+  }
 
   /// Length of a previously sent packet; 0 for an unknown id (see
   /// payload() for the unknown-id contract). A zero-length packet is
   /// indistinguishable from an unknown id here — callers that need the
   /// distinction must use payload().
-  [[nodiscard]] std::size_t length(PacketId id) const noexcept;
+  [[nodiscard]] std::size_t length(PacketId id) const noexcept {
+    return id < records_.size() ? records_[static_cast<std::size_t>(id)].len
+                                : 0;
+  }
 
   /// Adversary-visible history of all send_pkt actions on this channel.
-  [[nodiscard]] const std::vector<PacketMeta>& history() const noexcept {
-    return meta_;
+  /// The view is invalidated by the next send.
+  [[nodiscard]] PacketLog history() const noexcept {
+    return {records_.data(), records_.size()};
   }
 
   [[nodiscard]] std::uint64_t packets_sent() const noexcept {
-    return static_cast<std::uint64_t>(meta_.size());
+    return static_cast<std::uint64_t>(records_.size());
   }
   [[nodiscard]] std::uint64_t deliveries() const noexcept {
     return deliveries_;
@@ -83,38 +169,39 @@ class Channel {
     return bytes_sent_;
   }
 
-  /// Bytes physically retained for payload storage. With payload interning
-  /// duplicate payloads are stored once, so this can be far below
-  /// bytes_sent() under retransmission-heavy schedules.
+  /// Bytes physically retained for payload storage — the whole (shared)
+  /// arena's, since distinct payloads are pooled across the link. With
+  /// payload interning duplicate payloads are stored once, so this can be
+  /// far below bytes_sent() under retransmission-heavy schedules.
   [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
-    return arena_.bytes_stored();
+    return arena_->bytes_stored();
   }
 
   /// Bytes the payload arena reserved from the allocator (chunk storage
-  /// including tail slack) — this channel's physical footprint
-  /// contribution to the fleet's bytes-per-session accounting.
+  /// including tail slack) — the link's physical payload footprint in the
+  /// fleet's bytes-per-session accounting.
   [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
-    return arena_.bytes_reserved();
+    return arena_->bytes_reserved();
   }
 
-  /// Sends whose payload was already present in the arena (retransmissions
-  /// stored for free).
+  /// Sends on *this channel* whose payload was already present in the
+  /// arena (retransmissions stored for free). Tracked per channel even
+  /// though the arena is shared, so it stays comparable with the
+  /// event-derived per-direction counter.
   [[nodiscard]] std::uint64_t interned_sends() const noexcept {
-    return arena_.hits();
+    return interned_;
   }
-
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
-  std::string name_;
   Dir dir_ = Dir::kTR;
-  EventBus* bus_ = nullptr;
-  PayloadArena arena_;  // owns all payload bytes; spans below point into it
-  std::vector<std::span<const std::byte>> payloads_;  // indexed by PacketId
-  std::vector<PacketMeta> meta_;
-  std::vector<std::uint32_t> delivered_count_;  // indexed by PacketId
   bool any_delivered_ = false;
-  PacketId max_delivered_ = 0;
+  EventBus* bus_ = nullptr;
+  PayloadArena* arena_ = nullptr;  // owns payload bytes; records point in
+  std::vector<PacketRec> records_;  // indexed by PacketId
+  // Ids index records_, whose u32 len field already caps a channel at
+  // 2^32 packets; 32-bit bookkeeping matches that bound.
+  std::uint32_t max_delivered_ = 0;
+  std::uint32_t interned_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };

@@ -4,13 +4,63 @@
 
 namespace s2d {
 
+namespace {
+// Finalizer of splitmix64: ids arrive sequential per session, the mix
+// spreads them across the table.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+TraceChecker::MsgState* TraceChecker::find(std::uint64_t msg_id) noexcept {
+  if (msgs_.empty()) return nullptr;
+  const std::uint64_t key = msg_id + 1;
+  const std::size_t mask = msgs_.size() - 1;
+  for (std::size_t at = static_cast<std::size_t>(mix(key)) & mask;;
+       at = (at + 1) & mask) {
+    if (msgs_[at].key == key) return &msgs_[at];
+    if (msgs_[at].key == 0) return nullptr;
+  }
+}
+
+void TraceChecker::grow() {
+  std::vector<MsgState> old = std::move(msgs_);
+  msgs_.assign(old.empty() ? 16 : old.size() * 2, MsgState{});
+  const std::size_t mask = msgs_.size() - 1;
+  for (const MsgState& st : old) {
+    if (st.key == 0) continue;
+    std::size_t at = static_cast<std::size_t>(mix(st.key)) & mask;
+    while (msgs_[at].key != 0) at = (at + 1) & mask;
+    msgs_[at] = st;
+  }
+}
+
+TraceChecker::MsgState& TraceChecker::upsert(std::uint64_t msg_id) {
+  // Grow at 7/8 load (or on first use) so probe chains stay short.
+  if ((msg_count_ + 1) * 8 > msgs_.size() * 7) grow();
+  const std::uint64_t key = msg_id + 1;
+  const std::size_t mask = msgs_.size() - 1;
+  std::size_t at = static_cast<std::size_t>(mix(key)) & mask;
+  while (msgs_[at].key != 0 && msgs_[at].key != key) at = (at + 1) & mask;
+  if (msgs_[at].key == 0) {
+    msgs_[at].key = key;
+    ++msg_count_;
+  }
+  return msgs_[at];
+}
+
 void TraceChecker::flag(ViolationKind kind, std::uint64_t msg) {
   switch (kind) {
-    case ViolationKind::kCausality: ++counts_.causality; break;
-    case ViolationKind::kOrder: ++counts_.order; break;
-    case ViolationKind::kDuplication: ++counts_.duplication; break;
-    case ViolationKind::kReplay: ++counts_.replay; break;
-    case ViolationKind::kAxiom: ++counts_.axiom; break;
+    case ViolationKind::kCausality: ++causality_; break;
+    case ViolationKind::kOrder: ++order_; break;
+    case ViolationKind::kDuplication: ++duplication_; break;
+    case ViolationKind::kReplay: ++replay_; break;
+    case ViolationKind::kAxiom: ++axiom_; break;
   }
   if (bus_ != nullptr) {
     Event ev;
@@ -32,7 +82,7 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       tm_busy_ = true;
       have_inflight_ = true;
       inflight_msg_ = ev.msg_id;
-      MsgState& st = msgs_[ev.msg_id];
+      MsgState& st = upsert(ev.msg_id);
       // Axiom 2: at most one send_msg(m) per message.
       if (st.sent) flag(ViolationKind::kAxiom, ev.msg_id);
       st.sent = true;
@@ -48,7 +98,7 @@ void TraceChecker::on_event(const TraceEvent& ev) {
         flag(ViolationKind::kOrder, 0);
         break;
       }
-      MsgState& st = msgs_[inflight_msg_];
+      MsgState& st = upsert(inflight_msg_);
       // Order condition (Theorem 3): the OK-extension of an execution
       // ending in send_msg(m) must contain receive_msg(m).
       if (!(st.delivered && st.delivered_seq > st.sent_seq)) {
@@ -63,12 +113,12 @@ void TraceChecker::on_event(const TraceEvent& ev) {
 
     case ActionKind::kReceiveMsg: {
       ++deliveries_;
-      auto it = msgs_.find(ev.msg_id);
-      if (it == msgs_.end() || !it->second.sent) {
+      MsgState* found = find(ev.msg_id);
+      if (found == nullptr || !found->sent) {
         // Causality: delivered a message that was never sent.
         flag(ViolationKind::kCausality, ev.msg_id);
         // Record it so later duplicates are still tracked.
-        MsgState& st = msgs_[ev.msg_id];
+        MsgState& st = upsert(ev.msg_id);
         st.delivered = true;
         st.delivered_seq = seq_;
         st.crash_r_epoch_at_delivery = crash_r_epoch_;
@@ -76,7 +126,7 @@ void TraceChecker::on_event(const TraceEvent& ev) {
         boundary_seq_ = seq_;
         break;
       }
-      MsgState& st = it->second;
+      MsgState& st = *found;
 
       // No-duplication (Theorem 8): a second delivery without an
       // intervening crash^R.
@@ -103,7 +153,7 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       // no OK, and per §2.6 the message counts as completed for the
       // purpose of the no-replay condition's M_alpha set.
       if (have_inflight_) {
-        MsgState& st = msgs_[inflight_msg_];
+        MsgState& st = upsert(inflight_msg_);
         st.completed = true;
         st.completed_seq = seq_;
       }

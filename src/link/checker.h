@@ -30,7 +30,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "link/actions.h"
 #include "obs/counters.h"
@@ -55,12 +55,16 @@ class TraceChecker {
     for (const auto& ev : trace.events()) on_event(ev);
   }
 
-  [[nodiscard]] const ViolationCounts& violations() const noexcept {
-    return counts_;
+  /// Materialises the (u64) report struct from the compact internal
+  /// counters. Returned by value; `const ViolationCounts&` bindings at
+  /// call sites remain valid through lifetime extension.
+  [[nodiscard]] ViolationCounts violations() const noexcept {
+    return ViolationCounts{causality_, order_, duplication_, replay_,
+                           axiom_};
   }
 
   [[nodiscard]] bool clean() const noexcept {
-    return counts_.safety_total() == 0 && counts_.axiom == 0;
+    return causality_ + order_ + duplication_ + replay_ + axiom_ == 0;
   }
 
   // Progress statistics (inputs to the liveness experiments).
@@ -71,22 +75,35 @@ class TraceChecker {
   [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
 
  private:
+  /// Per-message state in a flat open-addressed table (linear probing,
+  /// power-of-two capacity). `key` is msg_id + 1 so the zero-filled slot
+  /// means "empty"; message ids use the full u64 range minus its top
+  /// value, which no harness approaches. One contiguous buffer replaces
+  /// an unordered_map node allocation per message — at fleet scale those
+  /// nodes were a per-session heap item and a per-message malloc.
   struct MsgState {
+    std::uint64_t key = 0;             // msg_id + 1; 0 = empty slot
     std::uint64_t sent_seq = 0;        // trace index of send_msg
-    bool sent = false;
-    bool completed = false;            // followed by OK or crash^T
     std::uint64_t completed_seq = 0;   // trace index of that OK / crash^T
-    bool delivered = false;
     std::uint64_t delivered_seq = 0;   // trace index of latest receive_msg
     std::uint64_t crash_r_epoch_at_delivery = 0;
+    bool sent = false;
+    bool completed = false;            // followed by OK or crash^T
+    bool delivered = false;
   };
+
+  /// Existing slot for msg_id, or nullptr. Never inserts.
+  [[nodiscard]] MsgState* find(std::uint64_t msg_id) noexcept;
+  /// Slot for msg_id, inserted (zero state) if absent.
+  MsgState& upsert(std::uint64_t msg_id);
+  void grow();
 
   // Increments the named violation counter and mirrors it onto the bus.
   void flag(ViolationKind kind, std::uint64_t msg);
 
   EventBus* bus_ = nullptr;
-  ViolationCounts counts_;
-  std::unordered_map<std::uint64_t, MsgState> msgs_;
+  std::vector<MsgState> msgs_;  // empty until the first send_msg
+  std::size_t msg_count_ = 0;   // occupied slots in msgs_
 
   std::uint64_t seq_ = 0;  // index of the current event in the trace
   bool tm_busy_ = false;   // between send_msg and OK/crash^T (Axiom 1)
@@ -100,9 +117,16 @@ class TraceChecker {
 
   std::uint64_t crash_r_epoch_ = 0;  // number of crash^R events so far
 
-  std::uint64_t deliveries_ = 0;
-  std::uint64_t oks_ = 0;
-  std::uint64_t sends_ = 0;
+  // Violation tallies, widened to u64 only when reported through
+  // violations(); no execution approaches 2^32 of anything below.
+  std::uint32_t causality_ = 0;
+  std::uint32_t order_ = 0;
+  std::uint32_t duplication_ = 0;
+  std::uint32_t replay_ = 0;
+  std::uint32_t axiom_ = 0;
+  std::uint32_t deliveries_ = 0;
+  std::uint32_t oks_ = 0;
+  std::uint32_t sends_ = 0;
 };
 
 }  // namespace s2d

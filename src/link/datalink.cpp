@@ -4,19 +4,83 @@
 #include <cassert>
 #include <utility>
 
+#include "util/slab_arena.h"
+
 namespace s2d {
 
-DataLink::DataLink(std::unique_ptr<ITransmitter> tm,
-                   std::unique_ptr<IReceiver> rm,
-                   std::unique_ptr<Adversary> adv, DataLinkConfig cfg)
-    : obs_(std::make_unique<Obs>()), tm_(std::move(tm)), rm_(std::move(rm)),
-      adv_(std::move(adv)), cfg_(cfg),
-      tr_("T->R", Dir::kTR, &obs_->bus), rt_("R->T", Dir::kRT, &obs_->bus),
-      noise_rng_(cfg.noise_seed) {
-  assert(tm_ && rm_ && adv_);
+DataLink::DataLink(OwnedPtr<ITransmitter> tm, OwnedPtr<IReceiver> rm,
+                   OwnedPtr<Adversary> adv, DataLinkConfig cfg,
+                   const DataLinkShared* shared)
+    : DataLink(std::move(tm), std::move(rm), std::move(adv),
+               OwnedPtr<const DataLinkConfig>(
+                   std::make_unique<const DataLinkConfig>(cfg)),
+               shared) {}
+
+DataLink::DataLink(OwnedPtr<ITransmitter> tm, OwnedPtr<IReceiver> rm,
+                   OwnedPtr<Adversary> adv, const DataLinkConfig* cfg,
+                   const DataLinkShared* shared)
+    : DataLink(std::move(tm), std::move(rm), std::move(adv),
+               cfg != nullptr ? OwnedPtr<const DataLinkConfig>::borrow(cfg)
+                              : OwnedPtr<const DataLinkConfig>(
+                                    std::make_unique<const DataLinkConfig>()),
+               shared) {}
+
+DataLink::DataLink(OwnedPtr<ITransmitter> tm, OwnedPtr<IReceiver> rm,
+                   OwnedPtr<Adversary> adv,
+                   OwnedPtr<const DataLinkConfig> cfg,
+                   const DataLinkShared* shared)
+    : obs_(shared != nullptr && shared->obs != nullptr
+               ? OwnedPtr<LinkObs>::borrow(shared->obs)
+               : OwnedPtr<LinkObs>(std::make_unique<LinkObs>())),
+      tm_(std::move(tm)), rm_(std::move(rm)), adv_(std::move(adv)),
+      cfg_(std::move(cfg)),
+      tr_(Dir::kTR, &obs_->bus, &payload_arena_),
+      rt_(Dir::kRT, &obs_->bus, &payload_arena_),
+      scratch_(shared != nullptr && shared->scratch != nullptr
+                   ? OwnedPtr<LinkScratch>::borrow(shared->scratch)
+                   : OwnedPtr<LinkScratch>(std::make_unique<LinkScratch>())) {
+  assert(tm_ && rm_ && adv_ && cfg_);
+  payload_arena_.bind_source(shared != nullptr ? shared->chunk_source
+                                               : nullptr);
+  if (cfg_->keep_trace || cfg_->collect_deliveries || cfg_->allow_noise) {
+    cold_ = std::make_unique<LinkCold>();
+    cold_->noise_rng = Rng(cfg_->noise_seed);
+  }
   tm_->bind_bus(&obs_->bus);
   rm_->bind_bus(&obs_->bus);
   checker_.bind_bus(&obs_->bus);
+}
+
+DataLink::DataLink(DataLink&& other) noexcept
+    : obs_(std::move(other.obs_)), tm_(std::move(other.tm_)),
+      rm_(std::move(other.rm_)), adv_(std::move(other.adv_)),
+      cfg_(std::move(other.cfg_)),
+      payload_arena_(std::move(other.payload_arena_)),
+      tr_(std::move(other.tr_)), rt_(std::move(other.rt_)),
+      checker_(std::move(other.checker_)),
+      scratch_(std::move(other.scratch_)), cold_(std::move(other.cold_)),
+      inflight_msg_id_(other.inflight_msg_id_),
+      hot_steps_(other.hot_steps_), hot_aborted_(other.hot_aborted_),
+      hot_crashes_t_(other.hot_crashes_t_),
+      hot_crashes_r_(other.hot_crashes_r_),
+      awaiting_ok_(other.awaiting_ok_),
+      last_step_completed_ok_(other.last_step_completed_ok_),
+      last_step_crashed_t_(other.last_step_crashed_t_) {
+  // The channels point at the moved-from link's inline arena; everything
+  // else they reference (the obs block) lives behind a stable pointer.
+  tr_.rebind(&obs_->bus, &payload_arena_);
+  rt_.rebind(&obs_->bus, &payload_arena_);
+}
+
+const Trace& DataLink::trace() const noexcept {
+  static const Trace kEmpty;
+  return cold_ != nullptr ? cold_->trace : kEmpty;
+}
+
+std::vector<Message> DataLink::take_delivered() {
+  std::vector<Message> out;
+  if (cold_ != nullptr) out.swap(cold_->delivered_inbox);
+  return out;
 }
 
 Bytes DataLink::forge(std::size_t length) {
@@ -24,7 +88,7 @@ Bytes DataLink::forge(std::size_t length) {
   length = std::min<std::size_t>(length, std::size_t{1} << 16);
   Bytes out(length);
   for (auto& b : out) {
-    b = static_cast<std::byte>(noise_rng_.next_u64() & 0xff);
+    b = static_cast<std::byte>(cold_->noise_rng.next_u64() & 0xff);
   }
   return out;
 }
@@ -33,11 +97,11 @@ Bytes DataLink::mutate(std::span<const std::byte> original) {
   Bytes out(original.begin(), original.end());
   if (out.empty()) return out;
   const std::uint32_t flips = static_cast<std::uint32_t>(
-      noise_rng_.next_range(1, cfg_.noise_max_flips));
+      cold_->noise_rng.next_range(1, cfg_->noise_max_flips));
   for (std::uint32_t i = 0; i < flips; ++i) {
-    const auto byte_idx =
-        static_cast<std::size_t>(noise_rng_.next_below(out.size()));
-    const auto bit = static_cast<int>(noise_rng_.next_below(8));
+    const auto byte_idx = static_cast<std::size_t>(
+        cold_->noise_rng.next_below(out.size()));
+    const auto bit = static_cast<int>(cold_->noise_rng.next_below(8));
     out[byte_idx] ^= static_cast<std::byte>(1 << bit);
   }
   return out;
@@ -46,25 +110,25 @@ Bytes DataLink::mutate(std::span<const std::byte> original) {
 void DataLink::record(TraceEvent ev) {
   ev.step = obs_->bus.now;
   checker_.on_event(ev);
-  if (!cfg_.keep_trace) return;
+  if (!cfg_->keep_trace) return;
   switch (ev.kind) {
     case ActionKind::kSendPktTR:
     case ActionKind::kReceivePktTR:
     case ActionKind::kSendPktRT:
     case ActionKind::kReceivePktRT:
     case ActionKind::kRetry:
-      if (!cfg_.record_packet_events) return;
+      if (!cfg_->record_packet_events) return;
       break;
     default:
       break;
   }
-  trace_.append(ev);
+  cold_->trace.append(ev);
 }
 
 void DataLink::drain_tx(TxOutbox& out) {
   for (std::size_t i = 0; i < out.pkt_count(); ++i) {
     const auto pkt = out.pkt(i);
-    const PacketId id = tr_.send(pkt, stats().steps);
+    const PacketId id = tr_.send(pkt, hot_steps_);
     record({.kind = ActionKind::kSendPktTR, .pkt_id = id,
             .pkt_len = pkt.size()});
   }
@@ -81,11 +145,13 @@ void DataLink::drain_rx(RxOutbox& out) {
   for (auto& m : out.delivered()) {
     obs_->bus.emit({.kind = EventKind::kReceiveMsg, .msg = m.id});
     record({.kind = ActionKind::kReceiveMsg, .msg_id = m.id});
-    if (cfg_.collect_deliveries) delivered_inbox_.push_back(std::move(m));
+    if (cfg_->collect_deliveries) {
+      cold_->delivered_inbox.push_back(std::move(m));
+    }
   }
   for (std::size_t i = 0; i < out.pkt_count(); ++i) {
     const auto pkt = out.pkt(i);
-    const PacketId id = rt_.send(pkt, stats().steps);
+    const PacketId id = rt_.send(pkt, hot_steps_);
     record({.kind = ActionKind::kSendPktRT, .pkt_id = id,
             .pkt_len = pkt.size()});
   }
@@ -94,25 +160,28 @@ void DataLink::drain_rx(RxOutbox& out) {
 
 void DataLink::offer(const Message& m) {
   assert(tm_ready() && "Axiom 1: offer() requires the TM to be idle");
+  // Re-stamp the (possibly shared) bus clock with this link's step count:
+  // under a shard-shared bus another session stepped since we last did.
+  obs_->bus.now = hot_steps_;
   inflight_msg_id_ = m.id;
   obs_->bus.emit({.kind = EventKind::kSendMsg, .msg = m.id});
   record({.kind = ActionKind::kSendMsg, .msg_id = m.id});
   awaiting_ok_ = true;
-  tm_->on_send_msg(m, tx_out_);
-  drain_tx(tx_out_);
+  tm_->on_send_msg(m, scratch_->tx);
+  drain_tx(scratch_->tx);
 }
 
 void DataLink::fire_retry() {
   obs_->bus.emit({.kind = EventKind::kRetry});
   record({.kind = ActionKind::kRetry});
-  rm_->on_retry(rx_out_);
-  drain_rx(rx_out_);
+  rm_->on_retry(scratch_->rx);
+  drain_rx(scratch_->rx);
 }
 
 void DataLink::fire_tx_timer() {
   obs_->bus.emit({.kind = EventKind::kTxTimer});
-  tm_->on_timer(tx_out_);
-  drain_tx(tx_out_);
+  tm_->on_timer(scratch_->tx);
+  drain_tx(scratch_->tx);
 }
 
 void DataLink::apply(const Decision& d) {
@@ -132,9 +201,11 @@ void DataLink::apply(const Decision& d) {
       obs_->bus.emit({.kind = EventKind::kCrashT});
       if (awaiting_ok_) {
         obs_->bus.emit({.kind = EventKind::kAbort, .msg = inflight_msg_id_});
+        ++hot_aborted_;
       }
       record({.kind = ActionKind::kCrashT});
       tm_->on_crash();
+      ++hot_crashes_t_;
       awaiting_ok_ = false;
       last_step_crashed_t_ = true;
       break;
@@ -143,6 +214,7 @@ void DataLink::apply(const Decision& d) {
       obs_->bus.emit({.kind = EventKind::kCrashR});
       record({.kind = ActionKind::kCrashR});
       rm_->on_crash();
+      ++hot_crashes_r_;
       break;
 
     case Decision::Kind::kDeliverTR: {
@@ -157,8 +229,8 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktTR,
               .pkt_id = d.pkt,
               .pkt_len = payload->size()});
-      rm_->on_receive_pkt(*payload, rx_out_);
-      drain_rx(rx_out_);
+      rm_->on_receive_pkt(*payload, scratch_->rx);
+      drain_rx(scratch_->rx);
       break;
     }
 
@@ -173,13 +245,13 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktRT,
               .pkt_id = d.pkt,
               .pkt_len = payload->size()});
-      tm_->on_receive_pkt(*payload, tx_out_);
-      drain_tx(tx_out_);
+      tm_->on_receive_pkt(*payload, scratch_->tx);
+      drain_tx(scratch_->tx);
       break;
     }
 
     case Decision::Kind::kMutateTR: {
-      if (!cfg_.allow_noise) break;  // base model: causality axiom holds
+      if (!cfg_->allow_noise) break;  // base model: causality axiom holds
       const auto payload = tr_.payload(d.pkt);
       if (!payload) {
         obs_->bus.emit(
@@ -194,13 +266,13 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktTR,
               .pkt_id = d.pkt,
               .pkt_len = noisy.size()});
-      rm_->on_receive_pkt(noisy, rx_out_);
-      drain_rx(rx_out_);
+      rm_->on_receive_pkt(noisy, scratch_->rx);
+      drain_rx(scratch_->rx);
       break;
     }
 
     case Decision::Kind::kMutateRT: {
-      if (!cfg_.allow_noise) break;
+      if (!cfg_->allow_noise) break;
       const auto payload = rt_.payload(d.pkt);
       if (!payload) {
         obs_->bus.emit(
@@ -215,55 +287,59 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kReceivePktRT,
               .pkt_id = d.pkt,
               .pkt_len = noisy.size()});
-      tm_->on_receive_pkt(noisy, tx_out_);
-      drain_tx(tx_out_);
+      tm_->on_receive_pkt(noisy, scratch_->tx);
+      drain_tx(scratch_->tx);
       break;
     }
 
     case Decision::Kind::kForgeTR: {
-      if (!cfg_.allow_noise) break;
+      if (!cfg_->allow_noise) break;
       const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
       obs_->bus.emit(
           {.kind = EventKind::kChannelDeliver, .dir = Dir::kTR,
            .detail = static_cast<std::uint8_t>(DeliveryKind::kForged),
            .value = forged.size()});
       record({.kind = ActionKind::kReceivePktTR, .pkt_len = forged.size()});
-      rm_->on_receive_pkt(forged, rx_out_);
-      drain_rx(rx_out_);
+      rm_->on_receive_pkt(forged, scratch_->rx);
+      drain_rx(scratch_->rx);
       break;
     }
 
     case Decision::Kind::kForgeRT: {
-      if (!cfg_.allow_noise) break;
+      if (!cfg_->allow_noise) break;
       const Bytes forged = forge(static_cast<std::size_t>(d.pkt));
       obs_->bus.emit(
           {.kind = EventKind::kChannelDeliver, .dir = Dir::kRT,
            .detail = static_cast<std::uint8_t>(DeliveryKind::kForged),
            .value = forged.size()});
       record({.kind = ActionKind::kReceivePktRT, .pkt_len = forged.size()});
-      tm_->on_receive_pkt(forged, tx_out_);
-      drain_tx(tx_out_);
+      tm_->on_receive_pkt(forged, scratch_->tx);
+      drain_tx(scratch_->tx);
       break;
     }
   }
 }
 
 void DataLink::step() {
-  obs_->bus.now = stats().steps + 1;
+  // hot_steps_ tracks this link's executor steps; for a link that owns its
+  // counter sink it equals stats().steps at every point the old code read
+  // that field, so the event stream is unchanged.
+  ++hot_steps_;
+  obs_->bus.now = hot_steps_;
   obs_->bus.emit({.kind = EventKind::kStep});
   last_step_completed_ok_ = false;
   last_step_crashed_t_ = false;
 
-  const std::uint64_t steps = stats().steps;
-  if (cfg_.retry_every != 0 && steps % cfg_.retry_every == 0) {
+  const std::uint64_t steps = hot_steps_;
+  if (cfg_->retry_every != 0 && steps % cfg_->retry_every == 0) {
     fire_retry();
   }
-  if (cfg_.tx_timer_every != 0 && steps % cfg_.tx_timer_every == 0) {
+  if (cfg_->tx_timer_every != 0 && steps % cfg_->tx_timer_every == 0) {
     fire_tx_timer();
   }
 
-  const LinkStats& s = stats();
-  const AdversaryView view(tr_, rt_, s.steps, s.crashes_t, s.crashes_r);
+  const AdversaryView view(tr_, rt_, hot_steps_, hot_crashes_t_,
+                           hot_crashes_r_);
   apply(adv_->next(view));
 
   obs_->bus.emit({.kind = EventKind::kStateSample,

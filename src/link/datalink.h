@@ -15,13 +15,19 @@
 // online TraceChecker, so at any moment `violations()` reflects the §2.6
 // conditions over the execution so far.
 //
-// Instrumentation: the executor owns an EventBus (obs/bus.h) through which
-// every layer — the executor itself, both channels, both protocol modules
-// and the checker — emits typed events. LinkStats/ViolationCounts are
-// derived views maintained by the bus's CounterSink; trace sinks attach
-// via bus() to observe the full timeline. The bus lives behind a
-// unique_ptr so DataLink stays movable (factories return it by value)
-// while emitters hold stable pointers to it.
+// Instrumentation: every layer — the executor itself, both channels, both
+// protocol modules and the checker — emits typed events through an
+// EventBus (obs/bus.h). LinkStats/ViolationCounts are derived views
+// maintained by the bus's CounterSink; trace sinks attach via bus().
+//
+// Fleet-scale layout: a standalone DataLink owns its observability block,
+// outbox scratch and payload pool privately, exactly as before. Under the
+// slab fleet engine those pieces are *shared per shard* via DataLinkShared
+// — one bus+counter block, one outbox pair and one chunk recycler serve
+// every session of the shard (sessions are stepped one at a time, and the
+// engine reads per-session outcomes off the link's hot counters instead
+// of per-link sinks) — which is what pushes a session's resident
+// footprint below one kilobyte.
 #pragma once
 
 #include <algorithm>
@@ -36,20 +42,23 @@
 #include "link/module.h"
 #include "obs/bus.h"
 #include "obs/counters.h"
+#include "util/owned.h"
 #include "util/rng.h"
 
 namespace s2d {
+
+class SlabArena;
 
 struct DataLinkConfig {
   /// Fire the RM RETRY action every `retry_every` steps (0 = only when the
   /// adversary explicitly schedules it). The default 1 matches the model's
   /// assumption that RETRY occurs infinitely often.
-  std::uint64_t retry_every = 1;
+  std::uint32_t retry_every = 1;
 
   /// Fire the transmitter timer every `tx_timer_every` steps (0 = never).
   /// GHM does not need it; transmitter-driven baselines (ABP, stop-and-
   /// wait) do.
-  std::uint64_t tx_timer_every = 0;
+  std::uint32_t tx_timer_every = 0;
 
   /// Record per-packet actions in the trace. Safety checking only needs
   /// message-level events; packet events are useful for debugging but can
@@ -78,10 +87,42 @@ struct DataLinkConfig {
   std::uint64_t noise_seed = 0x6e6f697365ULL;  // "noise"
 };
 
+/// Counter storage + bus. A standalone DataLink heap-allocates its own
+/// (pointers into it then survive moves of the link); a fleet shard owns
+/// one and lends it to every session via DataLinkShared.
+struct LinkObs {
+  CounterSink counters;
+  EventBus bus{&counters};
+};
+
+/// Shard-shared infrastructure a session factory may thread into the
+/// links it builds. All pointers are borrowed and must outlive the link.
+struct DataLinkShared {
+  LinkObs* obs = nullptr;          // one bus+counters for the whole shard
+  LinkScratch* scratch = nullptr;  // one outbox pair (one session steps
+                                   // at a time; outboxes drain empty)
+  SlabArena* chunk_source = nullptr;  // payload chunk recycler
+};
+
 class DataLink {
  public:
-  DataLink(std::unique_ptr<ITransmitter> tm, std::unique_ptr<IReceiver> rm,
-           std::unique_ptr<Adversary> adv, DataLinkConfig cfg = {});
+  DataLink(OwnedPtr<ITransmitter> tm, OwnedPtr<IReceiver> rm,
+           OwnedPtr<Adversary> adv, DataLinkConfig cfg = {},
+           const DataLinkShared* shared = nullptr);
+
+  /// Borrows a config owned elsewhere (fleet use: one DataLinkConfig
+  /// serves every session a factory builds). `cfg` must outlive the link.
+  /// Null — including a braced `{}` argument, which overload resolution
+  /// lands here — means "default config" (an owned copy, like the value
+  /// overload).
+  DataLink(OwnedPtr<ITransmitter> tm, OwnedPtr<IReceiver> rm,
+           OwnedPtr<Adversary> adv, const DataLinkConfig* cfg,
+           const DataLinkShared* shared = nullptr);
+
+  DataLink(DataLink&& other) noexcept;
+  DataLink(const DataLink&) = delete;
+  DataLink& operator=(const DataLink&) = delete;
+  DataLink& operator=(DataLink&&) = delete;
 
   /// True iff the TM may accept a new message (Axiom 1).
   [[nodiscard]] bool tm_ready() const noexcept { return !awaiting_ok_; }
@@ -109,7 +150,21 @@ class DataLink {
     return last_step_crashed_t_;
   }
 
-  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  /// Executor steps taken by *this link* — equal to stats().steps for a
+  /// link that owns its counters, and the only per-session step count
+  /// when the counter sink is shard-shared.
+  [[nodiscard]] std::uint64_t steps_taken() const noexcept {
+    return hot_steps_;
+  }
+  /// Messages aborted by crash^T on *this link* (see steps_taken()).
+  [[nodiscard]] std::uint64_t aborted_count() const noexcept {
+    return hot_aborted_;
+  }
+  /// False when this link reports into a shard-shared observability block
+  /// (its counters then aggregate every session of the shard).
+  [[nodiscard]] bool owns_obs() const noexcept { return !obs_.borrowed(); }
+
+  [[nodiscard]] const Trace& trace() const noexcept;
   [[nodiscard]] const TraceChecker& checker() const noexcept {
     return checker_;
   }
@@ -119,7 +174,8 @@ class DataLink {
   /// they are destroyed.
   [[nodiscard]] EventBus& bus() noexcept { return obs_->bus; }
 
-  /// All event-derived counters of this execution.
+  /// All event-derived counters of this execution (shard-wide aggregates
+  /// when the observability block is shared; see owns_obs()).
   [[nodiscard]] const CounterSink& counters() const noexcept {
     return obs_->counters;
   }
@@ -134,7 +190,7 @@ class DataLink {
   [[nodiscard]] const Channel& rt_channel() const noexcept { return rt_; }
   [[nodiscard]] const ITransmitter& tm() const noexcept { return *tm_; }
   [[nodiscard]] const IReceiver& rm() const noexcept { return *rm_; }
-  [[nodiscard]] std::uint64_t now() const noexcept { return stats().steps; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return hot_steps_; }
 
   /// Number of mutated (non-causal) deliveries performed so far; nonzero
   /// only when DataLinkConfig::allow_noise is set.
@@ -143,13 +199,18 @@ class DataLink {
   }
 
   /// Drains the receiver-side inbox (requires collect_deliveries).
-  [[nodiscard]] std::vector<Message> take_delivered() {
-    std::vector<Message> out;
-    out.swap(delivered_inbox_);
-    return out;
-  }
+  [[nodiscard]] std::vector<Message> take_delivered();
 
  private:
+  /// Rarely-touched state, materialised only when the config asks for it
+  /// (keep_trace / collect_deliveries / allow_noise). Fleet sessions run
+  /// with all three off, so they never pay for any of it.
+  struct LinkCold {
+    Trace trace;
+    std::vector<Message> delivered_inbox;
+    Rng noise_rng{0};
+  };
+
   void record(TraceEvent ev);
   void drain_tx(TxOutbox& out);
   void drain_rx(RxOutbox& out);
@@ -162,35 +223,43 @@ class DataLink {
   /// Returns `length` uniformly random bytes (the §5 forged packet).
   [[nodiscard]] Bytes forge(std::size_t length);
 
-  /// Counter storage + bus, heap-held so channel/module/checker pointers
-  /// into it survive moves of the DataLink itself. Declared first: the
-  /// channels below capture &obs_->bus during construction.
-  struct Obs {
-    CounterSink counters;
-    EventBus bus{&counters};
-  };
-  std::unique_ptr<Obs> obs_;
+  // Declared first: the channels below capture &obs_->bus during
+  // construction. Owned (heap) for standalone links, borrowed when a
+  // shard shares one block across its sessions.
+  OwnedPtr<LinkObs> obs_;
 
-  std::unique_ptr<ITransmitter> tm_;
-  std::unique_ptr<IReceiver> rm_;
-  std::unique_ptr<Adversary> adv_;
-  DataLinkConfig cfg_;
+  /// Primary constructor both public overloads delegate to.
+  DataLink(OwnedPtr<ITransmitter> tm, OwnedPtr<IReceiver> rm,
+           OwnedPtr<Adversary> adv, OwnedPtr<const DataLinkConfig> cfg,
+           const DataLinkShared* shared);
 
+  OwnedPtr<ITransmitter> tm_;
+  OwnedPtr<IReceiver> rm_;
+  OwnedPtr<Adversary> adv_;
+  // Owned (heap copy) for standalone links, borrowed when a fleet factory
+  // shares one config across every session it builds.
+  OwnedPtr<const DataLinkConfig> cfg_;
+
+  // One payload pool for both channels (content-keyed interning; data and
+  // ack frames never collide byte-for-byte).
+  PayloadArena payload_arena_;
   Channel tr_;
   Channel rt_;
 
-  Trace trace_;
   TraceChecker checker_;
-  Rng noise_rng_{0};
-  std::vector<Message> delivered_inbox_;
+  OwnedPtr<LinkScratch> scratch_;  // outboxes; shared per shard at fleet scale
+  std::unique_ptr<LinkCold> cold_;  // null unless the config needs it
+
   std::uint64_t inflight_msg_id_ = 0;
 
-  // Scratch outboxes, reused across every module invocation (the drain
-  // clears them after applying outputs). Members rather than locals so the
-  // packet Writers and delivery slots keep their buffers between steps —
-  // the core of the zero-allocation hot path.
-  TxOutbox tx_out_;
-  RxOutbox rx_out_;
+  // Per-link hot counters, maintained alongside the (possibly shared)
+  // event-derived sink: the executor's own cadence/view logic and the
+  // fleet engine's per-session outcome reads must not depend on whose
+  // counters the sink is accumulating.
+  std::uint64_t hot_steps_ = 0;
+  std::uint32_t hot_aborted_ = 0;
+  std::uint32_t hot_crashes_t_ = 0;
+  std::uint32_t hot_crashes_r_ = 0;
 
   bool awaiting_ok_ = false;
   bool last_step_completed_ok_ = false;

@@ -121,6 +121,16 @@ class RxOutbox : public PktSlots {
   std::size_t dused_ = 0;
 };
 
+/// The pair of outboxes a DataLink drains. Each executor step invokes at
+/// most one module at a time and fully drains (then clears) its outbox
+/// before the next invocation, so a single LinkScratch can be shared by
+/// every session of a fleet shard: only the session currently being
+/// stepped has anything in flight. Standalone links own a private one.
+struct LinkScratch {
+  TxOutbox tx;
+  RxOutbox rx;
+};
+
 class ITransmitter {
  public:
   virtual ~ITransmitter() = default;

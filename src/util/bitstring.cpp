@@ -5,22 +5,51 @@
 #include <cstring>
 
 #include "util/rng.h"
+#include "util/slab_arena.h"
 
 namespace s2d {
 
+namespace {
+// Per-thread spill destination; null means spill to operator new (the
+// default everywhere outside a BitString::SpillScope).
+thread_local SlabArena* g_spill_arena = nullptr;
+}  // namespace
+
+BitString::SpillScope::SpillScope(SlabArena* arena) noexcept
+    : prev_(g_spill_arena) {
+  g_spill_arena = arena;
+}
+
+BitString::SpillScope::~SpillScope() { g_spill_arena = prev_; }
+
 void BitString::release() noexcept {
-  if (on_heap()) delete[] heap_;
+  // Arena-owned spill buffers are reclaimed wholesale by the arena;
+  // deleting them here would be UB (and defeat the point).
+  if (on_heap() && !arena_owned()) delete[] heap_;
 }
 
 void BitString::reserve_words(std::size_t nwords) {
-  if (nwords <= cap_) return;
-  std::size_t new_cap = cap_ * 2;
+  if (nwords <= capacity_words()) return;
+  std::size_t new_cap = capacity_words() * 2;
   if (new_cap < nwords) new_cap = nwords;
-  auto* buf = new std::uint64_t[new_cap]();  // zero-filled (class invariant)
-  std::memcpy(buf, data(), word_count() * sizeof(std::uint64_t));
+  std::uint64_t* buf;
+  bool from_arena = false;
+  if (SlabArena* arena = g_spill_arena; arena != nullptr) {
+    buf = static_cast<std::uint64_t*>(arena->allocate(
+        new_cap * sizeof(std::uint64_t), alignof(std::uint64_t)));
+    // Arena memory is not zeroed: restore the class invariant (words past
+    // word_count() are zero) by hand after copying the payload.
+    const std::size_t used = word_count();
+    std::memcpy(buf, data(), used * sizeof(std::uint64_t));
+    std::memset(buf + used, 0, (new_cap - used) * sizeof(std::uint64_t));
+    from_arena = true;
+  } else {
+    buf = new std::uint64_t[new_cap]();  // zero-filled (class invariant)
+    std::memcpy(buf, data(), word_count() * sizeof(std::uint64_t));
+  }
   release();
   heap_ = buf;
-  cap_ = new_cap;
+  cap_ = new_cap | (from_arena ? kArenaTag : std::size_t{0});
 }
 
 void BitString::assign_words(const std::uint64_t* words, std::size_t nwords,

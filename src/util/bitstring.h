@@ -33,11 +33,32 @@
 namespace s2d {
 
 class Rng;
+class SlabArena;
 
 class BitString {
  public:
   /// The empty bit string.
   BitString() noexcept : inline_{0, 0} {}
+
+  /// Redirects this thread's BitString spill storage into a SlabArena for
+  /// the scope's lifetime: any string outgrowing the two inline words
+  /// draws its buffer from the arena instead of operator new. The fleet
+  /// slab engine binds a shard's arena around session construction and
+  /// stepping so even oversize rho/tau never malloc; strings spilled under
+  /// a scope must not outlive the bound arena (fleet sessions never do —
+  /// they die at finalize, the arena at shard teardown). Scopes nest:
+  /// destruction restores the previous binding. Without a scope (every
+  /// standalone/legacy/wire path) behaviour is exactly the old heap spill.
+  class SpillScope {
+   public:
+    explicit SpillScope(SlabArena* arena) noexcept;
+    ~SpillScope();
+    SpillScope(const SpillScope&) = delete;
+    SpillScope& operator=(const SpillScope&) = delete;
+
+   private:
+    SlabArena* prev_;
+  };
 
   BitString(const BitString& other);
   BitString(BitString&& other) noexcept;
@@ -137,11 +158,23 @@ class BitString {
  private:
   static constexpr std::size_t kWordBits = 64;
   static constexpr std::size_t kInlineWords = 2;  // 128 bits before heap
+  /// Top bit of cap_: the spilled buffer came from a bound SlabArena, so
+  /// release() must not delete it (the arena reclaims it wholesale).
+  static constexpr std::size_t kArenaTag = std::size_t{1}
+                                           << (sizeof(std::size_t) * 8 - 1);
 
   [[nodiscard]] std::size_t word_count() const noexcept {
     return (nbits_ + kWordBits - 1) / kWordBits;
   }
-  [[nodiscard]] bool on_heap() const noexcept { return cap_ > kInlineWords; }
+  [[nodiscard]] std::size_t capacity_words() const noexcept {
+    return cap_ & ~kArenaTag;
+  }
+  [[nodiscard]] bool arena_owned() const noexcept {
+    return (cap_ & kArenaTag) != 0;
+  }
+  [[nodiscard]] bool on_heap() const noexcept {
+    return capacity_words() > kInlineWords;
+  }
   [[nodiscard]] std::uint64_t* data() noexcept {
     return on_heap() ? heap_ : inline_;
   }
@@ -169,8 +202,9 @@ class BitString {
     std::uint64_t inline_[kInlineWords];
     std::uint64_t* heap_;
   };
-  std::size_t cap_ = kInlineWords;  // capacity in words; > kInlineWords
-                                    // means heap_ is active
+  std::size_t cap_ = kInlineWords;  // capacity in words (low bits); capacity
+                                    // > kInlineWords means heap_ is active;
+                                    // kArenaTag marks arena-owned spill
   std::size_t nbits_ = 0;
 };
 

@@ -1,0 +1,123 @@
+// OwnedPtr: a single-word smart pointer whose low bits record how the
+// pointee's lifetime ends.
+//
+// The slab fleet engine places modules, observability state and scratch
+// buffers either on the heap (standalone executors), inside a shard's
+// SlabArena (pooled sessions: destroy in place, the arena reclaims the
+// bytes wholesale), or nowhere at all (state shared by every session of a
+// shard, owned by the shard itself). A unique_ptr can express only the
+// first; OwnedPtr expresses all three in the same 8 bytes:
+//
+//   * heap     — operator delete via the pointee's (virtual) destructor;
+//   * pooled   — destructor runs, storage stays with the arena;
+//   * borrowed — neither: some longer-lived owner is responsible.
+//
+// The tag lives in the two low pointer bits, so every pointee type must be
+// at least 4-byte aligned (statically asserted at tagging time). Implicit
+// conversion from std::unique_ptr keeps existing make_unique call sites
+// compiling unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace s2d {
+
+template <typename T>
+class OwnedPtr {
+ public:
+  OwnedPtr() noexcept = default;
+  OwnedPtr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Adopts a heap object (deleted on reset). Implicit so factories that
+  /// return std::unique_ptr keep working against OwnedPtr parameters.
+  template <typename U>
+    requires std::is_convertible_v<U*, T*>
+  OwnedPtr(std::unique_ptr<U> p) noexcept  // NOLINT(google-explicit-constructor)
+      : bits_(tag(static_cast<T*>(p.release()), kHeap)) {}
+
+  /// Adopts an arena-placed object: reset() runs the destructor but never
+  /// frees the storage (the arena reclaims it wholesale).
+  static OwnedPtr adopt_pooled(T* p) noexcept {
+    OwnedPtr out;
+    out.bits_ = tag(p, kPooled);
+    return out;
+  }
+
+  /// References an object owned elsewhere: reset() does nothing.
+  static OwnedPtr borrow(T* p) noexcept {
+    OwnedPtr out;
+    out.bits_ = tag(p, kBorrowed);
+    return out;
+  }
+
+  OwnedPtr(OwnedPtr&& other) noexcept
+      : bits_(std::exchange(other.bits_, 0)) {}
+
+  template <typename U>
+    requires(std::is_convertible_v<U*, T*> && !std::is_same_v<U, T>)
+  OwnedPtr(OwnedPtr<U>&& other) noexcept {  // NOLINT(google-explicit-constructor)
+    const std::uintptr_t t = other.bits_ & kTagMask;
+    T* p = static_cast<T*>(other.get());
+    other.bits_ = 0;
+    bits_ = tag(p, t);
+  }
+
+  OwnedPtr& operator=(OwnedPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      bits_ = std::exchange(other.bits_, 0);
+    }
+    return *this;
+  }
+
+  OwnedPtr(const OwnedPtr&) = delete;
+  OwnedPtr& operator=(const OwnedPtr&) = delete;
+
+  ~OwnedPtr() { reset(); }
+
+  [[nodiscard]] T* get() const noexcept {
+    return reinterpret_cast<T*>(bits_ & ~kTagMask);
+  }
+  /// True iff the pointee is owned elsewhere (constructed via borrow()).
+  [[nodiscard]] bool borrowed() const noexcept {
+    return get() != nullptr && (bits_ & kTagMask) == kBorrowed;
+  }
+  [[nodiscard]] T& operator*() const noexcept { return *get(); }
+  [[nodiscard]] T* operator->() const noexcept { return get(); }
+  explicit operator bool() const noexcept { return get() != nullptr; }
+
+  void reset() noexcept {
+    T* p = get();
+    const std::uintptr_t t = bits_ & kTagMask;
+    bits_ = 0;
+    if (p == nullptr) return;
+    if (t == kHeap) {
+      delete p;
+    } else if (t == kPooled) {
+      std::destroy_at(const_cast<std::remove_const_t<T>*>(p));
+    }
+  }
+
+ private:
+  template <typename U>
+  friend class OwnedPtr;
+
+  static constexpr std::uintptr_t kTagMask = 3;
+  static constexpr std::uintptr_t kBorrowed = 0;
+  static constexpr std::uintptr_t kHeap = 1;
+  static constexpr std::uintptr_t kPooled = 2;
+
+  static std::uintptr_t tag(T* p, std::uintptr_t t) noexcept {
+    static_assert(alignof(T) >= 4,
+                  "OwnedPtr needs the two low pointer bits for its tag");
+    if (p == nullptr) return 0;
+    return reinterpret_cast<std::uintptr_t>(p) | t;
+  }
+
+  std::uintptr_t bits_ = 0;
+};
+
+}  // namespace s2d

@@ -1,0 +1,76 @@
+#include "util/slab_arena.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace s2d {
+
+void* SlabArena::allocate(std::size_t size, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  const std::size_t misalign =
+      reinterpret_cast<std::uintptr_t>(tail_) & (align - 1);
+  const std::size_t pad = misalign ? align - misalign : 0;
+  if (tail_left_ < size + pad) {
+    std::size_t chunk = next_chunk_bytes_;
+    if (chunk < size + align) chunk = size + align;
+    // Default-initialized on purpose: zero-filling would touch every page
+    // up front and charge the whole chunk to RSS before a byte is used.
+    chunks_.push_back(Chunk{std::unique_ptr<std::byte[]>(new std::byte[chunk]),
+                            chunk});
+    tail_ = chunks_.back().mem.get();
+    tail_left_ = chunk;
+    bytes_reserved_ += chunk + kChunkHeaderBytes;
+    if (next_chunk_bytes_ < max_chunk_bytes_) {
+      next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, max_chunk_bytes_);
+    }
+    return allocate(size, align);  // fresh chunk: recursion bottoms out
+  }
+  tail_ += pad;
+  tail_left_ -= pad;
+  void* out = tail_;
+  tail_ += size;
+  tail_left_ -= size;
+  bytes_used_ += size + pad;
+  return out;
+}
+
+std::size_t SlabArena::bucket_of(std::size_t& bytes) noexcept {
+  if (bytes < (std::size_t{1} << kMinChunkLog2)) {
+    bytes = std::size_t{1} << kMinChunkLog2;
+  }
+  bytes = std::bit_ceil(bytes);
+  const std::size_t log2 = static_cast<std::size_t>(std::countr_zero(bytes));
+  assert(log2 <= kMaxChunkLog2);
+  return log2 - kMinChunkLog2;
+}
+
+std::byte* SlabArena::take_chunk(std::size_t& bytes) {
+  const std::size_t bucket = bucket_of(bytes);
+  if (std::byte* parked = free_[bucket]; parked != nullptr) {
+    std::byte* next = nullptr;
+    std::memcpy(&next, parked, sizeof(next));
+    free_[bucket] = next;
+    return parked;
+  }
+  return static_cast<std::byte*>(
+      allocate(bytes, alignof(std::max_align_t)));
+}
+
+void SlabArena::give_chunk(std::byte* chunk, std::size_t bytes) noexcept {
+  if (chunk == nullptr) return;
+  const std::size_t bucket = bucket_of(bytes);
+  std::byte* head = free_[bucket];
+  std::memcpy(chunk, &head, sizeof(head));
+  free_[bucket] = chunk;
+}
+
+bool SlabArena::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const Chunk& c : chunks_) {
+    if (b >= c.mem.get() && b < c.mem.get() + c.size) return true;
+  }
+  return false;
+}
+
+}  // namespace s2d

@@ -1,0 +1,110 @@
+// SlabArena: bump allocator backing one fleet shard's session storage.
+//
+// Promoted out of src/fleet/slab.h so that link-layer code (channel
+// payload storage, oversize BitString spill) can draw from the same
+// per-shard arena as the DataLink objects themselves without depending on
+// the fleet engine. Three properties matter:
+//
+//   * addresses are stable — chunks never move or free until the arena
+//     dies, so interior pointers stay valid for the shard's lifetime;
+//   * chunks are default-initialized, not zero-filled — pages the bump
+//     pointer never reaches stay virtual, so reserving a generous chunk
+//     costs address space, not RSS (the fleet memory gate measures RSS);
+//   * a power-of-two chunk recycler (take_chunk/give_chunk) lets
+//     per-session payload pools return their chunks when a session
+//     retires mid-run, bounding fleet payload memory by the number of
+//     *live* sessions instead of the number ever built.
+//
+// bytes_reserved() is the honest system-allocator footprint: chunk bytes
+// plus an estimated malloc header per chunk plus the control vector's own
+// capacity — so FleetResult::slab_bytes_reserved reconciles with
+// measured RSS instead of undercounting (docs/FLEET.md).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace s2d {
+
+class SlabArena {
+ public:
+  explicit SlabArena(std::size_t first_chunk_bytes = 1 << 14,
+                     std::size_t max_chunk_bytes = 1 << 20) noexcept
+      : next_chunk_bytes_(first_chunk_bytes),
+        max_chunk_bytes_(max_chunk_bytes) {}
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Raw storage of `size` bytes aligned to `align` (a power of two;
+  /// larger-than-max_align alignments are honoured by overallocating
+  /// within the chunk).
+  void* allocate(std::size_t size, std::size_t align);
+
+  /// Constructs a T in the arena. The caller owns the *logical* lifetime:
+  /// destroy_at() it when done (the arena only reclaims the bytes).
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return ::new (mem) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Hands out a recyclable chunk of at least `bytes` bytes, rounded up
+  /// to the bucket's power of two (written back through `bytes`).
+  /// Reuses a previously given-back chunk of that bucket when one exists,
+  /// otherwise carves fresh arena storage. Alignment: max_align_t.
+  [[nodiscard]] std::byte* take_chunk(std::size_t& bytes);
+
+  /// Returns a chunk obtained from take_chunk (same rounded `bytes`) to
+  /// its bucket's free list for reuse. The storage stays owned by the
+  /// arena either way; give_chunk merely makes it takeable again.
+  void give_chunk(std::byte* chunk, std::size_t bytes) noexcept;
+
+  /// True when `p` points into storage this arena reserved.
+  [[nodiscard]] bool contains(const void* p) const noexcept;
+
+  /// Bytes handed out to live objects (excludes chunk slack).
+  [[nodiscard]] std::uint64_t bytes_used() const noexcept {
+    return bytes_used_;
+  }
+  /// Bytes reserved from the system allocator: chunk payloads + an
+  /// estimated allocator header per chunk + the control vector capacity.
+  [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
+    return bytes_reserved_ + chunks_.capacity() * sizeof(Chunk);
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+  };
+
+  /// glibc malloc prepends a size/flags header and rounds to 16 bytes;
+  /// 16 is the honest lower bound for what each new[] really reserves.
+  static constexpr std::size_t kChunkHeaderBytes = 16;
+
+  /// Recycler buckets cover 2^kMinChunkLog2 .. 2^kMaxChunkLog2 — the
+  /// PayloadArena growth range (512 B .. 64 KiB) with headroom for
+  /// oversize payload chunks.
+  static constexpr std::size_t kMinChunkLog2 = 9;
+  static constexpr std::size_t kMaxChunkLog2 = 27;
+
+  static std::size_t bucket_of(std::size_t& bytes) noexcept;
+
+  std::vector<Chunk> chunks_;
+  std::byte* tail_ = nullptr;
+  std::size_t tail_left_ = 0;
+  std::size_t next_chunk_bytes_;
+  std::size_t max_chunk_bytes_;
+  std::uint64_t bytes_used_ = 0;
+  std::uint64_t bytes_reserved_ = 0;
+  // Intrusive singly-linked free lists: a parked chunk's first 8 bytes
+  // hold the next parked chunk's address.
+  std::array<std::byte*, kMaxChunkLog2 - kMinChunkLog2 + 1> free_{};
+};
+
+}  // namespace s2d

@@ -10,8 +10,9 @@ namespace {
 
 /// Minimal channel fixture: lets tests push packets and build views.
 struct ChannelFixture {
-  Channel tr{"T->R"};
-  Channel rt{"R->T"};
+  PayloadArena arena;
+  Channel tr{Dir::kTR, nullptr, &arena};
+  Channel rt{Dir::kRT, nullptr, &arena};
   std::uint64_t step = 0;
 
   PacketId push_tr(std::size_t len = 8) {

@@ -1,0 +1,250 @@
+// Property tests for the BitString inline/spill boundary under a bound
+// SlabArena (BitString::SpillScope). The fleet slab engine routes every
+// oversize rho/tau through the shard arena; these tests pin the contract
+// that binding an arena changes WHERE a spilled buffer lives and nothing
+// else: bit content, predicates, ordering and hashing are identical to
+// the heap-spill path at every word-tail offset around the 128-bit
+// inline capacity, and copies re-home to whatever binding is active at
+// copy time (so a value escaping a scope never dangles into the arena).
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitstring.h"
+#include "util/rng.h"
+#include "util/slab_arena.h"
+
+namespace s2d {
+namespace {
+
+constexpr std::size_t kInlineBits = 128;  // two inline words (bitstring.h)
+
+/// True when the string's backing words live inside `arena`. Inline
+/// strings live in the object itself, never in any arena.
+bool backed_by(const SlabArena& arena, const BitString& b) {
+  return b.size() > 0 && arena.contains(b.words().data());
+}
+
+bool prefix_ref(const BitString& a, const BitString& b) {
+  if (a.size() > b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.bit(i) != b.bit(i)) return false;
+  }
+  return true;
+}
+
+/// Every word-tail offset around the inline boundary: the full offset
+/// sweep in the spill word (128+0..63), the boundary itself +/-2, one
+/// word below and one word above (192 +/- 2, 256).
+std::vector<std::size_t> spill_boundary_lengths() {
+  std::vector<std::size_t> lens;
+  for (std::size_t len = kInlineBits - 2; len <= kInlineBits + 63; ++len) {
+    lens.push_back(len);
+  }
+  for (std::size_t len : {std::size_t{190}, std::size_t{191}, std::size_t{192},
+                          std::size_t{193}, std::size_t{194},
+                          std::size_t{256}, std::size_t{301}}) {
+    lens.push_back(len);
+  }
+  return lens;
+}
+
+TEST(BitStringSpill, ArenaSpillMatchesHeapSpillAtEveryTailOffset) {
+  SlabArena arena;
+  for (const std::size_t len : spill_boundary_lengths()) {
+    // Same seed, same draws: the arena-bound and unbound strings must be
+    // bit-identical — binding changes storage, never content.
+    Rng rng_a(0x5b1117ULL + len);
+    Rng rng_h(0x5b1117ULL + len);
+    std::optional<BitString> a;
+    {
+      BitString::SpillScope scope(&arena);
+      a.emplace(BitString::random(len, rng_a));
+    }
+    const BitString h = BitString::random(len, rng_h);
+
+    EXPECT_EQ(*a, h) << "len=" << len;
+    EXPECT_EQ(a->hash(), h.hash()) << "len=" << len;
+    EXPECT_EQ(a->to_binary(), h.to_binary()) << "len=" << len;
+    ASSERT_EQ(a->words().size(), h.words().size()) << "len=" << len;
+    for (std::size_t w = 0; w < h.words().size(); ++w) {
+      EXPECT_EQ(a->words()[w], h.words()[w]) << "len=" << len << " w=" << w;
+    }
+
+    // Storage location: spilled iff past the inline capacity, and then
+    // into the bound arena (the heap twin never touches it).
+    EXPECT_EQ(backed_by(arena, *a), len > kInlineBits) << "len=" << len;
+    EXPECT_FALSE(backed_by(arena, h)) << "len=" << len;
+    a.reset();  // arena-backed strings die before the arena
+  }
+}
+
+TEST(BitStringSpill, BitwiseGrowthAcrossInlineBoundary) {
+  // Grow one bit at a time straight through the boundary under a bound
+  // arena, checking every bit against a plain reference after each
+  // append. This is the incremental path the protocol's epoch extensions
+  // take (append_bits), as opposed to the one-shot random() constructor.
+  SlabArena arena;
+  {
+    BitString::SpillScope scope(&arena);
+    BitString s;
+    std::vector<bool> ref;
+    Rng rng(0x9e001ULL);
+    for (std::size_t i = 0; i < kInlineBits + 80; ++i) {
+      const bool b = (rng.next_u64() & 1) != 0;
+      s.push_back(b);
+      ref.push_back(b);
+      ASSERT_EQ(s.size(), ref.size());
+      EXPECT_EQ(backed_by(arena, s), s.size() > kInlineBits)
+          << "size=" << s.size();
+      for (std::size_t j = 0; j < ref.size(); ++j) {
+        ASSERT_EQ(s.bit(j), ref[j]) << "size=" << s.size() << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BitStringSpill, MixedArenaHeapOperandsAgreeWithScalarReference) {
+  // Predicates across the storage divide: one operand arena-spilled, the
+  // other heap-spilled or inline. Mirrors BitStringProperty's reference
+  // checks with mixed-backing pairs.
+  SlabArena arena;
+  Rng rng(0xa11e7ULL);
+  for (const std::size_t len :
+       {std::size_t{120}, std::size_t{127}, std::size_t{128},
+        std::size_t{129}, std::size_t{160}, std::size_t{192},
+        std::size_t{255}}) {
+    std::optional<BitString> a;
+    std::optional<BitString> ext;
+    {
+      BitString::SpillScope scope(&arena);
+      a.emplace(BitString::random(len, rng));
+      ext.emplace(*a);
+      ext->append_random(1 + len % 61, rng);
+    }
+    // Heap-side operands: an identical twin, a twin with the last bit
+    // flipped (incomparable), and the same extension rebuilt on heap.
+    BitString twin;
+    BitString flipped;
+    for (std::size_t i = 0; i < len; ++i) {
+      twin.push_back(a->bit(i));
+      flipped.push_back(i + 1 == len ? !a->bit(i) : a->bit(i));
+    }
+    BitString ext_heap = BitString::from_binary(ext->to_binary());
+
+    EXPECT_TRUE(a->is_prefix_of(*ext));
+    EXPECT_TRUE(a->is_prefix_of(ext_heap));
+    EXPECT_TRUE(twin.is_prefix_of(*a));
+    EXPECT_TRUE(a->comparable(twin));
+    EXPECT_EQ(a->comparable(flipped), prefix_ref(*a, flipped));
+    EXPECT_FALSE(flipped.is_prefix_of(*ext));
+    EXPECT_EQ(*a <=> twin, std::strong_ordering::equal);
+    EXPECT_EQ(*a <=> *ext, std::strong_ordering::less);
+    EXPECT_EQ(*ext <=> ext_heap, std::strong_ordering::equal);
+    EXPECT_EQ(ext->hash(), ext_heap.hash());
+    ext.reset();
+    a.reset();
+  }
+}
+
+TEST(BitStringSpill, CopiesRehomeToTheActiveBinding) {
+  SlabArena arena;
+  std::optional<BitString> in_arena;
+  {
+    BitString::SpillScope scope(&arena);
+    Rng rng(0x10c5ULL);
+    in_arena.emplace(BitString::random(200, rng));
+    ASSERT_TRUE(backed_by(arena, *in_arena));
+  }
+  // Scope closed: a copy taken now must go to the plain heap — that is
+  // what lets a value computed under a shard scope escape the shard.
+  const BitString escaped = *in_arena;
+  EXPECT_EQ(escaped, *in_arena);
+  EXPECT_FALSE(backed_by(arena, escaped));
+
+  // And the reverse: copying a heap-spilled string inside a scope draws
+  // the copy's buffer from the arena.
+  {
+    BitString::SpillScope scope(&arena);
+    const BitString pulled_in = escaped;
+    EXPECT_EQ(pulled_in, escaped);
+    EXPECT_TRUE(backed_by(arena, pulled_in));
+  }
+  in_arena.reset();
+}
+
+TEST(BitStringSpill, NestedScopesRestorePreviousBinding) {
+  SlabArena outer;
+  SlabArena inner;
+  Rng rng(0xdeedULL);
+  {
+    BitString::SpillScope outer_scope(&outer);
+    const BitString x = BitString::random(150, rng);
+    EXPECT_TRUE(backed_by(outer, x));
+    {
+      BitString::SpillScope inner_scope(&inner);
+      const BitString y = BitString::random(150, rng);
+      EXPECT_TRUE(backed_by(inner, y));
+      EXPECT_FALSE(backed_by(outer, y));
+    }
+    // Inner scope closed: spill returns to the outer arena.
+    const BitString z = BitString::random(150, rng);
+    EXPECT_TRUE(backed_by(outer, z));
+    EXPECT_FALSE(backed_by(inner, z));
+  }
+  // All scopes closed: spill is plain heap again.
+  const BitString w = BitString::random(150, rng);
+  EXPECT_FALSE(backed_by(outer, w));
+  EXPECT_FALSE(backed_by(inner, w));
+}
+
+TEST(BitStringSpill, ClearKeepsArenaCapacityForReuse) {
+  // clear() keeps capacity whatever its provenance; refilling within the
+  // old capacity must reuse the same arena buffer, not spill again (the
+  // slab engine's sessions rebuild tau in place every epoch).
+  SlabArena arena;
+  {
+    BitString::SpillScope scope(&arena);
+    Rng rng(0x5eedULL);
+    BitString s = BitString::random(260, rng);
+    ASSERT_TRUE(backed_by(arena, s));
+    const std::uint64_t* buf = s.words().data();
+    const std::uint64_t before = arena.bytes_used();
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    s.append_random(260, rng);
+    EXPECT_EQ(s.words().data(), buf);
+    EXPECT_EQ(arena.bytes_used(), before);
+  }
+}
+
+TEST(BitStringSpill, MoveKeepsArenaBufferAndContent) {
+  // Moves steal the spilled buffer pointer-for-pointer: an arena-backed
+  // string stays arena-backed (same bytes) wherever the move lands, even
+  // outside the scope — provenance travels with the buffer, so release()
+  // still knows not to delete it.
+  SlabArena arena;
+  std::optional<BitString> moved;
+  std::string expect;
+  {
+    BitString::SpillScope scope(&arena);
+    Rng rng(0x3070ULL);
+    BitString s = BitString::random(180, rng);
+    expect = s.to_binary();
+    const std::uint64_t* buf = s.words().data();
+    moved.emplace(std::move(s));
+    EXPECT_EQ(moved->words().data(), buf);
+  }
+  EXPECT_TRUE(backed_by(arena, *moved));
+  EXPECT_EQ(moved->to_binary(), expect);
+  moved.reset();
+}
+
+}  // namespace
+}  // namespace s2d

@@ -16,7 +16,8 @@ Bytes bytes_of(std::initializer_list<int> xs) {
 }
 
 TEST(Channel, SendAssignsSequentialIds) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   EXPECT_EQ(c.send(bytes_of({1}), 0), 0u);
   EXPECT_EQ(c.send(bytes_of({2}), 1), 1u);
   EXPECT_EQ(c.send(bytes_of({3}), 2), 2u);
@@ -24,7 +25,8 @@ TEST(Channel, SendAssignsSequentialIds) {
 }
 
 TEST(Channel, PayloadLookupReturnsExactBytes) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   const Bytes payload = bytes_of({10, 20, 30});
   const PacketId id = c.send(payload, 5);
   const auto got = c.payload(id);
@@ -34,7 +36,8 @@ TEST(Channel, PayloadLookupReturnsExactBytes) {
 }
 
 TEST(Channel, UnknownIdReturnsNothing) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   EXPECT_FALSE(c.payload(0).has_value());
   c.send(bytes_of({1}), 0);
   EXPECT_TRUE(c.payload(0).has_value());
@@ -44,7 +47,8 @@ TEST(Channel, UnknownIdReturnsNothing) {
 TEST(Channel, PacketsRetainedForever) {
   // §2.3: a sent packet can be delivered any number of times, arbitrarily
   // later — the store must never forget.
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   const PacketId id = c.send(bytes_of({7}), 0);
   for (int i = 0; i < 1000; ++i) c.send(bytes_of({i & 0xff}), 1);
   const auto got = c.payload(id);
@@ -53,7 +57,8 @@ TEST(Channel, PacketsRetainedForever) {
 }
 
 TEST(Channel, HistoryExposesOnlyMetadata) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   c.send(bytes_of({1, 2, 3}), 9);
   const auto& h = c.history();
   ASSERT_EQ(h.size(), 1u);
@@ -63,7 +68,8 @@ TEST(Channel, HistoryExposesOnlyMetadata) {
 }
 
 TEST(Channel, LengthQuery) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   c.send(bytes_of({1, 2, 3, 4}), 0);
   EXPECT_EQ(c.length(0), 4u);
   EXPECT_EQ(c.length(99), 0u);
@@ -74,7 +80,8 @@ TEST(Channel, UnknownIdConsistentAcrossLengthAndPayload) {
   // never disagree about whether a packet exists. An unknown id is a
   // documented no-op (payload nullopt, length 0) — the executor relies on
   // this to neutralise buggy adversaries without a crash.
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   for (PacketId id : {PacketId{0}, PacketId{1}, PacketId{1000}}) {
     EXPECT_FALSE(c.payload(id).has_value()) << id;
     EXPECT_EQ(c.length(id), 0u) << id;
@@ -93,7 +100,8 @@ TEST(Channel, UnknownIdConsistentAcrossLengthAndPayload) {
 }
 
 TEST(Channel, IdenticalPayloadsInternedOnce) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   const Bytes pkt = bytes_of({9, 8, 7, 6});
   const PacketId a = c.send(pkt, 0);
   const PacketId b = c.send(pkt, 1);
@@ -109,7 +117,8 @@ TEST(Channel, IdenticalPayloadsInternedOnce) {
 TEST(Channel, PayloadSpansStableAcrossArenaGrowth) {
   // Spans handed out must survive arbitrary later traffic, including
   // payloads larger than an arena chunk (dedicated-chunk path).
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   const PacketId first = c.send(bytes_of({42, 43}), 0);
   const auto before = *c.payload(first);
   const Bytes big(100 * 1024, std::byte{5});  // > one 64KiB chunk
@@ -131,7 +140,8 @@ TEST(Channel, PayloadSpansStableAcrossArenaGrowth) {
 }
 
 TEST(Channel, StatsAccumulate) {
-  Channel c("t");
+  PayloadArena arena;
+  Channel c(Dir::kTR, nullptr, &arena);
   c.send(bytes_of({1, 2}), 0);
   c.send(bytes_of({3, 4, 5}), 0);
   EXPECT_EQ(c.bytes_sent(), 5u);

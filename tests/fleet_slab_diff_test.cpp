@@ -92,6 +92,17 @@ std::vector<GridCase> grid() {
   cases.push_back({"ghm/crashy", make_ghm_fleet_factory(crashy),
                    stress_workload()});
 
+  // Spill-forcing grid point: epsilon small enough that size(1,eps) =
+  // 6 + ceil(log2(1/eps)) already exceeds BitString's 128-bit inline
+  // capacity, so EVERY rho/tau lives in the shard arena under the slab
+  // engine (and on the plain heap under legacy) from the first epoch.
+  // Combined with the crash/drain workload this diffs the interned
+  // spill layout under aborts, stalls and the drain phase.
+  GhmFleetOptions spilly = crashy;
+  spilly.epsilon = 1e-42;  // ~146-bit initial strings
+  cases.push_back({"ghm/spilly", make_ghm_fleet_factory(spilly),
+                   stress_workload()});
+
   const FaultProfile chaos = FaultProfile::chaos(0.05);
   for (const char* name : {"stopwait", "abp", "nvbit", "ab_random"}) {
     cases.push_back(
@@ -190,6 +201,33 @@ TEST(FleetSlabDiff, StressWorkloadExercisesEveryPhase) {
   EXPECT_GT(rep.aborted, 0u);
   EXPECT_GT(rep.completed, 0u);
   EXPECT_EQ(rep.offered, cfg.sessions * cfg.workload.messages);
+}
+
+TEST(FleetSlabDiff, SpillyGridPointActuallySpills) {
+  // Sanity for the ghm/spilly grid point: its strings must genuinely
+  // outgrow the 128-bit inline BitString buffer, or the "interned spill
+  // under crashes and drain" diff row would be testing the inline path
+  // twice. state_bits counts rho + tau + payload + 3x64 bookkeeping, so
+  // with ~146-bit strings the transmitter maximum sits far above what any
+  // inline-only execution (<= 128 + 128 + 64 + 192 = 512) could reach.
+  GhmFleetOptions spilly;
+  spilly.epsilon = 1e-42;
+  spilly.faults = {.loss = 0.05,
+                   .duplicate = 0.05,
+                   .reorder = 0.15,
+                   .crash_t = 0.02,
+                   .crash_r = 0.01};
+  FleetConfig cfg;
+  cfg.sessions = 23;
+  cfg.threads = 2;
+  cfg.root_seed = 0xd1ffULL + 23;
+  cfg.workload = stress_workload();
+  cfg.engine = FleetEngine::kSlab;
+  const FleetReport rep =
+      run_fleet(cfg, make_ghm_fleet_factory(spilly)).report;
+  // rho alone (>= 146 bits) exceeds the inline capacity.
+  EXPECT_GT(rep.link.max_tm_state_bits, 512u);
+  EXPECT_GT(rep.completed, 0u);
 }
 
 TEST(FleetSlabDiff, ZeroAndOneSessionDegenerates) {

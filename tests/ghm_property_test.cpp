@@ -172,7 +172,8 @@ class LivenessSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(LivenessSweep, CompletesUnderFairHostility) {
   const std::uint64_t window = GetParam();
   DataLinkConfig cfg;
-  cfg.retry_every = 2 * window;  // keep ack production below drain rate
+  cfg.retry_every =
+      static_cast<std::uint32_t>(2 * window);  // acks below drain rate
   auto pair = make_ghm(GrowthPolicy::geometric(kEps), window * 7 + 1);
   DataLink link(
       std::move(pair.tm), std::move(pair.rm),
