@@ -1,19 +1,27 @@
-// E14 — schedule fuzzing: violations found per 10^k random schedules vs
-// depth, per protocol.
+// E14 — schedule fuzzing: violations found per 10^4 schedules vs depth,
+// per protocol and per search mode (fixed vs coverage-guided vs
+// adaptive).
 //
 // The explorer (exhaustive, depth <= ~7) proves the shallow tree; this
 // experiment measures what guided *sampling* finds in the deep tree the
-// explorer cannot reach: for each protocol and each schedule depth it
-// runs N weighted random decision scripts (src/harness/fuzzer.h) and
-// reports how many violate the §2.6 conditions, the per-1000-script hit
-// rate, and the length of the first counterexample before and after
-// delta-debug shrinking.
+// explorer cannot reach: for each protocol, search mode and schedule
+// depth it runs N decision scripts (src/harness/fuzzer.h) and reports
+// the per-10^4-script violation rate, the distinct event-n-gram coverage
+// bits reached (obs/coverage.h), the corpus survivors kept by the
+// feedback modes, and the length of the first counterexample before and
+// after delta-debug shrinking.
 //
-// Expected shape: the deterministic baselines (abp, stopwait, nvbit)
-// leak at rates that RISE with depth (more crash/duplication windows per
-// script); fixed_nonce needs depth enough for record-crash-replay cycles;
-// GHM stays at zero at every depth — its violations require 2^-16 nonce
-// collisions no random budget here will hit.
+// The analytic_per_10k column is the naive union bound on the
+// per-schedule failure probability for the nonce-based protocols: at
+// most one stale-acceptance trial per step, each succeeding with
+// epsilon = 2^-16 (ghm, geometric growth) or 2^-4 (fixed_nonce's 4-bit
+// frozen nonce), i.e. 10^4 * min(1, depth * eps). GHM's empirical rate
+// must sit far below its bound (the bound is loose and the budget tiny
+// against 2^-16); fixed_nonce EXCEEDING its naive bound is the paper's
+// §3 point — the adversary does not need luck, it replays the one nonce
+// it has already seen, and the guided modes find that plan faster than
+// blind sampling. Deterministic baselines (abp, stopwait, nvbit) have no
+// nonce to collide ("-").
 //
 // --fail-on=ghm turns "a protocol that must be clean produced a
 // violation" into a nonzero exit: the CI fuzz-smoke gate.
@@ -26,12 +34,22 @@
 namespace s2d {
 namespace {
 
+/// Naive per-trial stale-acceptance probability, or 0 when the protocol
+/// has no nonce to collide (deterministic baselines).
+double naive_epsilon(const std::string& protocol) {
+  if (protocol == "ghm") return 1.0 / (1 << 16);
+  if (protocol == "fixed_nonce") return 1.0 / (1 << 4);
+  return 0.0;
+}
+
 int run(int argc, char** argv) {
   Flags flags("E14: randomized deep-schedule search, per protocol");
   flags
       .define("protocols", "ghm,fixed_nonce,abp,stopwait,nvbit,ab_random",
               "comma-separated system names to fuzz")
       .define_fuzz()
+      .define("modes", "fixed,coverage,adaptive",
+              "comma-separated search modes (fixed|coverage|adaptive)")
       .define("depths", "25,50,100,200", "schedule depths to sweep")
       .define("messages", "4", "workload messages per script")
       .define("payload", "2", "payload bytes per message")
@@ -45,7 +63,7 @@ int run(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
   if (!flags.apply_log_level()) return 1;
 
-  // Comma-split protocol lists (get_double_list is numeric-only).
+  // Comma-split name lists (get_double_list is numeric-only).
   const auto split = [](const std::string& csv) {
     std::vector<std::string> out;
     std::size_t pos = 0;
@@ -65,6 +83,21 @@ int run(int argc, char** argv) {
   const bool shrink = flags.get_bool("shrink");
   const bool json = flags.get_bool("json");
 
+  std::vector<FuzzMode> modes;
+  for (const std::string& name : split(flags.get("modes"))) {
+    if (name == "fixed") {
+      modes.push_back(FuzzMode::kFixed);
+    } else if (name == "coverage") {
+      modes.push_back(FuzzMode::kCoverage);
+    } else if (name == "adaptive") {
+      modes.push_back(FuzzMode::kAdaptive);
+    } else {
+      std::cerr << "unknown mode '" << name
+                << "' (expected fixed|coverage|adaptive)\n";
+      return 1;
+    }
+  }
+
   FuzzerConfig cfg;
   cfg.scripts = flags.get_u64("fuzz-scripts");
   cfg.root_seed = flags.get_u64("fuzz-seed");
@@ -74,14 +107,16 @@ int run(int argc, char** argv) {
 
   if (!json) {
     bench::print_header(
-        "E14: schedule fuzzing — violations per 10^k random schedules",
+        "E14: schedule fuzzing — violations per 10^4 schedules",
         "deep randomized search finds the baseline counterexamples the "
-        "depth-bounded explorer cannot reach; GHM stays clean at every "
-        "depth and budget");
+        "depth-bounded explorer cannot reach; coverage guidance finds "
+        "them with fewer scripts; GHM stays clean at every depth, mode "
+        "and budget");
   }
 
-  Table table({"protocol", "depth", "scripts", "violating", "per_1k",
-               "classes", "first_len", "shrunk_len", "fingerprint"});
+  Table table({"protocol", "mode", "depth", "scripts", "violating",
+               "per_10k", "analytic_per_10k", "classes", "cov_bits",
+               "corpus", "first_len", "shrunk_len", "fingerprint"});
   bench::JsonWriter j;
   j.begin_object();
   j.kv("experiment", "exp_fuzz");
@@ -101,49 +136,67 @@ int run(int argc, char** argv) {
     const bool must_be_clean =
         std::find(fail_on.begin(), fail_on.end(), protocol) !=
         fail_on.end();
+    const double eps = naive_epsilon(protocol);
 
-    for (const std::uint64_t depth : depths) {
-      cfg.depth = static_cast<std::uint32_t>(depth);
-      const FuzzReport report = run_fuzz(system, cfg);
-      const double per_1k =
-          report.scripts
-              ? 1000.0 * static_cast<double>(report.violating_scripts) /
-                    static_cast<double>(report.scripts)
-              : 0.0;
+    for (const FuzzMode mode : modes) {
+      cfg.mode = mode;
+      for (const std::uint64_t depth : depths) {
+        cfg.depth = static_cast<std::uint32_t>(depth);
+        const FuzzReport report = run_fuzz(system, cfg);
+        const double per_10k =
+            report.scripts
+                ? 10000.0 * static_cast<double>(report.violating_scripts) /
+                      static_cast<double>(report.scripts)
+                : 0.0;
+        const double analytic_per_10k =
+            eps > 0.0
+                ? 10000.0 *
+                      std::min(1.0, static_cast<double>(depth) * eps)
+                : 0.0;
 
-      std::size_t first_len = 0;
-      std::size_t shrunk_len = 0;
-      std::string classes = "-";
-      if (!report.findings.empty()) {
-        const FuzzFinding& first = report.findings.front();
-        first_len = first.script.size();
-        classes = violation_class_name(violation_class(report.violations));
-        if (shrink) {
-          shrunk_len = shrink_script(system(first.seed), first.script,
-                                     cfg.workload)
-                           .script.size();
+        std::size_t first_len = 0;
+        std::size_t shrunk_len = 0;
+        std::string classes = "-";
+        if (!report.findings.empty()) {
+          const FuzzFinding& first = report.findings.front();
+          first_len = first.script.size();
+          classes =
+              violation_class_name(violation_class(report.violations));
+          if (shrink) {
+            shrunk_len = shrink_script(system(first.seed), first.script,
+                                       cfg.workload)
+                             .script.size();
+          }
         }
+        if (must_be_clean && !report.clean()) gate_tripped = true;
+
+        table.add_row({protocol, fuzz_mode_name(mode),
+                       std::to_string(depth),
+                       std::to_string(report.scripts),
+                       std::to_string(report.violating_scripts),
+                       Table::num(per_10k, 1),
+                       eps > 0.0 ? Table::num(analytic_per_10k, 1) : "-",
+                       classes, std::to_string(report.coverage_bits),
+                       std::to_string(report.corpus_kept),
+                       std::to_string(first_len),
+                       std::to_string(shrunk_len), report.fingerprint()});
+
+        j.begin_object();
+        j.kv("protocol", protocol);
+        j.kv("mode", fuzz_mode_name(mode));
+        j.kv("depth", depth);
+        j.kv("scripts", report.scripts);
+        j.kv("violating", report.violating_scripts);
+        j.kv("per_10k", per_10k);
+        j.kv("analytic_per_10k", analytic_per_10k);
+        j.kv("classes", classes);
+        j.kv("coverage_bits", report.coverage_bits);
+        j.kv("corpus_kept", report.corpus_kept);
+        j.kv("first_len", static_cast<std::uint64_t>(first_len));
+        j.kv("shrunk_len", static_cast<std::uint64_t>(shrunk_len));
+        j.kv("fingerprint", report.fingerprint());
+        j.end_object();
       }
-      if (must_be_clean && !report.clean()) gate_tripped = true;
-
-      table.add_row({protocol, std::to_string(depth),
-                     std::to_string(report.scripts),
-                     std::to_string(report.violating_scripts),
-                     Table::num(per_1k, 2), classes,
-                     std::to_string(first_len), std::to_string(shrunk_len),
-                     report.fingerprint()});
-
-      j.begin_object();
-      j.kv("protocol", protocol);
-      j.kv("depth", depth);
-      j.kv("scripts", report.scripts);
-      j.kv("violating", report.violating_scripts);
-      j.kv("per_1k", per_1k);
-      j.kv("classes", classes);
-      j.kv("first_len", static_cast<std::uint64_t>(first_len));
-      j.kv("shrunk_len", static_cast<std::uint64_t>(shrunk_len));
-      j.kv("fingerprint", report.fingerprint());
-      j.end_object();
     }
   }
   j.end_array();

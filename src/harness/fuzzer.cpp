@@ -1,14 +1,17 @@
 #include "harness/fuzzer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <set>
 #include <utility>
 
-#include "fleet/fleet.h"  // fleet_session_seed (header-only)
+#include "adversary/adversaries.h"  // ScriptedAdversary
+#include "fleet/fleet.h"            // fleet_session_seed (header-only)
 #include "obs/ring_sink.h"
 #include "util/fnv.h"
+#include "util/log.h"
 #include "util/parallel.h"
-#include "util/rng.h"
 
 namespace s2d {
 namespace {
@@ -16,6 +19,11 @@ namespace {
 /// Salt of the schedule RNG stream, distinct from the protocol streams
 /// the system factory forks from the same session seed.
 constexpr std::uint64_t kScheduleSalt = 0x7363686564756c65ULL;  // "schedule"
+
+/// Salt of the mutation RNG stream (parent choice, operator choice, the
+/// operator's own coin tosses). Distinct from kScheduleSalt so a fresh
+/// script and a mutant at the same index never share randomness.
+constexpr std::uint64_t kMutateSalt = 0x6d757461746f7273ULL;  // "mutators"
 
 /// Weighted random scheduler that records every decision it makes, so
 /// the executed schedule IS a replayable script. Observes only the
@@ -157,15 +165,323 @@ class RecordingRandomAdversary final : public Adversary {
   Delivered rt_;
 };
 
+/// A fresh random decision for kFlip/kInsert: category odds from
+/// `weights` (the three deliver variants and duplicate collapse into one
+/// per-direction deliver draw — without an AdversaryView there is no
+/// oldest/newest), packet ids uniform below `pkt_bound`. Infeasible ids
+/// are legal: the executor drops deliveries of unknown packets.
+Decision random_decision(Rng& rng, const FuzzWeights& w,
+                         PacketId pkt_bound) {
+  const double deliver = w.deliver_oldest + w.deliver_newest +
+                         w.deliver_random + w.duplicate;
+  const double weight[] = {deliver / 2, deliver / 2, w.crash_t, w.crash_r,
+                           w.retry,     w.tx_timer,  w.idle};
+  constexpr std::size_t kKinds = 7;
+  double total = 0.0;
+  for (double v : weight) total += v;
+  if (total <= 0.0) return Decision::idle();
+
+  double draw = rng.next_double() * total;
+  std::size_t kind = kKinds - 1;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (weight[k] <= 0.0) continue;
+    if (draw < weight[k]) {
+      kind = k;
+      break;
+    }
+    draw -= weight[k];
+  }
+  const PacketId pkt = rng.next_below(std::max<PacketId>(pkt_bound, 1));
+  switch (kind) {
+    case 0:
+      return Decision::deliver_tr(pkt);
+    case 1:
+      return Decision::deliver_rt(pkt);
+    case 2:
+      return Decision::crash_t();
+    case 3:
+      return Decision::crash_r();
+    case 4:
+      return Decision::retry();
+    case 5:
+      return Decision::tx_timer();
+    default:
+      return Decision::idle();
+  }
+}
+
+/// Packet-id bound for fresh decisions: a little past the highest id the
+/// parent script references, so mutants probe both existing packets and
+/// the near future.
+PacketId fresh_pkt_bound(const std::vector<Decision>& parent) {
+  PacketId bound = 4;
+  for (const Decision& d : parent) {
+    if (d.kind == Decision::Kind::kDeliverTR ||
+        d.kind == Decision::Kind::kDeliverRT) {
+      bound = std::max(bound, d.pkt + 2);
+    }
+  }
+  return bound;
+}
+
 }  // namespace
 
+const char* fuzz_cat_name(FuzzCat cat) noexcept {
+  switch (cat) {
+    case FuzzCat::kDeliverOldest:
+      return "deliver_oldest";
+    case FuzzCat::kDeliverNewest:
+      return "deliver_newest";
+    case FuzzCat::kDeliverRandom:
+      return "deliver_random";
+    case FuzzCat::kDuplicate:
+      return "duplicate";
+    case FuzzCat::kCrashT:
+      return "crash_t";
+    case FuzzCat::kCrashR:
+      return "crash_r";
+    case FuzzCat::kRetry:
+      return "retry";
+    case FuzzCat::kTxTimer:
+      return "tx_timer";
+    case FuzzCat::kIdle:
+      return "idle";
+    case FuzzCat::kFuzzCatCount:
+      break;
+  }
+  return "?";
+}
+
+std::array<double, kFuzzCatCount> fuzz_weights_array(
+    const FuzzWeights& w) noexcept {
+  return {w.deliver_oldest, w.deliver_newest, w.deliver_random, w.duplicate,
+          w.crash_t,        w.crash_r,        w.retry,          w.tx_timer,
+          w.idle};
+}
+
+FuzzWeights fuzz_weights_from_array(
+    const std::array<double, kFuzzCatCount>& a) noexcept {
+  FuzzWeights w;
+  w.deliver_oldest = a[0];
+  w.deliver_newest = a[1];
+  w.deliver_random = a[2];
+  w.duplicate = a[3];
+  w.crash_t = a[4];
+  w.crash_r = a[5];
+  w.retry = a[6];
+  w.tx_timer = a[7];
+  w.idle = a[8];
+  return w;
+}
+
+std::string fuzz_weights_error(const FuzzWeights& w) {
+  const auto arr = fuzz_weights_array(w);
+  double total = 0.0;
+  for (std::size_t i = 0; i < kFuzzCatCount; ++i) {
+    if (!std::isfinite(arr[i]) || arr[i] < 0.0) {
+      return std::string(fuzz_cat_name(static_cast<FuzzCat>(i))) +
+             ": weight must be a finite value >= 0 (got " +
+             std::to_string(arr[i]) + ")";
+    }
+    total += arr[i];
+  }
+  if (total <= 0.0) {
+    return "all weights are zero: at least one category must be positive";
+  }
+  return "";
+}
+
+FuzzWeightsParse parse_fuzz_weights(std::string_view spec,
+                                    FuzzWeights base) {
+  FuzzWeightsParse out;
+  out.weights = base;
+  auto arr = fuzz_weights_array(base);
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? spec.size()
+                                                            : comma;
+    const std::string_view item = spec.substr(pos, end - pos);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        out.column = pos + 1;
+        out.error = "expected category=value, got '" + std::string(item) +
+                    "'";
+        return out;
+      }
+      const std::string_view name = item.substr(0, eq);
+      const std::string_view value = item.substr(eq + 1);
+      std::size_t cat = kFuzzCatCount;
+      for (std::size_t i = 0; i < kFuzzCatCount; ++i) {
+        if (name == fuzz_cat_name(static_cast<FuzzCat>(i))) {
+          cat = i;
+          break;
+        }
+      }
+      if (cat == kFuzzCatCount) {
+        out.column = pos + 1;
+        out.error = "unknown category '" + std::string(name) +
+                    "' (expected deliver_oldest|deliver_newest|"
+                    "deliver_random|duplicate|crash_t|crash_r|retry|"
+                    "tx_timer|idle)";
+        return out;
+      }
+      const std::size_t value_col = pos + eq + 2;  // 1-based, after '='
+      const std::string value_str(value);
+      char* parsed_end = nullptr;
+      const double v = std::strtod(value_str.c_str(), &parsed_end);
+      if (value_str.empty() ||
+          parsed_end != value_str.c_str() + value_str.size()) {
+        out.column = value_col;
+        out.error = "expected a number, got '" + value_str + "'";
+        return out;
+      }
+      if (!std::isfinite(v) || v < 0.0) {
+        out.column = value_col;
+        out.error = std::string(fuzz_cat_name(static_cast<FuzzCat>(cat))) +
+                    ": weight must be a finite value >= 0 (got " +
+                    value_str + ")";
+        return out;
+      }
+      arr[cat] = v;
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+
+  const FuzzWeights candidate = fuzz_weights_from_array(arr);
+  const std::string err = fuzz_weights_error(candidate);
+  if (!err.empty()) {
+    out.column = 1;
+    out.error = err;
+    return out;
+  }
+  out.ok = true;
+  out.weights = candidate;
+  return out;
+}
+
+const char* fuzz_mode_name(FuzzMode mode) noexcept {
+  switch (mode) {
+    case FuzzMode::kFixed:
+      return "fixed";
+    case FuzzMode::kCoverage:
+      return "coverage";
+    case FuzzMode::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+const char* mutation_op_name(MutationOp op) noexcept {
+  switch (op) {
+    case MutationOp::kReseed:
+      return "reseed";
+    case MutationOp::kTruncate:
+      return "truncate";
+    case MutationOp::kDeleteSpan:
+      return "delete_span";
+    case MutationOp::kFlip:
+      return "flip";
+    case MutationOp::kInsert:
+      return "insert";
+    case MutationOp::kSplice:
+      return "splice";
+    case MutationOp::kMutationOpCount:
+      break;
+  }
+  return "?";
+}
+
+std::vector<Decision> mutate_script(const std::vector<Decision>& parent,
+                                    const std::vector<Decision>& other,
+                                    MutationOp op, Rng& rng,
+                                    const FuzzWeights& weights,
+                                    std::uint32_t depth_cap) {
+  const PacketId bound = fresh_pkt_bound(parent);
+  std::vector<Decision> out;
+  switch (op) {
+    case MutationOp::kReseed:
+      out = parent;
+      break;
+    case MutationOp::kTruncate: {
+      if (parent.empty()) break;
+      const std::size_t keep = static_cast<std::size_t>(
+          1 + rng.next_below(parent.size()));
+      out.assign(parent.begin(),
+                 parent.begin() + static_cast<std::ptrdiff_t>(keep));
+      break;
+    }
+    case MutationOp::kDeleteSpan: {
+      if (parent.empty()) break;
+      const std::size_t start =
+          static_cast<std::size_t>(rng.next_below(parent.size()));
+      const std::size_t len = static_cast<std::size_t>(
+          1 + rng.next_below(parent.size() - start));
+      out = parent;
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(start),
+                out.begin() + static_cast<std::ptrdiff_t>(start + len));
+      break;
+    }
+    case MutationOp::kFlip: {
+      out = parent;
+      if (out.empty()) break;
+      const std::size_t at =
+          static_cast<std::size_t>(rng.next_below(out.size()));
+      out[at] = random_decision(rng, weights, bound);
+      break;
+    }
+    case MutationOp::kInsert: {
+      out = parent;
+      const std::size_t at =
+          static_cast<std::size_t>(rng.next_below(out.size() + 1));
+      const std::size_t count =
+          static_cast<std::size_t>(1 + rng.next_below(4));
+      std::vector<Decision> fresh;
+      fresh.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        fresh.push_back(random_decision(rng, weights, bound));
+      }
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                 fresh.begin(), fresh.end());
+      break;
+    }
+    case MutationOp::kSplice: {
+      const std::size_t cut_a =
+          parent.empty()
+              ? 0
+              : static_cast<std::size_t>(rng.next_below(parent.size() + 1));
+      const std::size_t cut_b =
+          other.empty()
+              ? 0
+              : static_cast<std::size_t>(rng.next_below(other.size() + 1));
+      out.assign(parent.begin(),
+                 parent.begin() + static_cast<std::ptrdiff_t>(cut_a));
+      out.insert(out.end(),
+                 other.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                 other.end());
+      break;
+    }
+    case MutationOp::kMutationOpCount:
+      break;
+  }
+  const std::size_t cap = std::max<std::uint32_t>(depth_cap, 1);
+  if (out.size() > cap) out.resize(cap);
+  if (out.empty()) out.push_back(random_decision(rng, weights, bound));
+  return out;
+}
+
 FuzzRun fuzz_script(const AdversaryLinkFactory& factory,
-                    std::uint64_t schedule_seed, const FuzzerConfig& cfg) {
+                    std::uint64_t schedule_seed, const FuzzerConfig& cfg,
+                    EventSink* sink) {
   auto adv = std::make_unique<RecordingRandomAdversary>(
       cfg.weights, Rng(schedule_seed).fork(kScheduleSalt));
   RecordingRandomAdversary* recorder = adv.get();
 
   DataLink link = factory(std::move(adv));
+  if (sink != nullptr) link.bus().attach(sink);
   FuzzRun run;
   run.steps = drive_script_workload(link, cfg.depth, cfg.workload,
                                     /*stop_on_violation=*/true);
@@ -173,10 +489,35 @@ FuzzRun fuzz_script(const AdversaryLinkFactory& factory,
   run.script.resize(run.steps);  // == steps: one decision per step
   run.violations = link.violations();
   run.oks = link.stats().oks;
+  if (sink != nullptr) link.bus().detach(sink);
   return run;
 }
 
-FuzzReport run_fuzz(const SeededSystem& system, const FuzzerConfig& cfg) {
+FuzzRun run_candidate(const AdversaryLinkFactory& factory,
+                      std::vector<Decision> script,
+                      const ScriptWorkload& workload, EventSink* sink) {
+  DataLink link =
+      factory(std::make_unique<ScriptedAdversary>(script));  // copies
+  if (sink != nullptr) link.bus().attach(sink);
+  FuzzRun run;
+  run.steps = drive_script_workload(link, script.size(), workload,
+                                    /*stop_on_violation=*/true);
+  script.resize(run.steps);  // the executed prefix is the witness
+  run.script = std::move(script);
+  run.violations = link.violations();
+  run.oks = link.stats().oks;
+  if (sink != nullptr) link.bus().detach(sink);
+  return run;
+}
+
+namespace {
+
+/// The PR-2 blind sampler: every script fresh from cfg.weights, dealt
+/// round-robin across shards, merged sorted by script index. Coverage is
+/// collected per script and OR-merged (commutative), so the bitmap is
+/// shard-count-invariant here too.
+FuzzReport run_fuzz_fixed(const SeededSystem& system,
+                          const FuzzerConfig& cfg) {
   const unsigned threads = resolve_threads(cfg.threads);
   const unsigned shards =
       cfg.scripts == 0 ? 1U
@@ -190,7 +531,10 @@ FuzzReport run_fuzz(const SeededSystem& system, const FuzzerConfig& cfg) {
     // only on which indices it owns, never on the other shards.
     for (std::uint64_t i = shard; i < cfg.scripts; i += shards) {
       const std::uint64_t seed = fleet_session_seed(cfg.root_seed, i);
-      FuzzRun run = fuzz_script(system(seed), seed, cfg);
+      CoverageMap map;
+      CoverageSink sink(&map);
+      FuzzRun run = fuzz_script(system(seed), seed, cfg, &sink);
+      part.coverage.merge(map);
       ++part.scripts;
       part.steps_total += run.steps;
       part.oks_total += run.oks;
@@ -215,6 +559,7 @@ FuzzReport run_fuzz(const SeededSystem& system, const FuzzerConfig& cfg) {
     total.steps_total += part.steps_total;
     total.oks_total += part.oks_total;
     total.violations.merge(part.violations);
+    total.coverage.merge(part.coverage);
     for (FuzzFinding& f : part.findings) {
       total.findings.push_back(std::move(f));
     }
@@ -226,6 +571,202 @@ FuzzReport run_fuzz(const SeededSystem& system, const FuzzerConfig& cfg) {
   if (total.findings.size() > cfg.max_findings) {
     total.findings.resize(cfg.max_findings);
   }
+  return total;
+}
+
+/// Cumulative novelty credit per decision category, the adaptive mode's
+/// feedback state. Delivery decisions credit the four delivery
+/// categories equally: post hoc, a recorded `deliver_tr 3` no longer
+/// says which draw (oldest/newest/random/duplicate) produced it.
+void credit_decisions(std::array<double, kFuzzCatCount>& credit,
+                      const std::vector<Decision>& script,
+                      std::size_t new_bits) {
+  const double gain = static_cast<double>(new_bits);
+  for (const Decision& d : script) {
+    switch (d.kind) {
+      case Decision::Kind::kDeliverTR:
+      case Decision::Kind::kDeliverRT:
+        credit[static_cast<std::size_t>(FuzzCat::kDeliverOldest)] +=
+            gain / 4;
+        credit[static_cast<std::size_t>(FuzzCat::kDeliverNewest)] +=
+            gain / 4;
+        credit[static_cast<std::size_t>(FuzzCat::kDeliverRandom)] +=
+            gain / 4;
+        credit[static_cast<std::size_t>(FuzzCat::kDuplicate)] += gain / 4;
+        break;
+      case Decision::Kind::kCrashT:
+        credit[static_cast<std::size_t>(FuzzCat::kCrashT)] += gain;
+        break;
+      case Decision::Kind::kCrashR:
+        credit[static_cast<std::size_t>(FuzzCat::kCrashR)] += gain;
+        break;
+      case Decision::Kind::kRetry:
+        credit[static_cast<std::size_t>(FuzzCat::kRetry)] += gain;
+        break;
+      case Decision::Kind::kTxTimer:
+        credit[static_cast<std::size_t>(FuzzCat::kTxTimer)] += gain;
+        break;
+      case Decision::Kind::kIdle:
+        credit[static_cast<std::size_t>(FuzzCat::kIdle)] += gain;
+        break;
+      default:  // mutate/forge decisions have no FuzzWeights category
+        break;
+    }
+  }
+}
+
+/// Re-derives the working weights from the base weights and the credit
+/// accumulated so far: categories with above-mean credit are boosted,
+/// below-mean damped, each bounded within [base/4, base*4] so no
+/// category is ever starved outright. Pure (base, credit) -> weights:
+/// evaluated only at round barriers, on the calling thread.
+FuzzWeights adapt_weights(const std::array<double, kFuzzCatCount>& base,
+                          const std::array<double, kFuzzCatCount>& credit) {
+  double total = 0.0;
+  for (double c : credit) total += c;
+  auto out = base;
+  if (total > 0.0) {
+    const double mean = total / static_cast<double>(kFuzzCatCount);
+    for (std::size_t i = 0; i < kFuzzCatCount; ++i) {
+      const double factor = (1.0 + credit[i]) / (1.0 + mean);
+      out[i] = std::clamp(base[i] * factor, base[i] * 0.25, base[i] * 4.0);
+    }
+  }
+  return fuzz_weights_from_array(out);
+}
+
+/// The coverage-guided loop (kCoverage and kAdaptive): fixed-size rounds
+/// of scripts, each round generated against the corpus/weights snapshot
+/// frozen at the previous barrier. Workers share nothing mutable; all
+/// feedback state advances in script-index order on the calling thread.
+FuzzReport run_fuzz_feedback(const SeededSystem& system,
+                             const FuzzerConfig& cfg) {
+  const unsigned threads = resolve_threads(cfg.threads);
+
+  struct Slot {
+    FuzzRun run;
+    CoverageMap map;
+  };
+  struct CorpusEntry {
+    std::vector<Decision> script;
+  };
+
+  FuzzReport total;
+  std::vector<CorpusEntry> corpus;
+  FuzzWeights weights = cfg.weights;
+  const std::array<double, kFuzzCatCount> base =
+      fuzz_weights_array(cfg.weights);
+  std::array<double, kFuzzCatCount> credit{};
+
+  const std::uint64_t round_size = std::max<std::uint32_t>(cfg.round_size, 1);
+  std::uint64_t done = 0;
+  while (done < cfg.scripts) {
+    const std::uint64_t n = std::min(round_size, cfg.scripts - done);
+    std::vector<Slot> slots(n);
+    const unsigned shards =
+        static_cast<unsigned>(std::min<std::uint64_t>(threads, n));
+    parallel_shards(shards, [&](unsigned shard) {
+      for (std::uint64_t k = shard; k < n; k += shards) {
+        const std::uint64_t i = done + k;
+        const std::uint64_t seed = fleet_session_seed(cfg.root_seed, i);
+        Slot& slot = slots[k];
+        CoverageSink sink(&slot.map);
+        Rng mrng = Rng(seed).fork(kMutateSalt);
+        // 1-in-8 scripts stay fresh even with a corpus: pure exploitation
+        // would never discover coverage the current survivors cannot
+        // reach by local mutation.
+        const bool fresh = corpus.empty() || mrng.next_below(8) == 0;
+        if (fresh) {
+          FuzzerConfig fresh_cfg = cfg;
+          fresh_cfg.weights = weights;  // adapted in kAdaptive mode
+          slot.run = fuzz_script(system(seed), seed, fresh_cfg, &sink);
+        } else {
+          // Novelty bias: the later of two uniform draws — recent
+          // survivors carry the rarest bits.
+          const std::size_t a =
+              static_cast<std::size_t>(mrng.next_below(corpus.size()));
+          const std::size_t b =
+              static_cast<std::size_t>(mrng.next_below(corpus.size()));
+          const CorpusEntry& parent = corpus[std::max(a, b)];
+          const CorpusEntry& other =
+              corpus[static_cast<std::size_t>(mrng.next_below(corpus.size()))];
+          const MutationOp op =
+              static_cast<MutationOp>(mrng.next_below(kMutationOpCount));
+          std::vector<Decision> candidate = mutate_script(
+              parent.script, other.script, op, mrng, weights, cfg.depth);
+          slot.run = run_candidate(system(seed), std::move(candidate),
+                                   cfg.workload, &sink);
+        }
+      }
+    });
+
+    // Barrier: fold the round into the feedback state in index order.
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t i = done + k;
+      Slot& slot = slots[k];
+      const std::size_t new_bits = total.coverage.merge_count_new(slot.map);
+      ++total.scripts;
+      total.steps_total += slot.run.steps;
+      total.oks_total += slot.run.oks;
+      total.violations.merge(slot.run.violations);
+      if (slot.run.violating()) {
+        ++total.violating_scripts;
+        if (total.findings.size() < cfg.max_findings) {
+          total.findings.push_back({i, fleet_session_seed(cfg.root_seed, i),
+                                    slot.run.script, slot.run.violations});
+        }
+      }
+      if (new_bits > 0) {
+        if (cfg.mode == FuzzMode::kAdaptive) {
+          credit_decisions(credit, slot.run.script, new_bits);
+        }
+        if (corpus.size() < cfg.max_corpus) {
+          corpus.push_back({std::move(slot.run.script)});
+        }
+      }
+    }
+    if (cfg.mode == FuzzMode::kAdaptive) {
+      weights = adapt_weights(base, credit);
+    }
+    done += n;
+    ++total.rounds;
+    if (cfg.progress) {
+      cfg.progress({total.rounds, done,
+                    static_cast<std::uint64_t>(total.coverage.popcount()),
+                    static_cast<std::uint64_t>(corpus.size()),
+                    total.violating_scripts});
+    }
+  }
+
+  total.corpus_kept = corpus.size();
+  total.final_weights = weights;
+  return total;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const SeededSystem& system, const FuzzerConfig& cfg) {
+  FuzzReport total;
+  total.mode = cfg.mode;
+  total.final_weights = cfg.weights;
+
+  const std::string weights_err = fuzz_weights_error(cfg.weights);
+  if (!weights_err.empty()) {
+    S2D_ERROR("run_fuzz: invalid FuzzWeights rejected: " << weights_err);
+    return total;  // empty report: scripts == 0
+  }
+
+  if (cfg.mode == FuzzMode::kFixed) {
+    FuzzReport fixed = run_fuzz_fixed(system, cfg);
+    fixed.mode = cfg.mode;
+    fixed.final_weights = cfg.weights;
+    total = std::move(fixed);
+  } else {
+    FuzzReport fb = run_fuzz_feedback(system, cfg);
+    fb.mode = cfg.mode;
+    total = std::move(fb);
+  }
+  total.coverage_bits = total.coverage.popcount();
   return total;
 }
 
@@ -254,6 +795,12 @@ std::string FuzzReport::fingerprint() const {
     h.mix(f.violations.duplication);
     h.mix(f.violations.replay);
   }
+  h.mix(static_cast<std::uint64_t>(mode));
+  h.mix(coverage.fingerprint_value());
+  h.mix(coverage_bits);
+  h.mix(rounds);
+  h.mix(corpus_kept);
+  for (const double w : fuzz_weights_array(final_weights)) h.mix(w);
   return h.hex();
 }
 

@@ -1,5 +1,5 @@
 // Schedule fuzzer: randomized deep-schedule search with counterexample
-// shrinking.
+// shrinking and (optionally) coverage-guided corpus evolution.
 //
 // The explorer (explorer.h) enumerates every interleaving but is capped
 // at depth ~7 by branching^depth; the §2.6 conditions and the §3 replay
@@ -12,12 +12,32 @@
 // as the oracle, and reports every violating schedule as a replayable
 // decision script.
 //
-// Determinism contract (mirrors docs/FLEET.md):
-//   * script i's randomness — the system's coin tosses AND the schedule —
-//     is a pure function of (root_seed, i) via fleet_session_seed;
-//   * shards share nothing; findings are merged sorted by script index;
-//   * therefore the FuzzReport (and its fingerprint) is byte-identical
-//     at any shard count.
+// Three search modes (FuzzMode):
+//
+//   kFixed     every script drawn fresh from FuzzWeights — blind
+//              sampling, the PR-2 behaviour;
+//   kCoverage  libFuzzer-style feedback: each script's event stream is
+//              folded into a CoverageMap (obs/coverage.h) of sliding
+//              event n-grams; any script that sets a bit the run has
+//              never seen joins a corpus, and later scripts are MUTANTS
+//              of corpus survivors (splice, truncate, delete-span,
+//              decision flip/insert, seed perturbation) instead of fresh
+//              samples;
+//   kAdaptive  kCoverage plus online re-weighting: decision categories
+//              that keep producing novel coverage have their FuzzWeights
+//              boosted (bounded by [base/4, base*4]), so generation
+//              drifts toward what the taxonomy says is unexplored.
+//
+// Determinism contract (mirrors docs/FLEET.md), all three modes:
+//   * script i's randomness — the system's coin tosses, the schedule AND
+//     the mutation choices — is a pure function of (root_seed, i) via
+//     fleet_session_seed;
+//   * coverage modes run in fixed-size ROUNDS: within a round shards
+//     share nothing, and the corpus / coverage map / adapted weights
+//     advance only at the round barrier, merged in script-index order on
+//     the calling thread;
+//   * therefore the FuzzReport (fingerprint, coverage bitmap, corpus
+//     size) is byte-identical at any shard count.
 //
 // A violating script is then minimized by shrink_script — greedy
 // delta-debugging over decision subsequences, preserving the violation
@@ -25,19 +45,29 @@
 // one-off falsification into a permanent regression test.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/systems.h"
 #include "link/checker.h"
+#include "obs/coverage.h"
 #include "obs/event.h"
+#include "util/rng.h"
 
 namespace s2d {
 
 /// Relative odds of each decision category. Categories that are
 /// infeasible at a step (no pending packet to deliver, nothing delivered
 /// yet to duplicate) drop out of that step's draw.
+///
+/// Validity: every weight must be finite and >= 0, and at least one must
+/// be positive — fuzz_weights_error() checks, parse_fuzz_weights()
+/// diagnoses, and run_fuzz() rejects invalid weights up front instead of
+/// silently degenerating to all-idle schedules.
 struct FuzzWeights {
   double deliver_oldest = 4.0;  // FIFO-ish progress
   double deliver_newest = 1.5;  // skip the backlog
@@ -50,12 +80,80 @@ struct FuzzWeights {
   double idle = 0.25;
 };
 
+/// The decision categories of FuzzWeights, in field order. The adaptive
+/// mode and the --weights parser address weights through this enum.
+enum class FuzzCat : std::uint8_t {
+  kDeliverOldest,
+  kDeliverNewest,
+  kDeliverRandom,
+  kDuplicate,
+  kCrashT,
+  kCrashR,
+  kRetry,
+  kTxTimer,
+  kIdle,
+  kFuzzCatCount,
+};
+
+inline constexpr std::size_t kFuzzCatCount =
+    static_cast<std::size_t>(FuzzCat::kFuzzCatCount);
+
+/// The FuzzWeights field name of a category ("deliver_oldest", ...).
+[[nodiscard]] const char* fuzz_cat_name(FuzzCat cat) noexcept;
+
+/// FuzzWeights <-> flat array, indexed by FuzzCat.
+[[nodiscard]] std::array<double, kFuzzCatCount> fuzz_weights_array(
+    const FuzzWeights& w) noexcept;
+[[nodiscard]] FuzzWeights fuzz_weights_from_array(
+    const std::array<double, kFuzzCatCount>& a) noexcept;
+
+/// Empty when `w` is valid (every weight finite and >= 0, at least one
+/// positive); otherwise a human-readable description of the first
+/// offending field. run_fuzz() refuses invalid weights.
+[[nodiscard]] std::string fuzz_weights_error(const FuzzWeights& w);
+
+/// Outcome of parsing a "--weights crash_r=2,retry=0.5"-style override
+/// spec. On failure, `column` (1-based) locates the offending token
+/// within the spec string, in the spirit of the script parser's
+/// line/column diagnostics.
+struct FuzzWeightsParse {
+  bool ok = false;
+  FuzzWeights weights;
+  std::size_t column = 0;
+  std::string error;
+};
+
+/// Parses comma-separated `category=value` overrides on top of `base`.
+/// Category names are the FuzzWeights field names (fuzz_cat_name).
+/// Every assignment is validated as it is applied: a negative, NaN or
+/// non-numeric value is a diagnosed error, never a silently accepted
+/// weight.
+[[nodiscard]] FuzzWeightsParse parse_fuzz_weights(std::string_view spec,
+                                                  FuzzWeights base = {});
+
+/// Search strategy of run_fuzz (see the file comment).
+enum class FuzzMode : std::uint8_t { kFixed, kCoverage, kAdaptive };
+
+[[nodiscard]] const char* fuzz_mode_name(FuzzMode mode) noexcept;
+
+/// Per-round progress snapshot, delivered on the *calling* thread at each
+/// round barrier of the coverage modes (never from workers, never in
+/// kFixed mode).
+struct FuzzProgress {
+  std::uint64_t rounds_done = 0;
+  std::uint64_t scripts_done = 0;
+  std::uint64_t coverage_bits = 0;  // popcount of the merged bitmap so far
+  std::uint64_t corpus_kept = 0;
+  std::uint64_t violating_scripts = 0;
+};
+
 struct FuzzerConfig {
   /// Number of random decision scripts to run.
   std::uint64_t scripts = 1000;
 
   /// Steps per script (the schedule depth; generation stops early at the
   /// first safety violation, so violating scripts end at the violation).
+  /// Mutated scripts are clamped to this depth too.
   std::uint32_t depth = 100;
 
   /// Root of all randomness; script i derives fleet_session_seed(root, i).
@@ -69,6 +167,23 @@ struct FuzzerConfig {
 
   /// Keep at most this many violating scripts (the lowest indices).
   std::size_t max_findings = 16;
+
+  /// Search strategy. kFixed reproduces the blind sampler.
+  FuzzMode mode = FuzzMode::kFixed;
+
+  /// Scripts per generation in the coverage modes. The corpus, coverage
+  /// map and adapted weights advance only at round barriers, so this is
+  /// the feedback latency — and it is part of the deterministic identity
+  /// of a run (same round_size => same report at any shard count).
+  std::uint32_t round_size = 64;
+
+  /// Corpus survivors kept at most (oldest kept; novelty is monotone, so
+  /// late survivors carry the rarest bits but a bounded corpus keeps
+  /// memory flat on long runs).
+  std::size_t max_corpus = 1024;
+
+  /// Round-barrier progress callback (coverage modes; may be empty).
+  std::function<void(const FuzzProgress&)> progress;
 };
 
 /// One violating schedule, replayable forever: rebuild the system with
@@ -90,12 +205,27 @@ struct FuzzReport {
   /// Lowest-index findings, sorted by index, truncated to max_findings.
   std::vector<FuzzFinding> findings;
 
+  FuzzMode mode = FuzzMode::kFixed;
+
+  /// Union of every script's event-n-gram coverage (all modes).
+  CoverageMap coverage;
+  std::uint64_t coverage_bits = 0;  // == coverage.popcount()
+
+  /// Coverage modes: rounds executed and corpus survivors kept.
+  std::uint64_t rounds = 0;
+  std::uint64_t corpus_kept = 0;
+
+  /// Weights in effect after the last round — cfg.weights except in
+  /// kAdaptive mode, where they are the online-adapted values.
+  FuzzWeights final_weights;
+
   [[nodiscard]] bool clean() const noexcept {
     return violating_scripts == 0;
   }
 
-  /// FNV-1a digest over every field; the determinism comparator (equal
-  /// root seed => equal fingerprint at any shard count).
+  /// FNV-1a digest over every field including the coverage bitmap; the
+  /// determinism comparator (equal root seed => equal fingerprint at any
+  /// shard count).
   [[nodiscard]] std::string fingerprint() const;
 };
 
@@ -112,15 +242,58 @@ struct FuzzRun {
 };
 
 /// Generates and executes one weighted random schedule of cfg.depth steps
-/// against `factory`, with the schedule drawn from `schedule_seed`.
+/// against `factory`, with the schedule drawn from `schedule_seed`. A
+/// non-null `sink` (e.g. a CoverageSink) is attached to the link's event
+/// bus for the duration of the run.
 [[nodiscard]] FuzzRun fuzz_script(const AdversaryLinkFactory& factory,
                                   std::uint64_t schedule_seed,
-                                  const FuzzerConfig& cfg);
+                                  const FuzzerConfig& cfg,
+                                  EventSink* sink = nullptr);
 
-/// Runs cfg.scripts random schedules against `system` across worker
-/// shards. Deterministic in cfg.root_seed at any cfg.threads.
+/// Executes a *given* script (a corpus mutant) against `factory` with the
+/// fuzzer's stop-at-first-violation semantics; the returned run's script
+/// is the executed prefix. A non-null `sink` observes the execution.
+[[nodiscard]] FuzzRun run_candidate(const AdversaryLinkFactory& factory,
+                                    std::vector<Decision> script,
+                                    const ScriptWorkload& workload,
+                                    EventSink* sink = nullptr);
+
+/// Runs cfg.scripts schedules against `system` across worker shards,
+/// fixed or coverage-guided per cfg.mode. Deterministic in cfg.root_seed
+/// at any cfg.threads. Invalid cfg.weights are rejected up front (empty
+/// report, an S2D_ERROR log line) — use fuzz_weights_error to pre-check.
 [[nodiscard]] FuzzReport run_fuzz(const SeededSystem& system,
                                   const FuzzerConfig& cfg);
+
+// --- Mutation operators ----------------------------------------------
+
+/// The corpus scheduler's mutation vocabulary. Every operator maps a
+/// valid script to a valid script (clamped to the depth cap; infeasible
+/// deliveries are legal — the executor drops unknown ids).
+enum class MutationOp : std::uint8_t {
+  kReseed,      // script unchanged; only the session seed moves
+  kTruncate,    // keep a random non-empty prefix
+  kDeleteSpan,  // delete a random contiguous span
+  kFlip,        // replace one decision with a fresh random one
+  kInsert,      // insert 1..4 fresh random decisions at one position
+  kSplice,      // parent prefix + other-parent suffix
+  kMutationOpCount,
+};
+
+inline constexpr std::size_t kMutationOpCount =
+    static_cast<std::size_t>(MutationOp::kMutationOpCount);
+
+[[nodiscard]] const char* mutation_op_name(MutationOp op) noexcept;
+
+/// Applies `op` to `parent` (and `other`, for kSplice) with every random
+/// choice drawn from `rng`; fresh decisions for kFlip/kInsert are drawn
+/// from `weights` (category odds) with packet ids bounded near the
+/// parent's. The result never exceeds `depth_cap` decisions and is never
+/// empty. Deterministic in (inputs, rng state).
+[[nodiscard]] std::vector<Decision> mutate_script(
+    const std::vector<Decision>& parent, const std::vector<Decision>& other,
+    MutationOp op, Rng& rng, const FuzzWeights& weights,
+    std::uint32_t depth_cap);
 
 // --- Violation classes & shrinking -----------------------------------
 

@@ -1,0 +1,79 @@
+#include "obs/coverage.h"
+
+#include <bit>
+
+#include "util/fnv.h"
+
+namespace s2d {
+namespace {
+
+/// FNV-1a over `n` tokens plus the gram length, so a 1-gram of token X
+/// and a 2-gram of (X, X) land on independent bits.
+std::uint64_t gram_hash(const std::uint64_t* tokens, std::size_t n) noexcept {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) h.mix(tokens[i]);
+  return h.value();
+}
+
+}  // namespace
+
+std::size_t CoverageMap::popcount() const noexcept {
+  std::size_t bits = 0;
+  for (const std::uint64_t w : words_) {
+    bits += static_cast<std::size_t>(std::popcount(w));
+  }
+  return bits;
+}
+
+void CoverageMap::merge(const CoverageMap& o) noexcept {
+  for (std::size_t i = 0; i < kWords; ++i) words_[i] |= o.words_[i];
+}
+
+std::size_t CoverageMap::merge_count_new(const CoverageMap& o) noexcept {
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    fresh += static_cast<std::size_t>(
+        std::popcount(o.words_[i] & ~words_[i]));
+    words_[i] |= o.words_[i];
+  }
+  return fresh;
+}
+
+std::size_t CoverageMap::count_new(const CoverageMap& o) const noexcept {
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    fresh += static_cast<std::size_t>(
+        std::popcount(o.words_[i] & ~words_[i]));
+  }
+  return fresh;
+}
+
+std::uint64_t CoverageMap::fingerprint_value() const noexcept {
+  Fnv1a h;
+  for (const std::uint64_t w : words_) h.mix(w);
+  return h.value();
+}
+
+std::string CoverageMap::fingerprint() const {
+  Fnv1a h;
+  for (const std::uint64_t w : words_) h.mix(w);
+  return h.hex();
+}
+
+void CoverageSink::on_event(const Event& ev) {
+  if ((mask_ & event_bit(ev.kind)) == 0) return;
+  // Slide the window left and append the newest token.
+  if (filled_ == kMaxGram) {
+    for (std::size_t i = 1; i < kMaxGram; ++i) window_[i - 1] = window_[i];
+    window_[kMaxGram - 1] = coverage_token(ev);
+  } else {
+    window_[filled_++] = coverage_token(ev);
+  }
+  // Every n-gram ending at this event: suffixes of the window.
+  for (std::size_t n = 1; n <= filled_; ++n) {
+    map_->add(gram_hash(window_.data() + (filled_ - n), n));
+  }
+}
+
+}  // namespace s2d

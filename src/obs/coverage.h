@@ -1,0 +1,117 @@
+// Event-n-gram coverage: the feedback signal that turns the schedule
+// fuzzer from a sampler into a searcher.
+//
+// A CoverageMap is a fixed bitmap (2^16 bits, 8 KiB) indexed by hashes
+// of sliding event n-grams. The CoverageSink listens on a DataLink's
+// EventBus, packs each non-tick event into a small token — (kind, dir,
+// side, detail), so a kPacketReject/kStaleChallenge and a kPacketReject/
+// kStaleRetry are *different* coverage points, as are kViolation details
+// and kEpochExtend — and sets one bit for the 1-gram, the 2-gram and the
+// 3-gram ending at that event. Unigram bits say "this protocol reaction
+// happened at all"; bigram/trigram bits say "in this order", which is
+// what distinguishes a crash-then-replay schedule from a replay-then-
+// crash one.
+//
+// Merging is bitwise OR — commutative and associative — so a fleet of
+// fuzz shards can OR per-script maps in any grouping and the aggregate
+// bitmap (and its fingerprint) is a pure function of the set of scripts
+// executed, never of shard count. That is the property the fuzzer's
+// determinism contract leans on (docs/FUZZING.md).
+//
+// Cost discipline: on_event is hash-and-set — a handful of multiplies
+// and one bitmap store, no allocation, no branches beyond the tick mask.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/event.h"
+
+namespace s2d {
+
+/// Fixed-size coverage bitmap. Value type (8 KiB): cheap enough to put
+/// one on the stack per fuzzed script and OR into a shard aggregate.
+class CoverageMap {
+ public:
+  static constexpr std::size_t kBits = std::size_t{1} << 16;
+  static constexpr std::size_t kWords = kBits / 64;
+
+  /// Sets the bit for `hash`; true iff the bit was newly set.
+  bool add(std::uint64_t hash) noexcept {
+    const std::size_t bit = static_cast<std::size_t>(hash % kBits);
+    std::uint64_t& word = words_[bit / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+    const bool fresh = (word & mask) == 0;
+    word |= mask;
+    return fresh;
+  }
+
+  [[nodiscard]] bool test(std::uint64_t hash) const noexcept {
+    const std::size_t bit = static_cast<std::size_t>(hash % kBits);
+    return (words_[bit / 64] & (std::uint64_t{1} << (bit % 64))) != 0;
+  }
+
+  /// Number of distinct bits set.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// ORs `o` into this map.
+  void merge(const CoverageMap& o) noexcept;
+
+  /// ORs `o` into this map and returns how many of o's bits were new
+  /// here — the novelty signal the corpus scheduler keys on.
+  std::size_t merge_count_new(const CoverageMap& o) noexcept;
+
+  /// Bits set in `o` but not in this map, without modifying either.
+  [[nodiscard]] std::size_t count_new(const CoverageMap& o) const noexcept;
+
+  void clear() noexcept { words_ = {}; }
+
+  /// FNV-1a over the raw words: equal fingerprints mean equal bitmaps.
+  [[nodiscard]] std::uint64_t fingerprint_value() const noexcept;
+  [[nodiscard]] std::string fingerprint() const;
+
+  friend bool operator==(const CoverageMap&, const CoverageMap&) = default;
+
+ private:
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+/// Packs the coverage-relevant identity of an event into one token.
+/// Scalars (lengths, packet ids, epoch values) are deliberately excluded:
+/// coverage is over the protocol-reaction *taxonomy*, not over payloads,
+/// so the bitmap saturates at the reachable behaviour set instead of
+/// growing with workload size.
+[[nodiscard]] constexpr std::uint64_t coverage_token(const Event& ev) noexcept {
+  return (static_cast<std::uint64_t>(ev.kind) << 24) |
+         (static_cast<std::uint64_t>(ev.dir) << 16) |
+         (static_cast<std::uint64_t>(ev.side) << 8) |
+         static_cast<std::uint64_t>(ev.detail);
+}
+
+/// EventSink that folds the event stream into a CoverageMap (borrowed,
+/// not owned). One sink per script run; reset_window() between runs if a
+/// sink is reused, so the first events of a script never form n-grams
+/// with the tail of the previous one.
+class CoverageSink final : public EventSink {
+ public:
+  explicit CoverageSink(CoverageMap* map,
+                        EventMask mask = kAllEvents & ~kTickEvents) noexcept
+      : map_(map), mask_(mask) {}
+
+  void on_event(const Event& ev) override;
+
+  /// Forgets the sliding window (the map is untouched).
+  void reset_window() noexcept { filled_ = 0; }
+
+ private:
+  static constexpr std::size_t kMaxGram = 3;
+
+  CoverageMap* map_;
+  EventMask mask_;
+  std::array<std::uint64_t, kMaxGram> window_{};  // most recent last
+  std::size_t filled_ = 0;
+};
+
+}  // namespace s2d

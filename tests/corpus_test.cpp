@@ -12,8 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/fuzzer.h"
 #include "harness/systems.h"
 #include "link/script.h"
+#include "obs/render.h"
 
 namespace s2d {
 namespace {
@@ -82,6 +84,62 @@ TEST(Corpus, EveryScriptReplaysToItsExpectedVerdict) {
         << path << ": expected " << doc.expect << ", replay produced "
         << counts.summary();
   }
+}
+
+TEST(Corpus, WhyAnnotationsStillMatchTheReplayedEventSuffix) {
+  // Witnesses written by tools/fuzz carry a `# why` block: the event
+  // suffix the instrumented replay saw, ending at the violation. Re-run
+  // each annotated script and require the suffix to match line for line
+  // — if the protocol's event stream drifts, the annotation (and the
+  // understanding it encodes) is stale and must be regenerated.
+  const std::string kWhyHeader = "# why (violating event suffix):";
+  bool saw_annotated = false;
+  for (const fs::path& path : corpus_files()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    // Collect the `#   <event>` lines following the why header.
+    std::vector<std::string> recorded;
+    std::istringstream lines(text);
+    std::string line;
+    bool in_why = false;
+    while (std::getline(lines, line)) {
+      if (line == kWhyHeader) {
+        in_why = true;
+        continue;
+      }
+      if (!in_why) continue;
+      if (line.rfind("#   ", 0) == 0) {
+        recorded.push_back(line.substr(4));
+      } else {
+        break;  // the why block is contiguous
+      }
+    }
+    if (recorded.empty()) continue;
+    saw_annotated = true;
+
+    const ScriptDocParse parsed = parse_script_doc(text);
+    ASSERT_TRUE(parsed.ok) << path << ": " << parsed.error;
+    const ScriptDoc& doc = parsed.doc;
+    const AdversaryLinkFactory factory =
+        make_system_factory(doc.system, doc.seed);
+    ASSERT_TRUE(factory) << path;
+
+    const std::vector<Event> tail =
+        violation_tail(factory, doc.decisions,
+                       ScriptWorkload{doc.messages, doc.payload_bytes});
+    ASSERT_EQ(tail.size(), recorded.size()) << path;
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+      EXPECT_EQ(format_event(tail[i]), recorded[i])
+          << path << ": why line " << i << " drifted";
+    }
+  }
+  EXPECT_TRUE(saw_annotated)
+      << "no corpus file carries a # why block; regenerate at least one "
+         "witness with tools/fuzz";
 }
 
 TEST(Corpus, GhmScriptsAreCleanAndBaselineScriptsAreNot) {

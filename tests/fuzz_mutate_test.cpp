@@ -1,0 +1,256 @@
+// Mutation-operator property suite (harness/fuzzer.h): every mutation of
+// a valid decision script must (1) stay within the depth cap and never
+// be empty, (2) survive a serialize -> re-parse round trip unchanged,
+// (3) replay cleanly under the script executor (unknown packet ids drop,
+// they never crash the run), (4) be deterministic in the RNG state, and
+// (5) keep the structural relation its operator promises (prefix,
+// subsequence, splice shape). Shrunk violating mutants must preserve
+// their violation class.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "harness/fuzzer.h"
+#include "harness/systems.h"
+#include "link/script.h"
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+/// A pool of realistic parent scripts: recorded random schedules of
+/// different lengths (violating and clean) against two systems.
+std::vector<std::vector<Decision>> parent_pool() {
+  std::vector<std::vector<Decision>> pool;
+  FuzzerConfig cfg;
+  cfg.depth = 40;
+  for (const char* name : {"abp", "fixed_nonce"}) {
+    const SeededSystem system = make_seeded_system(name);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      FuzzRun run = fuzz_script(system(seed), seed, cfg);
+      if (!run.script.empty()) pool.push_back(std::move(run.script));
+    }
+  }
+  return pool;
+}
+
+/// True iff `needle` is a (not necessarily contiguous) subsequence of
+/// `hay`.
+bool is_subsequence(const std::vector<Decision>& needle,
+                    const std::vector<Decision>& hay) {
+  std::size_t i = 0;
+  for (const Decision& d : hay) {
+    if (i < needle.size() && needle[i] == d) ++i;
+  }
+  return i == needle.size();
+}
+
+constexpr std::uint32_t kDepthCap = 40;
+
+class MutateTest : public ::testing::TestWithParam<MutationOp> {};
+
+TEST_P(MutateTest, StaysBoundedAndNonEmpty) {
+  const MutationOp op = GetParam();
+  Rng rng(0x5eed);
+  for (const auto& parent : parent_pool()) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto mutant =
+          mutate_script(parent, parent, op, rng, FuzzWeights{}, kDepthCap);
+      EXPECT_FALSE(mutant.empty()) << mutation_op_name(op);
+      EXPECT_LE(mutant.size(), kDepthCap) << mutation_op_name(op);
+    }
+  }
+}
+
+TEST_P(MutateTest, SerializesAndReParsesToItself) {
+  const MutationOp op = GetParam();
+  Rng rng(0x70a5);
+  for (const auto& parent : parent_pool()) {
+    const auto mutant =
+        mutate_script(parent, parent, op, rng, FuzzWeights{}, kDepthCap);
+    const ScriptParse reparsed = parse_script(render_script(mutant));
+    ASSERT_TRUE(reparsed.ok)
+        << mutation_op_name(op) << ": " << reparsed.error;
+    EXPECT_EQ(reparsed.decisions, mutant) << mutation_op_name(op);
+  }
+}
+
+TEST_P(MutateTest, ReplaysCleanlyOnEverySystem) {
+  // Arbitrary mutants are legal scripts: deliveries of ids that were
+  // never sent simply drop. The replay must execute (and terminate)
+  // without any precondition on the mutant's shape.
+  const MutationOp op = GetParam();
+  Rng rng(2026);
+  const SeededSystem system = make_seeded_system("ghm");
+  for (const auto& parent : parent_pool()) {
+    const auto mutant =
+        mutate_script(parent, parent, op, rng, FuzzWeights{}, kDepthCap);
+    const DataLink link =
+        replay_script(system(3), mutant, ScriptWorkload{});
+    EXPECT_LE(link.stats().steps, mutant.size()) << mutation_op_name(op);
+  }
+}
+
+TEST_P(MutateTest, DeterministicInRngState) {
+  const MutationOp op = GetParam();
+  for (const auto& parent : parent_pool()) {
+    Rng rng_a(0xabcd);
+    Rng rng_b(0xabcd);
+    const auto a =
+        mutate_script(parent, parent, op, rng_a, FuzzWeights{}, kDepthCap);
+    const auto b =
+        mutate_script(parent, parent, op, rng_b, FuzzWeights{}, kDepthCap);
+    EXPECT_EQ(a, b) << mutation_op_name(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, MutateTest,
+    ::testing::Values(MutationOp::kReseed, MutationOp::kTruncate,
+                      MutationOp::kDeleteSpan, MutationOp::kFlip,
+                      MutationOp::kInsert, MutationOp::kSplice),
+    [](const ::testing::TestParamInfo<MutationOp>& param_info) {
+      std::string name = mutation_op_name(param_info.param);
+      name.erase(std::remove(name.begin(), name.end(), '_'), name.end());
+      return name;
+    });
+
+TEST(Mutate, ReseedLeavesTheScriptUntouched) {
+  Rng rng(1);
+  for (const auto& parent : parent_pool()) {
+    const auto mutant = mutate_script(parent, parent, MutationOp::kReseed,
+                                      rng, FuzzWeights{}, kDepthCap);
+    EXPECT_EQ(mutant, parent);
+  }
+}
+
+TEST(Mutate, TruncateKeepsAPrefix) {
+  Rng rng(2);
+  for (const auto& parent : parent_pool()) {
+    const auto mutant = mutate_script(parent, parent, MutationOp::kTruncate,
+                                      rng, FuzzWeights{}, kDepthCap);
+    ASSERT_LE(mutant.size(), parent.size());
+    EXPECT_TRUE(std::equal(mutant.begin(), mutant.end(), parent.begin()));
+  }
+}
+
+TEST(Mutate, DeleteSpanKeepsASubsequence) {
+  Rng rng(3);
+  for (const auto& parent : parent_pool()) {
+    const auto mutant =
+        mutate_script(parent, parent, MutationOp::kDeleteSpan, rng,
+                      FuzzWeights{}, kDepthCap);
+    EXPECT_LE(mutant.size(), std::max<std::size_t>(parent.size(), 1));
+    if (mutant.size() <= parent.size()) {
+      EXPECT_TRUE(is_subsequence(mutant, parent));
+    }
+  }
+}
+
+TEST(Mutate, FlipChangesAtMostOnePosition) {
+  Rng rng(4);
+  for (const auto& parent : parent_pool()) {
+    const auto capped = [&] {
+      auto p = parent;
+      if (p.size() > kDepthCap) p.resize(kDepthCap);
+      return p;
+    }();
+    const auto mutant = mutate_script(capped, capped, MutationOp::kFlip,
+                                      rng, FuzzWeights{}, kDepthCap);
+    ASSERT_EQ(mutant.size(), capped.size());
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < mutant.size(); ++i) {
+      if (!(mutant[i] == capped[i])) ++diffs;
+    }
+    EXPECT_LE(diffs, 1u);
+  }
+}
+
+TEST(Mutate, InsertKeepsTheParentAsASubsequence) {
+  Rng rng(5);
+  for (const auto& parent : parent_pool()) {
+    auto small = parent;
+    if (small.size() > 20) small.resize(20);  // leave room under the cap
+    const auto mutant = mutate_script(small, small, MutationOp::kInsert,
+                                      rng, FuzzWeights{}, kDepthCap);
+    EXPECT_GE(mutant.size(), small.size());
+    EXPECT_TRUE(is_subsequence(small, mutant));
+  }
+}
+
+TEST(Mutate, SpliceJoinsAPrefixAndASuffix) {
+  Rng rng(6);
+  const auto pool = parent_pool();
+  ASSERT_GE(pool.size(), 2u);
+  const auto& a = pool[0];
+  const auto& b = pool[1];
+  const auto mutant = mutate_script(a, b, MutationOp::kSplice, rng,
+                                    FuzzWeights{}, 1000);
+  // Some prefix of the mutant matches a's prefix; the rest is a suffix
+  // of b.
+  std::size_t cut = 0;
+  while (cut < mutant.size() && cut < a.size() && mutant[cut] == a[cut]) {
+    ++cut;
+  }
+  const std::size_t tail = mutant.size() - cut;
+  ASSERT_LE(tail, b.size());
+  EXPECT_TRUE(std::equal(mutant.begin() + static_cast<std::ptrdiff_t>(cut),
+                         mutant.end(), b.end() - static_cast<std::ptrdiff_t>(tail)));
+}
+
+TEST(Mutate, ViolatingMutantsShrinkWithoutChangingClass) {
+  // Close the loop with the shrinker: when a mutant violates, ddmin must
+  // preserve its violation class — the same guarantee fresh
+  // counterexamples get.
+  const SeededSystem system = make_seeded_system("fixed_nonce");
+  FuzzerConfig cfg;
+  cfg.depth = 60;
+  Rng rng(0xfeed);
+  int shrunk_cases = 0;
+  for (std::uint64_t seed = 1; seed <= 20 && shrunk_cases < 3; ++seed) {
+    FuzzRun parent = fuzz_script(system(seed), seed, cfg);
+    if (parent.script.empty()) continue;
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto op =
+          static_cast<MutationOp>(rng.next_below(kMutationOpCount));
+      const auto mutant = mutate_script(parent.script, parent.script, op,
+                                        rng, FuzzWeights{}, cfg.depth);
+      const FuzzRun run =
+          run_candidate(system(seed), mutant, cfg.workload);
+      if (!run.violating()) continue;
+      ++shrunk_cases;
+      const std::uint32_t cls = violation_class(run.violations);
+      const ShrinkResult shrunk =
+          shrink_script(system(seed), run.script, cfg.workload);
+      EXPECT_LE(shrunk.script.size(), run.script.size());
+      EXPECT_EQ(violation_class(shrunk.violations) & cls, cls)
+          << mutation_op_name(op) << " seed " << seed;
+      EXPECT_FALSE(shrunk.tail.empty());
+    }
+  }
+  EXPECT_GE(shrunk_cases, 1);
+}
+
+TEST(Mutate, RunCandidateStopsAtTheFirstViolation) {
+  // run_candidate mirrors fuzz_script's stop-on-violation semantics: the
+  // returned script is the executed prefix, and replaying it reproduces
+  // the recorded counts.
+  const SeededSystem system = make_seeded_system("abp");
+  FuzzerConfig cfg;
+  cfg.depth = 60;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FuzzRun source = fuzz_script(system(seed), seed, cfg);
+    if (!source.violating()) continue;
+    const FuzzRun rerun =
+        run_candidate(system(seed), source.script, cfg.workload);
+    EXPECT_EQ(rerun.script, source.script);
+    EXPECT_EQ(rerun.steps, source.steps);
+    EXPECT_EQ(violation_class(rerun.violations),
+              violation_class(source.violations));
+    return;
+  }
+  GTEST_FAIL() << "no violating abp script in the probe budget";
+}
+
+}  // namespace
+}  // namespace s2d

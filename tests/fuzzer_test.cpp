@@ -4,6 +4,9 @@
 // and shrink counterexamples without changing what they prove.
 #include "harness/fuzzer.h"
 
+#include <algorithm>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "fleet/fleet.h"
@@ -139,6 +142,136 @@ TEST(Fuzzer, ShrinkerPropertiesOverRandomSeeds) {
   // The ABP baseline violates often; if this stops holding the budget is
   // wrong, not the property.
   EXPECT_GE(shrunk_cases, 3);
+}
+
+// --- Weights validation ----------------------------------------------
+
+TEST(FuzzWeightsValidation, DefaultsAreValid) {
+  EXPECT_EQ(fuzz_weights_error(FuzzWeights{}), "");
+}
+
+TEST(FuzzWeightsValidation, NegativeAndNanWeightsAreDiagnosed) {
+  FuzzWeights w;
+  w.crash_r = -1.0;
+  std::string err = fuzz_weights_error(w);
+  EXPECT_NE(err.find("crash_r"), std::string::npos) << err;
+
+  w = FuzzWeights{};
+  w.retry = std::numeric_limits<double>::quiet_NaN();
+  err = fuzz_weights_error(w);
+  EXPECT_NE(err.find("retry"), std::string::npos) << err;
+
+  w = FuzzWeights{};
+  w.idle = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(fuzz_weights_error(w).empty());
+}
+
+TEST(FuzzWeightsValidation, AllZeroWeightsAreRejected) {
+  const auto zeros = std::array<double, kFuzzCatCount>{};
+  const std::string err =
+      fuzz_weights_error(fuzz_weights_from_array(zeros));
+  EXPECT_NE(err.find("zero"), std::string::npos) << err;
+}
+
+TEST(FuzzWeightsValidation, RunFuzzRejectsInvalidWeightsUpFront) {
+  FuzzerConfig cfg = small_budget();
+  cfg.weights.duplicate = -2.0;
+  for (const FuzzMode mode :
+       {FuzzMode::kFixed, FuzzMode::kCoverage, FuzzMode::kAdaptive}) {
+    cfg.mode = mode;
+    const FuzzReport report = run_fuzz(make_seeded_system("abp"), cfg);
+    EXPECT_EQ(report.scripts, 0u) << fuzz_mode_name(mode);
+    EXPECT_TRUE(report.findings.empty()) << fuzz_mode_name(mode);
+  }
+}
+
+TEST(FuzzWeightsParse, AppliesOverridesOnTopOfBase) {
+  const FuzzWeightsParse p = parse_fuzz_weights("crash_r=2,retry=0.5");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_DOUBLE_EQ(p.weights.crash_r, 2.0);
+  EXPECT_DOUBLE_EQ(p.weights.retry, 0.5);
+  EXPECT_DOUBLE_EQ(p.weights.idle, FuzzWeights{}.idle);  // untouched
+}
+
+TEST(FuzzWeightsParse, DiagnosesErrorsWithAColumn) {
+  // Unknown category: column points at the assignment.
+  FuzzWeightsParse p = parse_fuzz_weights("crash_r=2,bogus=1");
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(p.column, 11u);
+  EXPECT_NE(p.error.find("bogus"), std::string::npos);
+
+  // Non-numeric value: column points at the value.
+  p = parse_fuzz_weights("retry=fast");
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(p.column, 7u);
+
+  // Negative value: rejected at parse time, not silently accepted.
+  p = parse_fuzz_weights("duplicate=-1");
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(p.column, 11u);
+  EXPECT_NE(p.error.find("duplicate"), std::string::npos);
+
+  // NaN spelled out is still invalid.
+  p = parse_fuzz_weights("idle=nan");
+  EXPECT_FALSE(p.ok);
+
+  // Missing '='.
+  p = parse_fuzz_weights("crash_r");
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(p.column, 1u);
+
+  // Overrides that zero every weight are invalid as a whole.
+  p = parse_fuzz_weights(
+      "deliver_oldest=0,deliver_newest=0,deliver_random=0,duplicate=0,"
+      "crash_t=0,crash_r=0,retry=0,tx_timer=0,idle=0");
+  EXPECT_FALSE(p.ok);
+}
+
+// --- Coverage-guided rediscovery (the acceptance experiment) ---------
+//
+// With delivery restricted to oldest-first and no duplicate/crash
+// categories, the blind sampler produces FIFO-ish schedules and never
+// lines up the §3 replay at this budget. The coverage-guided loop,
+// mutating survivors (flips/inserts/splices redeliver arbitrary packet
+// ids), rediscovers it from scratch — no seed corpus — at the SAME
+// budget, weights and root seed. This pins the exact configuration the
+// CI fuzz-coverage-smoke job runs.
+TEST(Fuzzer, CoverageModeRediscoversFixedNonceReplayWhereFixedCannot) {
+  FuzzerConfig cfg;
+  cfg.scripts = 300;
+  cfg.depth = 100;
+  cfg.root_seed = 2;
+  cfg.threads = 0;
+  const FuzzWeightsParse profile = parse_fuzz_weights(
+      "deliver_newest=0,deliver_random=0,duplicate=0,crash_t=0,crash_r=0");
+  ASSERT_TRUE(profile.ok) << profile.error;
+  cfg.weights = profile.weights;
+
+  const SeededSystem system = make_seeded_system("fixed_nonce");
+
+  cfg.mode = FuzzMode::kFixed;
+  const FuzzReport fixed = run_fuzz(system, cfg);
+  EXPECT_EQ(fixed.violations.replay, 0u)
+      << "blind sampling found replay at the pinned budget; retune the "
+         "rediscovery experiment";
+
+  cfg.mode = FuzzMode::kCoverage;
+  const FuzzReport guided = run_fuzz(system, cfg);
+  EXPECT_GT(guided.violations.replay, 0u)
+      << "coverage guidance no longer rediscovers the §3 replay";
+  EXPECT_GT(guided.coverage_bits, fixed.coverage_bits);
+
+  // The rediscovered counterexample shrinks to a corpus-ready witness
+  // that still replays to the replay verdict.
+  const auto replay_finding = std::find_if(
+      guided.findings.begin(), guided.findings.end(),
+      [](const FuzzFinding& f) { return f.violations.replay > 0; });
+  ASSERT_NE(replay_finding, guided.findings.end());
+  const ShrinkResult shrunk = shrink_script(
+      system(replay_finding->seed), replay_finding->script, cfg.workload);
+  EXPECT_GT(shrunk.violations.replay, 0u);
+  EXPECT_LE(shrunk.script.size(), replay_finding->script.size());
+  EXPECT_FALSE(shrunk.tail.empty());
 }
 
 TEST(Fuzzer, ShrinkingACleanScriptReturnsItUnchanged) {
