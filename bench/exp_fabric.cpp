@@ -1,0 +1,239 @@
+// E17 — multi-hop composition: end-to-end delivery vs the per-link
+// union bound (§1's transport deployment, made quantitative).
+//
+// Paper claim: each GHM link is correct with probability >= 1 - eps.
+// Deployed as the link layer of an h-hop store-and-forward path ("in
+// conjunction with a semi-reliable protocol run by the processors
+// connecting them in the network", §1), the guarantee composes by a
+// union bound at best: P(end-to-end failure) <= h * f_link, so measured
+// end-to-end delivery must sit at or above 1 - h * f_link.
+//
+// Measurement: a line:(h+1) fabric per trial, every hop link running ghm
+// under an identical RandomFaultAdversary (loss for retry pressure,
+// per-step crash^T/crash^R for real faults). f_link is measured on the
+// h=1 row of the same configuration; each deeper row reports measured
+// unique-message delivery against the 1 - h*f_link prediction, the
+// composition erosion the per-link checkers cannot see (end-to-end
+// duplications from hop receiver crashes), and the custody storage the
+// relays pay (high-water bytes) — the storage axis of the composition.
+//
+// Per-link §2.6 stays clean throughout (links_clean column): the paper's
+// guarantee holds on every hop even while the composed path erodes.
+//
+// Trials are dealt round-robin across worker shards and merged in trial
+// order, so every number is deterministic in --seed at any --threads.
+#include <algorithm>
+#include <cmath>
+
+#include "adversary/adversaries.h"
+#include "bench_common.h"
+#include "fleet/fleet.h"
+#include "harness/fabric.h"
+#include "harness/runner.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace s2d {
+namespace {
+
+/// Salt of the per-link fault streams, disjoint per directed link.
+constexpr std::uint64_t kHopFaultSalt = 0x653137686f70ULL;  // "e17hop"
+
+struct TrialTotals {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered_unique = 0;
+  std::uint64_t delivered_total = 0;  // incl. end-to-end duplicates
+  std::uint64_t e2e_duplications = 0;
+  std::uint64_t custody_high_water = 0;  // max over trials
+  bool links_clean = true;
+
+  void merge(const TrialTotals& o) {
+    offered += o.offered;
+    delivered_unique += o.delivered_unique;
+    delivered_total += o.delivered_total;
+    e2e_duplications += o.e2e_duplications;
+    custody_high_water = std::max(custody_high_water, o.custody_high_water);
+    links_clean = links_clean && o.links_clean;
+  }
+};
+
+TrialTotals run_trial(std::uint64_t hops, std::uint64_t messages,
+                      std::uint64_t steps, const FaultProfile& profile,
+                      std::uint64_t seed) {
+  // Free-running hop links: executor timers on (retry_every = 1, the
+  // model's "RETRY occurs infinitely often"), unlike the script-time
+  // config make_fabric uses, where all timing flows through decisions.
+  const HopLinkBuilder links = [seed](std::uint32_t link,
+                                      std::unique_ptr<Adversary> adv) {
+    ModulePair pair = make_module_pair("ghm", seed + link);
+    DataLinkConfig cfg;
+    cfg.keep_trace = false;
+    cfg.collect_deliveries = true;
+    return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                    cfg);
+  };
+  const HopAdversaryBuilder faults =
+      [&profile, seed](std::uint32_t link) -> std::unique_ptr<Adversary> {
+    return std::make_unique<RandomFaultAdversary>(
+        profile, Rng(seed).fork(kHopFaultSalt + link));
+  };
+  auto graph =
+      parse_topology("line:" + std::to_string(hops + 1), nullptr);
+  TransportFabric fabric_obj(std::move(*graph), links, faults);
+  TransportFabric* fabric = &fabric_obj;
+  const std::uint64_t session =
+      fabric->add_session(0, static_cast<NodeId>(hops));
+
+  TrialTotals t;
+  Rng payload_rng(seed ^ 0xe17);
+  std::uint64_t next_msg = 1;
+  std::vector<char> seen(messages + 1, 0);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    if (next_msg <= messages && fabric->tm_ready(session)) {
+      fabric->offer(session, {next_msg, make_payload(2, payload_rng)});
+      ++next_msg;
+      ++t.offered;
+    }
+    fabric->step();
+    for (const Message& m : fabric->take_delivered(session)) {
+      ++t.delivered_total;
+      if (m.id <= messages && seen[m.id] == 0) {
+        seen[m.id] = 1;
+        ++t.delivered_unique;
+      }
+    }
+  }
+  t.e2e_duplications = fabric->checker(session).violations().duplication;
+  t.custody_high_water = fabric->custody_high_water();
+  t.links_clean = fabric->links_clean();
+  return t;
+}
+
+TrialTotals run_row(std::uint64_t hops, std::uint64_t trials,
+                    std::uint64_t messages, std::uint64_t steps,
+                    const FaultProfile& profile, std::uint64_t root_seed,
+                    unsigned threads) {
+  const unsigned shards =
+      trials == 0 ? 1U
+                  : static_cast<unsigned>(
+                        std::min<std::uint64_t>(threads, trials));
+  std::vector<TrialTotals> partials(shards);
+  parallel_shards(shards, [&](unsigned shard) {
+    for (std::uint64_t i = shard; i < trials; i += shards) {
+      partials[shard].merge(run_trial(hops, messages, steps, profile,
+                                      fleet_session_seed(root_seed, i)));
+    }
+  });
+  TrialTotals total;
+  for (const TrialTotals& p : partials) total.merge(p);
+  return total;
+}
+
+int run(int argc, char** argv) {
+  Flags flags("E17: end-to-end delivery across h GHM hops vs the union "
+              "bound");
+  flags.define("hops", "1,2,4,8", "hop counts h (line:(h+1) fabrics)")
+      .define("trials", "200", "fabrics per row")
+      .define("messages", "8", "messages offered per trial")
+      .define("steps-per-msg", "80",
+              "step budget per message (plus pipeline fill per hop)")
+      .define("loss", "0.05", "per-step hop packet loss (retry pressure)")
+      .define("crash", "0.001",
+              "per-step hop crash^T and crash^R probability — the fault "
+              "rate that erodes the composition")
+      .define("seed", "1789", "root seed (trial i uses "
+              "fleet_session_seed(seed, i))")
+      .define("slack", "0.02",
+              "statistical slack allowed under the union bound by --gate")
+      .define("gate", "false",
+              "exit 1 when any row's measured delivery falls below "
+              "1 - h*f_link - slack, or a hop link violates §2.6")
+      .define("fail-under-delivery", "0",
+              "exit 1 when the deepest row's delivery rate falls below "
+              "this (CI baseline gate; 0 disables)")
+      .define("csv", "false", "emit CSV")
+      .define_threads()
+      .define_log_level();
+  if (!flags.parse(argc, argv)) return flags.failed() ? 1 : 0;
+  if (!flags.apply_log_level()) return 1;
+
+  const std::uint64_t trials = flags.get_u64("trials");
+  const std::uint64_t messages = flags.get_u64("messages");
+  const std::uint64_t steps_per_msg = flags.get_u64("steps-per-msg");
+  const std::uint64_t root_seed = flags.get_u64("seed");
+  const double slack = flags.get_double("slack");
+  const unsigned threads = flags.get_threads();
+  const bool csv = flags.get_bool("csv");
+  FaultProfile profile;
+  profile.loss = flags.get_double("loss");
+  profile.crash_t = flags.get_double("crash");
+  profile.crash_r = flags.get_double("crash");
+
+  bench::print_header(
+      "E17: measured end-to-end delivery across h GHM hops",
+      "per-link checkers stay clean; the composed path may only lose "
+      "union-bound mass (delivery >= 1 - h*f_link)");
+
+  // The per-link reference: same configuration, one hop.
+  const std::uint64_t ref_steps = messages * steps_per_msg + 100;
+  const TrialTotals ref =
+      run_row(1, trials, messages, ref_steps, profile, root_seed, threads);
+  const double f_link =
+      ref.offered == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(ref.delivered_unique) /
+                      static_cast<double>(ref.offered);
+
+  Table table({"h", "offered", "delivered", "rate", "union_bound",
+               "margin", "e2e_dups", "custody_hw_B", "links_clean"});
+  bool gate_ok = true;
+  double deepest_rate = 1.0;
+  for (const std::uint64_t h : flags.get_u64_list("hops")) {
+    if (h == 0) continue;
+    const std::uint64_t steps = messages * steps_per_msg + h * 100;
+    const TrialTotals t = h == 1 ? ref
+                                 : run_row(h, trials, messages, steps,
+                                           profile, root_seed, threads);
+    const double rate =
+        t.offered == 0 ? 0.0
+                       : static_cast<double>(t.delivered_unique) /
+                             static_cast<double>(t.offered);
+    const double bound =
+        std::max(0.0, 1.0 - static_cast<double>(h) * f_link);
+    char rate_s[32];
+    char bound_s[32];
+    char margin_s[32];
+    std::snprintf(rate_s, sizeof(rate_s), "%.4f", rate);
+    std::snprintf(bound_s, sizeof(bound_s), "%.4f", bound);
+    std::snprintf(margin_s, sizeof(margin_s), "%+.4f", rate - bound);
+    table.add_row({std::to_string(h), std::to_string(t.offered),
+                   std::to_string(t.delivered_unique), rate_s, bound_s,
+                   margin_s, std::to_string(t.e2e_duplications),
+                   std::to_string(t.custody_high_water),
+                   t.links_clean ? "yes" : "NO"});
+    if (rate < bound - slack || !t.links_clean) gate_ok = false;
+    deepest_rate = rate;
+  }
+  bench::emit(table, csv);
+
+  std::cout << "# f_link (measured at h=1): " << f_link << "\n";
+
+  int exit_code = 0;
+  if (flags.get_bool("gate") && !gate_ok) {
+    std::cerr << "FAIL: a row fell below its union bound by more than "
+              << slack << " (or a hop link violated §2.6)\n";
+    exit_code = 1;
+  }
+  const double min_delivery = flags.get_double("fail-under-delivery");
+  if (min_delivery > 0.0 && deepest_rate < min_delivery) {
+    std::cerr << "FAIL: deepest row delivery " << deepest_rate
+              << " < required " << min_delivery << "\n";
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace s2d
+
+int main(int argc, char** argv) { return s2d::run(argc, argv); }

@@ -1,0 +1,74 @@
+#include "harness/fabric.h"
+
+#include <utility>
+
+#include "harness/runner.h"
+#include "util/rng.h"
+
+namespace s2d {
+
+HopLinkBuilder make_fabric_link_builder(const std::string& name,
+                                        std::uint64_t root_seed,
+                                        bool keep_trace) {
+  if (!make_module_pair(name, 0).tm) return {};
+  return [name, root_seed, keep_trace](std::uint32_t link,
+                                       std::unique_ptr<Adversary> adv) {
+    ModulePair pair = make_module_pair(name, root_seed + link);
+    DataLinkConfig cfg = script_link_config(keep_trace);
+    cfg.collect_deliveries = true;  // the fabric forwards custody from here
+    return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
+                    cfg);
+  };
+}
+
+std::unique_ptr<TransportFabric> make_fabric(
+    const FabricScriptDoc& doc, bool keep_trace, std::string* error,
+    const HopAdversaryBuilder& adversary_builder) {
+  std::string topo_error;
+  auto graph = parse_topology(doc.topology, &topo_error);
+  if (!graph) {
+    if (error != nullptr) *error = topo_error;
+    return nullptr;
+  }
+  HopLinkBuilder builder =
+      make_fabric_link_builder(doc.system, doc.seed, keep_trace);
+  if (!builder) {
+    if (error != nullptr) *error = "unknown system '" + doc.system + "'";
+    return nullptr;
+  }
+  return std::make_unique<TransportFabric>(std::move(*graph), builder,
+                                           adversary_builder);
+}
+
+FabricRunResult replay_fabric_script(const FabricScriptDoc& doc,
+                                     bool keep_trace, EventSink* sink) {
+  FabricRunResult r;
+  r.fabric = make_fabric(doc, keep_trace, &r.error);
+  if (r.fabric == nullptr) return r;
+  TransportFabric& fabric = *r.fabric;
+  r.session =
+      fabric.add_session(0, fabric.graph().node_count() - 1);
+  if (sink != nullptr) fabric.bus().attach(sink);
+  // Mirror drive_script_workload exactly: offer whenever the (end-to-end)
+  // transmitter is ready, before the first decision and after every one.
+  Rng payload_rng(kScriptPayloadSeed);
+  std::uint64_t next_msg = 1;
+  const auto maybe_offer = [&] {
+    if (next_msg <= doc.messages && fabric.tm_ready(r.session)) {
+      fabric.offer(r.session, {next_msg, make_payload(doc.payload_bytes,
+                                                      payload_rng)});
+      ++next_msg;
+    }
+  };
+  maybe_offer();
+  for (const FabricDecision& fd : doc.decisions) {
+    fabric.apply(fd);
+    ++r.steps;
+    maybe_offer();
+  }
+  if (sink != nullptr) fabric.bus().detach(sink);
+  r.ok = true;
+  return r;
+}
+
+}  // namespace s2d

@@ -1,0 +1,65 @@
+// Fabric glue: named systems as hop links, and the fabric script driver.
+//
+// This is the layer that keeps the tentpole differential honest. A hop
+// link of a fabric is built from the *same* single construction point as
+// a plain scripted link — make_module_pair + script_link_config — with
+// directed link L seeded root_seed + L, so link 0 of a `line:2` fabric is
+// byte-identical (events, packet lengths, RNG draws, checker verdict) to
+// the standalone run of the same (system, seed, script). The fabric
+// driver below mirrors drive_script_workload's offer/step interleaving
+// exactly, which is what tests/fabric_diff_test.cpp pins.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "harness/systems.h"
+#include "link/script.h"
+#include "transport/fabric.h"
+
+namespace s2d {
+
+/// HopLinkBuilder over the named-system registry: directed link L runs
+/// `name` seeded root_seed + L under script-time config (plus delivery
+/// collection, which the fabric needs to forward custody — it adds no
+/// events and draws no randomness, preserving the differential). Empty
+/// std::function when the name is unknown.
+[[nodiscard]] HopLinkBuilder make_fabric_link_builder(
+    const std::string& name, std::uint64_t root_seed,
+    bool keep_trace = false);
+
+/// Builds the fabric a FabricScriptDoc describes: parsed @topology, named
+/// @system per hop, @seed as root seed. Null on an unknown system or a
+/// malformed topology (reason in *error when non-null). An
+/// `adversary_builder` supplies per-link inner policy adversaries for
+/// free-running / fuzzing use; scripts leave it empty.
+[[nodiscard]] std::unique_ptr<TransportFabric> make_fabric(
+    const FabricScriptDoc& doc, bool keep_trace = false,
+    std::string* error = nullptr,
+    const HopAdversaryBuilder& adversary_builder = {});
+
+/// Outcome of replaying one fabric document.
+struct FabricRunResult {
+  std::unique_ptr<TransportFabric> fabric;  // null when !ok
+  std::uint64_t session = 0;  // the driven conversation's session id
+  std::uint64_t steps = 0;    // fabric ticks executed
+  bool ok = false;
+  std::string error;
+
+  /// The driven session's end-to-end §2.6 verdict — what @expect binds.
+  [[nodiscard]] ViolationCounts violations() const {
+    return fabric->checker(session).violations();
+  }
+};
+
+/// Replays a fabric document: one conversation from node 0 to node n-1,
+/// driven under the canonical script workload (kScriptPayloadSeed payload
+/// stream, offer-then-step interleaving of drive_script_workload), each
+/// fabric decision applied in order. A non-null `sink` observes the
+/// fabric bus — end-to-end events, per-hop forwards, relay crashes,
+/// route changes and checker violations — for the duration.
+[[nodiscard]] FabricRunResult replay_fabric_script(
+    const FabricScriptDoc& doc, bool keep_trace = false,
+    EventSink* sink = nullptr);
+
+}  // namespace s2d

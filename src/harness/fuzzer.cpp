@@ -25,6 +25,11 @@ constexpr std::uint64_t kScheduleSalt = 0x7363686564756c65ULL;  // "schedule"
 /// script and a mutant at the same index never share randomness.
 constexpr std::uint64_t kMutateSalt = 0x6d757461746f7273ULL;  // "mutators"
 
+/// Salt base of the fabric's per-link inner adversary streams: directed
+/// link L samples from Rng(seed).fork(kFabricLinkSalt + L), disjoint from
+/// the fabric-level target draw (kScheduleSalt) and the protocol streams.
+constexpr std::uint64_t kFabricLinkSalt = 0x66616272696c6e6bULL;  // "fabrilnk"
+
 /// Weighted random scheduler that records every decision it makes, so
 /// the executed schedule IS a replayable script. Observes only the
 /// AdversaryView (packet ids and lengths) like every other adversary.
@@ -891,6 +896,449 @@ std::vector<Event> violation_tail(const AdversaryLinkFactory& factory,
   RingTraceSink ring(n);
   (void)replay_script(factory, script, workload, &ring);
   return ring.snapshot();
+}
+
+// --- Fabric (multi-hop) fuzzing ---------------------------------------
+
+namespace {
+
+/// The FabricScriptDoc a fuzz run at `seed` corresponds to — what a
+/// finding serializes to and what run_fabric_candidate replays.
+FabricScriptDoc fabric_doc(const FabricFuzzConfig& cfg, std::uint64_t seed) {
+  FabricScriptDoc doc;
+  doc.topology = cfg.topology;
+  doc.system = cfg.system;
+  doc.seed = seed;
+  doc.messages = cfg.workload.messages;
+  doc.payload_bytes = cfg.workload.payload_bytes;
+  return doc;
+}
+
+/// Empty when the per-edge scheduling weights are usable against a
+/// topology with `edge_count` edges; otherwise the diagnosis.
+std::string edge_weights_error(const std::vector<double>& ew,
+                               std::size_t edge_count) {
+  if (ew.empty()) return "";  // empty = uniform
+  if (ew.size() != edge_count) {
+    return "edge_weights: expected " + std::to_string(edge_count) +
+           " entries (one per edge), got " + std::to_string(ew.size());
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < ew.size(); ++i) {
+    if (!std::isfinite(ew[i]) || ew[i] < 0.0) {
+      return "edge_weights[" + std::to_string(i) +
+             "]: weight must be a finite value >= 0 (got " +
+             std::to_string(ew[i]) + ")";
+    }
+    total += ew[i];
+  }
+  if (total <= 0.0) {
+    return "edge_weights: at least one edge must be positive";
+  }
+  return "";
+}
+
+/// Full up-front validation of a fabric fuzz config; empty when runnable.
+std::string fabric_fuzz_error(const FabricFuzzConfig& cfg) {
+  const std::string weights_err = fuzz_weights_error(cfg.weights);
+  if (!weights_err.empty()) return weights_err;
+  std::string topo_err;
+  const auto graph = parse_topology(cfg.topology, &topo_err);
+  if (!graph) return topo_err;
+  if (graph->edge_list().empty()) {
+    return "topology '" + cfg.topology + "' has no edges to fuzz";
+  }
+  if (!make_fabric_link_builder(cfg.system, 0)) {
+    return "unknown system '" + cfg.system + "'";
+  }
+  const std::string ew_err =
+      edge_weights_error(cfg.edge_weights, graph->edge_list().size());
+  if (!ew_err.empty()) return ew_err;
+  if (!std::isfinite(cfg.relay_crash) || cfg.relay_crash < 0.0) {
+    return "relay_crash: weight must be a finite value >= 0";
+  }
+  if (!std::isfinite(cfg.edge_flap) || cfg.edge_flap < 0.0) {
+    return "edge_flap: weight must be a finite value >= 0";
+  }
+  return "";
+}
+
+/// Packet-id bound for fresh fabric decisions (see fresh_pkt_bound).
+PacketId fresh_fabric_pkt_bound(const std::vector<FabricDecision>& parent) {
+  PacketId bound = 4;
+  for (const FabricDecision& fd : parent) {
+    if (fd.target != FabricDecision::Target::kLink) continue;
+    if (fd.d.kind == Decision::Kind::kDeliverTR ||
+        fd.d.kind == Decision::Kind::kDeliverRT) {
+      bound = std::max(bound, fd.d.pkt + 2);
+    }
+  }
+  return bound;
+}
+
+/// A fresh random fabric decision for kFlip/kInsert: 1-in-8 a
+/// fabric-level fault (relay crash or edge flap), otherwise a uniformly
+/// retargeted directed link carrying a random_decision body.
+FabricDecision random_fabric_decision(Rng& rng, const FuzzWeights& w,
+                                      PacketId pkt_bound,
+                                      std::uint32_t link_count,
+                                      std::uint32_t node_count,
+                                      std::uint32_t edge_count) {
+  if ((node_count > 0 || edge_count > 0) && rng.next_below(8) == 0) {
+    const std::uint64_t kind = rng.next_below(3);
+    if (kind == 0 && node_count > 0) {
+      return FabricDecision::relay_crash(
+          static_cast<std::uint32_t>(rng.next_below(node_count)));
+    }
+    if (edge_count > 0) {
+      const auto e = static_cast<std::uint32_t>(rng.next_below(edge_count));
+      return kind == 1 ? FabricDecision::edge_down(e)
+                       : FabricDecision::edge_up(e);
+    }
+  }
+  const std::uint32_t link =
+      link_count > 0 ? static_cast<std::uint32_t>(rng.next_below(link_count))
+                     : 0;
+  return FabricDecision::link(link, random_decision(rng, w, pkt_bound));
+}
+
+/// Shared driver: builds the fabric `doc` describes (with optional inner
+/// adversaries), registers the 0 -> n-1 conversation and drives it with
+/// stop-at-first-e2e-violation semantics, `step` executing (and
+/// returning) the fabric decision of step i. Used by both the generator
+/// and the candidate replayer so their offer/step interleaving can never
+/// drift apart — or away from replay_fabric_script.
+template <typename StepFn>
+FabricFuzzRun drive_fabric_fuzz(const FabricScriptDoc& doc,
+                                std::uint64_t steps,
+                                const HopAdversaryBuilder& inner,
+                                std::string* error, StepFn step) {
+  FabricFuzzRun run;
+  std::string err;
+  const auto fab = make_fabric(doc, /*keep_trace=*/false, &err, inner);
+  if (fab == nullptr) {
+    if (error != nullptr) *error = err;
+    return run;
+  }
+  TransportFabric& fabric = *fab;
+  const std::uint64_t session =
+      fabric.add_session(0, fabric.graph().node_count() - 1);
+  Rng payload_rng(kScriptPayloadSeed);
+  std::uint64_t next_msg = 1;
+  const auto maybe_offer = [&] {
+    if (next_msg <= doc.messages && fabric.tm_ready(session)) {
+      fabric.offer(session,
+                   {next_msg, make_payload(doc.payload_bytes, payload_rng)});
+      ++next_msg;
+    }
+  };
+  maybe_offer();
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    run.script.push_back(step(fabric, i));
+    ++run.steps;
+    maybe_offer();
+    if (fabric.checker(session).violations().safety_total() > 0) break;
+  }
+  run.violations = fabric.checker(session).violations();
+  run.oks = fabric.oks(session);
+  return run;
+}
+
+}  // namespace
+
+FabricFuzzRun fabric_fuzz_script(const FabricFuzzConfig& cfg,
+                                 std::uint64_t schedule_seed,
+                                 std::string* error) {
+  const FabricScriptDoc doc = fabric_doc(cfg, schedule_seed);
+  const HopAdversaryBuilder inner =
+      [&cfg, schedule_seed](std::uint32_t link) -> std::unique_ptr<Adversary> {
+    return std::make_unique<RecordingRandomAdversary>(
+        cfg.weights, Rng(schedule_seed).fork(kFabricLinkSalt + link));
+  };
+
+  // Target-draw state, all derived from (seed, kScheduleSalt) alone.
+  Rng target_rng = Rng(schedule_seed).fork(kScheduleSalt);
+  std::vector<double> ew = cfg.edge_weights;
+  bool prepared = false;
+
+  return drive_fabric_fuzz(
+      doc, cfg.depth, inner, error,
+      [&](TransportFabric& fabric, std::uint64_t) {
+        const std::size_t edge_count = fabric.link_count() / 2;
+        if (!prepared) {
+          prepared = true;
+          if (ew.size() != edge_count) ew.assign(edge_count, 1.0);
+        }
+        const double fault_total = cfg.relay_crash + cfg.edge_flap;
+        const double draw =
+            target_rng.next_double() * (1.0 + fault_total);
+        if (draw < cfg.relay_crash) {
+          const auto n = static_cast<std::uint32_t>(
+              target_rng.next_below(fabric.graph().node_count()));
+          const FabricDecision fd = FabricDecision::relay_crash(n);
+          fabric.apply(fd);
+          return fd;
+        }
+        if (draw < fault_total) {
+          const auto e = static_cast<std::uint32_t>(
+              target_rng.next_below(edge_count));
+          const FabricDecision fd = fabric.edge_up(e)
+                                        ? FabricDecision::edge_down(e)
+                                        : FabricDecision::edge_up(e);
+          fabric.apply(fd);
+          return fd;
+        }
+        // Link step: edge by scheduling weight, direction uniform, the
+        // decision itself by the link's own recording sampler.
+        double edge_total = 0.0;
+        for (double w : ew) edge_total += w;
+        double edraw = target_rng.next_double() * edge_total;
+        std::size_t e = edge_count - 1;
+        for (std::size_t c = 0; c < edge_count; ++c) {
+          if (ew[c] <= 0.0) continue;
+          if (edraw < ew[c]) {
+            e = c;
+            break;
+          }
+          edraw -= ew[c];
+        }
+        const auto link = static_cast<std::uint32_t>(
+            2 * e + target_rng.next_below(2));
+        return FabricDecision::link(link, fabric.step_link_auto(link));
+      });
+}
+
+FabricFuzzRun run_fabric_candidate(const FabricScriptDoc& doc) {
+  return drive_fabric_fuzz(
+      doc, doc.decisions.size(), /*inner=*/{}, /*error=*/nullptr,
+      [&](TransportFabric& fabric, std::uint64_t i) {
+        const FabricDecision& fd = doc.decisions[i];
+        fabric.apply(fd);
+        return fd;
+      });
+}
+
+FabricFuzzReport run_fabric_fuzz(const FabricFuzzConfig& cfg) {
+  FabricFuzzReport total;
+  total.error = fabric_fuzz_error(cfg);
+  if (!total.error.empty()) {
+    S2D_ERROR("run_fabric_fuzz: invalid config rejected: " << total.error);
+    return total;
+  }
+
+  const unsigned threads = resolve_threads(cfg.threads);
+  const unsigned shards =
+      cfg.scripts == 0 ? 1U
+                       : static_cast<unsigned>(std::min<std::uint64_t>(
+                             threads, cfg.scripts));
+
+  std::vector<FabricFuzzReport> partials(shards);
+  parallel_shards(shards, [&](unsigned shard) {
+    FabricFuzzReport& part = partials[shard];
+    // Round-robin deal, as run_fuzz_fixed: a shard's partial depends only
+    // on which indices it owns, never on the other shards.
+    for (std::uint64_t i = shard; i < cfg.scripts; i += shards) {
+      const std::uint64_t seed = fleet_session_seed(cfg.root_seed, i);
+      FabricFuzzRun run = fabric_fuzz_script(cfg, seed);
+      ++part.scripts;
+      part.steps_total += run.steps;
+      part.oks_total += run.oks;
+      part.violations.merge(run.violations);
+      if (run.violating()) {
+        ++part.violating_scripts;
+        if (part.findings.size() < cfg.max_findings) {
+          part.findings.push_back(
+              {i, seed, std::move(run.script), run.violations});
+        }
+      }
+    }
+  });
+
+  for (FabricFuzzReport& part : partials) {
+    total.scripts += part.scripts;
+    total.violating_scripts += part.violating_scripts;
+    total.steps_total += part.steps_total;
+    total.oks_total += part.oks_total;
+    total.violations.merge(part.violations);
+    for (FabricFuzzFinding& f : part.findings) {
+      total.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(total.findings.begin(), total.findings.end(),
+            [](const FabricFuzzFinding& a, const FabricFuzzFinding& b) {
+              return a.index < b.index;
+            });
+  if (total.findings.size() > cfg.max_findings) {
+    total.findings.resize(cfg.max_findings);
+  }
+  return total;
+}
+
+std::string FabricFuzzReport::fingerprint() const {
+  Fnv1a h;
+  h.mix(scripts);
+  h.mix(violating_scripts);
+  h.mix(steps_total);
+  h.mix(oks_total);
+  h.mix(violations.causality);
+  h.mix(violations.order);
+  h.mix(violations.duplication);
+  h.mix(violations.replay);
+  h.mix(violations.axiom);
+  h.mix(static_cast<std::uint64_t>(findings.size()));
+  for (const FabricFuzzFinding& f : findings) {
+    h.mix(f.index);
+    h.mix(f.seed);
+    h.mix(static_cast<std::uint64_t>(f.script.size()));
+    for (const FabricDecision& fd : f.script) {
+      h.mix(static_cast<std::uint64_t>(fd.target));
+      h.mix(static_cast<std::uint64_t>(fd.index));
+      h.mix(static_cast<std::uint64_t>(fd.d.kind));
+      h.mix(fd.d.pkt);
+    }
+    h.mix(f.violations.causality);
+    h.mix(f.violations.order);
+    h.mix(f.violations.duplication);
+    h.mix(f.violations.replay);
+  }
+  for (const char c : error) h.mix(static_cast<std::uint64_t>(c));
+  return h.hex();
+}
+
+std::vector<FabricDecision> mutate_fabric_script(
+    const std::vector<FabricDecision>& parent,
+    const std::vector<FabricDecision>& other, MutationOp op, Rng& rng,
+    const FuzzWeights& weights, std::uint32_t depth_cap,
+    std::uint32_t link_count, std::uint32_t node_count,
+    std::uint32_t edge_count) {
+  const PacketId bound = fresh_fabric_pkt_bound(parent);
+  const auto fresh_decision = [&] {
+    return random_fabric_decision(rng, weights, bound, link_count,
+                                  node_count, edge_count);
+  };
+  std::vector<FabricDecision> out;
+  switch (op) {
+    case MutationOp::kReseed:
+      out = parent;
+      break;
+    case MutationOp::kTruncate: {
+      if (parent.empty()) break;
+      const std::size_t keep =
+          static_cast<std::size_t>(1 + rng.next_below(parent.size()));
+      out.assign(parent.begin(),
+                 parent.begin() + static_cast<std::ptrdiff_t>(keep));
+      break;
+    }
+    case MutationOp::kDeleteSpan: {
+      if (parent.empty()) break;
+      const std::size_t start =
+          static_cast<std::size_t>(rng.next_below(parent.size()));
+      const std::size_t len = static_cast<std::size_t>(
+          1 + rng.next_below(parent.size() - start));
+      out = parent;
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(start),
+                out.begin() + static_cast<std::ptrdiff_t>(start + len));
+      break;
+    }
+    case MutationOp::kFlip: {
+      out = parent;
+      if (out.empty()) break;
+      const std::size_t at =
+          static_cast<std::size_t>(rng.next_below(out.size()));
+      out[at] = fresh_decision();
+      break;
+    }
+    case MutationOp::kInsert: {
+      out = parent;
+      const std::size_t at =
+          static_cast<std::size_t>(rng.next_below(out.size() + 1));
+      const std::size_t count =
+          static_cast<std::size_t>(1 + rng.next_below(4));
+      std::vector<FabricDecision> fresh;
+      fresh.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        fresh.push_back(fresh_decision());
+      }
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                 fresh.begin(), fresh.end());
+      break;
+    }
+    case MutationOp::kSplice: {
+      const std::size_t cut_a =
+          parent.empty()
+              ? 0
+              : static_cast<std::size_t>(rng.next_below(parent.size() + 1));
+      const std::size_t cut_b =
+          other.empty()
+              ? 0
+              : static_cast<std::size_t>(rng.next_below(other.size() + 1));
+      out.assign(parent.begin(),
+                 parent.begin() + static_cast<std::ptrdiff_t>(cut_a));
+      out.insert(out.end(),
+                 other.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                 other.end());
+      break;
+    }
+    case MutationOp::kMutationOpCount:
+      break;
+  }
+  const std::size_t cap = std::max<std::uint32_t>(depth_cap, 1);
+  if (out.size() > cap) out.resize(cap);
+  if (out.empty()) out.push_back(fresh_decision());
+  return out;
+}
+
+FabricShrinkResult shrink_fabric_script(const FabricScriptDoc& doc) {
+  FabricShrinkResult res;
+  FabricScriptDoc work = doc;
+  const auto replay_counts = [&](const std::vector<FabricDecision>& s) {
+    ++res.replays;
+    work.decisions = s;
+    return run_fabric_candidate(work).violations;
+  };
+
+  res.script = doc.decisions;
+  res.violations = replay_counts(res.script);
+  const std::uint32_t target = violation_class(res.violations);
+  if (target == 0) return res;  // clean input: nothing to preserve
+
+  // Same acceptance rule as shrink_script: every input category must
+  // survive, so shrinking preserves the class and is idempotent.
+  const auto still_violates = [&](const std::vector<FabricDecision>& s,
+                                  ViolationCounts& out) {
+    out = replay_counts(s);
+    return (violation_class(out) & target) == target;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(res.script.size() / 2, 1);
+         chunk >= 1; chunk >>= 1) {
+      std::size_t i = 0;
+      while (i < res.script.size()) {
+        const std::size_t n = std::min(chunk, res.script.size() - i);
+        std::vector<FabricDecision> candidate;
+        candidate.reserve(res.script.size() - n);
+        candidate.insert(candidate.end(), res.script.begin(),
+                         res.script.begin() + static_cast<std::ptrdiff_t>(i));
+        candidate.insert(
+            candidate.end(),
+            res.script.begin() + static_cast<std::ptrdiff_t>(i + n),
+            res.script.end());
+        ViolationCounts counts;
+        if (still_violates(candidate, counts)) {
+          res.script = std::move(candidate);
+          res.violations = counts;
+          changed = true;
+          // Do not advance: position i now holds fresh decisions.
+        } else {
+          i += chunk;
+        }
+      }
+    }
+  }
+  return res;
 }
 
 }  // namespace s2d

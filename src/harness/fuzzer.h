@@ -52,6 +52,7 @@
 #include <string_view>
 #include <vector>
 
+#include "harness/fabric.h"
 #include "harness/systems.h"
 #include "link/checker.h"
 #include "obs/coverage.h"
@@ -332,5 +333,149 @@ struct ShrinkResult {
 [[nodiscard]] std::vector<Event> violation_tail(
     const AdversaryLinkFactory& factory, const std::vector<Decision>& script,
     const ScriptWorkload& workload, std::size_t n = 16);
+
+// --- Fabric (multi-hop) fuzzing ---------------------------------------
+//
+// The fabric fuzzer lifts the schedule search from one link to a whole
+// topology. Each generated step first draws a TARGET — a directed hop
+// link (edge odds from `edge_weights`, then a uniform direction), a
+// relay crash, or an edge flap — and then, for link targets, lets a
+// per-link weighted random adversary (the single-link sampler, seeded
+// per (script, link)) pick the decision. The executed schedule is
+// recorded as a FabricDecision script, so every finding replays through
+// replay_fabric_script / tools/replay exactly like a single-link corpus
+// witness. The oracle is the END-TO-END TraceChecker of the driven
+// conversation: per-hop §2.6 breaks only count when they corrupt the
+// source-to-destination contract (e.g. a last-hop duplicate surfacing as
+// an e2e duplication).
+//
+// Same determinism contract as run_fuzz's fixed mode: script i's
+// randomness is a pure function of (root_seed, i), shards share nothing,
+// and the report fingerprint is byte-identical at any thread count.
+
+struct FabricFuzzConfig {
+  /// parse_topology spec ("line:2", "grid:3x3", "expander:16", ...).
+  std::string topology = "line:2";
+
+  /// Named system run on every hop link (system_names()).
+  std::string system = "ghm";
+
+  std::uint64_t scripts = 200;
+  std::uint32_t depth = 200;
+  std::uint64_t root_seed = 1989;
+  unsigned threads = 0;  // worker shards (0 = all hardware threads)
+
+  /// Per-link decision odds (the single-link sampler's categories).
+  FuzzWeights weights;
+  ScriptWorkload workload{.messages = 4, .payload_bytes = 2};
+
+  /// Relative scheduling odds per UNDIRECTED edge of the topology, in
+  /// edge_list() order. Empty = uniform; otherwise must match the edge
+  /// count (run_fabric_fuzz diagnoses a mismatch). A zero weight starves
+  /// that edge of scheduler attention without taking it down.
+  std::vector<double> edge_weights;
+
+  /// Per-step odds of crashing a random node (custody loss + e2e crash
+  /// semantics at endpoints), relative to a link step's weight of 1.
+  double relay_crash = 0.0;
+
+  /// Per-step odds of toggling a random edge up/down (forcing reroutes
+  /// and custody rehoming), relative to a link step's weight of 1.
+  double edge_flap = 0.0;
+
+  /// Keep at most this many violating scripts (the lowest indices).
+  std::size_t max_findings = 16;
+};
+
+/// One violating fabric schedule, replayable forever via a
+/// FabricScriptDoc{topology, system, seed, workload, script}.
+struct FabricFuzzFinding {
+  std::uint64_t index = 0;  // script index within the fuzz run
+  std::uint64_t seed = 0;   // fleet_session_seed(root_seed, index)
+  std::vector<FabricDecision> script;
+  ViolationCounts violations;  // the driven session's e2e verdict
+};
+
+struct FabricFuzzReport {
+  std::uint64_t scripts = 0;
+  std::uint64_t violating_scripts = 0;
+  std::uint64_t steps_total = 0;
+  std::uint64_t oks_total = 0;  // e2e OKs of the driven conversations
+  ViolationCounts violations;   // summed e2e verdicts over every script
+
+  /// Lowest-index findings, sorted by index, truncated to max_findings.
+  std::vector<FabricFuzzFinding> findings;
+
+  /// Non-empty when the config was rejected (bad topology / system /
+  /// weights); no scripts ran in that case.
+  std::string error;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return violating_scripts == 0;
+  }
+
+  /// FNV-1a digest over every field; equal root seed => equal
+  /// fingerprint at any thread count.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Outcome of generating or replaying one fabric schedule.
+struct FabricFuzzRun {
+  std::vector<FabricDecision> script;  // ends at the violating step, if any
+  ViolationCounts violations;          // e2e verdict of the driven session
+  std::uint64_t steps = 0;
+  std::uint64_t oks = 0;
+
+  [[nodiscard]] bool violating() const noexcept {
+    return violations.safety_total() > 0;
+  }
+};
+
+/// Generates and executes one weighted random fabric schedule of
+/// cfg.depth steps, all randomness derived from `schedule_seed` (the
+/// target draw and every per-link inner adversary). Stops at the first
+/// e2e safety violation. `error`, when non-null, receives the reason if
+/// the fabric cannot be built.
+[[nodiscard]] FabricFuzzRun fabric_fuzz_script(const FabricFuzzConfig& cfg,
+                                               std::uint64_t schedule_seed,
+                                               std::string* error = nullptr);
+
+/// Executes a *given* fabric script (doc.decisions — a corpus mutant or
+/// shrink candidate) with stop-at-first-violation semantics; the returned
+/// run's script is the executed prefix.
+[[nodiscard]] FabricFuzzRun run_fabric_candidate(const FabricScriptDoc& doc);
+
+/// Runs cfg.scripts fabric schedules across worker shards. Deterministic
+/// in cfg.root_seed at any cfg.threads; invalid configs are rejected up
+/// front (report.error set, nothing run).
+[[nodiscard]] FabricFuzzReport run_fabric_fuzz(const FabricFuzzConfig& cfg);
+
+/// Applies `op` to `parent` (and `other`, for kSplice) exactly as
+/// mutate_script does, with fabric-aware fresh decisions for kFlip and
+/// kInsert: a fresh decision usually retargets a random directed link
+/// (drawn from `weights` for the decision body), and occasionally becomes
+/// a relay crash or edge flap when the topology has nodes/edges to spare.
+/// Deterministic in (inputs, rng state); never empty, never beyond
+/// `depth_cap`.
+[[nodiscard]] std::vector<FabricDecision> mutate_fabric_script(
+    const std::vector<FabricDecision>& parent,
+    const std::vector<FabricDecision>& other, MutationOp op, Rng& rng,
+    const FuzzWeights& weights, std::uint32_t depth_cap,
+    std::uint32_t link_count, std::uint32_t node_count,
+    std::uint32_t edge_count);
+
+struct FabricShrinkResult {
+  std::vector<FabricDecision> script;  // minimized; == input when clean
+  ViolationCounts violations;  // of the minimized script's replay
+  std::uint64_t replays = 0;   // predicate evaluations spent
+};
+
+/// Delta-debugging minimizer over fabric schedules: deletes decision
+/// subsequences while the replay (run_fabric_candidate on doc's
+/// topology/system/seed/workload) still exhibits at least one of the
+/// input's e2e violation categories; iterates to a fixpoint. The doc's
+/// own decisions are the input script.
+[[nodiscard]] FabricShrinkResult shrink_fabric_script(
+    const FabricScriptDoc& doc);
 
 }  // namespace s2d

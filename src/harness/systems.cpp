@@ -15,15 +15,6 @@ namespace {
 constexpr double kGhmEps = 1.0 / (1 << 16);
 constexpr std::size_t kFixedNonceBits = 4;
 
-DataLinkConfig script_config(bool keep_trace) {
-  DataLinkConfig cfg;
-  cfg.retry_every = 0;  // all timing flows through the script
-  cfg.tx_timer_every = 0;
-  cfg.keep_trace = keep_trace;
-  cfg.record_packet_events = keep_trace;
-  return cfg;
-}
-
 ModulePair stopwait_pair(StopWaitConfig sw) {
   return {std::make_unique<StopWaitTransmitter>(sw),
           std::make_unique<StopWaitReceiver>(sw)};
@@ -65,6 +56,15 @@ ModulePair make_module_pair(const std::string& name, std::uint64_t seed) {
   return {};
 }
 
+DataLinkConfig script_link_config(bool keep_trace) {
+  DataLinkConfig cfg;
+  cfg.retry_every = 0;  // all timing flows through the script
+  cfg.tx_timer_every = 0;
+  cfg.keep_trace = keep_trace;
+  cfg.record_packet_events = keep_trace;
+  return cfg;
+}
+
 AdversaryLinkFactory make_system_factory(const std::string& name,
                                          std::uint64_t seed,
                                          bool keep_trace) {
@@ -75,7 +75,7 @@ AdversaryLinkFactory make_system_factory(const std::string& name,
   return [name, seed, keep_trace](std::unique_ptr<Adversary> adv) {
     ModulePair pair = make_module_pair(name, seed);
     return DataLink(std::move(pair.tm), std::move(pair.rm), std::move(adv),
-                    script_config(keep_trace));
+                    script_link_config(keep_trace));
   };
 }
 

@@ -53,6 +53,12 @@ struct ModulePair {
 [[nodiscard]] ModulePair make_module_pair(const std::string& name,
                                           std::uint64_t seed);
 
+/// The script-time DataLink config every named composition runs under
+/// (retry_every = tx_timer_every = 0: all timing flows through the
+/// adversary). Exposed so the fabric hop-link builder composes *exactly*
+/// the same executor semantics as a plain single-link replay.
+[[nodiscard]] DataLinkConfig script_link_config(bool keep_trace);
+
 /// Factory for `name` seeded with `seed`; empty std::function when the
 /// name is unknown. `keep_trace` enables full trace recording (the replay
 /// tool's sequence diagram); fuzzing leaves it off.

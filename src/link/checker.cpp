@@ -100,12 +100,17 @@ void TraceChecker::on_event(const TraceEvent& ev) {
       }
       MsgState& st = upsert(inflight_msg_);
       // Order condition (Theorem 3): the OK-extension of an execution
-      // ending in send_msg(m) must contain receive_msg(m).
-      if (!(st.delivered && st.delivered_seq > st.sent_seq)) {
-        flag(ViolationKind::kOrder, inflight_msg_);
+      // ending in send_msg(m) must contain receive_msg(m). A custody
+      // commit OK promises less (the message is still in flight
+      // downstream), so it neither checks delivery nor completes m for
+      // the no-replay set — see set_ok_confirms_delivery.
+      if (ok_confirms_delivery_) {
+        if (!(st.delivered && st.delivered_seq > st.sent_seq)) {
+          flag(ViolationKind::kOrder, inflight_msg_);
+        }
+        st.completed = true;
+        st.completed_seq = seq_;
       }
-      st.completed = true;
-      st.completed_seq = seq_;
       tm_busy_ = false;
       have_inflight_ = false;
       break;

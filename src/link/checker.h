@@ -50,6 +50,19 @@ class TraceChecker {
   /// Feed one event. Events must arrive in trace order.
   void on_event(const TraceEvent& ev);
 
+  /// What the next kOk event asserts. On a data link (default) OK is the
+  /// Theorem-3 confirmation — it promises a receive_msg(m) happened since
+  /// send_msg(m), and marks m completed for the no-replay condition. A
+  /// multi-hop custody fabric weakens OK to "custody left the source":
+  /// delivery is still in flight downstream, so a commit OK neither
+  /// requires a prior receive nor enters m into the no-replay set (its
+  /// later first delivery is normal, not a replay). The fabric flips this
+  /// per OK — strict when the confirming hop terminates at the
+  /// destination, commit mode otherwise.
+  void set_ok_confirms_delivery(bool v) noexcept {
+    ok_confirms_delivery_ = v;
+  }
+
   /// Convenience: replay a whole trace.
   void check(const Trace& trace) {
     for (const auto& ev : trace.events()) on_event(ev);
@@ -107,6 +120,7 @@ class TraceChecker {
 
   std::uint64_t seq_ = 0;  // index of the current event in the trace
   bool tm_busy_ = false;   // between send_msg and OK/crash^T (Axiom 1)
+  bool ok_confirms_delivery_ = true;  // see set_ok_confirms_delivery
   bool have_inflight_ = false;
   std::uint64_t inflight_msg_ = 0;
 

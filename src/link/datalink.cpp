@@ -65,7 +65,8 @@ DataLink::DataLink(DataLink&& other) noexcept
       hot_crashes_r_(other.hot_crashes_r_),
       awaiting_ok_(other.awaiting_ok_),
       last_step_completed_ok_(other.last_step_completed_ok_),
-      last_step_crashed_t_(other.last_step_crashed_t_) {
+      last_step_crashed_t_(other.last_step_crashed_t_),
+      last_step_crashed_r_(other.last_step_crashed_r_) {
   // The channels point at the moved-from link's inline arena; everything
   // else they reference (the obs block) lives behind a stable pointer.
   tr_.rebind(&obs_->bus, &payload_arena_);
@@ -215,6 +216,7 @@ void DataLink::apply(const Decision& d) {
       record({.kind = ActionKind::kCrashR});
       rm_->on_crash();
       ++hot_crashes_r_;
+      last_step_crashed_r_ = true;
       break;
 
     case Decision::Kind::kDeliverTR: {
@@ -329,6 +331,7 @@ void DataLink::step() {
   obs_->bus.emit({.kind = EventKind::kStep});
   last_step_completed_ok_ = false;
   last_step_crashed_t_ = false;
+  last_step_crashed_r_ = false;
 
   const std::uint64_t steps = hot_steps_;
   if (cfg_->retry_every != 0 && steps % cfg_->retry_every == 0) {

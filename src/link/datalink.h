@@ -149,6 +149,12 @@ class DataLink {
   [[nodiscard]] bool last_step_crashed_t() const noexcept {
     return last_step_crashed_t_;
   }
+  /// Whether the most recent step() crashed the receiver module. The
+  /// transport fabric polls this to surface a last-hop RM crash as the
+  /// end-to-end crash^R of the sessions terminating there.
+  [[nodiscard]] bool last_step_crashed_r() const noexcept {
+    return last_step_crashed_r_;
+  }
 
   /// Executor steps taken by *this link* — equal to stats().steps for a
   /// link that owns its counters, and the only per-session step count
@@ -264,6 +270,7 @@ class DataLink {
   bool awaiting_ok_ = false;
   bool last_step_completed_ok_ = false;
   bool last_step_crashed_t_ = false;
+  bool last_step_crashed_r_ = false;
 };
 
 }  // namespace s2d

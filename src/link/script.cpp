@@ -120,6 +120,85 @@ bool parse_lines(std::string_view text, std::vector<Decision>& decisions,
   return true;
 }
 
+/// Parses a single decision from tokens[first..] (same diagnostics as the
+/// plain grammar). On success appends nothing — writes to `out`.
+template <typename Fail>
+bool parse_decision_tokens(const std::vector<Token>& tokens,
+                           std::size_t first, std::size_t lineno,
+                           Decision& out, const Fail& fail) {
+  const KindName* kind = lookup(tokens[first].text);
+  if (kind == nullptr) {
+    return fail(lineno, tokens[first].column,
+                "unknown decision '" + std::string(tokens[first].text) + "'");
+  }
+  std::uint64_t arg = 0;
+  if (kind->has_arg) {
+    if (tokens.size() < first + 2) {
+      return fail(lineno, tokens[first].column + tokens[first].text.size(),
+                  std::string(tokens[first].text) +
+                      " requires a packet-id/length argument");
+    }
+    if (!parse_u64(tokens[first + 1].text, arg)) {
+      return fail(lineno, tokens[first + 1].column,
+                  "expected an unsigned integer, got '" +
+                      std::string(tokens[first + 1].text) + "'");
+    }
+  }
+  const std::size_t max_tokens = first + (kind->has_arg ? 2 : 1);
+  if (tokens.size() > max_tokens) {
+    return fail(lineno, tokens[max_tokens].column,
+                "trailing token '" + std::string(tokens[max_tokens].text) +
+                    "' after complete decision");
+  }
+  out = {kind->kind, arg};
+  return true;
+}
+
+/// True iff `word` is `e<digits>` — a directed-link address.
+bool is_link_address(std::string_view word, std::uint64_t& index) {
+  if (word.size() < 2 || word[0] != 'e') return false;
+  return parse_u64(word.substr(1), index);
+}
+
+/// Parses one fabric fault line: `relay_crash <n>` / `edge_down <e>` /
+/// `edge_up <e>`. Returns true and sets `out` if tokens[0] names a fault.
+template <typename Fail>
+bool parse_fabric_fault(const std::vector<Token>& tokens, std::size_t lineno,
+                        FabricDecision& out, bool& matched,
+                        const Fail& fail) {
+  using Target = FabricDecision::Target;
+  Target target = Target::kLink;
+  const std::string_view word = tokens[0].text;
+  if (word == "relay_crash") {
+    target = Target::kRelayCrash;
+  } else if (word == "edge_down") {
+    target = Target::kEdgeDown;
+  } else if (word == "edge_up") {
+    target = Target::kEdgeUp;
+  } else {
+    matched = false;
+    return true;
+  }
+  matched = true;
+  if (tokens.size() < 2) {
+    return fail(lineno, tokens[0].column + word.size(),
+                std::string(word) + " requires an index argument");
+  }
+  std::uint64_t index = 0;
+  if (!parse_u64(tokens[1].text, index) || index > 0xffffffffull) {
+    return fail(lineno, tokens[1].column,
+                "expected an unsigned integer, got '" +
+                    std::string(tokens[1].text) + "'");
+  }
+  if (tokens.size() > 2) {
+    return fail(lineno, tokens[2].column,
+                "trailing token '" + std::string(tokens[2].text) +
+                    "' after complete decision");
+  }
+  out = {target, static_cast<std::uint32_t>(index), Decision::idle()};
+  return true;
+}
+
 }  // namespace
 
 std::string render_decision(const Decision& d) {
@@ -229,6 +308,177 @@ ScriptDocParse parse_script_doc(std::string_view text) {
   };
   result.ok = parse_lines(text, result.doc.decisions, fail, directive);
   if (!result.ok) result.doc = ScriptDoc{};
+  return result;
+}
+
+bool FabricScriptDoc::single_link() const {
+  if (topology != "line:2") return false;
+  for (const FabricDecision& fd : decisions) {
+    if (fd.target != FabricDecision::Target::kLink || fd.index != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Decision> FabricScriptDoc::link0_decisions() const {
+  std::vector<Decision> out;
+  out.reserve(decisions.size());
+  for (const FabricDecision& fd : decisions) {
+    if (fd.target == FabricDecision::Target::kLink && fd.index == 0) {
+      out.push_back(fd.d);
+    }
+  }
+  return out;
+}
+
+std::string render_fabric_decision(const FabricDecision& fd) {
+  switch (fd.target) {
+    case FabricDecision::Target::kLink:
+      if (fd.index == 0) return render_decision(fd.d);
+      return 'e' + std::to_string(fd.index) + ' ' + render_decision(fd.d);
+    case FabricDecision::Target::kRelayCrash:
+      return "relay_crash " + std::to_string(fd.index);
+    case FabricDecision::Target::kEdgeDown:
+      return "edge_down " + std::to_string(fd.index);
+    case FabricDecision::Target::kEdgeUp:
+      return "edge_up " + std::to_string(fd.index);
+  }
+  return "idle";  // unreachable for well-formed decisions
+}
+
+std::string render_fabric_script_doc(const FabricScriptDoc& doc) {
+  std::string out;
+  if (doc.topology != "line:2") out += "@topology " + doc.topology + '\n';
+  out += "@system " + doc.system + '\n';
+  out += "@seed " + std::to_string(doc.seed) + '\n';
+  out += "@messages " + std::to_string(doc.messages) + '\n';
+  out += "@payload " + std::to_string(doc.payload_bytes) + '\n';
+  if (!doc.expect.empty()) out += "@expect " + doc.expect + '\n';
+  for (const FabricDecision& fd : doc.decisions) {
+    out += render_fabric_decision(fd);
+    out += '\n';
+  }
+  return out;
+}
+
+FabricScriptDocParse parse_fabric_script_doc(std::string_view text) {
+  FabricScriptDocParse result;
+  const auto fail = [&](std::size_t line, std::size_t column,
+                        std::string error) {
+    result.line = line;
+    result.column = column;
+    result.error = std::move(error);
+    return false;
+  };
+  const auto directive = [&](const std::vector<Token>& tokens,
+                             std::size_t lineno) {
+    const std::string_view name = tokens[0].text;
+    if (tokens.size() < 2) {
+      return fail(lineno, tokens[0].column + name.size(),
+                  std::string(name) + " requires a value");
+    }
+    if (tokens.size() > 2) {
+      return fail(lineno, tokens[2].column,
+                  "trailing token '" + std::string(tokens[2].text) +
+                      "' after directive value");
+    }
+    const std::string_view value = tokens[1].text;
+    if (name == "@topology") {
+      result.doc.topology = std::string(value);
+      return true;
+    }
+    if (name == "@system") {
+      result.doc.system = std::string(value);
+      return true;
+    }
+    if (name == "@expect") {
+      if (!valid_expectation(value)) {
+        return fail(lineno, tokens[1].column,
+                    "unknown expectation '" + std::string(value) + "'");
+      }
+      result.doc.expect = std::string(value);
+      return true;
+    }
+    std::uint64_t number = 0;
+    if (name == "@seed" || name == "@messages" || name == "@payload") {
+      if (!parse_u64(value, number)) {
+        return fail(lineno, tokens[1].column,
+                    "expected an unsigned integer, got '" +
+                        std::string(value) + "'");
+      }
+      if (name == "@seed") result.doc.seed = number;
+      if (name == "@messages") result.doc.messages = number;
+      if (name == "@payload") result.doc.payload_bytes = number;
+      return true;
+    }
+    return fail(lineno, tokens[0].column,
+                "unknown directive '" + std::string(name) + "'");
+  };
+
+  // The fabric walker mirrors parse_lines but recognises link addresses
+  // and fault lines before falling back to the plain decision grammar, so
+  // every plain document parses identically (same diagnostics).
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  result.ok = true;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    ++lineno;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<Token> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0].text.starts_with('@')) {
+      if (!directive(tokens, lineno)) {
+        result.ok = false;
+        break;
+      }
+      continue;
+    }
+
+    FabricDecision fd;
+    bool matched = false;
+    if (!parse_fabric_fault(tokens, lineno, fd, matched, fail)) {
+      result.ok = false;
+      break;
+    }
+    if (matched) {
+      result.doc.decisions.push_back(fd);
+      continue;
+    }
+
+    std::uint64_t link_index = 0;
+    std::size_t first = 0;
+    if (is_link_address(tokens[0].text, link_index)) {
+      if (link_index > 0xffffffffull) {
+        result.ok = fail(lineno, tokens[0].column,
+                         "directed link index out of range");
+        break;
+      }
+      if (tokens.size() < 2) {
+        result.ok = fail(lineno, tokens[0].column + tokens[0].text.size(),
+                         "link address requires a decision");
+        break;
+      }
+      first = 1;
+    }
+    Decision d;
+    if (!parse_decision_tokens(tokens, first, lineno, d, fail)) {
+      result.ok = false;
+      break;
+    }
+    result.doc.decisions.push_back(FabricDecision::link(
+        static_cast<std::uint32_t>(link_index), d));
+  }
+  if (!result.ok) result.doc = FabricScriptDoc{};
   return result;
 }
 

@@ -99,4 +99,98 @@ struct ScriptDocParse {
 /// True iff `word` is a valid @expect value.
 [[nodiscard]] bool valid_expectation(std::string_view word);
 
+// --- Fabric scripts ---------------------------------------------------
+//
+// A fabric script drives a whole topology of data-links (transport/
+// fabric.h) instead of one executor. Each line is either a link decision
+// addressed to a *directed* link — `e<k> <decision>`, where k indexes the
+// canonical edge list (edge e's lo->hi direction is link 2e, hi->lo is
+// 2e+1) — or a fabric-level fault:
+//
+//   e3 deliver_tr 2            # one step of directed link 3
+//   deliver_tr 2               # bare decision: directed link 0
+//   relay_crash 4              # crash node 4 (custody lost, links crash)
+//   edge_down 1                # edge 1 fails (sessions reroute)
+//   edge_up 1
+//
+// A fabric document adds `@topology <spec>` (transport/network.h's
+// parse_topology grammar) to the plain directives; every plain document
+// is a valid fabric document describing a line:2 (single-link) fabric.
+
+/// One scheduling step of a fabric execution.
+struct FabricDecision {
+  enum class Target : std::uint8_t {
+    kLink,        // step directed link `index` with decision `d`
+    kRelayCrash,  // crash node `index`
+    kEdgeDown,    // take edge `index` down
+    kEdgeUp,      // bring edge `index` back up
+  };
+
+  Target target = Target::kLink;
+  std::uint32_t index = 0;  // directed link / node / edge, per target
+  Decision d;               // meaningful for kLink only
+
+  friend bool operator==(const FabricDecision&,
+                         const FabricDecision&) = default;
+
+  static FabricDecision link(std::uint32_t directed_link,
+                             Decision decision) noexcept {
+    return {Target::kLink, directed_link, decision};
+  }
+  static FabricDecision relay_crash(std::uint32_t node) noexcept {
+    return {Target::kRelayCrash, node, Decision::idle()};
+  }
+  static FabricDecision edge_down(std::uint32_t edge) noexcept {
+    return {Target::kEdgeDown, edge, Decision::idle()};
+  }
+  static FabricDecision edge_up(std::uint32_t edge) noexcept {
+    return {Target::kEdgeUp, edge, Decision::idle()};
+  }
+};
+
+/// Renders one fabric decision (bare decision form when the target is
+/// directed link 0, so single-link scripts round-trip unchanged).
+[[nodiscard]] std::string render_fabric_decision(const FabricDecision& fd);
+
+/// A self-describing fabric script: the topology, the per-hop system and
+/// the decision sequence. Plain documents parse as fabric documents with
+/// the default line:2 topology.
+struct FabricScriptDoc {
+  std::string topology = "line:2";
+  std::string system = "ghm";
+  std::uint64_t seed = 1;
+  std::uint64_t messages = 2;
+  std::uint64_t payload_bytes = 2;
+  std::string expect;
+
+  std::vector<FabricDecision> decisions;
+
+  friend bool operator==(const FabricScriptDoc&,
+                         const FabricScriptDoc&) = default;
+
+  /// True iff this document describes a single-link run a plain ScriptDoc
+  /// could express: default topology, every decision on directed link 0.
+  [[nodiscard]] bool single_link() const;
+
+  /// The plain-script projection (valid when single_link()).
+  [[nodiscard]] std::vector<Decision> link0_decisions() const;
+};
+
+struct FabricScriptDocParse {
+  bool ok = false;
+  FabricScriptDoc doc;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string error;
+};
+
+[[nodiscard]] std::string render_fabric_script_doc(
+    const FabricScriptDoc& doc);
+
+/// Parses a fabric document. Accepts every plain document (the @topology
+/// directive and fabric decision forms are the only additions), with the
+/// same 1-based line/column diagnostics.
+[[nodiscard]] FabricScriptDocParse parse_fabric_script_doc(
+    std::string_view text);
+
 }  // namespace s2d

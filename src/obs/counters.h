@@ -153,6 +153,24 @@ struct WireCounters {
   }
 };
 
+/// Multi-hop accounting for the transport fabric (src/transport),
+/// derived from the kHopForward/kRelayCrash/kRouteChange events a
+/// TransportFabric's bus emits.
+struct FabricCounters {
+  std::uint64_t hop_forwards = 0;   // kHopForward
+  std::uint64_t relay_crashes = 0;  // kRelayCrash
+  std::uint64_t custody_lost = 0;   // sum of kRelayCrash aux (records)
+  std::uint64_t route_changes = 0;  // kRouteChange
+
+  FabricCounters& merge(const FabricCounters& o) noexcept {
+    hop_forwards += o.hop_forwards;
+    relay_crashes += o.relay_crashes;
+    custody_lost += o.custody_lost;
+    route_changes += o.route_changes;
+    return *this;
+  }
+};
+
 /// The counting sink. count() is inline and branch-light because it sits
 /// on the executor's hot path for every emitted event — it is the same
 /// increment the scattered hand counters used to perform, centralized.
@@ -284,6 +302,16 @@ class CounterSink final : public EventSink {
       case EventKind::kWireTimer:
         ++wire_.timer_fires;
         break;
+      case EventKind::kHopForward:
+        ++fabric_.hop_forwards;
+        break;
+      case EventKind::kRelayCrash:
+        ++fabric_.relay_crashes;
+        fabric_.custody_lost += ev.aux;
+        break;
+      case EventKind::kRouteChange:
+        ++fabric_.route_changes;
+        break;
       case EventKind::kEventKindCount:
         break;
     }
@@ -301,6 +329,9 @@ class CounterSink final : public EventSink {
     return protocol_[static_cast<std::size_t>(side)];
   }
   [[nodiscard]] const WireCounters& wire() const noexcept { return wire_; }
+  [[nodiscard]] const FabricCounters& fabric() const noexcept {
+    return fabric_;
+  }
   [[nodiscard]] std::uint64_t deliveries() const noexcept {
     return deliveries_;
   }
@@ -319,6 +350,7 @@ class CounterSink final : public EventSink {
     protocol_[0].merge(o.protocol_[0]);
     protocol_[1].merge(o.protocol_[1]);
     wire_.merge(o.wire_);
+    fabric_.merge(o.fabric_);
     deliveries_ += o.deliveries_;
     tx_timers_ += o.tx_timers_;
     return *this;
@@ -332,6 +364,7 @@ class CounterSink final : public EventSink {
   ChannelCounters channel_[2];   // indexed by Dir
   ProtocolCounters protocol_[2];  // indexed by Side
   WireCounters wire_;
+  FabricCounters fabric_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t tx_timers_ = 0;
 };

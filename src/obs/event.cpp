@@ -56,6 +56,12 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "wire_impair";
     case EventKind::kWireTimer:
       return "wire_timer";
+    case EventKind::kHopForward:
+      return "hop_forward";
+    case EventKind::kRelayCrash:
+      return "relay_crash";
+    case EventKind::kRouteChange:
+      return "route_change";
     case EventKind::kEventKindCount:
       break;
   }

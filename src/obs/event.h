@@ -72,6 +72,19 @@ enum class EventKind : std::uint8_t {
                    // value = payload bytes, aux = held-queue depth
   kWireTimer,      // a session timer fired; detail = WireTimerKind
 
+  // Fabric level (src/transport): multi-hop structure over per-edge
+  // data-links. Appended after the wire kinds for the same reason — the
+  // numeric values of every existing kind (and therefore fingerprints
+  // over event bytes) are unchanged.
+  kHopForward,   // a message entered a hop link's custody: pkt = directed
+                 // link index, msg = end-to-end message id, value =
+                 // session id, aux = hop number along the route (0-based)
+  kRelayCrash,   // a store-and-forward relay node crashed: value = node,
+                 // aux = custody records lost with it
+  kRouteChange,  // a session was rerouted after edge state changed:
+                 // value = session id, aux = new route length in hops
+                 // (0 = the session is currently unroutable)
+
   kEventKindCount,
 };
 

@@ -112,6 +112,20 @@ std::string event_to_json(const Event& ev) {
       kv_str(out, "timer",
              wire_timer_kind_name(static_cast<WireTimerKind>(ev.detail)));
       break;
+    case EventKind::kHopForward:
+      kv_u64(out, "link", ev.pkt);
+      kv_u64(out, "msg", ev.msg);
+      kv_u64(out, "session", ev.value);
+      kv_u64(out, "hop", ev.aux);
+      break;
+    case EventKind::kRelayCrash:
+      kv_u64(out, "node", ev.value);
+      kv_u64(out, "custody_lost", ev.aux);
+      break;
+    case EventKind::kRouteChange:
+      kv_u64(out, "session", ev.value);
+      kv_u64(out, "hops", ev.aux);
+      break;
     case EventKind::kEventKindCount:
       break;
   }

@@ -96,6 +96,18 @@ std::string format_event(const Event& ev) {
       append(out, " %s",
              wire_timer_kind_name(static_cast<WireTimerKind>(ev.detail)));
       break;
+    case EventKind::kHopForward:
+      append(out, " link=e%" PRIu64 " msg=%" PRIu64 " session=%" PRIu64
+                  " hop=%" PRIu64,
+             ev.pkt, ev.msg, ev.value, ev.aux);
+      break;
+    case EventKind::kRelayCrash:
+      append(out, " node=%" PRIu64, ev.value);
+      if (ev.aux > 0) append(out, " custody_lost=%" PRIu64, ev.aux);
+      break;
+    case EventKind::kRouteChange:
+      append(out, " session=%" PRIu64 " hops=%" PRIu64, ev.value, ev.aux);
+      break;
     case EventKind::kEventKindCount:
       break;
   }

@@ -1,127 +1,475 @@
 #include "transport/fabric.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace s2d {
+namespace {
 
-std::uint64_t TransportFabric::add_session(GhmPair protocol,
-                                           FabricSessionConfig cfg) {
-  assert(cfg.src != cfg.dst);
-  assert(cfg.src < net_.graph().node_count());
-  assert(cfg.dst < net_.graph().node_count());
-  auto ep = std::make_unique<Endpoint>();
-  ep->id = sessions_.size() + 1;
-  ep->cfg = cfg;
-  ep->tm = std::move(protocol.tm);
-  ep->rm = std::move(protocol.rm);
-  sessions_.push_back(std::move(ep));
-  return sessions_.back()->id;
+/// Payload cap mirrored from the DataLink forgery cap: no genuine
+/// workload approaches it, and it bounds what a corrupted length prefix
+/// can make the decoder materialise.
+constexpr std::uint64_t kMaxCustodyPayload = std::uint64_t{1} << 16;
+
+}  // namespace
+
+TransportFabric::TransportFabric(NetworkGraph graph,
+                                 const HopLinkBuilder& link_builder,
+                                 const HopAdversaryBuilder& adversary_builder)
+    : graph_(std::move(graph)), edges_(graph_.edge_list()),
+      edge_up_(edges_.size(), 1),
+      stranded_(graph_.node_count()) {
+  assert(link_builder);
+  links_.reserve(edges_.size() * 2);
+  for (std::uint32_t L = 0; L < edges_.size() * 2; ++L) {
+    auto mailbox = std::make_unique<HopMailbox>(
+        adversary_builder ? adversary_builder(L) : nullptr);
+    HopMailbox* handle = mailbox.get();
+    LinkState state{.link = link_builder(L, std::move(mailbox)),
+                    .mailbox = handle,
+                    .bindings = {},
+                    .queue = {},
+                    .next_hop_msg = 1,
+                    .inflight_hop_msg = 0};
+    links_.push_back(std::move(state));
+  }
 }
 
-Bytes TransportFabric::wrap(std::uint64_t id, std::span<const std::byte> pkt) {
+std::uint64_t TransportFabric::add_session(NodeId src, NodeId dst) {
+  assert(src != dst);
+  assert(src < graph_.node_count());
+  assert(dst < graph_.node_count());
+  auto s = std::make_unique<Session>();
+  s->src = src;
+  s->dst = dst;
+  s->checker.bind_bus(&obs_.bus);
+  s->route = graph_.shortest_path(src, dst, banned_edges());
+  sessions_.push_back(std::move(s));
+  return sessions_.size();
+}
+
+// --- Custody codec -----------------------------------------------------
+
+Bytes TransportFabric::wrap_custody(std::uint64_t session, std::uint64_t msg,
+                                    std::uint64_t hop,
+                                    std::string_view payload) {
   Writer w;
-  w.varint(id);
-  w.blob(pkt);
+  w.varint(session);
+  w.varint(msg);
+  w.varint(hop);
+  w.str(payload);
   return w.take();
 }
 
-std::optional<TransportFabric::Unwrapped> TransportFabric::unwrap(
-    std::span<const std::byte> bytes) {
-  Reader r(bytes);
-  Unwrapped u;
-  u.id = r.varint();
-  u.pkt = r.blob();
+std::optional<TransportFabric::Custody> TransportFabric::unwrap_custody(
+    std::span<const std::byte> wire) {
+  // Cheap pre-check before the str() materialises anything: the payload
+  // cannot be larger than the record itself.
+  if (wire.size() > kMaxCustodyPayload + 64) return std::nullopt;
+  Reader r(wire);
+  Custody c;
+  c.session = r.varint();
+  c.msg = r.varint();
+  c.hop = r.varint();
+  r.str_into(c.payload);
   if (!r.ok_and_done()) return std::nullopt;
-  return u;
+  if (c.session == 0) return std::nullopt;
+  if (c.hop > kMaxHops) return std::nullopt;
+  if (c.payload.size() > kMaxCustodyPayload) return std::nullopt;
+  return c;
 }
 
-void TransportFabric::drain_tx(Endpoint& ep, TxOutbox& out) {
-  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
-    relay_->inject(net_, ep.cfg.src, ep.cfg.dst, wrap(ep.id, out.pkt(i)));
-  }
-  if (out.ok_signalled()) {
-    ep.checker.on_event({.kind = ActionKind::kOk, .step = now_});
-    ep.awaiting_ok = false;
-    ep.completed_this_step = true;
-    ++ep.oks;
-  }
-  out.clear();
-}
+// --- Topology helpers --------------------------------------------------
 
-void TransportFabric::drain_rx(Endpoint& ep, RxOutbox& out) {
-  for (const auto& m : out.delivered()) {
-    ep.checker.on_event(
-        {.kind = ActionKind::kReceiveMsg, .step = now_, .msg_id = m.id});
-  }
-  for (std::size_t i = 0; i < out.pkt_count(); ++i) {
-    relay_->inject(net_, ep.cfg.dst, ep.cfg.src, wrap(ep.id, out.pkt(i)));
-  }
-  out.clear();
-}
-
-void TransportFabric::offer(std::uint64_t id, Message m) {
-  Endpoint& ep = *sessions_[index(id)];
-  assert(!ep.awaiting_ok);
-  ep.checker.on_event(
-      {.kind = ActionKind::kSendMsg, .step = now_, .msg_id = m.id});
-  ep.awaiting_ok = true;
-  TxOutbox out;
-  ep.tm->on_send_msg(m, out);
-  drain_tx(ep, out);
-}
-
-void TransportFabric::dispatch(NodeId node, const Bytes& packet) {
-  const auto u = unwrap(packet);
-  if (!u || u->id == 0 || index(u->id) >= sessions_.size()) return;
-  Endpoint& ep = *sessions_[index(u->id)];
-  if (node == ep.cfg.dst) {
-    RxOutbox out;
-    ep.rm->on_receive_pkt(u->pkt, out);
-    drain_rx(ep, out);
-  } else if (node == ep.cfg.src) {
-    TxOutbox out;
-    ep.tm->on_receive_pkt(u->pkt, out);
-    drain_tx(ep, out);
-  }
-  // Arrivals at a node that is neither endpoint of the session: a relay
-  // artifact (e.g. flooding delivered to a bystander); ignore.
-}
-
-void TransportFabric::step() {
-  ++now_;
-  for (auto& ep : sessions_) {
-    ep->completed_this_step = false;
-    if (ep->cfg.retry_every != 0 && now_ % ep->cfg.retry_every == 0) {
-      ep->checker.on_event({.kind = ActionKind::kRetry, .step = now_});
-      RxOutbox out;
-      ep->rm->on_retry(out);
-      drain_rx(*ep, out);
+std::vector<std::uint64_t> TransportFabric::banned_edges() const {
+  std::vector<std::uint64_t> banned;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (edge_up_[e] == 0) {
+      banned.push_back(NetworkGraph::edge_key(edges_[e].first,
+                                              edges_[e].second));
     }
   }
-  net_.step();
-  for (NodeId node = 0; node < net_.graph().node_count(); ++node) {
-    while (auto arrival = net_.poll(node)) {
-      if (auto delivery = relay_->on_frame(net_, node, *arrival)) {
-        dispatch(node, delivery->packet);
+  return banned;
+}
+
+std::optional<std::uint32_t> TransportFabric::directed_link(
+    NodeId from, NodeId to) const {
+  const NodeId lo = from < to ? from : to;
+  const NodeId hi = from < to ? to : from;
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(),
+                                   std::make_pair(lo, hi));
+  if (it == edges_.end() || *it != std::make_pair(lo, hi)) {
+    return std::nullopt;
+  }
+  const auto e = static_cast<std::uint32_t>(it - edges_.begin());
+  return 2 * e + (from < to ? 0u : 1u);
+}
+
+std::optional<std::uint32_t> TransportFabric::next_hop_link(
+    NodeId at, NodeId dst) const {
+  if (at == dst) return std::nullopt;
+  const std::vector<NodeId> path =
+      graph_.shortest_path(at, dst, banned_edges());
+  if (path.size() < 2) return std::nullopt;
+  return directed_link(at, path[1]);
+}
+
+const TransportFabric::HopBinding* TransportFabric::binding_of(
+    std::uint32_t L, std::uint64_t hop_msg) const {
+  const auto& bindings = links_[L].bindings;
+  if (hop_msg == 0 || hop_msg > bindings.size()) return nullptr;
+  return &bindings[hop_msg - 1];
+}
+
+// --- Accounting --------------------------------------------------------
+
+void TransportFabric::account_add(std::size_t bytes) {
+  custody_bytes_ += bytes;
+  custody_high_water_ = std::max(custody_high_water_, custody_bytes_);
+}
+
+void TransportFabric::account_remove(std::size_t bytes) {
+  assert(custody_bytes_ >= bytes);
+  custody_bytes_ -= bytes;
+}
+
+void TransportFabric::reject_custody(std::size_t bytes) {
+  account_remove(bytes);
+  ++custody_rejected_;
+}
+
+// --- Custody movement --------------------------------------------------
+
+void TransportFabric::route_custody(NodeId at, Bytes wire) {
+  const auto c = unwrap_custody(wire);
+  if (!c || session_of(c->session) == nullptr) {
+    reject_custody(wire.size());
+    return;
+  }
+  const Session& s = *sessions_[index(c->session)];
+  const auto L = next_hop_link(at, s.dst);
+  if (!L) {
+    stranded_[at].push_back(std::move(wire));
+    return;
+  }
+  links_[*L].queue.push_back(std::move(wire));
+}
+
+void TransportFabric::pump() {
+  for (std::uint32_t L = 0; L < links_.size(); ++L) {
+    LinkState& ls = links_[L];
+    if (edge_up_[L / 2] == 0) continue;
+    while (!ls.queue.empty() && ls.link.tm_ready()) {
+      Bytes wire = std::move(ls.queue.front());
+      ls.queue.pop_front();
+      account_remove(wire.size());
+      auto c = unwrap_custody(wire);
+      if (!c || session_of(c->session) == nullptr) {
+        ++custody_rejected_;
+        continue;
+      }
+      const std::uint64_t hop_msg = ls.next_hop_msg++;
+      ls.bindings.push_back({c->session, c->msg, c->hop});
+      ls.inflight_hop_msg = hop_msg;
+      ls.link.offer({hop_msg, std::move(c->payload)});
+    }
+  }
+}
+
+// --- Session-facing API ------------------------------------------------
+
+void TransportFabric::offer(std::uint64_t id, Message m) {
+  Session& s = *sessions_[index(id)];
+  assert(!s.awaiting_ok);
+  s.checker.on_event(
+      {.kind = ActionKind::kSendMsg, .step = now_, .msg_id = m.id});
+  obs_.bus.emit({.kind = EventKind::kSendMsg, .msg = m.id, .value = id});
+  s.awaiting_ok = true;
+  s.inflight_msg = m.id;
+  Bytes wire = wrap_custody(id, m.id, 0, m.payload);
+  account_add(wire.size());
+  route_custody(s.src, std::move(wire));
+  pump();
+}
+
+std::vector<Message> TransportFabric::take_delivered(std::uint64_t id) {
+  std::vector<Message> out;
+  out.swap(sessions_[index(id)]->delivered);
+  return out;
+}
+
+bool TransportFabric::all_clean() const {
+  for (const auto& s : sessions_) {
+    if (!s->checker.clean()) return false;
+  }
+  return true;
+}
+
+bool TransportFabric::links_clean() const {
+  for (const auto& ls : links_) {
+    if (!ls.link.checker().clean()) return false;
+  }
+  return true;
+}
+
+// --- Stepping ----------------------------------------------------------
+
+void TransportFabric::begin_tick() {
+  ++now_;
+  obs_.bus.now = now_;
+  for (auto& s : sessions_) s->completed_this_step = false;
+}
+
+void TransportFabric::on_hop_delivered(std::uint32_t L, Message hop_msg) {
+  const HopBinding* b = binding_of(L, hop_msg.id);
+  if (b == nullptr) {
+    ++custody_rejected_;
+    return;
+  }
+  obs_.bus.emit({.kind = EventKind::kHopForward, .pkt = L, .msg = b->msg,
+                 .value = b->session, .aux = b->hop});
+  Session* s = session_of(b->session);
+  if (s == nullptr) {
+    ++custody_rejected_;
+    return;
+  }
+  const NodeId at = link_to(L);
+  if (at == s->dst) {
+    s->checker.on_event(
+        {.kind = ActionKind::kReceiveMsg, .step = now_, .msg_id = b->msg});
+    obs_.bus.emit({.kind = EventKind::kReceiveMsg, .msg = b->msg,
+                   .value = b->session});
+    s->delivered.push_back({b->msg, std::move(hop_msg.payload)});
+    return;
+  }
+  if (b->hop >= kMaxHops) {
+    ++custody_rejected_;
+    return;
+  }
+  Bytes wire =
+      wrap_custody(b->session, b->msg, b->hop + 1, hop_msg.payload);
+  account_add(wire.size());
+  route_custody(at, std::move(wire));
+}
+
+void TransportFabric::step_link_common(std::uint32_t L) {
+  LinkState& ls = links_[L];
+  ls.link.step();
+  if (ls.link.last_step_completed_ok()) {
+    const HopBinding* b = binding_of(L, ls.inflight_hop_msg);
+    ls.inflight_hop_msg = 0;
+    if (b != nullptr && b->hop == 0) {
+      // First-hop OK: custody transferred off the source — the end-to-end
+      // commit point. (Relay-to-relay OKs move custody silently.) When
+      // the first hop already terminates at the destination the OK is a
+      // full Theorem-3 confirmation; otherwise it is a custody commit and
+      // the checker must not demand a delivery that is still downstream.
+      Session* s = session_of(b->session);
+      if (s != nullptr && s->awaiting_ok && s->inflight_msg == b->msg) {
+        s->checker.set_ok_confirms_delivery(link_to(L) == s->dst);
+        s->checker.on_event({.kind = ActionKind::kOk, .step = now_});
+        obs_.bus.emit({.kind = EventKind::kOk, .msg = b->msg,
+                       .value = b->session});
+        s->awaiting_ok = false;
+        s->completed_this_step = true;
+        ++s->oks;
+      }
+    }
+  } else if (ls.link.last_step_crashed_t()) {
+    const HopBinding* b = binding_of(L, ls.inflight_hop_msg);
+    ls.inflight_hop_msg = 0;
+    if (b != nullptr && b->hop == 0) {
+      // First-hop abort: the source's in-flight message dies with the hop
+      // transmitter (a relay-to-relay abort is silent end-to-end loss —
+      // the erosion E17 measures). Guarded on awaiting so crash_relay's
+      // session abort is not double-counted.
+      Session* s = session_of(b->session);
+      if (s != nullptr && s->awaiting_ok && s->inflight_msg == b->msg) {
+        s->checker.on_event({.kind = ActionKind::kCrashT, .step = now_});
+        obs_.bus.emit({.kind = EventKind::kCrashT, .msg = b->msg,
+                       .value = b->session});
+        s->awaiting_ok = false;
       }
     }
   }
+  if (ls.link.last_step_crashed_r() && !in_relay_crash_) {
+    // A receiver crash on a link terminating at a session's destination
+    // is that destination's receiving process dying: surface it as the
+    // session's end-to-end crash^R (the same by-destination rule
+    // crash_relay applies), so re-deliveries it causes are excused
+    // exactly as on a standalone link. Interior-hop receiver crashes stay
+    // invisible end-to-end — that asymmetry is the composition erosion
+    // E17 measures. (crash_relay feeds its own e2e events before
+    // crashing incident links, hence the guard.)
+    const NodeId at = link_to(L);
+    for (std::uint64_t id = 1; id <= sessions_.size(); ++id) {
+      Session& s = *sessions_[index(id)];
+      if (s.dst != at) continue;
+      s.checker.on_event({.kind = ActionKind::kCrashR, .step = now_});
+      obs_.bus.emit({.kind = EventKind::kCrashR, .value = id});
+    }
+  }
+  for (Message& m : ls.link.take_delivered()) {
+    on_hop_delivered(L, std::move(m));
+  }
+  pump();
 }
 
-bool TransportFabric::run_until_ok(std::uint64_t id, std::uint64_t max_steps) {
-  Endpoint& ep = *sessions_[index(id)];
-  assert(ep.awaiting_ok);
+void TransportFabric::apply(const FabricDecision& fd) {
+  begin_tick();
+  switch (fd.target) {
+    case FabricDecision::Target::kLink:
+      if (fd.index < links_.size()) {
+        links_[fd.index].mailbox->preload(fd.d);
+        step_link_common(fd.index);
+      }
+      break;
+    case FabricDecision::Target::kRelayCrash:
+      if (fd.index < graph_.node_count()) crash_relay(fd.index);
+      break;
+    case FabricDecision::Target::kEdgeDown:
+      if (fd.index < edges_.size()) set_edge_up(fd.index, false);
+      break;
+    case FabricDecision::Target::kEdgeUp:
+      if (fd.index < edges_.size()) set_edge_up(fd.index, true);
+      break;
+  }
+}
+
+Decision TransportFabric::step_link_auto(std::uint32_t link) {
+  begin_tick();
+  step_link_common(link);
+  return links_[link].mailbox->last();
+}
+
+void TransportFabric::step() {
+  begin_tick();
+  for (std::uint32_t L = 0; L < links_.size(); ++L) {
+    if (edge_up_[L / 2] != 0) step_link_common(L);
+  }
+}
+
+bool TransportFabric::run_until_ok(std::uint64_t id,
+                                   std::uint64_t max_steps) {
+  Session& s = *sessions_[index(id)];
+  assert(s.awaiting_ok);
   for (std::uint64_t i = 0; i < max_steps; ++i) {
     step();
-    if (ep.completed_this_step) return true;
+    if (s.completed_this_step) return true;
+    if (!s.awaiting_ok) return false;  // aborted by a crash
   }
   return false;
 }
 
-bool TransportFabric::all_clean() const {
-  for (const auto& ep : sessions_) {
-    if (!ep->checker.clean()) return false;
+// --- Faults ------------------------------------------------------------
+
+void TransportFabric::crash_relay(NodeId n) {
+  if (n >= graph_.node_count()) return;
+  // End-to-end crash events first: the source processor dying aborts its
+  // awaiting conversation (crash^T); the destination dying is the
+  // end-to-end crash^R that excuses subsequent re-deliveries.
+  for (std::uint64_t id = 1; id <= sessions_.size(); ++id) {
+    Session& s = *sessions_[index(id)];
+    if (s.src == n && s.awaiting_ok) {
+      s.checker.on_event({.kind = ActionKind::kCrashT, .step = now_});
+      obs_.bus.emit({.kind = EventKind::kCrashT, .msg = s.inflight_msg,
+                     .value = id});
+      s.awaiting_ok = false;
+    }
+    if (s.dst == n) {
+      s.checker.on_event({.kind = ActionKind::kCrashR, .step = now_});
+      obs_.bus.emit({.kind = EventKind::kCrashR, .value = id});
+    }
   }
+  // Custody held at n dies with it.
+  std::uint64_t lost = 0;
+  for (std::uint32_t L = 0; L < links_.size(); ++L) {
+    if (link_from(L) != n) continue;
+    for (const Bytes& wire : links_[L].queue) {
+      account_remove(wire.size());
+      ++lost;
+    }
+    links_[L].queue.clear();
+  }
+  for (const Bytes& wire : stranded_[n]) {
+    account_remove(wire.size());
+    ++lost;
+  }
+  stranded_[n].clear();
+  custody_lost_ += lost;
+  obs_.bus.emit({.kind = EventKind::kRelayCrash, .value = n, .aux = lost});
+  // Crash n's side of every incident hop link, through the normal
+  // executor path so each link's own trace and checker stay coherent.
+  // The e2e crash events were already fed above; suppress the per-link
+  // last-hop crash^R propagation for the duration.
+  in_relay_crash_ = true;
+  for (std::uint32_t L = 0; L < links_.size(); ++L) {
+    if (link_from(L) == n) {
+      links_[L].mailbox->preload(Decision::crash_t());
+      step_link_common(L);
+    } else if (link_to(L) == n) {
+      links_[L].mailbox->preload(Decision::crash_r());
+      step_link_common(L);
+    }
+  }
+  in_relay_crash_ = false;
+}
+
+void TransportFabric::recompute_routes() {
+  const auto banned = banned_edges();
+  for (std::uint64_t id = 1; id <= sessions_.size(); ++id) {
+    Session& s = *sessions_[index(id)];
+    std::vector<NodeId> fresh =
+        graph_.shortest_path(s.src, s.dst, banned);
+    if (fresh != s.route) {
+      s.route = std::move(fresh);
+      const std::uint64_t hops =
+          s.route.empty() ? 0 : s.route.size() - 1;
+      obs_.bus.emit(
+          {.kind = EventKind::kRouteChange, .value = id, .aux = hops});
+    }
+  }
+}
+
+void TransportFabric::rehome_custody() {
+  // Re-route every stored record from the node it currently sits at:
+  // queues drained in link order, stranded records in node order, so the
+  // re-homing is a deterministic function of the fabric state.
+  std::vector<std::pair<NodeId, Bytes>> held;
+  for (std::uint32_t L = 0; L < links_.size(); ++L) {
+    for (Bytes& wire : links_[L].queue) {
+      held.emplace_back(link_from(L), std::move(wire));
+    }
+    links_[L].queue.clear();
+  }
+  for (NodeId n = 0; n < graph_.node_count(); ++n) {
+    for (Bytes& wire : stranded_[n]) {
+      held.emplace_back(n, std::move(wire));
+    }
+    stranded_[n].clear();
+  }
+  for (auto& [node, wire] : held) {
+    route_custody(node, std::move(wire));
+  }
+}
+
+void TransportFabric::set_edge_up(std::uint32_t edge, bool up) {
+  if (edge >= edges_.size()) return;
+  if ((edge_up_[edge] != 0) == up) return;
+  edge_up_[edge] = up ? 1 : 0;
+  recompute_routes();
+  rehome_custody();
+  pump();
+}
+
+bool TransportFabric::inject_custody(NodeId n, Bytes wire) {
+  if (n >= graph_.node_count()) return false;
+  const std::uint64_t rejected_before = custody_rejected_;
+  account_add(wire.size());
+  route_custody(n, std::move(wire));
+  if (custody_rejected_ != rejected_before) return false;
+  pump();
   return true;
 }
 

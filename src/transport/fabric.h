@@ -1,100 +1,356 @@
-// TransportFabric: many concurrent GHM sessions over one shared network.
+// TransportFabric: GHM as the link layer of a defective multi-hop network.
 //
-// The transport deployment of §1 rarely carries a single conversation. The
-// fabric multiplexes any number of (source, destination) protocol sessions
-// over one Network and one relay: each injected packet is wrapped with its
-// session id (the "port number"), the shared pump dispatches arrivals to
-// the owning session's module, and every session keeps its own trace
-// checker — the correctness conditions are per-conversation, and one
-// session's faults (or crashes) must never leak into another's bookkeeping.
+// The paper proves per-link guarantees: one transmitter, one receiver,
+// one adversary, correctness with probability >= 1 - eps (§2.6). The
+// transport deployment of §1 runs the protocol across a *network* — "in
+// conjunction with a semi-reliable protocol run by the processors
+// connecting them in the network". This module composes the per-link
+// result into that setting and makes the composition *measurable*:
+//
+//   * every directed edge of a NetworkGraph is a full DataLink — its own
+//     TM/RM pair, channels, adversary and §2.6 checker — seeded
+//     root_seed + directed-link-index, so link 0 of a line:2 fabric is
+//     byte-identical to the standalone single-link execution;
+//   * interior nodes are crash-prone store-and-forward relays: a message
+//     delivered by hop link L is re-wrapped into a *custody record* and
+//     queued at the receiving node until the next hop link toward the
+//     destination is free. crash_relay(n) loses every record n holds;
+//   * each (source, destination) conversation is a *session* with its own
+//     end-to-end TraceChecker: the §2.6 conditions are re-evaluated over
+//     the composed h-hop path, which is exactly where the per-link bound
+//     erodes (an *interior* hop receiver crash duplicates end-to-end with
+//     no end-to-end crash^R excusing it; a committed message whose
+//     custody a relay crash destroys is silently lost). The end-to-end OK
+//     fires at the custody commit — the first hop's confirmation — so the
+//     checker treats a multi-hop OK as a commit, not a Theorem-3 delivery
+//     confirmation (see TraceChecker::set_ok_confirms_delivery); last-hop
+//     receiver crashes are surfaced as end-to-end crash^R, which makes a
+//     1-hop fabric's verdict coincide with the standalone link's.
+//     bench/exp_fabric.cpp measures end-to-end failure against the h*eps
+//     union bound.
+//
+// Scheduling stays adversary-driven and fully deterministic: a
+// FabricDecision (link/script.h) addresses one directed link with one
+// ordinary Decision — preloaded into that link's HopMailbox adversary —
+// or fires a fabric-level fault (relay crash, edge down/up). Free-running
+// mode (step()) instead lets each link's inner policy adversary decide.
+//
+// Custody wire format (wrap_custody/unwrap_custody): varint session id,
+// varint end-to-end message id, varint hop count, length-prefixed
+// payload. Decoding is hardened: malformed records, out-of-range session
+// ids and absurd hop counts are counted (custody_rejected()) and dropped,
+// never dereferenced — inject_custody() lets tests feed the decoder
+// bit-flipped and random-junk records directly.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
-#include "core/ghm.h"
-#include "link/checker.h"
-#include "transport/relay.h"
+#include "link/datalink.h"
+#include "link/script.h"
+#include "transport/network.h"
+#include "util/codec.h"
 
 namespace s2d {
 
-struct FabricSessionConfig {
-  NodeId src = 0;
-  NodeId dst = 0;
-  std::uint64_t retry_every = 4;
+/// The adversary wrapper every hop link runs under. A scripted fabric
+/// preloads exactly one decision before stepping the link (the decision a
+/// `e<k> ...` script line carries); when nothing is preloaded the inner
+/// policy adversary (or idle) decides — that is free-running mode, and
+/// the fabric fuzzer reads back the executed decision via last() to turn
+/// a random run into a replayable script.
+class HopMailbox final : public Adversary {
+ public:
+  explicit HopMailbox(std::unique_ptr<Adversary> inner)
+      : inner_(std::move(inner)) {}
+
+  void preload(const Decision& d) noexcept {
+    pending_ = d;
+    has_pending_ = true;
+  }
+
+  Decision next(const AdversaryView& view) override {
+    if (has_pending_) {
+      has_pending_ = false;
+      last_ = pending_;
+    } else if (inner_ != nullptr) {
+      last_ = inner_->next(view);
+    } else {
+      last_ = Decision::idle();
+    }
+    return last_;
+  }
+
+  [[nodiscard]] Decision last() const noexcept { return last_; }
+  [[nodiscard]] std::string name() const override { return "hop_mailbox"; }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  Decision pending_ = Decision::idle();
+  Decision last_ = Decision::idle();
+  bool has_pending_ = false;
 };
+
+/// Builds the DataLink for directed link `link`. The fabric supplies the
+/// adversary (a HopMailbox it keeps a handle to); the builder supplies
+/// everything else — protocol modules, config. Contract: the link must be
+/// built with collect_deliveries enabled (the fabric drains deliveries to
+/// forward custody) and pure in `link` (same index => byte-identical
+/// initial state), which is what makes fabric runs replayable.
+using HopLinkBuilder =
+    std::function<DataLink(std::uint32_t link, std::unique_ptr<Adversary> adv)>;
+
+/// Builds the inner (policy) adversary for directed link `link`; an empty
+/// function or a returned nullptr means idle-unless-scripted.
+using HopAdversaryBuilder =
+    std::function<std::unique_ptr<Adversary>(std::uint32_t link)>;
 
 class TransportFabric {
  public:
-  TransportFabric(Network& net, std::unique_ptr<Relay> relay)
-      : net_(net), relay_(std::move(relay)) {}
+  /// Directed link indexing: undirected edge e of graph.edge_list() (the
+  /// canonical sorted (lo, hi) list) carries directed link 2e (lo -> hi)
+  /// and 2e+1 (hi -> lo). Hop link L is seeded by the builder, by
+  /// convention with root_seed + L so link 0 replays the single-link run.
+  TransportFabric(NetworkGraph graph, const HopLinkBuilder& link_builder,
+                  const HopAdversaryBuilder& adversary_builder = {});
 
-  /// Registers a conversation; returns its session id (also the wire
-  /// demultiplexing tag).
-  std::uint64_t add_session(GhmPair protocol, FabricSessionConfig cfg);
+  TransportFabric(const TransportFabric&) = delete;
+  TransportFabric& operator=(const TransportFabric&) = delete;
 
-  /// True iff session `id` may accept a new message.
+  /// Registers a conversation from `src` to `dst`; returns its session id
+  /// (1-based). Routes are cached shortest paths avoiding down edges.
+  std::uint64_t add_session(NodeId src, NodeId dst);
+
+  /// True iff session `id` may accept a new message (end-to-end Axiom 1).
   [[nodiscard]] bool tm_ready(std::uint64_t id) const {
     return !sessions_[index(id)]->awaiting_ok;
   }
 
-  /// send_msg(m) on session `id`. Precondition: tm_ready(id).
+  /// send_msg(m) on session `id`: records the end-to-end send, takes
+  /// custody of the payload at the source node and offers it onto the
+  /// first hop link as soon as that link is free. Precondition:
+  /// tm_ready(id). The end-to-end OK fires when the *first hop* confirms
+  /// — custody has transferred — which is exactly the semantics whose
+  /// erosion over h hops E17 measures.
   void offer(std::uint64_t id, Message m);
 
-  /// One shared step: per-session RETRY cadences, one network step, and
-  /// arrival dispatch.
+  /// Applies one scripted fabric decision (one fabric clock tick): steps
+  /// the addressed link under the given decision, or fires the fault.
+  /// Out-of-range indices are ignored (scripts are fuzzed; a dangling
+  /// address must not be able to crash the host).
+  void apply(const FabricDecision& fd);
+
+  /// Steps one link under its inner policy adversary (one clock tick) and
+  /// returns the decision the adversary took — the fabric fuzzer's
+  /// generate-and-execute primitive.
+  Decision step_link_auto(std::uint32_t link);
+
+  /// Free-running step: every link on an up edge takes one step under its
+  /// inner adversary, in directed-link order.
   void step();
 
   /// Steps until session `id` completes its in-flight message (true) or
   /// `max_steps` elapse (false). Other sessions keep making progress.
   bool run_until_ok(std::uint64_t id, std::uint64_t max_steps);
 
+  /// Crashes store-and-forward node `n`: aborts every awaiting session
+  /// sourced at n (end-to-end crash^T) and crash-notifies every session
+  /// destined for n (end-to-end crash^R), drops all custody n holds, then
+  /// crashes n's side of every incident hop link (crash^T on links n
+  /// transmits, crash^R on links n receives), in directed-link order.
+  void crash_relay(NodeId n);
+
+  /// Edge failure/recovery. Sessions re-route (kRouteChange events),
+  /// queued custody re-homes onto the new next hops; records with no
+  /// remaining route strand at their current node until an edge returns.
+  void set_edge_up(std::uint32_t edge, bool up);
+
+  /// Feeds one raw custody record into node `n`'s store-and-forward
+  /// queues, exactly as if a hop link had delivered it — the hardening
+  /// test hook. Returns false (and counts custody_rejected) when the
+  /// record is malformed or references an invalid session.
+  bool inject_custody(NodeId n, Bytes wire);
+
+  // --- Per-session observation -----------------------------------------
   [[nodiscard]] const TraceChecker& checker(std::uint64_t id) const {
     return sessions_[index(id)]->checker;
   }
   [[nodiscard]] std::uint64_t oks(std::uint64_t id) const {
     return sessions_[index(id)]->oks;
   }
+  /// Messages delivered end-to-end to session `id`'s destination since
+  /// the last call (payloads intact across every hop).
+  [[nodiscard]] std::vector<Message> take_delivered(std::uint64_t id);
+  /// The session's cached route (src..dst); empty when unroutable.
+  [[nodiscard]] const std::vector<NodeId>& session_route(
+      std::uint64_t id) const {
+    return sessions_[index(id)]->route;
+  }
   [[nodiscard]] std::size_t session_count() const noexcept {
     return sessions_.size();
   }
+  /// Every session's end-to-end checker is §2.6-clean.
   [[nodiscard]] bool all_clean() const;
+  /// Every hop link's own checker is clean (per-link §2.6 — the paper's
+  /// guarantee, as opposed to the composed end-to-end one above).
+  [[nodiscard]] bool links_clean() const;
+
+  // --- Topology and links ----------------------------------------------
+  [[nodiscard]] const NetworkGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] const DataLink& link(std::uint32_t L) const {
+    return links_[L].link;
+  }
+  [[nodiscard]] NodeId link_from(std::uint32_t L) const noexcept {
+    const auto& [lo, hi] = edges_[L / 2];
+    return (L % 2 == 0) ? lo : hi;
+  }
+  [[nodiscard]] NodeId link_to(std::uint32_t L) const noexcept {
+    const auto& [lo, hi] = edges_[L / 2];
+    return (L % 2 == 0) ? hi : lo;
+  }
+  [[nodiscard]] bool edge_up(std::uint32_t edge) const {
+    return edge_up_[edge] != 0;
+  }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  // --- Fabric-level observability --------------------------------------
+  /// The fabric's own event bus: end-to-end session events (send/ok/
+  /// receive/crash), per-hop kHopForward, kRelayCrash, kRouteChange and
+  /// every session checker's kViolation events. Hop-link-internal events
+  /// stay on each link's own bus (link(L).bus()).
+  [[nodiscard]] EventBus& bus() noexcept { return obs_.bus; }
+  [[nodiscard]] const CounterSink& counters() const noexcept {
+    return obs_.counters;
+  }
+
+  // --- Storage accounting (the "storage composition" axis of E17) ------
+  /// Custody bytes currently stored at relay queues (incl. stranded).
+  [[nodiscard]] std::uint64_t custody_bytes() const noexcept {
+    return custody_bytes_;
+  }
+  [[nodiscard]] std::uint64_t custody_high_water() const noexcept {
+    return custody_high_water_;
+  }
+  /// Custody records destroyed by relay crashes.
+  [[nodiscard]] std::uint64_t custody_lost() const noexcept {
+    return custody_lost_;
+  }
+  /// Malformed / unroutable-forever records dropped by the hardened
+  /// decoder (bit-flips, junk injections, hop-count runaways).
+  [[nodiscard]] std::uint64_t custody_rejected() const noexcept {
+    return custody_rejected_;
+  }
+
+  // --- Custody codec (exposed for the hardening sweeps) -----------------
+  [[nodiscard]] static Bytes wrap_custody(std::uint64_t session,
+                                          std::uint64_t msg,
+                                          std::uint64_t hop,
+                                          std::string_view payload);
+  struct Custody {
+    std::uint64_t session = 0;
+    std::uint64_t msg = 0;
+    std::uint64_t hop = 0;
+    std::string payload;
+  };
+  /// Total decode: nullopt on truncation, trailing bytes, session id 0,
+  /// or hop count past kMaxHops. (Session *range* is checked against the
+  /// live session table at consumption, not here.)
+  [[nodiscard]] static std::optional<Custody> unwrap_custody(
+      std::span<const std::byte> wire);
+
+  /// Routing loop backstop: a record forwarded more than this many hops
+  /// is dropped (counted in custody_rejected).
+  static constexpr std::uint64_t kMaxHops = 255;
 
  private:
-  struct Endpoint {
-    std::uint64_t id = 0;
-    FabricSessionConfig cfg;
-    std::unique_ptr<GhmTransmitter> tm;
-    std::unique_ptr<GhmReceiver> rm;
+  struct Session {
+    NodeId src = 0;
+    NodeId dst = 0;
     TraceChecker checker;
+    std::vector<NodeId> route;  // cached; empty = currently unroutable
+    std::vector<Message> delivered;
+    std::uint64_t inflight_msg = 0;
+    std::uint64_t oks = 0;
     bool awaiting_ok = false;
     bool completed_this_step = false;
-    std::uint64_t oks = 0;
-    std::uint64_t steps = 0;
+  };
+
+  /// What a hop message id on one link stands for. Out-of-band pairing —
+  /// the hop link carries the *raw* payload, so its wire traffic (and
+  /// with it every event, packet length and RNG draw) is identical to a
+  /// standalone link carrying the same workload.
+  struct HopBinding {
+    std::uint64_t session = 0;
+    std::uint64_t msg = 0;
+    std::uint64_t hop = 0;
+  };
+
+  struct LinkState {
+    DataLink link;
+    HopMailbox* mailbox = nullptr;  // owned by `link`'s adversary slot
+    std::vector<HopBinding> bindings;  // hop msg id - 1 -> binding
+    std::deque<Bytes> queue;  // custody at link_from() awaiting this link
+    std::uint64_t next_hop_msg = 1;
+    std::uint64_t inflight_hop_msg = 0;  // 0 = none
   };
 
   [[nodiscard]] std::size_t index(std::uint64_t id) const {
     return static_cast<std::size_t>(id - 1);
   }
+  [[nodiscard]] Session* session_of(std::uint64_t id) noexcept {
+    return (id >= 1 && id <= sessions_.size()) ? sessions_[id - 1].get()
+                                               : nullptr;
+  }
+  [[nodiscard]] const HopBinding* binding_of(std::uint32_t L,
+                                             std::uint64_t hop_msg) const;
 
-  /// Wire wrapper: varint(session id) + blob(packet).
-  [[nodiscard]] static Bytes wrap(std::uint64_t id,
-                                  std::span<const std::byte> pkt);
-  struct Unwrapped {
-    std::uint64_t id;
-    Bytes pkt;
-  };
-  [[nodiscard]] static std::optional<Unwrapped> unwrap(
-      std::span<const std::byte> bytes);
+  [[nodiscard]] std::vector<std::uint64_t> banned_edges() const;
+  [[nodiscard]] std::optional<std::uint32_t> directed_link(NodeId from,
+                                                           NodeId to) const;
+  /// The directed link a record at `at` should take toward `dst`, along
+  /// the current shortest up-edge path; nullopt when unroutable.
+  [[nodiscard]] std::optional<std::uint32_t> next_hop_link(NodeId at,
+                                                           NodeId dst) const;
 
-  void drain_tx(Endpoint& ep, TxOutbox& out);
-  void drain_rx(Endpoint& ep, RxOutbox& out);
-  void dispatch(NodeId node, const Bytes& packet);
+  void begin_tick();
+  void step_link_common(std::uint32_t L);
+  void on_hop_delivered(std::uint32_t L, Message hop_msg);
+  /// Validates `wire` and places it on the right out-link queue of `at`
+  /// (or strands it). Accounting for `wire` must already be recorded.
+  void route_custody(NodeId at, Bytes wire);
+  /// Offers queued custody onto every free up link, in link order.
+  void pump();
+  void recompute_routes();
+  void rehome_custody();
+  void account_add(std::size_t bytes);
+  void account_remove(std::size_t bytes);
+  void reject_custody(std::size_t bytes);
 
-  Network& net_;
-  std::unique_ptr<Relay> relay_;
-  std::vector<std::unique_ptr<Endpoint>> sessions_;
+  NetworkGraph graph_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<char> edge_up_;
+
+  LinkObs obs_;  // fabric bus + counters; session checkers bind to it
+  std::vector<LinkState> links_;
+  std::vector<std::vector<Bytes>> stranded_;  // per node: unroutable custody
+  std::vector<std::unique_ptr<Session>> sessions_;
+
   std::uint64_t now_ = 0;
+  bool in_relay_crash_ = false;  // crash_relay feeds e2e events itself
+  std::uint64_t custody_bytes_ = 0;
+  std::uint64_t custody_high_water_ = 0;
+  std::uint64_t custody_lost_ = 0;
+  std::uint64_t custody_rejected_ = 0;
 };
 
 }  // namespace s2d

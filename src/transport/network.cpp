@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <queue>
 
 namespace s2d {
@@ -27,6 +28,22 @@ NetworkGraph NetworkGraph::grid(NodeId width, NodeId height) {
       const NodeId v = y * width + x;
       if (x + 1 < width) g.add_edge(v, v + 1);
       if (y + 1 < height) g.add_edge(v, v + width);
+    }
+  }
+  return g;
+}
+
+NetworkGraph NetworkGraph::tree(NodeId n) {
+  NetworkGraph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+NetworkGraph NetworkGraph::expander(NodeId n) {
+  NetworkGraph g = ring(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId skip = 2; skip * 2 <= n; skip *= 2) {
+      g.add_edge(i, static_cast<NodeId>((i + skip) % n));
     }
   }
   return g;
@@ -115,26 +132,179 @@ bool NetworkGraph::connected() const {
          }();
 }
 
+std::vector<std::pair<NodeId, NodeId>> NetworkGraph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edges_);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (NodeId w : adj_[v]) {
+      if (v < w) out.emplace_back(v, w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ------------------------------------------------------ topology specs
+
+namespace {
+
+/// Splits "a:b:c" into fields (no empty-field collapsing).
+std::vector<std::string_view> split_fields(std::string_view spec) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', pos);
+    if (colon == std::string_view::npos) {
+      out.push_back(spec.substr(pos));
+      return out;
+    }
+    out.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+}
+
+bool parse_node_count(std::string_view text, NodeId& out) {
+  std::uint64_t n = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    if (n > 1'000'000) return false;  // sanity bound, not a real limit
+  }
+  if (text.empty()) return false;
+  out = static_cast<NodeId>(n);
+  return true;
+}
+
+std::optional<NetworkGraph> topology_fail(std::string* error,
+                                          std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<NetworkGraph> parse_topology(std::string_view spec,
+                                           std::string* error) {
+  const std::vector<std::string_view> fields = split_fields(spec);
+  const std::string_view shape = fields[0];
+  const auto need_size = [&](NodeId minimum) -> std::optional<NodeId> {
+    NodeId n = 0;
+    if (fields.size() < 2 || !parse_node_count(fields[1], n)) return {};
+    if (n < minimum) return {};
+    return n;
+  };
+
+  if (shape == "line" || shape == "chain") {
+    if (const auto n = need_size(2); n && fields.size() == 2) {
+      return NetworkGraph::line(*n);
+    }
+    return topology_fail(error, "expected line:<n> with n >= 2, got '" +
+                                    std::string(spec) + "'");
+  }
+  if (shape == "ring") {
+    if (const auto n = need_size(3); n && fields.size() == 2) {
+      return NetworkGraph::ring(*n);
+    }
+    return topology_fail(error, "expected ring:<n> with n >= 3, got '" +
+                                    std::string(spec) + "'");
+  }
+  if (shape == "grid") {
+    // grid:WxH
+    if (fields.size() == 2) {
+      const std::string_view dims = fields[1];
+      const std::size_t x = dims.find('x');
+      NodeId w = 0;
+      NodeId h = 0;
+      if (x != std::string_view::npos &&
+          parse_node_count(dims.substr(0, x), w) &&
+          parse_node_count(dims.substr(x + 1), h) && w >= 1 && h >= 1 &&
+          static_cast<std::uint64_t>(w) * h >= 2 &&
+          static_cast<std::uint64_t>(w) * h <= 1'000'000) {
+        return NetworkGraph::grid(w, h);
+      }
+    }
+    return topology_fail(error, "expected grid:<w>x<h> with w*h >= 2, got '" +
+                                    std::string(spec) + "'");
+  }
+  if (shape == "tree") {
+    if (const auto n = need_size(2); n && fields.size() == 2) {
+      return NetworkGraph::tree(*n);
+    }
+    return topology_fail(error, "expected tree:<n> with n >= 2, got '" +
+                                    std::string(spec) + "'");
+  }
+  if (shape == "expander") {
+    if (const auto n = need_size(3); n && fields.size() == 2) {
+      return NetworkGraph::expander(*n);
+    }
+    return topology_fail(error, "expected expander:<n> with n >= 3, got '" +
+                                    std::string(spec) + "'");
+  }
+  if (shape == "random") {
+    // random:<n>:<p>[:<seed>]
+    NodeId n = 0;
+    if ((fields.size() == 3 || fields.size() == 4) &&
+        parse_node_count(fields[1], n) && n >= 2) {
+      const std::string p_text(fields[2]);
+      char* end = nullptr;
+      const double p = std::strtod(p_text.c_str(), &end);
+      NodeId seed = 1;
+      const bool seed_ok =
+          fields.size() < 4 || parse_node_count(fields[3], seed);
+      if (end == p_text.c_str() + p_text.size() && p >= 0.0 && p <= 1.0 &&
+          seed_ok) {
+        Rng rng(seed);
+        return NetworkGraph::random(n, p, rng);
+      }
+    }
+    return topology_fail(error,
+                         "expected random:<n>:<p in [0,1]>[:<seed>], got '" +
+                             std::string(spec) + "'");
+  }
+  return topology_fail(
+      error, "unknown topology shape '" + std::string(shape) +
+                 "' (expected line|chain|ring|grid|tree|expander|random)");
+}
+
 // ---------------------------------------------------------- simulation
+
+namespace {
+
+/// Sorted-vector lookup of an edge entry; nullptr when the edge does not
+/// exist. Never inserts.
+template <typename Table>
+auto* find_link(Table& table, std::uint64_t key) {
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  return (it != table.end() && it->first == key) ? &*it : nullptr;
+}
+
+}  // namespace
 
 Network::Network(NetworkGraph graph, NetworkConfig cfg, Rng rng)
     : graph_(std::move(graph)), cfg_(cfg), rng_(rng),
       inboxes_(graph_.node_count()) {
+  link_up_.reserve(graph_.edge_count());
   for (NodeId v = 0; v < graph_.node_count(); ++v) {
     for (NodeId w : graph_.neighbors(v)) {
-      if (v < w) link_up_[NetworkGraph::edge_key(v, w)] = true;
+      if (v < w) link_up_.emplace_back(NetworkGraph::edge_key(v, w), true);
     }
   }
+  // Sorted by edge key: binary-searchable, and the flapping scan draws
+  // randomness in the same ascending-key order the old std::map iterated.
+  std::sort(link_up_.begin(), link_up_.end());
 }
 
 bool Network::link_up(NodeId a, NodeId b) const {
-  const auto it = link_up_.find(NetworkGraph::edge_key(a, b));
-  return it != link_up_.end() && it->second;
+  const auto* entry = find_link(link_up_, NetworkGraph::edge_key(a, b));
+  return entry != nullptr && entry->second;
 }
 
 void Network::set_link_up(NodeId a, NodeId b, bool up) {
-  const auto it = link_up_.find(NetworkGraph::edge_key(a, b));
-  if (it != link_up_.end()) it->second = up;
+  if (auto* entry = find_link(link_up_, NetworkGraph::edge_key(a, b))) {
+    entry->second = up;
+  }
 }
 
 bool Network::send_frame(NodeId from, NodeId to, Bytes frame) {
@@ -149,8 +319,7 @@ bool Network::send_frame(NodeId from, NodeId to, Bytes frame) {
   }
   const std::uint64_t delay =
       rng_.next_range(cfg_.delay_min, cfg_.delay_max);
-  in_flight_.emplace(now_ + delay,
-                     InFlight{now_ + delay, from, to, std::move(frame)});
+  in_flight_.push_back(InFlight{now_ + delay, from, to, std::move(frame)});
   return true;
 }
 
@@ -164,14 +333,25 @@ void Network::step() {
       up = true;
     }
   }
-  // Deliveries due now (or earlier — none, since we deliver every step).
-  const auto end = in_flight_.upper_bound(now_);
-  for (auto it = in_flight_.begin(); it != end; ++it) {
-    ++frames_delivered_;
-    inboxes_[it->second.to].push_back(
-        Arrival{it->second.from, std::move(it->second.frame)});
+  // Deliveries due now (or earlier). The vector holds frames in send
+  // order; a stable sort of the due subset by deadline reproduces the old
+  // multimap's delivery sequence — (due ascending, insertion order) —
+  // byte for byte.
+  std::vector<std::size_t> due;
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].due <= now_) due.push_back(i);
   }
-  in_flight_.erase(in_flight_.begin(), end);
+  std::stable_sort(due.begin(), due.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return in_flight_[a].due < in_flight_[b].due;
+                   });
+  for (const std::size_t i : due) {
+    ++frames_delivered_;
+    inboxes_[in_flight_[i].to].push_back(
+        Arrival{in_flight_[i].from, std::move(in_flight_[i].frame)});
+  }
+  std::erase_if(in_flight_,
+                [&](const InFlight& f) { return f.due <= now_; });
 }
 
 std::optional<Arrival> Network::poll(NodeId node) {

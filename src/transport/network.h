@@ -23,8 +23,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/codec.h"
@@ -40,6 +42,11 @@ class NetworkGraph {
   static NetworkGraph line(NodeId n);
   static NetworkGraph ring(NodeId n);
   static NetworkGraph grid(NodeId width, NodeId height);
+  /// Complete binary tree in heap layout: node i's parent is (i-1)/2.
+  static NetworkGraph tree(NodeId n);
+  /// Deterministic expander-style graph: a ring plus Chord-like power-of-
+  /// two skip edges i -> (i + 2^j) mod n. Low diameter, always connected.
+  static NetworkGraph expander(NodeId n);
   /// Erdos-Renyi G(n, p), re-sampled until connected (bounded retries).
   static NetworkGraph random(NodeId n, double p, Rng& rng);
 
@@ -61,6 +68,11 @@ class NetworkGraph {
 
   [[nodiscard]] bool connected() const;
 
+  /// Every undirected edge as (lo, hi), sorted ascending — the canonical
+  /// edge indexing the transport fabric and the topology-aware fuzzer
+  /// address edges by.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
   static std::uint64_t edge_key(NodeId a, NodeId b) noexcept {
     const NodeId lo = a < b ? a : b;
     const NodeId hi = a < b ? b : a;
@@ -73,6 +85,17 @@ class NetworkGraph {
   std::vector<std::vector<NodeId>> adj_;
   std::size_t edges_ = 0;
 };
+
+/// Parses a topology spec string into a graph:
+///
+///   line:5  chain:5  ring:6  grid:3x4  tree:7  expander:8  random:12:0.3
+///
+/// `random` takes an optional third field, the sampling seed
+/// ("random:12:0.3:9"; default 1). Returns nullopt (with `error` set when
+/// non-null) on a malformed spec, an unknown shape, or a size too small
+/// to be a network (every shape needs >= 2 nodes).
+[[nodiscard]] std::optional<NetworkGraph> parse_topology(
+    std::string_view spec, std::string* error = nullptr);
 
 struct NetworkConfig {
   double frame_loss = 0.0;     // silent per-frame loss
@@ -135,8 +158,14 @@ class Network {
   Rng rng_;
   std::uint64_t now_ = 0;
 
-  std::map<std::uint64_t, bool> link_up_;  // edge_key -> up?
-  std::multimap<std::uint64_t, InFlight> in_flight_;  // due -> frame
+  // Both tables are flat sorted vectors (the zero-alloc idiom of the hot
+  // layers): the link table is built sorted once at construction and
+  // binary-searched; the in-flight queue appends in send order and
+  // delivers by a stable scan, which reproduces the old multimap's
+  // (due ascending, insertion order) delivery sequence exactly — pinned
+  // by the order-regression test in network_test.
+  std::vector<std::pair<std::uint64_t, bool>> link_up_;  // edge_key -> up?
+  std::vector<InFlight> in_flight_;  // insertion-ordered; scanned by due
   std::vector<std::deque<Arrival>> inboxes_;
 
   std::uint64_t frames_attempted_ = 0;

@@ -1,7 +1,13 @@
 // Corpus regression test: every script in tests/corpus/ is a witness —
-// a shrunk counterexample against a baseline, or a schedule a correct
-// protocol must survive. Each file re-executes here on every ctest run;
-// its @expect verdict is the assertion.
+// a shrunk counterexample against a baseline, a multi-hop fabric schedule
+// that erodes the composed guarantee, or a schedule a correct protocol
+// must survive. Each file re-executes here on every ctest run; its
+// @expect verdict is the assertion.
+//
+// Parsing goes through the fabric grammar (a strict superset: every plain
+// document is a fabric document on the default line:2 topology). Replay
+// dispatches like tools/replay: single-link documents run the legacy
+// byte-identical single-link harness, fabric documents run the fabric.
 //
 // S2D_CORPUS_DIR is injected by tests/CMakeLists.txt.
 #include <algorithm>
@@ -12,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/fabric.h"
 #include "harness/fuzzer.h"
 #include "harness/systems.h"
 #include "link/script.h"
@@ -43,6 +50,14 @@ std::vector<fs::path> corpus_files() {
   return files;
 }
 
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 TEST(Corpus, DirectoryHoldsWitnesses) {
   // An empty corpus means the path wiring broke, not that all is well.
   EXPECT_GE(corpus_files().size(), 3u) << "corpus dir: " << S2D_CORPUS_DIR;
@@ -50,11 +65,7 @@ TEST(Corpus, DirectoryHoldsWitnesses) {
 
 TEST(Corpus, EveryScriptParsesAndCarriesAnExpectation) {
   for (const fs::path& path : corpus_files()) {
-    std::ifstream in(path);
-    ASSERT_TRUE(in) << path;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const ScriptDocParse parsed = parse_script_doc(buffer.str());
+    const FabricScriptDocParse parsed = parse_fabric_script_doc(slurp(path));
     ASSERT_TRUE(parsed.ok) << path << ":" << parsed.line << ":"
                            << parsed.column << ": " << parsed.error;
     EXPECT_FALSE(parsed.doc.expect.empty())
@@ -65,21 +76,24 @@ TEST(Corpus, EveryScriptParsesAndCarriesAnExpectation) {
 
 TEST(Corpus, EveryScriptReplaysToItsExpectedVerdict) {
   for (const fs::path& path : corpus_files()) {
-    std::ifstream in(path);
-    ASSERT_TRUE(in) << path;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const ScriptDocParse parsed = parse_script_doc(buffer.str());
+    const FabricScriptDocParse parsed = parse_fabric_script_doc(slurp(path));
     ASSERT_TRUE(parsed.ok) << path << ": " << parsed.error;
-    const ScriptDoc& doc = parsed.doc;
+    const FabricScriptDoc& doc = parsed.doc;
 
-    const AdversaryLinkFactory factory =
-        make_system_factory(doc.system, doc.seed);
-    ASSERT_TRUE(factory) << path << ": unknown @system " << doc.system;
-
-    const ScriptWorkload workload{doc.messages, doc.payload_bytes};
-    const DataLink link = replay_script(factory, doc.decisions, workload);
-    const ViolationCounts& counts = link.checker().violations();
+    ViolationCounts counts;
+    if (doc.single_link()) {
+      const AdversaryLinkFactory factory =
+          make_system_factory(doc.system, doc.seed);
+      ASSERT_TRUE(factory) << path << ": unknown @system " << doc.system;
+      const ScriptWorkload workload{doc.messages, doc.payload_bytes};
+      const DataLink link =
+          replay_script(factory, doc.link0_decisions(), workload);
+      counts = link.checker().violations();
+    } else {
+      const FabricRunResult run = replay_fabric_script(doc);
+      ASSERT_TRUE(run.ok) << path << ": " << run.error;
+      counts = run.violations();
+    }
     EXPECT_TRUE(verdict_matches(doc.expect, counts))
         << path << ": expected " << doc.expect << ", replay produced "
         << counts.summary();
@@ -95,11 +109,7 @@ TEST(Corpus, WhyAnnotationsStillMatchTheReplayedEventSuffix) {
   const std::string kWhyHeader = "# why (violating event suffix):";
   bool saw_annotated = false;
   for (const fs::path& path : corpus_files()) {
-    std::ifstream in(path);
-    ASSERT_TRUE(in) << path;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
+    const std::string text = slurp(path);
 
     // Collect the `#   <event>` lines following the why header.
     std::vector<std::string> recorded;
@@ -121,15 +131,17 @@ TEST(Corpus, WhyAnnotationsStillMatchTheReplayedEventSuffix) {
     if (recorded.empty()) continue;
     saw_annotated = true;
 
-    const ScriptDocParse parsed = parse_script_doc(text);
+    const FabricScriptDocParse parsed = parse_fabric_script_doc(text);
     ASSERT_TRUE(parsed.ok) << path << ": " << parsed.error;
-    const ScriptDoc& doc = parsed.doc;
+    const FabricScriptDoc& doc = parsed.doc;
+    ASSERT_TRUE(doc.single_link())
+        << path << ": # why annotations are a single-link feature";
     const AdversaryLinkFactory factory =
         make_system_factory(doc.system, doc.seed);
     ASSERT_TRUE(factory) << path;
 
     const std::vector<Event> tail =
-        violation_tail(factory, doc.decisions,
+        violation_tail(factory, doc.link0_decisions(),
                        ScriptWorkload{doc.messages, doc.payload_bytes});
     ASSERT_EQ(tail.size(), recorded.size()) << path;
     for (std::size_t i = 0; i < tail.size(); ++i) {
@@ -142,26 +154,31 @@ TEST(Corpus, WhyAnnotationsStillMatchTheReplayedEventSuffix) {
          "witness with tools/fuzz";
 }
 
-TEST(Corpus, GhmScriptsAreCleanAndBaselineScriptsAreNot) {
-  // The corpus must keep both kinds of witness: schedules GHM survives
-  // and shrunk counterexamples that falsify at least one baseline.
+TEST(Corpus, HoldsAllThreeWitnessKinds) {
+  // The corpus must keep every kind of witness: schedules GHM survives,
+  // shrunk single-link counterexamples that falsify a baseline, and a
+  // multi-hop fabric schedule where per-link-§2.6-clean GHM links still
+  // erode the composed end-to-end guarantee.
   bool saw_clean_ghm = false;
   bool saw_violating_baseline = false;
+  bool saw_fabric_erosion = false;
   for (const fs::path& path : corpus_files()) {
-    std::ifstream in(path);
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const ScriptDocParse parsed = parse_script_doc(buffer.str());
+    const FabricScriptDocParse parsed = parse_fabric_script_doc(slurp(path));
     ASSERT_TRUE(parsed.ok) << path;
-    if (parsed.doc.system == "ghm" && parsed.doc.expect == "clean") {
+    const FabricScriptDoc& doc = parsed.doc;
+    if (doc.system == "ghm" && doc.expect == "clean") {
       saw_clean_ghm = true;
     }
-    if (parsed.doc.system != "ghm" && parsed.doc.expect != "clean") {
+    if (doc.system != "ghm" && doc.expect != "clean" && doc.single_link()) {
       saw_violating_baseline = true;
+    }
+    if (doc.system == "ghm" && doc.expect != "clean" && !doc.single_link()) {
+      saw_fabric_erosion = true;
     }
   }
   EXPECT_TRUE(saw_clean_ghm);
   EXPECT_TRUE(saw_violating_baseline);
+  EXPECT_TRUE(saw_fabric_erosion);
 }
 
 }  // namespace

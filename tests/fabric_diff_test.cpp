@@ -1,0 +1,120 @@
+// The tentpole differential: a line:2 fabric degenerates to ONE GHM link,
+// and that degenerate fabric must be byte-identical to the standalone
+// single-link harness — same trace events, same packet lengths, same RNG
+// draws, same checker verdict, same step count. This is what licenses
+// interpreting multi-hop fabric results as compositions of the paper's
+// per-link guarantee: hop links are not "like" the verified link, they
+// ARE the verified link.
+//
+// Also pins generate-vs-execute fidelity of the fabric fuzzer: replaying
+// a generated script through run_fabric_candidate reproduces the
+// generated run exactly (violations, steps, OKs).
+#include <gtest/gtest.h>
+
+#include "harness/fabric.h"
+#include "harness/fuzzer.h"
+#include "harness/systems.h"
+#include "link/script.h"
+
+namespace s2d {
+namespace {
+
+/// Field-wise trace comparison (TraceEvent has no operator==; keep the
+/// assertion granular so a mismatch names the diverging field).
+void expect_same_trace(const Trace& fabric, const Trace& plain) {
+  ASSERT_EQ(fabric.events().size(), plain.events().size());
+  for (std::size_t i = 0; i < plain.events().size(); ++i) {
+    const TraceEvent& f = fabric.events()[i];
+    const TraceEvent& p = plain.events()[i];
+    EXPECT_EQ(f.kind, p.kind) << "event " << i;
+    EXPECT_EQ(f.step, p.step) << "event " << i;
+    EXPECT_EQ(f.msg_id, p.msg_id) << "event " << i;
+    EXPECT_EQ(f.pkt_id, p.pkt_id) << "event " << i;
+    EXPECT_EQ(f.pkt_len, p.pkt_len) << "event " << i;
+  }
+}
+
+/// One (system, seed) differential: fuzz a schedule on the standalone
+/// link, then replay it both ways and demand byte-identical executions.
+void run_one_hop_differential(const std::string& system,
+                              std::uint64_t seed) {
+  SCOPED_TRACE(system + " seed=" + std::to_string(seed));
+  FuzzerConfig cfg;
+  cfg.depth = 160;
+  const FuzzRun generated =
+      fuzz_script(make_system_factory(system, seed), seed, cfg);
+  ASSERT_FALSE(generated.script.empty());
+
+  const DataLink plain =
+      replay_script(make_system_factory(system, seed, /*keep_trace=*/true),
+                    generated.script, cfg.workload);
+
+  FabricScriptDoc doc;
+  doc.topology = "line:2";
+  doc.system = system;
+  doc.seed = seed;
+  doc.messages = cfg.workload.messages;
+  doc.payload_bytes = cfg.workload.payload_bytes;
+  for (const Decision& d : generated.script) {
+    doc.decisions.push_back(FabricDecision::link(0, d));
+  }
+  const FabricRunResult fabric =
+      replay_fabric_script(doc, /*keep_trace=*/true);
+  ASSERT_TRUE(fabric.ok) << fabric.error;
+
+  // The hop link IS the standalone link: identical event stream ...
+  expect_same_trace(fabric.fabric->link(0).trace(), plain.trace());
+  // ... identical per-link §2.6 verdict and progress counters ...
+  EXPECT_EQ(fabric.fabric->link(0).checker().violations().summary(),
+            plain.checker().violations().summary());
+  EXPECT_EQ(fabric.fabric->link(0).steps_taken(), plain.steps_taken());
+  // ... and at one hop, the END-TO-END verdict coincides with the link's:
+  // the committing hop terminates at the destination, so the e2e checker
+  // runs in strict Theorem-3 mode and sees the same action sequence.
+  EXPECT_EQ(fabric.violations().summary(),
+            plain.checker().violations().summary());
+}
+
+TEST(FabricDiff, OneHopFabricIsByteIdenticalToThePlainLink) {
+  for (const std::string& system :
+       {std::string("ghm"), std::string("abp"), std::string("fixed_nonce"),
+        std::string("stopwait")}) {
+    for (std::uint64_t seed : {1ull, 42ull, 1989ull}) {
+      run_one_hop_differential(system, seed);
+    }
+  }
+}
+
+TEST(FabricDiff, GeneratedFabricScriptReplaysIdentically) {
+  // Generate-and-execute (the fuzzer's HopMailbox::last() read-back) must
+  // agree with a cold replay of the recorded script — on a topology with
+  // relays, fabric faults and all.
+  FabricFuzzConfig cfg;
+  cfg.topology = "line:3";
+  cfg.depth = 200;
+  cfg.relay_crash = 0.02;
+  cfg.edge_flap = 0.02;
+  for (std::uint64_t seed : {7ull, 99ull, 2026ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const FabricFuzzRun generated = fabric_fuzz_script(cfg, seed);
+    ASSERT_FALSE(generated.script.empty());
+
+    FabricScriptDoc doc;
+    doc.topology = cfg.topology;
+    doc.system = cfg.system;
+    doc.seed = seed;
+    doc.messages = cfg.workload.messages;
+    doc.payload_bytes = cfg.workload.payload_bytes;
+    doc.decisions = generated.script;
+    const FabricFuzzRun replayed = run_fabric_candidate(doc);
+
+    EXPECT_EQ(replayed.violations.summary(),
+              generated.violations.summary());
+    EXPECT_EQ(replayed.steps, generated.steps);
+    EXPECT_EQ(replayed.oks, generated.oks);
+    EXPECT_EQ(replayed.script.size(), generated.script.size());
+  }
+}
+
+}  // namespace
+}  // namespace s2d

@@ -284,5 +284,153 @@ TEST(Fuzzer, ShrinkingACleanScriptReturnsItUnchanged) {
   EXPECT_EQ(shrunk.script, script);
 }
 
+// --- Fabric fuzzer ------------------------------------------------------
+
+FabricFuzzConfig small_fabric_budget() {
+  FabricFuzzConfig cfg;
+  cfg.topology = "line:3";
+  cfg.scripts = 120;
+  cfg.depth = 120;
+  cfg.root_seed = 20260808;
+  cfg.threads = 2;
+  cfg.relay_crash = 0.02;
+  cfg.edge_flap = 0.02;
+  return cfg;
+}
+
+TEST(FabricFuzzer, DeterministicAcrossShardCounts) {
+  FabricFuzzConfig cfg = small_fabric_budget();
+  cfg.threads = 1;
+  const FabricFuzzReport serial = run_fabric_fuzz(cfg);
+  ASSERT_TRUE(serial.error.empty()) << serial.error;
+  cfg.threads = 3;
+  const FabricFuzzReport sharded = run_fabric_fuzz(cfg);
+  EXPECT_EQ(serial.fingerprint(), sharded.fingerprint());
+  EXPECT_EQ(serial.scripts, sharded.scripts);
+  EXPECT_EQ(serial.violating_scripts, sharded.violating_scripts);
+  ASSERT_EQ(serial.findings.size(), sharded.findings.size());
+  for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+    EXPECT_EQ(serial.findings[i].index, sharded.findings[i].index);
+    EXPECT_EQ(serial.findings[i].script, sharded.findings[i].script);
+    EXPECT_EQ(serial.findings[i].violations.summary(),
+              sharded.findings[i].violations.summary());
+  }
+}
+
+TEST(FabricFuzzer, FindingReplaysToTheRecordedViolations) {
+  const FabricFuzzReport report = run_fabric_fuzz(small_fabric_budget());
+  ASSERT_TRUE(report.error.empty()) << report.error;
+  ASSERT_FALSE(report.findings.empty())
+      << "expected relay crashes to erode e2e §2.6 on line:3";
+  for (const FabricFuzzFinding& finding : report.findings) {
+    FabricScriptDoc doc;
+    doc.topology = "line:3";
+    doc.seed = finding.seed;
+    doc.messages = 4;
+    doc.payload_bytes = 2;
+    doc.decisions = finding.script;
+    const FabricFuzzRun replay = run_fabric_candidate(doc);
+    EXPECT_EQ(replay.violations.summary(), finding.violations.summary())
+        << "finding " << finding.index;
+  }
+}
+
+TEST(FabricFuzzer, GhmSingleHopStaysCleanAtBudget) {
+  // On line:2 there are no interior relays: the fabric degenerates to the
+  // verified link and the fuzzer must find nothing, even with fabric
+  // faults enabled (endpoint crashes are excused end-to-end).
+  FabricFuzzConfig cfg = small_fabric_budget();
+  cfg.topology = "line:2";
+  const FabricFuzzReport report = run_fabric_fuzz(cfg);
+  ASSERT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.clean()) << report.violations.summary();
+}
+
+TEST(FabricFuzzer, InvalidConfigsRejectedUpFront) {
+  {
+    FabricFuzzConfig cfg = small_fabric_budget();
+    cfg.topology = "bogus:3";
+    const FabricFuzzReport report = run_fabric_fuzz(cfg);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_EQ(report.scripts, 0u);
+  }
+  {
+    FabricFuzzConfig cfg = small_fabric_budget();
+    cfg.system = "no_such_system";
+    const FabricFuzzReport report = run_fabric_fuzz(cfg);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_EQ(report.scripts, 0u);
+  }
+  {
+    FabricFuzzConfig cfg = small_fabric_budget();
+    cfg.edge_weights = {1.0};  // line:3 has two edges
+    const FabricFuzzReport report = run_fabric_fuzz(cfg);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_EQ(report.scripts, 0u);
+  }
+}
+
+TEST(FabricFuzzer, MutationsStayValidAndBounded) {
+  Rng rng(5);
+  const FuzzWeights weights;
+  std::vector<FabricDecision> parent = {
+      FabricDecision::link(0, Decision::retry()),
+      FabricDecision::relay_crash(1),
+      FabricDecision::link(3, Decision::deliver_tr(1)),
+  };
+  const std::vector<FabricDecision> other = {
+      FabricDecision::edge_down(0), FabricDecision::edge_up(0)};
+  for (int round = 0; round < 200; ++round) {
+    const auto op = static_cast<MutationOp>(rng.next_below(kMutationOpCount));
+    const std::vector<FabricDecision> child = mutate_fabric_script(
+        parent, other, op, rng, weights, /*depth_cap=*/16,
+        /*link_count=*/4, /*node_count=*/3, /*edge_count=*/2);
+    ASSERT_FALSE(child.empty()) << mutation_op_name(op);
+    ASSERT_LE(child.size(), 16u) << mutation_op_name(op);
+    for (const FabricDecision& fd : child) {
+      switch (fd.target) {
+        case FabricDecision::Target::kLink:
+          EXPECT_LT(fd.index, 4u);
+          break;
+        case FabricDecision::Target::kRelayCrash:
+          EXPECT_LT(fd.index, 3u);
+          break;
+        case FabricDecision::Target::kEdgeDown:
+        case FabricDecision::Target::kEdgeUp:
+          EXPECT_LT(fd.index, 2u);
+          break;
+      }
+    }
+    parent = child;
+  }
+}
+
+TEST(FabricFuzzer, ShrinkerPropertiesOverFindings) {
+  FabricFuzzConfig cfg = small_fabric_budget();
+  cfg.max_findings = 4;
+  const FabricFuzzReport report = run_fabric_fuzz(cfg);
+  ASSERT_FALSE(report.findings.empty());
+  for (const FabricFuzzFinding& finding : report.findings) {
+    FabricScriptDoc doc;
+    doc.topology = cfg.topology;
+    doc.system = cfg.system;
+    doc.seed = finding.seed;
+    doc.messages = cfg.workload.messages;
+    doc.payload_bytes = cfg.workload.payload_bytes;
+    doc.decisions = finding.script;
+
+    const FabricShrinkResult shrunk = shrink_fabric_script(doc);
+    // Never grows; preserves at least one violation category; idempotent.
+    EXPECT_LE(shrunk.script.size(), finding.script.size());
+    EXPECT_NE(violation_class(shrunk.violations) &
+                  violation_class(finding.violations),
+              0u);
+    FabricScriptDoc again = doc;
+    again.decisions = shrunk.script;
+    const FabricShrinkResult twice = shrink_fabric_script(again);
+    EXPECT_EQ(twice.script, shrunk.script);
+  }
+}
+
 }  // namespace
 }  // namespace s2d

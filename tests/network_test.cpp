@@ -34,6 +34,67 @@ TEST(NetworkGraph, GridTopology) {
   EXPECT_EQ(g.neighbors(0).size(), 2u);  // corner
 }
 
+TEST(NetworkGraph, TreeTopology) {
+  const auto g = NetworkGraph::tree(7);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 6u);  // a tree: n - 1 edges
+  EXPECT_TRUE(g.connected());
+  // Heap layout: node 0 is the root with children 1 and 2.
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+}
+
+TEST(NetworkGraph, ExpanderTopology) {
+  const auto g = NetworkGraph::expander(8);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_TRUE(g.connected());
+  // Ring plus skip edges: strictly denser than the bare ring.
+  EXPECT_GT(g.edge_count(), 8u);
+  // Low diameter: every node reaches every other within 3 hops on n=8.
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = 0; v < 8; ++v) {
+      const auto path = g.shortest_path(u, v);
+      ASSERT_FALSE(path.empty());
+      EXPECT_LE(path.size(), 4u) << u << "->" << v;
+    }
+  }
+}
+
+TEST(NetworkGraph, ParseTopologyAccepts) {
+  for (const char* spec :
+       {"line:5", "chain:5", "ring:6", "grid:3x4", "tree:7", "expander:8",
+        "random:12:0.3", "random:12:0.3:9"}) {
+    std::string err;
+    const auto g = parse_topology(spec, &err);
+    ASSERT_TRUE(g.has_value()) << spec << ": " << err;
+    EXPECT_TRUE(g->connected()) << spec;
+  }
+  // chain is an alias for line.
+  EXPECT_EQ(parse_topology("chain:5")->edge_count(),
+            parse_topology("line:5")->edge_count());
+  EXPECT_EQ(parse_topology("grid:3x4")->node_count(), 12u);
+}
+
+TEST(NetworkGraph, ParseTopologyRejects) {
+  for (const char* spec : {"", "bogus:3", "line", "line:1", "ring:0",
+                           "grid:3", "grid:0x4", "random:12",
+                           "random:12:nope", "line:abc"}) {
+    std::string err;
+    EXPECT_FALSE(parse_topology(spec, &err).has_value()) << spec;
+    EXPECT_FALSE(err.empty()) << spec;
+  }
+}
+
+TEST(NetworkGraph, EdgeListIsCanonicallySorted) {
+  // The fabric and the fuzzer address edges by edge_list() index; the
+  // (lo, hi) ascending order is part of the deterministic identity of
+  // every fabric script.
+  const auto edges = NetworkGraph::grid(2, 2).edge_list();
+  const std::vector<std::pair<NodeId, NodeId>> want = {
+      {0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(edges, want);
+  for (const auto& [lo, hi] : edges) EXPECT_LT(lo, hi);
+}
+
 TEST(NetworkGraph, RandomGraphIsConnected) {
   Rng rng(1);
   for (int i = 0; i < 5; ++i) {
@@ -176,6 +237,54 @@ TEST(Network, FifoWithinEqualDelays) {
   ASSERT_TRUE(a && b);
   EXPECT_EQ(a->frame, frame_of("first"));
   EXPECT_EQ(b->frame, frame_of("second"));
+}
+
+TEST(Network, InFlightDeliveryOrderRegression) {
+  // The in-flight queue moved from a std::multimap keyed by due step to a
+  // flat insertion-ordered vector scanned by due. The observable contract
+  // — frames arrive in (due ascending, insertion order within equal due)
+  // sequence — must not have moved with it. Tag every frame with its
+  // global insertion index, blast both directions over several steps, and
+  // check each per-step inbox batch preserves insertion order and every
+  // delay stays within [delay_min, delay_max].
+  NetworkConfig cfg;
+  cfg.delay_min = 1;
+  cfg.delay_max = 4;
+  Network net(NetworkGraph::line(2), cfg, Rng(99));
+
+  std::vector<std::uint64_t> sent_at(64, 0);
+  std::uint32_t next_tag = 0;
+  std::uint64_t delivered = 0;
+  for (std::uint64_t t = 0; t < 40; ++t) {
+    if (next_tag + 2 <= 64) {
+      for (int dir = 0; dir < 2; ++dir) {
+        Bytes frame{static_cast<std::byte>(next_tag)};
+        sent_at[next_tag] = t;
+        ASSERT_TRUE(net.send_frame(dir == 0 ? 0 : 1, dir == 0 ? 1 : 0,
+                                   std::move(frame)));
+        ++next_tag;
+      }
+    }
+    net.step();
+    for (NodeId node : {0u, 1u}) {
+      std::uint32_t prev_tag = 0;
+      bool first = true;
+      while (auto a = net.poll(node)) {
+        const auto tag = static_cast<std::uint32_t>(a->frame.at(0));
+        const std::uint64_t delay = (t + 1) - sent_at[tag];
+        EXPECT_GE(delay, cfg.delay_min) << "tag " << tag;
+        EXPECT_LE(delay, cfg.delay_max) << "tag " << tag;
+        if (!first) {
+          // Same arrival step, same node: earlier insertion first.
+          EXPECT_LT(prev_tag, tag) << "at step " << t + 1;
+        }
+        prev_tag = tag;
+        first = false;
+        ++delivered;
+      }
+    }
+  }
+  EXPECT_EQ(delivered, 64u);  // no silent loss at zero fault rates
 }
 
 }  // namespace

@@ -154,5 +154,88 @@ TEST(Script, ValidExpectationWords) {
   EXPECT_FALSE(valid_expectation(""));
 }
 
+// --- Fabric grammar -----------------------------------------------------
+
+TEST(FabricScript, RenderDecisionForms) {
+  // Link 0 renders bare (single-link scripts round-trip unchanged);
+  // other links carry the `e<k>` prefix; faults have their own verbs.
+  EXPECT_EQ(render_fabric_decision(
+                FabricDecision::link(0, Decision::retry())),
+            "retry");
+  EXPECT_EQ(render_fabric_decision(
+                FabricDecision::link(3, Decision::deliver_tr(7))),
+            "e3 deliver_tr 7");
+  EXPECT_EQ(render_fabric_decision(FabricDecision::relay_crash(2)),
+            "relay_crash 2");
+  EXPECT_EQ(render_fabric_decision(FabricDecision::edge_down(1)),
+            "edge_down 1");
+  EXPECT_EQ(render_fabric_decision(FabricDecision::edge_up(1)),
+            "edge_up 1");
+}
+
+TEST(FabricScript, DocRoundTrip) {
+  FabricScriptDoc doc;
+  doc.topology = "grid:3x3";
+  doc.system = "abp";
+  doc.seed = 77;
+  doc.messages = 5;
+  doc.payload_bytes = 3;
+  doc.expect = "duplication";
+  doc.decisions = {
+      FabricDecision::link(0, Decision::retry()),
+      FabricDecision::link(5, Decision::deliver_tr(2)),
+      FabricDecision::relay_crash(4),
+      FabricDecision::edge_down(3),
+      FabricDecision::link(11, Decision::crash_r()),
+      FabricDecision::edge_up(3),
+  };
+  const FabricScriptDocParse parsed =
+      parse_fabric_script_doc(render_fabric_script_doc(doc));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.doc, doc);
+  EXPECT_FALSE(parsed.doc.single_link());
+}
+
+TEST(FabricScript, PlainDocParsesAsSingleLinkFabricDoc) {
+  // Every plain document is a fabric document with the default line:2
+  // topology — the replay tool's dispatch contract.
+  const char* text =
+      "@system ghm\n@seed 9\n@messages 3\nretry\ndeliver_tr 1\n";
+  const FabricScriptDocParse parsed = parse_fabric_script_doc(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.doc.topology, "line:2");
+  EXPECT_TRUE(parsed.doc.single_link());
+  const std::vector<Decision> link0 = parsed.doc.link0_decisions();
+  ASSERT_EQ(link0.size(), 2u);
+  EXPECT_EQ(link0[0], Decision::retry());
+  EXPECT_EQ(link0[1], Decision::deliver_tr(1));
+}
+
+TEST(FabricScript, PlainParserRejectsTopologyDirective) {
+  // parse_script_doc stays the single-link grammar: a fabric document
+  // must be dispatched to parse_fabric_script_doc, never silently
+  // misread as a single-link run.
+  const ScriptDocParse plain = parse_script_doc("@topology line:3\n");
+  EXPECT_FALSE(plain.ok);
+  EXPECT_EQ(plain.line, 1u);
+}
+
+TEST(FabricScript, DiagnosticsCarryLocation) {
+  const FabricScriptDocParse bad_link =
+      parse_fabric_script_doc("retry\nexx deliver_tr 1\n");
+  EXPECT_FALSE(bad_link.ok);
+  EXPECT_EQ(bad_link.line, 2u);
+
+  const FabricScriptDocParse bad_fault =
+      parse_fabric_script_doc("relay_crash\n");
+  EXPECT_FALSE(bad_fault.ok);
+  EXPECT_EQ(bad_fault.line, 1u);
+
+  const FabricScriptDocParse bare_address =
+      parse_fabric_script_doc("retry\ne3\n");
+  EXPECT_FALSE(bare_address.ok);
+  EXPECT_EQ(bare_address.line, 2u);
+}
+
 }  // namespace
 }  // namespace s2d

@@ -11,8 +11,17 @@
 // when the replay verdict matches the script's @expect (or no expectation
 // is recorded), 1 on a verdict mismatch, 2 on unreadable/malformed input —
 // so corpus replays slot straight into shell loops and CI.
+//
+// Fabric documents (an @topology directive or any fabric decision form —
+// `e<k> ...`, relay_crash, edge_down/edge_up) replay through the
+// multi-hop TransportFabric instead: one conversation from node 0 to
+// node n-1, verdict from its end-to-end checker, --trace/--jsonl showing
+// the fabric bus (per-hop forwards, relay crashes, route changes). Plain
+// documents keep the single-link path byte-for-byte; --topology promotes
+// a plain document onto a fabric (its decisions address link 0).
 #include <iostream>
 
+#include "harness/fabric.h"
 #include "harness/fuzzer.h"
 #include "harness/systems.h"
 #include "link/script.h"
@@ -47,12 +56,82 @@ bool verdict_matches(const std::string& expect,
   return false;
 }
 
+/// The fabric path: replay `doc` as a multi-hop run and report the
+/// end-to-end verdict of the node-0 -> node-(n-1) conversation.
+int run_fabric(const std::string& display, FabricScriptDoc doc,
+               const Flags& flags) {
+  std::unique_ptr<EventSink> sink;
+  const bool timeline = flags.get_bool("trace") || flags.get_bool("jsonl");
+  if (timeline) {
+    if (flags.get_bool("jsonl")) {
+      sink = std::make_unique<JsonlTraceSink>(std::cout);
+    } else {
+      sink = std::make_unique<TimelineSink>(std::cout);
+    }
+  }
+  const FabricRunResult r =
+      replay_fabric_script(doc, /*keep_trace=*/false, sink.get());
+  if (!r.ok) {
+    std::cerr << display << ": " << r.error << "\n";
+    return 2;
+  }
+  const ViolationCounts counts = r.violations();
+
+  if (timeline) {
+    if (!doc.expect.empty() && !verdict_matches(doc.expect, counts)) {
+      std::cerr << "expected " << doc.expect << ", got " << counts.summary()
+                << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  const TransportFabric& fabric = *r.fabric;
+  std::string route;
+  for (const NodeId n : fabric.session_route(r.session)) {
+    if (!route.empty()) route += " -> ";
+    route += std::to_string(n);
+  }
+  std::cout << "script:     " << display << "\n"
+            << "topology:   " << doc.topology << " ("
+            << fabric.graph().node_count() << " nodes, "
+            << fabric.link_count() << " directed links)\n"
+            << "system:     " << doc.system << " (seed " << doc.seed
+            << ", per hop)\n"
+            << "route:      " << (route.empty() ? "unroutable" : route)
+            << "\n"
+            << "decisions:  " << doc.decisions.size() << "\n"
+            << "workload:   " << doc.messages << " msgs x "
+            << doc.payload_bytes << "B\n"
+            << "deliveries: " << fabric.checker(r.session).deliveries()
+            << ", oks: " << fabric.oks(r.session) << "\n"
+            << "custody:    high water " << fabric.custody_high_water()
+            << "B, lost " << fabric.custody_lost() << ", rejected "
+            << fabric.custody_rejected() << "\n"
+            << "verdict:    "
+            << (counts.safety_total() == 0 ? "clean"
+                                           : violation_class_name(
+                                                 violation_class(counts)))
+            << " (" << counts.summary() << ")\n";
+
+  if (!doc.expect.empty()) {
+    const bool match = verdict_matches(doc.expect, counts);
+    std::cout << "\nexpected:   " << doc.expect << " -> "
+              << (match ? "MATCH" : "MISMATCH") << "\n";
+    return match ? 0 : 1;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   Flags flags("replay: re-execute a decision script against a named system");
   flags.define("script", "",
                "path to the script file, or - for stdin (required)")
       .define("system", "", "override @system (" + join_names() + ")")
       .define("seed", "", "override @seed")
+      .define("topology", "",
+              "override @topology (line:N|ring:N|grid:WxH|tree:N|"
+              "expander:N|random:N:p[:seed]); forces the fabric path")
       .define("messages", "", "override @messages")
       .define("payload", "", "override @payload")
       .define("render", "true", "print the sequence-diagram trace")
@@ -75,10 +154,27 @@ int run(int argc, char** argv) {
   if (!source) return 2;
 
   ScriptDocParse parsed = parse_script_doc(source->text);
-  if (!parsed.ok) {
-    std::cerr << source->display << ":" << parsed.line << ":"
-              << parsed.column << ": " << parsed.error << "\n";
-    return 2;
+  if (!parsed.ok || !flags.get("topology").empty()) {
+    // Not a plain single-link document (or the user asked for a fabric):
+    // the fabric grammar is a superset, so its diagnostics subsume the
+    // plain parser's.
+    FabricScriptDocParse fparsed = parse_fabric_script_doc(source->text);
+    if (!fparsed.ok) {
+      std::cerr << source->display << ":" << fparsed.line << ":"
+                << fparsed.column << ": " << fparsed.error << "\n";
+      return 2;
+    }
+    FabricScriptDoc fdoc = std::move(fparsed.doc);
+    if (!flags.get("topology").empty()) fdoc.topology = flags.get("topology");
+    if (!flags.get("system").empty()) fdoc.system = flags.get("system");
+    if (!flags.get("seed").empty()) fdoc.seed = flags.get_u64("seed");
+    if (!flags.get("messages").empty()) {
+      fdoc.messages = flags.get_u64("messages");
+    }
+    if (!flags.get("payload").empty()) {
+      fdoc.payload_bytes = flags.get_u64("payload");
+    }
+    return run_fabric(source->display, std::move(fdoc), flags);
   }
   ScriptDoc doc = std::move(parsed.doc);
   if (!flags.get("system").empty()) doc.system = flags.get("system");
